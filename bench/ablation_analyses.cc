@@ -1,0 +1,237 @@
+// Ablation (§4.2): "the concern with many bug-finding tools is a high false
+// positive rate". Compares the library's three vulnerability detectors on
+// generated programs, scored against fuzzing ground truth:
+//
+//   lint       — syntactic, flow-insensitive (cheapest, noisiest)
+//   intervals  — abstract interpretation, sound may-analysis
+//   symexec    — bounded symbolic execution (most precise, costliest)
+//
+// Ground truth: each program is fuzzed through the concrete interpreter;
+// a line is "confirmed vulnerable" if some input faults there. Detector
+// recall is measured against confirmed lines; flagged-but-unconfirmed lines
+// are reported separately (they may be real but unfuzzed, or false alarms).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <set>
+
+#include "bench/common.h"
+#include "src/corpus/codegen.h"
+#include "src/dataflow/intervals.h"
+#include "src/lang/interp.h"
+#include "src/lang/parser.h"
+#include "src/metrics/callgraph.h"
+#include "src/metrics/smells.h"
+#include "src/report/render.h"
+#include "src/support/strings.h"
+#include "src/symexec/executor.h"
+
+namespace {
+
+struct DetectorScore {
+  long long flagged = 0;
+  long long confirmed_hits = 0;  // Flagged lines with a fuzz-confirmed fault.
+  long long misses = 0;          // Confirmed lines the detector did not flag.
+  double millis = 0.0;
+
+  double Recall(long long confirmed_total) const {
+    return confirmed_total > 0
+               ? static_cast<double>(confirmed_hits) / static_cast<double>(confirmed_total)
+               : 1.0;
+  }
+  double ConfirmedRate() const {
+    return flagged > 0 ? static_cast<double>(confirmed_hits) / static_cast<double>(flagged)
+                       : 1.0;
+  }
+};
+
+// Fuzzes every root of the module; returns the set of fault lines.
+std::set<int> FuzzGroundTruth(const lang::IrModule& module, uint64_t seed) {
+  std::set<int> fault_lines;
+  const metrics::CallGraph graph(module);
+  support::Rng rng(seed);
+  lang::InterpOptions interp_options;
+  interp_options.max_steps = 8192;  // Generated loops can spin; keep trials cheap.
+  for (const auto& root : graph.Roots()) {
+    const lang::IrFunction* fn = module.FindFunction(root);
+    for (int trial = 0; trial < 60; ++trial) {
+      std::vector<int64_t> inputs;
+      std::vector<int64_t> args;
+      for (int i = 0; i < 16; ++i) {
+        inputs.push_back(rng.NextBool(0.6)
+                             ? static_cast<int64_t>(rng.NextBelow(24))
+                             : static_cast<int64_t>(rng.NextBelow(1 << 13)) - (1 << 12));
+      }
+      for (size_t i = 0; i < fn->param_regs.size(); ++i) {
+        args.push_back(static_cast<int64_t>(rng.NextBelow(1 << 13)) - (1 << 12));
+      }
+      const auto trace = lang::Execute(module, root, args, inputs, interp_options);
+      if (trace.outcome == lang::ExecOutcome::kOutOfBounds ||
+          trace.outcome == lang::ExecOutcome::kDivisionByZero) {
+        fault_lines.insert(trace.fault_line);
+      }
+    }
+  }
+  return fault_lines;
+}
+
+std::set<int> LintLines(const lang::IrModule& module) {
+  std::set<int> lines;
+  for (const auto& signal : metrics::FindBugSignals(module)) {
+    if (signal.kind == metrics::BugSignal::Kind::kUncheckedInputIndex ||
+        signal.kind == metrics::BugSignal::Kind::kNonConstantDivisor) {
+      lines.insert(signal.line);
+    }
+  }
+  return lines;
+}
+
+std::set<int> IntervalLines(const lang::IrModule& module) {
+  std::set<int> lines;
+  for (const auto& fn : module.functions) {
+    for (const auto& finding : dataflow::AnalyzeIntervals(fn).findings) {
+      lines.insert(finding.line);
+    }
+  }
+  return lines;
+}
+
+std::set<int> SymexecLines(const lang::IrModule& module) {
+  std::set<int> lines;
+  const metrics::CallGraph graph(module);
+  symx::SymExecOptions options;
+  options.max_paths = 24;
+  options.max_steps_per_path = 768;
+  options.max_total_steps = 1 << 13;
+  options.max_solver_queries = 96;
+  options.solver_conflict_budget = 400;
+  options.max_expr_nodes = 128;
+  options.exploit_sample_trials = 16;
+  options.exploit_exact_cap = 4;
+  for (const auto& root : graph.Roots()) {
+    for (const auto& vuln : symx::Explore(module, root, options).vulns) {
+      lines.insert(vuln.line);
+    }
+  }
+  return lines;
+}
+
+void Score(DetectorScore& score, const std::set<int>& flagged,
+           const std::set<int>& confirmed) {
+  score.flagged += static_cast<long long>(flagged.size());
+  for (const int line : flagged) {
+    if (confirmed.contains(line)) {
+      ++score.confirmed_hits;
+    }
+  }
+  for (const int line : confirmed) {
+    if (!flagged.contains(line)) {
+      ++score.misses;
+    }
+  }
+}
+
+void PrintComparison() {
+  benchcommon::PrintHeader("Ablation: analyses",
+                           "lint vs abstract interpretation vs symbolic execution");
+  DetectorScore lint;
+  DetectorScore intervals;
+  DetectorScore symexec;
+  long long confirmed_total = 0;
+  const int programs = 40;
+  for (int p = 0; p < programs; ++p) {
+    support::Rng rng(1000 + static_cast<uint64_t>(p) * 37);
+    corpus::AppStyle style;
+    style.complexity = rng.NextDouble() * 0.7;
+    style.unsafety = rng.NextDouble();
+    style.taintiness = rng.NextDouble();
+    const std::string source = corpus::GenerateMiniCFile(rng, style, 150);
+    auto unit = lang::Parse(source);
+    if (!unit.ok()) {
+      continue;
+    }
+    auto module = lang::LowerToIr(unit.value());
+    if (!module.ok()) {
+      continue;
+    }
+    const std::set<int> confirmed = FuzzGroundTruth(module.value(), 77 + p);
+    confirmed_total += static_cast<long long>(confirmed.size());
+    auto timed = [&](DetectorScore& score, auto detector) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const std::set<int> flagged = detector(module.value());
+      const auto t1 = std::chrono::steady_clock::now();
+      score.millis +=
+          std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count() / 1000.0;
+      Score(score, flagged, confirmed);
+    };
+    timed(lint, LintLines);
+    timed(intervals, IntervalLines);
+    timed(symexec, SymexecLines);
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  auto add_row = [&](const char* name, const DetectorScore& score) {
+    rows.push_back({name, std::to_string(score.flagged),
+                    std::to_string(score.confirmed_hits),
+                    support::Format("%.0f%%", 100.0 * score.Recall(confirmed_total)),
+                    support::Format("%.0f%%", 100.0 * score.ConfirmedRate()),
+                    support::Format("%.1f ms", score.millis)});
+  };
+  add_row("lint (syntactic)", lint);
+  add_row("intervals (abstract interp.)", intervals);
+  add_row("symexec (bounded paths)", symexec);
+  std::printf("programs: %d, fuzz-confirmed vulnerable lines: %lld\n\n", programs,
+              confirmed_total);
+  std::printf("%s\n", report::RenderTable({"detector", "flagged", "confirmed", "recall",
+                                           "confirmed rate", "total time"},
+                                          rows)
+                          .c_str());
+  std::printf(
+      "expected shape (§4.2): the cheap syntactic pass over-reports (low confirmed\n"
+      "rate), the sound interval analysis recalls every confirmed line at moderate\n"
+      "noise, and symbolic execution buys the highest confirmed rate at the highest\n"
+      "cost — the spread the paper proposes to feed into the learner rather than\n"
+      "trusting any single tool.\n\n");
+}
+
+void BM_LintDetector(benchmark::State& state) {
+  support::Rng rng(55);
+  corpus::AppStyle style;
+  const std::string source = corpus::GenerateMiniCFile(rng, style, 200);
+  auto module = lang::LowerToIr(lang::Parse(source).value()).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LintLines(module).size());
+  }
+}
+BENCHMARK(BM_LintDetector)->Unit(benchmark::kMicrosecond);
+
+void BM_IntervalDetector(benchmark::State& state) {
+  support::Rng rng(55);
+  corpus::AppStyle style;
+  const std::string source = corpus::GenerateMiniCFile(rng, style, 200);
+  auto module = lang::LowerToIr(lang::Parse(source).value()).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntervalLines(module).size());
+  }
+}
+BENCHMARK(BM_IntervalDetector)->Unit(benchmark::kMicrosecond);
+
+void BM_SymexecDetector(benchmark::State& state) {
+  support::Rng rng(55);
+  corpus::AppStyle style;
+  const std::string source = corpus::GenerateMiniCFile(rng, style, 200);
+  auto module = lang::LowerToIr(lang::Parse(source).value()).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SymexecLines(module).size());
+  }
+}
+BENCHMARK(BM_SymexecDetector)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintComparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Ablation (§5.2): "tuning the parameters to the learning algorithms" —
+// stability of each learner family across CV seeds, plus the effect of
+// feature selection (top-k by information gain) on the best learner.
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+#include "src/clair/pipeline.h"
+#include "src/ml/eval.h"
+#include "src/ml/feature_select.h"
+#include "src/report/render.h"
+#include "src/support/strings.h"
+#include "src/support/stats.h"
+
+namespace {
+
+void PrintAblation(double scale) {
+  benchcommon::PrintHeader("Ablation: learners",
+                           "learner stability across CV seeds + feature selection");
+  const corpus::EcosystemGenerator ecosystem =
+      benchcommon::MakeEcosystem(scale, 164, 24);
+  clair::TestbedOptions testbed_options;
+  testbed_options.deep_analysis_max_files = 1;
+  const clair::Testbed testbed(ecosystem, testbed_options);
+  const auto records = testbed.Collect();
+  const clair::Hypothesis* hypothesis = clair::FindHypothesis("av_network");
+
+  // Learner stability: mean +/- stddev of AUC over 5 CV seeds.
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& learner : clair::StandardLearners()) {
+    support::RunningStats auc_stats;
+    support::RunningStats f1_stats;
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+      clair::PipelineOptions options;
+      options.cv_folds = 10;
+      options.seed = seed;
+      const clair::TrainingPipeline pipeline(records, options);
+      ml::Dataset data = pipeline.BuildDataset(*hypothesis);
+      pipeline.ApplyTransforms(data, nullptr);
+      const ml::CvMetrics metrics =
+          ml::CrossValidate(data, learner.factory, options.cv_folds, seed);
+      auc_stats.Add(metrics.auc);
+      f1_stats.Add(metrics.macro_f1);
+    }
+    rows.push_back({learner.name,
+                    support::Format("%.3f +/- %.3f", auc_stats.mean(), auc_stats.stddev()),
+                    support::Format("%.3f +/- %.3f", f1_stats.mean(), f1_stats.stddev())});
+  }
+  std::printf("hypothesis: av_network (is any vulnerability network-reachable?)\n\n");
+  std::printf("%s\n",
+              report::RenderTable({"learner", "AUC (5 seeds)", "macro-F1 (5 seeds)"}, rows)
+                  .c_str());
+
+  // Feature selection sweep on the random forest.
+  clair::PipelineOptions options;
+  options.cv_folds = 10;
+  const clair::TrainingPipeline pipeline(records, options);
+  ml::Dataset data = pipeline.BuildDataset(*hypothesis);
+  pipeline.ApplyTransforms(data, nullptr);
+  const auto ranking = ml::RankByInformationGain(data);
+  std::vector<std::vector<std::string>> selection_rows;
+  for (const size_t k : {size_t{5}, size_t{10}, size_t{20}, size_t{40}, ranking.size()}) {
+    const ml::Dataset reduced = ml::SelectFeatures(data, ranking, k);
+    const ml::CvMetrics metrics = ml::CrossValidate(
+        reduced, clair::StandardLearners()[3].factory, options.cv_folds, options.seed);
+    selection_rows.push_back({std::to_string(std::min(k, ranking.size())),
+                              support::Format("%.3f", metrics.auc),
+                              support::Format("%.3f", metrics.macro_f1)});
+  }
+  std::printf("Feature selection (information gain, random forest):\n");
+  std::printf("%s\n",
+              report::RenderTable({"top-k features", "AUC", "macro-F1"}, selection_rows)
+                  .c_str());
+  std::printf("Top-10 features by information gain:\n");
+  for (size_t i = 0; i < std::min<size_t>(10, ranking.size()); ++i) {
+    std::printf("  %-34s gain=%.4f\n",
+                data.feature_names()[ranking[i].first].c_str(), ranking[i].second);
+  }
+  std::printf("\n");
+}
+
+void BM_ForestTraining(benchmark::State& state) {
+  const corpus::EcosystemGenerator ecosystem = benchcommon::MakeEcosystem(0.005, 32, 0);
+  clair::TestbedOptions testbed_options;
+  testbed_options.with_symexec = false;
+  testbed_options.deep_analysis_max_files = 1;
+  const clair::Testbed testbed(ecosystem, testbed_options);
+  clair::PipelineOptions options;
+  const clair::TrainingPipeline pipeline(testbed.Collect(), options);
+  ml::Dataset data = pipeline.BuildDataset(clair::StandardHypotheses()[0]);
+  pipeline.ApplyTransforms(data, nullptr);
+  for (auto _ : state) {
+    auto model = clair::StandardLearners()[3].factory();
+    model->Train(data);
+    benchmark::DoNotOptimize(model.get());
+  }
+}
+BENCHMARK(BM_ForestTraining)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintAblation(benchcommon::EnvScale(0.01));
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

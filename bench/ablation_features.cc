@@ -1,0 +1,144 @@
+// Ablation (§4 "maybe more metrics?"): does a weighted aggregation of many
+// code properties beat LoC alone? Cross-validated AUC per feature family,
+// cumulatively enabled:
+//   loc-only -> +complexity (McCabe/Halstead/Shin) -> +smells/lint ->
+//   +callgraph -> +dataflow/taint -> +symbolic execution.
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+#include "src/clair/pipeline.h"
+#include "src/report/render.h"
+#include "src/support/strings.h"
+
+namespace {
+
+// Keeps only features whose name starts with one of `prefixes`.
+std::vector<clair::AppRecord> FilterFeatures(const std::vector<clair::AppRecord>& records,
+                                             const std::vector<std::string>& prefixes) {
+  std::vector<clair::AppRecord> out;
+  for (const auto& record : records) {
+    clair::AppRecord filtered;
+    filtered.name = record.name;
+    filtered.labels = record.labels;
+    for (const auto& [name, value] : record.features.values()) {
+      for (const auto& prefix : prefixes) {
+        if (name.rfind(prefix, 0) == 0) {
+          filtered.features.Set(name, value);
+          break;
+        }
+      }
+    }
+    out.push_back(std::move(filtered));
+  }
+  return out;
+}
+
+void PrintAblation(double scale) {
+  benchcommon::PrintHeader("Ablation: feature families",
+                           "is aggregating many noisy metrics better than LoC alone?");
+  const corpus::EcosystemGenerator ecosystem =
+      benchcommon::MakeEcosystem(scale, 164, 24);
+  clair::TestbedOptions testbed_options;
+  testbed_options.deep_analysis_max_files = 1;
+  const clair::Testbed testbed(ecosystem, testbed_options);
+  const auto records = testbed.Collect();
+
+  struct Family {
+    const char* label;
+    std::vector<std::string> prefixes;
+  };
+  // Cumulative families.
+  std::vector<Family> families = {
+      {"loc only", {"loc."}},
+      {"+complexity", {"loc.", "mccabe.", "halstead.", "shin.", "nesting."}},
+      {"+smells/lint", {"loc.", "mccabe.", "halstead.", "shin.", "nesting.", "smell.",
+                        "lint."}},
+      {"+callgraph", {"loc.", "mccabe.", "halstead.", "shin.", "nesting.", "smell.",
+                      "lint.", "callgraph.", "lang.", "app."}},
+      {"+dataflow/AI", {"loc.", "mccabe.", "halstead.", "shin.", "nesting.", "smell.",
+                        "lint.", "callgraph.", "lang.", "app.", "dataflow.", "ai."}},
+      {"+symbolic (all)", {""}},  // Empty prefix matches everything.
+  };
+  // Density hypotheses: vulnerability-profile questions that report volume
+  // (and therefore plain size) cannot answer — the regime where the paper
+  // expects multi-metric aggregation to pay off.
+  const std::vector<std::string> hypothesis_ids = {"net_dominant", "mem_dominant",
+                                                   "high_sev_share"};
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& family : families) {
+    const auto filtered = FilterFeatures(records, family.prefixes);
+    clair::PipelineOptions options;
+    options.cv_folds = 10;
+    const clair::TrainingPipeline pipeline(filtered, options);
+    std::vector<std::string> row = {family.label,
+                                    std::to_string(pipeline.feature_names().size())};
+    for (const auto& id : hypothesis_ids) {
+      const clair::Hypothesis* hypothesis = clair::FindHypothesis(id);
+      const auto report = pipeline.EvaluateHypothesis(*hypothesis);
+      row.push_back(support::Format("%.3f", report.best.auc));
+    }
+    rows.push_back(std::move(row));
+  }
+  std::vector<std::string> header = {"feature set", "#features"};
+  for (const auto& id : hypothesis_ids) {
+    header.push_back("AUC " + id);
+  }
+  std::printf("%s\n", report::RenderTable(header, rows).c_str());
+
+  // The headline quantitative comparison: predicting the NUMBER of
+  // vulnerabilities (log10), LoC-only vs richer families — against Figure
+  // 2's R² ≈ 24.66% LoC baseline.
+  std::printf("Vulnerability-count regression (CV R², target log10(1+vulns)):\n");
+  std::vector<std::vector<std::string>> reg_rows;
+  for (const auto& family : families) {
+    const auto filtered = FilterFeatures(records, family.prefixes);
+    clair::PipelineOptions options;
+    options.cv_folds = 10;
+    const clair::TrainingPipeline pipeline(filtered, options);
+    std::vector<std::string> row = {family.label};
+    for (const auto& outcome : pipeline.EvaluateCountRegression()) {
+      row.push_back(support::Format("%.3f", outcome.metrics.r_squared));
+    }
+    reg_rows.push_back(std::move(row));
+  }
+  std::printf("%s\n", report::RenderTable({"feature set", "R2 ols", "R2 ridge",
+                                           "R2 forest"},
+                                          reg_rows)
+                          .c_str());
+  std::printf(
+      "paper's Figure-2 baseline: LoC alone explains ~25%% of log-vuln variance; the\n"
+      "aggregated feature vector should explain substantially more (the recoverable\n"
+      "style signal), while latent maturity + noise bound the ceiling.\n\n");
+
+  std::printf(
+      "paper's position (§4): \"a weighted aggregation of multiple metrics can provide\n"
+      "a more precise estimation\". On profile questions like these, LoC alone has no\n"
+      "mechanism to answer (size says nothing about WHERE vulnerabilities cluster);\n"
+      "the richer families carry the taint/unsafety signal. Note the contrast with\n"
+      "any-X hypotheses (fig4_training): those saturate with report volume, so plain\n"
+      "size is already competitive there — LoC's one genuine strength.\n\n");
+}
+
+void BM_FilterFeatures(benchmark::State& state) {
+  const corpus::EcosystemGenerator ecosystem = benchcommon::MakeEcosystem(0.005, 16, 0);
+  clair::TestbedOptions testbed_options;
+  testbed_options.with_symexec = false;
+  testbed_options.deep_analysis_max_files = 1;
+  const clair::Testbed testbed(ecosystem, testbed_options);
+  const auto records = testbed.Collect();
+  for (auto _ : state) {
+    auto filtered = FilterFeatures(records, {"loc.", "mccabe."});
+    benchmark::DoNotOptimize(filtered.size());
+  }
+}
+BENCHMARK(BM_FilterFeatures);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintAblation(benchcommon::EnvScale(0.01));
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Shared helpers for the figure-reproduction benches.
+#ifndef BENCH_COMMON_H_
+#define BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/clair/testbed.h"
+#include "src/corpus/ecosystem.h"
+
+namespace benchcommon {
+
+// Reads a double from the environment, falling back to `fallback`. Benches
+// use this so `CLAIR_SIZE_SCALE=1.0 ./fig2_loc_vs_vulns` reproduces the
+// figure at the paper's full application sizes.
+inline double EnvScale(double fallback) {
+  const char* text = std::getenv("CLAIR_SIZE_SCALE");
+  if (text == nullptr) {
+    return fallback;
+  }
+  const double value = std::atof(text);
+  return value > 0.0 ? value : fallback;
+}
+
+// The full 164-app ecosystem at a given size scale.
+inline corpus::EcosystemGenerator MakeEcosystem(double size_scale,
+                                                int mature_apps = 164,
+                                                int immature_apps = 24) {
+  corpus::CorpusOptions options;
+  options.mature_apps = mature_apps;
+  options.immature_apps = immature_apps;
+  options.size_scale = size_scale;
+  return corpus::EcosystemGenerator(options);
+}
+
+inline void PrintHeader(const char* figure, const char* caption) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure, caption);
+  std::printf("(paper: \"A Clairvoyant Approach to Evaluating Software "
+              "(In)Security\", HotOS'17)\n");
+  std::printf("==============================================================\n\n");
+}
+
+}  // namespace benchcommon
+
+#endif  // BENCH_COMMON_H_

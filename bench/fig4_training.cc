@@ -1,0 +1,124 @@
+// Figure 4: the training phase of the security-evaluation model.
+//
+//   CVE database -> converging-history selection -> static-analysis code
+//   properties -> CVE hypotheses (CVSS>7? AV=N? CWE=121? ...) -> machine
+//   learning with cross-validation -> trained weights.
+//
+// This bench runs the whole phase over the 164-app corpus and prints, per
+// hypothesis, each learner's 10-fold CV quality plus the trained model's
+// most important code properties — the "weights" of Figure 4.
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+#include "src/clair/pipeline.h"
+#include "src/report/render.h"
+#include "src/support/strings.h"
+
+namespace {
+
+void PrintFigure(double scale) {
+  benchcommon::PrintHeader("Figure 4", "the training phase of the security model");
+  const corpus::EcosystemGenerator ecosystem =
+      benchcommon::MakeEcosystem(scale, 164, 24);
+  clair::TestbedOptions testbed_options;
+  testbed_options.deep_analysis_max_files = 1;
+  const clair::Testbed testbed(ecosystem, testbed_options);
+  const auto records = testbed.Collect();
+  std::printf("CVE database: %zu records over %d applications\n",
+              ecosystem.database().size(), 164 + 24);
+  std::printf("selected (>=5y converging history): %zu applications\n", records.size());
+
+  clair::PipelineOptions pipeline_options;
+  pipeline_options.cv_folds = 10;
+  const clair::TrainingPipeline pipeline(records, pipeline_options);
+  std::printf("feature vector: %zu code properties per application\n\n",
+              pipeline.feature_names().size());
+
+  const auto reports = pipeline.EvaluateAll();
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& report : reports) {
+    for (const auto& outcome : report.per_learner) {
+      rows.push_back({
+          report.hypothesis_id,
+          outcome.learner,
+          support::Format("%.3f", outcome.metrics.accuracy),
+          support::Format("%.3f", outcome.metrics.macro_f1),
+          support::Format("%.3f", outcome.metrics.auc),
+          outcome.learner == report.best_learner ? "<= best" : "",
+      });
+    }
+  }
+  std::printf("%s\n",
+              report::RenderTable(
+                  {"hypothesis", "learner", "accuracy", "macro-F1", "AUC", ""}, rows)
+                  .c_str());
+
+  std::printf("Hypothesis base rates and best models:\n");
+  std::vector<std::vector<std::string>> summary_rows;
+  for (const auto& report : reports) {
+    summary_rows.push_back({
+        report.hypothesis_id,
+        support::Format("%.0f%%", 100.0 * report.positive_rate),
+        report.best_learner,
+        support::Format("%.3f", report.best.auc),
+    });
+  }
+  std::printf("%s\n", report::RenderTable({"hypothesis", "positive rate", "best learner",
+                                           "best AUC"},
+                                          summary_rows)
+                          .c_str());
+
+  std::printf("Trained weights — top code properties per hypothesis (Fig 4's W):\n");
+  for (const auto& report : reports) {
+    std::printf("  %-18s:", report.hypothesis_id.c_str());
+    const size_t n = std::min<size_t>(4, report.top_features.size());
+    for (size_t i = 0; i < n; ++i) {
+      std::printf(" %s", report.top_features[i].first.c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\npaper: framework proposal — AUC > 0.5 on style-driven hypotheses shows code\n"
+      "properties carry recoverable vulnerability signal, while hypotheses driven by\n"
+      "latent maturity stay near chance (the irreducible noise the paper anticipates).\n\n");
+}
+
+void BM_CrossValidateOneHypothesis(benchmark::State& state) {
+  const corpus::EcosystemGenerator ecosystem = benchcommon::MakeEcosystem(0.005, 32, 0);
+  clair::TestbedOptions testbed_options;
+  testbed_options.deep_analysis_max_files = 1;
+  testbed_options.with_symexec = false;
+  const clair::Testbed testbed(ecosystem, testbed_options);
+  const auto records = testbed.Collect();
+  clair::PipelineOptions options;
+  options.cv_folds = 5;
+  const clair::TrainingPipeline pipeline(records, options);
+  const auto& hypothesis = clair::StandardHypotheses()[0];
+  for (auto _ : state) {
+    const auto report = pipeline.EvaluateHypothesis(hypothesis);
+    benchmark::DoNotOptimize(report.best.accuracy);
+  }
+}
+BENCHMARK(BM_CrossValidateOneHypothesis)->Unit(benchmark::kMillisecond);
+
+void BM_FeatureExtractionPerApp(benchmark::State& state) {
+  const corpus::EcosystemGenerator ecosystem = benchcommon::MakeEcosystem(0.01, 4, 0);
+  clair::TestbedOptions testbed_options;
+  testbed_options.deep_analysis_max_files = 1;
+  const clair::Testbed testbed(ecosystem, testbed_options);
+  const auto files = ecosystem.GenerateSources(ecosystem.specs()[0]);
+  for (auto _ : state) {
+    const auto features = testbed.ExtractFeatures(files);
+    benchmark::DoNotOptimize(features.size());
+  }
+}
+BENCHMARK(BM_FeatureExtractionPerApp)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure(benchcommon::EnvScale(0.01));
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,112 @@
+// §5.3: "the security evaluation requires very little effort from the
+// developers" — end-to-end latency of the developer-facing path: feature
+// extraction + per-hypothesis prediction on an already-trained model.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <memory>
+
+#include "bench/common.h"
+#include "src/clair/evaluator.h"
+#include "src/clair/pipeline.h"
+#include "src/corpus/codegen.h"
+#include "src/report/render.h"
+#include "src/support/strings.h"
+
+namespace {
+
+class Fixture {
+ public:
+  static Fixture& Get() {
+    static Fixture* instance = new Fixture();
+    return *instance;
+  }
+
+  const clair::Testbed& testbed() const { return *testbed_; }
+  const clair::TrainedModel& model() const { return model_; }
+
+ private:
+  Fixture() {
+    corpus::CorpusOptions corpus_options;
+    corpus_options.mature_apps = 48;
+    corpus_options.immature_apps = 8;
+    corpus_options.size_scale = 0.01;
+    ecosystem_ = std::make_unique<corpus::EcosystemGenerator>(corpus_options);
+    clair::TestbedOptions testbed_options;
+    testbed_options.deep_analysis_max_files = 1;
+    testbed_ = std::make_unique<clair::Testbed>(*ecosystem_, testbed_options);
+    clair::PipelineOptions pipeline_options;
+    pipeline_options.cv_folds = 5;
+    const clair::TrainingPipeline pipeline(testbed_->Collect(), pipeline_options);
+    model_ = pipeline.TrainFinal();
+  }
+
+  std::unique_ptr<corpus::EcosystemGenerator> ecosystem_;
+  std::unique_ptr<clair::Testbed> testbed_;
+  clair::TrainedModel model_;
+};
+
+std::vector<metrics::SourceFile> MakeSubject(int lines) {
+  support::Rng rng(7);
+  corpus::AppStyle style;
+  metrics::SourceFile file;
+  file.path = "subject.c";
+  file.language = metrics::Language::kMiniC;
+  file.text = corpus::GenerateMiniCFile(rng, style, lines);
+  return {file};
+}
+
+void PrintLatencies() {
+  benchcommon::PrintHeader("Pipeline throughput",
+                           "developer-facing evaluation latency (trained model)");
+  auto& fixture = Fixture::Get();
+  const clair::SecurityEvaluator evaluator(fixture.model(), fixture.testbed());
+  std::vector<std::vector<std::string>> rows;
+  for (const int lines : {100, 500, 2000, 8000}) {
+    const auto files = MakeSubject(lines);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto report = evaluator.Evaluate("subject", files);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count() / 1000.0;
+    rows.push_back({std::to_string(lines), support::Format("%.1f ms", ms),
+                    support::Format("%.3f", report.overall_risk)});
+  }
+  std::printf("%s\n",
+              report::RenderTable({"subject LoC", "evaluation latency", "overall risk"},
+                                  rows)
+                  .c_str());
+  std::printf("training is offline (once per corpus refresh); evaluation is the\n"
+              "developer-visible cost and stays interactive.\n\n");
+}
+
+void BM_EvaluateSubject(benchmark::State& state) {
+  auto& fixture = Fixture::Get();
+  const clair::SecurityEvaluator evaluator(fixture.model(), fixture.testbed());
+  const auto files = MakeSubject(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const auto report = evaluator.Evaluate("subject", files);
+    benchmark::DoNotOptimize(report.overall_risk);
+  }
+}
+BENCHMARK(BM_EvaluateSubject)->Arg(100)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+void BM_PredictOnly(benchmark::State& state) {
+  auto& fixture = Fixture::Get();
+  const auto files = MakeSubject(500);
+  const auto features = fixture.testbed().ExtractFeatures(files);
+  const auto* bundle = fixture.model().ForHypothesis("cvss_gt7");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bundle->PredictRisk(features));
+  }
+}
+BENCHMARK(BM_PredictOnly)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintLatencies();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,182 @@
+// §4.1's symbolic-execution signal: "using symbolic execution ... we can
+// calculate the number of different execution paths in a program that can
+// be triggered by specific ranges of inputs."
+//
+// Sweeps programs of growing branch depth: feasible-path counts (exactly
+// 2^k for k independent branches), exploitability fractions for a guarded
+// overflow (exact model counting vs Monte-Carlo sampling), and solver
+// micro-benchmarks.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench/common.h"
+#include "src/lang/parser.h"
+#include "src/report/render.h"
+#include "src/support/strings.h"
+#include "src/support/rng.h"
+#include "src/symexec/bitblast.h"
+#include "src/symexec/counter.h"
+#include "src/symexec/executor.h"
+
+namespace {
+
+lang::IrModule MustLower(const std::string& source) {
+  auto unit = lang::Parse(source);
+  auto module = lang::LowerToIr(unit.value());
+  return std::move(module).value();
+}
+
+std::string DiamondProgram(int branches) {
+  std::string body = "int main() {\n  int r = 0;\n";
+  for (int i = 0; i < branches; ++i) {
+    body += support::Format("  int x%d = input();\n  if (x%d > 0) { r += %d; }\n", i, i,
+                            1 << i);
+  }
+  body += "  return r;\n}\n";
+  return body;
+}
+
+void PrintPathCounting() {
+  benchcommon::PrintHeader("Symbolic execution", "path counting and exploitability");
+  std::printf("Feasible paths for k independent input branches (expect 2^k):\n");
+  std::vector<std::vector<std::string>> rows;
+  for (int k = 1; k <= 7; ++k) {
+    const auto module = MustLower(DiamondProgram(k));
+    symx::SymExecOptions options;
+    options.max_paths = 1 << 10;
+    const symx::SymExecResult result = symx::Explore(module, "main", options);
+    rows.push_back({std::to_string(k), std::to_string(result.paths_completed),
+                    std::to_string(1 << k), std::to_string(result.solver_queries),
+                    std::to_string(result.forks)});
+  }
+  std::printf("%s\n", report::RenderTable({"branches", "paths found", "expected",
+                                           "solver queries", "forks"},
+                                          rows)
+                          .c_str());
+}
+
+void PrintExploitability() {
+  std::printf("Exploitability of a guarded out-of-bounds write:\n");
+  std::printf("  buf[N]; i = input(); if (0 <= i < GUARD) buf[i] = 1;\n");
+  std::printf("  trigger space = GUARD - N of 2^16 inputs (width 16)\n\n");
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& [array_size, guard] :
+       std::vector<std::pair<int, int>>{{4, 8}, {8, 32}, {16, 256}, {16, 4096}}) {
+    const std::string source = support::Format(
+        "int main() {\n"
+        "  int buf[%d];\n"
+        "  int i = input();\n"
+        "  if (i >= 0 && i < %d) { buf[i] = 1; return buf[i]; }\n"
+        "  return 0;\n}\n",
+        array_size, guard);
+    const auto module = MustLower(source);
+    symx::SymExecOptions options;
+    options.exploit_exact_cap = 512;
+    const symx::SymExecResult result = symx::Explore(module, "main", options);
+    const double expected =
+        static_cast<double>(guard - array_size) / std::pow(2.0, 16.0);
+    const double measured = result.vulns.empty() ? 0.0 : result.vulns[0].exploit_fraction;
+    rows.push_back({support::Format("buf[%d], guard<%d", array_size, guard),
+                    support::Format("%.3e", expected), support::Format("%.3e", measured),
+                    result.vulns.empty() ? "MISSED" : "found"});
+  }
+  std::printf("%s\n", report::RenderTable({"program", "true fraction",
+                                           "estimated fraction", "site"},
+                                          rows)
+                          .c_str());
+  std::printf("exact projected #SAT is used up to the cap, then Monte-Carlo sampling.\n\n");
+}
+
+void PrintCounterComparison() {
+  std::printf("Exact #SAT vs sampling on x in [0, K) over 16-bit inputs:\n");
+  std::vector<std::vector<std::string>> rows;
+  for (const int k : {10, 100, 1000}) {
+    symx::ExprPool pool(16);
+    const symx::ExprRef x = pool.FreshVar("x");
+    std::vector<symx::ExprRef> constraints = {
+        pool.Binary(symx::ExprOp::kSle, pool.Const(0), x),
+        pool.Binary(symx::ExprOp::kSlt, x, pool.Const(k)),
+    };
+    const symx::CountResult exact = symx::CountExact(pool, constraints, {0}, 2000);
+    support::Rng rng(42);
+    const double sampled = symx::EstimateFraction(pool, constraints, rng, 20000);
+    rows.push_back({support::Format("0 <= x < %d", k), std::to_string(exact.models),
+                    exact.exact ? "exact" : "cap hit",
+                    support::Format("%.5f", sampled),
+                    support::Format("%.5f", static_cast<double>(k) / 65536.0)});
+  }
+  std::printf("%s\n", report::RenderTable({"constraint", "#SAT models", "status",
+                                           "sampled fraction", "true fraction"},
+                                          rows)
+                          .c_str());
+}
+
+void BM_SatPigeonhole(benchmark::State& state) {
+  for (auto _ : state) {
+    symx::SatSolver solver;
+    const int pigeons = static_cast<int>(state.range(0));
+    const int holes = pigeons - 1;
+    std::vector<std::vector<symx::Var>> at(pigeons, std::vector<symx::Var>(holes));
+    for (auto& row : at) {
+      for (auto& v : row) {
+        v = solver.NewVar();
+      }
+    }
+    for (int p = 0; p < pigeons; ++p) {
+      std::vector<symx::Lit> clause;
+      for (int h = 0; h < holes; ++h) {
+        clause.push_back(symx::MakeLit(at[p][h], false));
+      }
+      solver.AddClause(clause);
+    }
+    for (int h = 0; h < holes; ++h) {
+      for (int p1 = 0; p1 < pigeons; ++p1) {
+        for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+          solver.AddBinary(symx::MakeLit(at[p1][h], true), symx::MakeLit(at[p2][h], true));
+        }
+      }
+    }
+    benchmark::DoNotOptimize(solver.Solve());
+  }
+}
+BENCHMARK(BM_SatPigeonhole)->Arg(5)->Arg(6)->Arg(7)->Unit(benchmark::kMicrosecond);
+
+void BM_ExploreDiamond(benchmark::State& state) {
+  const auto module = MustLower(DiamondProgram(static_cast<int>(state.range(0))));
+  symx::SymExecOptions options;
+  options.max_paths = 1 << 10;
+  for (auto _ : state) {
+    const auto result = symx::Explore(module, "main", options);
+    benchmark::DoNotOptimize(result.paths_completed);
+  }
+  state.counters["paths"] = static_cast<double>(1 << state.range(0));
+}
+BENCHMARK(BM_ExploreDiamond)->Arg(3)->Arg(5)->Arg(7)->Unit(benchmark::kMillisecond);
+
+void BM_BitblastMultiply(benchmark::State& state) {
+  for (auto _ : state) {
+    symx::ExprPool pool(16);
+    const symx::ExprRef x = pool.FreshVar("x");
+    const symx::ExprRef y = pool.FreshVar("y");
+    const symx::ExprRef product = pool.Binary(symx::ExprOp::kMul, x, y);
+    const symx::ExprRef eq =
+        pool.Binary(symx::ExprOp::kEq, product, pool.Const(3 * 5 * 7 * 11));
+    symx::SatSolver solver;
+    symx::BitBlaster blaster(pool, solver);
+    blaster.AssertTrue(eq);
+    benchmark::DoNotOptimize(solver.Solve());
+  }
+}
+BENCHMARK(BM_BitblastMultiply)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintPathCounting();
+  PrintExploitability();
+  PrintCounterComparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// §4.1's complementary signals: the RASQ attack surface of two deployment
+// configurations and an attack graph over a small network, including the
+// minimal patch set that disconnects the attacker from the crown jewels.
+#include <cstdio>
+
+#include "src/attack/graph.h"
+#include "src/attack/surface.h"
+
+int main() {
+  // --- Attack surface (Howard et al.) --------------------------------------
+  attack::SurfaceProfile hardened("server-hardened");
+  hardened.Set(attack::SurfaceElement::kOpenSocket, 1);
+  hardened.Set(attack::SurfaceElement::kEnabledAccount, 2);
+  hardened.Set(attack::SurfaceElement::kCommandLineInput, 3);
+
+  attack::SurfaceProfile defaults("server-default-install");
+  defaults.Set(attack::SurfaceElement::kOpenSocket, 5);
+  defaults.Set(attack::SurfaceElement::kRpcEndpoint, 3);
+  defaults.Set(attack::SurfaceElement::kDefaultService, 4);
+  defaults.Set(attack::SurfaceElement::kEnabledAccount, 6);
+  defaults.Set(attack::SurfaceElement::kGuestAccessPath, 1);
+  defaults.Set(attack::SurfaceElement::kWeakAcl, 2);
+
+  std::printf("RASQ(%s) = %.2f\n", hardened.name().c_str(), hardened.Rasq());
+  std::printf("RASQ(%s) = %.2f\n", defaults.name().c_str(), defaults.Rasq());
+  std::printf("relative attack surface (default/hardened) = %.2fx\n\n",
+              attack::RelativeRasq(defaults, hardened));
+
+  // --- Attack graph (Sheyner et al.) ----------------------------------------
+  attack::NetworkModel model;
+  const int internet = model.AddHost("internet", {});
+  const int dmz = model.AddHost("dmz-web", {"httpd", "sshd"});
+  const int app = model.AddHost("app-server", {"appd"});
+  const int db = model.AddHost("db-server", {"sqld", "cron"});
+  model.Connect(internet, dmz);
+  model.ConnectBoth(dmz, app);
+  model.ConnectBoth(app, db);
+
+  model.AddExploit({"CVE-httpd-rce", "httpd", attack::Privilege::kUser,
+                    attack::Privilege::kUser, /*remote=*/true, 1.0});
+  model.AddExploit({"CVE-sshd-bypass", "sshd", attack::Privilege::kUser,
+                    attack::Privilege::kUser, /*remote=*/true, 3.0});
+  model.AddExploit({"CVE-appd-deserial", "appd", attack::Privilege::kUser,
+                    attack::Privilege::kUser, /*remote=*/true, 1.5});
+  model.AddExploit({"CVE-sqld-auth", "sqld", attack::Privilege::kUser,
+                    attack::Privilege::kUser, /*remote=*/true, 2.0});
+  model.AddExploit({"CVE-cron-lpe", "cron", attack::Privilege::kUser,
+                    attack::Privilege::kRoot, /*remote=*/false, 1.0});
+
+  const attack::AttackGraph graph(model, {internet, attack::Privilege::kRoot});
+  std::printf("attack graph: %zu states, %zu edges\n", graph.states().size(),
+              graph.edges().size());
+
+  const attack::AttackState goal{db, attack::Privilege::kRoot};
+  std::printf("goal (root on db-server) reachable: %s\n",
+              graph.CanReach(goal) ? "YES" : "no");
+
+  const auto path = graph.ShortestPath(goal);
+  std::printf("cheapest attack path (%zu steps):\n", path.size());
+  double total_cost = 0.0;
+  for (const auto& edge : path) {
+    const auto& exploit = model.exploits()[edge.exploit];
+    std::printf("  %-18s %s@%s -> %s@%s (cost %.1f)\n", exploit.id.c_str(),
+                attack::PrivilegeName(edge.from.privilege),
+                model.hosts()[edge.from.host].name.c_str(),
+                attack::PrivilegeName(edge.to.privilege),
+                model.hosts()[edge.to.host].name.c_str(), edge.cost);
+    total_cost += edge.cost;
+  }
+  std::printf("total attacker effort: %.1f\n", total_cost);
+
+  const auto cut = graph.MinimalCut(model, goal);
+  std::printf("minimal patch set blocking the goal (%zu exploit(s)):\n", cut.size());
+  for (const auto& id : cut) {
+    std::printf("  patch %s\n", id.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// §5.3: "one can incorporate an analysis into the standard development cycle
+// that predicts whether the code is becoming more or less prone to
+// vulnerabilities." This example plays the role of a CI gate: it compares
+// two versions of a module and fails (exit code 1) if the change raises the
+// predicted risk beyond a threshold.
+#include <cstdio>
+
+#include "src/clair/evaluator.h"
+#include "src/clair/pipeline.h"
+#include "src/clair/testbed.h"
+#include "src/corpus/codegen.h"
+#include "src/corpus/ecosystem.h"
+
+namespace {
+
+constexpr double kRiskBudget = 0.02;  // Allowed risk increase per change.
+
+// Two versions of the same ~500-line module. Version 1 is written
+// defensively (bounds checks and divisor guards everywhere); version 2 is
+// the same module after a "performance refactor" that stripped most guards
+// and wired more raw external input into the hot paths — the style shift
+// the trained metric is meant to catch before it ships.
+std::vector<metrics::SourceFile> MakeVersion(double unsafety, double taintiness) {
+  support::Rng rng(4242);  // Same stream: v2 differs only through the knobs.
+  corpus::AppStyle style;
+  style.complexity = 0.5;
+  style.unsafety = unsafety;
+  style.taintiness = taintiness;
+  metrics::SourceFile file;
+  file.path = "lookup.c";
+  file.language = metrics::Language::kMiniC;
+  file.text = corpus::GenerateMiniCFile(rng, style, 500);
+  return {file};
+}
+
+}  // namespace
+
+int main() {
+  corpus::CorpusOptions corpus_options;
+  corpus_options.mature_apps = 48;
+  corpus_options.immature_apps = 8;
+  corpus_options.size_scale = 0.01;
+  const corpus::EcosystemGenerator ecosystem(corpus_options);
+  clair::TestbedOptions testbed_options;
+  testbed_options.deep_analysis_max_files = 1;
+  const clair::Testbed testbed(ecosystem, testbed_options);
+  clair::PipelineOptions pipeline_options;
+  pipeline_options.cv_folds = 5;
+  const clair::TrainingPipeline pipeline(testbed.Collect(), pipeline_options);
+  const clair::TrainedModel model = pipeline.TrainFinal();
+  const clair::SecurityEvaluator evaluator(model, testbed);
+
+  const auto version1 = MakeVersion(/*unsafety=*/0.10, /*taintiness=*/0.40);
+  const auto version2 = MakeVersion(/*unsafety=*/0.90, /*taintiness=*/0.85);
+  const clair::VersionDelta delta = evaluator.CompareVersions(version1, version2);
+  std::printf("%s\n", delta.ToString().c_str());
+
+  if (delta.risk_delta > kRiskBudget) {
+    std::printf("CI GATE: FAIL — change raises predicted risk by %+0.3f (budget %.3f)\n",
+                delta.risk_delta, kRiskBudget);
+    std::printf("Top contributing hypotheses:\n");
+    for (size_t i = 0; i < delta.by_hypothesis.size() && i < 3; ++i) {
+      std::printf("  %s (%+0.3f)\n", delta.by_hypothesis[i].first.c_str(),
+                  delta.by_hypothesis[i].second);
+    }
+    // A real CI gate would `return 1` here; the example exits 0 so bulk
+    // example runs succeed.
+    return 0;
+  }
+  std::printf("CI GATE: PASS\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// The paper's §1 motivating scenario: "in selecting between two library
+// implementations for use in a web service, our proposed metric would
+// identify which is less likely to have vulnerabilities."
+//
+// Trains the metric, then ranks three synthetic parser libraries whose
+// coding styles range from defensive to reckless.
+#include <cstdio>
+
+#include "src/clair/evaluator.h"
+#include "src/clair/pipeline.h"
+#include "src/clair/testbed.h"
+#include "src/corpus/codegen.h"
+#include "src/corpus/ecosystem.h"
+
+namespace {
+
+std::vector<metrics::SourceFile> MakeLibrary(const corpus::AppStyle& style, uint64_t seed,
+                                             const char* name) {
+  support::Rng rng(seed);
+  std::vector<metrics::SourceFile> files;
+  for (int i = 0; i < 3; ++i) {
+    metrics::SourceFile file;
+    file.path = std::string(name) + "/src/part" + std::to_string(i) + ".c";
+    file.language = metrics::Language::kMiniC;
+    file.text = corpus::GenerateMiniCFile(rng, style, 400);
+    files.push_back(std::move(file));
+  }
+  return files;
+}
+
+}  // namespace
+
+int main() {
+  corpus::CorpusOptions corpus_options;
+  corpus_options.mature_apps = 48;
+  corpus_options.immature_apps = 8;
+  corpus_options.size_scale = 0.01;
+  const corpus::EcosystemGenerator ecosystem(corpus_options);
+  clair::TestbedOptions testbed_options;
+  testbed_options.deep_analysis_max_files = 1;
+  const clair::Testbed testbed(ecosystem, testbed_options);
+  clair::PipelineOptions pipeline_options;
+  pipeline_options.cv_folds = 5;
+  const clair::TrainingPipeline pipeline(testbed.Collect(), pipeline_options);
+  const clair::TrainedModel model = pipeline.TrainFinal();
+  const clair::SecurityEvaluator evaluator(model, testbed);
+
+  corpus::AppStyle defensive;
+  defensive.complexity = 0.2;
+  defensive.unsafety = 0.05;
+  defensive.taintiness = 0.3;
+  corpus::AppStyle average;
+  average.complexity = 0.5;
+  average.unsafety = 0.5;
+  average.taintiness = 0.5;
+  corpus::AppStyle reckless;
+  reckless.complexity = 0.9;
+  reckless.unsafety = 0.95;
+  reckless.taintiness = 0.9;
+
+  const auto ranked = evaluator.RankLibraries({
+      {"parse-fast (reckless style)", MakeLibrary(reckless, 7, "parse-fast")},
+      {"parse-solid (defensive style)", MakeLibrary(defensive, 7, "parse-solid")},
+      {"parse-plain (average style)", MakeLibrary(average, 7, "parse-plain")},
+  });
+
+  std::printf("Library ranking (least risky first):\n");
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    std::printf("  %zu. %-30s overall risk %.3f\n", i + 1, ranked[i].subject.c_str(),
+                ranked[i].overall_risk);
+  }
+  std::printf("\nDetailed report for the recommended library:\n%s",
+              ranked.front().ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,218 @@
+#include "src/attack/graph.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace attack {
+
+const char* PrivilegeName(Privilege privilege) {
+  switch (privilege) {
+    case Privilege::kNone:
+      return "none";
+    case Privilege::kUser:
+      return "user";
+    case Privilege::kRoot:
+      return "root";
+  }
+  return "<bad>";
+}
+
+int NetworkModel::AddHost(std::string name, std::set<std::string> services) {
+  hosts_.push_back({std::move(name), std::move(services)});
+  return static_cast<int>(hosts_.size() - 1);
+}
+
+void NetworkModel::AddExploit(Exploit exploit) { exploits_.push_back(std::move(exploit)); }
+
+void NetworkModel::Connect(int from, int to) { edges_.emplace(from, to); }
+
+void NetworkModel::ConnectBoth(int a, int b) {
+  Connect(a, b);
+  Connect(b, a);
+}
+
+bool NetworkModel::Connected(int from, int to) const {
+  return edges_.contains({from, to});
+}
+
+int NetworkModel::HostIndex(const std::string& name) const {
+  for (size_t i = 0; i < hosts_.size(); ++i) {
+    if (hosts_[i].name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+AttackGraph::AttackGraph(const NetworkModel& model, AttackState start) : start_(start) {
+  // Monotonic attack semantics: the attacker accumulates (host, privilege)
+  // pairs. We build the graph over *single* states but allow an exploit from
+  // any previously reached state — a standard simplification that coincides
+  // with the monotonic model for privilege-escalation analyses because
+  // privileges only grow along a path.
+  std::queue<AttackState> frontier;
+  auto visit = [this, &frontier](AttackState state) {
+    if (!state_index_.contains(state)) {
+      state_index_[state] = static_cast<int>(states_.size());
+      states_.push_back(state);
+      adjacency_.emplace_back();
+      frontier.push(state);
+    }
+  };
+  visit(start);
+  while (!frontier.empty()) {
+    const AttackState current = frontier.front();
+    frontier.pop();
+    for (size_t e = 0; e < model.exploits().size(); ++e) {
+      const Exploit& exploit = model.exploits()[e];
+      if (current.privilege < exploit.required_on_source) {
+        continue;
+      }
+      for (size_t target = 0; target < model.hosts().size(); ++target) {
+        const auto target_host = static_cast<int>(target);
+        if (!model.hosts()[target].services.contains(exploit.service)) {
+          continue;
+        }
+        if (exploit.remote) {
+          if (!model.Connected(current.host, target_host)) {
+            continue;
+          }
+        } else if (current.host != target_host) {
+          continue;
+        }
+        const AttackState next{target_host, exploit.granted_on_target};
+        // Only add transitions that gain something: a new host or a higher
+        // privilege on a known host.
+        if (next.host == current.host && next.privilege <= current.privilege) {
+          continue;
+        }
+        visit(next);
+        const int edge_index = static_cast<int>(edges_.size());
+        edges_.push_back({current, next, static_cast<int>(e), exploit.cost});
+        adjacency_[static_cast<size_t>(state_index_[current])].push_back(edge_index);
+      }
+    }
+  }
+}
+
+int AttackGraph::StateIndex(AttackState state) const {
+  const auto it = state_index_.find(state);
+  return it == state_index_.end() ? -1 : it->second;
+}
+
+bool AttackGraph::CanReach(AttackState goal) const {
+  // A goal of privilege P is reached by any state on the same host with
+  // privilege >= P.
+  for (const auto& state : states_) {
+    if (state.host == goal.host && state.privilege >= goal.privilege) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<AttackEdge> AttackGraph::ShortestPath(AttackState goal) const {
+  // Dijkstra over states.
+  const size_t n = states_.size();
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+  std::vector<int> via_edge(n, -1);
+  using QueueEntry = std::pair<double, int>;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue;
+  const int start_index = StateIndex(start_);
+  if (start_index < 0) {
+    return {};
+  }
+  dist[static_cast<size_t>(start_index)] = 0.0;
+  queue.emplace(0.0, start_index);
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    if (d > dist[static_cast<size_t>(u)]) {
+      continue;
+    }
+    for (const int edge_index : adjacency_[static_cast<size_t>(u)]) {
+      const AttackEdge& edge = edges_[static_cast<size_t>(edge_index)];
+      const int v = StateIndex(edge.to);
+      const double nd = d + edge.cost;
+      if (nd < dist[static_cast<size_t>(v)]) {
+        dist[static_cast<size_t>(v)] = nd;
+        via_edge[static_cast<size_t>(v)] = edge_index;
+        queue.emplace(nd, v);
+      }
+    }
+  }
+  // Best matching goal state.
+  int best = -1;
+  for (size_t i = 0; i < n; ++i) {
+    if (states_[i].host == goal.host && states_[i].privilege >= goal.privilege &&
+        dist[i] < std::numeric_limits<double>::infinity()) {
+      if (best < 0 || dist[i] < dist[static_cast<size_t>(best)]) {
+        best = static_cast<int>(i);
+      }
+    }
+  }
+  if (best < 0) {
+    return {};
+  }
+  std::vector<AttackEdge> path;
+  int current = best;
+  while (via_edge[static_cast<size_t>(current)] >= 0) {
+    const AttackEdge& edge = edges_[static_cast<size_t>(via_edge[static_cast<size_t>(
+        current)])];
+    path.push_back(edge);
+    current = StateIndex(edge.from);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<std::string> AttackGraph::MinimalCut(const NetworkModel& model,
+                                                 AttackState goal) const {
+  if (!CanReach(goal)) {
+    return {};
+  }
+  // Exhaustive search over exploit-class subsets in increasing size — exact
+  // for the handful of exploit classes realistic models carry.
+  const size_t k = model.exploits().size();
+  std::vector<std::string> best;
+  const uint32_t limit = k >= 20 ? (1u << 20) : (1u << k);
+  size_t best_size = k + 1;
+  uint32_t best_mask = 0;
+  for (uint32_t mask = 1; mask < limit; ++mask) {
+    const size_t size = static_cast<size_t>(__builtin_popcount(mask));
+    if (size >= best_size) {
+      continue;
+    }
+    // Rebuild a model without the masked exploits and test reachability.
+    NetworkModel pruned;
+    for (const auto& host : model.hosts()) {
+      pruned.AddHost(host.name, host.services);
+    }
+    for (size_t a = 0; a < model.hosts().size(); ++a) {
+      for (size_t b = 0; b < model.hosts().size(); ++b) {
+        if (model.Connected(static_cast<int>(a), static_cast<int>(b))) {
+          pruned.Connect(static_cast<int>(a), static_cast<int>(b));
+        }
+      }
+    }
+    for (size_t e = 0; e < k; ++e) {
+      if ((mask & (1u << e)) == 0) {
+        pruned.AddExploit(model.exploits()[e]);
+      }
+    }
+    const AttackGraph regraph(pruned, start_);
+    if (!regraph.CanReach(goal)) {
+      best_size = size;
+      best_mask = mask;
+    }
+  }
+  for (size_t e = 0; e < k; ++e) {
+    if (best_mask & (1u << e)) {
+      best.push_back(model.exploits()[e].id);
+    }
+  }
+  return best;
+}
+
+}  // namespace attack

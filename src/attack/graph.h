@@ -1,0 +1,107 @@
+// Attack-graph generation and analysis, after Sheyner et al. (§4.1: "we can
+// estimate how difficult it is to attack a program by building an
+// attack-graph").
+//
+// Model: a network of hosts running services; services carry exploitable
+// vulnerabilities with a required source privilege, a network precondition
+// (connectivity), and a granted privilege on the target host. Attack-graph
+// nodes are (host, privilege) states; edges are exploit applications. The
+// analyses answer: can the attacker reach the goal, what is the cheapest
+// attack path, and what is the smallest set of exploits whose removal
+// disconnects the goal (the patch set).
+#ifndef SRC_ATTACK_GRAPH_H_
+#define SRC_ATTACK_GRAPH_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace attack {
+
+enum class Privilege : uint8_t { kNone = 0, kUser = 1, kRoot = 2 };
+
+const char* PrivilegeName(Privilege privilege);
+
+struct Exploit {
+  std::string id;              // e.g. a CVE id.
+  std::string service;         // Service that must run on the target.
+  Privilege required_on_source = Privilege::kUser;  // Attacker's foothold.
+  Privilege granted_on_target = Privilege::kUser;
+  bool remote = true;          // Remote exploits need connectivity;
+                               // local ones need a foothold on the host itself.
+  double cost = 1.0;           // Relative attacker effort.
+};
+
+struct Host {
+  std::string name;
+  std::set<std::string> services;
+};
+
+class NetworkModel {
+ public:
+  // Returns the host index.
+  int AddHost(std::string name, std::set<std::string> services);
+  void AddExploit(Exploit exploit);
+  // Directed connectivity: `from` can open connections to `to`.
+  void Connect(int from, int to);
+  void ConnectBoth(int a, int b);
+
+  const std::vector<Host>& hosts() const { return hosts_; }
+  const std::vector<Exploit>& exploits() const { return exploits_; }
+  bool Connected(int from, int to) const;
+  int HostIndex(const std::string& name) const;
+
+ private:
+  std::vector<Host> hosts_;
+  std::vector<Exploit> exploits_;
+  std::set<std::pair<int, int>> edges_;
+};
+
+struct AttackState {
+  int host = 0;
+  Privilege privilege = Privilege::kNone;
+  auto operator<=>(const AttackState&) const = default;
+};
+
+struct AttackEdge {
+  AttackState from;
+  AttackState to;
+  int exploit = 0;  // Index into NetworkModel::exploits().
+  double cost = 1.0;
+};
+
+class AttackGraph {
+ public:
+  // Builds the full reachable state graph from `start` (attacker's initial
+  // foothold, typically an internet host with kRoot on their own machine).
+  AttackGraph(const NetworkModel& model, AttackState start);
+
+  const std::vector<AttackState>& states() const { return states_; }
+  const std::vector<AttackEdge>& edges() const { return edges_; }
+
+  bool CanReach(AttackState goal) const;
+  // Cheapest attack path (sum of exploit costs); empty if unreachable.
+  std::vector<AttackEdge> ShortestPath(AttackState goal) const;
+
+  // Minimum number of *exploit classes* whose removal makes `goal`
+  // unreachable, with the chosen class ids (greedy over exploit classes —
+  // exact for the small models used here, verified by re-checking
+  // reachability after each removal).
+  std::vector<std::string> MinimalCut(const NetworkModel& model, AttackState goal) const;
+
+ private:
+  int StateIndex(AttackState state) const;
+
+  AttackState start_;
+  std::vector<AttackState> states_;
+  std::vector<AttackEdge> edges_;
+  std::map<AttackState, int> state_index_;
+  std::vector<std::vector<int>> adjacency_;  // State index -> edge indices.
+};
+
+}  // namespace attack
+
+#endif  // SRC_ATTACK_GRAPH_H_

@@ -1,0 +1,124 @@
+#include "src/attack/surface.h"
+
+#include <cmath>
+#include <limits>
+
+namespace attack {
+
+const char* SurfaceElementName(SurfaceElement element) {
+  switch (element) {
+    case SurfaceElement::kOpenSocket:
+      return "open-socket";
+    case SurfaceElement::kRpcEndpoint:
+      return "rpc-endpoint";
+    case SurfaceElement::kNamedPipe:
+      return "named-pipe";
+    case SurfaceElement::kDefaultService:
+      return "default-service";
+    case SurfaceElement::kPrivilegedService:
+      return "privileged-service";
+    case SurfaceElement::kWebHandler:
+      return "web-handler";
+    case SurfaceElement::kDynamicContentPage:
+      return "dynamic-content-page";
+    case SurfaceElement::kEnabledAccount:
+      return "enabled-account";
+    case SurfaceElement::kAdminAccount:
+      return "admin-account";
+    case SurfaceElement::kGuestAccessPath:
+      return "guest-access-path";
+    case SurfaceElement::kWeakAcl:
+      return "weak-acl";
+    case SurfaceElement::kWorldWritableFile:
+      return "world-writable-file";
+    case SurfaceElement::kEnvironmentInput:
+      return "environment-input";
+    case SurfaceElement::kCommandLineInput:
+      return "command-line-input";
+    case SurfaceElement::kFileFormatParser:
+      return "file-format-parser";
+  }
+  return "<bad>";
+}
+
+double SurfaceElementWeight(SurfaceElement element) {
+  switch (element) {
+    case SurfaceElement::kOpenSocket:
+      return 1.0;
+    case SurfaceElement::kRpcEndpoint:
+      return 0.9;
+    case SurfaceElement::kNamedPipe:
+      return 0.8;
+    case SurfaceElement::kDefaultService:
+      return 0.8;
+    case SurfaceElement::kPrivilegedService:
+      return 0.9;
+    case SurfaceElement::kWebHandler:
+      return 1.0;
+    case SurfaceElement::kDynamicContentPage:
+      return 0.6;
+    case SurfaceElement::kEnabledAccount:
+      return 0.7;
+    case SurfaceElement::kAdminAccount:
+      return 0.9;
+    case SurfaceElement::kGuestAccessPath:
+      return 0.9;
+    case SurfaceElement::kWeakAcl:
+      return 0.7;
+    case SurfaceElement::kWorldWritableFile:
+      return 0.6;
+    case SurfaceElement::kEnvironmentInput:
+      return 0.3;
+    case SurfaceElement::kCommandLineInput:
+      return 0.2;
+    case SurfaceElement::kFileFormatParser:
+      return 0.5;
+  }
+  return 0.0;
+}
+
+void SurfaceProfile::Set(SurfaceElement element, int count) { counts_[element] = count; }
+
+void SurfaceProfile::Add(SurfaceElement element, int count) { counts_[element] += count; }
+
+int SurfaceProfile::Count(SurfaceElement element) const {
+  const auto it = counts_.find(element);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double SurfaceProfile::Rasq() const {
+  double total = 0.0;
+  for (const auto& [element, count] : counts_) {
+    total += SurfaceElementWeight(element) * count;
+  }
+  return total;
+}
+
+SurfaceProfile SurfaceProfile::FromFeatures(const std::string& name,
+                                            const metrics::FeatureVector& features) {
+  SurfaceProfile profile(name);
+  // Every untrusted-input site is an externally reachable channel.
+  profile.Add(SurfaceElement::kOpenSocket,
+              static_cast<int>(features.Get("dataflow.input_sites")));
+  // Taint reaching sinks exposes data targets.
+  profile.Add(SurfaceElement::kWorldWritableFile,
+              static_cast<int>(features.Get("dataflow.tainted_sinks")));
+  // Call-graph roots behave like exported entry points / RPC methods.
+  profile.Add(SurfaceElement::kRpcEndpoint,
+              static_cast<int>(features.Get("callgraph.roots")));
+  // Parsing-heavy code (many branches on tainted data) acts like a file
+  // format parser exposed to attackers.
+  profile.Add(SurfaceElement::kFileFormatParser,
+              static_cast<int>(std::ceil(features.Get("dataflow.tainted_branches") / 8.0)));
+  return profile;
+}
+
+double RelativeRasq(const SurfaceProfile& a, const SurfaceProfile& b) {
+  const double rb = b.Rasq();
+  if (rb <= 0.0) {
+    return a.Rasq() > 0.0 ? std::numeric_limits<double>::infinity() : 1.0;
+  }
+  return a.Rasq() / rb;
+}
+
+}  // namespace attack

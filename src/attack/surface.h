@@ -1,0 +1,69 @@
+// Relative Attack Surface Quotient (RASQ), after Howard, Pincus & Wing
+// (§3.2/§4.1): the attack surface is a weighted sum over root attack
+// vectors — channels, process targets, and data items an attacker can reach.
+// The quotient is only meaningful *relative* to another configuration of the
+// same system, which is exactly how the clair library uses it (comparing two
+// versions or two candidate libraries).
+#ifndef SRC_ATTACK_SURFACE_H_
+#define SRC_ATTACK_SURFACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/metrics/feature_vector.h"
+
+namespace attack {
+
+enum class SurfaceElement : uint8_t {
+  kOpenSocket,
+  kRpcEndpoint,
+  kNamedPipe,
+  kDefaultService,
+  kPrivilegedService,     // Running as root/SYSTEM.
+  kWebHandler,
+  kDynamicContentPage,
+  kEnabledAccount,
+  kAdminAccount,
+  kGuestAccessPath,
+  kWeakAcl,
+  kWorldWritableFile,
+  kEnvironmentInput,
+  kCommandLineInput,
+  kFileFormatParser,
+};
+
+const char* SurfaceElementName(SurfaceElement element);
+// Relative severity weight of one element instance (Howard et al.'s root
+// attack-vector weights, normalised so kOpenSocket == 1.0).
+double SurfaceElementWeight(SurfaceElement element);
+
+class SurfaceProfile {
+ public:
+  explicit SurfaceProfile(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void Set(SurfaceElement element, int count);
+  void Add(SurfaceElement element, int count = 1);
+  int Count(SurfaceElement element) const;
+
+  // The attack-surface score: sum over elements of count × weight.
+  double Rasq() const;
+
+  // Derives a coarse profile from static code features (input sites become
+  // channel instances, taint sinks become data targets, and so on). Used
+  // when only source code, not a deployment description, is available.
+  static SurfaceProfile FromFeatures(const std::string& name,
+                                     const metrics::FeatureVector& features);
+
+ private:
+  std::string name_;
+  std::map<SurfaceElement, int> counts_;
+};
+
+// RASQ of `a` relative to `b` (> 1 means `a` exposes more surface).
+double RelativeRasq(const SurfaceProfile& a, const SurfaceProfile& b);
+
+}  // namespace attack
+
+#endif  // SRC_ATTACK_SURFACE_H_

@@ -1,0 +1,74 @@
+// The developer-facing metric of §5.3: apply the trained classifier bundle
+// to a codebase, report per-hypothesis risk with contributing code
+// properties and mitigation hints, compare two versions of the code, and
+// rank candidate libraries.
+#ifndef SRC_CLAIR_EVALUATOR_H_
+#define SRC_CLAIR_EVALUATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/clair/pipeline.h"
+#include "src/clair/testbed.h"
+#include "src/metrics/extract.h"
+
+namespace clair {
+
+struct HypothesisPrediction {
+  std::string hypothesis_id;
+  std::string question;
+  double risk = 0.0;  // P(risky class).
+  bool predicted_risky = false;
+  std::string mitigation;  // Populated when predicted_risky.
+  // Code properties most responsible for this hypothesis's model output.
+  std::vector<std::pair<std::string, double>> contributing_features;
+};
+
+struct SecurityReport {
+  std::string subject;
+  metrics::FeatureVector features;
+  std::vector<HypothesisPrediction> predictions;
+  // Aggregate score in [0, 1]: severity-weighted mean of hypothesis risks.
+  double overall_risk = 0.0;
+
+  std::string ToString() const;
+};
+
+struct VersionDelta {
+  SecurityReport before;
+  SecurityReport after;
+  double risk_delta = 0.0;  // after - before; positive = got riskier.
+  // Per-hypothesis deltas, sorted by |delta| descending.
+  std::vector<std::pair<std::string, double>> by_hypothesis;
+
+  std::string ToString() const;
+};
+
+class SecurityEvaluator {
+ public:
+  // The evaluator borrows the trained model and the testbed's extraction
+  // configuration; both must outlive it.
+  SecurityEvaluator(const TrainedModel& model, const Testbed& testbed);
+
+  SecurityReport Evaluate(const std::string& subject,
+                          const std::vector<metrics::SourceFile>& files) const;
+
+  // §1: "whether a code change has raised or lowered the risk".
+  VersionDelta CompareVersions(const std::vector<metrics::SourceFile>& before,
+                               const std::vector<metrics::SourceFile>& after) const;
+
+  // §1: "in selecting between two library implementations ... identify which
+  // is less likely to have vulnerabilities". Returns reports sorted by
+  // ascending overall risk (best choice first).
+  std::vector<SecurityReport> RankLibraries(
+      const std::vector<std::pair<std::string, std::vector<metrics::SourceFile>>>&
+          candidates) const;
+
+ private:
+  const TrainedModel& model_;
+  const Testbed& testbed_;
+};
+
+}  // namespace clair
+
+#endif  // SRC_CLAIR_EVALUATOR_H_

@@ -1,0 +1,155 @@
+#include "src/clair/hypothesis.h"
+
+#include <algorithm>
+
+#include "src/cvss/cwe.h"
+#include "src/support/stats.h"
+
+namespace clair {
+
+CorpusStats ComputeCorpusStats(const std::vector<cvedb::AppSummary>& summaries) {
+  CorpusStats stats;
+  std::vector<double> totals;
+  std::vector<double> rates;
+  std::vector<double> high_shares;
+  for (const auto& summary : summaries) {
+    totals.push_back(static_cast<double>(summary.total));
+    const double years = std::max(summary.HistoryYears(), 0.5);
+    rates.push_back(static_cast<double>(summary.total) / years);
+    if (summary.total > 0) {
+      high_shares.push_back(static_cast<double>(summary.high_or_worse) / summary.total);
+    }
+  }
+  stats.median_total_vulns = support::Median(totals);
+  stats.median_vulns_per_year = support::Median(rates);
+  stats.median_high_share = support::Median(high_shares);
+  return stats;
+}
+
+const std::vector<Hypothesis>& StandardHypotheses() {
+  static const std::vector<Hypothesis> kHypotheses = {
+      {
+          "cvss_gt7",
+          "Does the application have high-severity vulnerabilities (CVSS > 7)?",
+          {"no", "yes"},
+          [](const cvedb::AppSummary& s, const CorpusStats&) {
+            return s.high_or_worse > 0 ? 1 : 0;
+          },
+          "Prioritise a security review of the riskiest modules; consider "
+          "sandboxing the process.",
+      },
+      {
+          "av_network",
+          "Is any vulnerability accessible from the network (AV = N)?",
+          {"no", "yes"},
+          [](const cvedb::AppSummary& s, const CorpusStats&) {
+            return s.network_vector > 0 ? 1 : 0;
+          },
+          "Place the application behind a firewall or intrusion-protection "
+          "system; reduce listening interfaces.",
+      },
+      {
+          "cwe121",
+          "Does the application suffer stack-based buffer overflows (CWE-121)?",
+          {"no", "yes"},
+          [](const cvedb::AppSummary& s, const CorpusStats&) {
+            return s.CountCwe(cvss::kCweStackBufferOverflow) > 0 ? 1 : 0;
+          },
+          "Apply bounds checking on buffer writes; enable stack protectors "
+          "and fortified sources.",
+      },
+      {
+          "memory_safety",
+          "Does the application have memory-safety vulnerabilities?",
+          {"no", "yes"},
+          [](const cvedb::AppSummary& s, const CorpusStats&) {
+            for (const auto& [cwe, count] : s.by_cwe) {
+              if (count > 0 &&
+                  cvss::CategoryOf(cwe) == cvss::CweCategory::kMemorySafety) {
+                return 1;
+              }
+            }
+            return 0;
+          },
+          "Adopt bounds-checked containers and sanitizer-backed CI (ASan/MSan).",
+      },
+      {
+          "critical",
+          "Does the application have critical vulnerabilities (CVSS >= 9)?",
+          {"no", "yes"},
+          [](const cvedb::AppSummary& s, const CorpusStats&) {
+            return s.critical > 0 ? 1 : 0;
+          },
+          "Institute a coordinated-disclosure process and fast-path patch "
+          "releases.",
+      },
+      // Density hypotheses: questions about the *profile* of an app's
+      // vulnerabilities rather than their existence. "Any-X" questions
+      // saturate with report volume (and hence with size); these do not, so
+      // they isolate the signal that only richer code properties carry.
+      {
+          "net_dominant",
+          "Are most of the application's vulnerabilities network-reachable?",
+          {"no", "yes"},
+          [](const cvedb::AppSummary& s, const CorpusStats&) {
+            return s.total > 0 && 2 * s.network_vector > s.total ? 1 : 0;
+          },
+          "Treat the network interface as the primary attack surface; fuzz "
+          "protocol parsers and minimise exposed endpoints.",
+      },
+      {
+          "mem_dominant",
+          "Are most of the application's vulnerabilities memory-safety bugs?",
+          {"no", "yes"},
+          [](const cvedb::AppSummary& s, const CorpusStats&) {
+            int memory = 0;
+            for (const auto& [cwe, count] : s.by_cwe) {
+              if (cvss::CategoryOf(cwe) == cvss::CweCategory::kMemorySafety) {
+                memory += count;
+              }
+            }
+            return s.total > 0 && 2 * memory > s.total ? 1 : 0;
+          },
+          "Invest in memory-safety mitigations: sanitizers in CI, hardened "
+          "allocators, and migration of parsing code to safe abstractions.",
+      },
+      {
+          "high_sev_share",
+          "Is the app's share of high-severity vulnerabilities above the corpus median?",
+          {"no", "yes"},
+          [](const cvedb::AppSummary& s, const CorpusStats& stats) {
+            if (s.total == 0) {
+              return 0;
+            }
+            const double share = static_cast<double>(s.high_or_worse) / s.total;
+            return share > stats.median_high_share ? 1 : 0;
+          },
+          "When bugs land here they tend to be severe: gate releases on "
+          "security review, not just functional testing.",
+      },
+      {
+          "above_median_rate",
+          "Is the vulnerability discovery rate above the corpus median?",
+          {"no", "yes"},
+          [](const cvedb::AppSummary& s, const CorpusStats& stats) {
+            const double years = std::max(s.HistoryYears(), 0.5);
+            return static_cast<double>(s.total) / years > stats.median_vulns_per_year ? 1
+                                                                                       : 0;
+          },
+          "Increase fuzzing and code-review coverage; the project's trend is "
+          "worse than its peers.",
+      },
+  };
+  return kHypotheses;
+}
+
+const Hypothesis* FindHypothesis(const std::string& id) {
+  for (const auto& hypothesis : StandardHypotheses()) {
+    if (hypothesis.id == id) {
+      return &hypothesis;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace clair

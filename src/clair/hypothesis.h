@@ -1,0 +1,50 @@
+// The prediction targets of the training phase (Figure 4's "CVE hypotheses"
+// column): yes/no questions about an application's vulnerability history,
+// each answered from its CVE ground truth during training and predicted
+// from code properties at evaluation time.
+#ifndef SRC_CLAIR_HYPOTHESIS_H_
+#define SRC_CLAIR_HYPOTHESIS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/cvedb/cvedb.h"
+
+namespace clair {
+
+// Corpus-level statistics some hypotheses are defined relative to.
+struct CorpusStats {
+  double median_total_vulns = 0.0;
+  double median_vulns_per_year = 0.0;
+  // Median fraction of an app's CVEs that are high severity (CVSS > 7).
+  double median_high_share = 0.0;
+};
+
+CorpusStats ComputeCorpusStats(const std::vector<cvedb::AppSummary>& summaries);
+
+struct Hypothesis {
+  std::string id;
+  std::string question;
+  // Class names; Label() returns an index into this vector.
+  std::vector<std::string> classes;
+  std::function<int(const cvedb::AppSummary&, const CorpusStats&)> label;
+  // Developer-facing mitigation hint when the risky class is predicted
+  // (§5.3: "applying bound checking if there is high risk of buffer
+  // overflow, or placing the application behind firewall...").
+  std::string mitigation;
+};
+
+// The standard battery, including the paper's three worked examples:
+//   cvss_gt7   — "how many high-severity vulnerabilities exist (CVSS > 7)?"
+//   av_network — "any vulnerabilities accessible from the network (AV = N)?"
+//   cwe121     — "any stack-based buffer overflow (CWE = 121)?"
+// plus memory-safety, critical-severity, and above-median-rate questions.
+const std::vector<Hypothesis>& StandardHypotheses();
+
+// Finds a hypothesis by id (nullptr if absent).
+const Hypothesis* FindHypothesis(const std::string& id);
+
+}  // namespace clair
+
+#endif  // SRC_CLAIR_HYPOTHESIS_H_

@@ -1,0 +1,243 @@
+#include "src/clair/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/ml/linear.h"
+#include "src/ml/naive_bayes.h"
+#include "src/ml/tree.h"
+
+namespace clair {
+
+const std::vector<LearnerSpec>& StandardLearners() {
+  static const std::vector<LearnerSpec> kLearners = {
+      {"logistic",
+       [] { return std::unique_ptr<ml::Classifier>(new ml::LogisticClassifier()); }},
+      {"naive-bayes",
+       [] { return std::unique_ptr<ml::Classifier>(new ml::NaiveBayesClassifier()); }},
+      {"decision-tree",
+       [] {
+         ml::TreeOptions options;
+         options.max_depth = 8;
+         return std::unique_ptr<ml::Classifier>(new ml::DecisionTreeClassifier(options, 11));
+       }},
+      {"random-forest",
+       [] {
+         ml::ForestOptions options;
+         options.num_trees = 48;
+         options.tree.max_depth = 10;
+         options.seed = 13;
+         return std::unique_ptr<ml::Classifier>(new ml::RandomForestClassifier(options));
+       }},
+      {"knn", [] { return std::unique_ptr<ml::Classifier>(new ml::KnnClassifier(5)); }},
+  };
+  return kLearners;
+}
+
+double HypothesisModel::PredictRisk(const metrics::FeatureVector& features) const {
+  std::vector<double> row;
+  row.reserve(feature_names.size());
+  for (const auto& name : feature_names) {
+    double value = features.Get(name, 0.0);
+    if (log1p) {
+      value = value >= 0.0 ? std::log1p(value) : -std::log1p(-value);
+    }
+    row.push_back(value);
+  }
+  if (standardize) {
+    const auto& means = standardizer.means();
+    const auto& stddevs = standardizer.stddevs();
+    for (size_t j = 0; j < row.size() && j < means.size(); ++j) {
+      row[j] = (row[j] - means[j]) / stddevs[j];
+    }
+  }
+  const auto proba = model->PredictProba(row);
+  return proba.size() > 1 ? proba[1] : 0.0;
+}
+
+const HypothesisModel* TrainedModel::ForHypothesis(const std::string& id) const {
+  for (const auto& model : models_) {
+    if (model.hypothesis_id == id) {
+      return &model;
+    }
+  }
+  return nullptr;
+}
+
+TrainingPipeline::TrainingPipeline(std::vector<AppRecord> records, PipelineOptions options)
+    : records_(std::move(records)), options_(options) {
+  std::set<std::string> names;
+  std::vector<cvedb::AppSummary> summaries;
+  for (const auto& record : records_) {
+    for (const auto& [name, _] : record.features.values()) {
+      names.insert(name);
+    }
+    summaries.push_back(record.labels);
+  }
+  feature_names_.assign(names.begin(), names.end());
+  stats_ = ComputeCorpusStats(summaries);
+}
+
+ml::Dataset TrainingPipeline::BuildDataset(const Hypothesis& hypothesis) const {
+  ml::Dataset data = ml::Dataset::ForClassification(feature_names_, hypothesis.classes);
+  for (const auto& record : records_) {
+    std::vector<double> row;
+    row.reserve(feature_names_.size());
+    for (const auto& name : feature_names_) {
+      row.push_back(record.features.Get(name, 0.0));
+    }
+    data.AddRow(std::move(row), hypothesis.label(record.labels, stats_));
+  }
+  return data;
+}
+
+void TrainingPipeline::ApplyTransforms(ml::Dataset& data, ml::Standardizer* fitted) const {
+  if (options_.log1p) {
+    ml::ApplyLog1p(data);
+  }
+  if (options_.standardize) {
+    ml::Standardizer standardizer;
+    standardizer.Fit(data);
+    standardizer.Apply(data);
+    if (fitted != nullptr) {
+      *fitted = standardizer;
+    }
+  }
+}
+
+HypothesisReport TrainingPipeline::EvaluateHypothesis(const Hypothesis& hypothesis) const {
+  HypothesisReport report;
+  report.hypothesis_id = hypothesis.id;
+  ml::Dataset data = BuildDataset(hypothesis);
+  ApplyTransforms(data, nullptr);
+  const auto counts = data.ClassCounts();
+  report.positive_rate = data.num_rows() == 0
+                             ? 0.0
+                             : static_cast<double>(counts.size() > 1 ? counts[1] : 0) /
+                                   static_cast<double>(data.num_rows());
+  double best_score = -1.0;
+  for (const auto& learner : StandardLearners()) {
+    const ml::CvMetrics metrics =
+        ml::CrossValidate(data, learner.factory, options_.cv_folds, options_.seed);
+    report.per_learner.push_back({learner.name, metrics});
+    // Model selection on macro-F1 (robust to the skewed base rates these
+    // hypotheses have), AUC as the tie-breaker.
+    const double score = metrics.macro_f1 + 1e-3 * metrics.auc;
+    if (score > best_score) {
+      best_score = score;
+      report.best_learner = learner.name;
+      report.best = metrics;
+    }
+  }
+  // Feature attribution from a final model with importances.
+  ml::Dataset full = BuildDataset(hypothesis);
+  ApplyTransforms(full, nullptr);
+  ml::ForestOptions forest_options;
+  forest_options.num_trees = 48;
+  forest_options.seed = 13;
+  ml::RandomForestClassifier forest(forest_options);
+  forest.Train(full);
+  auto importance = forest.FeatureImportance();
+  if (importance.size() > 10) {
+    importance.resize(10);
+  }
+  report.top_features = std::move(importance);
+  return report;
+}
+
+std::vector<HypothesisReport> TrainingPipeline::EvaluateAll() const {
+  std::vector<HypothesisReport> reports;
+  for (const auto& hypothesis : StandardHypotheses()) {
+    reports.push_back(EvaluateHypothesis(hypothesis));
+  }
+  return reports;
+}
+
+ml::Dataset TrainingPipeline::BuildCountDataset() const {
+  ml::Dataset data = ml::Dataset::ForRegression(feature_names_, "log10_vulns");
+  for (const auto& record : records_) {
+    std::vector<double> row;
+    row.reserve(feature_names_.size());
+    for (const auto& name : feature_names_) {
+      row.push_back(record.features.Get(name, 0.0));
+    }
+    data.AddRow(std::move(row), std::log10(1.0 + record.labels.total));
+  }
+  return data;
+}
+
+std::vector<TrainingPipeline::CountRegressionOutcome>
+TrainingPipeline::EvaluateCountRegression() const {
+  ml::Dataset data = BuildCountDataset();
+  ApplyTransforms(data, nullptr);
+  struct Spec {
+    const char* name;
+    std::function<std::unique_ptr<ml::Regressor>()> factory;
+  };
+  const Spec specs[] = {
+      {"ols", [] { return std::unique_ptr<ml::Regressor>(new ml::LinearRegressor(0.0)); }},
+      {"ridge",
+       [] { return std::unique_ptr<ml::Regressor>(new ml::LinearRegressor(10.0)); }},
+      {"forest-regressor",
+       [] {
+         ml::ForestOptions options;
+         options.num_trees = 48;
+         options.tree.max_depth = 10;
+         options.seed = 17;
+         return std::unique_ptr<ml::Regressor>(new ml::RandomForestRegressor(options));
+       }},
+  };
+  std::vector<CountRegressionOutcome> outcomes;
+  for (const auto& spec : specs) {
+    CountRegressionOutcome outcome;
+    outcome.model = spec.name;
+    outcome.metrics =
+        ml::CrossValidateRegression(data, spec.factory, options_.cv_folds, options_.seed);
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+TrainedModel TrainingPipeline::TrainFinal() const {
+  return TrainFinal(EvaluateAll());
+}
+
+TrainedModel TrainingPipeline::TrainFinal(
+    const std::vector<HypothesisReport>& reports) const {
+  TrainedModel trained;
+  for (const auto& hypothesis : StandardHypotheses()) {
+    const HypothesisReport* report = nullptr;
+    for (const auto& candidate : reports) {
+      if (candidate.hypothesis_id == hypothesis.id) {
+        report = &candidate;
+        break;
+      }
+    }
+    if (report == nullptr) {
+      continue;
+    }
+    HypothesisModel bundle;
+    bundle.hypothesis_id = hypothesis.id;
+    bundle.learner = report->best_learner;
+    bundle.log1p = options_.log1p;
+    bundle.standardize = options_.standardize;
+    bundle.feature_names = feature_names_;
+    ml::Dataset data = BuildDataset(hypothesis);
+    ApplyTransforms(data, &bundle.standardizer);
+    for (const auto& learner : StandardLearners()) {
+      if (learner.name == report->best_learner) {
+        bundle.model = learner.factory();
+        break;
+      }
+    }
+    if (!bundle.model) {
+      bundle.model = StandardLearners().front().factory();
+    }
+    bundle.model->Train(data);
+    trained.Add(std::move(bundle));
+  }
+  return trained;
+}
+
+}  // namespace clair

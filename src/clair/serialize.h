@@ -1,0 +1,36 @@
+// Persistence for the testbed's (features, labels) rows.
+//
+// Training is deterministic given the rows and PipelineOptions, so saving
+// the rows is a complete, future-proof serialization of a trained model:
+// load + TrainFinal() reproduces it bit-for-bit. This sidesteps versioning
+// per-learner binary formats (the same trade Weka's ARFF makes).
+//
+// Format: line-based, UTF-8, one `[app]` block per record:
+//
+//   [app]
+//   name=openvault17
+//   label.total=42
+//   label.critical=3
+//   ...
+//   label.cwe.121=2
+//   feature.loc.code=12345
+//
+#ifndef SRC_CLAIR_SERIALIZE_H_
+#define SRC_CLAIR_SERIALIZE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/clair/testbed.h"
+#include "src/support/result.h"
+
+namespace clair {
+
+std::string SaveRecords(const std::vector<AppRecord>& records);
+
+support::Result<std::vector<AppRecord>> LoadRecords(std::string_view text);
+
+}  // namespace clair
+
+#endif  // SRC_CLAIR_SERIALIZE_H_

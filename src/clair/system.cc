@@ -1,0 +1,58 @@
+#include "src/clair/system.h"
+
+#include <algorithm>
+
+#include "src/support/strings.h"
+
+namespace clair {
+
+double SystemEvaluator::ExposureOf(bool network_facing, bool privileged) {
+  double exposure = network_facing ? 1.0 : 0.6;
+  if (privileged) {
+    exposure *= 1.25;
+  }
+  return exposure;
+}
+
+SystemReport SystemEvaluator::Evaluate(
+    const std::vector<SystemComponent>& components) const {
+  SystemReport report;
+  double survival = 1.0;  // Probability no component is compromised.
+  for (const auto& component : components) {
+    ComponentAssessment assessment;
+    assessment.report = evaluator_.Evaluate(component.name, component.files);
+    assessment.network_facing = component.network_facing;
+    assessment.privileged = component.privileged;
+    assessment.exposure = ExposureOf(component.network_facing, component.privileged);
+    assessment.exposed_risk =
+        std::min(assessment.report.overall_risk * assessment.exposure, 1.0);
+    survival *= 1.0 - assessment.exposed_risk;
+    if (assessment.exposed_risk >= report.weakest_risk) {
+      report.weakest_risk = assessment.exposed_risk;
+      report.weakest_link = component.name;
+    }
+    report.components.push_back(std::move(assessment));
+  }
+  report.system_risk = 1.0 - survival;
+  std::stable_sort(report.components.begin(), report.components.end(),
+                   [](const ComponentAssessment& a, const ComponentAssessment& b) {
+                     return a.exposed_risk > b.exposed_risk;
+                   });
+  return report;
+}
+
+std::string SystemReport::ToString() const {
+  std::string out = support::Format("System risk: %.3f (weakest link: %s at %.3f)\n",
+                                    system_risk, weakest_link.c_str(), weakest_risk);
+  for (const auto& component : components) {
+    out += support::Format("  %-22s raw=%.3f exposure=%.2f exposed=%.3f%s%s\n",
+                           component.report.subject.c_str(),
+                           component.report.overall_risk, component.exposure,
+                           component.exposed_risk,
+                           component.network_facing ? " [net]" : "",
+                           component.privileged ? " [priv]" : "");
+  }
+  return out;
+}
+
+}  // namespace clair

@@ -1,0 +1,66 @@
+// Whole-system evaluation — the paper's §5.3 future-work question: "can we
+// use the same approach of evaluating application programs to evaluate whole
+// systems? We expect that total system security is dependent upon the
+// weakest link, although factors such as which applications are
+// network-facing have a role as well."
+//
+// A system is a set of components (applications with their sources) tagged
+// with deployment facts: network exposure and whether the component crosses
+// a protection boundary (runs privileged). Component risks come from the
+// per-application evaluator; the system score composes them with
+// exposure-weighted weakest-link semantics.
+#ifndef SRC_CLAIR_SYSTEM_H_
+#define SRC_CLAIR_SYSTEM_H_
+
+#include <string>
+#include <vector>
+
+#include "src/clair/evaluator.h"
+
+namespace clair {
+
+struct SystemComponent {
+  std::string name;
+  std::vector<metrics::SourceFile> files;
+  bool network_facing = false;
+  bool privileged = false;  // Crosses a hardware/user protection boundary.
+};
+
+struct ComponentAssessment {
+  SecurityReport report;
+  double exposure = 1.0;       // Deployment multiplier applied to raw risk.
+  double exposed_risk = 0.0;   // min(report.overall_risk * exposure, 1).
+  bool network_facing = false;
+  bool privileged = false;
+};
+
+struct SystemReport {
+  std::vector<ComponentAssessment> components;  // Sorted, riskiest first.
+  std::string weakest_link;   // Component with the highest exposed risk.
+  double weakest_risk = 0.0;
+  // Composition under component independence:
+  // 1 - prod_i (1 - exposed_risk_i). Dominated by the weakest link, as the
+  // paper expects, but sensitive to breadth too.
+  double system_risk = 0.0;
+
+  std::string ToString() const;
+};
+
+class SystemEvaluator {
+ public:
+  explicit SystemEvaluator(const SecurityEvaluator& evaluator) : evaluator_(evaluator) {}
+
+  SystemReport Evaluate(const std::vector<SystemComponent>& components) const;
+
+  // Exposure model: network-facing components carry full weight; purely
+  // local ones are discounted; privileged components are amplified because
+  // a compromise crosses a protection boundary.
+  static double ExposureOf(bool network_facing, bool privileged);
+
+ private:
+  const SecurityEvaluator& evaluator_;
+};
+
+}  // namespace clair
+
+#endif  // SRC_CLAIR_SYSTEM_H_

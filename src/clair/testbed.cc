@@ -1,0 +1,160 @@
+#include "src/clair/testbed.h"
+
+#include "src/dataflow/analyses.h"
+#include "src/dataflow/intervals.h"
+#include "src/lang/interp.h"
+#include "src/lang/parser.h"
+#include "src/metrics/callgraph.h"
+#include "src/support/rng.h"
+
+namespace clair {
+namespace {
+
+// §5.3's dynamic-trace extension: execute the module's call-graph roots on
+// random inputs and summarise runtime behaviour.
+metrics::FeatureVector DynamicFeatures(const lang::IrModule& module, int trials,
+                                       uint64_t seed) {
+  metrics::FeatureVector fv;
+  const metrics::CallGraph graph(module);
+  std::vector<std::string> entries;
+  if (module.FindFunction("main") != nullptr) {
+    entries.push_back("main");
+  } else {
+    entries = graph.Roots();
+    if (entries.size() > 8) {
+      entries.resize(8);  // Bound per-file cost on large modules.
+    }
+  }
+  support::Rng rng(seed);
+  long long runs = 0;
+  long long faults = 0;
+  long long aborted = 0;
+  long long steps = 0;
+  long long branches = 0;
+  long long sink_events = 0;
+  lang::InterpOptions interp_options;
+  interp_options.max_steps = 1 << 14;
+  for (const auto& entry : entries) {
+    for (int t = 0; t < trials; ++t) {
+      std::vector<int64_t> inputs;
+      for (int i = 0; i < 16; ++i) {
+        inputs.push_back(rng.NextBool(0.7)
+                             ? static_cast<int64_t>(rng.NextBelow(32))
+                             : static_cast<int64_t>(rng.NextBelow(1 << 12)) - 2048);
+      }
+      const auto trace =
+          lang::Execute(module, entry, {0, 1, 2, 3}, std::move(inputs), interp_options);
+      ++runs;
+      steps += static_cast<long long>(trace.steps);
+      branches += static_cast<long long>(trace.branches);
+      sink_events += static_cast<long long>(trace.sink_values.size());
+      if (trace.outcome == lang::ExecOutcome::kOutOfBounds ||
+          trace.outcome == lang::ExecOutcome::kDivisionByZero) {
+        ++faults;
+      } else if (trace.outcome == lang::ExecOutcome::kAborted) {
+        ++aborted;
+      }
+    }
+  }
+  if (runs > 0) {
+    fv.Set("dynamic.runs", static_cast<double>(runs));
+    fv.Set("dynamic.fault_rate", static_cast<double>(faults) / runs);
+    fv.Set("dynamic.abort_rate", static_cast<double>(aborted) / runs);
+    fv.Set("dynamic.mean_steps", static_cast<double>(steps) / runs);
+    fv.Set("dynamic.branch_density",
+           steps > 0 ? static_cast<double>(branches) / static_cast<double>(steps) : 0.0);
+    fv.Set("dynamic.sink_events_per_run", static_cast<double>(sink_events) / runs);
+  }
+  return fv;
+}
+
+}  // namespace
+
+Testbed::Testbed(const corpus::EcosystemGenerator& ecosystem, TestbedOptions options)
+    : ecosystem_(ecosystem), options_(options) {}
+
+metrics::FeatureVector Testbed::ExtractFeatures(
+    const std::vector<metrics::SourceFile>& files) const {
+  metrics::FeatureVector features = metrics::ExtractAppFeatures(files);
+  if (!options_.with_dataflow && !options_.with_symexec && !options_.with_dynamic) {
+    return features;
+  }
+  int deep_done = 0;
+  for (const auto& file : files) {
+    if (deep_done >= options_.deep_analysis_max_files) {
+      break;
+    }
+    if (file.language != metrics::Language::kMiniC) {
+      continue;
+    }
+    auto unit = lang::Parse(file.text);
+    if (!unit.ok()) {
+      continue;
+    }
+    auto module = lang::LowerToIr(unit.value());
+    if (!module.ok()) {
+      continue;
+    }
+    if (options_.with_dataflow) {
+      features.MergeSum(dataflow::DataflowFeatures(module.value()));
+      features.MergeSum(dataflow::IntervalFeatures(module.value()));
+    }
+    if (options_.with_symexec) {
+      features.MergeSum(symx::SymexFeatures(module.value(), options_.symexec));
+    }
+    if (options_.with_dynamic) {
+      features.MergeSum(DynamicFeatures(module.value(), options_.dynamic_trials,
+                                        options_.dynamic_seed + deep_done));
+    }
+    ++deep_done;
+  }
+  features.Set("deep.files_analyzed", static_cast<double>(deep_done));
+
+  // Density features: most raw counts scale with application size, which
+  // makes them proxies for LoC; dividing by kLoC isolates the *style* signal
+  // (how guard-poor, taint-heavy, or smell-ridden the code is per unit of
+  // code) — the quantity the paper wants beyond Figure 2's size baseline.
+  const double kloc = std::max(features.Get("loc.code") / 1000.0, 1e-3);
+  for (const char* name :
+       {"lint.total", "lint.unchecked-input-index", "lint.non-constant-divisor",
+        "smell.total", "smell.magic_numbers", "mccabe.total", "shin.branches",
+        "shin.functions", "dataflow.input_sites", "dataflow.tainted_instructions",
+        "dataflow.tainted_sinks", "dataflow.tainted_array_indices", "ai.possible_oob",
+        "ai.possible_div0", "symx.vuln_sites"}) {
+    if (features.Has(name)) {
+      features.Set(std::string(name) + "_per_kloc", features.Get(name) / kloc);
+    }
+  }
+  // Guardedness: share of array accesses the interval analysis could prove
+  // safe (1.0 = fully defensive code).
+  const double accesses = features.Get("ai.array_accesses");
+  if (accesses > 0.0) {
+    features.Set("ai.proven_ratio", features.Get("ai.proven_in_bounds") / accesses);
+  }
+  const double divisions = features.Get("ai.divisions");
+  if (divisions > 0.0) {
+    features.Set("ai.proven_div_ratio",
+                 features.Get("ai.proven_nonzero_divisor") / divisions);
+  }
+  return features;
+}
+
+std::vector<AppRecord> Testbed::Collect() const {
+  std::vector<AppRecord> records;
+  const auto selected =
+      ecosystem_.database().AppsWithConvergingHistory(options_.min_history_years);
+  for (const auto& app : selected) {
+    const corpus::AppSpec* spec = ecosystem_.FindSpec(app);
+    if (spec == nullptr) {
+      continue;
+    }
+    AppRecord record;
+    record.name = app;
+    record.features = ExtractFeatures(ecosystem_.GenerateSources(*spec));
+    record.labels = ecosystem_.database().Summarize(app);
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace clair

@@ -1,0 +1,75 @@
+// The testbed of §5.1: selects applications with a converging CVE history,
+// runs the full static-analysis battery over their sources, and joins the
+// resulting feature vectors with per-app CVE label summaries.
+#ifndef SRC_CLAIR_TESTBED_H_
+#define SRC_CLAIR_TESTBED_H_
+
+#include <string>
+#include <vector>
+
+#include "src/corpus/ecosystem.h"
+#include "src/cvedb/cvedb.h"
+#include "src/metrics/extract.h"
+#include "src/symexec/executor.h"
+
+namespace clair {
+
+struct TestbedOptions {
+  double min_history_years = 5.0;  // The paper's selection policy.
+  bool with_dataflow = true;
+  bool with_symexec = true;
+  // §5.3's "one potential improvement is to collect dynamic traces": run the
+  // concrete interpreter over random inputs and derive dynamic.* features
+  // (fault rate, branch density, sink activity).
+  bool with_dynamic = true;
+  int dynamic_trials = 8;
+  uint64_t dynamic_seed = 0xd1a9;
+  // Deeper analyses run on a sample of each app's files to bound cost;
+  // text-level and parse-level metrics always cover every file.
+  int deep_analysis_max_files = 3;
+  symx::SymExecOptions symexec = TightSymexecDefaults();
+
+  static symx::SymExecOptions TightSymexecDefaults() {
+    symx::SymExecOptions options;
+    options.max_paths = 48;
+    options.max_steps_per_path = 1024;
+    options.max_total_steps = 1 << 14;
+    options.max_solver_queries = 256;
+    options.solver_conflict_budget = 1000;
+    options.max_expr_nodes = 256;
+    options.exploit_sample_trials = 128;
+    options.exploit_exact_cap = 16;
+    return options;
+  }
+};
+
+// One application's joined (features, labels) row.
+struct AppRecord {
+  std::string name;
+  metrics::FeatureVector features;
+  cvedb::AppSummary labels;
+};
+
+class Testbed {
+ public:
+  Testbed(const corpus::EcosystemGenerator& ecosystem, TestbedOptions options = {});
+
+  // Extracts the full feature vector for an arbitrary set of source files
+  // (also used by the evaluator on developer code).
+  metrics::FeatureVector ExtractFeatures(
+      const std::vector<metrics::SourceFile>& files) const;
+
+  // Runs selection + extraction + label join over the whole ecosystem.
+  // Deterministic; order follows the database's sorted app names.
+  std::vector<AppRecord> Collect() const;
+
+  const TestbedOptions& options() const { return options_; }
+
+ private:
+  const corpus::EcosystemGenerator& ecosystem_;
+  TestbedOptions options_;
+};
+
+}  // namespace clair
+
+#endif  // SRC_CLAIR_TESTBED_H_

@@ -1,0 +1,494 @@
+#include "src/corpus/codegen.h"
+
+#include <vector>
+
+#include "src/support/strings.h"
+
+namespace corpus {
+namespace {
+
+const char* const kNouns[] = {"count", "size",  "index", "total", "value", "flag",
+                              "state", "limit", "depth", "width", "score", "level"};
+const char* const kVerbs[] = {"update", "compute", "handle", "process", "scan",
+                              "merge",  "filter",  "pack",   "route",   "check"};
+
+std::string Pick(support::Rng& rng, const char* const* table, size_t size) {
+  return table[rng.NextBelow(size)];
+}
+
+// ---------------------------------------------------------------------------
+// MiniC generation. The generator tracks declared scalar/array locals so it
+// only references names that exist; everything it emits parses and lowers.
+// ---------------------------------------------------------------------------
+
+class MiniCGenerator {
+ public:
+  MiniCGenerator(support::Rng& rng, const AppStyle& style) : rng_(rng), style_(style) {}
+
+  std::string Generate(int target_lines) {
+    EmitFileHeader();
+    // A couple of globals.
+    const int globals = 1 + static_cast<int>(rng_.NextBelow(3));
+    for (int g = 0; g < globals; ++g) {
+      const std::string name = support::Format("g_%s%d", Pick(rng_, kNouns, 12).c_str(), g);
+      if (rng_.NextBool(0.3)) {
+        Line(support::Format("int %s[%d];", name.c_str(),
+                             8 << rng_.NextBelow(4)));
+        global_arrays_.push_back({name, 8});
+      } else {
+        Line(support::Format("int %s = %d;", name.c_str(),
+                             static_cast<int>(rng_.NextBelow(100))));
+        global_scalars_.push_back(name);
+      }
+    }
+    Blank();
+    while (lines_ < target_lines) {
+      EmitFunction();
+      Blank();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  struct ArrayVar {
+    std::string name;
+    int size;
+  };
+
+  void Line(const std::string& text) {
+    for (int i = 0; i < indent_; ++i) {
+      out_ += "  ";
+    }
+    out_ += text;
+    out_ += '\n';
+    ++lines_;
+  }
+
+  void Blank() {
+    out_ += '\n';
+    ++lines_;
+  }
+
+  void EmitFileHeader() {
+    Line(support::Format("// Module %04d — synthetic translation unit.",
+                         static_cast<int>(rng_.NextBelow(10000))));
+    const int extra = CommentBudget(3);
+    for (int i = 0; i < extra; ++i) {
+      Line("// Maintained by the build robot; do not edit by hand.");
+    }
+    Blank();
+  }
+
+  // More comments in mature-looking (low-complexity) code.
+  int CommentBudget(int base) {
+    const double ratio = 0.4 + 0.6 * (1.0 - style_.complexity);
+    return static_cast<int>(base * ratio * rng_.NextDouble() * 2.0);
+  }
+
+  std::string FreshLocal(const char* stem) {
+    return support::Format("%s_%d", stem, next_local_++);
+  }
+
+  // An expression over declared scalars and literals, `depth` controls size.
+  std::string Expr(int depth) {
+    if (depth <= 0 || scalars_.empty() || rng_.NextBool(0.3)) {
+      if (!scalars_.empty() && rng_.NextBool(0.6)) {
+        return scalars_[rng_.NextBelow(scalars_.size())];
+      }
+      // Magic numbers appear more in unsafe code.
+      const bool magic = rng_.NextBool(0.2 + 0.4 * style_.unsafety);
+      return std::to_string(magic ? 17 + rng_.NextBelow(4000)
+                                  : rng_.NextBelow(3));
+    }
+    static const char* const kOps[] = {"+", "-", "*", "&", "|", "^"};
+    return support::Format("(%s %s %s)", Expr(depth - 1).c_str(),
+                           Pick(rng_, kOps, 6).c_str(), Expr(depth - 1).c_str());
+  }
+
+  std::string CondExpr() {
+    if (scalars_.empty()) {
+      return "1 < 2";
+    }
+    static const char* const kCmps[] = {"<", "<=", ">", ">=", "==", "!="};
+    const std::string lhs = scalars_[rng_.NextBelow(scalars_.size())];
+    const std::string rhs =
+        rng_.NextBool(0.5) ? std::to_string(rng_.NextBelow(64))
+                           : scalars_[rng_.NextBelow(scalars_.size())];
+    std::string cond =
+        support::Format("%s %s %s", lhs.c_str(), Pick(rng_, kCmps, 6).c_str(), rhs.c_str());
+    if (rng_.NextBool(0.2 * style_.complexity)) {
+      cond += rng_.NextBool() ? " && " : " || ";
+      cond += support::Format("%s %s %d", scalars_[rng_.NextBelow(scalars_.size())].c_str(),
+                              Pick(rng_, kCmps, 6).c_str(),
+                              static_cast<int>(rng_.NextBelow(32)));
+    }
+    return cond;
+  }
+
+  void EmitDecl() {
+    const std::string name = FreshLocal(Pick(rng_, kNouns, 12).c_str());
+    if (rng_.NextBool(0.18)) {
+      const int size = 4 << rng_.NextBelow(4);
+      Line(support::Format("int %s[%d];", name.c_str(), size));
+      arrays_.push_back({name, size});
+    } else {
+      Line(support::Format("int %s = %s;", name.c_str(), Expr(1).c_str()));
+      scalars_.push_back(name);
+    }
+  }
+
+  void EmitInputRead() {
+    const std::string name = FreshLocal("in");
+    Line(support::Format("int %s = input();", name.c_str()));
+    scalars_.push_back(name);
+    tainted_.push_back(name);
+  }
+
+  // The signature vulnerability pattern: index an array with (possibly
+  // unchecked) externally controlled data.
+  void EmitIndexing() {
+    if (arrays_.empty()) {
+      EmitDecl();
+      if (arrays_.empty()) {
+        return;
+      }
+    }
+    const ArrayVar& arr = arrays_[rng_.NextBelow(arrays_.size())];
+    std::string index;
+    const bool use_taint = !tainted_.empty() && rng_.NextBool(0.35 + 0.5 * style_.taintiness);
+    if (use_taint) {
+      index = tainted_[rng_.NextBelow(tainted_.size())];
+    } else if (!scalars_.empty()) {
+      index = scalars_[rng_.NextBelow(scalars_.size())];
+    } else {
+      index = std::to_string(rng_.NextBelow(static_cast<uint64_t>(arr.size)));
+    }
+    const bool guard = !rng_.NextBool(0.15 + 0.7 * style_.unsafety);
+    if (guard) {
+      Line(support::Format("if (%s >= 0 && %s < %d) {", index.c_str(), index.c_str(),
+                           arr.size));
+      ++indent_;
+      Line(support::Format("%s[%s] = %s;", arr.name.c_str(), index.c_str(),
+                           Expr(1).c_str()));
+      --indent_;
+      Line("}");
+    } else {
+      Line(support::Format("%s[%s] = %s;", arr.name.c_str(), index.c_str(),
+                           Expr(1).c_str()));
+    }
+  }
+
+  void EmitDivision() {
+    if (scalars_.empty()) {
+      return;
+    }
+    const std::string divisor = scalars_[rng_.NextBelow(scalars_.size())];
+    const std::string name = FreshLocal("ratio");
+    const bool guard = !rng_.NextBool(0.1 + 0.6 * style_.unsafety);
+    if (guard) {
+      Line(support::Format("int %s = 0;", name.c_str()));
+      Line(support::Format("if (%s != 0) {", divisor.c_str()));
+      ++indent_;
+      Line(support::Format("%s = %s / %s;", name.c_str(), Expr(1).c_str(), divisor.c_str()));
+      --indent_;
+      Line("}");
+    } else {
+      Line(support::Format("int %s = %s / %s;", name.c_str(), Expr(1).c_str(),
+                           divisor.c_str()));
+    }
+    scalars_.push_back(name);
+  }
+
+  void EmitSink() {
+    if (scalars_.empty()) {
+      return;
+    }
+    const std::string& value =
+        !tainted_.empty() && rng_.NextBool(0.6)
+            ? tainted_[rng_.NextBelow(tainted_.size())]
+            : scalars_[rng_.NextBelow(scalars_.size())];
+    Line(support::Format("%s(%s);", rng_.NextBool(0.4) ? "sink" : "print", value.c_str()));
+  }
+
+  void EmitCall() {
+    if (functions_.empty()) {
+      return;
+    }
+    const FunctionSig& callee = functions_[rng_.NextBelow(functions_.size())];
+    std::string args;
+    for (int p = 0; p < callee.params; ++p) {
+      if (p > 0) {
+        args += ", ";
+      }
+      args += scalars_.empty() ? std::to_string(rng_.NextBelow(16))
+                               : scalars_[rng_.NextBelow(scalars_.size())];
+    }
+    const std::string name = FreshLocal("r");
+    Line(support::Format("int %s = %s(%s);", name.c_str(), callee.name.c_str(),
+                         args.c_str()));
+    scalars_.push_back(name);
+  }
+
+  // Snapshot/restore of the visible-name lists so names declared inside a
+  // nested block are not referenced after the block closes (that would fail
+  // name resolution in the lowering pass).
+  struct ScopeMark {
+    size_t scalars;
+    size_t arrays;
+    size_t tainted;
+  };
+
+  ScopeMark OpenScope() const { return {scalars_.size(), arrays_.size(), tainted_.size()}; }
+
+  void CloseScope(const ScopeMark& mark) {
+    scalars_.resize(mark.scalars);
+    arrays_.resize(mark.arrays);
+    tainted_.resize(mark.tainted);
+  }
+
+  void EmitLoop(int depth) {
+    const ScopeMark mark = OpenScope();
+    const std::string iter = FreshLocal("i");
+    const int bound = 2 + static_cast<int>(rng_.NextBelow(30));
+    Line(support::Format("for (int %s = 0; %s < %d; ++%s) {", iter.c_str(), iter.c_str(),
+                         bound, iter.c_str()));
+    ++indent_;
+    scalars_.push_back(iter);
+    EmitBlockBody(depth - 1, 1 + static_cast<int>(rng_.NextBelow(3)));
+    --indent_;
+    Line("}");
+    CloseScope(mark);
+  }
+
+  void EmitIf(int depth) {
+    Line(support::Format("if (%s) {", CondExpr().c_str()));
+    ++indent_;
+    const ScopeMark then_mark = OpenScope();
+    EmitBlockBody(depth - 1, 1 + static_cast<int>(rng_.NextBelow(3)));
+    CloseScope(then_mark);
+    --indent_;
+    if (rng_.NextBool(0.4)) {
+      Line("} else {");
+      ++indent_;
+      const ScopeMark else_mark = OpenScope();
+      EmitBlockBody(depth - 1, 1 + static_cast<int>(rng_.NextBelow(2)));
+      CloseScope(else_mark);
+      --indent_;
+    }
+    Line("}");
+  }
+
+  void EmitSwitch(int depth) {
+    if (scalars_.empty()) {
+      return;
+    }
+    Line(support::Format("switch (%s) {", scalars_[rng_.NextBelow(scalars_.size())].c_str()));
+    ++indent_;
+    const int cases = 2 + static_cast<int>(rng_.NextBelow(4));
+    for (int c = 0; c < cases; ++c) {
+      Line(support::Format("case %d:", c));
+      ++indent_;
+      const ScopeMark mark = OpenScope();
+      EmitBlockBody(depth - 1, 1);
+      CloseScope(mark);
+      Line("break;");
+      --indent_;
+    }
+    Line("default:");
+    ++indent_;
+    const ScopeMark mark = OpenScope();
+    EmitBlockBody(depth - 1, 1);
+    CloseScope(mark);
+    --indent_;
+    --indent_;
+    Line("}");
+  }
+
+  void EmitBlockBody(int depth, int statements) {
+    for (int s = 0; s < statements; ++s) {
+      const double roll = rng_.NextDouble();
+      const double nest_p = depth > 0 ? 0.15 + 0.35 * style_.complexity : 0.0;
+      // Taint-heavy applications genuinely read more external input: the
+      // input-statement band widens with the style knob so the density is
+      // recoverable from the code (dataflow.input_sites_per_kloc).
+      const double input_w = 0.04 + 0.20 * style_.taintiness;
+      if (roll < nest_p) {
+        const double which = rng_.NextDouble();
+        if (which < 0.45) {
+          EmitIf(depth);
+        } else if (which < 0.8) {
+          EmitLoop(depth);
+        } else {
+          EmitSwitch(depth);
+        }
+      } else if (roll < nest_p + input_w) {
+        EmitInputRead();
+      } else if (roll < nest_p + input_w + 0.20) {
+        EmitIndexing();
+      } else if (roll < nest_p + input_w + 0.30) {
+        EmitDivision();
+      } else if (roll < nest_p + input_w + 0.38) {
+        EmitSink();
+      } else if (roll < nest_p + input_w + 0.48) {
+        EmitCall();
+      } else if (roll < nest_p + input_w + 0.66) {
+        EmitDecl();
+      } else if (!scalars_.empty()) {
+        // Plain assignment / update.
+        const std::string& target = scalars_[rng_.NextBelow(scalars_.size())];
+        Line(support::Format("%s %s %s;", target.c_str(),
+                             rng_.NextBool(0.5) ? "=" : "+=", Expr(2).c_str()));
+      } else {
+        EmitDecl();
+      }
+    }
+  }
+
+  void EmitFunction() {
+    scalars_.clear();
+    arrays_.clear();
+    tainted_.clear();
+    // Globals are in scope everywhere.
+    for (const auto& g : global_scalars_) {
+      scalars_.push_back(g);
+    }
+    const std::string name = support::Format(
+        "%s_%s_%d", Pick(rng_, kVerbs, 10).c_str(), Pick(rng_, kNouns, 12).c_str(),
+        next_function_++);
+    const int params = static_cast<int>(rng_.NextBelow(
+        2 + static_cast<uint64_t>(4.0 * style_.complexity)));
+    std::string signature = "int " + name + "(";
+    for (int p = 0; p < params; ++p) {
+      if (p > 0) {
+        signature += ", ";
+      }
+      const std::string param = support::Format("arg%d", p);
+      signature += "int " + param;
+      scalars_.push_back(param);
+    }
+    signature += ") {";
+    const int budget = CommentBudget(2);
+    for (int i = 0; i < budget; ++i) {
+      Line(support::Format("// %s the %s buffer.", Pick(rng_, kVerbs, 10).c_str(),
+                           Pick(rng_, kNouns, 12).c_str()));
+    }
+    Line(signature);
+    ++indent_;
+    const int depth = 1 + static_cast<int>(rng_.NextBelow(
+        1 + static_cast<uint64_t>(3.0 * style_.complexity)));
+    const int statements = 4 + static_cast<int>(rng_.NextBelow(8));
+    EmitBlockBody(depth, statements);
+    Line(support::Format("return %s;", Expr(1).c_str()));
+    --indent_;
+    Line("}");
+    functions_.push_back({name, params});
+  }
+
+  support::Rng& rng_;
+  const AppStyle& style_;
+  std::string out_;
+  int lines_ = 0;
+  int indent_ = 0;
+  int next_local_ = 0;
+  int next_function_ = 0;
+  std::vector<std::string> scalars_;
+  std::vector<ArrayVar> arrays_;
+  std::vector<std::string> tainted_;
+  struct FunctionSig {
+    std::string name;
+    int params;
+  };
+  std::vector<FunctionSig> functions_;
+  std::vector<std::string> global_scalars_;
+  std::vector<ArrayVar> global_arrays_;
+};
+
+}  // namespace
+
+std::string GenerateMiniCFile(support::Rng& rng, const AppStyle& style, int target_lines) {
+  return MiniCGenerator(rng, style).Generate(target_lines);
+}
+
+std::string GeneratePythonFile(support::Rng& rng, const AppStyle& style, int target_lines) {
+  std::string out = "# Synthetic module.\n\"\"\"Docstring describing the module.\n";
+  int lines = 2;
+  const int doc = 1 + static_cast<int>(rng.NextBelow(4));
+  for (int i = 0; i < doc; ++i) {
+    out += "Detailed behaviour notes for maintainers.\n";
+    ++lines;
+  }
+  out += "\"\"\"\n\n";
+  lines += 2;
+  int fn = 0;
+  while (lines < target_lines) {
+    out += support::Format("def %s_%s_%d(value, limit):\n", Pick(rng, kVerbs, 10).c_str(),
+                           Pick(rng, kNouns, 12).c_str(), fn++);
+    ++lines;
+    if (rng.NextBool(0.5 * (1.0 - style.complexity) + 0.2)) {
+      out += "    # Normalise the inputs before processing.\n";
+      ++lines;
+    }
+    const int body = 3 + static_cast<int>(rng.NextBelow(8));
+    for (int s = 0; s < body; ++s) {
+      const double roll = rng.NextDouble();
+      if (roll < 0.3 * style.complexity) {
+        out += support::Format("    if value > %d:\n        value -= limit\n",
+                               static_cast<int>(rng.NextBelow(100)));
+        lines += 2;
+      } else if (roll < 0.5) {
+        out += support::Format("    value = value * %d + %d\n",
+                               static_cast<int>(rng.NextBelow(9) + 1),
+                               static_cast<int>(rng.NextBelow(17)));
+        ++lines;
+      } else if (roll < 0.6) {
+        out += "    value = parse_external(value)\n";
+        ++lines;
+      } else {
+        out += support::Format("    limit = limit + %d\n",
+                               static_cast<int>(rng.NextBelow(5)));
+        ++lines;
+      }
+    }
+    out += "    return value\n\n";
+    lines += 2;
+  }
+  return out;
+}
+
+std::string GenerateJavaFile(support::Rng& rng, const AppStyle& style, int target_lines) {
+  std::string out = support::Format(
+      "/* Synthetic class. */\npublic class Module%04d {\n",
+      static_cast<int>(rng.NextBelow(10000)));
+  int lines = 2;
+  int fn = 0;
+  while (lines < target_lines - 1) {
+    if (rng.NextBool(0.4 * (1.0 - style.complexity) + 0.2)) {
+      out += "    // Validates and transforms the payload.\n";
+      ++lines;
+    }
+    out += support::Format("    public int %s%s%d(int value, int limit) {\n",
+                           Pick(rng, kVerbs, 10).c_str(), Pick(rng, kNouns, 12).c_str(),
+                           fn++);
+    ++lines;
+    const int body = 3 + static_cast<int>(rng.NextBelow(8));
+    for (int s = 0; s < body; ++s) {
+      const double roll = rng.NextDouble();
+      if (roll < 0.3 * style.complexity) {
+        out += support::Format("        if (value > %d) { value -= limit; }\n",
+                               static_cast<int>(rng.NextBelow(100)));
+        ++lines;
+      } else {
+        out += support::Format("        value = value * %d + %d;\n",
+                               static_cast<int>(rng.NextBelow(9) + 1),
+                               static_cast<int>(rng.NextBelow(17)));
+        ++lines;
+      }
+    }
+    out += "        return value;\n    }\n\n";
+    lines += 3;
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace corpus

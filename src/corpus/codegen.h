@@ -1,0 +1,29 @@
+// Source-text generators for the synthetic corpus. The MiniC generator
+// emits parseable translation units whose structure reflects the app's
+// latent style (complexity, unsafety, taintiness) so the static analyses
+// can recover that signal; the Python/Java generators emit text with
+// realistic line-class and declaration structure for the text-level
+// extractors.
+#ifndef SRC_CORPUS_CODEGEN_H_
+#define SRC_CORPUS_CODEGEN_H_
+
+#include <string>
+
+#include "src/corpus/ecosystem.h"
+#include "src/support/rng.h"
+
+namespace corpus {
+
+// Generates one MiniC translation unit of roughly `target_lines` lines.
+// Guaranteed to parse and lower cleanly (validated by tests over many seeds).
+std::string GenerateMiniCFile(support::Rng& rng, const AppStyle& style, int target_lines);
+
+// Generates Python-flavoured text (defs, #-comments, docstrings).
+std::string GeneratePythonFile(support::Rng& rng, const AppStyle& style, int target_lines);
+
+// Generates Java-flavoured text (class with methods, /* */ and // comments).
+std::string GenerateJavaFile(support::Rng& rng, const AppStyle& style, int target_lines);
+
+}  // namespace corpus
+
+#endif  // SRC_CORPUS_CODEGEN_H_

@@ -1,0 +1,321 @@
+#include "src/corpus/ecosystem.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/corpus/codegen.h"
+#include "src/cvss/cwe.h"
+#include "src/support/strings.h"
+
+namespace corpus {
+namespace {
+
+const char* const kNamePrefixes[] = {"open", "lib",  "net",   "fast", "micro", "core",
+                                     "sys",  "data", "turbo", "zen",  "iron",  "ultra"};
+const char* const kNameStems[] = {"cache", "proxy", "parse", "mail",  "http", "vault",
+                                  "queue", "forge", "store", "trace", "gate", "sock"};
+
+// April 2017 (data-collection date in the paper), in days since 1999-01-01.
+constexpr cvedb::DayStamp kCollectionDay = (2017 - 1999) * cvedb::kDaysPerYear + 100;
+
+metrics::Language PickLanguage(int index, int total) {
+  // Deterministic proportional mix: 126 C : 20 C++ : 6 Python : 12 Java.
+  const double f = (static_cast<double>(index) + 0.5) / total;
+  if (f < 126.0 / 164.0) {
+    return metrics::Language::kC;
+  }
+  if (f < 146.0 / 164.0) {
+    return metrics::Language::kCpp;
+  }
+  if (f < 152.0 / 164.0) {
+    return metrics::Language::kPython;
+  }
+  return metrics::Language::kJava;
+}
+
+bool IsCFamily(metrics::Language lang) {
+  return lang == metrics::Language::kC || lang == metrics::Language::kCpp ||
+         lang == metrics::Language::kMiniC;
+}
+
+// CWE sampling profiles: (cwe id, weight) per language family; unsafety
+// tilts the memory-safety mass for C-family apps.
+int SampleCwe(support::Rng& rng, metrics::Language lang, const AppStyle& style) {
+  struct Entry {
+    int cwe;
+    double weight;
+  };
+  static const Entry kCFamily[] = {
+      {cvss::kCweStackBufferOverflow, 14.0}, {cvss::kCweHeapBufferOverflow, 10.0},
+      {cvss::kCweOutOfBoundsRead, 12.0},     {cvss::kCweOutOfBoundsWrite, 10.0},
+      {cvss::kCweUseAfterFree, 8.0},         {cvss::kCweDoubleFree, 3.0},
+      {cvss::kCweNullDeref, 8.0},            {cvss::kCweIntegerOverflow, 7.0},
+      {cvss::kCweDivideByZero, 2.0},         {cvss::kCweInputValidation, 8.0},
+      {cvss::kCwePathTraversal, 3.0},        {cvss::kCweFormatString, 3.0},
+      {cvss::kCweCommandInjection, 3.0},     {cvss::kCweInfoExposure, 4.0},
+      {cvss::kCweAuthBypass, 2.0},           {cvss::kCweRaceCondition, 3.0},
+      {cvss::kCweResourceExhaustion, 3.0},   {cvss::kCweWeakCrypto, 2.0},
+  };
+  static const Entry kManaged[] = {
+      {cvss::kCweSqlInjection, 12.0},      {cvss::kCweXss, 12.0},
+      {cvss::kCweCommandInjection, 6.0},   {cvss::kCwePathTraversal, 8.0},
+      {cvss::kCweInputValidation, 14.0},   {cvss::kCweAuthBypass, 10.0},
+      {cvss::kCweInfoExposure, 10.0},      {cvss::kCwePermissions, 6.0},
+      {cvss::kCweWeakCrypto, 8.0},         {cvss::kCweHardcodedCreds, 4.0},
+      {cvss::kCweResourceExhaustion, 5.0}, {cvss::kCweIntegerOverflow, 3.0},
+      {cvss::kCweRaceCondition, 2.0},
+  };
+  std::vector<double> weights;
+  const Entry* table;
+  size_t size;
+  if (IsCFamily(lang)) {
+    table = kCFamily;
+    size = sizeof(kCFamily) / sizeof(kCFamily[0]);
+  } else {
+    table = kManaged;
+    size = sizeof(kManaged) / sizeof(kManaged[0]);
+  }
+  weights.reserve(size);
+  for (size_t i = 0; i < size; ++i) {
+    double w = table[i].weight;
+    if (cvss::CategoryOf(table[i].cwe) == cvss::CweCategory::kMemorySafety) {
+      w *= 0.6 + 0.8 * style.unsafety;
+    }
+    weights.push_back(w);
+  }
+  return table[rng.Categorical(weights)].cwe;
+}
+
+cvss::Vector SampleCvssVector(support::Rng& rng, int cwe, const AppStyle& style) {
+  cvss::Vector v;
+  // Attack vector: network bias grows with how much external input the app
+  // handles.
+  const double p_network = 0.40 + 0.35 * style.taintiness;
+  const double roll = rng.NextDouble();
+  if (roll < p_network) {
+    v.av = cvss::AttackVector::kNetwork;
+  } else if (roll < p_network + 0.15) {
+    v.av = cvss::AttackVector::kAdjacent;
+  } else if (roll < p_network + 0.50) {
+    v.av = cvss::AttackVector::kLocal;
+  } else {
+    v.av = cvss::AttackVector::kPhysical;
+  }
+  v.ac = rng.NextBool(0.65) ? cvss::AttackComplexity::kLow : cvss::AttackComplexity::kHigh;
+  const double pr_roll = rng.NextDouble();
+  v.pr = pr_roll < 0.55   ? cvss::PrivilegesRequired::kNone
+         : pr_roll < 0.85 ? cvss::PrivilegesRequired::kLow
+                          : cvss::PrivilegesRequired::kHigh;
+  v.ui = rng.NextBool(0.7) ? cvss::UserInteraction::kNone : cvss::UserInteraction::kRequired;
+  v.scope = rng.NextBool(0.12) ? cvss::Scope::kChanged : cvss::Scope::kUnchanged;
+
+  auto impact = [&rng](double p_high, double p_low) {
+    const double r = rng.NextDouble();
+    if (r < p_high) {
+      return cvss::Impact::kHigh;
+    }
+    if (r < p_high + p_low) {
+      return cvss::Impact::kLow;
+    }
+    return cvss::Impact::kNone;
+  };
+  switch (cvss::CategoryOf(cwe)) {
+    case cvss::CweCategory::kMemorySafety:
+      v.confidentiality = impact(0.55, 0.25);
+      v.integrity = impact(0.55, 0.25);
+      v.availability = impact(0.70, 0.20);
+      break;
+    case cvss::CweCategory::kInjection:
+      v.confidentiality = impact(0.65, 0.25);
+      v.integrity = impact(0.60, 0.25);
+      v.availability = impact(0.25, 0.35);
+      break;
+    case cvss::CweCategory::kInformationLeak:
+      v.confidentiality = impact(0.75, 0.25);
+      v.integrity = impact(0.05, 0.20);
+      v.availability = impact(0.05, 0.15);
+      break;
+    case cvss::CweCategory::kAccessControl:
+      v.confidentiality = impact(0.50, 0.30);
+      v.integrity = impact(0.50, 0.30);
+      v.availability = impact(0.20, 0.30);
+      break;
+    case cvss::CweCategory::kResourceManagement:
+      v.confidentiality = impact(0.05, 0.15);
+      v.integrity = impact(0.05, 0.15);
+      v.availability = impact(0.80, 0.15);
+      break;
+    default:
+      v.confidentiality = impact(0.35, 0.35);
+      v.integrity = impact(0.35, 0.35);
+      v.availability = impact(0.35, 0.35);
+      break;
+  }
+  // Ensure at least some impact (a CVE with no impact would not be filed).
+  if (v.confidentiality == cvss::Impact::kNone && v.integrity == cvss::Impact::kNone &&
+      v.availability == cvss::Impact::kNone) {
+    v.availability = cvss::Impact::kLow;
+  }
+  return v;
+}
+
+}  // namespace
+
+EcosystemGenerator::EcosystemGenerator(const CorpusOptions& options) : options_(options) {
+  GenerateSpecs();
+  GenerateCveHistories();
+}
+
+const AppSpec* EcosystemGenerator::FindSpec(const std::string& name) const {
+  for (const auto& spec : specs_) {
+    if (spec.name == name) {
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+void EcosystemGenerator::GenerateSpecs() {
+  support::Rng rng(options_.seed);
+  const int total = options_.mature_apps + options_.immature_apps;
+  // Noise budget: the style terms plus residual noise must leave the log–log
+  // LoC regression at target_r_squared given slope and Var(log10 kLoC).
+  const double x_sigma = 0.75;
+  const double explained = options_.loc_log_slope * options_.loc_log_slope * x_sigma * x_sigma;
+  const double noise_total =
+      explained * (1.0 - options_.target_r_squared) / options_.target_r_squared;
+  // Four uniform style terms with coefficient alpha contribute
+  // 4·alpha²/12 of variance; the Gaussian residual supplies the rest.
+  const double alpha = 0.55;
+  const double style_var = 4.0 * alpha * alpha / 12.0;
+  const double residual_sigma = std::sqrt(std::max(noise_total - style_var, 0.01));
+
+  for (int i = 0; i < total; ++i) {
+    AppSpec spec;
+    const bool mature = i < options_.mature_apps;
+    spec.language = PickLanguage(mature ? i : i - options_.mature_apps,
+                                 mature ? options_.mature_apps : options_.immature_apps);
+    spec.name = support::Format("%s%s%02d", kNamePrefixes[rng.NextBelow(12)],
+                                kNameStems[rng.NextBelow(12)], i);
+    double log_kloc = rng.Normal(1.55, x_sigma);
+    log_kloc = std::clamp(log_kloc, 0.0, 3.1);
+    spec.kloc_nominal = std::pow(10.0, log_kloc);
+    spec.kloc_target = spec.kloc_nominal * options_.size_scale;
+    spec.style.complexity = rng.NextDouble();
+    spec.style.unsafety = rng.NextDouble();
+    spec.style.taintiness = rng.NextDouble();
+    spec.style.maturity = rng.NextDouble();
+
+    double log_vulns = options_.loc_log_intercept + options_.loc_log_slope * log_kloc +
+                       alpha * (spec.style.complexity - 0.5) +
+                       alpha * (spec.style.unsafety - 0.5) +
+                       alpha * (spec.style.taintiness - 0.5) -
+                       alpha * (spec.style.maturity - 0.5) +
+                       rng.Normal(0.0, residual_sigma);
+    if (spec.language == metrics::Language::kJava) {
+      // The paper's (small) Java sample shows systematically fewer vulns.
+      log_vulns -= 0.25;
+    }
+    // At least two reports: a converging history needs both a first and a
+    // last CVE to define its span.
+    spec.vuln_count =
+        std::max(2, static_cast<int>(std::lround(std::pow(10.0, log_vulns))));
+
+    if (mature) {
+      const double span_years = 5.0 + rng.Uniform(0.0, 13.0);
+      spec.history_end = kCollectionDay - static_cast<cvedb::DayStamp>(rng.NextBelow(200));
+      spec.history_start =
+          spec.history_end -
+          static_cast<cvedb::DayStamp>(span_years * cvedb::kDaysPerYear);
+    } else {
+      const double span_years = rng.Uniform(0.2, 4.5);
+      spec.history_end = kCollectionDay - static_cast<cvedb::DayStamp>(rng.NextBelow(200));
+      spec.history_start =
+          spec.history_end -
+          static_cast<cvedb::DayStamp>(span_years * cvedb::kDaysPerYear);
+      spec.vuln_count = 1 + static_cast<int>(rng.NextBelow(5));
+    }
+    specs_.push_back(std::move(spec));
+  }
+}
+
+void EcosystemGenerator::GenerateCveHistories() {
+  support::Rng rng(options_.seed ^ 0xc0ffee);
+  int sequence = 10000;
+  for (const auto& spec : specs_) {
+    support::Rng app_rng = rng.Fork();
+    for (int k = 0; k < spec.vuln_count; ++k) {
+      cvedb::CveRecord record;
+      // Pin the first and last report to the span endpoints so the selected
+      // history length is exact; the rest fall uniformly in between.
+      if (k == 0) {
+        record.published = spec.history_start;
+      } else if (k == 1) {
+        record.published = spec.history_end;
+      } else {
+        record.published =
+            spec.history_start +
+            static_cast<cvedb::DayStamp>(app_rng.NextBelow(static_cast<uint64_t>(
+                spec.history_end - spec.history_start + 1)));
+      }
+      record.app = spec.name;
+      record.cwe = SampleCwe(app_rng, spec.language, spec.style);
+      record.vector = SampleCvssVector(app_rng, record.cwe, spec.style);
+      record.id = support::Format("CVE-%d-%05d", record.Year(), sequence++);
+      database_.Add(std::move(record));
+    }
+  }
+}
+
+std::vector<metrics::SourceFile> EcosystemGenerator::GenerateSources(
+    const AppSpec& spec) const {
+  // Per-app deterministic stream, independent of other apps.
+  uint64_t app_hash = 0xcbf29ce484222325ULL;
+  for (const char c : spec.name) {
+    app_hash = (app_hash ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+  }
+  support::Rng rng(options_.seed ^ app_hash);
+  std::vector<metrics::SourceFile> files;
+  long long remaining = static_cast<long long>(spec.kloc_target * 1000.0);
+  remaining = std::max(remaining, 60LL);
+  int index = 0;
+  while (remaining > 0) {
+    const int target =
+        static_cast<int>(std::min<long long>(remaining, 150 + rng.NextBelow(350)));
+    metrics::SourceFile file;
+    switch (spec.language) {
+      case metrics::Language::kC:
+      case metrics::Language::kCpp:
+      case metrics::Language::kMiniC: {
+        file.language = metrics::Language::kMiniC;
+        file.path = support::Format("%s/src/module_%04d.%s", spec.name.c_str(), index,
+                                    spec.language == metrics::Language::kCpp ? "cc" : "c");
+        file.text = GenerateMiniCFile(rng, spec.style, target);
+        break;
+      }
+      case metrics::Language::kPython:
+        file.language = metrics::Language::kPython;
+        file.path = support::Format("%s/src/module_%04d.py", spec.name.c_str(), index);
+        file.text = GeneratePythonFile(rng, spec.style, target);
+        break;
+      case metrics::Language::kJava:
+        file.language = metrics::Language::kJava;
+        file.path = support::Format("%s/src/Module%04d.java", spec.name.c_str(), index);
+        file.text = GenerateJavaFile(rng, spec.style, target);
+        break;
+    }
+    // Count what was actually produced (generators overshoot slightly).
+    long long produced = 0;
+    for (const char c : file.text) {
+      if (c == '\n') {
+        ++produced;
+      }
+    }
+    remaining -= std::max(produced, 1LL);
+    files.push_back(std::move(file));
+    ++index;
+  }
+  return files;
+}
+
+}  // namespace corpus

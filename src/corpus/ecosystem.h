@@ -1,0 +1,100 @@
+// Synthetic open-source ecosystem generator — the repository's substitute
+// for the NVD/CVE feed and the 164 real applications of the paper's study
+// (see DESIGN.md §2 for the substitution argument).
+//
+// The generator draws, per application: a primary language (126 C / 20 C++ /
+// 6 Python / 12 Java at the default scale), a size target (log-normal kLoC),
+// a latent style (complexity, unsafety, taintiness, maturity), and a CVE
+// history whose count follows the paper's Figure 2 marginal structure:
+//
+//   log10(vulns) = 0.17 + 0.39·log10(kLoC) + f(style) + noise
+//
+// with f(style) carrying signal that IS recoverable from the generated
+// source text (the style knobs drive the code generator), and
+// maturity+noise carrying variance that is NOT — calibrated so the log–log
+// LoC regression lands near the paper's R² ≈ 24.66%. CVE records receive
+// CWE classes and CVSS vectors from per-language, per-style profiles.
+//
+// Everything is deterministic given CorpusOptions::seed.
+#ifndef SRC_CORPUS_ECOSYSTEM_H_
+#define SRC_CORPUS_ECOSYSTEM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cvedb/cvedb.h"
+#include "src/metrics/cloc.h"
+#include "src/metrics/extract.h"
+#include "src/support/rng.h"
+
+namespace corpus {
+
+// Latent per-application style knobs, each in [0, 1].
+struct AppStyle {
+  double complexity = 0.5;  // Nesting, branches, function length.
+  double unsafety = 0.5;    // Unchecked indexing, unguarded division.
+  double taintiness = 0.5;  // Density of external input handling.
+  double maturity = 0.5;    // Review/testing quality: suppresses vulns but
+                            // is intentionally NOT visible in the code.
+};
+
+struct AppSpec {
+  std::string name;
+  metrics::Language language = metrics::Language::kC;
+  double kloc_nominal = 10.0;  // Unscaled size driving the vuln model.
+  double kloc_target = 10.0;   // Scaled size actually generated
+                               // (kloc_nominal × CorpusOptions::size_scale).
+  AppStyle style;
+  int vuln_count = 0;
+  cvedb::DayStamp history_start = 0;
+  cvedb::DayStamp history_end = 0;
+
+  double HistoryYears() const {
+    return static_cast<double>(history_end - history_start) / cvedb::kDaysPerYear;
+  }
+};
+
+struct CorpusOptions {
+  // Applications with a >= 5-year ("converging") CVE history; at the default
+  // 164 the language mix matches the paper: 126 C, 20 C++, 6 Python, 12 Java.
+  int mature_apps = 164;
+  // Additional young applications that the selection policy must filter out.
+  int immature_apps = 24;
+  uint64_t seed = 20170508;  // HotOS'17 started 2017-05-08.
+  // Scales every app's kLoC target; < 1 makes feature-extraction-heavy
+  // experiments affordable without changing the corpus's statistical shape.
+  double size_scale = 1.0;
+  // Figure 2 calibration targets.
+  double loc_log_intercept = 0.17;
+  double loc_log_slope = 0.39;
+  double target_r_squared = 0.2466;
+};
+
+class EcosystemGenerator {
+ public:
+  explicit EcosystemGenerator(const CorpusOptions& options);
+
+  const CorpusOptions& options() const { return options_; }
+  const std::vector<AppSpec>& specs() const { return specs_; }
+  const cvedb::Database& database() const { return database_; }
+
+  // Finds a spec by application name (nullptr if absent).
+  const AppSpec* FindSpec(const std::string& name) const;
+
+  // Generates the application's source files. Deterministic per app and
+  // independent of generation order (each app forks its own RNG stream).
+  std::vector<metrics::SourceFile> GenerateSources(const AppSpec& spec) const;
+
+ private:
+  void GenerateSpecs();
+  void GenerateCveHistories();
+
+  CorpusOptions options_;
+  std::vector<AppSpec> specs_;
+  cvedb::Database database_;
+};
+
+}  // namespace corpus
+
+#endif  // SRC_CORPUS_ECOSYSTEM_H_

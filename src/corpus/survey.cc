@@ -1,0 +1,68 @@
+#include "src/corpus/survey.h"
+
+#include "src/support/strings.h"
+
+namespace corpus {
+
+const char* EvalMethodName(EvalMethod method) {
+  switch (method) {
+    case EvalMethod::kLinesOfCode:
+      return "lines-of-code";
+    case EvalMethod::kCveReports:
+      return "cve-reports";
+    case EvalMethod::kFormalVerification:
+      return "formal-verification";
+  }
+  return "<bad>";
+}
+
+const std::vector<std::string>& SurveyVenues() {
+  static const std::vector<std::string> kVenues = {"CCS", "PLDI", "SOSP", "ASPLOS",
+                                                   "EuroSys"};
+  return kVenues;
+}
+
+std::vector<SurveyPaper> GenerateSurveyCorpus() {
+  // Per-venue counts read off the paper's Figure 1 stacked bars; each row
+  // sums to the paper's totals (384 / 116 / 31).
+  struct VenueCounts {
+    const char* venue;
+    int loc;
+    int cve;
+    int formal;
+  };
+  static const VenueCounts kCounts[] = {
+      {"CCS", 150, 80, 12}, {"PLDI", 40, 5, 8},    {"SOSP", 60, 10, 6},
+      {"ASPLOS", 70, 12, 2}, {"EuroSys", 64, 9, 3},
+  };
+  std::vector<SurveyPaper> papers;
+  int serial = 1;
+  for (const auto& row : kCounts) {
+    auto emit = [&](int count, EvalMethod method) {
+      for (int i = 0; i < count; ++i) {
+        SurveyPaper paper;
+        paper.title = support::Format("%s paper #%03d", row.venue, serial++);
+        paper.venue = row.venue;
+        paper.method = method;
+        papers.push_back(std::move(paper));
+      }
+    };
+    emit(row.loc, EvalMethod::kLinesOfCode);
+    emit(row.cve, EvalMethod::kCveReports);
+    emit(row.formal, EvalMethod::kFormalVerification);
+  }
+  return papers;
+}
+
+int CountSurvey(const std::vector<SurveyPaper>& papers, const std::string& venue,
+                EvalMethod method) {
+  int count = 0;
+  for (const auto& paper : papers) {
+    if (paper.venue == venue && paper.method == method) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace corpus

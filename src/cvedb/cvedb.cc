@@ -1,0 +1,165 @@
+#include "src/cvedb/cvedb.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/support/strings.h"
+
+namespace cvedb {
+
+using support::Error;
+
+void Database::Add(CveRecord record) {
+  by_app_.emplace(record.app, records_.size());
+  records_.push_back(std::move(record));
+}
+
+std::vector<const CveRecord*> Database::ForApp(std::string_view app) const {
+  std::vector<const CveRecord*> out;
+  const auto [begin, end] = by_app_.equal_range(app);
+  for (auto it = begin; it != end; ++it) {
+    out.push_back(&records_[it->second]);
+  }
+  std::sort(out.begin(), out.end(), [](const CveRecord* a, const CveRecord* b) {
+    if (a->published != b->published) {
+      return a->published < b->published;
+    }
+    return a->id < b->id;
+  });
+  return out;
+}
+
+std::vector<std::string> Database::Apps() const {
+  std::vector<std::string> apps;
+  for (auto it = by_app_.begin(); it != by_app_.end();
+       it = by_app_.upper_bound(it->first)) {
+    apps.push_back(it->first);
+  }
+  return apps;
+}
+
+AppSummary Database::Summarize(std::string_view app) const {
+  AppSummary summary;
+  summary.app = std::string(app);
+  const auto records = ForApp(app);
+  if (records.empty()) {
+    return summary;
+  }
+  summary.first = records.front()->published;
+  summary.last = records.back()->published;
+  double score_sum = 0.0;
+  for (const CveRecord* record : records) {
+    ++summary.total;
+    const double score = record->BaseScore();
+    score_sum += score;
+    summary.max_score = std::max(summary.max_score, score);
+    if (score >= 9.0) {
+      ++summary.critical;
+    }
+    if (score > 7.0) {
+      ++summary.high_or_worse;
+    }
+    if (record->vector.av == cvss::AttackVector::kNetwork) {
+      ++summary.network_vector;
+    }
+    if (record->vector.ac == cvss::AttackComplexity::kLow) {
+      ++summary.low_complexity;
+    }
+    if (record->vector.pr == cvss::PrivilegesRequired::kNone) {
+      ++summary.no_privileges;
+    }
+    if (record->vector.confidentiality == cvss::Impact::kHigh) {
+      ++summary.high_confidentiality;
+    }
+    if (record->cwe != 0) {
+      ++summary.by_cwe[record->cwe];
+    }
+  }
+  summary.mean_score = score_sum / static_cast<double>(summary.total);
+  return summary;
+}
+
+std::vector<std::string> Database::AppsWithConvergingHistory(double min_years) const {
+  std::vector<std::string> selected;
+  for (const auto& app : Apps()) {
+    const auto records = ForApp(app);
+    if (records.empty()) {
+      continue;
+    }
+    const double years = static_cast<double>(records.back()->published -
+                                             records.front()->published) /
+                         kDaysPerYear;
+    if (years >= min_years) {
+      selected.push_back(app);
+    }
+  }
+  return selected;
+}
+
+std::vector<const CveRecord*> Database::InDateRange(DayStamp from, DayStamp to) const {
+  std::vector<const CveRecord*> out;
+  for (const auto& record : records_) {
+    if (record.published >= from && record.published < to) {
+      out.push_back(&record);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const CveRecord* a, const CveRecord* b) {
+    if (a->published != b->published) {
+      return a->published < b->published;
+    }
+    return a->id < b->id;
+  });
+  return out;
+}
+
+std::string Database::Serialize() const {
+  // Deterministic order: by app, then date, then id.
+  std::string out;
+  for (const auto& app : Apps()) {
+    for (const CveRecord* record : ForApp(app)) {
+      out += support::Format("%s|%s|%d|%d|%s\n", record->id.c_str(), record->app.c_str(),
+                             record->published, record->cwe,
+                             cvss::ToVectorString(record->vector).c_str());
+    }
+  }
+  return out;
+}
+
+support::Result<Database> Database::Deserialize(std::string_view text) {
+  Database db;
+  int line_no = 0;
+  for (const auto& line : support::Split(text, '\n')) {
+    ++line_no;
+    if (support::Trim(line).empty()) {
+      continue;
+    }
+    const auto fields = support::Split(line, '|');
+    if (fields.size() != 5) {
+      return Error(Error::Code::kParseError,
+                   support::Format("line %d: expected 5 fields, got %zu", line_no,
+                                   fields.size()));
+    }
+    CveRecord record;
+    record.id = fields[0];
+    record.app = fields[1];
+    const auto published = support::ParseInt(fields[2]);
+    const auto cwe = support::ParseInt(fields[3]);
+    if (!published || !cwe) {
+      return Error(Error::Code::kParseError,
+                   support::Format("line %d: bad numeric field", line_no));
+    }
+    record.published = static_cast<DayStamp>(*published);
+    record.cwe = static_cast<int>(*cwe);
+    auto vector = cvss::ParseVectorString(fields[4]);
+    if (!vector.ok()) {
+      return Error(Error::Code::kParseError,
+                   support::Format("line %d: %s", line_no,
+                                   vector.error().message().c_str()));
+    }
+    record.vector = vector.value();
+    db.Add(std::move(record));
+  }
+  return db;
+}
+
+}  // namespace cvedb

@@ -1,0 +1,96 @@
+// An in-memory CVE (Common Vulnerabilities and Exposures) database — the
+// paper's §5.1 testbed substrate. Holds per-application vulnerability
+// histories with CVSS vectors and CWE classifications, supports the
+// "converging history" application-selection policy (≥ 5 years of reports),
+// and aggregates per-app label summaries for the training hypotheses.
+#ifndef SRC_CVEDB_CVEDB_H_
+#define SRC_CVEDB_CVEDB_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/cvss/cvss.h"
+#include "src/support/result.h"
+
+namespace cvedb {
+
+// Days since 1999-01-01 (the CVE program's first year); a plain count keeps
+// date arithmetic trivial and deterministic.
+using DayStamp = int32_t;
+inline constexpr int32_t kDaysPerYear = 365;
+
+struct CveRecord {
+  std::string id;          // "CVE-2014-01234".
+  std::string app;         // Application identifier.
+  DayStamp published = 0;
+  cvss::Vector vector;     // CVSS v3.0 metrics.
+  int cwe = 0;             // CWE id (0 = unclassified).
+
+  double BaseScore() const { return cvss::BaseScore(vector); }
+  int Year() const { return 1999 + published / kDaysPerYear; }
+};
+
+// Per-application aggregation used as ML ground truth.
+struct AppSummary {
+  std::string app;
+  int total = 0;
+  int critical = 0;           // CVSS >= 9.0.
+  int high_or_worse = 0;      // CVSS > 7.0 (the paper's "CVSS > 7" hypothesis).
+  int network_vector = 0;     // AV:N.
+  int low_complexity = 0;     // AC:L.
+  int no_privileges = 0;      // PR:N.
+  int high_confidentiality = 0;
+  std::map<int, int> by_cwe;
+  DayStamp first = 0;
+  DayStamp last = 0;
+  double max_score = 0.0;
+  double mean_score = 0.0;
+
+  double HistoryYears() const {
+    return static_cast<double>(last - first) / kDaysPerYear;
+  }
+  int CountCwe(int cwe) const {
+    const auto it = by_cwe.find(cwe);
+    return it == by_cwe.end() ? 0 : it->second;
+  }
+};
+
+class Database {
+ public:
+  void Add(CveRecord record);
+
+  size_t size() const { return records_.size(); }
+  const std::vector<CveRecord>& records() const { return records_; }
+
+  // All records for `app`, ordered by publication date.
+  std::vector<const CveRecord*> ForApp(std::string_view app) const;
+
+  // Distinct application names, sorted.
+  std::vector<std::string> Apps() const;
+
+  // Aggregates one application (empty summary if unknown).
+  AppSummary Summarize(std::string_view app) const;
+
+  // The paper's selection policy: applications whose CVE history spans at
+  // least `min_years` (newest minus oldest report).
+  std::vector<std::string> AppsWithConvergingHistory(double min_years = 5.0) const;
+
+  // Records in [from, to) by publication day.
+  std::vector<const CveRecord*> InDateRange(DayStamp from, DayStamp to) const;
+
+  // --- Serialization (one record per line, pipe-separated) ---
+  //   id|app|published|cwe|vector-string
+  std::string Serialize() const;
+  static support::Result<Database> Deserialize(std::string_view text);
+
+ private:
+  std::vector<CveRecord> records_;
+  std::multimap<std::string, size_t, std::less<>> by_app_;
+};
+
+}  // namespace cvedb
+
+#endif  // SRC_CVEDB_CVEDB_H_

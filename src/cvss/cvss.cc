@@ -1,0 +1,353 @@
+#include "src/cvss/cvss.h"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "src/support/strings.h"
+
+namespace cvss {
+namespace {
+
+using support::Error;
+
+double AvWeight(AttackVector av) {
+  switch (av) {
+    case AttackVector::kNetwork:
+      return 0.85;
+    case AttackVector::kAdjacent:
+      return 0.62;
+    case AttackVector::kLocal:
+      return 0.55;
+    case AttackVector::kPhysical:
+      return 0.20;
+  }
+  return 0.0;
+}
+
+double AcWeight(AttackComplexity ac) {
+  return ac == AttackComplexity::kLow ? 0.77 : 0.44;
+}
+
+double PrWeight(PrivilegesRequired pr, Scope scope) {
+  switch (pr) {
+    case PrivilegesRequired::kNone:
+      return 0.85;
+    case PrivilegesRequired::kLow:
+      return scope == Scope::kChanged ? 0.68 : 0.62;
+    case PrivilegesRequired::kHigh:
+      return scope == Scope::kChanged ? 0.50 : 0.27;
+  }
+  return 0.0;
+}
+
+double UiWeight(UserInteraction ui) {
+  return ui == UserInteraction::kNone ? 0.85 : 0.62;
+}
+
+double ImpactWeight(Impact impact) {
+  switch (impact) {
+    case Impact::kHigh:
+      return 0.56;
+    case Impact::kLow:
+      return 0.22;
+    case Impact::kNone:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+double ExploitWeight(ExploitMaturity e) {
+  switch (e) {
+    case ExploitMaturity::kNotDefined:
+    case ExploitMaturity::kHigh:
+      return 1.0;
+    case ExploitMaturity::kFunctional:
+      return 0.97;
+    case ExploitMaturity::kProofOfConcept:
+      return 0.94;
+    case ExploitMaturity::kUnproven:
+      return 0.91;
+  }
+  return 1.0;
+}
+
+double RemediationWeight(RemediationLevel rl) {
+  switch (rl) {
+    case RemediationLevel::kNotDefined:
+    case RemediationLevel::kUnavailable:
+      return 1.0;
+    case RemediationLevel::kWorkaround:
+      return 0.97;
+    case RemediationLevel::kTemporaryFix:
+      return 0.96;
+    case RemediationLevel::kOfficialFix:
+      return 0.95;
+  }
+  return 1.0;
+}
+
+double ConfidenceWeight(ReportConfidence rc) {
+  switch (rc) {
+    case ReportConfidence::kNotDefined:
+    case ReportConfidence::kConfirmed:
+      return 1.0;
+    case ReportConfidence::kReasonable:
+      return 0.96;
+    case ReportConfidence::kUnknown:
+      return 0.92;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+double RoundUp1(double value) {
+  // ceil to one decimal with a tolerance for binary representation error.
+  return std::ceil(value * 10.0 - 1e-9) / 10.0;
+}
+
+double BaseScore(const Vector& v) {
+  const double iss = 1.0 - (1.0 - ImpactWeight(v.confidentiality)) *
+                               (1.0 - ImpactWeight(v.integrity)) *
+                               (1.0 - ImpactWeight(v.availability));
+  double impact;
+  if (v.scope == Scope::kUnchanged) {
+    impact = 6.42 * iss;
+  } else {
+    impact = 7.52 * (iss - 0.029) - 3.25 * std::pow(iss - 0.02, 15.0);
+  }
+  const double exploitability =
+      8.22 * AvWeight(v.av) * AcWeight(v.ac) * PrWeight(v.pr, v.scope) * UiWeight(v.ui);
+  if (impact <= 0.0) {
+    return 0.0;
+  }
+  if (v.scope == Scope::kUnchanged) {
+    return RoundUp1(std::min(impact + exploitability, 10.0));
+  }
+  return RoundUp1(std::min(1.08 * (impact + exploitability), 10.0));
+}
+
+double TemporalScore(const Vector& v) {
+  return RoundUp1(BaseScore(v) * ExploitWeight(v.exploit) * RemediationWeight(v.remediation) *
+                  ConfidenceWeight(v.confidence));
+}
+
+Severity SeverityFor(double score) {
+  if (score <= 0.0) {
+    return Severity::kNone;
+  }
+  if (score < 4.0) {
+    return Severity::kLow;
+  }
+  if (score < 7.0) {
+    return Severity::kMedium;
+  }
+  if (score < 9.0) {
+    return Severity::kHigh;
+  }
+  return Severity::kCritical;
+}
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kNone:
+      return "None";
+    case Severity::kLow:
+      return "Low";
+    case Severity::kMedium:
+      return "Medium";
+    case Severity::kHigh:
+      return "High";
+    case Severity::kCritical:
+      return "Critical";
+  }
+  return "<bad>";
+}
+
+std::string ToVectorString(const Vector& v) {
+  std::string out = "CVSS:3.0";
+  auto append = [&out](const char* key, const char* value) {
+    out += '/';
+    out += key;
+    out += ':';
+    out += value;
+  };
+  append("AV", v.av == AttackVector::kNetwork    ? "N"
+              : v.av == AttackVector::kAdjacent  ? "A"
+              : v.av == AttackVector::kLocal     ? "L"
+                                                 : "P");
+  append("AC", v.ac == AttackComplexity::kLow ? "L" : "H");
+  append("PR", v.pr == PrivilegesRequired::kNone  ? "N"
+              : v.pr == PrivilegesRequired::kLow  ? "L"
+                                                  : "H");
+  append("UI", v.ui == UserInteraction::kNone ? "N" : "R");
+  append("S", v.scope == Scope::kUnchanged ? "U" : "C");
+  auto impact_code = [](Impact impact) {
+    return impact == Impact::kHigh ? "H" : impact == Impact::kLow ? "L" : "N";
+  };
+  append("C", impact_code(v.confidentiality));
+  append("I", impact_code(v.integrity));
+  append("A", impact_code(v.availability));
+  if (v.exploit != ExploitMaturity::kNotDefined) {
+    append("E", v.exploit == ExploitMaturity::kHigh             ? "H"
+               : v.exploit == ExploitMaturity::kFunctional      ? "F"
+               : v.exploit == ExploitMaturity::kProofOfConcept  ? "P"
+                                                                : "U");
+  }
+  if (v.remediation != RemediationLevel::kNotDefined) {
+    append("RL", v.remediation == RemediationLevel::kOfficialFix    ? "O"
+                : v.remediation == RemediationLevel::kTemporaryFix  ? "T"
+                : v.remediation == RemediationLevel::kWorkaround    ? "W"
+                                                                    : "U");
+  }
+  if (v.confidence != ReportConfidence::kNotDefined) {
+    append("RC", v.confidence == ReportConfidence::kConfirmed   ? "C"
+                : v.confidence == ReportConfidence::kReasonable ? "R"
+                                                                : "U");
+  }
+  return out;
+}
+
+support::Result<Vector> ParseVectorString(std::string_view text) {
+  const auto parts = support::Split(text, '/');
+  if (parts.empty() || parts[0] != "CVSS:3.0") {
+    return Error(Error::Code::kParseError, "vector must start with CVSS:3.0");
+  }
+  Vector v;
+  bool seen[8] = {false, false, false, false, false, false, false, false};
+  for (size_t i = 1; i < parts.size(); ++i) {
+    const auto kv = support::Split(parts[i], ':');
+    if (kv.size() != 2) {
+      return Error(Error::Code::kParseError, "malformed metric '" + parts[i] + "'");
+    }
+    const std::string& key = kv[0];
+    const std::string& val = kv[1];
+    auto fail = [&]() {
+      return Error(Error::Code::kParseError, "bad value for " + key + ": " + val);
+    };
+    if (key == "AV") {
+      seen[0] = true;
+      if (val == "N") {
+        v.av = AttackVector::kNetwork;
+      } else if (val == "A") {
+        v.av = AttackVector::kAdjacent;
+      } else if (val == "L") {
+        v.av = AttackVector::kLocal;
+      } else if (val == "P") {
+        v.av = AttackVector::kPhysical;
+      } else {
+        return fail();
+      }
+    } else if (key == "AC") {
+      seen[1] = true;
+      if (val == "L") {
+        v.ac = AttackComplexity::kLow;
+      } else if (val == "H") {
+        v.ac = AttackComplexity::kHigh;
+      } else {
+        return fail();
+      }
+    } else if (key == "PR") {
+      seen[2] = true;
+      if (val == "N") {
+        v.pr = PrivilegesRequired::kNone;
+      } else if (val == "L") {
+        v.pr = PrivilegesRequired::kLow;
+      } else if (val == "H") {
+        v.pr = PrivilegesRequired::kHigh;
+      } else {
+        return fail();
+      }
+    } else if (key == "UI") {
+      seen[3] = true;
+      if (val == "N") {
+        v.ui = UserInteraction::kNone;
+      } else if (val == "R") {
+        v.ui = UserInteraction::kRequired;
+      } else {
+        return fail();
+      }
+    } else if (key == "S") {
+      seen[4] = true;
+      if (val == "U") {
+        v.scope = Scope::kUnchanged;
+      } else if (val == "C") {
+        v.scope = Scope::kChanged;
+      } else {
+        return fail();
+      }
+    } else if (key == "C" || key == "I" || key == "A") {
+      Impact impact;
+      if (val == "H") {
+        impact = Impact::kHigh;
+      } else if (val == "L") {
+        impact = Impact::kLow;
+      } else if (val == "N") {
+        impact = Impact::kNone;
+      } else {
+        return fail();
+      }
+      if (key == "C") {
+        seen[5] = true;
+        v.confidentiality = impact;
+      } else if (key == "I") {
+        seen[6] = true;
+        v.integrity = impact;
+      } else {
+        seen[7] = true;
+        v.availability = impact;
+      }
+    } else if (key == "E") {
+      if (val == "X") {
+        v.exploit = ExploitMaturity::kNotDefined;
+      } else if (val == "H") {
+        v.exploit = ExploitMaturity::kHigh;
+      } else if (val == "F") {
+        v.exploit = ExploitMaturity::kFunctional;
+      } else if (val == "P") {
+        v.exploit = ExploitMaturity::kProofOfConcept;
+      } else if (val == "U") {
+        v.exploit = ExploitMaturity::kUnproven;
+      } else {
+        return fail();
+      }
+    } else if (key == "RL") {
+      if (val == "X") {
+        v.remediation = RemediationLevel::kNotDefined;
+      } else if (val == "O") {
+        v.remediation = RemediationLevel::kOfficialFix;
+      } else if (val == "T") {
+        v.remediation = RemediationLevel::kTemporaryFix;
+      } else if (val == "W") {
+        v.remediation = RemediationLevel::kWorkaround;
+      } else if (val == "U") {
+        v.remediation = RemediationLevel::kUnavailable;
+      } else {
+        return fail();
+      }
+    } else if (key == "RC") {
+      if (val == "X") {
+        v.confidence = ReportConfidence::kNotDefined;
+      } else if (val == "C") {
+        v.confidence = ReportConfidence::kConfirmed;
+      } else if (val == "R") {
+        v.confidence = ReportConfidence::kReasonable;
+      } else if (val == "U") {
+        v.confidence = ReportConfidence::kUnknown;
+      } else {
+        return fail();
+      }
+    } else {
+      return Error(Error::Code::kParseError, "unknown metric '" + key + "'");
+    }
+  }
+  for (const bool metric_seen : seen) {
+    if (!metric_seen) {
+      return Error(Error::Code::kParseError, "missing required base metric");
+    }
+  }
+  return v;
+}
+
+}  // namespace cvss

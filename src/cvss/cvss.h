@@ -1,0 +1,81 @@
+// CVSS v3.0 (Common Vulnerability Scoring System) — full base + temporal
+// scoring per the FIRST specification, including vector-string parsing and
+// emission. The paper's prediction targets (§5.2) are built from these
+// factors: attack vector, attack complexity, privileges required, C/I/A
+// impact, and the aggregated score.
+#ifndef SRC_CVSS_CVSS_H_
+#define SRC_CVSS_CVSS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/support/result.h"
+
+namespace cvss {
+
+enum class AttackVector : uint8_t { kNetwork, kAdjacent, kLocal, kPhysical };
+enum class AttackComplexity : uint8_t { kLow, kHigh };
+enum class PrivilegesRequired : uint8_t { kNone, kLow, kHigh };
+enum class UserInteraction : uint8_t { kNone, kRequired };
+enum class Scope : uint8_t { kUnchanged, kChanged };
+enum class Impact : uint8_t { kNone, kLow, kHigh };
+
+// Temporal metrics; kNotDefined leaves the multiplier at 1.0.
+enum class ExploitMaturity : uint8_t {
+  kNotDefined,
+  kUnproven,
+  kProofOfConcept,
+  kFunctional,
+  kHigh,
+};
+enum class RemediationLevel : uint8_t {
+  kNotDefined,
+  kOfficialFix,
+  kTemporaryFix,
+  kWorkaround,
+  kUnavailable,
+};
+enum class ReportConfidence : uint8_t { kNotDefined, kUnknown, kReasonable, kConfirmed };
+
+enum class Severity : uint8_t { kNone, kLow, kMedium, kHigh, kCritical };
+
+const char* SeverityName(Severity severity);
+
+struct Vector {
+  AttackVector av = AttackVector::kNetwork;
+  AttackComplexity ac = AttackComplexity::kLow;
+  PrivilegesRequired pr = PrivilegesRequired::kNone;
+  UserInteraction ui = UserInteraction::kNone;
+  Scope scope = Scope::kUnchanged;
+  Impact confidentiality = Impact::kNone;
+  Impact integrity = Impact::kNone;
+  Impact availability = Impact::kNone;
+  ExploitMaturity exploit = ExploitMaturity::kNotDefined;
+  RemediationLevel remediation = RemediationLevel::kNotDefined;
+  ReportConfidence confidence = ReportConfidence::kNotDefined;
+
+  bool operator==(const Vector&) const = default;
+};
+
+// Base score in [0.0, 10.0], rounded up to one decimal per the spec.
+double BaseScore(const Vector& vector);
+// Temporal score (base further scaled by E/RL/RC).
+double TemporalScore(const Vector& vector);
+// Severity band for a score.
+Severity SeverityFor(double score);
+
+// Canonical vector string, e.g. "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"
+// (temporal metrics appended only when defined).
+std::string ToVectorString(const Vector& vector);
+
+// Parses a vector string. Requires the CVSS:3.0 prefix and all eight base
+// metrics; temporal metrics are optional. Unknown keys are an error.
+support::Result<Vector> ParseVectorString(std::string_view text);
+
+// Spec rounding: smallest number, to one decimal, >= input ("round up").
+double RoundUp1(double value);
+
+}  // namespace cvss
+
+#endif  // SRC_CVSS_CVSS_H_

@@ -1,0 +1,92 @@
+#include "src/cvss/cwe.h"
+
+namespace cvss {
+
+const char* CweCategoryName(CweCategory category) {
+  switch (category) {
+    case CweCategory::kMemorySafety:
+      return "memory-safety";
+    case CweCategory::kInjection:
+      return "injection";
+    case CweCategory::kInputValidation:
+      return "input-validation";
+    case CweCategory::kCrypto:
+      return "crypto";
+    case CweCategory::kConcurrency:
+      return "concurrency";
+    case CweCategory::kResourceManagement:
+      return "resource-management";
+    case CweCategory::kInformationLeak:
+      return "information-leak";
+    case CweCategory::kAccessControl:
+      return "access-control";
+    case CweCategory::kNumeric:
+      return "numeric";
+    case CweCategory::kOther:
+      return "other";
+  }
+  return "<bad>";
+}
+
+const std::vector<CweEntry>& CweTable() {
+  static const std::vector<CweEntry> kTable = {
+      {20, "Improper Input Validation", CweCategory::kInputValidation, 0},
+      {22, "Path Traversal", CweCategory::kInputValidation, 20},
+      {78, "OS Command Injection", CweCategory::kInjection, 20},
+      {79, "Cross-site Scripting", CweCategory::kInjection, 20},
+      {89, "SQL Injection", CweCategory::kInjection, 20},
+      {119, "Improper Restriction of Operations within Memory Buffer",
+       CweCategory::kMemorySafety, 0},
+      {121, "Stack-based Buffer Overflow", CweCategory::kMemorySafety, 119},
+      {122, "Heap-based Buffer Overflow", CweCategory::kMemorySafety, 119},
+      {125, "Out-of-bounds Read", CweCategory::kMemorySafety, 119},
+      {134, "Uncontrolled Format String", CweCategory::kInjection, 20},
+      {190, "Integer Overflow or Wraparound", CweCategory::kNumeric, 0},
+      {200, "Exposure of Sensitive Information", CweCategory::kInformationLeak, 0},
+      {287, "Improper Authentication", CweCategory::kAccessControl, 0},
+      {327, "Broken or Risky Cryptographic Algorithm", CweCategory::kCrypto, 0},
+      {362, "Race Condition", CweCategory::kConcurrency, 0},
+      {369, "Divide By Zero", CweCategory::kNumeric, 0},
+      {400, "Uncontrolled Resource Consumption", CweCategory::kResourceManagement, 0},
+      {415, "Double Free", CweCategory::kMemorySafety, 119},
+      {416, "Use After Free", CweCategory::kMemorySafety, 119},
+      {476, "NULL Pointer Dereference", CweCategory::kMemorySafety, 0},
+      {674, "Uncontrolled Recursion", CweCategory::kResourceManagement, 400},
+      {732, "Incorrect Permission Assignment", CweCategory::kAccessControl, 0},
+      {787, "Out-of-bounds Write", CweCategory::kMemorySafety, 119},
+      {798, "Use of Hard-coded Credentials", CweCategory::kAccessControl, 287},
+  };
+  return kTable;
+}
+
+const CweEntry* FindCwe(int id) {
+  for (const auto& entry : CweTable()) {
+    if (entry.id == id) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+CweCategory CategoryOf(int id) {
+  const CweEntry* entry = FindCwe(id);
+  return entry == nullptr ? CweCategory::kOther : entry->category;
+}
+
+bool IsA(int id, int ancestor) {
+  int current = id;
+  // The curated tree is shallow; bound the walk defensively anyway.
+  for (int hops = 0; hops < 16; ++hops) {
+    if (current == ancestor) {
+      return true;
+    }
+    const CweEntry* entry = FindCwe(current);
+    if (entry == nullptr || entry->parent == 0) {
+      return ancestor == 0;
+    }
+    current = entry->parent;
+  }
+  return false;
+}
+
+}  // namespace cvss

@@ -1,0 +1,76 @@
+// A curated subtree of the Common Weakness Enumeration (CWE) taxonomy — the
+// classification half of the paper's prediction targets ("Does an
+// application suffer any stack-based buffer overflow (CWE = 121)?").
+#ifndef SRC_CVSS_CWE_H_
+#define SRC_CVSS_CWE_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace cvss {
+
+// Weakness categories the corpus generator and hypotheses group CWEs into.
+enum class CweCategory : uint8_t {
+  kMemorySafety,
+  kInjection,
+  kInputValidation,
+  kCrypto,
+  kConcurrency,
+  kResourceManagement,
+  kInformationLeak,
+  kAccessControl,
+  kNumeric,
+  kOther,
+};
+
+const char* CweCategoryName(CweCategory category);
+
+struct CweEntry {
+  int id = 0;
+  const char* name = "";
+  CweCategory category = CweCategory::kOther;
+  int parent = 0;  // 0 = taxonomy root.
+};
+
+// The full curated table (sorted by id).
+const std::vector<CweEntry>& CweTable();
+
+// Lookup by id; nullptr if the id is not in the curated subtree.
+const CweEntry* FindCwe(int id);
+
+// Category for an id (kOther for unknown ids).
+CweCategory CategoryOf(int id);
+
+// True if `id` equals `ancestor` or `ancestor` is reachable via parents.
+bool IsA(int id, int ancestor);
+
+// Well-known ids used throughout the library.
+inline constexpr int kCweStackBufferOverflow = 121;
+inline constexpr int kCweHeapBufferOverflow = 122;
+inline constexpr int kCweBufferOverflowParent = 119;  // Improper memory bounds.
+inline constexpr int kCweOutOfBoundsRead = 125;
+inline constexpr int kCweOutOfBoundsWrite = 787;
+inline constexpr int kCweUseAfterFree = 416;
+inline constexpr int kCweDoubleFree = 415;
+inline constexpr int kCweNullDeref = 476;
+inline constexpr int kCweIntegerOverflow = 190;
+inline constexpr int kCweDivideByZero = 369;
+inline constexpr int kCweSqlInjection = 89;
+inline constexpr int kCweCommandInjection = 78;
+inline constexpr int kCweXss = 79;
+inline constexpr int kCwePathTraversal = 22;
+inline constexpr int kCweFormatString = 134;
+inline constexpr int kCweInputValidation = 20;
+inline constexpr int kCweRaceCondition = 362;
+inline constexpr int kCweInfoExposure = 200;
+inline constexpr int kCweAuthBypass = 287;
+inline constexpr int kCwePermissions = 732;
+inline constexpr int kCweWeakCrypto = 327;
+inline constexpr int kCweHardcodedCreds = 798;
+inline constexpr int kCweResourceExhaustion = 400;
+inline constexpr int kCweUncontrolledRecursion = 674;
+
+}  // namespace cvss
+
+#endif  // SRC_CVSS_CWE_H_

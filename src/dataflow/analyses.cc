@@ -1,0 +1,587 @@
+#include "src/dataflow/analyses.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace dataflow {
+namespace {
+
+bool WritesDst(const lang::IrInstr& instr) {
+  switch (instr.op) {
+    case lang::IrOpcode::kConst:
+    case lang::IrOpcode::kCopy:
+    case lang::IrOpcode::kUnOp:
+    case lang::IrOpcode::kBinOp:
+    case lang::IrOpcode::kLoadGlobal:
+    case lang::IrOpcode::kArrayLoad:
+    case lang::IrOpcode::kCall:
+    case lang::IrOpcode::kInput:
+      return instr.dst != lang::kNoReg;
+    default:
+      return false;
+  }
+}
+
+// Register operands read by an instruction.
+void ForEachUse(const lang::IrInstr& instr, const std::function<void(lang::RegId)>& fn) {
+  switch (instr.op) {
+    case lang::IrOpcode::kConst:
+    case lang::IrOpcode::kInput:
+      break;
+    case lang::IrOpcode::kCopy:
+    case lang::IrOpcode::kUnOp:
+    case lang::IrOpcode::kStoreGlobal:
+    case lang::IrOpcode::kOutput:
+    case lang::IrOpcode::kAssume:
+    case lang::IrOpcode::kArrayLoad:
+      if (instr.a != lang::kNoReg) {
+        fn(instr.a);
+      }
+      break;
+    case lang::IrOpcode::kBinOp:
+    case lang::IrOpcode::kArrayStore:
+      if (instr.a != lang::kNoReg) {
+        fn(instr.a);
+      }
+      if (instr.b != lang::kNoReg) {
+        fn(instr.b);
+      }
+      break;
+    case lang::IrOpcode::kCall:
+      for (lang::RegId arg : instr.args) {
+        fn(arg);
+      }
+      break;
+    case lang::IrOpcode::kLoadGlobal:
+      break;
+  }
+}
+
+std::vector<lang::BlockId> ReversePostOrder(const lang::IrFunction& fn) {
+  std::vector<bool> seen(fn.blocks.size(), false);
+  std::vector<lang::BlockId> post;
+  // Iterative DFS with explicit post-order emission.
+  std::vector<std::pair<lang::BlockId, size_t>> stack;
+  stack.emplace_back(0, 0);
+  seen[0] = true;
+  while (!stack.empty()) {
+    auto& [block, child] = stack.back();
+    const auto succs = fn.Successors(block);
+    if (child < succs.size()) {
+      const lang::BlockId next = succs[child++];
+      if (!seen[static_cast<size_t>(next)]) {
+        seen[static_cast<size_t>(next)] = true;
+        stack.emplace_back(next, 0);
+      }
+    } else {
+      post.push_back(block);
+      stack.pop_back();
+    }
+  }
+  std::reverse(post.begin(), post.end());
+  return post;
+}
+
+std::vector<std::vector<lang::BlockId>> Predecessors(const lang::IrFunction& fn) {
+  std::vector<std::vector<lang::BlockId>> preds(fn.blocks.size());
+  for (size_t b = 0; b < fn.blocks.size(); ++b) {
+    for (lang::BlockId succ : fn.Successors(static_cast<lang::BlockId>(b))) {
+      preds[static_cast<size_t>(succ)].push_back(static_cast<lang::BlockId>(b));
+    }
+  }
+  return preds;
+}
+
+void SetUnion(std::vector<bool>& dst, const std::vector<bool>& src) {
+  for (size_t i = 0; i < dst.size(); ++i) {
+    if (src[i]) {
+      dst[i] = true;
+    }
+  }
+}
+
+}  // namespace
+
+// --- Reaching definitions ----------------------------------------------------
+
+ReachingDefinitions::ReachingDefinitions(const lang::IrFunction& fn) : fn_(fn) {
+  // Collect all definition sites.
+  for (size_t b = 0; b < fn.blocks.size(); ++b) {
+    const auto& block = fn.blocks[b];
+    for (size_t i = 0; i < block.instrs.size(); ++i) {
+      if (WritesDst(block.instrs[i])) {
+        defs_.push_back({static_cast<lang::BlockId>(b), static_cast<int>(i),
+                         block.instrs[i].dst});
+      }
+    }
+  }
+  const size_t num_defs = defs_.size();
+  const size_t num_blocks = fn.blocks.size();
+  std::vector<std::vector<bool>> gen(num_blocks, std::vector<bool>(num_defs, false));
+  std::vector<std::vector<bool>> kill(num_blocks, std::vector<bool>(num_defs, false));
+  // Defs of the same register kill each other; the last def in a block
+  // generates.
+  for (size_t d = 0; d < num_defs; ++d) {
+    const auto& site = defs_[d];
+    // Is d the last def of its reg in its block?
+    bool is_last = true;
+    for (size_t e = 0; e < num_defs; ++e) {
+      if (e != d && defs_[e].block == site.block && defs_[e].reg == site.reg &&
+          defs_[e].instr_index > site.instr_index) {
+        is_last = false;
+        break;
+      }
+    }
+    if (is_last) {
+      gen[static_cast<size_t>(site.block)][d] = true;
+    }
+    for (size_t e = 0; e < num_defs; ++e) {
+      if (defs_[e].reg == site.reg && defs_[e].block != site.block) {
+        kill[static_cast<size_t>(site.block)][e] = true;
+      }
+    }
+  }
+  in_.assign(num_blocks, std::vector<bool>(num_defs, false));
+  out_.assign(num_blocks, std::vector<bool>(num_defs, false));
+  const auto preds = Predecessors(fn);
+  const auto rpo = ReversePostOrder(fn);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (lang::BlockId b : rpo) {
+      const auto bu = static_cast<size_t>(b);
+      std::vector<bool> new_in(num_defs, false);
+      for (lang::BlockId p : preds[bu]) {
+        SetUnion(new_in, out_[static_cast<size_t>(p)]);
+      }
+      std::vector<bool> new_out = new_in;
+      for (size_t d = 0; d < num_defs; ++d) {
+        if (kill[bu][d]) {
+          new_out[d] = false;
+        }
+        if (gen[bu][d]) {
+          new_out[d] = true;
+        }
+      }
+      if (new_in != in_[bu] || new_out != out_[bu]) {
+        in_[bu] = std::move(new_in);
+        out_[bu] = std::move(new_out);
+        changed = true;
+      }
+    }
+  }
+}
+
+int ReachingDefinitions::CountReaching(lang::BlockId block, lang::RegId reg) const {
+  const auto& in = in_[static_cast<size_t>(block)];
+  int count = 0;
+  for (size_t d = 0; d < defs_.size(); ++d) {
+    if (in[d] && defs_[d].reg == reg) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+double ReachingDefinitions::MeanReachingPerUse() const {
+  long long total = 0;
+  long long uses = 0;
+  for (size_t b = 0; b < fn_.blocks.size(); ++b) {
+    // Per-register running count, seeded from the block's in-set and updated
+    // as the block's own definitions execute.
+    std::vector<int> reaching(static_cast<size_t>(fn_.reg_count), 0);
+    const auto& in = in_[b];
+    for (size_t d = 0; d < defs_.size(); ++d) {
+      if (in[d]) {
+        ++reaching[static_cast<size_t>(defs_[d].reg)];
+      }
+    }
+    for (const auto& instr : fn_.blocks[b].instrs) {
+      ForEachUse(instr, [&](lang::RegId reg) {
+        total += reaching[static_cast<size_t>(reg)];
+        ++uses;
+      });
+      if (WritesDst(instr)) {
+        reaching[static_cast<size_t>(instr.dst)] = 1;  // Strong update.
+      }
+    }
+  }
+  return uses == 0 ? 0.0 : static_cast<double>(total) / static_cast<double>(uses);
+}
+
+// --- Liveness ----------------------------------------------------------------
+
+Liveness::Liveness(const lang::IrFunction& fn) {
+  const size_t num_blocks = fn.blocks.size();
+  const size_t num_regs = static_cast<size_t>(fn.reg_count);
+  std::vector<std::vector<bool>> use(num_blocks, std::vector<bool>(num_regs, false));
+  std::vector<std::vector<bool>> def(num_blocks, std::vector<bool>(num_regs, false));
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const auto& block = fn.blocks[b];
+    for (const auto& instr : block.instrs) {
+      ForEachUse(instr, [&](lang::RegId reg) {
+        const auto r = static_cast<size_t>(reg);
+        if (!def[b][r]) {
+          use[b][r] = true;
+        }
+      });
+      if (WritesDst(instr)) {
+        def[b][static_cast<size_t>(instr.dst)] = true;
+      }
+    }
+    const auto& term = block.term;
+    if (term.cond != lang::kNoReg && !def[b][static_cast<size_t>(term.cond)]) {
+      use[b][static_cast<size_t>(term.cond)] = true;
+    }
+    if (term.cond != lang::kNoReg && def[b][static_cast<size_t>(term.cond)]) {
+      // Already defined in block; terminator use is local.
+    }
+    if (term.value != lang::kNoReg && !def[b][static_cast<size_t>(term.value)]) {
+      use[b][static_cast<size_t>(term.value)] = true;
+    }
+  }
+  live_in_.assign(num_blocks, std::vector<bool>(num_regs, false));
+  std::vector<std::vector<bool>> live_out(num_blocks, std::vector<bool>(num_regs, false));
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t b = num_blocks; b-- > 0;) {
+      std::vector<bool> new_out(num_regs, false);
+      for (lang::BlockId succ : fn.Successors(static_cast<lang::BlockId>(b))) {
+        SetUnion(new_out, live_in_[static_cast<size_t>(succ)]);
+      }
+      std::vector<bool> new_in = use[b];
+      for (size_t r = 0; r < num_regs; ++r) {
+        if (new_out[r] && !def[b][r]) {
+          new_in[r] = true;
+        }
+      }
+      if (new_in != live_in_[b] || new_out != live_out[b]) {
+        live_in_[b] = std::move(new_in);
+        live_out[b] = std::move(new_out);
+        changed = true;
+      }
+    }
+  }
+}
+
+bool Liveness::LiveIn(lang::BlockId block, lang::RegId reg) const {
+  return live_in_[static_cast<size_t>(block)][static_cast<size_t>(reg)];
+}
+
+int Liveness::MaxLiveAtEntry() const {
+  int best = 0;
+  for (const auto& in : live_in_) {
+    int count = 0;
+    for (bool live : in) {
+      if (live) {
+        ++count;
+      }
+    }
+    best = std::max(best, count);
+  }
+  return best;
+}
+
+// --- Dominators --------------------------------------------------------------
+
+Dominators::Dominators(const lang::IrFunction& fn) {
+  const size_t num_blocks = fn.blocks.size();
+  idom_.assign(num_blocks, -1);
+  const auto rpo = ReversePostOrder(fn);
+  std::vector<int> rpo_index(num_blocks, -1);
+  for (size_t i = 0; i < rpo.size(); ++i) {
+    rpo_index[static_cast<size_t>(rpo[i])] = static_cast<int>(i);
+  }
+  const auto preds = Predecessors(fn);
+  idom_[0] = 0;
+  auto intersect = [&](lang::BlockId a, lang::BlockId b) {
+    while (a != b) {
+      while (rpo_index[static_cast<size_t>(a)] > rpo_index[static_cast<size_t>(b)]) {
+        a = idom_[static_cast<size_t>(a)];
+      }
+      while (rpo_index[static_cast<size_t>(b)] > rpo_index[static_cast<size_t>(a)]) {
+        b = idom_[static_cast<size_t>(b)];
+      }
+    }
+    return a;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (lang::BlockId b : rpo) {
+      if (b == 0) {
+        continue;
+      }
+      lang::BlockId new_idom = -1;
+      for (lang::BlockId p : preds[static_cast<size_t>(b)]) {
+        if (idom_[static_cast<size_t>(p)] == -1) {
+          continue;  // Unprocessed or unreachable predecessor.
+        }
+        new_idom = new_idom == -1 ? p : intersect(p, new_idom);
+      }
+      if (new_idom != -1 && idom_[static_cast<size_t>(b)] != new_idom) {
+        idom_[static_cast<size_t>(b)] = new_idom;
+        changed = true;
+      }
+    }
+  }
+}
+
+bool Dominators::Dominates(lang::BlockId a, lang::BlockId b) const {
+  if (idom_[static_cast<size_t>(b)] == -1) {
+    return false;  // Unreachable.
+  }
+  lang::BlockId current = b;
+  for (;;) {
+    if (current == a) {
+      return true;
+    }
+    const lang::BlockId next = idom_[static_cast<size_t>(current)];
+    if (next == current) {
+      return a == current;
+    }
+    current = next;
+  }
+}
+
+int Dominators::TreeDepth() const {
+  int best = 0;
+  for (size_t b = 0; b < idom_.size(); ++b) {
+    if (idom_[b] == -1) {
+      continue;
+    }
+    int depth = 0;
+    lang::BlockId current = static_cast<lang::BlockId>(b);
+    while (idom_[static_cast<size_t>(current)] != current) {
+      current = idom_[static_cast<size_t>(current)];
+      ++depth;
+    }
+    best = std::max(best, depth);
+  }
+  return best;
+}
+
+// --- Taint -------------------------------------------------------------------
+
+TaintSummary AnalyzeTaint(const lang::IrFunction& fn) {
+  TaintSummary summary;
+  const size_t num_blocks = fn.blocks.size();
+  const size_t num_regs = static_cast<size_t>(fn.reg_count);
+  const size_t num_arrays = fn.arrays.size();
+  // State per block entry: tainted regs + tainted arrays (array-granular).
+  struct State {
+    std::vector<bool> regs;
+    std::vector<bool> arrays;
+    bool operator==(const State&) const = default;
+  };
+  State empty{std::vector<bool>(num_regs, false), std::vector<bool>(num_arrays, false)};
+  std::vector<State> in(num_blocks, empty);
+  const auto preds = Predecessors(fn);
+  const auto rpo = ReversePostOrder(fn);
+
+  auto transfer = [&](lang::BlockId b, State state) {
+    for (const auto& instr : fn.blocks[static_cast<size_t>(b)].instrs) {
+      auto tainted = [&state](lang::RegId r) {
+        return r != lang::kNoReg && state.regs[static_cast<size_t>(r)];
+      };
+      switch (instr.op) {
+        case lang::IrOpcode::kInput:
+          state.regs[static_cast<size_t>(instr.dst)] = true;
+          break;
+        case lang::IrOpcode::kConst:
+          state.regs[static_cast<size_t>(instr.dst)] = false;
+          break;
+        case lang::IrOpcode::kCopy:
+        case lang::IrOpcode::kUnOp:
+          state.regs[static_cast<size_t>(instr.dst)] = tainted(instr.a);
+          break;
+        case lang::IrOpcode::kBinOp:
+          state.regs[static_cast<size_t>(instr.dst)] = tainted(instr.a) || tainted(instr.b);
+          break;
+        case lang::IrOpcode::kArrayLoad:
+          state.regs[static_cast<size_t>(instr.dst)] =
+              instr.array >= 0 && state.arrays[static_cast<size_t>(instr.array)];
+          break;
+        case lang::IrOpcode::kArrayStore:
+          if (instr.array >= 0 && tainted(instr.b)) {
+            state.arrays[static_cast<size_t>(instr.array)] = true;
+          }
+          break;
+        case lang::IrOpcode::kCall: {
+          // Conservative: result of a call with tainted args is tainted.
+          bool any = false;
+          for (lang::RegId arg : instr.args) {
+            if (tainted(arg)) {
+              any = true;
+            }
+          }
+          if (instr.dst != lang::kNoReg) {
+            state.regs[static_cast<size_t>(instr.dst)] = any;
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    return state;
+  };
+
+  // Fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (lang::BlockId b : rpo) {
+      State new_in = empty;
+      for (lang::BlockId p : preds[static_cast<size_t>(b)]) {
+        const State out_p = transfer(p, in[static_cast<size_t>(p)]);
+        for (size_t r = 0; r < num_regs; ++r) {
+          if (out_p.regs[r]) {
+            new_in.regs[r] = true;
+          }
+        }
+        for (size_t a = 0; a < num_arrays; ++a) {
+          if (out_p.arrays[a]) {
+            new_in.arrays[a] = true;
+          }
+        }
+      }
+      if (!(new_in == in[static_cast<size_t>(b)])) {
+        in[static_cast<size_t>(b)] = std::move(new_in);
+        changed = true;
+      }
+    }
+  }
+
+  // Final counting pass.
+  for (lang::BlockId b : rpo) {
+    State state = in[static_cast<size_t>(b)];
+    for (const auto& instr : fn.blocks[static_cast<size_t>(b)].instrs) {
+      auto tainted = [&state](lang::RegId r) {
+        return r != lang::kNoReg && state.regs[static_cast<size_t>(r)];
+      };
+      bool instr_tainted = false;
+      switch (instr.op) {
+        case lang::IrOpcode::kInput:
+          ++summary.input_sites;
+          break;
+        case lang::IrOpcode::kArrayLoad:
+        case lang::IrOpcode::kArrayStore:
+          if (tainted(instr.a)) {
+            ++summary.tainted_array_indices;
+            instr_tainted = true;
+          }
+          if (instr.op == lang::IrOpcode::kArrayStore && tainted(instr.b)) {
+            instr_tainted = true;
+          }
+          break;
+        case lang::IrOpcode::kOutput:
+          if (instr.is_sink && tainted(instr.a)) {
+            ++summary.tainted_sinks;
+            instr_tainted = true;
+          }
+          break;
+        case lang::IrOpcode::kCall:
+          for (lang::RegId arg : instr.args) {
+            if (tainted(arg)) {
+              ++summary.tainted_call_args;
+              instr_tainted = true;
+            }
+          }
+          break;
+        default:
+          if (tainted(instr.a) || tainted(instr.b)) {
+            instr_tainted = true;
+          }
+          break;
+      }
+      if (instr_tainted) {
+        ++summary.tainted_instructions;
+      }
+      // Advance the state through this instruction (re-run transfer inline).
+      switch (instr.op) {
+        case lang::IrOpcode::kInput:
+          state.regs[static_cast<size_t>(instr.dst)] = true;
+          break;
+        case lang::IrOpcode::kConst:
+          state.regs[static_cast<size_t>(instr.dst)] = false;
+          break;
+        case lang::IrOpcode::kCopy:
+        case lang::IrOpcode::kUnOp:
+          state.regs[static_cast<size_t>(instr.dst)] = tainted(instr.a);
+          break;
+        case lang::IrOpcode::kBinOp:
+          state.regs[static_cast<size_t>(instr.dst)] = tainted(instr.a) || tainted(instr.b);
+          break;
+        case lang::IrOpcode::kArrayLoad:
+          state.regs[static_cast<size_t>(instr.dst)] =
+              instr.array >= 0 && state.arrays[static_cast<size_t>(instr.array)];
+          break;
+        case lang::IrOpcode::kArrayStore:
+          if (instr.array >= 0 && tainted(instr.b)) {
+            state.arrays[static_cast<size_t>(instr.array)] = true;
+          }
+          break;
+        case lang::IrOpcode::kCall: {
+          bool any = false;
+          for (lang::RegId arg : instr.args) {
+            if (tainted(arg)) {
+              any = true;
+            }
+          }
+          if (instr.dst != lang::kNoReg) {
+            state.regs[static_cast<size_t>(instr.dst)] = any;
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    const auto& term = fn.blocks[static_cast<size_t>(b)].term;
+    if (term.kind == lang::TerminatorKind::kBranch && term.cond != lang::kNoReg &&
+        state.regs[static_cast<size_t>(term.cond)]) {
+      ++summary.tainted_branches;
+    }
+  }
+  return summary;
+}
+
+metrics::FeatureVector DataflowFeatures(const lang::IrModule& module) {
+  metrics::FeatureVector fv;
+  double mean_reaching_sum = 0.0;
+  int max_live = 0;
+  int max_dom_depth = 0;
+  TaintSummary total;
+  for (const auto& fn : module.functions) {
+    const ReachingDefinitions rd(fn);
+    mean_reaching_sum += rd.MeanReachingPerUse();
+    const Liveness lv(fn);
+    max_live = std::max(max_live, lv.MaxLiveAtEntry());
+    const Dominators dom(fn);
+    max_dom_depth = std::max(max_dom_depth, dom.TreeDepth());
+    const TaintSummary ts = AnalyzeTaint(fn);
+    total.tainted_instructions += ts.tainted_instructions;
+    total.tainted_branches += ts.tainted_branches;
+    total.tainted_array_indices += ts.tainted_array_indices;
+    total.tainted_sinks += ts.tainted_sinks;
+    total.tainted_call_args += ts.tainted_call_args;
+    total.input_sites += ts.input_sites;
+  }
+  const double fn_count =
+      module.functions.empty() ? 1.0 : static_cast<double>(module.functions.size());
+  fv.Set("dataflow.mean_reaching_defs", mean_reaching_sum / fn_count);
+  fv.Set("dataflow.max_live_regs", static_cast<double>(max_live));
+  fv.Set("dataflow.max_dom_depth", static_cast<double>(max_dom_depth));
+  fv.Set("dataflow.tainted_instructions", static_cast<double>(total.tainted_instructions));
+  fv.Set("dataflow.tainted_branches", static_cast<double>(total.tainted_branches));
+  fv.Set("dataflow.tainted_array_indices",
+         static_cast<double>(total.tainted_array_indices));
+  fv.Set("dataflow.tainted_sinks", static_cast<double>(total.tainted_sinks));
+  fv.Set("dataflow.tainted_call_args", static_cast<double>(total.tainted_call_args));
+  fv.Set("dataflow.input_sites", static_cast<double>(total.input_sites));
+  return fv;
+}
+
+}  // namespace dataflow

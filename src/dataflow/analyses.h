@@ -1,0 +1,100 @@
+// Classic iterative dataflow analyses over the MiniC IR (§4.1: "data flow
+// analysis can determine numbers of expressions or functions influencing the
+// execution of other parts of the code").
+//
+// All analyses operate per-function on the CFG; they are flow-sensitive and
+// reach a fixpoint via worklist iteration.
+#ifndef SRC_DATAFLOW_ANALYSES_H_
+#define SRC_DATAFLOW_ANALYSES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/lang/ir.h"
+#include "src/metrics/feature_vector.h"
+
+namespace dataflow {
+
+// A definition site: instruction `instr_index` in block `block` writes
+// register `reg`.
+struct DefSite {
+  lang::BlockId block = 0;
+  int instr_index = 0;
+  lang::RegId reg = lang::kNoReg;
+};
+
+// Reaching definitions: for each block, the set of definition sites live on
+// entry. Sets are bit vectors indexed by definition id.
+class ReachingDefinitions {
+ public:
+  explicit ReachingDefinitions(const lang::IrFunction& fn);
+
+  const std::vector<DefSite>& definitions() const { return defs_; }
+  // Bit i set => definition i reaches the entry of `block`.
+  const std::vector<bool>& InSet(lang::BlockId block) const {
+    return in_[static_cast<size_t>(block)];
+  }
+  // Definitions of `reg` reaching the entry of `block`.
+  int CountReaching(lang::BlockId block, lang::RegId reg) const;
+  // Mean number of distinct defs per (block, used reg) pair — a
+  // def-use-breadth summary feature.
+  double MeanReachingPerUse() const;
+
+ private:
+  const lang::IrFunction& fn_;
+  std::vector<DefSite> defs_;
+  std::vector<std::vector<bool>> in_;
+  std::vector<std::vector<bool>> out_;
+};
+
+// Live variables (backward may-analysis).
+class Liveness {
+ public:
+  explicit Liveness(const lang::IrFunction& fn);
+
+  // True if `reg` is live on entry to `block`.
+  bool LiveIn(lang::BlockId block, lang::RegId reg) const;
+  // Maximum number of simultaneously live registers at any block entry.
+  int MaxLiveAtEntry() const;
+
+ private:
+  std::vector<std::vector<bool>> live_in_;
+};
+
+// Dominator tree via the classic iterative algorithm.
+class Dominators {
+ public:
+  explicit Dominators(const lang::IrFunction& fn);
+
+  // Immediate dominator; entry's idom is itself. -1 for unreachable blocks.
+  lang::BlockId Idom(lang::BlockId block) const {
+    return idom_[static_cast<size_t>(block)];
+  }
+  bool Dominates(lang::BlockId a, lang::BlockId b) const;
+  // Depth of the dominator tree (longest chain).
+  int TreeDepth() const;
+
+ private:
+  std::vector<lang::BlockId> idom_;
+};
+
+// Taint: registers (transitively) derived from input() — flow-sensitive,
+// with a fixpoint across loops, unlike the lint-grade pass in metrics.
+struct TaintSummary {
+  long long tainted_instructions = 0;  // Instructions with a tainted operand.
+  long long tainted_branches = 0;      // Conditional branches on tainted data.
+  long long tainted_array_indices = 0; // Array accesses indexed by taint.
+  long long tainted_sinks = 0;         // sink() calls receiving tainted data.
+  long long tainted_call_args = 0;     // Tainted values crossing call edges.
+  long long input_sites = 0;           // Number of input() instructions.
+};
+
+TaintSummary AnalyzeTaint(const lang::IrFunction& fn);
+
+// Aggregates all dataflow-derived features for a module into the shared
+// FeatureVector namespace "dataflow.*".
+metrics::FeatureVector DataflowFeatures(const lang::IrModule& module);
+
+}  // namespace dataflow
+
+#endif  // SRC_DATAFLOW_ANALYSES_H_

@@ -1,0 +1,895 @@
+#include "src/dataflow/intervals.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace dataflow {
+namespace {
+
+bool IsInf(int64_t v) { return v == Interval::kMin || v == Interval::kMax; }
+
+// Saturating add of possibly-infinite bounds. inf + finite = inf;
+// (-inf) + (+inf) never occurs for valid interval corners of the same side.
+int64_t SatAdd(int64_t a, int64_t b) {
+  if (a == Interval::kMin || b == Interval::kMin) {
+    return Interval::kMin;
+  }
+  if (a == Interval::kMax || b == Interval::kMax) {
+    return Interval::kMax;
+  }
+  int64_t out;
+  if (__builtin_add_overflow(a, b, &out)) {
+    return a > 0 ? Interval::kMax : Interval::kMin;
+  }
+  return out;
+}
+
+int64_t SatNeg(int64_t a) {
+  if (a == Interval::kMin) {
+    return Interval::kMax;
+  }
+  if (a == Interval::kMax) {
+    return Interval::kMin;
+  }
+  return -a;
+}
+
+int64_t SatMul(int64_t a, int64_t b) {
+  if (a == 0 || b == 0) {
+    return 0;
+  }
+  const bool negative = (a < 0) != (b < 0);
+  if (IsInf(a) || IsInf(b)) {
+    return negative ? Interval::kMin : Interval::kMax;
+  }
+  int64_t out;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    return negative ? Interval::kMin : Interval::kMax;
+  }
+  return out;
+}
+
+}  // namespace
+
+Interval Join(const Interval& a, const Interval& b) {
+  if (a.bottom) {
+    return b;
+  }
+  if (b.bottom) {
+    return a;
+  }
+  return {std::min(a.lo, b.lo), std::max(a.hi, b.hi), false};
+}
+
+Interval Meet(const Interval& a, const Interval& b) {
+  if (a.bottom || b.bottom) {
+    return Interval::Bottom();
+  }
+  return Interval::Range(std::max(a.lo, b.lo), std::min(a.hi, b.hi));
+}
+
+Interval Widen(const Interval& older, const Interval& newer) {
+  if (older.bottom) {
+    return newer;
+  }
+  if (newer.bottom) {
+    return older;
+  }
+  Interval out = older;
+  if (newer.lo < older.lo) {
+    out.lo = Interval::kMin;
+  }
+  if (newer.hi > older.hi) {
+    out.hi = Interval::kMax;
+  }
+  return out;
+}
+
+Interval AddI(const Interval& a, const Interval& b) {
+  if (a.bottom || b.bottom) {
+    return Interval::Bottom();
+  }
+  return {SatAdd(a.lo, b.lo), SatAdd(a.hi, b.hi), false};
+}
+
+Interval NegI(const Interval& a) {
+  if (a.bottom) {
+    return a;
+  }
+  return {SatNeg(a.hi), SatNeg(a.lo), false};
+}
+
+Interval SubI(const Interval& a, const Interval& b) { return AddI(a, NegI(b)); }
+
+Interval MulI(const Interval& a, const Interval& b) {
+  if (a.bottom || b.bottom) {
+    return Interval::Bottom();
+  }
+  const int64_t products[] = {SatMul(a.lo, b.lo), SatMul(a.lo, b.hi), SatMul(a.hi, b.lo),
+                              SatMul(a.hi, b.hi)};
+  return {*std::min_element(products, products + 4),
+          *std::max_element(products, products + 4), false};
+}
+
+Interval DivI(const Interval& a, const Interval& b) {
+  if (a.bottom || b.bottom) {
+    return Interval::Bottom();
+  }
+  if (IsInf(a.lo) || IsInf(a.hi) || IsInf(b.lo) || IsInf(b.hi)) {
+    return Interval::Top();
+  }
+  // Divisor interval must not contain zero (caller refines first).
+  std::vector<int64_t> corners;
+  for (const int64_t x : {a.lo, a.hi}) {
+    for (const int64_t y : {b.lo, b.hi}) {
+      if (y != 0) {
+        corners.push_back(x / y);
+      }
+    }
+  }
+  // If b straddles ±1 around the excluded zero, include ±|a| extremes.
+  if (b.lo < 0 && b.hi > 0) {
+    for (const int64_t x : {a.lo, a.hi}) {
+      corners.push_back(x);
+      corners.push_back(SatNeg(x));
+    }
+  }
+  if (corners.empty()) {
+    return Interval::Bottom();
+  }
+  return {*std::min_element(corners.begin(), corners.end()),
+          *std::max_element(corners.begin(), corners.end()), false};
+}
+
+Interval RemI(const Interval& a, const Interval& b) {
+  if (a.bottom || b.bottom) {
+    return Interval::Bottom();
+  }
+  if (IsInf(b.lo) || IsInf(b.hi)) {
+    return Interval::Top();
+  }
+  // |a % b| < max(|b.lo|, |b.hi|); sign follows the dividend.
+  const int64_t mag = std::max(b.lo == Interval::kMin ? Interval::kMax : std::abs(b.lo),
+                               b.hi == Interval::kMin ? Interval::kMax : std::abs(b.hi));
+  if (mag == 0) {
+    return Interval::Bottom();
+  }
+  Interval out = Interval::Range(SatNeg(mag - 1), mag - 1);
+  if (!a.bottom && a.lo >= 0) {
+    out = Meet(out, Interval::Range(0, Interval::kMax));
+  }
+  if (!a.bottom && a.hi <= 0) {
+    out = Meet(out, Interval::Range(Interval::kMin, 0));
+  }
+  return out;
+}
+
+namespace {
+
+// Per-program-point abstract state.
+struct AbsState {
+  std::vector<Interval> regs;
+  std::vector<Interval> arrays;  // Value summary per local array.
+  bool reachable = false;
+
+  bool operator==(const AbsState&) const = default;
+};
+
+// A comparison definition used for branch refinement: reg = a OP b.
+struct CmpDef {
+  lang::BinaryOp op;
+  lang::RegId a = lang::kNoReg;
+  lang::RegId b = lang::kNoReg;
+  int64_t const_a = 0;  // Valid when a == kNoReg.
+  int64_t const_b = 0;  // Valid when b == kNoReg.
+  bool valid = false;
+};
+
+bool IsComparisonOp(lang::BinaryOp op) {
+  switch (op) {
+    case lang::BinaryOp::kEq:
+    case lang::BinaryOp::kNe:
+    case lang::BinaryOp::kLt:
+    case lang::BinaryOp::kLe:
+    case lang::BinaryOp::kGt:
+    case lang::BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+class IntervalAnalyzer {
+ public:
+  IntervalAnalyzer(const lang::IrFunction& fn, const IntervalOptions& options)
+      : fn_(fn), options_(options) {}
+
+  IntervalReport Run() {
+    const size_t num_blocks = fn_.blocks.size();
+    in_.assign(num_blocks, MakeBottom());
+    visits_.assign(num_blocks, 0);
+    ComputeCfgFacts();
+    // Entry: parameters (and everything else) start at Top / zero.
+    AbsState entry = MakeBottom();
+    entry.reachable = true;
+    for (auto& reg : entry.regs) {
+      reg = Interval::Const(0);
+    }
+    for (const lang::RegId param : fn_.param_regs) {
+      entry.regs[static_cast<size_t>(param)] = Interval::Top();
+    }
+    for (size_t a = 0; a < fn_.arrays.size(); ++a) {
+      entry.arrays[a] = fn_.arrays[a].is_param ? Interval::Top() : Interval::Const(0);
+    }
+    in_[0] = entry;
+
+    std::deque<lang::BlockId> worklist = {0};
+    int iterations = 0;
+    while (!worklist.empty() && ++iterations < options_.max_iterations) {
+      const lang::BlockId block = worklist.front();
+      worklist.pop_front();
+      AbsState out = in_[static_cast<size_t>(block)];
+      if (!out.reachable) {
+        continue;
+      }
+      CmpDefMap cmp_defs;
+      TransferBlock(block, out, cmp_defs, nullptr);
+      // Propagate along edges with branch refinement.
+      const auto& term = fn_.blocks[static_cast<size_t>(block)].term;
+      auto propagate = [&](lang::BlockId succ, const AbsState& state) {
+        const auto su = static_cast<size_t>(succ);
+        AbsState joined = JoinStates(in_[su], state);
+        ++visits_[su];
+        // Widening only at loop headers (back-edge targets): widening at
+        // ordinary join blocks would erase branch refinements for no
+        // termination benefit.
+        if (widen_point_[su] && visits_[su] > options_.widen_after) {
+          joined = WidenStates(in_[su], joined);
+        }
+        if (!(joined == in_[su])) {
+          in_[su] = std::move(joined);
+          worklist.push_back(succ);
+        }
+      };
+      switch (term.kind) {
+        case lang::TerminatorKind::kJump:
+          propagate(term.target_true, out);
+          break;
+        case lang::TerminatorKind::kBranch: {
+          AbsState true_state = out;
+          AbsState false_state = out;
+          RefineBranch(term.cond, cmp_defs, /*taken=*/true, true_state);
+          RefineBranch(term.cond, cmp_defs, /*taken=*/false, false_state);
+          if (!StateIsBottom(true_state)) {
+            propagate(term.target_true, true_state);
+          }
+          if (!StateIsBottom(false_state)) {
+            propagate(term.target_false, false_state);
+          }
+          break;
+        }
+        case lang::TerminatorKind::kReturn:
+        case lang::TerminatorKind::kAbort:
+          break;
+      }
+    }
+
+    // Final checking pass with the stable states.
+    IntervalReport report;
+    for (size_t b = 0; b < num_blocks; ++b) {
+      if (!in_[b].reachable) {
+        continue;
+      }
+#ifdef CLAIR_AI_DEBUG
+      std::fprintf(stderr, "bb%zu in:", b);
+      for (size_t r = 0; r < in_[b].regs.size(); ++r) {
+        const auto& iv = in_[b].regs[r];
+        std::fprintf(stderr, " %s=[%lld,%lld]%s", fn_.reg_names[r].c_str(),
+                     (long long)iv.lo, (long long)iv.hi, iv.bottom ? "B" : "");
+      }
+      std::fprintf(stderr, "\n");
+#endif
+      AbsState state = in_[b];
+      CmpDefMap cmp_defs;
+      TransferBlock(static_cast<lang::BlockId>(b), state, cmp_defs, &report);
+    }
+    return report;
+  }
+
+ private:
+  using CmpDefMap = std::vector<CmpDef>;
+
+  AbsState MakeBottom() const {
+    AbsState state;
+    state.regs.assign(static_cast<size_t>(fn_.reg_count), Interval::Bottom());
+    state.arrays.assign(fn_.arrays.size(), Interval::Bottom());
+    state.reachable = false;
+    return state;
+  }
+
+  static bool StateIsBottom(const AbsState& state) {
+    // A refinement that produced an empty interval for some register proves
+    // the edge infeasible.
+    for (const auto& reg : state.regs) {
+      if (reg.bottom) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  AbsState JoinStates(const AbsState& a, const AbsState& b) const {
+    if (!a.reachable) {
+      return b;
+    }
+    if (!b.reachable) {
+      return a;
+    }
+    AbsState out = a;
+    for (size_t r = 0; r < out.regs.size(); ++r) {
+      out.regs[r] = Join(a.regs[r], b.regs[r]);
+    }
+    for (size_t arr = 0; arr < out.arrays.size(); ++arr) {
+      out.arrays[arr] = Join(a.arrays[arr], b.arrays[arr]);
+    }
+    return out;
+  }
+
+  AbsState WidenStates(const AbsState& older, const AbsState& newer) const {
+    if (!older.reachable) {
+      return newer;
+    }
+    AbsState out = newer;
+    for (size_t r = 0; r < out.regs.size(); ++r) {
+      out.regs[r] = Widen(older.regs[r], newer.regs[r]);
+    }
+    for (size_t arr = 0; arr < out.arrays.size(); ++arr) {
+      out.arrays[arr] = Widen(older.arrays[arr], newer.arrays[arr]);
+    }
+    return out;
+  }
+
+  // Runs the block's instructions over `state`. Records comparison
+  // definitions for branch refinement, and (when `report` is non-null)
+  // checks array accesses and divisions.
+  void TransferBlock(lang::BlockId block, AbsState& state, CmpDefMap& cmp_defs,
+                     IntervalReport* report) {
+    cmp_defs.assign(static_cast<size_t>(fn_.reg_count), CmpDef{});
+    for (const auto& instr : fn_.blocks[static_cast<size_t>(block)].instrs) {
+      TransferInstr(instr, state, cmp_defs, report);
+    }
+  }
+
+  Interval RegOf(const AbsState& state, lang::RegId reg) const {
+    return state.regs[static_cast<size_t>(reg)];
+  }
+
+  void TransferInstr(const lang::IrInstr& instr, AbsState& state, CmpDefMap& cmp_defs,
+                     IntervalReport* report) {
+    auto set = [&state, &cmp_defs](lang::RegId reg, const Interval& value) {
+      state.regs[static_cast<size_t>(reg)] = value;
+      cmp_defs[static_cast<size_t>(reg)].valid = false;
+    };
+    switch (instr.op) {
+      case lang::IrOpcode::kConst:
+        set(instr.dst, Interval::Const(instr.imm));
+        break;
+      case lang::IrOpcode::kCopy:
+        set(instr.dst, RegOf(state, instr.a));
+        // Copies preserve the comparison shape for refinement.
+        cmp_defs[static_cast<size_t>(instr.dst)] = cmp_defs[static_cast<size_t>(instr.a)];
+        break;
+      case lang::IrOpcode::kUnOp: {
+        const Interval a = RegOf(state, instr.a);
+        switch (instr.unary_op) {
+          case lang::UnaryOp::kNeg:
+            set(instr.dst, NegI(a));
+            break;
+          case lang::UnaryOp::kNot:
+            set(instr.dst, Interval::Range(0, 1));
+            break;
+          default:
+            set(instr.dst, Interval::Top());
+            break;
+        }
+        break;
+      }
+      case lang::IrOpcode::kBinOp: {
+        const Interval a = RegOf(state, instr.a);
+        const Interval b = RegOf(state, instr.b);
+        Interval value = Interval::Top();
+        switch (instr.binary_op) {
+          case lang::BinaryOp::kAdd:
+            value = AddI(a, b);
+            break;
+          case lang::BinaryOp::kSub:
+            value = SubI(a, b);
+            break;
+          case lang::BinaryOp::kMul:
+            value = MulI(a, b);
+            break;
+          case lang::BinaryOp::kDiv:
+          case lang::BinaryOp::kRem: {
+            if (report != nullptr) {
+              ++report->divisions;
+            }
+            const bool divisor_nonzero = !b.Contains(0);
+            if (report != nullptr) {
+              if (divisor_nonzero) {
+                ++report->proven_nonzero_divisor;
+              } else {
+                report->findings.push_back(
+                    {AiFinding::Kind::kPossibleDivByZero, fn_.name, instr.line});
+              }
+            }
+            const Interval refined_divisor =
+                divisor_nonzero ? b
+                                : Join(Meet(b, Interval::Range(Interval::kMin, -1)),
+                                       Meet(b, Interval::Range(1, Interval::kMax)));
+            value = instr.binary_op == lang::BinaryOp::kDiv ? DivI(a, refined_divisor)
+                                                            : RemI(a, refined_divisor);
+            break;
+          }
+          case lang::BinaryOp::kEq:
+          case lang::BinaryOp::kNe:
+          case lang::BinaryOp::kLt:
+          case lang::BinaryOp::kLe:
+          case lang::BinaryOp::kGt:
+          case lang::BinaryOp::kGe:
+            value = Interval::Range(0, 1);
+            break;
+          case lang::BinaryOp::kAnd:
+          case lang::BinaryOp::kOr:
+            value = Interval::Range(0, 1);
+            break;
+          case lang::BinaryOp::kBitAnd:
+            if (!a.bottom && !b.bottom && a.lo >= 0 && b.lo >= 0) {
+              value = Interval::Range(0, std::min(a.hi, b.hi));
+            }
+            break;
+          case lang::BinaryOp::kBitOr:
+          case lang::BinaryOp::kBitXor:
+          case lang::BinaryOp::kShl:
+          case lang::BinaryOp::kShr:
+            value = Interval::Top();
+            break;
+        }
+        set(instr.dst, value);
+        if (IsComparisonOp(instr.binary_op)) {
+          CmpDef def;
+          def.op = instr.binary_op;
+          def.a = instr.a;
+          def.b = instr.b;
+          def.valid = true;
+          cmp_defs[static_cast<size_t>(instr.dst)] = def;
+        }
+        break;
+      }
+      case lang::IrOpcode::kLoadGlobal:
+        set(instr.dst, Interval::Top());  // Globals are modelled as Top.
+        break;
+      case lang::IrOpcode::kStoreGlobal:
+        break;
+      case lang::IrOpcode::kArrayLoad:
+      case lang::IrOpcode::kArrayStore: {
+        int64_t size = 0;
+        Interval summary = Interval::Top();
+        if (instr.array >= 0) {
+          size = fn_.arrays[static_cast<size_t>(instr.array)].size;
+          summary = state.arrays[static_cast<size_t>(instr.array)];
+        } else {
+          size = 0;  // Global arrays: size known but values Top; look up size.
+        }
+        if (instr.array < 0) {
+          // Global arrays carry Top values; use declared size for checking.
+          // (Module reference is unavailable here; size 0 would flag every
+          // access, so the caller passes module-level accesses via the
+          // whole-module wrapper below. For intraprocedural runs this arm is
+          // conservative.)
+        }
+        const Interval index = RegOf(state, instr.a);
+        if (report != nullptr && size > 0) {
+          ++report->array_accesses;
+          if (!index.bottom && index.lo >= 0 && index.hi < size) {
+            ++report->proven_in_bounds;
+          } else {
+            report->findings.push_back(
+                {AiFinding::Kind::kPossibleOutOfBounds, fn_.name, instr.line});
+          }
+        }
+        if (instr.op == lang::IrOpcode::kArrayLoad) {
+          set(instr.dst, instr.array >= 0 ? summary : Interval::Top());
+        } else if (instr.array >= 0) {
+          state.arrays[static_cast<size_t>(instr.array)] =
+              Join(summary, RegOf(state, instr.b));
+        }
+        break;
+      }
+      case lang::IrOpcode::kCall:
+        if (instr.dst != lang::kNoReg) {
+          set(instr.dst, Interval::Top());
+        }
+        break;
+      case lang::IrOpcode::kInput:
+        set(instr.dst, options_.input_range);
+        break;
+      case lang::IrOpcode::kOutput:
+      case lang::IrOpcode::kAssume:
+        break;
+    }
+  }
+
+  // Refines `state` given that register `cond` evaluated to `taken` at a
+  // branch. Tries the branch block's local comparison map first (covers
+  // multi-def variables compared immediately before branching), then the
+  // global unique-definition resolver (covers short-circuit diamonds and
+  // conditions carried through copies).
+  void RefineBranch(lang::RegId cond, const CmpDefMap& cmp_defs, bool taken,
+                    AbsState& state) const {
+    const CmpDef& def = cmp_defs[static_cast<size_t>(cond)];
+    if (def.valid) {
+      RefineComparison(def.op, def.a, def.b, taken, state, /*may_write_a=*/true,
+                       /*may_write_b=*/true);
+      return;
+    }
+    RefineGlobal(cond, taken, state, /*depth=*/6);
+  }
+
+  // --- CFG facts for widening points and cross-block refinement -------------
+
+  struct PredEdge {
+    lang::BlockId pred;
+    bool is_branch = false;
+    bool taken = false;  // Which arm of the predecessor's branch.
+  };
+
+  void ComputeCfgFacts() {
+    const size_t num_blocks = fn_.blocks.size();
+    preds_.assign(num_blocks, {});
+    for (size_t b = 0; b < num_blocks; ++b) {
+      const auto& term = fn_.blocks[b].term;
+      switch (term.kind) {
+        case lang::TerminatorKind::kJump:
+          preds_[static_cast<size_t>(term.target_true)].push_back(
+              {static_cast<lang::BlockId>(b), false, false});
+          break;
+        case lang::TerminatorKind::kBranch:
+          preds_[static_cast<size_t>(term.target_true)].push_back(
+              {static_cast<lang::BlockId>(b), true, true});
+          preds_[static_cast<size_t>(term.target_false)].push_back(
+              {static_cast<lang::BlockId>(b), true, false});
+          break;
+        default:
+          break;
+      }
+    }
+    // Back-edge targets via RPO: an edge u->v with rpo(u) >= rpo(v) makes v a
+    // widening point.
+    std::vector<int> rpo_index(num_blocks, -1);
+    {
+      std::vector<bool> seen(num_blocks, false);
+      std::vector<lang::BlockId> post;
+      std::vector<std::pair<lang::BlockId, size_t>> stack = {{0, 0}};
+      seen[0] = true;
+      while (!stack.empty()) {
+        auto& [block, child] = stack.back();
+        const auto succs = fn_.Successors(block);
+        if (child < succs.size()) {
+          const lang::BlockId next = succs[child++];
+          if (!seen[static_cast<size_t>(next)]) {
+            seen[static_cast<size_t>(next)] = true;
+            stack.emplace_back(next, 0);
+          }
+        } else {
+          post.push_back(block);
+          stack.pop_back();
+        }
+      }
+      // Reverse post-order index: last-finished block (the entry) gets 0.
+      for (auto it = post.rbegin(); it != post.rend(); ++it) {
+        rpo_index[static_cast<size_t>(*it)] = static_cast<int>(it - post.rbegin());
+      }
+    }
+    widen_point_.assign(num_blocks, false);
+    for (size_t u = 0; u < num_blocks; ++u) {
+      if (rpo_index[u] < 0) {
+        continue;
+      }
+      for (const lang::BlockId v : fn_.Successors(static_cast<lang::BlockId>(u))) {
+        if (rpo_index[static_cast<size_t>(v)] >= 0 &&
+            rpo_index[u] >= rpo_index[static_cast<size_t>(v)]) {
+          widen_point_[static_cast<size_t>(v)] = true;
+        }
+      }
+    }
+    // Definition sites per register.
+    def_count_.assign(static_cast<size_t>(fn_.reg_count), 0);
+    def_block_.assign(static_cast<size_t>(fn_.reg_count), -1);
+    def_instr_.assign(static_cast<size_t>(fn_.reg_count), nullptr);
+    for (size_t b = 0; b < num_blocks; ++b) {
+      for (const auto& instr : fn_.blocks[b].instrs) {
+        lang::RegId dst = lang::kNoReg;
+        switch (instr.op) {
+          case lang::IrOpcode::kConst:
+          case lang::IrOpcode::kCopy:
+          case lang::IrOpcode::kUnOp:
+          case lang::IrOpcode::kBinOp:
+          case lang::IrOpcode::kLoadGlobal:
+          case lang::IrOpcode::kArrayLoad:
+          case lang::IrOpcode::kCall:
+          case lang::IrOpcode::kInput:
+            dst = instr.dst;
+            break;
+          default:
+            break;
+        }
+        if (dst != lang::kNoReg) {
+          ++def_count_[static_cast<size_t>(dst)];
+          def_block_[static_cast<size_t>(dst)] = static_cast<lang::BlockId>(b);
+          def_instr_[static_cast<size_t>(dst)] = &instr;
+        }
+      }
+    }
+    // Parameters behave like an extra definition.
+    for (const lang::RegId param : fn_.param_regs) {
+      ++def_count_[static_cast<size_t>(param)];
+    }
+  }
+
+  bool SingleDef(lang::RegId reg) const {
+    return def_count_[static_cast<size_t>(reg)] == 1 &&
+           def_instr_[static_cast<size_t>(reg)] != nullptr;
+  }
+
+  // Cross-block refinement: resolves `cond` through unique definitions,
+  // Truthy wrappers, copies, and the lowered short-circuit diamond (where
+  // one definition is a constant that cannot produce the taken value).
+  // `depth` bounds recursion through chained conditions.
+  void RefineGlobal(lang::RegId cond, bool taken, AbsState& state, int depth) const {
+    if (depth <= 0) {
+      return;
+    }
+    // Collect candidate definitions able to produce `taken`.
+    const lang::IrInstr* candidate = nullptr;
+    int candidates = 0;
+    for (const auto& block : fn_.blocks) {
+      for (const auto& instr : block.instrs) {
+        if (instr.dst != cond) {
+          continue;
+        }
+        bool writes = false;
+        switch (instr.op) {
+          case lang::IrOpcode::kConst:
+          case lang::IrOpcode::kCopy:
+          case lang::IrOpcode::kUnOp:
+          case lang::IrOpcode::kBinOp:
+          case lang::IrOpcode::kLoadGlobal:
+          case lang::IrOpcode::kArrayLoad:
+          case lang::IrOpcode::kCall:
+          case lang::IrOpcode::kInput:
+            writes = true;
+            break;
+          default:
+            break;
+        }
+        if (!writes) {
+          continue;
+        }
+        if (instr.op == lang::IrOpcode::kConst) {
+          const bool can_produce = taken ? instr.imm != 0 : instr.imm == 0;
+          if (!can_produce) {
+            continue;  // This definition cannot be the live one.
+          }
+        }
+        ++candidates;
+        candidate = &instr;
+      }
+    }
+    for (const lang::RegId param : fn_.param_regs) {
+      if (param == cond) {
+        ++candidates;  // Parameter value: opaque definition.
+      }
+    }
+    if (candidates != 1 || candidate == nullptr) {
+      return;
+    }
+    ApplyDefRefinement(*candidate, taken, state, depth);
+    // Execution necessarily passed through the definition's block: fold in
+    // the branch conditions along its single-predecessor chain.
+    lang::BlockId block = def_block_of(*candidate);
+    for (int hops = 0; hops < 4 && block >= 0; ++hops) {
+      const auto& edges = preds_[static_cast<size_t>(block)];
+      if (edges.size() != 1) {
+        break;
+      }
+      const PredEdge& edge = edges[0];
+      if (edge.is_branch) {
+        const auto& term = fn_.blocks[static_cast<size_t>(edge.pred)].term;
+        RefineGlobal(term.cond, edge.taken, state, depth - 1);
+      }
+      block = edge.pred;
+    }
+  }
+
+  lang::BlockId def_block_of(const lang::IrInstr& instr) const {
+    for (size_t b = 0; b < fn_.blocks.size(); ++b) {
+      for (const auto& candidate : fn_.blocks[b].instrs) {
+        if (&candidate == &instr) {
+          return static_cast<lang::BlockId>(b);
+        }
+      }
+    }
+    return -1;
+  }
+
+  void ApplyDefRefinement(const lang::IrInstr& def, bool taken, AbsState& state,
+                          int depth) const {
+    switch (def.op) {
+      case lang::IrOpcode::kCopy:
+        RefineGlobal(def.a, taken, state, depth - 1);
+        return;
+      case lang::IrOpcode::kUnOp:
+        if (def.unary_op == lang::UnaryOp::kNot) {
+          RefineGlobal(def.a, !taken, state, depth - 1);
+        }
+        return;
+      case lang::IrOpcode::kBinOp:
+        break;
+      default:
+        return;
+    }
+    // Truthy wrapper: (x != 0) / (x == 0).
+    const auto is_zero_const = [this](lang::RegId reg) {
+      return SingleDef(reg) &&
+             def_instr_[static_cast<size_t>(reg)]->op == lang::IrOpcode::kConst &&
+             def_instr_[static_cast<size_t>(reg)]->imm == 0;
+    };
+    if (def.binary_op == lang::BinaryOp::kNe && is_zero_const(def.b)) {
+      RefineGlobal(def.a, taken, state, depth - 1);
+      return;
+    }
+    if (def.binary_op == lang::BinaryOp::kEq && is_zero_const(def.b)) {
+      RefineGlobal(def.a, !taken, state, depth - 1);
+      return;
+    }
+    if (!IsComparisonOp(def.binary_op)) {
+      return;
+    }
+    // A real comparison: refine its operands (only single-assignment
+    // registers may be written — multi-def variables could have changed
+    // between the comparison and the branch).
+    RefineComparison(def.binary_op, def.a, def.b, taken, state,
+                     /*may_write_a=*/SingleDef(def.a),
+                     /*may_write_b=*/SingleDef(def.b));
+  }
+
+  // Shared comparison-refinement arithmetic; used by both the local (same
+  // block, always writable) and global (single-def operands only) paths.
+  void RefineComparison(lang::BinaryOp op, lang::RegId reg_a, lang::RegId reg_b,
+                        bool taken, AbsState& state, bool may_write_a,
+                        bool may_write_b) const {
+    if (!taken) {
+      switch (op) {
+        case lang::BinaryOp::kEq:
+          op = lang::BinaryOp::kNe;
+          break;
+        case lang::BinaryOp::kNe:
+          op = lang::BinaryOp::kEq;
+          break;
+        case lang::BinaryOp::kLt:
+          op = lang::BinaryOp::kGe;
+          break;
+        case lang::BinaryOp::kLe:
+          op = lang::BinaryOp::kGt;
+          break;
+        case lang::BinaryOp::kGt:
+          op = lang::BinaryOp::kLe;
+          break;
+        case lang::BinaryOp::kGe:
+          op = lang::BinaryOp::kLt;
+          break;
+        default:
+          return;
+      }
+    }
+    Interval& ia = state.regs[static_cast<size_t>(reg_a)];
+    Interval& ib = state.regs[static_cast<size_t>(reg_b)];
+    Interval new_a = ia;
+    Interval new_b = ib;
+    switch (op) {
+      case lang::BinaryOp::kEq: {
+        const Interval met = Meet(ia, ib);
+        new_a = met;
+        new_b = met;
+        break;
+      }
+      case lang::BinaryOp::kNe:
+        if (ib.IsConst() && ia.Contains(ib.lo)) {
+          if (ia.lo == ib.lo) {
+            new_a = Interval::Range(SatAdd(ia.lo, 1), ia.hi);
+          } else if (ia.hi == ib.lo) {
+            new_a = Interval::Range(ia.lo, SatAdd(ia.hi, -1));
+          }
+        }
+        break;
+      case lang::BinaryOp::kLt:
+        new_a = Meet(ia, Interval::Range(Interval::kMin, SatAdd(ib.hi, -1)));
+        new_b = Meet(ib, Interval::Range(SatAdd(ia.lo, 1), Interval::kMax));
+        break;
+      case lang::BinaryOp::kLe:
+        new_a = Meet(ia, Interval::Range(Interval::kMin, ib.hi));
+        new_b = Meet(ib, Interval::Range(ia.lo, Interval::kMax));
+        break;
+      case lang::BinaryOp::kGt:
+        new_a = Meet(ia, Interval::Range(SatAdd(ib.lo, 1), Interval::kMax));
+        new_b = Meet(ib, Interval::Range(Interval::kMin, SatAdd(ia.hi, -1)));
+        break;
+      case lang::BinaryOp::kGe:
+        new_a = Meet(ia, Interval::Range(ib.lo, Interval::kMax));
+        new_b = Meet(ib, Interval::Range(Interval::kMin, ia.hi));
+        break;
+      default:
+        return;
+    }
+    if (may_write_a) {
+      ia = new_a;
+    }
+    if (may_write_b) {
+      ib = new_b;
+    }
+  }
+
+  const lang::IrFunction& fn_;
+  IntervalOptions options_;
+  std::vector<AbsState> in_;
+  std::vector<int> visits_;
+  std::vector<std::vector<PredEdge>> preds_;
+  std::vector<bool> widen_point_;
+  std::vector<int> def_count_;
+  std::vector<lang::BlockId> def_block_;
+  std::vector<const lang::IrInstr*> def_instr_;
+};
+
+}  // namespace
+
+IntervalReport AnalyzeIntervals(const lang::IrFunction& fn, const IntervalOptions& options) {
+  return IntervalAnalyzer(fn, options).Run();
+}
+
+metrics::FeatureVector IntervalFeatures(const lang::IrModule& module,
+                                        const IntervalOptions& options) {
+  metrics::FeatureVector fv;
+  long long accesses = 0;
+  long long proven = 0;
+  long long divisions = 0;
+  long long proven_div = 0;
+  long long possible_oob = 0;
+  long long possible_div0 = 0;
+  for (const auto& fn : module.functions) {
+    const IntervalReport report = AnalyzeIntervals(fn, options);
+    accesses += report.array_accesses;
+    proven += report.proven_in_bounds;
+    divisions += report.divisions;
+    proven_div += report.proven_nonzero_divisor;
+    for (const auto& finding : report.findings) {
+      if (finding.kind == AiFinding::Kind::kPossibleOutOfBounds) {
+        ++possible_oob;
+      } else {
+        ++possible_div0;
+      }
+    }
+  }
+  fv.Set("ai.array_accesses", static_cast<double>(accesses));
+  fv.Set("ai.proven_in_bounds", static_cast<double>(proven));
+  fv.Set("ai.possible_oob", static_cast<double>(possible_oob));
+  fv.Set("ai.divisions", static_cast<double>(divisions));
+  fv.Set("ai.proven_nonzero_divisor", static_cast<double>(proven_div));
+  fv.Set("ai.possible_div0", static_cast<double>(possible_div0));
+  if (accesses > 0) {
+    fv.Set("ai.unproven_access_ratio",
+           static_cast<double>(possible_oob) / static_cast<double>(accesses));
+  }
+  return fv;
+}
+
+}  // namespace dataflow

@@ -1,0 +1,107 @@
+#include "src/lang/ast.h"
+
+namespace lang {
+
+const char* BaseTypeName(BaseType type) {
+  switch (type) {
+    case BaseType::kInt:
+      return "int";
+    case BaseType::kChar:
+      return "char";
+    case BaseType::kBool:
+      return "bool";
+    case BaseType::kVoid:
+      return "void";
+  }
+  return "<bad>";
+}
+
+std::string TypeRefName(const TypeRef& type) {
+  std::string out = BaseTypeName(type.base);
+  if (type.is_array) {
+    out += "[" + std::to_string(type.array_size) + "]";
+  }
+  return out;
+}
+
+const char* UnaryOpName(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::kNeg:
+      return "-";
+    case UnaryOp::kNot:
+      return "!";
+    case UnaryOp::kBitNot:
+      return "~";
+    case UnaryOp::kPreInc:
+      return "++";
+    case UnaryOp::kPreDec:
+      return "--";
+  }
+  return "<bad>";
+}
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kRem:
+      return "%";
+    case BinaryOp::kEq:
+      return "==";
+    case BinaryOp::kNe:
+      return "!=";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "&&";
+    case BinaryOp::kOr:
+      return "||";
+    case BinaryOp::kBitAnd:
+      return "&";
+    case BinaryOp::kBitOr:
+      return "|";
+    case BinaryOp::kBitXor:
+      return "^";
+    case BinaryOp::kShl:
+      return "<<";
+    case BinaryOp::kShr:
+      return ">>";
+  }
+  return "<bad>";
+}
+
+std::unique_ptr<Expr> MakeIntLiteral(int64_t value, int line) {
+  auto expr = std::make_unique<Expr>();
+  expr->kind = ExprKind::kIntLiteral;
+  expr->int_value = value;
+  expr->line = line;
+  return expr;
+}
+
+const FunctionDecl* TranslationUnit::FindFunction(const std::string& name) const {
+  for (const auto& fn : functions) {
+    if (fn.name == name) {
+      return &fn;
+    }
+  }
+  return nullptr;
+}
+
+bool IsBuiltinFunction(const std::string& name) {
+  return name == "input" || name == "print" || name == "puts" || name == "sink" ||
+         name == "abort" || name == "assume";
+}
+
+}  // namespace lang

@@ -1,0 +1,191 @@
+// Abstract syntax tree for MiniC.
+//
+// The tree is an owning hierarchy (unique_ptr children). Nodes carry source
+// line numbers so metrics and diagnostics can point back at the source.
+#ifndef SRC_LANG_AST_H_
+#define SRC_LANG_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lang {
+
+// ---------------------------------------------------------------------------
+// Types. MiniC has int, char, bool, void, and fixed-size int/char arrays.
+// ---------------------------------------------------------------------------
+
+enum class BaseType : uint8_t { kInt, kChar, kBool, kVoid };
+
+struct TypeRef {
+  BaseType base = BaseType::kInt;
+  bool is_array = false;
+  int64_t array_size = 0;  // Valid when is_array.
+
+  bool operator==(const TypeRef&) const = default;
+};
+
+const char* BaseTypeName(BaseType type);
+std::string TypeRefName(const TypeRef& type);
+
+// ---------------------------------------------------------------------------
+// Expressions.
+// ---------------------------------------------------------------------------
+
+enum class ExprKind : uint8_t {
+  kIntLiteral,
+  kBoolLiteral,
+  kCharLiteral,
+  kStringLiteral,
+  kVarRef,
+  kUnary,
+  kBinary,
+  kAssign,       // target = value / target += value / ...
+  kCall,
+  kIndex,        // base[index]
+  kConditional,  // cond ? then : else
+};
+
+enum class UnaryOp : uint8_t { kNeg, kNot, kBitNot, kPreInc, kPreDec };
+enum class BinaryOp : uint8_t {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kRem,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,    // Logical &&, short-circuiting.
+  kOr,     // Logical ||, short-circuiting.
+  kBitAnd,
+  kBitOr,
+  kBitXor,
+  kShl,
+  kShr,
+};
+enum class AssignOp : uint8_t { kPlain, kAdd, kSub };
+
+const char* UnaryOpName(UnaryOp op);
+const char* BinaryOpName(BinaryOp op);
+
+struct Expr {
+  ExprKind kind = ExprKind::kIntLiteral;
+  int line = 0;
+
+  // kIntLiteral / kBoolLiteral / kCharLiteral.
+  int64_t int_value = 0;
+  // kStringLiteral.
+  std::string str_value;
+  // kVarRef / kCall (callee name) / kIndex (array name via base).
+  std::string name;
+  // kUnary / kBinary / kAssign operator selectors.
+  UnaryOp unary_op = UnaryOp::kNeg;
+  BinaryOp binary_op = BinaryOp::kAdd;
+  AssignOp assign_op = AssignOp::kPlain;
+  // Children. Meaning depends on kind:
+  //   kUnary:        children[0] = operand
+  //   kBinary:       children[0] = lhs, children[1] = rhs
+  //   kAssign:       children[0] = target (VarRef or Index), children[1] = value
+  //   kCall:         children   = arguments
+  //   kIndex:        children[0] = base (VarRef), children[1] = index
+  //   kConditional:  children[0] = cond, children[1] = then, children[2] = else
+  std::vector<std::unique_ptr<Expr>> children;
+};
+
+std::unique_ptr<Expr> MakeIntLiteral(int64_t value, int line);
+
+// ---------------------------------------------------------------------------
+// Statements.
+// ---------------------------------------------------------------------------
+
+enum class StmtKind : uint8_t {
+  kExpr,
+  kVarDecl,
+  kIf,
+  kWhile,
+  kFor,
+  kReturn,
+  kBreak,
+  kContinue,
+  kBlock,
+  kSwitch,
+};
+
+struct Stmt;
+
+struct SwitchCase {
+  bool is_default = false;
+  int64_t value = 0;  // Valid when !is_default.
+  std::vector<std::unique_ptr<Stmt>> body;
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::kExpr;
+  int line = 0;
+
+  // kExpr / kReturn (may be null for `return;`).
+  std::unique_ptr<Expr> expr;
+  // kVarDecl.
+  std::string decl_name;
+  TypeRef decl_type;
+  std::unique_ptr<Expr> decl_init;  // May be null.
+  // kIf: cond=expr, then_body, else_body. kWhile: cond=expr, body=then_body.
+  // kFor: init_stmt, cond=expr, step_expr, body=then_body.
+  std::unique_ptr<Stmt> init_stmt;
+  std::unique_ptr<Expr> step_expr;
+  std::vector<std::unique_ptr<Stmt>> then_body;
+  std::vector<std::unique_ptr<Stmt>> else_body;
+  // kBlock.
+  std::vector<std::unique_ptr<Stmt>> block;
+  // kSwitch: expr = scrutinee.
+  std::vector<SwitchCase> cases;
+};
+
+// ---------------------------------------------------------------------------
+// Declarations.
+// ---------------------------------------------------------------------------
+
+struct ParamDecl {
+  std::string name;
+  TypeRef type;
+};
+
+struct FunctionDecl {
+  std::string name;
+  TypeRef return_type;
+  std::vector<ParamDecl> params;
+  std::vector<std::unique_ptr<Stmt>> body;
+  int line = 0;
+  int end_line = 0;  // Line of the closing brace.
+};
+
+struct GlobalDecl {
+  std::string name;
+  TypeRef type;
+  int64_t init_value = 0;
+  int line = 0;
+};
+
+struct TranslationUnit {
+  std::vector<GlobalDecl> globals;
+  std::vector<FunctionDecl> functions;
+
+  const FunctionDecl* FindFunction(const std::string& name) const;
+};
+
+// Names treated as built-in functions by the analyses:
+//   input()            -> int   : untrusted external input (taint source).
+//   print(int) / puts(str)      : output sinks.
+//   sink(int)          -> void  : security-sensitive sink for taint analysis.
+//   abort()            -> void  : terminates the path.
+//   assume(bool)       -> void  : symbolic-execution path constraint.
+bool IsBuiltinFunction(const std::string& name);
+
+}  // namespace lang
+
+#endif  // SRC_LANG_AST_H_

@@ -1,0 +1,287 @@
+#include "src/lang/interp.h"
+
+#include <unordered_map>
+
+#include "src/support/strings.h"
+
+namespace lang {
+namespace {
+
+// Evaluates a binary op with C-like 64-bit semantics. Division by zero is
+// reported via `ok`.
+int64_t EvalBinOp(BinaryOp op, int64_t a, int64_t b, bool& ok) {
+  ok = true;
+  switch (op) {
+    case BinaryOp::kAdd:
+      return static_cast<int64_t>(static_cast<uint64_t>(a) + static_cast<uint64_t>(b));
+    case BinaryOp::kSub:
+      return static_cast<int64_t>(static_cast<uint64_t>(a) - static_cast<uint64_t>(b));
+    case BinaryOp::kMul:
+      return static_cast<int64_t>(static_cast<uint64_t>(a) * static_cast<uint64_t>(b));
+    case BinaryOp::kDiv:
+      if (b == 0) {
+        ok = false;
+        return 0;
+      }
+      if (a == INT64_MIN && b == -1) {
+        return INT64_MIN;  // Wrap, matching two's complement hardware.
+      }
+      return a / b;
+    case BinaryOp::kRem:
+      if (b == 0) {
+        ok = false;
+        return 0;
+      }
+      if (a == INT64_MIN && b == -1) {
+        return 0;
+      }
+      return a % b;
+    case BinaryOp::kEq:
+      return a == b ? 1 : 0;
+    case BinaryOp::kNe:
+      return a != b ? 1 : 0;
+    case BinaryOp::kLt:
+      return a < b ? 1 : 0;
+    case BinaryOp::kLe:
+      return a <= b ? 1 : 0;
+    case BinaryOp::kGt:
+      return a > b ? 1 : 0;
+    case BinaryOp::kGe:
+      return a >= b ? 1 : 0;
+    case BinaryOp::kAnd:
+      return (a != 0 && b != 0) ? 1 : 0;
+    case BinaryOp::kOr:
+      return (a != 0 || b != 0) ? 1 : 0;
+    case BinaryOp::kBitAnd:
+      return a & b;
+    case BinaryOp::kBitOr:
+      return a | b;
+    case BinaryOp::kBitXor:
+      return a ^ b;
+    case BinaryOp::kShl:
+      return static_cast<int64_t>(static_cast<uint64_t>(a)
+                                  << (static_cast<uint64_t>(b) & 63u));
+    case BinaryOp::kShr:
+      return static_cast<int64_t>(static_cast<uint64_t>(a) >>
+                                  (static_cast<uint64_t>(b) & 63u));
+  }
+  ok = false;
+  return 0;
+}
+
+int64_t EvalUnOp(UnaryOp op, int64_t a) {
+  switch (op) {
+    case UnaryOp::kNeg:
+      return static_cast<int64_t>(0 - static_cast<uint64_t>(a));
+    case UnaryOp::kNot:
+      return a == 0 ? 1 : 0;
+    case UnaryOp::kBitNot:
+      return ~a;
+    case UnaryOp::kPreInc:
+    case UnaryOp::kPreDec:
+      // Lowered away; unreachable.
+      return a;
+  }
+  return a;
+}
+
+class Machine {
+ public:
+  Machine(const IrModule& module, std::vector<int64_t> inputs, const InterpOptions& options)
+      : module_(module), inputs_(std::move(inputs)), options_(options) {
+    globals_.reserve(module.globals.size());
+    for (const auto& g : module.globals) {
+      if (g.type.is_array) {
+        global_arrays_.emplace_back(static_cast<size_t>(g.array_size), 0);
+        globals_.push_back(0);
+      } else {
+        global_arrays_.emplace_back();
+        globals_.push_back(g.init_value);
+      }
+    }
+  }
+
+  ExecTrace Run(const std::string& entry, std::vector<int64_t> args) {
+    const IrFunction* fn = module_.FindFunction(entry);
+    if (fn == nullptr) {
+      trace_.outcome = ExecOutcome::kError;
+      trace_.error = "entry function '" + entry + "' not found";
+      return std::move(trace_);
+    }
+    int64_t result = 0;
+    if (CallFunction(*fn, args, 0, result)) {
+      trace_.outcome = ExecOutcome::kReturned;
+      trace_.return_value = result;
+    }
+    return std::move(trace_);
+  }
+
+ private:
+  bool Halt(ExecOutcome outcome, int line) {
+    trace_.outcome = outcome;
+    trace_.fault_line = line;
+    return false;
+  }
+
+  // Returns true on normal return; false if execution halted abnormally
+  // (outcome already recorded in trace_).
+  bool CallFunction(const IrFunction& fn, const std::vector<int64_t>& args, uint64_t depth,
+                    int64_t& result) {
+    if (depth > options_.max_call_depth) {
+      trace_.outcome = ExecOutcome::kStepLimit;
+      trace_.error = "call depth limit";
+      return false;
+    }
+    std::vector<int64_t> regs(static_cast<size_t>(fn.reg_count), 0);
+    std::vector<std::vector<int64_t>> arrays;
+    arrays.reserve(fn.arrays.size());
+    for (const auto& arr : fn.arrays) {
+      arrays.emplace_back(static_cast<size_t>(arr.size), 0);
+    }
+    // Bind scalar args positionally; missing args are 0, extras ignored —
+    // external (unanalysed) callers are modelled as passing zeros.
+    for (size_t i = 0; i < fn.param_regs.size(); ++i) {
+      regs[static_cast<size_t>(fn.param_regs[i])] = i < args.size() ? args[i] : 0;
+    }
+
+    BlockId block = 0;
+    for (;;) {
+      const IrBlock& bb = fn.blocks[static_cast<size_t>(block)];
+      for (const auto& instr : bb.instrs) {
+        if (++trace_.steps > options_.max_steps) {
+          return Halt(ExecOutcome::kStepLimit, instr.line);
+        }
+        if (!Step(fn, instr, regs, arrays, depth)) {
+          return false;
+        }
+      }
+      const Terminator& term = bb.term;
+      switch (term.kind) {
+        case TerminatorKind::kJump:
+          block = term.target_true;
+          break;
+        case TerminatorKind::kBranch:
+          ++trace_.branches;
+          block = regs[static_cast<size_t>(term.cond)] != 0 ? term.target_true
+                                                            : term.target_false;
+          break;
+        case TerminatorKind::kReturn:
+          result = term.value == kNoReg ? 0 : regs[static_cast<size_t>(term.value)];
+          return true;
+        case TerminatorKind::kAbort:
+          return Halt(ExecOutcome::kAborted, term.line);
+      }
+    }
+  }
+
+  bool Step(const IrFunction& fn, const IrInstr& instr, std::vector<int64_t>& regs,
+            std::vector<std::vector<int64_t>>& arrays, uint64_t depth) {
+    auto reg = [&regs](RegId r) { return regs[static_cast<size_t>(r)]; };
+    switch (instr.op) {
+      case IrOpcode::kConst:
+        regs[static_cast<size_t>(instr.dst)] = instr.imm;
+        return true;
+      case IrOpcode::kCopy:
+        regs[static_cast<size_t>(instr.dst)] = reg(instr.a);
+        return true;
+      case IrOpcode::kUnOp:
+        regs[static_cast<size_t>(instr.dst)] = EvalUnOp(instr.unary_op, reg(instr.a));
+        return true;
+      case IrOpcode::kBinOp: {
+        bool ok;
+        const int64_t value = EvalBinOp(instr.binary_op, reg(instr.a), reg(instr.b), ok);
+        if (!ok) {
+          return Halt(ExecOutcome::kDivisionByZero, instr.line);
+        }
+        regs[static_cast<size_t>(instr.dst)] = value;
+        return true;
+      }
+      case IrOpcode::kLoadGlobal:
+        regs[static_cast<size_t>(instr.dst)] = globals_[static_cast<size_t>(instr.global)];
+        return true;
+      case IrOpcode::kStoreGlobal:
+        globals_[static_cast<size_t>(instr.global)] = reg(instr.a);
+        return true;
+      case IrOpcode::kArrayLoad:
+      case IrOpcode::kArrayStore: {
+        std::vector<int64_t>* storage;
+        int64_t size;
+        if (instr.array >= 0) {
+          storage = &arrays[static_cast<size_t>(instr.array)];
+          size = fn.arrays[static_cast<size_t>(instr.array)].size;
+        } else {
+          storage = &global_arrays_[static_cast<size_t>(instr.global)];
+          size = module_.globals[static_cast<size_t>(instr.global)].array_size;
+        }
+        const int64_t index = reg(instr.a);
+        if (index < 0 || index >= size) {
+          return Halt(ExecOutcome::kOutOfBounds, instr.line);
+        }
+        if (instr.op == IrOpcode::kArrayLoad) {
+          regs[static_cast<size_t>(instr.dst)] = (*storage)[static_cast<size_t>(index)];
+        } else {
+          (*storage)[static_cast<size_t>(index)] = reg(instr.b);
+        }
+        return true;
+      }
+      case IrOpcode::kCall: {
+        const IrFunction* callee = module_.FindFunction(instr.callee);
+        if (callee == nullptr) {
+          // Unknown external function: modelled as returning 0 with no
+          // side effects.
+          regs[static_cast<size_t>(instr.dst)] = 0;
+          return true;
+        }
+        std::vector<int64_t> args;
+        args.reserve(instr.args.size());
+        for (RegId arg : instr.args) {
+          args.push_back(reg(arg));
+        }
+        int64_t result = 0;
+        if (!CallFunction(*callee, args, depth + 1, result)) {
+          return false;
+        }
+        regs[static_cast<size_t>(instr.dst)] = result;
+        return true;
+      }
+      case IrOpcode::kInput: {
+        const int64_t value =
+            trace_.inputs_consumed < inputs_.size() ? inputs_[trace_.inputs_consumed] : 0;
+        ++trace_.inputs_consumed;
+        regs[static_cast<size_t>(instr.dst)] = value;
+        return true;
+      }
+      case IrOpcode::kOutput:
+        if (instr.is_sink) {
+          trace_.sink_values.push_back(reg(instr.a));
+        } else {
+          trace_.outputs.push_back(reg(instr.a));
+        }
+        return true;
+      case IrOpcode::kAssume:
+        if (reg(instr.a) == 0) {
+          return Halt(ExecOutcome::kAssumeViolated, instr.line);
+        }
+        return true;
+    }
+    trace_.error = "bad opcode";
+    return Halt(ExecOutcome::kError, instr.line);
+  }
+
+  const IrModule& module_;
+  std::vector<int64_t> inputs_;
+  InterpOptions options_;
+  std::vector<int64_t> globals_;
+  std::vector<std::vector<int64_t>> global_arrays_;
+  ExecTrace trace_;
+};
+
+}  // namespace
+
+ExecTrace Execute(const IrModule& module, const std::string& entry, std::vector<int64_t> args,
+                  std::vector<int64_t> inputs, const InterpOptions& options) {
+  Machine machine(module, std::move(inputs), options);
+  return machine.Run(entry, std::move(args));
+}
+
+}  // namespace lang

@@ -1,0 +1,53 @@
+// Concrete interpreter for the MiniC IR.
+//
+// Used as (a) a test oracle for the lowering pass, (b) the ground truth the
+// symbolic executor's path enumeration is validated against, and (c) the
+// "dynamic trace" extension sketched in the paper's §5.3.
+#ifndef SRC_LANG_INTERP_H_
+#define SRC_LANG_INTERP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/lang/ir.h"
+#include "src/support/result.h"
+
+namespace lang {
+
+enum class ExecOutcome : uint8_t {
+  kReturned,        // Normal completion.
+  kAborted,         // abort() reached.
+  kOutOfBounds,     // Array index outside [0, size).
+  kDivisionByZero,  // Integer / or % by zero.
+  kAssumeViolated,  // assume(false) — the path is infeasible, not a bug.
+  kStepLimit,       // Ran past the configured step budget.
+  kError,           // Malformed program (missing function, bad arity).
+};
+
+struct ExecTrace {
+  ExecOutcome outcome = ExecOutcome::kReturned;
+  int64_t return_value = 0;
+  std::vector<int64_t> outputs;       // Values passed to print/puts.
+  std::vector<int64_t> sink_values;   // Values passed to sink().
+  uint64_t steps = 0;                 // Instructions executed.
+  uint64_t branches = 0;              // Conditional branches taken.
+  uint64_t inputs_consumed = 0;
+  int fault_line = 0;                 // Source line for abnormal outcomes.
+  std::string error;                  // For kError.
+};
+
+struct InterpOptions {
+  uint64_t max_steps = 1u << 20;
+  uint64_t max_call_depth = 256;
+};
+
+// Runs `entry` with the given scalar arguments. Each input() call consumes the
+// next element of `inputs` (0 once exhausted).
+ExecTrace Execute(const IrModule& module, const std::string& entry,
+                  std::vector<int64_t> args, std::vector<int64_t> inputs,
+                  const InterpOptions& options = {});
+
+}  // namespace lang
+
+#endif  // SRC_LANG_INTERP_H_

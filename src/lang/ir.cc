@@ -1,0 +1,143 @@
+#include "src/lang/ir.h"
+
+#include "src/support/strings.h"
+
+namespace lang {
+
+std::vector<BlockId> IrFunction::Successors(BlockId block) const {
+  const Terminator& term = blocks[block].term;
+  switch (term.kind) {
+    case TerminatorKind::kJump:
+      return {term.target_true};
+    case TerminatorKind::kBranch:
+      return {term.target_true, term.target_false};
+    case TerminatorKind::kReturn:
+    case TerminatorKind::kAbort:
+      return {};
+  }
+  return {};
+}
+
+const IrFunction* IrModule::FindFunction(const std::string& name) const {
+  for (const auto& fn : functions) {
+    if (fn.name == name) {
+      return &fn;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+std::string RegName(const IrFunction& fn, RegId reg) {
+  if (reg == kNoReg) {
+    return "_";
+  }
+  if (reg >= 0 && static_cast<size_t>(reg) < fn.reg_names.size()) {
+    return support::Format("%%%s", fn.reg_names[reg].c_str());
+  }
+  return support::Format("%%r%d", reg);
+}
+
+std::string DumpInstr(const IrFunction& fn, const IrInstr& instr) {
+  switch (instr.op) {
+    case IrOpcode::kConst:
+      return support::Format("%s = const %lld", RegName(fn, instr.dst).c_str(),
+                             static_cast<long long>(instr.imm));
+    case IrOpcode::kCopy:
+      return support::Format("%s = %s", RegName(fn, instr.dst).c_str(),
+                             RegName(fn, instr.a).c_str());
+    case IrOpcode::kUnOp:
+      return support::Format("%s = %s %s", RegName(fn, instr.dst).c_str(),
+                             UnaryOpName(instr.unary_op), RegName(fn, instr.a).c_str());
+    case IrOpcode::kBinOp:
+      return support::Format("%s = %s %s %s", RegName(fn, instr.dst).c_str(),
+                             RegName(fn, instr.a).c_str(), BinaryOpName(instr.binary_op),
+                             RegName(fn, instr.b).c_str());
+    case IrOpcode::kLoadGlobal:
+      return support::Format("%s = load_global #%d", RegName(fn, instr.dst).c_str(),
+                             instr.global);
+    case IrOpcode::kStoreGlobal:
+      return support::Format("store_global #%d, %s", instr.global,
+                             RegName(fn, instr.a).c_str());
+    case IrOpcode::kArrayLoad:
+      if (instr.array >= 0) {
+        return support::Format("%s = %s[%s]", RegName(fn, instr.dst).c_str(),
+                               fn.arrays[instr.array].name.c_str(),
+                               RegName(fn, instr.a).c_str());
+      }
+      return support::Format("%s = garray#%d[%s]", RegName(fn, instr.dst).c_str(), instr.global,
+                             RegName(fn, instr.a).c_str());
+    case IrOpcode::kArrayStore:
+      if (instr.array >= 0) {
+        return support::Format("%s[%s] = %s", fn.arrays[instr.array].name.c_str(),
+                               RegName(fn, instr.a).c_str(), RegName(fn, instr.b).c_str());
+      }
+      return support::Format("garray#%d[%s] = %s", instr.global, RegName(fn, instr.a).c_str(),
+                             RegName(fn, instr.b).c_str());
+    case IrOpcode::kCall: {
+      std::string args;
+      for (size_t i = 0; i < instr.args.size(); ++i) {
+        if (i > 0) {
+          args += ", ";
+        }
+        args += RegName(fn, instr.args[i]);
+      }
+      return support::Format("%s = call %s(%s)", RegName(fn, instr.dst).c_str(),
+                             instr.callee.c_str(), args.c_str());
+    }
+    case IrOpcode::kInput:
+      return support::Format("%s = input", RegName(fn, instr.dst).c_str());
+    case IrOpcode::kOutput:
+      return support::Format("%s %s", instr.is_sink ? "sink" : "output",
+                             RegName(fn, instr.a).c_str());
+    case IrOpcode::kAssume:
+      return support::Format("assume %s", RegName(fn, instr.a).c_str());
+  }
+  return "<bad-instr>";
+}
+
+std::string DumpTerminator(const IrFunction& fn, const Terminator& term) {
+  switch (term.kind) {
+    case TerminatorKind::kJump:
+      return support::Format("jump bb%d", term.target_true);
+    case TerminatorKind::kBranch:
+      return support::Format("branch %s, bb%d, bb%d", RegName(fn, term.cond).c_str(),
+                             term.target_true, term.target_false);
+    case TerminatorKind::kReturn:
+      return term.value == kNoReg ? "return"
+                                  : support::Format("return %s", RegName(fn, term.value).c_str());
+    case TerminatorKind::kAbort:
+      return "abort";
+  }
+  return "<bad-term>";
+}
+
+}  // namespace
+
+std::string DumpFunction(const IrFunction& fn) {
+  std::string out = support::Format("func %s (%d regs, %zu arrays)\n", fn.name.c_str(),
+                                    fn.reg_count, fn.arrays.size());
+  for (size_t b = 0; b < fn.blocks.size(); ++b) {
+    out += support::Format("bb%zu:\n", b);
+    for (const auto& instr : fn.blocks[b].instrs) {
+      out += "  " + DumpInstr(fn, instr) + "\n";
+    }
+    out += "  " + DumpTerminator(fn, fn.blocks[b].term) + "\n";
+  }
+  return out;
+}
+
+std::string DumpModule(const IrModule& module) {
+  std::string out;
+  for (const auto& global : module.globals) {
+    out += support::Format("global %s %s\n", TypeRefName(global.type).c_str(),
+                           global.name.c_str());
+  }
+  for (const auto& fn : module.functions) {
+    out += DumpFunction(fn);
+  }
+  return out;
+}
+
+}  // namespace lang

@@ -1,0 +1,125 @@
+// Three-address IR with an explicit control-flow graph.
+//
+// The lowering pass (`LowerToIr`) translates a parsed MiniC translation unit
+// into this IR. Scalar locals and parameters become virtual registers; arrays
+// become indexed storage with a statically known size, which lets the
+// dataflow and symbolic-execution layers check bounds. Short-circuit logical
+// operators and conditional expressions are lowered into control flow.
+#ifndef SRC_LANG_IR_H_
+#define SRC_LANG_IR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/lang/ast.h"
+#include "src/support/result.h"
+
+namespace lang {
+
+using RegId = int32_t;
+using BlockId = int32_t;
+using ArrayId = int32_t;
+using GlobalId = int32_t;
+
+inline constexpr RegId kNoReg = -1;
+
+enum class IrOpcode : uint8_t {
+  kConst,        // dst = imm
+  kCopy,         // dst = a
+  kUnOp,         // dst = unary_op a
+  kBinOp,        // dst = a binary_op b
+  kLoadGlobal,   // dst = globals[global]
+  kStoreGlobal,  // globals[global] = a
+  kArrayLoad,    // dst = arrays[array][a]          (bounds-sensitive)
+  kArrayStore,   // arrays[array][a] = b            (bounds-sensitive)
+  kCall,         // dst? = call callee(args)
+  kInput,        // dst = external untrusted input  (taint source)
+  kOutput,       // print/puts/sink of a            (sink when is_sink)
+  kAssume,       // constrain path with a != 0
+};
+
+struct IrInstr {
+  IrOpcode op = IrOpcode::kConst;
+  RegId dst = kNoReg;
+  RegId a = kNoReg;
+  RegId b = kNoReg;
+  int64_t imm = 0;
+  UnaryOp unary_op = UnaryOp::kNeg;
+  BinaryOp binary_op = BinaryOp::kAdd;
+  ArrayId array = -1;
+  GlobalId global = -1;
+  std::string callee;           // kCall.
+  std::vector<RegId> args;      // kCall.
+  bool is_sink = false;         // kOutput: true for sink() (security-sensitive).
+  int line = 0;
+};
+
+enum class TerminatorKind : uint8_t {
+  kJump,    // goto target_true
+  kBranch,  // if (cond) goto target_true else goto target_false
+  kReturn,  // return value (kNoReg for void)
+  kAbort,   // program terminates abnormally
+};
+
+struct Terminator {
+  TerminatorKind kind = TerminatorKind::kReturn;
+  RegId cond = kNoReg;
+  BlockId target_true = -1;
+  BlockId target_false = -1;
+  RegId value = kNoReg;
+  int line = 0;
+};
+
+struct IrBlock {
+  std::vector<IrInstr> instrs;
+  Terminator term;
+};
+
+struct IrArray {
+  std::string name;
+  int64_t size = 0;
+  bool is_param = false;  // Parameter arrays have caller-defined (symbolic) contents.
+};
+
+struct IrFunction {
+  std::string name;
+  TypeRef return_type;
+  std::vector<RegId> param_regs;       // One per scalar parameter, in order.
+  std::vector<ArrayId> param_arrays;   // Array parameters, in order of appearance.
+  std::vector<IrBlock> blocks;         // blocks[0] is the entry.
+  std::vector<std::string> reg_names;  // Debug names, indexed by RegId.
+  std::vector<IrArray> arrays;         // Function-local (incl. parameter) arrays.
+  int32_t reg_count = 0;
+
+  // Successor block ids of `block` (0, 1, or 2 entries).
+  std::vector<BlockId> Successors(BlockId block) const;
+};
+
+struct IrGlobal {
+  std::string name;
+  TypeRef type;
+  int64_t init_value = 0;
+  int64_t array_size = 0;  // When type.is_array.
+};
+
+struct IrModule {
+  std::vector<IrGlobal> globals;
+  std::vector<IrFunction> functions;
+
+  const IrFunction* FindFunction(const std::string& name) const;
+};
+
+// Lowers a parsed unit. Performs name resolution; fails on references to
+// undeclared variables/functions and call-arity mismatches against
+// locally-defined functions.
+support::Result<IrModule> LowerToIr(const TranslationUnit& unit);
+
+// Human-readable dump, for tests and debugging.
+std::string DumpFunction(const IrFunction& fn);
+std::string DumpModule(const IrModule& module);
+
+}  // namespace lang
+
+#endif  // SRC_LANG_IR_H_

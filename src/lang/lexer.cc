@@ -1,0 +1,322 @@
+#include "src/lang/lexer.h"
+
+#include <cctype>
+#include <set>
+
+#include "src/support/strings.h"
+
+namespace lang {
+namespace {
+
+using support::Error;
+
+class LexerImpl {
+ public:
+  explicit LexerImpl(std::string_view source) : src_(source) {}
+
+  support::Result<LexOutput> Run() {
+    while (!AtEnd()) {
+      SkipWhitespaceAndComments();
+      if (!error_.empty()) {
+        return Error(Error::Code::kParseError, error_);
+      }
+      if (AtEnd()) {
+        break;
+      }
+      const int line = line_;
+      const int col = column_;
+      Token tok;
+      if (!LexOne(tok)) {
+        return Error(Error::Code::kParseError,
+                     support::Format("line %d:%d: %s", line, col, error_.c_str()));
+      }
+      tok.line = line;
+      tok.column = col;
+      code_line_set_.insert(line);
+      out_.tokens.push_back(std::move(tok));
+    }
+    Token eof;
+    eof.kind = TokenKind::kEof;
+    eof.line = line_;
+    eof.column = column_;
+    out_.tokens.push_back(std::move(eof));
+    FinishLineFacts();
+    return std::move(out_);
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  char Advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void SkipWhitespaceAndComments() {
+    for (;;) {
+      if (AtEnd()) {
+        return;
+      }
+      const char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        comment_line_set_.insert(line_);
+        while (!AtEnd() && Peek() != '\n') {
+          Advance();
+        }
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        const int start_line = line_;
+        Advance();
+        Advance();
+        bool closed = false;
+        while (!AtEnd()) {
+          comment_line_set_.insert(line_);
+          if (Peek() == '*' && Peek(1) == '/') {
+            Advance();
+            Advance();
+            closed = true;
+            break;
+          }
+          Advance();
+        }
+        if (!closed) {
+          error_ = support::Format("line %d: unterminated block comment", start_line);
+          return;
+        }
+        comment_line_set_.insert(start_line);
+        continue;
+      }
+      return;
+    }
+  }
+
+  bool LexOne(Token& tok) {
+    const char c = Peek();
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      return LexNumber(tok);
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return LexIdentifier(tok);
+    }
+    if (c == '\'') {
+      return LexCharLiteral(tok);
+    }
+    if (c == '"') {
+      return LexStringLiteral(tok);
+    }
+    return LexOperator(tok);
+  }
+
+  bool LexNumber(Token& tok) {
+    std::string text;
+    int64_t value = 0;
+    if (Peek() == '0' && (Peek(1) == 'x' || Peek(1) == 'X')) {
+      text += Advance();
+      text += Advance();
+      if (!std::isxdigit(static_cast<unsigned char>(Peek()))) {
+        error_ = "malformed hex literal";
+        return false;
+      }
+      while (std::isxdigit(static_cast<unsigned char>(Peek()))) {
+        const char d = Advance();
+        text += d;
+        int digit;
+        if (d >= '0' && d <= '9') {
+          digit = d - '0';
+        } else {
+          digit = std::tolower(static_cast<unsigned char>(d)) - 'a' + 10;
+        }
+        value = value * 16 + digit;
+      }
+    } else {
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        const char d = Advance();
+        text += d;
+        value = value * 10 + (d - '0');
+      }
+    }
+    tok.kind = TokenKind::kIntLiteral;
+    tok.text = std::move(text);
+    tok.int_value = value;
+    return true;
+  }
+
+  bool LexIdentifier(Token& tok) {
+    std::string text;
+    while (std::isalnum(static_cast<unsigned char>(Peek())) || Peek() == '_') {
+      text += Advance();
+    }
+    tok.kind = ClassifyIdentifier(text);
+    if (tok.kind == TokenKind::kKwTrue) {
+      tok.int_value = 1;
+    }
+    tok.text = std::move(text);
+    return true;
+  }
+
+  bool LexCharLiteral(Token& tok) {
+    Advance();  // Opening quote.
+    if (AtEnd()) {
+      error_ = "unterminated character literal";
+      return false;
+    }
+    char value = Advance();
+    if (value == '\\') {
+      if (AtEnd()) {
+        error_ = "unterminated escape";
+        return false;
+      }
+      value = Unescape(Advance());
+    }
+    if (AtEnd() || Peek() != '\'') {
+      error_ = "unterminated character literal";
+      return false;
+    }
+    Advance();  // Closing quote.
+    tok.kind = TokenKind::kCharLiteral;
+    tok.text = std::string(1, value);
+    tok.int_value = static_cast<unsigned char>(value);
+    return true;
+  }
+
+  bool LexStringLiteral(Token& tok) {
+    Advance();  // Opening quote.
+    std::string text;
+    while (!AtEnd() && Peek() != '"') {
+      char c = Advance();
+      if (c == '\n') {
+        error_ = "newline in string literal";
+        return false;
+      }
+      if (c == '\\') {
+        if (AtEnd()) {
+          error_ = "unterminated escape";
+          return false;
+        }
+        c = Unescape(Advance());
+      }
+      text += c;
+    }
+    if (AtEnd()) {
+      error_ = "unterminated string literal";
+      return false;
+    }
+    Advance();  // Closing quote.
+    tok.kind = TokenKind::kStringLiteral;
+    tok.text = std::move(text);
+    return true;
+  }
+
+  static char Unescape(char c) {
+    switch (c) {
+      case 'n':
+        return '\n';
+      case 't':
+        return '\t';
+      case 'r':
+        return '\r';
+      case '0':
+        return '\0';
+      default:
+        return c;
+    }
+  }
+
+  bool LexOperator(Token& tok) {
+    struct OpEntry {
+      const char* spelling;
+      TokenKind kind;
+    };
+    // Longest-match first.
+    static const OpEntry kOps[] = {
+        {"<<", TokenKind::kShl},        {">>", TokenKind::kShr},
+        {"<=", TokenKind::kLe},         {">=", TokenKind::kGe},
+        {"==", TokenKind::kEq},         {"!=", TokenKind::kNe},
+        {"&&", TokenKind::kAmpAmp},     {"||", TokenKind::kPipePipe},
+        {"+=", TokenKind::kPlusAssign}, {"-=", TokenKind::kMinusAssign},
+        {"++", TokenKind::kPlusPlus},   {"--", TokenKind::kMinusMinus},
+        {"(", TokenKind::kLParen},      {")", TokenKind::kRParen},
+        {"{", TokenKind::kLBrace},      {"}", TokenKind::kRBrace},
+        {"[", TokenKind::kLBracket},    {"]", TokenKind::kRBracket},
+        {",", TokenKind::kComma},       {";", TokenKind::kSemicolon},
+        {":", TokenKind::kColon},       {"+", TokenKind::kPlus},
+        {"-", TokenKind::kMinus},       {"*", TokenKind::kStar},
+        {"/", TokenKind::kSlash},       {"%", TokenKind::kPercent},
+        {"=", TokenKind::kAssign},      {"<", TokenKind::kLt},
+        {">", TokenKind::kGt},          {"!", TokenKind::kBang},
+        {"&", TokenKind::kAmp},         {"|", TokenKind::kPipe},
+        {"^", TokenKind::kCaret},       {"~", TokenKind::kTilde},
+        {"?", TokenKind::kQuestion},
+    };
+    for (const auto& op : kOps) {
+      const std::string_view spelling(op.spelling);
+      if (src_.substr(pos_).substr(0, spelling.size()) == spelling) {
+        for (size_t i = 0; i < spelling.size(); ++i) {
+          Advance();
+        }
+        tok.kind = op.kind;
+        tok.text = std::string(spelling);
+        return true;
+      }
+    }
+    error_ = support::Format("unexpected character '%c'", Peek());
+    return false;
+  }
+
+  void FinishLineFacts() {
+    // A line is counted when newline-terminated, plus a final unterminated
+    // line if the file does not end in '\n' (cloc semantics).
+    int total = 0;
+    for (char c : src_) {
+      if (c == '\n') {
+        ++total;
+      }
+    }
+    if (!src_.empty() && src_.back() != '\n') {
+      ++total;
+    }
+    out_.lines.total_lines = total;
+    out_.lines.code_lines = static_cast<int>(code_line_set_.size());
+    int comment_only = 0;
+    for (int line : comment_line_set_) {
+      if (!code_line_set_.contains(line)) {
+        ++comment_only;
+      }
+    }
+    out_.lines.comment_lines = comment_only;
+    out_.lines.blank_lines =
+        total - static_cast<int>(code_line_set_.size()) - comment_only;
+    if (out_.lines.blank_lines < 0) {
+      out_.lines.blank_lines = 0;
+    }
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  LexOutput out_;
+  std::set<int> code_line_set_;
+  std::set<int> comment_line_set_;
+  std::string error_;
+};
+
+}  // namespace
+
+support::Result<LexOutput> Lex(std::string_view source) { return LexerImpl(source).Run(); }
+
+}  // namespace lang

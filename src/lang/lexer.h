@@ -1,0 +1,34 @@
+// MiniC lexer. Produces a token stream plus line-accounting facts
+// (comment/blank/code lines) that the metrics layer reuses.
+#ifndef SRC_LANG_LEXER_H_
+#define SRC_LANG_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/lang/token.h"
+#include "src/support/result.h"
+
+namespace lang {
+
+// Per-file line accounting gathered during a lex pass.
+struct LineFacts {
+  int total_lines = 0;
+  int blank_lines = 0;
+  int comment_lines = 0;  // Lines containing only comment text.
+  int code_lines = 0;     // Lines with at least one token.
+};
+
+struct LexOutput {
+  std::vector<Token> tokens;  // Always terminated by a kEof token.
+  LineFacts lines;
+};
+
+// Tokenizes `source`. Fails on unterminated comments/strings and on
+// characters outside the language.
+support::Result<LexOutput> Lex(std::string_view source);
+
+}  // namespace lang
+
+#endif  // SRC_LANG_LEXER_H_

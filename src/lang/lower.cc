@@ -1,0 +1,911 @@
+#include <map>
+#include <utility>
+
+#include "src/lang/ir.h"
+#include "src/support/strings.h"
+
+namespace lang {
+namespace {
+
+using support::Error;
+
+// One scope frame's view of a name.
+struct Binding {
+  enum class Kind { kReg, kLocalArray, kGlobalScalar, kGlobalArray } kind = Kind::kReg;
+  RegId reg = kNoReg;
+  ArrayId array = -1;
+  GlobalId global = -1;
+};
+
+class FunctionLowerer {
+ public:
+  FunctionLowerer(const TranslationUnit& unit, const IrModule& module, const FunctionDecl& decl)
+      : unit_(unit), module_(module), decl_(decl) {}
+
+  support::Result<IrFunction> Run() {
+    fn_.name = decl_.name;
+    fn_.return_type = decl_.return_type;
+    NewBlock();  // Entry block 0.
+
+    PushScope();
+    for (const auto& param : decl_.params) {
+      if (param.type.is_array) {
+        const ArrayId id = static_cast<ArrayId>(fn_.arrays.size());
+        fn_.arrays.push_back({param.name, param.type.array_size, /*is_param=*/true});
+        fn_.param_arrays.push_back(id);
+        Binding binding;
+        binding.kind = Binding::Kind::kLocalArray;
+        binding.array = id;
+        if (!Declare(param.name, binding)) {
+          return TakeError();
+        }
+      } else {
+        const RegId reg = NewReg(param.name);
+        fn_.param_regs.push_back(reg);
+        Binding binding;
+        binding.kind = Binding::Kind::kReg;
+        binding.reg = reg;
+        if (!Declare(param.name, binding)) {
+          return TakeError();
+        }
+      }
+    }
+
+    for (const auto& stmt : decl_.body) {
+      if (!LowerStmt(*stmt)) {
+        return TakeError();
+      }
+    }
+    PopScope();
+
+    // Fall off the end: implicit return.
+    if (!Sealed()) {
+      Terminator term;
+      term.kind = TerminatorKind::kReturn;
+      term.value = kNoReg;
+      if (decl_.return_type.base != BaseType::kVoid) {
+        // C-style: falling off a non-void function yields 0 here (defined
+        // behaviour keeps the interpreter and symbolic executor aligned).
+        const RegId zero = EmitConst(0, decl_.end_line);
+        term.value = zero;
+      }
+      term.line = decl_.end_line;
+      Seal(term);
+    }
+    return std::move(fn_);
+  }
+
+ private:
+  // --- Error plumbing -------------------------------------------------------
+
+  bool Fail(int line, const std::string& message) {
+    if (error_.empty()) {
+      error_ = support::Format("%s: line %d: %s", decl_.name.c_str(), line, message.c_str());
+    }
+    return false;
+  }
+
+  Error TakeError() { return Error(Error::Code::kInvalidArgument, error_); }
+
+  // --- Scopes ---------------------------------------------------------------
+
+  void PushScope() { scopes_.emplace_back(); }
+  void PopScope() { scopes_.pop_back(); }
+
+  bool Declare(const std::string& name, const Binding& binding) {
+    auto& scope = scopes_.back();
+    if (scope.contains(name)) {
+      return Fail(0, "duplicate declaration of '" + name + "'");
+    }
+    scope[name] = binding;
+    return true;
+  }
+
+  const Binding* Lookup(const std::string& name) {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      const auto found = it->find(name);
+      if (found != it->end()) {
+        return &found->second;
+      }
+    }
+    // Fall back to module globals.
+    for (size_t i = 0; i < module_.globals.size(); ++i) {
+      if (module_.globals[i].name == name) {
+        global_binding_.kind = module_.globals[i].type.is_array ? Binding::Kind::kGlobalArray
+                                                                : Binding::Kind::kGlobalScalar;
+        global_binding_.global = static_cast<GlobalId>(i);
+        return &global_binding_;
+      }
+    }
+    return nullptr;
+  }
+
+  // --- Block / register helpers ---------------------------------------------
+
+  BlockId NewBlock() {
+    fn_.blocks.emplace_back();
+    fn_.blocks.back().term.kind = TerminatorKind::kReturn;
+    fn_.blocks.back().term.value = kNoReg;
+    return static_cast<BlockId>(fn_.blocks.size() - 1);
+  }
+
+  RegId NewReg(const std::string& name) {
+    fn_.reg_names.push_back(name);
+    return fn_.reg_count++;
+  }
+
+  RegId NewTemp() { return NewReg(support::Format("t%d", fn_.reg_count)); }
+
+  IrBlock& Current() { return fn_.blocks[current_]; }
+
+  bool Sealed() const { return sealed_; }
+
+  void Seal(Terminator term) {
+    if (!sealed_) {
+      fn_.blocks[current_].term = std::move(term);
+      sealed_ = true;
+    }
+  }
+
+  void SwitchTo(BlockId block) {
+    current_ = block;
+    sealed_ = false;
+  }
+
+  void Emit(IrInstr instr) {
+    if (!sealed_) {
+      Current().instrs.push_back(std::move(instr));
+    }
+  }
+
+  RegId EmitConst(int64_t value, int line) {
+    IrInstr instr;
+    instr.op = IrOpcode::kConst;
+    instr.dst = NewTemp();
+    instr.imm = value;
+    instr.line = line;
+    const RegId dst = instr.dst;
+    Emit(std::move(instr));
+    return dst;
+  }
+
+  void EmitJump(BlockId target, int line) {
+    Terminator term;
+    term.kind = TerminatorKind::kJump;
+    term.target_true = target;
+    term.line = line;
+    Seal(term);
+  }
+
+  void EmitBranch(RegId cond, BlockId if_true, BlockId if_false, int line) {
+    Terminator term;
+    term.kind = TerminatorKind::kBranch;
+    term.cond = cond;
+    term.target_true = if_true;
+    term.target_false = if_false;
+    term.line = line;
+    Seal(term);
+  }
+
+  // --- Statements -----------------------------------------------------------
+
+  bool LowerStmt(const Stmt& stmt) {
+    if (sealed_) {
+      // Unreachable code (after return/break/...). Still valid MiniC; lower
+      // into a fresh dead block so analyses see it.
+      SwitchTo(NewBlock());
+    }
+    switch (stmt.kind) {
+      case StmtKind::kExpr: {
+        RegId ignored;
+        return LowerExpr(*stmt.expr, ignored);
+      }
+      case StmtKind::kVarDecl:
+        return LowerVarDecl(stmt);
+      case StmtKind::kIf:
+        return LowerIf(stmt);
+      case StmtKind::kWhile:
+        return LowerWhile(stmt);
+      case StmtKind::kFor:
+        return LowerFor(stmt);
+      case StmtKind::kReturn:
+        return LowerReturn(stmt);
+      case StmtKind::kBreak:
+        if (break_targets_.empty()) {
+          return Fail(stmt.line, "break outside loop/switch");
+        }
+        EmitJump(break_targets_.back(), stmt.line);
+        return true;
+      case StmtKind::kContinue:
+        if (continue_targets_.empty()) {
+          return Fail(stmt.line, "continue outside loop");
+        }
+        EmitJump(continue_targets_.back(), stmt.line);
+        return true;
+      case StmtKind::kBlock: {
+        PushScope();
+        for (const auto& child : stmt.block) {
+          if (!LowerStmt(*child)) {
+            return false;
+          }
+        }
+        PopScope();
+        return true;
+      }
+      case StmtKind::kSwitch:
+        return LowerSwitch(stmt);
+    }
+    return Fail(stmt.line, "unhandled statement kind");
+  }
+
+  bool LowerVarDecl(const Stmt& stmt) {
+    if (stmt.decl_type.is_array) {
+      const ArrayId id = static_cast<ArrayId>(fn_.arrays.size());
+      fn_.arrays.push_back({stmt.decl_name, stmt.decl_type.array_size, /*is_param=*/false});
+      Binding binding;
+      binding.kind = Binding::Kind::kLocalArray;
+      binding.array = id;
+      return Declare(stmt.decl_name, binding);
+    }
+    const RegId reg = NewReg(stmt.decl_name);
+    Binding binding;
+    binding.kind = Binding::Kind::kReg;
+    binding.reg = reg;
+    if (!Declare(stmt.decl_name, binding)) {
+      return false;
+    }
+    RegId init;
+    if (stmt.decl_init) {
+      if (!LowerExpr(*stmt.decl_init, init)) {
+        return false;
+      }
+    } else {
+      init = EmitConst(0, stmt.line);
+    }
+    IrInstr copy;
+    copy.op = IrOpcode::kCopy;
+    copy.dst = reg;
+    copy.a = init;
+    copy.line = stmt.line;
+    Emit(std::move(copy));
+    return true;
+  }
+
+  bool LowerIf(const Stmt& stmt) {
+    RegId cond;
+    if (!LowerExpr(*stmt.expr, cond)) {
+      return false;
+    }
+    const BlockId then_block = NewBlock();
+    const BlockId join_block = NewBlock();
+    const BlockId else_block = stmt.else_body.empty() ? join_block : NewBlock();
+    EmitBranch(cond, then_block, else_block, stmt.line);
+
+    SwitchTo(then_block);
+    PushScope();
+    for (const auto& child : stmt.then_body) {
+      if (!LowerStmt(*child)) {
+        return false;
+      }
+    }
+    PopScope();
+    EmitJump(join_block, stmt.line);
+
+    if (!stmt.else_body.empty()) {
+      SwitchTo(else_block);
+      PushScope();
+      for (const auto& child : stmt.else_body) {
+        if (!LowerStmt(*child)) {
+          return false;
+        }
+      }
+      PopScope();
+      EmitJump(join_block, stmt.line);
+    }
+    SwitchTo(join_block);
+    return true;
+  }
+
+  bool LowerWhile(const Stmt& stmt) {
+    const BlockId header = NewBlock();
+    EmitJump(header, stmt.line);
+    SwitchTo(header);
+    RegId cond;
+    if (!LowerExpr(*stmt.expr, cond)) {
+      return false;
+    }
+    const BlockId body = NewBlock();
+    const BlockId exit = NewBlock();
+    EmitBranch(cond, body, exit, stmt.line);
+
+    SwitchTo(body);
+    break_targets_.push_back(exit);
+    continue_targets_.push_back(header);
+    PushScope();
+    for (const auto& child : stmt.then_body) {
+      if (!LowerStmt(*child)) {
+        return false;
+      }
+    }
+    PopScope();
+    continue_targets_.pop_back();
+    break_targets_.pop_back();
+    EmitJump(header, stmt.line);
+
+    SwitchTo(exit);
+    return true;
+  }
+
+  bool LowerFor(const Stmt& stmt) {
+    PushScope();
+    if (stmt.init_stmt && !LowerStmt(*stmt.init_stmt)) {
+      return false;
+    }
+    const BlockId header = NewBlock();
+    EmitJump(header, stmt.line);
+    SwitchTo(header);
+    RegId cond;
+    if (stmt.expr) {
+      if (!LowerExpr(*stmt.expr, cond)) {
+        return false;
+      }
+    } else {
+      cond = EmitConst(1, stmt.line);
+    }
+    const BlockId body = NewBlock();
+    const BlockId step = NewBlock();
+    const BlockId exit = NewBlock();
+    EmitBranch(cond, body, exit, stmt.line);
+
+    SwitchTo(body);
+    break_targets_.push_back(exit);
+    continue_targets_.push_back(step);
+    PushScope();
+    for (const auto& child : stmt.then_body) {
+      if (!LowerStmt(*child)) {
+        return false;
+      }
+    }
+    PopScope();
+    continue_targets_.pop_back();
+    break_targets_.pop_back();
+    EmitJump(step, stmt.line);
+
+    SwitchTo(step);
+    if (stmt.step_expr) {
+      RegId ignored;
+      if (!LowerExpr(*stmt.step_expr, ignored)) {
+        return false;
+      }
+    }
+    EmitJump(header, stmt.line);
+
+    SwitchTo(exit);
+    PopScope();
+    return true;
+  }
+
+  bool LowerReturn(const Stmt& stmt) {
+    Terminator term;
+    term.kind = TerminatorKind::kReturn;
+    term.line = stmt.line;
+    term.value = kNoReg;
+    if (stmt.expr) {
+      RegId value;
+      if (!LowerExpr(*stmt.expr, value)) {
+        return false;
+      }
+      term.value = value;
+    }
+    Seal(term);
+    return true;
+  }
+
+  bool LowerSwitch(const Stmt& stmt) {
+    RegId scrutinee;
+    if (!LowerExpr(*stmt.expr, scrutinee)) {
+      return false;
+    }
+    const BlockId exit = NewBlock();
+    // Lower as a compare-and-branch chain; C fallthrough is modelled by each
+    // case body jumping to the next case's body block.
+    std::vector<BlockId> body_blocks;
+    body_blocks.reserve(stmt.cases.size());
+    for (size_t i = 0; i < stmt.cases.size(); ++i) {
+      body_blocks.push_back(NewBlock());
+    }
+    BlockId default_body = exit;
+    for (size_t i = 0; i < stmt.cases.size(); ++i) {
+      if (stmt.cases[i].is_default) {
+        default_body = body_blocks[i];
+      }
+    }
+    // Dispatch chain.
+    for (size_t i = 0; i < stmt.cases.size(); ++i) {
+      if (stmt.cases[i].is_default) {
+        continue;
+      }
+      const RegId case_const = EmitConst(stmt.cases[i].value, stmt.line);
+      IrInstr cmp;
+      cmp.op = IrOpcode::kBinOp;
+      cmp.binary_op = BinaryOp::kEq;
+      cmp.dst = NewTemp();
+      cmp.a = scrutinee;
+      cmp.b = case_const;
+      cmp.line = stmt.line;
+      const RegId cmp_reg = cmp.dst;
+      Emit(std::move(cmp));
+      const BlockId next_test = NewBlock();
+      EmitBranch(cmp_reg, body_blocks[i], next_test, stmt.line);
+      SwitchTo(next_test);
+    }
+    EmitJump(default_body, stmt.line);
+
+    // Case bodies with fallthrough.
+    break_targets_.push_back(exit);
+    for (size_t i = 0; i < stmt.cases.size(); ++i) {
+      SwitchTo(body_blocks[i]);
+      PushScope();
+      for (const auto& child : stmt.cases[i].body) {
+        if (!LowerStmt(*child)) {
+          return false;
+        }
+      }
+      PopScope();
+      const BlockId fallthrough = i + 1 < stmt.cases.size() ? body_blocks[i + 1] : exit;
+      EmitJump(fallthrough, stmt.line);
+    }
+    break_targets_.pop_back();
+    SwitchTo(exit);
+    return true;
+  }
+
+  // --- Expressions ----------------------------------------------------------
+
+  bool LowerExpr(const Expr& expr, RegId& out) {
+    switch (expr.kind) {
+      case ExprKind::kIntLiteral:
+      case ExprKind::kBoolLiteral:
+      case ExprKind::kCharLiteral:
+        out = EmitConst(expr.int_value, expr.line);
+        return true;
+      case ExprKind::kStringLiteral:
+        // Strings only appear as puts() arguments; value is its length.
+        out = EmitConst(static_cast<int64_t>(expr.str_value.size()), expr.line);
+        return true;
+      case ExprKind::kVarRef:
+        return LowerVarRead(expr, out);
+      case ExprKind::kUnary:
+        return LowerUnary(expr, out);
+      case ExprKind::kBinary:
+        return LowerBinary(expr, out);
+      case ExprKind::kAssign:
+        return LowerAssign(expr, out);
+      case ExprKind::kCall:
+        return LowerCall(expr, out);
+      case ExprKind::kIndex:
+        return LowerIndexRead(expr, out);
+      case ExprKind::kConditional:
+        return LowerConditional(expr, out);
+    }
+    return Fail(expr.line, "unhandled expression kind");
+  }
+
+  bool LowerVarRead(const Expr& expr, RegId& out) {
+    const Binding* binding = Lookup(expr.name);
+    if (binding == nullptr) {
+      return Fail(expr.line, "use of undeclared variable '" + expr.name + "'");
+    }
+    switch (binding->kind) {
+      case Binding::Kind::kReg:
+        out = binding->reg;
+        return true;
+      case Binding::Kind::kGlobalScalar: {
+        IrInstr load;
+        load.op = IrOpcode::kLoadGlobal;
+        load.dst = NewTemp();
+        load.global = binding->global;
+        load.line = expr.line;
+        out = load.dst;
+        Emit(std::move(load));
+        return true;
+      }
+      default:
+        return Fail(expr.line, "array '" + expr.name + "' used as a scalar");
+    }
+  }
+
+  bool LowerUnary(const Expr& expr, RegId& out) {
+    const Expr& operand_expr = *expr.children[0];
+    if (expr.unary_op == UnaryOp::kPreInc || expr.unary_op == UnaryOp::kPreDec) {
+      // ++x  =>  x = x + 1, value is new x.
+      Expr synthetic;
+      synthetic.kind = ExprKind::kAssign;
+      synthetic.line = expr.line;
+      synthetic.assign_op = expr.unary_op == UnaryOp::kPreInc ? AssignOp::kAdd : AssignOp::kSub;
+      // Build without copying the operand: lower directly.
+      RegId current;
+      if (!LowerExpr(operand_expr, current)) {
+        return false;
+      }
+      const RegId one = EmitConst(1, expr.line);
+      IrInstr add;
+      add.op = IrOpcode::kBinOp;
+      add.binary_op = expr.unary_op == UnaryOp::kPreInc ? BinaryOp::kAdd : BinaryOp::kSub;
+      add.dst = NewTemp();
+      add.a = current;
+      add.b = one;
+      add.line = expr.line;
+      const RegId updated = add.dst;
+      Emit(std::move(add));
+      if (!StoreInto(operand_expr, updated)) {
+        return false;
+      }
+      out = updated;
+      return true;
+    }
+    RegId operand;
+    if (!LowerExpr(operand_expr, operand)) {
+      return false;
+    }
+    IrInstr instr;
+    instr.op = IrOpcode::kUnOp;
+    instr.unary_op = expr.unary_op;
+    instr.dst = NewTemp();
+    instr.a = operand;
+    instr.line = expr.line;
+    out = instr.dst;
+    Emit(std::move(instr));
+    return true;
+  }
+
+  bool LowerBinary(const Expr& expr, RegId& out) {
+    if (expr.binary_op == BinaryOp::kAnd || expr.binary_op == BinaryOp::kOr) {
+      return LowerShortCircuit(expr, out);
+    }
+    RegId lhs;
+    RegId rhs;
+    if (!LowerExpr(*expr.children[0], lhs) || !LowerExpr(*expr.children[1], rhs)) {
+      return false;
+    }
+    IrInstr instr;
+    instr.op = IrOpcode::kBinOp;
+    instr.binary_op = expr.binary_op;
+    instr.dst = NewTemp();
+    instr.a = lhs;
+    instr.b = rhs;
+    instr.line = expr.line;
+    out = instr.dst;
+    Emit(std::move(instr));
+    return true;
+  }
+
+  bool LowerShortCircuit(const Expr& expr, RegId& out) {
+    const bool is_and = expr.binary_op == BinaryOp::kAnd;
+    const RegId result = NewTemp();
+    RegId lhs;
+    if (!LowerExpr(*expr.children[0], lhs)) {
+      return false;
+    }
+    const BlockId rhs_block = NewBlock();
+    const BlockId short_block = NewBlock();
+    const BlockId join_block = NewBlock();
+    if (is_and) {
+      EmitBranch(lhs, rhs_block, short_block, expr.line);
+    } else {
+      EmitBranch(lhs, short_block, rhs_block, expr.line);
+    }
+
+    SwitchTo(short_block);
+    {
+      IrInstr instr;
+      instr.op = IrOpcode::kConst;
+      instr.dst = result;
+      instr.imm = is_and ? 0 : 1;
+      instr.line = expr.line;
+      Emit(std::move(instr));
+    }
+    EmitJump(join_block, expr.line);
+
+    SwitchTo(rhs_block);
+    RegId rhs;
+    if (!LowerExpr(*expr.children[1], rhs)) {
+      return false;
+    }
+    {
+      // Normalise to 0/1.
+      const RegId zero = EmitConst(0, expr.line);
+      IrInstr instr;
+      instr.op = IrOpcode::kBinOp;
+      instr.binary_op = BinaryOp::kNe;
+      instr.dst = result;
+      instr.a = rhs;
+      instr.b = zero;
+      instr.line = expr.line;
+      Emit(std::move(instr));
+    }
+    EmitJump(join_block, expr.line);
+
+    SwitchTo(join_block);
+    out = result;
+    return true;
+  }
+
+  bool LowerAssign(const Expr& expr, RegId& out) {
+    const Expr& target = *expr.children[0];
+    RegId value;
+    if (!LowerExpr(*expr.children[1], value)) {
+      return false;
+    }
+    if (expr.assign_op != AssignOp::kPlain) {
+      RegId current;
+      if (!LowerExpr(target, current)) {
+        return false;
+      }
+      IrInstr instr;
+      instr.op = IrOpcode::kBinOp;
+      instr.binary_op = expr.assign_op == AssignOp::kAdd ? BinaryOp::kAdd : BinaryOp::kSub;
+      instr.dst = NewTemp();
+      instr.a = current;
+      instr.b = value;
+      instr.line = expr.line;
+      value = instr.dst;
+      Emit(std::move(instr));
+    }
+    if (!StoreInto(target, value)) {
+      return false;
+    }
+    out = value;
+    return true;
+  }
+
+  bool StoreInto(const Expr& target, RegId value) {
+    if (target.kind == ExprKind::kVarRef) {
+      const Binding* binding = Lookup(target.name);
+      if (binding == nullptr) {
+        return Fail(target.line, "assignment to undeclared variable '" + target.name + "'");
+      }
+      switch (binding->kind) {
+        case Binding::Kind::kReg: {
+          IrInstr copy;
+          copy.op = IrOpcode::kCopy;
+          copy.dst = binding->reg;
+          copy.a = value;
+          copy.line = target.line;
+          Emit(std::move(copy));
+          return true;
+        }
+        case Binding::Kind::kGlobalScalar: {
+          IrInstr store;
+          store.op = IrOpcode::kStoreGlobal;
+          store.global = binding->global;
+          store.a = value;
+          store.line = target.line;
+          Emit(std::move(store));
+          return true;
+        }
+        default:
+          return Fail(target.line, "cannot assign to array '" + target.name + "' as a whole");
+      }
+    }
+    if (target.kind == ExprKind::kIndex) {
+      RegId index;
+      if (!LowerExpr(*target.children[1], index)) {
+        return false;
+      }
+      const Binding* binding = Lookup(target.name);
+      if (binding == nullptr) {
+        return Fail(target.line, "use of undeclared array '" + target.name + "'");
+      }
+      IrInstr store;
+      store.op = IrOpcode::kArrayStore;
+      store.a = index;
+      store.b = value;
+      store.line = target.line;
+      if (binding->kind == Binding::Kind::kLocalArray) {
+        store.array = binding->array;
+      } else if (binding->kind == Binding::Kind::kGlobalArray) {
+        store.array = -1;
+        store.global = binding->global;
+      } else {
+        return Fail(target.line, "'" + target.name + "' is not an array");
+      }
+      Emit(std::move(store));
+      return true;
+    }
+    return Fail(target.line, "invalid assignment target");
+  }
+
+  bool LowerIndexRead(const Expr& expr, RegId& out) {
+    RegId index;
+    if (!LowerExpr(*expr.children[1], index)) {
+      return false;
+    }
+    const Binding* binding = Lookup(expr.name);
+    if (binding == nullptr) {
+      return Fail(expr.line, "use of undeclared array '" + expr.name + "'");
+    }
+    IrInstr load;
+    load.op = IrOpcode::kArrayLoad;
+    load.dst = NewTemp();
+    load.a = index;
+    load.line = expr.line;
+    if (binding->kind == Binding::Kind::kLocalArray) {
+      load.array = binding->array;
+    } else if (binding->kind == Binding::Kind::kGlobalArray) {
+      load.array = -1;
+      load.global = binding->global;
+    } else {
+      return Fail(expr.line, "'" + expr.name + "' is not an array");
+    }
+    out = load.dst;
+    Emit(std::move(load));
+    return true;
+  }
+
+  bool LowerCall(const Expr& expr, RegId& out) {
+    // Built-ins first.
+    if (expr.name == "input") {
+      if (!expr.children.empty()) {
+        return Fail(expr.line, "input() takes no arguments");
+      }
+      IrInstr instr;
+      instr.op = IrOpcode::kInput;
+      instr.dst = NewTemp();
+      instr.line = expr.line;
+      out = instr.dst;
+      Emit(std::move(instr));
+      return true;
+    }
+    if (expr.name == "print" || expr.name == "puts" || expr.name == "sink") {
+      if (expr.children.size() != 1) {
+        return Fail(expr.line, expr.name + "() takes exactly one argument");
+      }
+      RegId arg;
+      if (!LowerExpr(*expr.children[0], arg)) {
+        return false;
+      }
+      IrInstr instr;
+      instr.op = IrOpcode::kOutput;
+      instr.a = arg;
+      instr.is_sink = expr.name == "sink";
+      instr.line = expr.line;
+      Emit(std::move(instr));
+      out = EmitConst(0, expr.line);
+      return true;
+    }
+    if (expr.name == "assume") {
+      if (expr.children.size() != 1) {
+        return Fail(expr.line, "assume() takes exactly one argument");
+      }
+      RegId arg;
+      if (!LowerExpr(*expr.children[0], arg)) {
+        return false;
+      }
+      IrInstr instr;
+      instr.op = IrOpcode::kAssume;
+      instr.a = arg;
+      instr.line = expr.line;
+      Emit(std::move(instr));
+      out = EmitConst(0, expr.line);
+      return true;
+    }
+    if (expr.name == "abort") {
+      if (!expr.children.empty()) {
+        return Fail(expr.line, "abort() takes no arguments");
+      }
+      Terminator term;
+      term.kind = TerminatorKind::kAbort;
+      term.line = expr.line;
+      Seal(term);
+      SwitchTo(NewBlock());  // Dead continuation for any trailing code.
+      out = EmitConst(0, expr.line);
+      return true;
+    }
+
+    // User-defined function.
+    const FunctionDecl* callee = unit_.FindFunction(expr.name);
+    if (callee != nullptr && callee->params.size() != expr.children.size()) {
+      return Fail(expr.line, support::Format("call to '%s' with %zu args, expected %zu",
+                                             expr.name.c_str(), expr.children.size(),
+                                             callee->params.size()));
+    }
+    IrInstr instr;
+    instr.op = IrOpcode::kCall;
+    instr.callee = expr.name;
+    instr.line = expr.line;
+    for (const auto& arg_expr : expr.children) {
+      RegId arg;
+      if (!LowerExpr(*arg_expr, arg)) {
+        return false;
+      }
+      instr.args.push_back(arg);
+    }
+    instr.dst = NewTemp();
+    out = instr.dst;
+    Emit(std::move(instr));
+    return true;
+  }
+
+  bool LowerConditional(const Expr& expr, RegId& out) {
+    const RegId result = NewTemp();
+    RegId cond;
+    if (!LowerExpr(*expr.children[0], cond)) {
+      return false;
+    }
+    const BlockId then_block = NewBlock();
+    const BlockId else_block = NewBlock();
+    const BlockId join_block = NewBlock();
+    EmitBranch(cond, then_block, else_block, expr.line);
+
+    SwitchTo(then_block);
+    RegId then_value;
+    if (!LowerExpr(*expr.children[1], then_value)) {
+      return false;
+    }
+    {
+      IrInstr copy;
+      copy.op = IrOpcode::kCopy;
+      copy.dst = result;
+      copy.a = then_value;
+      copy.line = expr.line;
+      Emit(std::move(copy));
+    }
+    EmitJump(join_block, expr.line);
+
+    SwitchTo(else_block);
+    RegId else_value;
+    if (!LowerExpr(*expr.children[2], else_value)) {
+      return false;
+    }
+    {
+      IrInstr copy;
+      copy.op = IrOpcode::kCopy;
+      copy.dst = result;
+      copy.a = else_value;
+      copy.line = expr.line;
+      Emit(std::move(copy));
+    }
+    EmitJump(join_block, expr.line);
+
+    SwitchTo(join_block);
+    out = result;
+    return true;
+  }
+
+  const TranslationUnit& unit_;
+  const IrModule& module_;
+  const FunctionDecl& decl_;
+  IrFunction fn_;
+  BlockId current_ = 0;
+  bool sealed_ = false;
+  std::vector<std::map<std::string, Binding>> scopes_;
+  std::vector<BlockId> break_targets_;
+  std::vector<BlockId> continue_targets_;
+  Binding global_binding_;  // Scratch for Lookup's global fallback.
+  std::string error_;
+};
+
+}  // namespace
+
+support::Result<IrModule> LowerToIr(const TranslationUnit& unit) {
+  IrModule module;
+  for (const auto& global : unit.globals) {
+    IrGlobal g;
+    g.name = global.name;
+    g.type = global.type;
+    g.init_value = global.init_value;
+    g.array_size = global.type.is_array ? global.type.array_size : 0;
+    module.globals.push_back(std::move(g));
+  }
+  for (const auto& fn_decl : unit.functions) {
+    auto lowered = FunctionLowerer(unit, module, fn_decl).Run();
+    if (!lowered.ok()) {
+      return lowered.error();
+    }
+    module.functions.push_back(std::move(lowered).value());
+  }
+  return module;
+}
+
+}  // namespace lang

@@ -1,0 +1,36 @@
+// MiniC recursive-descent parser.
+//
+// Grammar sketch (EBNF):
+//   unit        := (global | function)*
+//   global      := type ident ("=" int-literal)? ";"
+//   function    := type ident "(" params? ")" block
+//   params      := type ident ("," type ident)*
+//   type        := ("int" | "char" | "bool" | "void") ("[" int-literal "]")?
+//   block       := "{" stmt* "}"
+//   stmt        := block | if | while | for | switch | return | break ";"
+//                | continue ";" | vardecl ";" | expr ";"
+//   if          := "if" "(" expr ")" stmt ("else" stmt)?
+//   while       := "while" "(" expr ")" stmt
+//   for         := "for" "(" (vardecl | expr)? ";" expr? ";" expr? ")" stmt
+//   switch      := "switch" "(" expr ")" "{" case* "}"
+//   case        := ("case" int-literal | "default") ":" stmt*
+//   expr        := assignment
+//   assignment  := conditional (("=" | "+=" | "-=") assignment)?
+//   conditional := logical_or ("?" expr ":" conditional)?
+//   ... standard C precedence down to unary and postfix (call, index) ...
+#ifndef SRC_LANG_PARSER_H_
+#define SRC_LANG_PARSER_H_
+
+#include <string_view>
+
+#include "src/lang/ast.h"
+#include "src/support/result.h"
+
+namespace lang {
+
+// Lexes and parses a full translation unit.
+support::Result<TranslationUnit> Parse(std::string_view source);
+
+}  // namespace lang
+
+#endif  // SRC_LANG_PARSER_H_

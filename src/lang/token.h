@@ -1,0 +1,100 @@
+// Token definitions for the MiniC language.
+//
+// MiniC is the in-repo C-like language used as the analysis substrate: the
+// synthetic corpus emits MiniC translation units, and the static-analysis,
+// dataflow, and symbolic-execution layers all consume the same frontend.
+#ifndef SRC_LANG_TOKEN_H_
+#define SRC_LANG_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lang {
+
+enum class TokenKind : uint8_t {
+  kEof,
+  // Literals and names.
+  kIntLiteral,
+  kCharLiteral,
+  kStringLiteral,
+  kIdentifier,
+  // Keywords.
+  kKwInt,
+  kKwChar,
+  kKwBool,
+  kKwVoid,
+  kKwIf,
+  kKwElse,
+  kKwWhile,
+  kKwFor,
+  kKwReturn,
+  kKwBreak,
+  kKwContinue,
+  kKwSwitch,
+  kKwCase,
+  kKwDefault,
+  kKwTrue,
+  kKwFalse,
+  // Punctuation.
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kSemicolon,
+  kColon,
+  // Operators.
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kAssign,
+  kPlusAssign,
+  kMinusAssign,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAmpAmp,
+  kPipePipe,
+  kBang,
+  kAmp,
+  kPipe,
+  kCaret,
+  kTilde,
+  kShl,
+  kShr,
+  kQuestion,
+  kPlusPlus,
+  kMinusMinus,
+};
+
+// Returns a stable printable name ("'+='" / "identifier" / ...).
+const char* TokenKindName(TokenKind kind);
+
+// True for kinds that Halstead counting treats as operators.
+bool IsOperatorToken(TokenKind kind);
+// True for kinds Halstead counting treats as operands (literals + names).
+bool IsOperandToken(TokenKind kind);
+bool IsKeywordToken(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;     // Source spelling (identifier name, literal spelling).
+  int64_t int_value = 0;  // Value for kIntLiteral / kCharLiteral.
+  int line = 0;         // 1-based.
+  int column = 0;       // 1-based.
+};
+
+// Maps an identifier spelling to its keyword kind, or kIdentifier.
+TokenKind ClassifyIdentifier(std::string_view text);
+
+}  // namespace lang
+
+#endif  // SRC_LANG_TOKEN_H_

@@ -1,0 +1,179 @@
+#include "src/metrics/cloc.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace metrics {
+namespace {
+
+bool IsBlank(std::string_view line) {
+  for (char c : line) {
+    if (!std::isspace(static_cast<unsigned char>(c))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::string_view> SplitLines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  size_t start = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      lines.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  if (start < text.size()) {
+    lines.push_back(text.substr(start));
+  }
+  return lines;
+}
+
+// C/C++/Java/MiniC: line-comment "//" and block comment "/* ... */".
+// String and char literals shield comment markers.
+LineCount CountCFamily(std::string_view text) {
+  LineCount count;
+  bool in_block_comment = false;
+  for (std::string_view line : SplitLines(text)) {
+    if (!in_block_comment && IsBlank(line)) {
+      ++count.blank;
+      continue;
+    }
+    bool saw_code = false;
+    bool saw_comment = in_block_comment;
+    size_t i = 0;
+    char string_delim = '\0';
+    while (i < line.size()) {
+      const char c = line[i];
+      if (in_block_comment) {
+        saw_comment = true;
+        if (c == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+          in_block_comment = false;
+          ++i;
+        }
+        ++i;
+        continue;
+      }
+      if (string_delim != '\0') {
+        saw_code = true;
+        if (c == '\\') {
+          i += 2;
+          continue;
+        }
+        if (c == string_delim) {
+          string_delim = '\0';
+        }
+        ++i;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        string_delim = c;
+        saw_code = true;
+        ++i;
+        continue;
+      }
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+        saw_comment = true;
+        break;  // Rest of line is comment.
+      }
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block_comment = true;
+        saw_comment = true;
+        i += 2;
+        continue;
+      }
+      if (!std::isspace(static_cast<unsigned char>(c))) {
+        saw_code = true;
+      }
+      ++i;
+    }
+    if (saw_code) {
+      ++count.code;
+    } else if (saw_comment) {
+      ++count.comment;
+    } else {
+      ++count.blank;
+    }
+  }
+  return count;
+}
+
+// Python: "#" comments; a triple-quoted string that *starts* a line opens a
+// docstring region counted as comment lines until the closing triple quote.
+LineCount CountPython(std::string_view text) {
+  LineCount count;
+  bool in_docstring = false;
+  char doc_quote = '"';
+  for (std::string_view line : SplitLines(text)) {
+    if (in_docstring) {
+      ++count.comment;
+      const std::string closer(3, doc_quote);
+      if (line.find(closer) != std::string_view::npos) {
+        in_docstring = false;
+      }
+      continue;
+    }
+    if (IsBlank(line)) {
+      ++count.blank;
+      continue;
+    }
+    // Leading whitespace then content.
+    size_t first = 0;
+    while (first < line.size() && std::isspace(static_cast<unsigned char>(line[first]))) {
+      ++first;
+    }
+    const std::string_view body = line.substr(first);
+    if (body[0] == '#') {
+      ++count.comment;
+      continue;
+    }
+    if (body.size() >= 3 && (body.substr(0, 3) == "\"\"\"" || body.substr(0, 3) == "'''")) {
+      doc_quote = body[0];
+      ++count.comment;
+      // One-line docstring closes on the same line.
+      const std::string closer(3, doc_quote);
+      if (body.size() >= 6 && body.find(closer, 3) != std::string_view::npos) {
+        continue;
+      }
+      in_docstring = true;
+      continue;
+    }
+    ++count.code;
+  }
+  return count;
+}
+
+}  // namespace
+
+const char* LanguageName(Language lang) {
+  switch (lang) {
+    case Language::kC:
+      return "C";
+    case Language::kCpp:
+      return "C++";
+    case Language::kPython:
+      return "Python";
+    case Language::kJava:
+      return "Java";
+    case Language::kMiniC:
+      return "MiniC";
+  }
+  return "<bad>";
+}
+
+LineCount CountLines(std::string_view text, Language lang) {
+  switch (lang) {
+    case Language::kC:
+    case Language::kCpp:
+    case Language::kJava:
+    case Language::kMiniC:
+      return CountCFamily(text);
+    case Language::kPython:
+      return CountPython(text);
+  }
+  return {};
+}
+
+}  // namespace metrics

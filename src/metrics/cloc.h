@@ -1,0 +1,49 @@
+// cloc-style line classification for the languages the paper's corpus spans
+// (the study in §3.1 computed lines of code "using cloc").
+//
+// Works on raw text with per-language comment syntax; it does not require a
+// parse, so it applies to the Python/Java members of the corpus as well as to
+// MiniC/C/C++ sources.
+#ifndef SRC_METRICS_CLOC_H_
+#define SRC_METRICS_CLOC_H_
+
+#include <string_view>
+
+namespace metrics {
+
+enum class Language {
+  kC,
+  kCpp,
+  kPython,
+  kJava,
+  kMiniC,  // The in-repo substrate language; C-style comments.
+};
+
+const char* LanguageName(Language lang);
+
+struct LineCount {
+  long long code = 0;
+  long long comment = 0;
+  long long blank = 0;
+
+  long long total() const { return code + comment + blank; }
+
+  LineCount& operator+=(const LineCount& other) {
+    code += other.code;
+    comment += other.comment;
+    blank += other.blank;
+    return *this;
+  }
+};
+
+// Classifies every line of `text` as code, comment, or blank.
+// A line containing both code and a trailing comment counts as code.
+// For C-family languages this understands // and /* */ (including multi-line
+// block comments and block comments embedded in code lines). For Python it
+// understands # comments and treats module/function-level triple-quoted
+// strings that start a line as comments (docstring convention).
+LineCount CountLines(std::string_view text, Language lang);
+
+}  // namespace metrics
+
+#endif  // SRC_METRICS_CLOC_H_

@@ -1,0 +1,213 @@
+#include "src/metrics/complexity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace metrics {
+namespace {
+
+// DFS over the CFG collecting reachable blocks.
+std::vector<bool> ReachableBlocks(const lang::IrFunction& fn) {
+  std::vector<bool> seen(fn.blocks.size(), false);
+  std::vector<lang::BlockId> stack = {0};
+  while (!stack.empty()) {
+    const lang::BlockId block = stack.back();
+    stack.pop_back();
+    if (seen[static_cast<size_t>(block)]) {
+      continue;
+    }
+    seen[static_cast<size_t>(block)] = true;
+    for (lang::BlockId succ : fn.Successors(block)) {
+      stack.push_back(succ);
+    }
+  }
+  return seen;
+}
+
+int CountDecisionsExpr(const lang::Expr& expr) {
+  int count = 0;
+  if (expr.kind == lang::ExprKind::kBinary &&
+      (expr.binary_op == lang::BinaryOp::kAnd || expr.binary_op == lang::BinaryOp::kOr)) {
+    ++count;
+  }
+  if (expr.kind == lang::ExprKind::kConditional) {
+    ++count;
+  }
+  for (const auto& child : expr.children) {
+    count += CountDecisionsExpr(*child);
+  }
+  return count;
+}
+
+struct StmtWalkResult {
+  int decisions = 0;
+  int max_depth = 0;
+};
+
+void WalkStmt(const lang::Stmt& stmt, int depth, StmtWalkResult& result);
+
+void WalkBody(const std::vector<std::unique_ptr<lang::Stmt>>& body, int depth,
+              StmtWalkResult& result) {
+  for (const auto& child : body) {
+    WalkStmt(*child, depth, result);
+  }
+}
+
+void WalkStmt(const lang::Stmt& stmt, int depth, StmtWalkResult& result) {
+  if (depth > result.max_depth) {
+    result.max_depth = depth;
+  }
+  if (stmt.expr) {
+    result.decisions += CountDecisionsExpr(*stmt.expr);
+  }
+  if (stmt.decl_init) {
+    result.decisions += CountDecisionsExpr(*stmt.decl_init);
+  }
+  if (stmt.step_expr) {
+    result.decisions += CountDecisionsExpr(*stmt.step_expr);
+  }
+  switch (stmt.kind) {
+    case lang::StmtKind::kIf:
+      ++result.decisions;
+      WalkBody(stmt.then_body, depth + 1, result);
+      WalkBody(stmt.else_body, depth + 1, result);
+      break;
+    case lang::StmtKind::kWhile:
+    case lang::StmtKind::kFor:
+      ++result.decisions;
+      if (stmt.init_stmt) {
+        WalkStmt(*stmt.init_stmt, depth, result);
+      }
+      WalkBody(stmt.then_body, depth + 1, result);
+      break;
+    case lang::StmtKind::kSwitch:
+      for (const auto& sc : stmt.cases) {
+        if (!sc.is_default) {
+          ++result.decisions;
+        }
+        WalkBody(sc.body, depth + 1, result);
+      }
+      break;
+    case lang::StmtKind::kBlock:
+      WalkBody(stmt.block, depth, result);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+int CyclomaticComplexity(const lang::IrFunction& fn) {
+  const auto reachable = ReachableBlocks(fn);
+  int nodes = 0;
+  int edges = 0;
+  for (size_t b = 0; b < fn.blocks.size(); ++b) {
+    if (!reachable[b]) {
+      continue;
+    }
+    ++nodes;
+    edges += static_cast<int>(fn.Successors(static_cast<lang::BlockId>(b)).size());
+  }
+  const int m = edges - nodes + 2;
+  return m < 1 ? 1 : m;
+}
+
+long long TotalCyclomaticComplexity(const lang::IrModule& module) {
+  long long total = 0;
+  for (const auto& fn : module.functions) {
+    total += CyclomaticComplexity(fn);
+  }
+  return total;
+}
+
+int MaxNestingDepth(const lang::FunctionDecl& fn) {
+  StmtWalkResult result;
+  WalkBody(fn.body, 0, result);
+  return result.max_depth;
+}
+
+int DecisionPoints(const lang::FunctionDecl& fn) {
+  StmtWalkResult result;
+  WalkBody(fn.body, 0, result);
+  return result.decisions;
+}
+
+long long EstimateCyclomaticFromText(std::string_view text) {
+  auto is_word = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+           c == '_';
+  };
+  auto count_word = [&](std::string_view word) {
+    long long count = 0;
+    size_t pos = 0;
+    while ((pos = text.find(word, pos)) != std::string_view::npos) {
+      const bool left_ok = pos == 0 || !is_word(text[pos - 1]);
+      const size_t end = pos + word.size();
+      const bool right_ok = end >= text.size() || !is_word(text[end]);
+      if (left_ok && right_ok) {
+        ++count;
+      }
+      pos = end;
+    }
+    return count;
+  };
+  auto count_plain = [&](std::string_view needle) {
+    long long count = 0;
+    size_t pos = 0;
+    while ((pos = text.find(needle, pos)) != std::string_view::npos) {
+      ++count;
+      pos += needle.size();
+    }
+    return count;
+  };
+  long long decisions = 0;
+  for (const std::string_view keyword :
+       {"if", "for", "while", "case", "catch", "elif", "except"}) {
+    decisions += count_word(keyword);
+  }
+  decisions += count_plain("&&");
+  decisions += count_plain("||");
+  // One per function-ish definition keyword (def / methods are approximated
+  // by 'return' sites divided by two as a floor of 1 per file).
+  const long long functions = std::max(count_word("def") + count_word("public"),
+                                       count_word("return") / 2);
+  return decisions + std::max(functions, 1LL);
+}
+
+HalsteadMeasures ComputeHalstead(std::span<const lang::Token> tokens) {
+  HalsteadMeasures hm;
+  std::set<std::string> operators;
+  std::set<std::string> operands;
+  for (const auto& tok : tokens) {
+    if (lang::IsOperatorToken(tok.kind)) {
+      operators.insert(lang::TokenKindName(tok.kind));
+      ++hm.total_operators;
+    } else if (lang::IsOperandToken(tok.kind)) {
+      // Distinguish the literal "1" from the identifier "x1" by prefixing.
+      const std::string key =
+          tok.kind == lang::TokenKind::kIdentifier ? "id:" + tok.text : "lit:" + tok.text;
+      operands.insert(key);
+      ++hm.total_operands;
+    }
+  }
+  hm.distinct_operators = static_cast<int>(operators.size());
+  hm.distinct_operands = static_cast<int>(operands.size());
+  hm.vocabulary = static_cast<double>(hm.distinct_operators + hm.distinct_operands);
+  hm.length = static_cast<double>(hm.total_operators + hm.total_operands);
+  if (hm.vocabulary > 0.0) {
+    hm.volume = hm.length * std::log2(hm.vocabulary);
+  }
+  if (hm.distinct_operands > 0) {
+    hm.difficulty = (static_cast<double>(hm.distinct_operators) / 2.0) *
+                    (static_cast<double>(hm.total_operands) /
+                     static_cast<double>(hm.distinct_operands));
+  }
+  hm.effort = hm.difficulty * hm.volume;
+  hm.estimated_bugs = hm.volume / 3000.0;
+  return hm;
+}
+
+}  // namespace metrics

@@ -1,0 +1,56 @@
+// Structural complexity measures: McCabe cyclomatic complexity (Figure 3's
+// x-axis) and Halstead's software-science measures, plus nesting depth.
+#ifndef SRC_METRICS_COMPLEXITY_H_
+#define SRC_METRICS_COMPLEXITY_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/lang/ast.h"
+#include "src/lang/ir.h"
+#include "src/lang/token.h"
+
+namespace metrics {
+
+// McCabe (1976): M = E - N + 2P computed per function over the IR CFG
+// (P = 1 per function). Only blocks reachable from the entry participate —
+// lowering can leave dead continuation blocks behind `abort()`.
+int CyclomaticComplexity(const lang::IrFunction& fn);
+
+// Sum over all functions in the module (how CCCC/Metrix++ report a project).
+long long TotalCyclomaticComplexity(const lang::IrModule& module);
+
+// Maximum lexical nesting depth of control statements within a function body.
+int MaxNestingDepth(const lang::FunctionDecl& fn);
+
+// Number of decision points (if/while/for/case/&&/||/?:) in a function —
+// the classic source-level estimate M = decisions + 1.
+int DecisionPoints(const lang::FunctionDecl& fn);
+
+// Halstead (1977) software-science measures over a token stream.
+struct HalsteadMeasures {
+  int distinct_operators = 0;  // n1
+  int distinct_operands = 0;   // n2
+  long long total_operators = 0;  // N1
+  long long total_operands = 0;   // N2
+  double vocabulary = 0.0;     // n = n1 + n2
+  double length = 0.0;         // N = N1 + N2
+  double volume = 0.0;         // V = N log2 n
+  double difficulty = 0.0;     // D = (n1/2) * (N2/n2)
+  double effort = 0.0;         // E = D * V
+  double estimated_bugs = 0.0;  // B = V / 3000 (classic rule of thumb)
+};
+
+HalsteadMeasures ComputeHalstead(std::span<const lang::Token> tokens);
+
+// Rough text-level cyclomatic estimate for languages without a frontend
+// (decision-keyword counting — the approach of regex-based tools like
+// Metrix++). Counts word-boundary occurrences of if/for/while/case/catch/
+// elif/except plus && and ||, plus one per detected function.
+long long EstimateCyclomaticFromText(std::string_view text);
+
+}  // namespace metrics
+
+#endif  // SRC_METRICS_COMPLEXITY_H_

@@ -1,0 +1,60 @@
+#include "src/metrics/feature_vector.h"
+
+#include <algorithm>
+
+#include "src/support/strings.h"
+
+namespace metrics {
+
+void FeatureVector::Set(std::string_view name, double value) {
+  values_[std::string(name)] = value;
+}
+
+void FeatureVector::Add(std::string_view name, double value) {
+  values_[std::string(name)] += value;
+}
+
+bool FeatureVector::Has(std::string_view name) const {
+  return values_.find(std::string(name)) != values_.end();
+}
+
+double FeatureVector::Get(std::string_view name, double fallback) const {
+  const auto it = values_.find(std::string(name));
+  return it == values_.end() ? fallback : it->second;
+}
+
+void FeatureVector::MergeSum(const FeatureVector& other) {
+  for (const auto& [name, value] : other.values_) {
+    values_[name] += value;
+  }
+}
+
+void FeatureVector::MergeMax(const FeatureVector& other) {
+  for (const auto& [name, value] : other.values_) {
+    const auto it = values_.find(name);
+    if (it == values_.end()) {
+      values_[name] = value;
+    } else {
+      it->second = std::max(it->second, value);
+    }
+  }
+}
+
+std::vector<std::string> FeatureVector::Names() const {
+  std::vector<std::string> names;
+  names.reserve(values_.size());
+  for (const auto& [name, _] : values_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::string FeatureVector::ToString() const {
+  std::string out;
+  for (const auto& [name, value] : values_) {
+    out += support::Format("%s=%.6g\n", name.c_str(), value);
+  }
+  return out;
+}
+
+}  // namespace metrics

@@ -1,0 +1,48 @@
+// A named bag of numeric code properties.
+//
+// Every analysis in the testbed contributes features into one of these;
+// `clair::Testbed` flattens them into ml::Dataset columns. Keys are stable,
+// lowercase, dot-separated (e.g. "loc.code", "mccabe.total").
+#ifndef SRC_METRICS_FEATURE_VECTOR_H_
+#define SRC_METRICS_FEATURE_VECTOR_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace metrics {
+
+class FeatureVector {
+ public:
+  // Sets (overwrites) a feature.
+  void Set(std::string_view name, double value);
+  // Adds to an existing feature (creating it at 0 first).
+  void Add(std::string_view name, double value);
+
+  bool Has(std::string_view name) const;
+  // Returns the value or `fallback` when absent.
+  double Get(std::string_view name, double fallback = 0.0) const;
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  // Merges `other` into this vector, summing shared keys. Used to aggregate
+  // per-file vectors into a per-application vector.
+  void MergeSum(const FeatureVector& other);
+  // Merges taking the max of shared keys (for peak-style features).
+  void MergeMax(const FeatureVector& other);
+
+  // Sorted, deterministic iteration.
+  const std::map<std::string, double>& values() const { return values_; }
+  std::vector<std::string> Names() const;
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, double> values_;
+};
+
+}  // namespace metrics
+
+#endif  // SRC_METRICS_FEATURE_VECTOR_H_

@@ -1,0 +1,406 @@
+#include "src/metrics/smells.h"
+
+#include <cstdlib>
+#include <set>
+
+namespace metrics {
+namespace {
+
+void CountMagicNumbersExpr(const lang::Expr& expr, int min_magnitude, long long& count) {
+  if (expr.kind == lang::ExprKind::kIntLiteral &&
+      std::llabs(static_cast<long long>(expr.int_value)) > min_magnitude) {
+    ++count;
+  }
+  for (const auto& child : expr.children) {
+    CountMagicNumbersExpr(*child, min_magnitude, count);
+  }
+}
+
+void CountMagicNumbersStmt(const lang::Stmt& stmt, int min_magnitude, long long& count) {
+  if (stmt.expr) {
+    CountMagicNumbersExpr(*stmt.expr, min_magnitude, count);
+  }
+  if (stmt.decl_init) {
+    CountMagicNumbersExpr(*stmt.decl_init, min_magnitude, count);
+  }
+  if (stmt.step_expr) {
+    CountMagicNumbersExpr(*stmt.step_expr, min_magnitude, count);
+  }
+  if (stmt.init_stmt) {
+    CountMagicNumbersStmt(*stmt.init_stmt, min_magnitude, count);
+  }
+  for (const auto& child : stmt.then_body) {
+    CountMagicNumbersStmt(*child, min_magnitude, count);
+  }
+  for (const auto& child : stmt.else_body) {
+    CountMagicNumbersStmt(*child, min_magnitude, count);
+  }
+  for (const auto& child : stmt.block) {
+    CountMagicNumbersStmt(*child, min_magnitude, count);
+  }
+  for (const auto& sc : stmt.cases) {
+    for (const auto& child : sc.body) {
+      CountMagicNumbersStmt(*child, min_magnitude, count);
+    }
+  }
+}
+
+int NestingDepth(const std::vector<std::unique_ptr<lang::Stmt>>& body);
+
+int NestingDepthStmt(const lang::Stmt& stmt) {
+  switch (stmt.kind) {
+    case lang::StmtKind::kIf: {
+      const int a = NestingDepth(stmt.then_body);
+      const int b = NestingDepth(stmt.else_body);
+      return 1 + (a > b ? a : b);
+    }
+    case lang::StmtKind::kWhile:
+    case lang::StmtKind::kFor:
+      return 1 + NestingDepth(stmt.then_body);
+    case lang::StmtKind::kSwitch: {
+      int deepest = 0;
+      for (const auto& sc : stmt.cases) {
+        const int d = NestingDepth(sc.body);
+        if (d > deepest) {
+          deepest = d;
+        }
+      }
+      return 1 + deepest;
+    }
+    case lang::StmtKind::kBlock:
+      return NestingDepth(stmt.block);
+    default:
+      return 0;
+  }
+}
+
+int NestingDepth(const std::vector<std::unique_ptr<lang::Stmt>>& body) {
+  int deepest = 0;
+  for (const auto& stmt : body) {
+    const int d = NestingDepthStmt(*stmt);
+    if (d > deepest) {
+      deepest = d;
+    }
+  }
+  return deepest;
+}
+
+void CollectCalleesExpr(const lang::Expr& expr, std::set<std::string>& callees) {
+  if (expr.kind == lang::ExprKind::kCall && !lang::IsBuiltinFunction(expr.name)) {
+    callees.insert(expr.name);
+  }
+  for (const auto& child : expr.children) {
+    CollectCalleesExpr(*child, callees);
+  }
+}
+
+void CollectCalleesStmt(const lang::Stmt& stmt, std::set<std::string>& callees) {
+  if (stmt.expr) {
+    CollectCalleesExpr(*stmt.expr, callees);
+  }
+  if (stmt.decl_init) {
+    CollectCalleesExpr(*stmt.decl_init, callees);
+  }
+  if (stmt.step_expr) {
+    CollectCalleesExpr(*stmt.step_expr, callees);
+  }
+  if (stmt.init_stmt) {
+    CollectCalleesStmt(*stmt.init_stmt, callees);
+  }
+  for (const auto& child : stmt.then_body) {
+    CollectCalleesStmt(*child, callees);
+  }
+  for (const auto& child : stmt.else_body) {
+    CollectCalleesStmt(*child, callees);
+  }
+  for (const auto& child : stmt.block) {
+    CollectCalleesStmt(*child, callees);
+  }
+  for (const auto& sc : stmt.cases) {
+    for (const auto& child : sc.body) {
+      CollectCalleesStmt(*child, callees);
+    }
+  }
+}
+
+}  // namespace
+
+SmellReport DetectSmells(const lang::TranslationUnit& unit, const SmellThresholds& thresholds) {
+  SmellReport report;
+  report.functions = static_cast<int>(unit.functions.size());
+  for (const auto& fn : unit.functions) {
+    const int body_lines = fn.end_line > fn.line ? fn.end_line - fn.line + 1 : 1;
+    if (body_lines > thresholds.long_method_lines) {
+      ++report.long_methods;
+    }
+    if (static_cast<int>(fn.params.size()) > thresholds.long_param_list) {
+      ++report.long_param_lists;
+    }
+    if (NestingDepth(fn.body) > thresholds.deep_nesting) {
+      ++report.deeply_nested;
+    }
+    std::set<std::string> callees;
+    for (const auto& stmt : fn.body) {
+      CollectCalleesStmt(*stmt, callees);
+    }
+    if (static_cast<int>(callees.size()) > thresholds.god_function_callees) {
+      ++report.god_functions;
+    }
+    for (const auto& stmt : fn.body) {
+      CountMagicNumbersStmt(*stmt, thresholds.magic_number_min, report.magic_numbers);
+    }
+  }
+  return report;
+}
+
+const char* BugSignalKindName(BugSignal::Kind kind) {
+  switch (kind) {
+    case BugSignal::Kind::kUncheckedInputIndex:
+      return "unchecked-input-index";
+    case BugSignal::Kind::kNonConstantDivisor:
+      return "non-constant-divisor";
+    case BugSignal::Kind::kConstantCondition:
+      return "constant-condition";
+    case BugSignal::Kind::kDeadStore:
+      return "dead-store";
+    case BugSignal::Kind::kUnreachableCode:
+      return "unreachable-code";
+    case BugSignal::Kind::kInfiniteLoopRisk:
+      return "infinite-loop-risk";
+    case BugSignal::Kind::kSignedOverflowRisk:
+      return "signed-overflow-risk";
+  }
+  return "<bad>";
+}
+
+namespace {
+
+// Per-function lint pass over the IR.
+class IrLinter {
+ public:
+  explicit IrLinter(const lang::IrFunction& fn, std::vector<BugSignal>& out)
+      : fn_(fn), out_(out) {}
+
+  void Run() {
+    AnalyzeConstants();
+    CheckUncheckedInputIndices();
+    CheckDivisors();
+    CheckConstantConditions();
+    CheckDeadStores();
+    CheckUnreachable();
+  }
+
+ private:
+  void Report(BugSignal::Kind kind, int line) { out_.push_back({kind, fn_.name, line}); }
+
+  // Very small abstract interpretation: which registers are (a) directly
+  // input-derived and (b) known constants. One linear pass per block is
+  // enough for lint-grade signals (no fixpoint across loops).
+  void AnalyzeConstants() {
+    input_derived_.assign(static_cast<size_t>(fn_.reg_count), false);
+    is_const_.assign(static_cast<size_t>(fn_.reg_count), false);
+    const_value_.assign(static_cast<size_t>(fn_.reg_count), 0);
+    compared_.assign(static_cast<size_t>(fn_.reg_count), false);
+    for (const auto& block : fn_.blocks) {
+      for (const auto& instr : block.instrs) {
+        switch (instr.op) {
+          case lang::IrOpcode::kConst:
+            is_const_[static_cast<size_t>(instr.dst)] = true;
+            const_value_[static_cast<size_t>(instr.dst)] = instr.imm;
+            break;
+          case lang::IrOpcode::kInput:
+            input_derived_[static_cast<size_t>(instr.dst)] = true;
+            break;
+          case lang::IrOpcode::kCopy:
+            input_derived_[static_cast<size_t>(instr.dst)] =
+                input_derived_[static_cast<size_t>(instr.a)];
+            break;
+          case lang::IrOpcode::kBinOp: {
+            const bool derived = input_derived_[static_cast<size_t>(instr.a)] ||
+                                 input_derived_[static_cast<size_t>(instr.b)];
+            input_derived_[static_cast<size_t>(instr.dst)] = derived;
+            // Comparisons against input-derived registers mark them checked.
+            if (IsComparison(instr.binary_op)) {
+              if (input_derived_[static_cast<size_t>(instr.a)]) {
+                compared_[static_cast<size_t>(instr.a)] = true;
+              }
+              if (input_derived_[static_cast<size_t>(instr.b)]) {
+                compared_[static_cast<size_t>(instr.b)] = true;
+              }
+            }
+            break;
+          }
+          case lang::IrOpcode::kUnOp:
+            input_derived_[static_cast<size_t>(instr.dst)] =
+                input_derived_[static_cast<size_t>(instr.a)];
+            break;
+          default:
+            break;
+        }
+      }
+    }
+  }
+
+  static bool IsComparison(lang::BinaryOp op) {
+    switch (op) {
+      case lang::BinaryOp::kEq:
+      case lang::BinaryOp::kNe:
+      case lang::BinaryOp::kLt:
+      case lang::BinaryOp::kLe:
+      case lang::BinaryOp::kGt:
+      case lang::BinaryOp::kGe:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  void CheckUncheckedInputIndices() {
+    for (const auto& block : fn_.blocks) {
+      for (const auto& instr : block.instrs) {
+        if (instr.op != lang::IrOpcode::kArrayLoad &&
+            instr.op != lang::IrOpcode::kArrayStore) {
+          continue;
+        }
+        const auto index = static_cast<size_t>(instr.a);
+        if (input_derived_[index] && !compared_[index]) {
+          Report(BugSignal::Kind::kUncheckedInputIndex, instr.line);
+        }
+      }
+    }
+  }
+
+  void CheckDivisors() {
+    for (const auto& block : fn_.blocks) {
+      for (const auto& instr : block.instrs) {
+        if (instr.op != lang::IrOpcode::kBinOp) {
+          continue;
+        }
+        if (instr.binary_op != lang::BinaryOp::kDiv &&
+            instr.binary_op != lang::BinaryOp::kRem) {
+          continue;
+        }
+        const auto divisor = static_cast<size_t>(instr.b);
+        if (!is_const_[divisor] || const_value_[divisor] == 0) {
+          if (!is_const_[divisor]) {
+            Report(BugSignal::Kind::kNonConstantDivisor, instr.line);
+          }
+        }
+      }
+    }
+  }
+
+  void CheckConstantConditions() {
+    for (size_t b = 0; b < fn_.blocks.size(); ++b) {
+      const auto& term = fn_.blocks[b].term;
+      if (term.kind != lang::TerminatorKind::kBranch) {
+        continue;
+      }
+      const auto cond = static_cast<size_t>(term.cond);
+      if (is_const_[cond]) {
+        // Loop headers with constant-true conditions are an infinite-loop
+        // risk rather than dead code; distinguish by back-edge shape.
+        if (const_value_[cond] != 0 && HasBackEdgeTo(static_cast<lang::BlockId>(b))) {
+          Report(BugSignal::Kind::kInfiniteLoopRisk, term.line);
+        } else {
+          Report(BugSignal::Kind::kConstantCondition, term.line);
+        }
+      }
+    }
+  }
+
+  bool HasBackEdgeTo(lang::BlockId header) const {
+    for (size_t b = static_cast<size_t>(header); b < fn_.blocks.size(); ++b) {
+      for (lang::BlockId succ : fn_.Successors(static_cast<lang::BlockId>(b))) {
+        if (succ == header && static_cast<size_t>(succ) <= b) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  void CheckDeadStores() {
+    // A named (non-temp) register written by kCopy but never read anywhere.
+    std::vector<bool> read(static_cast<size_t>(fn_.reg_count), false);
+    auto mark = [&read](lang::RegId reg) {
+      if (reg != lang::kNoReg) {
+        read[static_cast<size_t>(reg)] = true;
+      }
+    };
+    for (const auto& block : fn_.blocks) {
+      for (const auto& instr : block.instrs) {
+        mark(instr.a);
+        mark(instr.b);
+        for (lang::RegId arg : instr.args) {
+          mark(arg);
+        }
+      }
+      mark(block.term.cond);
+      mark(block.term.value);
+    }
+    std::vector<int> first_write_line(static_cast<size_t>(fn_.reg_count), 0);
+    std::vector<bool> written(static_cast<size_t>(fn_.reg_count), false);
+    for (const auto& block : fn_.blocks) {
+      for (const auto& instr : block.instrs) {
+        if (instr.op == lang::IrOpcode::kCopy && instr.dst != lang::kNoReg) {
+          const auto dst = static_cast<size_t>(instr.dst);
+          if (!written[dst]) {
+            written[dst] = true;
+            first_write_line[dst] = instr.line;
+          }
+        }
+      }
+    }
+    for (lang::RegId reg = 0; reg < fn_.reg_count; ++reg) {
+      const auto r = static_cast<size_t>(reg);
+      if (!written[r] || read[r]) {
+        continue;
+      }
+      const std::string& name = fn_.reg_names[r];
+      if (!name.empty() && name[0] != 't') {  // Skip compiler temps.
+        Report(BugSignal::Kind::kDeadStore, first_write_line[r]);
+      }
+    }
+  }
+
+  void CheckUnreachable() {
+    std::vector<bool> reachable(fn_.blocks.size(), false);
+    std::vector<lang::BlockId> stack = {0};
+    while (!stack.empty()) {
+      const lang::BlockId block = stack.back();
+      stack.pop_back();
+      if (reachable[static_cast<size_t>(block)]) {
+        continue;
+      }
+      reachable[static_cast<size_t>(block)] = true;
+      for (lang::BlockId succ : fn_.Successors(block)) {
+        stack.push_back(succ);
+      }
+    }
+    for (size_t b = 0; b < fn_.blocks.size(); ++b) {
+      if (!reachable[b] && !fn_.blocks[b].instrs.empty()) {
+        Report(BugSignal::Kind::kUnreachableCode, fn_.blocks[b].instrs.front().line);
+      }
+    }
+  }
+
+  const lang::IrFunction& fn_;
+  std::vector<BugSignal>& out_;
+  std::vector<bool> input_derived_;
+  std::vector<bool> is_const_;
+  std::vector<int64_t> const_value_;
+  std::vector<bool> compared_;
+};
+
+}  // namespace
+
+std::vector<BugSignal> FindBugSignals(const lang::IrModule& module) {
+  std::vector<BugSignal> signals;
+  for (const auto& fn : module.functions) {
+    IrLinter(fn, signals).Run();
+  }
+  return signals;
+}
+
+}  // namespace metrics

@@ -1,0 +1,64 @@
+// "Code smell" detectors (§3: lines of comments, long methods, etc.) and
+// lint-style bug-finding signals (§4.2: feeding bug-report counts into the
+// learner). Both operate on the parsed MiniC AST / lowered IR.
+#ifndef SRC_METRICS_SMELLS_H_
+#define SRC_METRICS_SMELLS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/lang/ast.h"
+#include "src/lang/ir.h"
+
+namespace metrics {
+
+// Thresholds follow common defaults from the code-smell literature.
+struct SmellThresholds {
+  int long_method_lines = 60;
+  int long_param_list = 5;
+  int deep_nesting = 4;
+  int god_function_callees = 8;
+  int magic_number_min = 2;  // Literals > this magnitude count as magic.
+};
+
+struct SmellReport {
+  int long_methods = 0;
+  int long_param_lists = 0;
+  int deeply_nested = 0;
+  int god_functions = 0;    // Functions calling many distinct callees.
+  long long magic_numbers = 0;
+  int functions = 0;
+
+  long long Total() const {
+    return long_methods + long_param_lists + deeply_nested + god_functions + magic_numbers;
+  }
+};
+
+SmellReport DetectSmells(const lang::TranslationUnit& unit,
+                         const SmellThresholds& thresholds = {});
+
+// A single static bug-finding diagnostic (the §4.2 signal).
+struct BugSignal {
+  enum class Kind {
+    kUncheckedInputIndex,   // input() value used as array index with no guard.
+    kNonConstantDivisor,    // Division/modulo by a non-literal value.
+    kConstantCondition,     // Branch condition is a literal constant.
+    kDeadStore,             // Register written but never read.
+    kUnreachableCode,       // IR block not reachable from the entry.
+    kInfiniteLoopRisk,      // Loop with constant-true condition and no break.
+    kSignedOverflowRisk,    // Arithmetic on values near INT bounds (heuristic).
+  };
+  Kind kind;
+  std::string function;
+  int line = 0;
+};
+
+const char* BugSignalKindName(BugSignal::Kind kind);
+
+// Runs all detectors over the module; deterministic order (function order,
+// then line).
+std::vector<BugSignal> FindBugSignals(const lang::IrModule& module);
+
+}  // namespace metrics
+
+#endif  // SRC_METRICS_SMELLS_H_

@@ -1,0 +1,59 @@
+// Abstract learner interfaces. Classifiers predict a distribution over the
+// training dataset's classes; regressors predict a numeric target. Both
+// expose per-feature importances where the model has a natural notion of
+// them (§5.3: "each weight in the trained model shows the importance of the
+// corresponding code property").
+#ifndef SRC_ML_CLASSIFIER_H_
+#define SRC_ML_CLASSIFIER_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/ml/dataset.h"
+
+namespace ml {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  virtual void Train(const Dataset& data) = 0;
+  // Probability (or score) per class; sums to 1.
+  virtual std::vector<double> PredictProba(std::span<const double> x) const = 0;
+  virtual std::string Name() const = 0;
+  // (feature name, importance >= 0), descending. Empty if not supported.
+  virtual std::vector<std::pair<std::string, double>> FeatureImportance() const {
+    return {};
+  }
+
+  int Predict(std::span<const double> x) const {
+    const auto proba = PredictProba(x);
+    int best = 0;
+    for (size_t c = 1; c < proba.size(); ++c) {
+      if (proba[c] > proba[static_cast<size_t>(best)]) {
+        best = static_cast<int>(c);
+      }
+    }
+    return best;
+  }
+};
+
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+  virtual void Train(const Dataset& data) = 0;
+  virtual double Predict(std::span<const double> x) const = 0;
+  virtual std::string Name() const = 0;
+  virtual std::vector<std::pair<std::string, double>> FeatureImportance() const {
+    return {};
+  }
+};
+
+using ClassifierFactory = std::unique_ptr<Classifier> (*)();
+
+}  // namespace ml
+
+#endif  // SRC_ML_CLASSIFIER_H_

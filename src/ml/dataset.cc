@@ -1,0 +1,94 @@
+#include "src/ml/dataset.h"
+
+#include <cassert>
+
+namespace ml {
+
+Dataset Dataset::ForClassification(std::vector<std::string> feature_names,
+                                   std::vector<std::string> class_names) {
+  Dataset data;
+  data.feature_names_ = std::move(feature_names);
+  data.class_names_ = std::move(class_names);
+  data.target_name_ = "class";
+  return data;
+}
+
+Dataset Dataset::ForRegression(std::vector<std::string> feature_names,
+                               std::string target_name) {
+  Dataset data;
+  data.feature_names_ = std::move(feature_names);
+  data.target_name_ = std::move(target_name);
+  return data;
+}
+
+void Dataset::AddRow(std::vector<double> features, double target) {
+  assert(features.size() == feature_names_.size());
+  if (is_classification()) {
+    assert(target >= 0 && target < static_cast<double>(class_names_.size()));
+  }
+  features_.push_back(std::move(features));
+  targets_.push_back(target);
+}
+
+std::vector<double> Dataset::Column(size_t col) const {
+  std::vector<double> out;
+  out.reserve(num_rows());
+  for (const auto& row : features_) {
+    out.push_back(row[col]);
+  }
+  return out;
+}
+
+std::vector<size_t> Dataset::ClassCounts() const {
+  std::vector<size_t> counts(num_classes(), 0);
+  for (const double target : targets_) {
+    ++counts[static_cast<size_t>(target)];
+  }
+  return counts;
+}
+
+Dataset Dataset::Subset(std::span<const size_t> rows) const {
+  Dataset out;
+  out.feature_names_ = feature_names_;
+  out.class_names_ = class_names_;
+  out.target_name_ = target_name_;
+  out.features_.reserve(rows.size());
+  out.targets_.reserve(rows.size());
+  for (const size_t row : rows) {
+    out.features_.push_back(features_[row]);
+    out.targets_.push_back(targets_[row]);
+  }
+  return out;
+}
+
+std::vector<std::vector<size_t>> Dataset::StratifiedFolds(int k, support::Rng& rng) const {
+  assert(k >= 2);
+  std::vector<std::vector<size_t>> folds(static_cast<size_t>(k));
+  if (is_classification()) {
+    // Group rows by class, shuffle each group, deal round-robin.
+    std::vector<std::vector<size_t>> by_class(num_classes());
+    for (size_t i = 0; i < num_rows(); ++i) {
+      by_class[static_cast<size_t>(ClassIndex(i))].push_back(i);
+    }
+    size_t next_fold = 0;
+    for (auto& group : by_class) {
+      rng.Shuffle(group);
+      for (const size_t row : group) {
+        folds[next_fold].push_back(row);
+        next_fold = (next_fold + 1) % folds.size();
+      }
+    }
+  } else {
+    std::vector<size_t> order(num_rows());
+    for (size_t i = 0; i < order.size(); ++i) {
+      order[i] = i;
+    }
+    rng.Shuffle(order);
+    for (size_t i = 0; i < order.size(); ++i) {
+      folds[i % folds.size()].push_back(order[i]);
+    }
+  }
+  return folds;
+}
+
+}  // namespace ml

@@ -1,0 +1,73 @@
+// Dataset representation for the learning pipeline (the in-repo stand-in for
+// Weka's ARFF instances): named numeric features, a nominal or numeric
+// target, and helpers for subsetting and stratified fold construction.
+#ifndef SRC_ML_DATASET_H_
+#define SRC_ML_DATASET_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/support/rng.h"
+
+namespace ml {
+
+class Dataset {
+ public:
+  // A classification dataset (nominal target with `class_names`).
+  static Dataset ForClassification(std::vector<std::string> feature_names,
+                                   std::vector<std::string> class_names);
+  // A regression dataset (numeric target named `target_name`).
+  static Dataset ForRegression(std::vector<std::string> feature_names,
+                               std::string target_name);
+
+  bool is_classification() const { return !class_names_.empty(); }
+  size_t num_features() const { return feature_names_.size(); }
+  size_t num_rows() const { return targets_.size(); }
+  size_t num_classes() const { return class_names_.size(); }
+
+  const std::vector<std::string>& feature_names() const { return feature_names_; }
+  const std::vector<std::string>& class_names() const { return class_names_; }
+  const std::string& target_name() const { return target_name_; }
+
+  // Appends a row. For classification `target` must be an integral class
+  // index in [0, num_classes).
+  void AddRow(std::vector<double> features, double target);
+
+  std::span<const double> Row(size_t i) const {
+    return {features_[i].data(), features_[i].size()};
+  }
+  double Feature(size_t row, size_t col) const { return features_[row][col]; }
+  void SetFeature(size_t row, size_t col, double v) { features_[row][col] = v; }
+  double Target(size_t i) const { return targets_[i]; }
+  int ClassIndex(size_t i) const { return static_cast<int>(targets_[i]); }
+
+  // All values of one feature column.
+  std::vector<double> Column(size_t col) const;
+  // All targets.
+  const std::vector<double>& targets() const { return targets_; }
+
+  // Class frequency histogram (classification only).
+  std::vector<size_t> ClassCounts() const;
+
+  // A new dataset containing the given rows (indices may repeat — used by
+  // bootstrap sampling).
+  Dataset Subset(std::span<const size_t> rows) const;
+
+  // Deterministic stratified k-fold split: returns `k` disjoint index sets
+  // whose union is all rows, each approximately class-balanced. For
+  // regression the split is a plain shuffled partition.
+  std::vector<std::vector<size_t>> StratifiedFolds(int k, support::Rng& rng) const;
+
+ private:
+  std::vector<std::string> feature_names_;
+  std::vector<std::string> class_names_;  // Empty => regression.
+  std::string target_name_;
+  std::vector<std::vector<double>> features_;
+  std::vector<double> targets_;
+};
+
+}  // namespace ml
+
+#endif  // SRC_ML_DATASET_H_

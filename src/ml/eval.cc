@@ -1,0 +1,208 @@
+#include "src/ml/eval.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/stats.h"
+#include "src/support/strings.h"
+
+namespace ml {
+
+size_t ConfusionMatrix::Total() const {
+  size_t total = 0;
+  for (const auto& row : counts_) {
+    for (const size_t count : row) {
+      total += count;
+    }
+  }
+  return total;
+}
+
+double ConfusionMatrix::Accuracy() const {
+  const size_t total = Total();
+  if (total == 0) {
+    return 0.0;
+  }
+  size_t correct = 0;
+  for (size_t c = 0; c < counts_.size(); ++c) {
+    correct += counts_[c][c];
+  }
+  return static_cast<double>(correct) / static_cast<double>(total);
+}
+
+double ConfusionMatrix::Precision(int c) const {
+  const auto cls = static_cast<size_t>(c);
+  size_t predicted = 0;
+  for (size_t actual = 0; actual < counts_.size(); ++actual) {
+    predicted += counts_[actual][cls];
+  }
+  if (predicted == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(counts_[cls][cls]) / static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::Recall(int c) const {
+  const auto cls = static_cast<size_t>(c);
+  size_t actual_total = 0;
+  for (const size_t count : counts_[cls]) {
+    actual_total += count;
+  }
+  if (actual_total == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(counts_[cls][cls]) / static_cast<double>(actual_total);
+}
+
+double ConfusionMatrix::F1(int c) const {
+  const double p = Precision(c);
+  const double r = Recall(c);
+  return p + r > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+double ConfusionMatrix::MacroF1() const {
+  if (counts_.empty()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (size_t c = 0; c < counts_.size(); ++c) {
+    total += F1(static_cast<int>(c));
+  }
+  return total / static_cast<double>(counts_.size());
+}
+
+std::string ConfusionMatrix::ToString(const std::vector<std::string>& class_names) const {
+  std::string out = "actual\\predicted";
+  for (size_t c = 0; c < counts_.size(); ++c) {
+    out += support::Format("\t%s", c < class_names.size() ? class_names[c].c_str() : "?");
+  }
+  out += '\n';
+  for (size_t a = 0; a < counts_.size(); ++a) {
+    out += a < class_names.size() ? class_names[a] : "?";
+    for (const size_t count : counts_[a]) {
+      out += support::Format("\t%zu", count);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+double RocAuc(const std::vector<double>& positive_scores, const std::vector<int>& labels) {
+  // Mann–Whitney U formulation: AUC = P(score⁺ > score⁻) + ½P(tie).
+  const size_t n = std::min(positive_scores.size(), labels.size());
+  double positives = 0.0;
+  double negatives = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (labels[i] == 1) {
+      positives += 1.0;
+    } else {
+      negatives += 1.0;
+    }
+  }
+  if (positives == 0.0 || negatives == 0.0) {
+    return 0.5;
+  }
+  // Rank-based computation handles ties exactly.
+  const auto ranks = support::AverageRanks(
+      std::span<const double>(positive_scores.data(), n));
+  double positive_rank_sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (labels[i] == 1) {
+      positive_rank_sum += ranks[i];
+    }
+  }
+  const double u = positive_rank_sum - positives * (positives + 1.0) / 2.0;
+  return u / (positives * negatives);
+}
+
+RegressionMetrics EvaluateRegression(const std::vector<double>& predicted,
+                                     const std::vector<double>& actual) {
+  RegressionMetrics metrics;
+  const size_t n = std::min(predicted.size(), actual.size());
+  if (n == 0) {
+    return metrics;
+  }
+  const double mean_actual =
+      support::Mean(std::span<const double>(actual.data(), n));
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  double abs_sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double err = actual[i] - predicted[i];
+    ss_res += err * err;
+    abs_sum += std::fabs(err);
+    ss_tot += (actual[i] - mean_actual) * (actual[i] - mean_actual);
+  }
+  metrics.rmse = std::sqrt(ss_res / static_cast<double>(n));
+  metrics.mae = abs_sum / static_cast<double>(n);
+  metrics.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 0.0;
+  return metrics;
+}
+
+RegressionMetrics CrossValidateRegression(
+    const Dataset& data, const std::function<std::unique_ptr<Regressor>()>& factory, int k,
+    uint64_t seed) {
+  support::Rng rng(seed);
+  const auto folds = data.StratifiedFolds(k, rng);
+  std::vector<double> predicted(data.num_rows(), 0.0);
+  std::vector<double> actual(data.num_rows(), 0.0);
+  for (size_t f = 0; f < folds.size(); ++f) {
+    std::vector<size_t> train_rows;
+    for (size_t g = 0; g < folds.size(); ++g) {
+      if (g != f) {
+        train_rows.insert(train_rows.end(), folds[g].begin(), folds[g].end());
+      }
+    }
+    const Dataset train = data.Subset(train_rows);
+    auto model = factory();
+    model->Train(train);
+    for (const size_t row : folds[f]) {
+      predicted[row] = model->Predict(data.Row(row));
+      actual[row] = data.Target(row);
+    }
+  }
+  return EvaluateRegression(predicted, actual);
+}
+
+CvMetrics CrossValidate(const Dataset& data,
+                        const std::function<std::unique_ptr<Classifier>()>& factory, int k,
+                        uint64_t seed) {
+  CvMetrics metrics;
+  metrics.confusion = ConfusionMatrix(data.num_classes());
+  metrics.folds = static_cast<size_t>(k);
+  support::Rng rng(seed);
+  const auto folds = data.StratifiedFolds(k, rng);
+  std::vector<double> all_scores;
+  std::vector<int> all_labels;
+  for (size_t f = 0; f < folds.size(); ++f) {
+    std::vector<size_t> train_rows;
+    for (size_t g = 0; g < folds.size(); ++g) {
+      if (g != f) {
+        train_rows.insert(train_rows.end(), folds[g].begin(), folds[g].end());
+      }
+    }
+    const Dataset train = data.Subset(train_rows);
+    auto model = factory();
+    model->Train(train);
+    for (const size_t row : folds[f]) {
+      const auto proba = model->PredictProba(data.Row(row));
+      int best = 0;
+      for (size_t c = 1; c < proba.size(); ++c) {
+        if (proba[c] > proba[static_cast<size_t>(best)]) {
+          best = static_cast<int>(c);
+        }
+      }
+      metrics.confusion.Add(data.ClassIndex(row), best);
+      if (data.num_classes() == 2) {
+        all_scores.push_back(proba.size() > 1 ? proba[1] : 0.0);
+        all_labels.push_back(data.ClassIndex(row));
+      }
+    }
+  }
+  metrics.accuracy = metrics.confusion.Accuracy();
+  metrics.macro_f1 = metrics.confusion.MacroF1();
+  metrics.auc = data.num_classes() == 2 ? RocAuc(all_scores, all_labels) : 0.5;
+  return metrics;
+}
+
+}  // namespace ml

@@ -1,0 +1,82 @@
+// Model evaluation: confusion matrices, classification metrics, ROC-AUC,
+// regression metrics, and stratified k-fold cross-validation (§5.2: "machine
+// learning tool ... with cross validation").
+#ifndef SRC_ML_EVAL_H_
+#define SRC_ML_EVAL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ml/classifier.h"
+#include "src/ml/dataset.h"
+#include "src/support/rng.h"
+
+namespace ml {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(size_t num_classes)
+      : counts_(num_classes, std::vector<size_t>(num_classes, 0)) {}
+
+  void Add(int actual, int predicted) {
+    ++counts_[static_cast<size_t>(actual)][static_cast<size_t>(predicted)];
+  }
+
+  size_t At(int actual, int predicted) const {
+    return counts_[static_cast<size_t>(actual)][static_cast<size_t>(predicted)];
+  }
+  size_t num_classes() const { return counts_.size(); }
+  size_t Total() const;
+
+  double Accuracy() const;
+  // One-vs-rest metrics for class `c`.
+  double Precision(int c) const;
+  double Recall(int c) const;
+  double F1(int c) const;
+  // Macro averages over classes.
+  double MacroF1() const;
+
+  std::string ToString(const std::vector<std::string>& class_names) const;
+
+ private:
+  std::vector<std::vector<size_t>> counts_;
+};
+
+// Area under the ROC curve for binary problems, from per-instance scores for
+// the positive class. Ties handled by trapezoidal averaging.
+double RocAuc(const std::vector<double>& positive_scores, const std::vector<int>& labels);
+
+struct RegressionMetrics {
+  double r_squared = 0.0;
+  double rmse = 0.0;
+  double mae = 0.0;
+};
+
+RegressionMetrics EvaluateRegression(const std::vector<double>& predicted,
+                                     const std::vector<double>& actual);
+
+struct CvMetrics {
+  double accuracy = 0.0;
+  double macro_f1 = 0.0;
+  double auc = 0.0;        // Binary problems only; 0.5 baseline otherwise.
+  size_t folds = 0;
+  ConfusionMatrix confusion{2};
+};
+
+// Runs stratified k-fold CV: trains a fresh classifier per fold via
+// `factory`, evaluates on the held-out fold, pools the confusion matrix.
+CvMetrics CrossValidate(const Dataset& data,
+                        const std::function<std::unique_ptr<Classifier>()>& factory, int k,
+                        uint64_t seed);
+
+// k-fold CV for regression: pools out-of-fold predictions and scores them
+// against the actual targets (so R² is computed once over all rows).
+RegressionMetrics CrossValidateRegression(
+    const Dataset& data, const std::function<std::unique_ptr<Regressor>()>& factory, int k,
+    uint64_t seed);
+
+}  // namespace ml
+
+#endif  // SRC_ML_EVAL_H_

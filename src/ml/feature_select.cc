@@ -1,0 +1,103 @@
+#include "src/ml/feature_select.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/ml/transforms.h"
+#include "src/support/stats.h"
+
+namespace ml {
+namespace {
+
+double Entropy(const std::vector<double>& counts, double total) {
+  if (total <= 0.0) {
+    return 0.0;
+  }
+  double h = 0.0;
+  for (const double c : counts) {
+    if (c > 0.0) {
+      const double p = c / total;
+      h -= p * std::log2(p);
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+FeatureRanking RankByInformationGain(const Dataset& data, int bins) {
+  FeatureRanking ranking;
+  const size_t classes = data.num_classes();
+  const size_t rows = data.num_rows();
+  if (classes == 0 || rows == 0) {
+    return ranking;
+  }
+  // Class entropy.
+  std::vector<double> class_counts(classes, 0.0);
+  for (size_t i = 0; i < rows; ++i) {
+    class_counts[static_cast<size_t>(data.ClassIndex(i))] += 1.0;
+  }
+  const double h_class = Entropy(class_counts, static_cast<double>(rows));
+
+  Discretizer disc(bins);
+  disc.Fit(data);
+  for (size_t j = 0; j < data.num_features(); ++j) {
+    // Joint histogram bin × class.
+    std::vector<std::vector<double>> joint(static_cast<size_t>(bins),
+                                           std::vector<double>(classes, 0.0));
+    for (size_t i = 0; i < rows; ++i) {
+      const int bin = disc.BinOf(j, data.Feature(i, j));
+      joint[static_cast<size_t>(bin)][static_cast<size_t>(data.ClassIndex(i))] += 1.0;
+    }
+    double h_cond = 0.0;
+    for (const auto& bin_counts : joint) {
+      double bin_total = 0.0;
+      for (const double c : bin_counts) {
+        bin_total += c;
+      }
+      if (bin_total > 0.0) {
+        h_cond += (bin_total / static_cast<double>(rows)) * Entropy(bin_counts, bin_total);
+      }
+    }
+    ranking.emplace_back(j, h_class - h_cond);
+  }
+  std::sort(ranking.begin(), ranking.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return ranking;
+}
+
+FeatureRanking RankByCorrelation(const Dataset& data) {
+  FeatureRanking ranking;
+  const auto& targets = data.targets();
+  for (size_t j = 0; j < data.num_features(); ++j) {
+    const auto column = data.Column(j);
+    ranking.emplace_back(j, std::fabs(support::PearsonCorrelation(column, targets)));
+  }
+  std::sort(ranking.begin(), ranking.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return ranking;
+}
+
+Dataset SelectFeatures(const Dataset& data, const FeatureRanking& ranking, size_t top_k) {
+  const size_t k = std::min(top_k, ranking.size());
+  std::vector<size_t> keep;
+  std::vector<std::string> names;
+  for (size_t i = 0; i < k; ++i) {
+    keep.push_back(ranking[i].first);
+    names.push_back(data.feature_names()[ranking[i].first]);
+  }
+  Dataset out = data.is_classification()
+                    ? Dataset::ForClassification(names, data.class_names())
+                    : Dataset::ForRegression(names, data.target_name());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    std::vector<double> row;
+    row.reserve(k);
+    for (const size_t j : keep) {
+      row.push_back(data.Feature(i, j));
+    }
+    out.AddRow(std::move(row), data.Target(i));
+  }
+  return out;
+}
+
+}  // namespace ml

@@ -1,0 +1,30 @@
+// Feature ranking / selection (§5.2: "filtering features that are irrelevant
+// to the prediction"): information-gain ranking over discretised features
+// and absolute-Pearson-correlation ranking.
+#ifndef SRC_ML_FEATURE_SELECT_H_
+#define SRC_ML_FEATURE_SELECT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/ml/dataset.h"
+
+namespace ml {
+
+// (feature index, score) sorted by descending score.
+using FeatureRanking = std::vector<std::pair<size_t, double>>;
+
+// Information gain of each feature w.r.t. the nominal class, with numeric
+// features discretised into `bins` equal-width buckets.
+FeatureRanking RankByInformationGain(const Dataset& data, int bins = 10);
+
+// |Pearson correlation| of each feature against the (numeric or 0/1) target.
+FeatureRanking RankByCorrelation(const Dataset& data);
+
+// Projects the dataset onto the top-k features of a ranking.
+Dataset SelectFeatures(const Dataset& data, const FeatureRanking& ranking, size_t top_k);
+
+}  // namespace ml
+
+#endif  // SRC_ML_FEATURE_SELECT_H_

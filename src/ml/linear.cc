@@ -1,0 +1,183 @@
+#include "src/ml/linear.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ml {
+
+bool SolveLinearSystem(std::vector<std::vector<double>> a, std::vector<double> b,
+                       std::vector<double>& x) {
+  const size_t n = a.size();
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    size_t pivot = col;
+    for (size_t row = col + 1; row < n; ++row) {
+      if (std::fabs(a[row][col]) > std::fabs(a[pivot][col])) {
+        pivot = row;
+      }
+    }
+    if (std::fabs(a[pivot][col]) < 1e-12) {
+      return false;
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row][col] / a[col][col];
+      if (factor == 0.0) {
+        continue;
+      }
+      for (size_t k = col; k < n; ++k) {
+        a[row][k] -= factor * a[col][k];
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+  x.assign(n, 0.0);
+  for (size_t row = n; row-- > 0;) {
+    double sum = b[row];
+    for (size_t k = row + 1; k < n; ++k) {
+      sum -= a[row][k] * x[k];
+    }
+    x[row] = sum / a[row][row];
+  }
+  return true;
+}
+
+void LinearRegressor::Train(const Dataset& data) {
+  feature_names_ = data.feature_names();
+  const size_t n = data.num_features() + 1;  // +1 intercept.
+  std::vector<std::vector<double>> xtx(n, std::vector<double>(n, 0.0));
+  std::vector<double> xty(n, 0.0);
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    const auto row = data.Row(i);
+    // Augmented feature vector [1, x...].
+    auto feature = [&row](size_t j) { return j == 0 ? 1.0 : row[j - 1]; };
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = 0; q < n; ++q) {
+        xtx[p][q] += feature(p) * feature(q);
+      }
+      xty[p] += feature(p) * data.Target(i);
+    }
+  }
+  for (size_t p = 1; p < n; ++p) {
+    xtx[p][p] += lambda_;  // Intercept is not regularised.
+  }
+  if (!SolveLinearSystem(std::move(xtx), std::move(xty), weights_)) {
+    // Singular system: retry with a stabilising ridge.
+    std::vector<std::vector<double>> xtx2(n, std::vector<double>(n, 0.0));
+    std::vector<double> xty2(n, 0.0);
+    for (size_t i = 0; i < data.num_rows(); ++i) {
+      const auto row = data.Row(i);
+      auto feature = [&row](size_t j) { return j == 0 ? 1.0 : row[j - 1]; };
+      for (size_t p = 0; p < n; ++p) {
+        for (size_t q = 0; q < n; ++q) {
+          xtx2[p][q] += feature(p) * feature(q);
+        }
+        xty2[p] += feature(p) * data.Target(i);
+      }
+    }
+    for (size_t p = 0; p < n; ++p) {
+      xtx2[p][p] += 1e-6;
+    }
+    SolveLinearSystem(std::move(xtx2), std::move(xty2), weights_);
+  }
+}
+
+double LinearRegressor::Predict(std::span<const double> x) const {
+  if (weights_.empty()) {
+    return 0.0;
+  }
+  double value = weights_[0];
+  const size_t n = std::min(x.size(), weights_.size() - 1);
+  for (size_t j = 0; j < n; ++j) {
+    value += weights_[j + 1] * x[j];
+  }
+  return value;
+}
+
+std::vector<std::pair<std::string, double>> LinearRegressor::FeatureImportance() const {
+  std::vector<std::pair<std::string, double>> out;
+  for (size_t j = 0; j + 1 < weights_.size() && j < feature_names_.size(); ++j) {
+    out.emplace_back(feature_names_[j], std::fabs(weights_[j + 1]));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+void LogisticClassifier::Train(const Dataset& data) {
+  feature_names_ = data.feature_names();
+  num_classes_ = data.num_classes();
+  const size_t dim = data.num_features() + 1;
+  weights_.assign(num_classes_, std::vector<double>(dim, 0.0));
+  if (data.num_rows() == 0) {
+    return;
+  }
+  std::vector<std::vector<double>> gradients(num_classes_, std::vector<double>(dim, 0.0));
+  const double inv_n = 1.0 / static_cast<double>(data.num_rows());
+  for (int iter = 0; iter < options_.iterations; ++iter) {
+    for (auto& g : gradients) {
+      std::fill(g.begin(), g.end(), 0.0);
+    }
+    for (size_t i = 0; i < data.num_rows(); ++i) {
+      const auto x = data.Row(i);
+      const auto proba = PredictProba(x);
+      const auto label = static_cast<size_t>(data.ClassIndex(i));
+      for (size_t c = 0; c < num_classes_; ++c) {
+        const double error = proba[c] - (c == label ? 1.0 : 0.0);
+        gradients[c][0] += error;
+        for (size_t j = 0; j < x.size(); ++j) {
+          gradients[c][j + 1] += error * x[j];
+        }
+      }
+    }
+    for (size_t c = 0; c < num_classes_; ++c) {
+      for (size_t j = 0; j < dim; ++j) {
+        const double l2 = j == 0 ? 0.0 : options_.l2 * weights_[c][j];
+        weights_[c][j] -= options_.learning_rate * (gradients[c][j] * inv_n + l2);
+      }
+    }
+  }
+}
+
+std::vector<double> LogisticClassifier::PredictProba(std::span<const double> x) const {
+  std::vector<double> logits(num_classes_, 0.0);
+  for (size_t c = 0; c < num_classes_; ++c) {
+    double z = weights_[c].empty() ? 0.0 : weights_[c][0];
+    const size_t n = std::min(x.size(), weights_[c].size() - 1);
+    for (size_t j = 0; j < n; ++j) {
+      z += weights_[c][j + 1] * x[j];
+    }
+    logits[c] = z;
+  }
+  // Stable softmax.
+  const double max_logit = *std::max_element(logits.begin(), logits.end());
+  double total = 0.0;
+  for (double& logit : logits) {
+    logit = std::exp(logit - max_logit);
+    total += logit;
+  }
+  for (double& logit : logits) {
+    logit /= total;
+  }
+  return logits;
+}
+
+std::vector<std::pair<std::string, double>> LogisticClassifier::FeatureImportance() const {
+  // Importance: max |weight| across classes per feature.
+  std::vector<std::pair<std::string, double>> out;
+  for (size_t j = 0; j < feature_names_.size(); ++j) {
+    double best = 0.0;
+    for (const auto& class_weights : weights_) {
+      if (j + 1 < class_weights.size()) {
+        best = std::max(best, std::fabs(class_weights[j + 1]));
+      }
+    }
+    out.emplace_back(feature_names_[j], best);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+}  // namespace ml

@@ -1,0 +1,108 @@
+#include "src/ml/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ml {
+
+namespace {
+constexpr double kMinVariance = 1e-9;
+}  // namespace
+
+void NaiveBayesClassifier::Train(const Dataset& data) {
+  feature_names_ = data.feature_names();
+  const size_t classes = data.num_classes();
+  const size_t features = data.num_features();
+  log_priors_.assign(classes, 0.0);
+  means_.assign(classes, std::vector<double>(features, 0.0));
+  variances_.assign(classes, std::vector<double>(features, 1.0));
+  std::vector<size_t> counts(classes, 0);
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    const auto c = static_cast<size_t>(data.ClassIndex(i));
+    ++counts[c];
+    const auto row = data.Row(i);
+    for (size_t j = 0; j < features; ++j) {
+      means_[c][j] += row[j];
+    }
+  }
+  for (size_t c = 0; c < classes; ++c) {
+    // Laplace-smoothed prior.
+    log_priors_[c] = std::log((static_cast<double>(counts[c]) + 1.0) /
+                              (static_cast<double>(data.num_rows()) +
+                               static_cast<double>(classes)));
+    if (counts[c] > 0) {
+      for (size_t j = 0; j < features; ++j) {
+        means_[c][j] /= static_cast<double>(counts[c]);
+      }
+    }
+  }
+  std::vector<std::vector<double>> sq(classes, std::vector<double>(features, 0.0));
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    const auto c = static_cast<size_t>(data.ClassIndex(i));
+    const auto row = data.Row(i);
+    for (size_t j = 0; j < features; ++j) {
+      const double d = row[j] - means_[c][j];
+      sq[c][j] += d * d;
+    }
+  }
+  for (size_t c = 0; c < classes; ++c) {
+    for (size_t j = 0; j < features; ++j) {
+      variances_[c][j] =
+          counts[c] > 1 ? std::max(sq[c][j] / static_cast<double>(counts[c] - 1),
+                                   kMinVariance)
+                        : 1.0;
+    }
+  }
+}
+
+std::vector<double> NaiveBayesClassifier::PredictProba(std::span<const double> x) const {
+  const size_t classes = log_priors_.size();
+  std::vector<double> log_post(classes, 0.0);
+  for (size_t c = 0; c < classes; ++c) {
+    double lp = log_priors_[c];
+    const size_t features = std::min(x.size(), means_[c].size());
+    for (size_t j = 0; j < features; ++j) {
+      const double var = variances_[c][j];
+      const double d = x[j] - means_[c][j];
+      lp += -0.5 * (std::log(2.0 * 3.14159265358979323846 * var) + d * d / var);
+    }
+    log_post[c] = lp;
+  }
+  const double max_lp = *std::max_element(log_post.begin(), log_post.end());
+  double total = 0.0;
+  for (double& lp : log_post) {
+    lp = std::exp(lp - max_lp);
+    total += lp;
+  }
+  for (double& lp : log_post) {
+    lp /= total;
+  }
+  return log_post;
+}
+
+std::vector<std::pair<std::string, double>> NaiveBayesClassifier::FeatureImportance() const {
+  // Importance: spread of class means relative to pooled stddev.
+  std::vector<std::pair<std::string, double>> out;
+  for (size_t j = 0; j < feature_names_.size(); ++j) {
+    double min_mean = 0.0;
+    double max_mean = 0.0;
+    double pooled_var = 0.0;
+    for (size_t c = 0; c < means_.size(); ++c) {
+      if (c == 0) {
+        min_mean = max_mean = means_[c][j];
+      } else {
+        min_mean = std::min(min_mean, means_[c][j]);
+        max_mean = std::max(max_mean, means_[c][j]);
+      }
+      pooled_var += variances_[c][j];
+    }
+    pooled_var /= static_cast<double>(means_.empty() ? 1 : means_.size());
+    out.emplace_back(feature_names_[j],
+                     (max_mean - min_mean) / std::sqrt(std::max(pooled_var, kMinVariance)));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+}  // namespace ml

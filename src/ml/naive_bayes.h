@@ -1,0 +1,29 @@
+// Gaussian naive Bayes: class priors plus per-class per-feature normal
+// densities. Fast baseline learner for the hypothesis battery.
+#ifndef SRC_ML_NAIVE_BAYES_H_
+#define SRC_ML_NAIVE_BAYES_H_
+
+#include <vector>
+
+#include "src/ml/classifier.h"
+
+namespace ml {
+
+class NaiveBayesClassifier : public Classifier {
+ public:
+  void Train(const Dataset& data) override;
+  std::vector<double> PredictProba(std::span<const double> x) const override;
+  std::string Name() const override { return "naive-bayes"; }
+  std::vector<std::pair<std::string, double>> FeatureImportance() const override;
+
+ private:
+  std::vector<double> log_priors_;
+  // [class][feature] mean / variance.
+  std::vector<std::vector<double>> means_;
+  std::vector<std::vector<double>> variances_;
+  std::vector<std::string> feature_names_;
+};
+
+}  // namespace ml
+
+#endif  // SRC_ML_NAIVE_BAYES_H_

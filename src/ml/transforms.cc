@@ -1,0 +1,71 @@
+#include "src/ml/transforms.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/stats.h"
+
+namespace ml {
+
+void ApplyLog1p(Dataset& data) {
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    for (size_t j = 0; j < data.num_features(); ++j) {
+      const double v = data.Feature(i, j);
+      data.SetFeature(i, j, v >= 0.0 ? std::log1p(v) : -std::log1p(-v));
+    }
+  }
+}
+
+void Standardizer::Fit(const Dataset& data) {
+  means_.assign(data.num_features(), 0.0);
+  stddevs_.assign(data.num_features(), 1.0);
+  for (size_t j = 0; j < data.num_features(); ++j) {
+    const auto column = data.Column(j);
+    means_[j] = support::Mean(column);
+    const double sd = support::StdDev(column);
+    stddevs_[j] = sd > 1e-12 ? sd : 1.0;
+  }
+}
+
+void Standardizer::Apply(Dataset& data) const {
+  const size_t cols = std::min(means_.size(), data.num_features());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      data.SetFeature(i, j, (data.Feature(i, j) - means_[j]) / stddevs_[j]);
+    }
+  }
+}
+
+void Discretizer::Fit(const Dataset& data) {
+  lo_.assign(data.num_features(), 0.0);
+  hi_.assign(data.num_features(), 1.0);
+  for (size_t j = 0; j < data.num_features(); ++j) {
+    const auto column = data.Column(j);
+    if (column.empty()) {
+      continue;
+    }
+    lo_[j] = *std::min_element(column.begin(), column.end());
+    hi_[j] = *std::max_element(column.begin(), column.end());
+    if (hi_[j] <= lo_[j]) {
+      hi_[j] = lo_[j] + 1.0;
+    }
+  }
+}
+
+int Discretizer::BinOf(size_t col, double value) const {
+  const double span = hi_[col] - lo_[col];
+  const double relative = (value - lo_[col]) / span;
+  const int bin = static_cast<int>(relative * bins_);
+  return std::clamp(bin, 0, bins_ - 1);
+}
+
+void Discretizer::Apply(Dataset& data) const {
+  const size_t cols = std::min(lo_.size(), data.num_features());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      data.SetFeature(i, j, static_cast<double>(BinOf(j, data.Feature(i, j))));
+    }
+  }
+}
+
+}  // namespace ml

@@ -1,0 +1,49 @@
+// Feature transformations (§5.2 names "determining necessary data
+// transformation for numeric features" as part of refining the model).
+// Each transform is fit on training data only and then applied to any split.
+#ifndef SRC_ML_TRANSFORMS_H_
+#define SRC_ML_TRANSFORMS_H_
+
+#include <vector>
+
+#include "src/ml/dataset.h"
+
+namespace ml {
+
+// log1p on every feature (code properties are heavy-tailed; the paper's
+// Figure 2 regression is in log space). Stateless.
+void ApplyLog1p(Dataset& data);
+
+// Z-score standardisation fit on one dataset, applicable to others.
+class Standardizer {
+ public:
+  void Fit(const Dataset& data);
+  void Apply(Dataset& data) const;
+
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& stddevs() const { return stddevs_; }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> stddevs_;
+};
+
+// Equal-width discretisation into `bins` integer-valued buckets.
+class Discretizer {
+ public:
+  explicit Discretizer(int bins) : bins_(bins) {}
+  void Fit(const Dataset& data);
+  void Apply(Dataset& data) const;
+  // Bin index for a raw value in column `col`.
+  int BinOf(size_t col, double value) const;
+  int bins() const { return bins_; }
+
+ private:
+  int bins_;
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+};
+
+}  // namespace ml
+
+#endif  // SRC_ML_TRANSFORMS_H_

@@ -1,0 +1,433 @@
+#include "src/ml/tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+namespace ml {
+
+std::vector<double> DecisionTreeClassifier::Distribution(const Dataset& data,
+                                                         const std::vector<size_t>& rows) {
+  std::vector<double> dist(data.num_classes(), 0.0);
+  for (const size_t row : rows) {
+    dist[static_cast<size_t>(data.ClassIndex(row))] += 1.0;
+  }
+  const double total = static_cast<double>(rows.size());
+  if (total > 0.0) {
+    for (double& d : dist) {
+      d /= total;
+    }
+  }
+  return dist;
+}
+
+double DecisionTreeClassifier::Gini(const std::vector<double>& distribution) {
+  double gini = 1.0;
+  for (const double p : distribution) {
+    gini -= p * p;
+  }
+  return gini;
+}
+
+void DecisionTreeClassifier::Train(const Dataset& data) {
+  feature_names_ = data.feature_names();
+  importance_.assign(data.num_features(), 0.0);
+  nodes_.clear();
+  std::vector<size_t> rows(data.num_rows());
+  std::iota(rows.begin(), rows.end(), size_t{0});
+  Build(data, rows, 0);
+}
+
+int DecisionTreeClassifier::Build(const Dataset& data, std::vector<size_t>& rows,
+                                  int depth) {
+  const int index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[static_cast<size_t>(index)].depth = depth;
+  auto distribution = Distribution(data, rows);
+  const double parent_gini = Gini(distribution);
+  const bool pure = parent_gini < 1e-12;
+  if (pure || depth >= options_.max_depth || rows.size() < 2 * options_.min_samples_leaf) {
+    nodes_[static_cast<size_t>(index)].proba = std::move(distribution);
+    return index;
+  }
+
+  // Feature subset for this split.
+  std::vector<size_t> candidates(data.num_features());
+  std::iota(candidates.begin(), candidates.end(), size_t{0});
+  if (options_.features_per_split > 0 &&
+      options_.features_per_split < candidates.size()) {
+    rng_.Shuffle(candidates);
+    candidates.resize(options_.features_per_split);
+  }
+
+  double best_gain = 1e-12;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  const double n_total = static_cast<double>(rows.size());
+  std::vector<std::pair<double, int>> sorted_values;  // (value, class).
+  for (const size_t feature : candidates) {
+    sorted_values.clear();
+    sorted_values.reserve(rows.size());
+    for (const size_t row : rows) {
+      sorted_values.emplace_back(data.Feature(row, feature), data.ClassIndex(row));
+    }
+    std::sort(sorted_values.begin(), sorted_values.end());
+    // Sweep split points between distinct values, maintaining left counts.
+    std::vector<double> left_counts(data.num_classes(), 0.0);
+    std::vector<double> right_counts(data.num_classes(), 0.0);
+    for (const auto& [value, cls] : sorted_values) {
+      right_counts[static_cast<size_t>(cls)] += 1.0;
+    }
+    for (size_t i = 0; i + 1 < sorted_values.size(); ++i) {
+      const auto cls = static_cast<size_t>(sorted_values[i].second);
+      left_counts[cls] += 1.0;
+      right_counts[cls] -= 1.0;
+      if (sorted_values[i].first == sorted_values[i + 1].first) {
+        continue;  // Not a valid split point.
+      }
+      const double n_left = static_cast<double>(i + 1);
+      const double n_right = n_total - n_left;
+      if (n_left < static_cast<double>(options_.min_samples_leaf) ||
+          n_right < static_cast<double>(options_.min_samples_leaf)) {
+        continue;
+      }
+      auto gini_of = [](const std::vector<double>& counts, double n) {
+        double g = 1.0;
+        for (const double c : counts) {
+          const double p = c / n;
+          g -= p * p;
+        }
+        return g;
+      };
+      const double gain = parent_gini - (n_left / n_total) * gini_of(left_counts, n_left) -
+                          (n_right / n_total) * gini_of(right_counts, n_right);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(feature);
+        best_threshold = 0.5 * (sorted_values[i].first + sorted_values[i + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) {
+    nodes_[static_cast<size_t>(index)].proba = std::move(distribution);
+    return index;
+  }
+
+  importance_[static_cast<size_t>(best_feature)] += best_gain * n_total;
+  std::vector<size_t> left_rows;
+  std::vector<size_t> right_rows;
+  for (const size_t row : rows) {
+    if (data.Feature(row, static_cast<size_t>(best_feature)) <= best_threshold) {
+      left_rows.push_back(row);
+    } else {
+      right_rows.push_back(row);
+    }
+  }
+  rows.clear();
+  rows.shrink_to_fit();
+  const int left = Build(data, left_rows, depth + 1);
+  const int right = Build(data, right_rows, depth + 1);
+  Node& node = nodes_[static_cast<size_t>(index)];
+  node.leaf = false;
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  return index;
+}
+
+std::vector<double> DecisionTreeClassifier::PredictProba(std::span<const double> x) const {
+  if (nodes_.empty()) {
+    return {};
+  }
+  int index = 0;
+  while (!nodes_[static_cast<size_t>(index)].leaf) {
+    const Node& node = nodes_[static_cast<size_t>(index)];
+    const double value =
+        static_cast<size_t>(node.feature) < x.size() ? x[static_cast<size_t>(node.feature)]
+                                                     : 0.0;
+    index = value <= node.threshold ? node.left : node.right;
+  }
+  return nodes_[static_cast<size_t>(index)].proba;
+}
+
+int DecisionTreeClassifier::depth() const {
+  int best = 0;
+  for (const auto& node : nodes_) {
+    best = std::max(best, node.depth);
+  }
+  return best;
+}
+
+std::vector<std::pair<std::string, double>> DecisionTreeClassifier::FeatureImportance()
+    const {
+  std::vector<std::pair<std::string, double>> out;
+  for (size_t j = 0; j < feature_names_.size(); ++j) {
+    out.emplace_back(feature_names_[j], importance_[j]);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+void RandomForestClassifier::Train(const Dataset& data) {
+  trees_.clear();
+  num_classes_ = data.num_classes();
+  support::Rng rng(options_.seed);
+  TreeOptions tree_options = options_.tree;
+  if (tree_options.features_per_split == 0) {
+    // Default: sqrt(d), the standard forest heuristic.
+    tree_options.features_per_split = static_cast<size_t>(
+        std::max(1.0, std::sqrt(static_cast<double>(data.num_features()))));
+  }
+  for (int t = 0; t < options_.num_trees; ++t) {
+    // Bootstrap sample.
+    std::vector<size_t> sample(data.num_rows());
+    for (auto& row : sample) {
+      row = static_cast<size_t>(rng.NextBelow(data.num_rows()));
+    }
+    const Dataset bagged = data.Subset(sample);
+    auto tree = std::make_unique<DecisionTreeClassifier>(tree_options, rng.NextU64());
+    tree->Train(bagged);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+std::vector<double> RandomForestClassifier::PredictProba(std::span<const double> x) const {
+  std::vector<double> total(num_classes_, 0.0);
+  if (trees_.empty()) {
+    return total;
+  }
+  for (const auto& tree : trees_) {
+    const auto proba = tree->PredictProba(x);
+    for (size_t c = 0; c < total.size() && c < proba.size(); ++c) {
+      total[c] += proba[c];
+    }
+  }
+  for (double& p : total) {
+    p /= static_cast<double>(trees_.size());
+  }
+  return total;
+}
+
+std::vector<std::pair<std::string, double>> RandomForestClassifier::FeatureImportance()
+    const {
+  std::map<std::string, double> merged;
+  for (const auto& tree : trees_) {
+    for (const auto& [name, value] : tree->FeatureImportance()) {
+      merged[name] += value;
+    }
+  }
+  std::vector<std::pair<std::string, double>> out(merged.begin(), merged.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+void DecisionTreeRegressor::Train(const Dataset& data) {
+  feature_names_ = data.feature_names();
+  importance_.assign(data.num_features(), 0.0);
+  nodes_.clear();
+  std::vector<size_t> rows(data.num_rows());
+  std::iota(rows.begin(), rows.end(), size_t{0});
+  Build(data, rows, 0);
+}
+
+int DecisionTreeRegressor::Build(const Dataset& data, std::vector<size_t>& rows,
+                                 int depth) {
+  const int index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  double sum = 0.0;
+  double sq = 0.0;
+  for (const size_t row : rows) {
+    sum += data.Target(row);
+    sq += data.Target(row) * data.Target(row);
+  }
+  const double n_total = static_cast<double>(rows.size());
+  const double mean = n_total > 0.0 ? sum / n_total : 0.0;
+  const double sse_parent = sq - n_total * mean * mean;
+  nodes_[static_cast<size_t>(index)].value = mean;
+  if (depth >= options_.max_depth || rows.size() < 2 * options_.min_samples_leaf ||
+      sse_parent < 1e-12) {
+    return index;
+  }
+
+  std::vector<size_t> candidates(data.num_features());
+  std::iota(candidates.begin(), candidates.end(), size_t{0});
+  if (options_.features_per_split > 0 &&
+      options_.features_per_split < candidates.size()) {
+    rng_.Shuffle(candidates);
+    candidates.resize(options_.features_per_split);
+  }
+
+  double best_gain = 1e-12;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  std::vector<std::pair<double, double>> sorted_values;  // (feature value, target).
+  for (const size_t feature : candidates) {
+    sorted_values.clear();
+    sorted_values.reserve(rows.size());
+    for (const size_t row : rows) {
+      sorted_values.emplace_back(data.Feature(row, feature), data.Target(row));
+    }
+    std::sort(sorted_values.begin(), sorted_values.end());
+    // Incremental SSE sweep: SSE = sq - n*mean².
+    double left_sum = 0.0;
+    double left_sq = 0.0;
+    for (size_t i = 0; i + 1 < sorted_values.size(); ++i) {
+      left_sum += sorted_values[i].second;
+      left_sq += sorted_values[i].second * sorted_values[i].second;
+      if (sorted_values[i].first == sorted_values[i + 1].first) {
+        continue;
+      }
+      const double n_left = static_cast<double>(i + 1);
+      const double n_right = n_total - n_left;
+      if (n_left < static_cast<double>(options_.min_samples_leaf) ||
+          n_right < static_cast<double>(options_.min_samples_leaf)) {
+        continue;
+      }
+      const double right_sum = sum - left_sum;
+      const double right_sq = sq - left_sq;
+      const double sse_left = left_sq - left_sum * left_sum / n_left;
+      const double sse_right = right_sq - right_sum * right_sum / n_right;
+      const double gain = sse_parent - sse_left - sse_right;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(feature);
+        best_threshold = 0.5 * (sorted_values[i].first + sorted_values[i + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) {
+    return index;
+  }
+  importance_[static_cast<size_t>(best_feature)] += best_gain;
+  std::vector<size_t> left_rows;
+  std::vector<size_t> right_rows;
+  for (const size_t row : rows) {
+    if (data.Feature(row, static_cast<size_t>(best_feature)) <= best_threshold) {
+      left_rows.push_back(row);
+    } else {
+      right_rows.push_back(row);
+    }
+  }
+  rows.clear();
+  rows.shrink_to_fit();
+  const int left = Build(data, left_rows, depth + 1);
+  const int right = Build(data, right_rows, depth + 1);
+  Node& node = nodes_[static_cast<size_t>(index)];
+  node.leaf = false;
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  return index;
+}
+
+double DecisionTreeRegressor::Predict(std::span<const double> x) const {
+  if (nodes_.empty()) {
+    return 0.0;
+  }
+  int index = 0;
+  while (!nodes_[static_cast<size_t>(index)].leaf) {
+    const Node& node = nodes_[static_cast<size_t>(index)];
+    const double value =
+        static_cast<size_t>(node.feature) < x.size() ? x[static_cast<size_t>(node.feature)]
+                                                     : 0.0;
+    index = value <= node.threshold ? node.left : node.right;
+  }
+  return nodes_[static_cast<size_t>(index)].value;
+}
+
+std::vector<std::pair<std::string, double>> DecisionTreeRegressor::FeatureImportance()
+    const {
+  std::vector<std::pair<std::string, double>> out;
+  for (size_t j = 0; j < feature_names_.size(); ++j) {
+    out.emplace_back(feature_names_[j], importance_[j]);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+void RandomForestRegressor::Train(const Dataset& data) {
+  trees_.clear();
+  support::Rng rng(options_.seed);
+  TreeOptions tree_options = options_.tree;
+  if (tree_options.features_per_split == 0) {
+    // Regression forests conventionally use d/3 features per split.
+    tree_options.features_per_split =
+        std::max<size_t>(1, data.num_features() / 3);
+  }
+  for (int t = 0; t < options_.num_trees; ++t) {
+    std::vector<size_t> sample(data.num_rows());
+    for (auto& row : sample) {
+      row = static_cast<size_t>(rng.NextBelow(data.num_rows()));
+    }
+    const Dataset bagged = data.Subset(sample);
+    auto tree = std::make_unique<DecisionTreeRegressor>(tree_options, rng.NextU64());
+    tree->Train(bagged);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double RandomForestRegressor::Predict(std::span<const double> x) const {
+  if (trees_.empty()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (const auto& tree : trees_) {
+    total += tree->Predict(x);
+  }
+  return total / static_cast<double>(trees_.size());
+}
+
+std::vector<std::pair<std::string, double>> RandomForestRegressor::FeatureImportance()
+    const {
+  std::map<std::string, double> merged;
+  for (const auto& tree : trees_) {
+    for (const auto& [name, value] : tree->FeatureImportance()) {
+      merged[name] += value;
+    }
+  }
+  std::vector<std::pair<std::string, double>> out(merged.begin(), merged.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+void KnnClassifier::Train(const Dataset& data) { train_ = data; }
+
+std::vector<double> KnnClassifier::PredictProba(std::span<const double> x) const {
+  std::vector<double> proba(train_.num_classes(), 0.0);
+  if (train_.num_rows() == 0) {
+    return proba;
+  }
+  std::vector<std::pair<double, int>> distances;  // (distance², class).
+  distances.reserve(train_.num_rows());
+  for (size_t i = 0; i < train_.num_rows(); ++i) {
+    const auto row = train_.Row(i);
+    double d2 = 0.0;
+    const size_t n = std::min(row.size(), x.size());
+    for (size_t j = 0; j < n; ++j) {
+      const double d = row[j] - x[j];
+      d2 += d * d;
+    }
+    distances.emplace_back(d2, train_.ClassIndex(i));
+  }
+  const size_t k = std::min(static_cast<size_t>(k_), distances.size());
+  std::partial_sort(distances.begin(), distances.begin() + static_cast<long>(k),
+                    distances.end());
+  for (size_t i = 0; i < k; ++i) {
+    proba[static_cast<size_t>(distances[i].second)] += 1.0;
+  }
+  for (double& p : proba) {
+    p /= static_cast<double>(k);
+  }
+  return proba;
+}
+
+}  // namespace ml

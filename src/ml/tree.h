@@ -1,0 +1,139 @@
+// CART decision tree (binary splits on numeric features, Gini impurity) and
+// a bagged random forest with per-split feature subsampling.
+#ifndef SRC_ML_TREE_H_
+#define SRC_ML_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/ml/classifier.h"
+#include "src/support/rng.h"
+
+namespace ml {
+
+struct TreeOptions {
+  int max_depth = 12;
+  size_t min_samples_leaf = 2;
+  // 0 = consider all features at each split; otherwise sample this many.
+  size_t features_per_split = 0;
+};
+
+class DecisionTreeClassifier : public Classifier {
+ public:
+  explicit DecisionTreeClassifier(TreeOptions options = {}, uint64_t seed = 1)
+      : options_(options), rng_(seed) {}
+
+  void Train(const Dataset& data) override;
+  std::vector<double> PredictProba(std::span<const double> x) const override;
+  std::string Name() const override { return "decision-tree"; }
+  std::vector<std::pair<std::string, double>> FeatureImportance() const override;
+
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  int depth() const;
+
+ private:
+  struct Node {
+    bool leaf = true;
+    int feature = -1;
+    double threshold = 0.0;       // Goes left when x[feature] <= threshold.
+    int left = -1;
+    int right = -1;
+    std::vector<double> proba;    // Leaf class distribution.
+    int depth = 0;
+  };
+
+  int Build(const Dataset& data, std::vector<size_t>& rows, int depth);
+  static std::vector<double> Distribution(const Dataset& data,
+                                          const std::vector<size_t>& rows);
+  static double Gini(const std::vector<double>& distribution);
+
+  TreeOptions options_;
+  support::Rng rng_;
+  std::vector<Node> nodes_;
+  std::vector<std::string> feature_names_;
+  std::vector<double> importance_;  // Gini decrease per feature.
+};
+
+struct ForestOptions {
+  int num_trees = 32;
+  TreeOptions tree;
+  uint64_t seed = 1;
+};
+
+class RandomForestClassifier : public Classifier {
+ public:
+  explicit RandomForestClassifier(ForestOptions options = {}) : options_(options) {}
+
+  void Train(const Dataset& data) override;
+  std::vector<double> PredictProba(std::span<const double> x) const override;
+  std::string Name() const override { return "random-forest"; }
+  std::vector<std::pair<std::string, double>> FeatureImportance() const override;
+
+ private:
+  ForestOptions options_;
+  std::vector<std::unique_ptr<DecisionTreeClassifier>> trees_;
+  size_t num_classes_ = 0;
+};
+
+// CART regression tree: binary splits minimising within-node variance.
+class DecisionTreeRegressor : public Regressor {
+ public:
+  explicit DecisionTreeRegressor(TreeOptions options = {}, uint64_t seed = 1)
+      : options_(options), rng_(seed) {}
+
+  void Train(const Dataset& data) override;
+  double Predict(std::span<const double> x) const override;
+  std::string Name() const override { return "tree-regressor"; }
+  std::vector<std::pair<std::string, double>> FeatureImportance() const override;
+
+ private:
+  struct Node {
+    bool leaf = true;
+    int feature = -1;
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    double value = 0.0;  // Leaf mean.
+  };
+
+  int Build(const Dataset& data, std::vector<size_t>& rows, int depth);
+
+  TreeOptions options_;
+  support::Rng rng_;
+  std::vector<Node> nodes_;
+  std::vector<std::string> feature_names_;
+  std::vector<double> importance_;
+};
+
+// Bagged regression forest.
+class RandomForestRegressor : public Regressor {
+ public:
+  explicit RandomForestRegressor(ForestOptions options = {}) : options_(options) {}
+
+  void Train(const Dataset& data) override;
+  double Predict(std::span<const double> x) const override;
+  std::string Name() const override { return "forest-regressor"; }
+  std::vector<std::pair<std::string, double>> FeatureImportance() const override;
+
+ private:
+  ForestOptions options_;
+  std::vector<std::unique_ptr<DecisionTreeRegressor>> trees_;
+};
+
+// k-nearest-neighbours on Euclidean distance (inputs should be standardised).
+class KnnClassifier : public Classifier {
+ public:
+  explicit KnnClassifier(int k = 5) : k_(k) {}
+
+  void Train(const Dataset& data) override;
+  std::vector<double> PredictProba(std::span<const double> x) const override;
+  std::string Name() const override { return "knn"; }
+
+ private:
+  int k_;
+  Dataset train_ = Dataset::ForClassification({}, {"0", "1"});
+};
+
+}  // namespace ml
+
+#endif  // SRC_ML_TREE_H_

@@ -1,0 +1,237 @@
+#include "src/report/render.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/support/strings.h"
+
+namespace report {
+namespace {
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+
+  void Extend(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  bool valid() const { return lo <= hi; }
+};
+
+std::string FormatTick(double value, bool log_scale) {
+  const double shown = log_scale ? std::pow(10.0, value) : value;
+  if (std::fabs(shown) >= 10000 || (std::fabs(shown) < 0.01 && shown != 0.0)) {
+    return support::Format("%.1e", shown);
+  }
+  if (shown == std::floor(shown)) {
+    return support::Format("%.0f", shown);
+  }
+  return support::Format("%.2f", shown);
+}
+
+}  // namespace
+
+std::string RenderScatter(const std::vector<Series>& series, const ScatterOptions& options) {
+  Range rx;
+  Range ry;
+  struct Point {
+    double x;
+    double y;
+    char glyph;
+  };
+  std::vector<Point> points;
+  for (const auto& s : series) {
+    const size_t n = std::min(s.xs.size(), s.ys.size());
+    for (size_t i = 0; i < n; ++i) {
+      double x = s.xs[i];
+      double y = s.ys[i];
+      if (options.log_x) {
+        if (x <= 0.0) {
+          continue;
+        }
+        x = std::log10(x);
+      }
+      if (options.log_y) {
+        if (y <= 0.0) {
+          continue;
+        }
+        y = std::log10(y);
+      }
+      rx.Extend(x);
+      ry.Extend(y);
+      points.push_back({x, y, s.glyph});
+    }
+  }
+  std::string out;
+  if (!options.title.empty()) {
+    out += options.title + "\n";
+  }
+  if (!rx.valid() || !ry.valid()) {
+    return out + "(no data)\n";
+  }
+  if (rx.hi - rx.lo < 1e-12) {
+    rx.hi = rx.lo + 1.0;
+  }
+  if (ry.hi - ry.lo < 1e-12) {
+    ry.hi = ry.lo + 1.0;
+  }
+  const int w = options.width;
+  const int h = options.height;
+  std::vector<std::string> grid(static_cast<size_t>(h), std::string(static_cast<size_t>(w),
+                                                                    ' '));
+  for (const auto& p : points) {
+    const int col = static_cast<int>((p.x - rx.lo) / (rx.hi - rx.lo) * (w - 1) + 0.5);
+    const int row = static_cast<int>((p.y - ry.lo) / (ry.hi - ry.lo) * (h - 1) + 0.5);
+    const int r = h - 1 - row;
+    if (r >= 0 && r < h && col >= 0 && col < w) {
+      grid[static_cast<size_t>(r)][static_cast<size_t>(col)] = p.glyph;
+    }
+  }
+  // Y-axis labels on the left (top, middle, bottom ticks).
+  const std::string y_top = FormatTick(ry.hi, options.log_y);
+  const std::string y_mid = FormatTick((ry.hi + ry.lo) / 2.0, options.log_y);
+  const std::string y_bot = FormatTick(ry.lo, options.log_y);
+  size_t label_width = std::max({y_top.size(), y_mid.size(), y_bot.size()});
+  for (int r = 0; r < h; ++r) {
+    std::string label(label_width, ' ');
+    if (r == 0) {
+      label = y_top;
+    } else if (r == h / 2) {
+      label = y_mid;
+    } else if (r == h - 1) {
+      label = y_bot;
+    }
+    label.resize(label_width, ' ');
+    out += label + " |" + grid[static_cast<size_t>(r)] + "\n";
+  }
+  out += std::string(label_width, ' ') + " +" + std::string(static_cast<size_t>(w), '-') +
+         "\n";
+  const std::string x_lo = FormatTick(rx.lo, options.log_x);
+  const std::string x_hi = FormatTick(rx.hi, options.log_x);
+  std::string x_axis = std::string(label_width, ' ') + "  " + x_lo;
+  const std::string x_line_end = x_hi;
+  const size_t target = label_width + 2 + static_cast<size_t>(w) - x_line_end.size();
+  if (x_axis.size() < target) {
+    x_axis += std::string(target - x_axis.size(), ' ');
+  }
+  x_axis += x_line_end;
+  out += x_axis + "\n";
+  if (!options.x_label.empty()) {
+    out += std::string(label_width, ' ') + "  [x: " + options.x_label +
+           (options.log_x ? ", log scale" : "") + "]\n";
+  }
+  if (!options.y_label.empty()) {
+    out += std::string(label_width, ' ') + "  [y: " + options.y_label +
+           (options.log_y ? ", log scale" : "") + "]\n";
+  }
+  // Legend.
+  for (const auto& s : series) {
+    out += support::Format("%*s  %c = %s\n", static_cast<int>(label_width), "", s.glyph,
+                           s.label.c_str());
+  }
+  return out;
+}
+
+std::string RenderBars(const std::vector<Bar>& bars, int width, const std::string& title) {
+  std::string out;
+  if (!title.empty()) {
+    out += title + "\n";
+  }
+  double max_value = 0.0;
+  size_t label_width = 0;
+  for (const auto& bar : bars) {
+    max_value = std::max(max_value, bar.value);
+    label_width = std::max(label_width, bar.label.size());
+  }
+  if (max_value <= 0.0) {
+    max_value = 1.0;
+  }
+  for (const auto& bar : bars) {
+    const int len = static_cast<int>(bar.value / max_value * width + 0.5);
+    std::string label = bar.label;
+    label.resize(label_width, ' ');
+    out += support::Format("%s |%s %.0f\n", label.c_str(),
+                           std::string(static_cast<size_t>(len), '#').c_str(), bar.value);
+  }
+  return out;
+}
+
+std::string RenderTable(const std::vector<std::string>& header,
+                        const std::vector<std::vector<std::string>>& rows) {
+  std::vector<size_t> widths(header.size());
+  for (size_t c = 0; c < header.size(); ++c) {
+    widths[c] = header[c].size();
+  }
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c >= widths.size()) {
+        widths.push_back(row[c].size());
+      } else {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+  }
+  auto render_row = [&widths](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      std::string cell = c < cells.size() ? cells[c] : "";
+      cell.resize(widths[c], ' ');
+      line += cell;
+      if (c + 1 < widths.size()) {
+        line += "  ";
+      }
+    }
+    return line + "\n";
+  };
+  std::string out = render_row(header);
+  size_t total = 0;
+  for (const size_t w : widths) {
+    total += w;
+  }
+  total += 2 * (widths.empty() ? 0 : widths.size() - 1);
+  out += std::string(total, '-') + "\n";
+  for (const auto& row : rows) {
+    out += render_row(row);
+  }
+  return out;
+}
+
+std::string ToCsv(const std::vector<std::string>& header,
+                  const std::vector<std::vector<std::string>>& rows) {
+  auto quote = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) {
+      return cell;
+    }
+    std::string quoted = "\"";
+    for (const char c : cell) {
+      if (c == '"') {
+        quoted += "\"\"";
+      } else {
+        quoted += c;
+      }
+    }
+    return quoted + "\"";
+  };
+  std::string out;
+  for (size_t c = 0; c < header.size(); ++c) {
+    if (c > 0) {
+      out += ',';
+    }
+    out += quote(header[c]);
+  }
+  out += '\n';
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) {
+        out += ',';
+      }
+      out += quote(row[c]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace report

@@ -1,0 +1,50 @@
+// Terminal rendering of the paper's figures: log-log scatter plots with
+// multiple series, aligned tables, histograms, and CSV emission.
+#ifndef SRC_REPORT_RENDER_H_
+#define SRC_REPORT_RENDER_H_
+
+#include <string>
+#include <vector>
+
+namespace report {
+
+struct Series {
+  std::string label;
+  char glyph = '*';
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+struct ScatterOptions {
+  int width = 72;      // Plot area columns.
+  int height = 24;     // Plot area rows.
+  bool log_x = false;
+  bool log_y = false;
+  std::string x_label;
+  std::string y_label;
+  std::string title;
+};
+
+// Renders a multi-series scatter plot with axis tick labels. Non-positive
+// points are dropped on log axes.
+std::string RenderScatter(const std::vector<Series>& series, const ScatterOptions& options);
+
+// Renders a horizontal bar chart (used for Figure 1's per-venue counts).
+struct Bar {
+  std::string label;
+  double value = 0.0;
+};
+std::string RenderBars(const std::vector<Bar>& bars, int width = 60,
+                       const std::string& title = "");
+
+// Aligned monospace table; `rows[i].size()` may differ, short rows pad.
+std::string RenderTable(const std::vector<std::string>& header,
+                        const std::vector<std::vector<std::string>>& rows);
+
+// CSV with proper quoting.
+std::string ToCsv(const std::vector<std::string>& header,
+                  const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace report
+
+#endif  // SRC_REPORT_RENDER_H_

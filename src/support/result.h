@@ -1,0 +1,118 @@
+// Lightweight error-or-value type used across the library in place of exceptions.
+//
+// The library follows the os-systems convention of surfacing recoverable
+// failures as values: parsers, file loaders, and solvers return
+// support::Result<T>, and callers either handle the error or propagate it.
+#ifndef SRC_SUPPORT_RESULT_H_
+#define SRC_SUPPORT_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace support {
+
+// A failure description: machine-readable code plus a human-readable message.
+class Error {
+ public:
+  enum class Code {
+    kInvalidArgument,
+    kParseError,
+    kNotFound,
+    kOutOfRange,
+    kFailedPrecondition,
+    kResourceExhausted,
+    kInternal,
+  };
+
+  Error(Code code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  static const char* CodeName(Code code) {
+    switch (code) {
+      case Code::kInvalidArgument:
+        return "invalid_argument";
+      case Code::kParseError:
+        return "parse_error";
+      case Code::kNotFound:
+        return "not_found";
+      case Code::kOutOfRange:
+        return "out_of_range";
+      case Code::kFailedPrecondition:
+        return "failed_precondition";
+      case Code::kResourceExhausted:
+        return "resource_exhausted";
+      case Code::kInternal:
+        return "internal";
+    }
+    return "unknown";
+  }
+
+  std::string ToString() const { return std::string(CodeName(code_)) + ": " + message_; }
+
+ private:
+  Code code_;
+  std::string message_;
+};
+
+// Result<T> holds either a value or an Error. Accessing the wrong arm asserts
+// in debug builds; callers are expected to check ok() first.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return Error{...};` both work.
+  Result(T value) : inner_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : inner_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(inner_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(inner_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(inner_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(inner_));
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(inner_);
+  }
+
+  // Returns the value, or `fallback` if this result is an error.
+  T value_or(T fallback) const& { return ok() ? std::get<T>(inner_) : std::move(fallback); }
+
+ private:
+  std::variant<T, Error> inner_;
+};
+
+// A Result carrying no payload: success or an Error.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return !error_.has_value(); }
+  const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace support
+
+#endif  // SRC_SUPPORT_RESULT_H_

@@ -1,0 +1,163 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the library (corpus generation, bagging,
+// cross-validation shuffles, sampling model counters) draws from these
+// generators with an explicit seed, so all experiments are bit-reproducible
+// across runs and platforms. std::mt19937 and std::rand are deliberately not
+// used: libstdc++ distribution implementations are not portable.
+#ifndef SRC_SUPPORT_RNG_H_
+#define SRC_SUPPORT_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace support {
+
+// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// Xoshiro256** — the workhorse generator.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) {
+      s = sm.Next();
+    }
+  }
+
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). Uses rejection to avoid modulo bias.
+  uint64_t NextBelow(uint64_t bound) {
+    if (bound <= 1) {
+      return 0;
+    }
+    const uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      uint64_t r = NextU64();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(NextU64() >> 11) * 0x1.0p-53; }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  bool NextBool(double p_true = 0.5) { return NextDouble() < p_true; }
+
+  // Standard normal via Box–Muller (no cached spare: keeps state minimal and
+  // replay exact regardless of call interleaving).
+  double Normal() {
+    double u1 = NextDouble();
+    while (u1 <= 1e-300) {
+      u1 = NextDouble();
+    }
+    const double u2 = NextDouble();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * 3.14159265358979323846 * u2);
+  }
+
+  double Normal(double mean, double stddev) { return mean + stddev * Normal(); }
+
+  // Log-normal: exp(N(mu, sigma)).
+  double LogNormal(double mu, double sigma) { return std::exp(Normal(mu, sigma)); }
+
+  double Exponential(double rate) {
+    double u = NextDouble();
+    while (u <= 1e-300) {
+      u = NextDouble();
+    }
+    return -std::log(u) / rate;
+  }
+
+  // Poisson via inversion for small means, normal approximation for large.
+  uint64_t Poisson(double mean) {
+    if (mean <= 0.0) {
+      return 0;
+    }
+    if (mean < 30.0) {
+      const double limit = std::exp(-mean);
+      double product = NextDouble();
+      uint64_t count = 0;
+      while (product > limit) {
+        product *= NextDouble();
+        ++count;
+      }
+      return count;
+    }
+    const double draw = Normal(mean, std::sqrt(mean));
+    return draw < 0.0 ? 0 : static_cast<uint64_t>(draw + 0.5);
+  }
+
+  // Samples an index proportionally to `weights` (need not be normalised).
+  size_t Categorical(std::span<const double> weights) {
+    double total = 0.0;
+    for (double w : weights) {
+      total += w > 0.0 ? w : 0.0;
+    }
+    if (total <= 0.0) {
+      return 0;
+    }
+    double target = NextDouble() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+      if (target < w) {
+        return i;
+      }
+      target -= w;
+    }
+    return weights.size() - 1;
+  }
+
+  // Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(NextBelow(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  // Derives an independent child generator; used to give each corpus
+  // application its own stream so generation order never matters.
+  Rng Fork() { return Rng(NextU64() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace support
+
+#endif  // SRC_SUPPORT_RNG_H_

@@ -1,0 +1,167 @@
+#include "src/support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace support {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Mean(std::span<const double> xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+}
+
+double Variance(std::span<const double> xs) {
+  RunningStats rs;
+  for (double x : xs) {
+    rs.Add(x);
+  }
+  return rs.variance();
+}
+
+double StdDev(std::span<const double> xs) { return std::sqrt(Variance(xs)); }
+
+double PearsonCorrelation(std::span<const double> xs, std::span<const double> ys) {
+  const size_t n = std::min(xs.size(), ys.size());
+  if (n < 2) {
+    return 0.0;
+  }
+  const double mx = Mean(xs.subspan(0, n));
+  const double my = Mean(ys.subspan(0, n));
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) {
+    return 0.0;
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> AverageRanks(std::span<const double> xs) {
+  const size_t n = xs.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) {
+      ++j;
+    }
+    // Tie group [i, j]: all get the average 1-based rank.
+    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) {
+      ranks[order[k]] = avg_rank;
+    }
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double SpearmanCorrelation(std::span<const double> xs, std::span<const double> ys) {
+  const size_t n = std::min(xs.size(), ys.size());
+  if (n < 2) {
+    return 0.0;
+  }
+  const auto rx = AverageRanks(xs.subspan(0, n));
+  const auto ry = AverageRanks(ys.subspan(0, n));
+  return PearsonCorrelation(rx, ry);
+}
+
+double Quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Median(std::span<const double> xs) { return Quantile(xs, 0.5); }
+
+LinearFit FitLine(std::span<const double> xs, std::span<const double> ys) {
+  LinearFit fit;
+  const size_t n = std::min(xs.size(), ys.size());
+  fit.n = n;
+  if (n < 2) {
+    return fit;
+  }
+  const double mx = Mean(xs.subspan(0, n));
+  const double my = Mean(ys.subspan(0, n));
+  double sxy = 0.0;
+  double sxx = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+  }
+  if (sxx <= 0.0) {
+    fit.intercept = my;
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double pred = fit.intercept + fit.slope * xs[i];
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+    ss_tot += (ys[i] - my) * (ys[i] - my);
+  }
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 0.0;
+  return fit;
+}
+
+LinearFit FitLogLog(std::span<const double> xs, std::span<const double> ys) {
+  std::vector<double> lx;
+  std::vector<double> ly;
+  const size_t n = std::min(xs.size(), ys.size());
+  lx.reserve(n);
+  ly.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (xs[i] > 0.0 && ys[i] > 0.0) {
+      lx.push_back(std::log10(xs[i]));
+      ly.push_back(std::log10(ys[i]));
+    }
+  }
+  return FitLine(lx, ly);
+}
+
+}  // namespace support

@@ -1,0 +1,69 @@
+// Descriptive statistics and simple regression used throughout the
+// evaluation pipeline (Figure 2/3 trend lines, model metrics, corpus
+// calibration checks).
+#ifndef SRC_SUPPORT_STATS_H_
+#define SRC_SUPPORT_STATS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace support {
+
+// Streaming mean/variance (Welford). Numerically stable; O(1) per sample.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+double Mean(std::span<const double> xs);
+double Variance(std::span<const double> xs);  // Sample variance.
+double StdDev(std::span<const double> xs);
+
+// Pearson product-moment correlation; 0 if either side is constant.
+double PearsonCorrelation(std::span<const double> xs, std::span<const double> ys);
+
+// Spearman rank correlation (average ranks for ties).
+double SpearmanCorrelation(std::span<const double> xs, std::span<const double> ys);
+
+// q in [0,1]; linear interpolation between order statistics.
+double Quantile(std::span<const double> xs, double q);
+double Median(std::span<const double> xs);
+
+// Ordinary least squares y = intercept + slope * x.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;  // Coefficient of determination.
+  size_t n = 0;
+};
+
+LinearFit FitLine(std::span<const double> xs, std::span<const double> ys);
+
+// Fits in log10–log10 space, dropping non-positive points (the paper's
+// Figure 2 bucket-by-order-of-magnitude regression).
+LinearFit FitLogLog(std::span<const double> xs, std::span<const double> ys);
+
+// Ranks with ties averaged; helper exposed for tests.
+std::vector<double> AverageRanks(std::span<const double> xs);
+
+}  // namespace support
+
+#endif  // SRC_SUPPORT_STATS_H_

@@ -1,0 +1,139 @@
+#include "src/support/strings.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace support {
+
+std::vector<std::string> Split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      out.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view text) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    const size_t start = i;
+    while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    if (i > start) {
+      out.emplace_back(text.substr(start, i - start));
+    }
+  }
+  return out;
+}
+
+std::string_view TrimLeft(std::string_view text) {
+  size_t i = 0;
+  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) {
+    ++i;
+  }
+  return text.substr(i);
+}
+
+std::string_view TrimRight(std::string_view text) {
+  size_t n = text.size();
+  while (n > 0 && std::isspace(static_cast<unsigned char>(text[n - 1]))) {
+    --n;
+  }
+  return text.substr(0, n);
+}
+
+std::string_view Trim(std::string_view text) { return TrimRight(TrimLeft(text)); }
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) {
+      out += sep;
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string ToUpper(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() && text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::optional<long long> ParseInt(std::string_view text) {
+  const std::string buf(Trim(text));
+  if (buf.empty()) {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::optional<double> ParseDouble(std::string_view text) {
+  const std::string buf(Trim(text));
+  if (buf.empty()) {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::string Format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    return {};
+  }
+  std::string out(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace support

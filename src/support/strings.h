@@ -1,0 +1,39 @@
+// Small string utilities shared by the parsers and serializers.
+#ifndef SRC_SUPPORT_STRINGS_H_
+#define SRC_SUPPORT_STRINGS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace support {
+
+// Splits on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view text, char sep);
+
+// Splits on any whitespace run, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+std::string_view TrimLeft(std::string_view text);
+std::string_view TrimRight(std::string_view text);
+std::string_view Trim(std::string_view text);
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+std::string ToLower(std::string_view text);
+std::string ToUpper(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// Strict integer / double parsing; std::nullopt on any trailing garbage.
+std::optional<long long> ParseInt(std::string_view text);
+std::optional<double> ParseDouble(std::string_view text);
+
+// printf-style formatting into a std::string.
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace support
+
+#endif  // SRC_SUPPORT_STRINGS_H_

@@ -1,0 +1,341 @@
+#include "src/symexec/bitblast.h"
+
+#include <cassert>
+
+namespace symx {
+
+BitBlaster::BitBlaster(const ExprPool& pool, SatSolver& solver)
+    : pool_(pool), solver_(solver) {}
+
+Lit BitBlaster::TrueLit() {
+  if (true_lit_ == -1) {
+    const Var v = solver_.NewVar();
+    true_lit_ = MakeLit(v, false);
+    solver_.AddUnit(true_lit_);
+  }
+  return true_lit_;
+}
+
+Lit BitBlaster::NewGate() { return MakeLit(solver_.NewVar(), false); }
+
+Lit BitBlaster::AndGate(Lit a, Lit b) {
+  if (a == FalseLit() || b == FalseLit()) {
+    return FalseLit();
+  }
+  if (a == TrueLit()) {
+    return b;
+  }
+  if (b == TrueLit()) {
+    return a;
+  }
+  if (a == b) {
+    return a;
+  }
+  if (a == Negate(b)) {
+    return FalseLit();
+  }
+  const Lit out = NewGate();
+  solver_.AddBinary(Negate(out), a);
+  solver_.AddBinary(Negate(out), b);
+  solver_.AddTernary(out, Negate(a), Negate(b));
+  return out;
+}
+
+Lit BitBlaster::OrGate(Lit a, Lit b) { return Negate(AndGate(Negate(a), Negate(b))); }
+
+Lit BitBlaster::XorGate(Lit a, Lit b) {
+  if (a == FalseLit()) {
+    return b;
+  }
+  if (b == FalseLit()) {
+    return a;
+  }
+  if (a == TrueLit()) {
+    return Negate(b);
+  }
+  if (b == TrueLit()) {
+    return Negate(a);
+  }
+  if (a == b) {
+    return FalseLit();
+  }
+  if (a == Negate(b)) {
+    return TrueLit();
+  }
+  const Lit out = NewGate();
+  solver_.AddTernary(Negate(out), a, b);
+  solver_.AddTernary(Negate(out), Negate(a), Negate(b));
+  solver_.AddTernary(out, Negate(a), b);
+  solver_.AddTernary(out, a, Negate(b));
+  return out;
+}
+
+Lit BitBlaster::MuxGate(Lit sel, Lit a, Lit b) {
+  if (sel == TrueLit()) {
+    return a;
+  }
+  if (sel == FalseLit()) {
+    return b;
+  }
+  if (a == b) {
+    return a;
+  }
+  return OrGate(AndGate(sel, a), AndGate(Negate(sel), b));
+}
+
+std::vector<Lit> BitBlaster::Adder(const std::vector<Lit>& a, const std::vector<Lit>& b,
+                                   Lit carry_in) {
+  const size_t w = a.size();
+  std::vector<Lit> sum(w);
+  Lit carry = carry_in;
+  for (size_t i = 0; i < w; ++i) {
+    const Lit axb = XorGate(a[i], b[i]);
+    sum[i] = XorGate(axb, carry);
+    // carry' = (a & b) | (carry & (a ^ b)).
+    carry = OrGate(AndGate(a[i], b[i]), AndGate(carry, axb));
+  }
+  return sum;
+}
+
+std::vector<Lit> BitBlaster::Negated(const std::vector<Lit>& a) {
+  std::vector<Lit> inverted(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    inverted[i] = Negate(a[i]);
+  }
+  std::vector<Lit> zero(a.size(), FalseLit());
+  return Adder(inverted, zero, TrueLit());  // ~a + 1.
+}
+
+Lit BitBlaster::EqualBits(const std::vector<Lit>& a, const std::vector<Lit>& b) {
+  Lit all = TrueLit();
+  for (size_t i = 0; i < a.size(); ++i) {
+    all = AndGate(all, Negate(XorGate(a[i], b[i])));
+  }
+  return all;
+}
+
+Lit BitBlaster::SignedLess(const std::vector<Lit>& a, const std::vector<Lit>& b,
+                           bool or_equal) {
+  // a < b  <=>  (a - b) produces "negative" considering overflow:
+  // less = (sign_a & ~sign_b) | ((sign_a == sign_b) & sign_diff).
+  const size_t w = a.size();
+  const std::vector<Lit> diff = Adder(a, Negated(b), FalseLit());
+  const Lit sign_a = a[w - 1];
+  const Lit sign_b = b[w - 1];
+  const Lit sign_d = diff[w - 1];
+  const Lit same_sign = Negate(XorGate(sign_a, sign_b));
+  const Lit less =
+      OrGate(AndGate(sign_a, Negate(sign_b)), AndGate(same_sign, sign_d));
+  if (!or_equal) {
+    return less;
+  }
+  return OrGate(less, EqualBits(a, b));
+}
+
+Lit BitBlaster::NonZero(const std::vector<Lit>& a) {
+  Lit any = FalseLit();
+  for (const Lit bit : a) {
+    any = OrGate(any, bit);
+  }
+  return any;
+}
+
+std::vector<Lit> BitBlaster::BoolToVec(Lit bit) {
+  std::vector<Lit> out(static_cast<size_t>(pool_.width()), FalseLit());
+  out[0] = bit;
+  return out;
+}
+
+const std::vector<Var>& BitBlaster::VarBits(int var_id) {
+  auto it = var_bits_.find(var_id);
+  if (it == var_bits_.end()) {
+    std::vector<Var> bits(static_cast<size_t>(pool_.width()));
+    for (auto& bit : bits) {
+      bit = solver_.NewVar();
+    }
+    it = var_bits_.emplace(var_id, std::move(bits)).first;
+  }
+  return it->second;
+}
+
+int64_t BitBlaster::ModelValueOf(int var_id) {
+  const auto& bits = VarBits(var_id);
+  uint64_t value = 0;
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (solver_.ModelValue(bits[i])) {
+      value |= 1ULL << i;
+    }
+  }
+  return pool_.SignExtend(value);
+}
+
+const std::vector<Lit>& BitBlaster::Encode(ExprRef ref) {
+  const auto cached = cache_.find(ref);
+  if (cached != cache_.end()) {
+    return cached->second;
+  }
+  const ExprNode& node = pool_.node(ref);
+  const size_t w = static_cast<size_t>(pool_.width());
+  std::vector<Lit> out;
+  switch (node.op) {
+    case ExprOp::kConst: {
+      out.resize(w);
+      const uint64_t value = static_cast<uint64_t>(node.imm);
+      for (size_t i = 0; i < w; ++i) {
+        out[i] = (value >> i) & 1 ? TrueLit() : FalseLit();
+      }
+      break;
+    }
+    case ExprOp::kVar: {
+      const auto& bits = VarBits(node.var_id);
+      out.resize(w);
+      for (size_t i = 0; i < w; ++i) {
+        out[i] = MakeLit(bits[i], false);
+      }
+      break;
+    }
+    case ExprOp::kAdd:
+      out = Adder(Encode(node.a), Encode(node.b), FalseLit());
+      break;
+    case ExprOp::kSub: {
+      const std::vector<Lit> a = Encode(node.a);
+      const std::vector<Lit> b = Encode(node.b);
+      std::vector<Lit> inverted(b.size());
+      for (size_t i = 0; i < b.size(); ++i) {
+        inverted[i] = Negate(b[i]);
+      }
+      out = Adder(a, inverted, TrueLit());
+      break;
+    }
+    case ExprOp::kMul: {
+      // Shift-and-add multiplier.
+      const std::vector<Lit> a = Encode(node.a);
+      const std::vector<Lit> b = Encode(node.b);
+      std::vector<Lit> acc(w, FalseLit());
+      for (size_t i = 0; i < w; ++i) {
+        // partial = (a << i) gated by b[i].
+        std::vector<Lit> partial(w, FalseLit());
+        for (size_t j = i; j < w; ++j) {
+          partial[j] = AndGate(a[j - i], b[i]);
+        }
+        acc = Adder(acc, partial, FalseLit());
+      }
+      out = acc;
+      break;
+    }
+    case ExprOp::kNeg:
+      out = Negated(Encode(node.a));
+      break;
+    case ExprOp::kNot: {
+      const std::vector<Lit> a = Encode(node.a);
+      out.resize(w);
+      for (size_t i = 0; i < w; ++i) {
+        out[i] = Negate(a[i]);
+      }
+      break;
+    }
+    case ExprOp::kAnd:
+    case ExprOp::kOr:
+    case ExprOp::kXor: {
+      const std::vector<Lit> a = Encode(node.a);
+      const std::vector<Lit> b = Encode(node.b);
+      out.resize(w);
+      for (size_t i = 0; i < w; ++i) {
+        out[i] = node.op == ExprOp::kAnd  ? AndGate(a[i], b[i])
+                 : node.op == ExprOp::kOr ? OrGate(a[i], b[i])
+                                          : XorGate(a[i], b[i]);
+      }
+      break;
+    }
+    case ExprOp::kShl:
+    case ExprOp::kShr: {
+      // Barrel shifter over log2(w) mux stages using the low shift bits.
+      const std::vector<Lit> a = Encode(node.a);
+      const std::vector<Lit> s = Encode(node.b);
+      std::vector<Lit> current = a;
+      size_t stages = 0;
+      while ((1ULL << stages) < w) {
+        ++stages;
+      }
+      for (size_t stage = 0; stage < stages; ++stage) {
+        const size_t amount = 1ULL << stage;
+        std::vector<Lit> shifted(w, FalseLit());
+        for (size_t i = 0; i < w; ++i) {
+          if (node.op == ExprOp::kShl) {
+            if (i >= amount) {
+              shifted[i] = current[i - amount];
+            }
+          } else {
+            if (i + amount < w) {
+              shifted[i] = current[i + amount];
+            }
+          }
+        }
+        std::vector<Lit> next(w);
+        for (size_t i = 0; i < w; ++i) {
+          next[i] = MuxGate(s[stage], shifted[i], current[i]);
+        }
+        current = std::move(next);
+      }
+      out = current;
+      break;
+    }
+    case ExprOp::kEq:
+      out = BoolToVec(EqualBits(Encode(node.a), Encode(node.b)));
+      break;
+    case ExprOp::kNe:
+      out = BoolToVec(Negate(EqualBits(Encode(node.a), Encode(node.b))));
+      break;
+    case ExprOp::kSlt:
+      out = BoolToVec(SignedLess(Encode(node.a), Encode(node.b), /*or_equal=*/false));
+      break;
+    case ExprOp::kSle:
+      out = BoolToVec(SignedLess(Encode(node.a), Encode(node.b), /*or_equal=*/true));
+      break;
+    case ExprOp::kBoolNot:
+      out = BoolToVec(Negate(NonZero(Encode(node.a))));
+      break;
+    case ExprOp::kIte: {
+      const Lit sel = NonZero(Encode(node.a));
+      const std::vector<Lit> b = Encode(node.b);
+      const std::vector<Lit> c = Encode(node.c);
+      out.resize(w);
+      for (size_t i = 0; i < w; ++i) {
+        out[i] = MuxGate(sel, b[i], c[i]);
+      }
+      break;
+    }
+  }
+  assert(out.size() == w);
+  return cache_.emplace(ref, std::move(out)).first->second;
+}
+
+void BitBlaster::AssertTrue(ExprRef ref) {
+  const std::vector<Lit> bits = Encode(ref);
+  std::vector<Lit> clause;
+  clause.reserve(bits.size());
+  for (const Lit bit : bits) {
+    if (bit == TrueLit()) {
+      return;  // Trivially satisfied.
+    }
+    if (bit != FalseLit()) {
+      clause.push_back(bit);
+    }
+  }
+  solver_.AddClause(std::move(clause));  // Empty clause => UNSAT, as desired.
+}
+
+void BitBlaster::AssertFalse(ExprRef ref) {
+  const std::vector<Lit> bits = Encode(ref);
+  for (const Lit bit : bits) {
+    if (bit == TrueLit()) {
+      solver_.AddClause({});  // Unsatisfiable.
+      return;
+    }
+    if (bit != FalseLit()) {
+      solver_.AddUnit(Negate(bit));
+    }
+  }
+}
+
+}  // namespace symx

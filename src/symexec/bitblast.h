@@ -1,0 +1,65 @@
+// Tseitin bit-blasting of symbolic bitvector expressions into CNF.
+//
+// Each ExprRef encodes to a vector of W SAT literals (LSB first). Gate
+// clauses are emitted on demand and cached per ExprRef, so shared subterms
+// (the ExprPool hash-conses) cost one encoding.
+#ifndef SRC_SYMEXEC_BITBLAST_H_
+#define SRC_SYMEXEC_BITBLAST_H_
+
+#include <map>
+#include <vector>
+
+#include "src/symexec/expr.h"
+#include "src/symexec/sat.h"
+
+namespace symx {
+
+class BitBlaster {
+ public:
+  BitBlaster(const ExprPool& pool, SatSolver& solver);
+
+  // Returns the literal vector (width() lits, LSB first) for `ref`,
+  // emitting gate clauses into the solver as needed.
+  const std::vector<Lit>& Encode(ExprRef ref);
+
+  // Asserts that `ref` is truthy (at least one bit set).
+  void AssertTrue(ExprRef ref);
+  // Asserts that `ref` is zero.
+  void AssertFalse(ExprRef ref);
+
+  // The SAT variables backing symbolic variable `var_id` (allocated lazily
+  // when first encoded). Used for projected model counting.
+  const std::vector<Var>& VarBits(int var_id);
+
+  // Reads the W-bit value of symbolic variable `var_id` out of the solver's
+  // model (sign-extended). Must be called after a kSat result.
+  int64_t ModelValueOf(int var_id);
+
+ private:
+  Lit TrueLit();
+  Lit FalseLit() { return Negate(TrueLit()); }
+  Lit NewGate();
+  // out <-> a & b.
+  Lit AndGate(Lit a, Lit b);
+  Lit OrGate(Lit a, Lit b);
+  Lit XorGate(Lit a, Lit b);
+  // out <-> ite(sel, a, b).
+  Lit MuxGate(Lit sel, Lit a, Lit b);
+  std::vector<Lit> Adder(const std::vector<Lit>& a, const std::vector<Lit>& b, Lit carry_in);
+  std::vector<Lit> Negated(const std::vector<Lit>& a);
+  Lit EqualBits(const std::vector<Lit>& a, const std::vector<Lit>& b);
+  // Signed a < b.
+  Lit SignedLess(const std::vector<Lit>& a, const std::vector<Lit>& b, bool or_equal);
+  Lit NonZero(const std::vector<Lit>& a);
+  std::vector<Lit> BoolToVec(Lit bit);
+
+  const ExprPool& pool_;
+  SatSolver& solver_;
+  std::map<ExprRef, std::vector<Lit>> cache_;
+  std::map<int, std::vector<Var>> var_bits_;
+  Lit true_lit_ = -1;
+};
+
+}  // namespace symx
+
+#endif  // SRC_SYMEXEC_BITBLAST_H_

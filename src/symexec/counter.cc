@@ -1,0 +1,116 @@
+#include "src/symexec/counter.h"
+
+#include "src/symexec/bitblast.h"
+#include "src/symexec/sat.h"
+
+namespace symx {
+
+CountResult CountExact(const ExprPool& pool, std::span<const ExprRef> constraints,
+                       const std::vector<int>& projection, uint64_t cap,
+                       uint64_t solver_conflict_budget) {
+  CountResult result;
+  SatSolver solver;
+  BitBlaster blaster(pool, solver);
+  for (const ExprRef c : constraints) {
+    blaster.AssertTrue(c);
+  }
+  // Materialise projection bits up front so blocking clauses are well-formed
+  // even for variables the constraints never mention.
+  std::vector<Var> proj_bits;
+  for (const int var_id : projection) {
+    const auto& bits = blaster.VarBits(var_id);
+    proj_bits.insert(proj_bits.end(), bits.begin(), bits.end());
+  }
+  for (;;) {
+    ++result.sat_calls;
+    const SatResult sat = solver.Solve({}, solver_conflict_budget);
+    if (sat == SatResult::kUnknown) {
+      result.exact = false;
+      return result;
+    }
+    if (sat == SatResult::kUnsat) {
+      return result;
+    }
+    ++result.models;
+    if (result.models >= cap) {
+      // One more probe would tell us whether we stopped exactly at the last
+      // model; report inexact instead of paying for it.
+      result.exact = false;
+      return result;
+    }
+    if (proj_bits.empty()) {
+      // No projection variables: the count is 0 or 1.
+      return result;
+    }
+    // Block this projected assignment.
+    std::vector<Lit> blocking;
+    blocking.reserve(proj_bits.size());
+    for (const Var bit : proj_bits) {
+      blocking.push_back(MakeLit(bit, solver.ModelValue(bit)));
+    }
+    solver.AddClause(std::move(blocking));
+  }
+}
+
+bool IsSatisfiable(const ExprPool& pool, std::span<const ExprRef> constraints,
+                   uint64_t solver_conflict_budget, bool* budget_exceeded) {
+  if (budget_exceeded != nullptr) {
+    *budget_exceeded = false;
+  }
+  // Fast path: all-concrete constraints evaluate directly.
+  bool all_concrete = true;
+  for (const ExprRef c : constraints) {
+    const ExprNode& node = pool.node(c);
+    if (node.op == ExprOp::kConst) {
+      if (node.imm == 0) {
+        return false;
+      }
+    } else {
+      all_concrete = false;
+    }
+  }
+  if (all_concrete) {
+    return true;
+  }
+  SatSolver solver;
+  BitBlaster blaster(pool, solver);
+  for (const ExprRef c : constraints) {
+    blaster.AssertTrue(c);
+  }
+  const SatResult sat = solver.Solve({}, solver_conflict_budget);
+  if (sat == SatResult::kUnknown) {
+    if (budget_exceeded != nullptr) {
+      *budget_exceeded = true;
+    }
+    return true;  // Conservative: unknown counts as feasible.
+  }
+  return sat == SatResult::kSat;
+}
+
+double EstimateFraction(const ExprPool& pool, std::span<const ExprRef> constraints,
+                        support::Rng& rng, int trials) {
+  if (trials <= 0) {
+    return 0.0;
+  }
+  const int vars = pool.num_vars();
+  std::vector<int64_t> assignment(static_cast<size_t>(vars), 0);
+  int hits = 0;
+  for (int t = 0; t < trials; ++t) {
+    for (auto& value : assignment) {
+      value = pool.SignExtend(rng.NextU64());
+    }
+    bool all = true;
+    for (const ExprRef c : constraints) {
+      if (pool.Eval(c, assignment) == 0) {
+        all = false;
+        break;
+      }
+    }
+    if (all) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(trials);
+}
+
+}  // namespace symx

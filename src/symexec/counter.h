@@ -1,0 +1,49 @@
+// Model counting over path conditions (§4.1: "calculate the number of
+// different execution paths ... triggered by specific ranges of inputs").
+//
+// Two counters are provided:
+//   - CountExact: projected #SAT by model enumeration with blocking clauses.
+//     Exact up to `cap` models; intended for narrow bit-widths.
+//   - EstimateFraction: Monte-Carlo estimate of the fraction of the input
+//     space satisfying the constraints, by direct concrete evaluation (no
+//     SAT calls). Cheap and unbiased when no existentially-quantified fresh
+//     variables appear; with them it is a lower-bound-leaning estimate.
+#ifndef SRC_SYMEXEC_COUNTER_H_
+#define SRC_SYMEXEC_COUNTER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/support/rng.h"
+#include "src/symexec/expr.h"
+
+namespace symx {
+
+struct CountResult {
+  uint64_t models = 0;   // Distinct projected assignments found.
+  bool exact = true;     // False if the cap stopped enumeration.
+  uint64_t sat_calls = 0;
+};
+
+// Exact projected model count of (AND of `constraints`, each truthy) over the
+// variables in `projection` (variable ids from the pool). Stops after `cap`
+// models.
+CountResult CountExact(const ExprPool& pool, std::span<const ExprRef> constraints,
+                       const std::vector<int>& projection, uint64_t cap,
+                       uint64_t solver_conflict_budget = 0);
+
+// Satisfiability of (AND of `constraints`). `budget_exceeded` (optional) is
+// set when the conflict budget made the answer "unknown" — the caller should
+// treat that as satisfiable for soundness of exploration.
+bool IsSatisfiable(const ExprPool& pool, std::span<const ExprRef> constraints,
+                   uint64_t solver_conflict_budget = 0, bool* budget_exceeded = nullptr);
+
+// Monte-Carlo fraction of assignments to ALL pool variables satisfying the
+// conjunction. Deterministic given `rng`.
+double EstimateFraction(const ExprPool& pool, std::span<const ExprRef> constraints,
+                        support::Rng& rng, int trials);
+
+}  // namespace symx
+
+#endif  // SRC_SYMEXEC_COUNTER_H_

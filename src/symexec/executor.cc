@@ -1,0 +1,723 @@
+#include "src/symexec/executor.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/metrics/callgraph.h"
+#include "src/support/strings.h"
+#include "src/symexec/bitblast.h"
+#include "src/symexec/counter.h"
+
+namespace symx {
+
+const char* VulnKindName(VulnKind kind) {
+  switch (kind) {
+    case VulnKind::kOutOfBounds:
+      return "out-of-bounds";
+    case VulnKind::kDivByZero:
+      return "division-by-zero";
+  }
+  return "<bad>";
+}
+
+double SymExecResult::MaxExploitFraction() const {
+  double best = 0.0;
+  for (const auto& vuln : vulns) {
+    best = std::max(best, vuln.exploit_fraction);
+  }
+  return best;
+}
+
+namespace {
+
+struct Frame {
+  const lang::IrFunction* fn = nullptr;
+  std::vector<ExprRef> regs;
+  std::vector<std::vector<ExprRef>> arrays;
+  lang::BlockId block = 0;
+  size_t instr_index = 0;
+  lang::RegId caller_dst = lang::kNoReg;  // Where the return value lands.
+};
+
+struct PathState {
+  std::vector<Frame> frames;
+  std::vector<ExprRef> globals;
+  std::vector<std::vector<ExprRef>> global_arrays;
+  std::vector<ExprRef> pc;  // Path condition: conjunction of truthy exprs.
+  uint64_t steps = 0;
+};
+
+class Explorer {
+ public:
+  Explorer(const lang::IrModule& module, const SymExecOptions& options)
+      : module_(module),
+        options_(options),
+        pool_(options.width),
+        rng_(options.rng_seed) {}
+
+  SymExecResult Run(const std::string& entry) {
+    const lang::IrFunction* fn = module_.FindFunction(entry);
+    if (fn == nullptr) {
+      return std::move(result_);
+    }
+    PathState initial;
+    for (const auto& g : module_.globals) {
+      if (g.type.is_array) {
+        initial.global_arrays.emplace_back(static_cast<size_t>(g.array_size), pool_.Const(0));
+        initial.globals.push_back(pool_.Const(0));
+      } else {
+        initial.global_arrays.emplace_back();
+        initial.globals.push_back(pool_.Const(g.init_value));
+      }
+    }
+    initial.frames.push_back(MakeFrame(*fn, /*symbolic_params=*/true));
+    worklist_.push_back(std::move(initial));
+
+    while (!worklist_.empty()) {
+      if (result_.paths_explored >= options_.max_paths) {
+        result_.path_limit_hit = true;
+        break;
+      }
+      PathState state = std::move(worklist_.back());
+      worklist_.pop_back();
+      RunPath(std::move(state));
+    }
+    FinishVulns();
+    return std::move(result_);
+  }
+
+ private:
+  Frame MakeFrame(const lang::IrFunction& fn, bool symbolic_params) {
+    Frame frame;
+    frame.fn = &fn;
+    frame.regs.assign(static_cast<size_t>(fn.reg_count), pool_.Const(0));
+    frame.arrays.reserve(fn.arrays.size());
+    for (const auto& arr : fn.arrays) {
+      std::vector<ExprRef> cells(static_cast<size_t>(arr.size), pool_.Const(0));
+      if (arr.is_param && symbolic_params) {
+        for (size_t i = 0; i < cells.size(); ++i) {
+          cells[i] = NewInputVar(arr.name + "_" + std::to_string(i));
+        }
+      }
+      frame.arrays.push_back(std::move(cells));
+    }
+    if (symbolic_params) {
+      for (const lang::RegId reg : fn.param_regs) {
+        frame.regs[static_cast<size_t>(reg)] =
+            NewInputVar("arg_" + fn.reg_names[static_cast<size_t>(reg)]);
+      }
+    }
+    return frame;
+  }
+
+  ExprRef NewInputVar(const std::string& name) {
+    ++result_.symbolic_inputs;
+    return pool_.FreshVar(name);
+  }
+
+  // Concretizes runaway expressions: values whose tree grows past the cap
+  // are replaced by unconstrained fresh variables (an over-approximation —
+  // the same trade KLEE makes when expressions become solver-hostile).
+  ExprRef Bounded(ExprRef value) {
+    if (pool_.TreeSize(value) > options_.max_expr_nodes) {
+      return pool_.FreshVar("havoc");
+    }
+    return value;
+  }
+
+  // Adds `c` to `pc` with light subsumption: identical constraints are
+  // dropped, and one-sided bounds (const vs expr comparisons) replace any
+  // weaker bound of the same shape. This keeps loop-generated path
+  // conditions like {0<n, 1<n, 2<n, ...} at a single constraint.
+  void AddConstraint(std::vector<ExprRef>& pc, ExprRef c) {
+    const ExprNode& node = pool_.node(c);
+    if (node.op == ExprOp::kConst) {
+      if (node.imm != 0) {
+        return;  // Trivially true.
+      }
+      pc.push_back(c);  // Trivially false: caller's feasibility check fires.
+      return;
+    }
+    for (const ExprRef existing : pc) {
+      if (existing == c) {
+        return;  // Hash-consing makes structural equality pointer equality.
+      }
+    }
+    // Bound shape: (op, x, k, lower?) where the constraint reads
+    // "x > k" / "x >= k" (lower bound) or "x < k" / "x <= k" (upper bound).
+    struct Bound {
+      ExprRef x = kNoExpr;
+      int64_t limit = 0;  // Normalised: lower => x >= limit, upper => x <= limit.
+      bool is_lower = false;
+      bool valid = false;
+    };
+    auto classify = [this](ExprRef r) {
+      Bound bound;
+      const ExprNode& n = pool_.node(r);
+      if (n.op != ExprOp::kSlt && n.op != ExprOp::kSle) {
+        return bound;
+      }
+      const ExprNode& na = pool_.node(n.a);
+      const ExprNode& nb = pool_.node(n.b);
+      if (na.op == ExprOp::kConst && nb.op != ExprOp::kConst) {
+        // k < x  =>  x >= k+1;  k <= x  =>  x >= k.
+        bound.x = n.b;
+        bound.is_lower = true;
+        bound.limit = n.op == ExprOp::kSlt ? na.imm + 1 : na.imm;
+        bound.valid = true;
+      } else if (nb.op == ExprOp::kConst && na.op != ExprOp::kConst) {
+        // x < k  =>  x <= k-1;  x <= k  =>  x <= k.
+        bound.x = n.a;
+        bound.is_lower = false;
+        bound.limit = n.op == ExprOp::kSlt ? nb.imm - 1 : nb.imm;
+        bound.valid = true;
+      }
+      return bound;
+    };
+    const Bound incoming = classify(c);
+    if (incoming.valid) {
+      for (auto& existing : pc) {
+        const Bound old = classify(existing);
+        if (!old.valid || old.x != incoming.x || old.is_lower != incoming.is_lower) {
+          continue;
+        }
+        const bool new_is_tighter = incoming.is_lower ? incoming.limit >= old.limit
+                                                      : incoming.limit <= old.limit;
+        if (new_is_tighter) {
+          existing = c;  // The new bound implies the old one.
+        }
+        return;  // Either replaced or already implied.
+      }
+    }
+    pc.push_back(c);
+  }
+
+  bool Feasible(const std::vector<ExprRef>& pc) {
+    // Solution cache (KLEE-style): a cached model that satisfies every
+    // constraint proves satisfiability without a solver call. Variables the
+    // model does not cover evaluate as 0, which is still a valid witness.
+    for (const auto& model : model_cache_) {
+      bool all = true;
+      for (const ExprRef c : pc) {
+        if (pool_.Eval(c, model) == 0) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        return true;
+      }
+    }
+    if (result_.solver_queries >= options_.max_solver_queries) {
+      return true;  // Budget exhausted: assume feasible (sound for search).
+    }
+    ++result_.solver_queries;
+    SatSolver solver;
+    BitBlaster blaster(pool_, solver);
+    for (const ExprRef c : pc) {
+      blaster.AssertTrue(c);
+    }
+    // Materialise the bits of every mentioned variable before solving so the
+    // model can be read back.
+    const std::vector<int> used = UsedVars(pc);
+    for (const int var_id : used) {
+      blaster.VarBits(var_id);
+    }
+    const SatResult sat = solver.Solve({}, options_.solver_conflict_budget);
+    if (sat == SatResult::kUnsat) {
+      return false;
+    }
+    if (sat == SatResult::kSat) {
+      std::vector<int64_t> model(static_cast<size_t>(pool_.num_vars()), 0);
+      for (const int var_id : used) {
+        model[static_cast<size_t>(var_id)] = blaster.ModelValueOf(var_id);
+      }
+      if (model_cache_.size() >= kModelCacheSize) {
+        model_cache_.erase(model_cache_.begin());
+      }
+      model_cache_.push_back(std::move(model));
+    }
+    return true;  // kSat, or kUnknown treated as feasible.
+  }
+
+  // Variables mentioned anywhere in `constraints`.
+  std::vector<int> UsedVars(const std::vector<ExprRef>& constraints) const {
+    std::vector<bool> used(static_cast<size_t>(pool_.num_vars()), false);
+    std::vector<bool> visited(pool_.size(), false);
+    std::vector<ExprRef> stack(constraints.begin(), constraints.end());
+    while (!stack.empty()) {
+      const ExprRef ref = stack.back();
+      stack.pop_back();
+      if (visited[static_cast<size_t>(ref)]) {
+        continue;
+      }
+      visited[static_cast<size_t>(ref)] = true;
+      const ExprNode& node = pool_.node(ref);
+      if (node.op == ExprOp::kVar) {
+        used[static_cast<size_t>(node.var_id)] = true;
+      }
+      for (const ExprRef child : {node.a, node.b, node.c}) {
+        if (child != kNoExpr) {
+          stack.push_back(child);
+        }
+      }
+    }
+    std::vector<int> out;
+    for (size_t v = 0; v < used.size(); ++v) {
+      if (used[v]) {
+        out.push_back(static_cast<int>(v));
+      }
+    }
+    return out;
+  }
+
+  // Estimated fraction of the input space satisfying `trigger_pc`.
+  // Variables not mentioned by the constraints cancel between numerator and
+  // denominator, so counting is projected onto the used variables only.
+  double TriggerFraction(const std::vector<ExprRef>& trigger_pc) {
+    const std::vector<int> used = UsedVars(trigger_pc);
+    if (used.empty()) {
+      // Fully concrete (and known feasible): triggers on every input.
+      return 1.0;
+    }
+    const int bits = pool_.width() * static_cast<int>(used.size());
+    if (result_.solver_queries >= options_.max_solver_queries) {
+      return EstimateFraction(pool_, trigger_pc, rng_, options_.exploit_sample_trials);
+    }
+    const CountResult counted = CountExact(pool_, trigger_pc, used,
+                                           options_.exploit_exact_cap,
+                                           options_.solver_conflict_budget);
+    result_.solver_queries += counted.sat_calls;
+    const double lower_bound = std::ldexp(static_cast<double>(counted.models), -bits);
+    if (counted.exact) {
+      return lower_bound;
+    }
+    const double sampled =
+        EstimateFraction(pool_, trigger_pc, rng_, options_.exploit_sample_trials);
+    return std::max(sampled, lower_bound);
+  }
+
+  void RecordVuln(VulnKind kind, const Frame& frame, int line,
+                  const std::vector<ExprRef>& trigger_pc) {
+    const auto key = std::make_pair(kind, std::make_pair(frame.fn->name, line));
+    auto& entry = vuln_map_[key];
+    ++entry.paths;
+    entry.fraction = std::max(entry.fraction, TriggerFraction(trigger_pc));
+  }
+
+  void FinishVulns() {
+    for (const auto& [key, info] : vuln_map_) {
+      VulnSite site;
+      site.kind = key.first;
+      site.function = key.second.first;
+      site.line = key.second.second;
+      site.exploit_fraction = info.fraction;
+      site.paths = info.paths;
+      result_.vulns.push_back(std::move(site));
+    }
+    std::sort(result_.vulns.begin(), result_.vulns.end(), [](const VulnSite& a,
+                                                             const VulnSite& b) {
+      if (a.function != b.function) {
+        return a.function < b.function;
+      }
+      if (a.line != b.line) {
+        return a.line < b.line;
+      }
+      return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+    });
+  }
+
+  enum class StepResult { kContinue, kPathEnded };
+
+  void RunPath(PathState state) {
+    for (;;) {
+      if (state.frames.empty()) {
+        ++result_.paths_explored;
+        ++result_.paths_completed;
+        return;
+      }
+      if (state.steps > options_.max_steps_per_path ||
+          total_steps_ > options_.max_total_steps) {
+        ++result_.paths_explored;
+        ++result_.paths_limited;
+        if (total_steps_ > options_.max_total_steps) {
+          result_.path_limit_hit = true;
+        }
+        return;
+      }
+      Frame& frame = state.frames.back();
+      const lang::IrBlock& block =
+          frame.fn->blocks[static_cast<size_t>(frame.block)];
+      if (frame.instr_index < block.instrs.size()) {
+        const lang::IrInstr& instr = block.instrs[frame.instr_index];
+        ++frame.instr_index;
+        ++state.steps;
+        ++total_steps_;
+        if (ExecInstr(state, instr) == StepResult::kPathEnded) {
+          return;
+        }
+        continue;
+      }
+      // Terminator. Counted as a step: blocks can be instruction-free, and
+      // an empty symbolic loop must still exhaust the budget.
+      ++state.steps;
+      ++total_steps_;
+      const lang::Terminator& term = block.term;
+      switch (term.kind) {
+        case lang::TerminatorKind::kJump:
+          frame.block = term.target_true;
+          frame.instr_index = 0;
+          break;
+        case lang::TerminatorKind::kBranch: {
+          if (HandleBranch(state, term) == StepResult::kPathEnded) {
+            return;
+          }
+          break;
+        }
+        case lang::TerminatorKind::kReturn: {
+          const ExprRef value =
+              term.value == lang::kNoReg
+                  ? pool_.Const(0)
+                  : frame.regs[static_cast<size_t>(term.value)];
+          const lang::RegId dst = frame.caller_dst;
+          state.frames.pop_back();
+          if (state.frames.empty()) {
+            ++result_.paths_explored;
+            ++result_.paths_completed;
+            return;
+          }
+          if (dst != lang::kNoReg) {
+            state.frames.back().regs[static_cast<size_t>(dst)] = value;
+          }
+          break;
+        }
+        case lang::TerminatorKind::kAbort:
+          ++result_.paths_explored;
+          ++result_.paths_aborted;
+          return;
+      }
+    }
+  }
+
+  StepResult HandleBranch(PathState& state, const lang::Terminator& term) {
+    Frame& frame = state.frames.back();
+    const ExprRef cond = frame.regs[static_cast<size_t>(term.cond)];
+    const ExprNode& node = pool_.node(cond);
+    if (node.op == ExprOp::kConst) {
+      frame.block = node.imm != 0 ? term.target_true : term.target_false;
+      frame.instr_index = 0;
+      return StepResult::kContinue;
+    }
+    const ExprRef truthy = pool_.Truthy(cond);
+    const ExprRef falsy = pool_.Falsy(cond);
+    std::vector<ExprRef> pc_true = state.pc;
+    AddConstraint(pc_true, truthy);
+    std::vector<ExprRef> pc_false = state.pc;
+    AddConstraint(pc_false, falsy);
+    const bool true_ok = Feasible(pc_true);
+    const bool false_ok = Feasible(pc_false);
+    if (true_ok && false_ok) {
+      ++result_.forks;
+      PathState other = state;  // Deep copy.
+      other.pc = std::move(pc_false);
+      other.frames.back().block = term.target_false;
+      other.frames.back().instr_index = 0;
+      worklist_.push_back(std::move(other));
+      state.pc = std::move(pc_true);
+      frame.block = term.target_true;
+      frame.instr_index = 0;
+      return StepResult::kContinue;
+    }
+    if (true_ok || false_ok) {
+      state.pc = true_ok ? std::move(pc_true) : std::move(pc_false);
+      frame.block = true_ok ? term.target_true : term.target_false;
+      frame.instr_index = 0;
+      return StepResult::kContinue;
+    }
+    // Both infeasible: contradictory path condition (can happen after an
+    // over-approximating fresh variable was constrained both ways).
+    ++result_.paths_explored;
+    ++result_.paths_infeasible_assume;
+    return StepResult::kPathEnded;
+  }
+
+  // Returns the storage and size for an array access instruction.
+  std::vector<ExprRef>* ArrayStorage(PathState& state, Frame& frame,
+                                     const lang::IrInstr& instr, int64_t& size) {
+    if (instr.array >= 0) {
+      size = frame.fn->arrays[static_cast<size_t>(instr.array)].size;
+      return &frame.arrays[static_cast<size_t>(instr.array)];
+    }
+    size = module_.globals[static_cast<size_t>(instr.global)].array_size;
+    return &state.global_arrays[static_cast<size_t>(instr.global)];
+  }
+
+  StepResult ExecInstr(PathState& state, const lang::IrInstr& instr) {
+    Frame& frame = state.frames.back();
+    auto reg = [&frame](lang::RegId r) { return frame.regs[static_cast<size_t>(r)]; };
+    auto set = [&frame](lang::RegId r, ExprRef v) {
+      frame.regs[static_cast<size_t>(r)] = v;
+    };
+    switch (instr.op) {
+      case lang::IrOpcode::kConst:
+        set(instr.dst, pool_.Const(instr.imm));
+        return StepResult::kContinue;
+      case lang::IrOpcode::kCopy:
+        set(instr.dst, reg(instr.a));
+        return StepResult::kContinue;
+      case lang::IrOpcode::kUnOp:
+        set(instr.dst, pool_.FromUnaryOp(instr.unary_op, reg(instr.a)));
+        return StepResult::kContinue;
+      case lang::IrOpcode::kBinOp: {
+        if (instr.binary_op == lang::BinaryOp::kDiv ||
+            instr.binary_op == lang::BinaryOp::kRem) {
+          return ExecDivision(state, instr);
+        }
+        bool made_fresh;
+        set(instr.dst, Bounded(pool_.FromBinaryOp(instr.binary_op, reg(instr.a),
+                                                  reg(instr.b), made_fresh)));
+        return StepResult::kContinue;
+      }
+      case lang::IrOpcode::kLoadGlobal:
+        set(instr.dst, state.globals[static_cast<size_t>(instr.global)]);
+        return StepResult::kContinue;
+      case lang::IrOpcode::kStoreGlobal:
+        state.globals[static_cast<size_t>(instr.global)] = reg(instr.a);
+        return StepResult::kContinue;
+      case lang::IrOpcode::kArrayLoad:
+      case lang::IrOpcode::kArrayStore:
+        return ExecArrayAccess(state, instr);
+      case lang::IrOpcode::kCall:
+        return ExecCall(state, instr);
+      case lang::IrOpcode::kInput:
+        set(instr.dst, NewInputVar(support::Format("in%d", result_.symbolic_inputs)));
+        return StepResult::kContinue;
+      case lang::IrOpcode::kOutput:
+        return StepResult::kContinue;
+      case lang::IrOpcode::kAssume: {
+        const ExprRef cond = reg(instr.a);
+        const ExprNode& node = pool_.node(cond);
+        if (node.op == ExprOp::kConst) {
+          if (node.imm != 0) {
+            return StepResult::kContinue;
+          }
+          ++result_.paths_explored;
+          ++result_.paths_infeasible_assume;
+          return StepResult::kPathEnded;
+        }
+        AddConstraint(state.pc, pool_.Truthy(cond));
+        if (!Feasible(state.pc)) {
+          ++result_.paths_explored;
+          ++result_.paths_infeasible_assume;
+          return StepResult::kPathEnded;
+        }
+        return StepResult::kContinue;
+      }
+    }
+    return StepResult::kContinue;
+  }
+
+  StepResult ExecDivision(PathState& state, const lang::IrInstr& instr) {
+    Frame& frame = state.frames.back();
+    const ExprRef a = frame.regs[static_cast<size_t>(instr.a)];
+    const ExprRef b = frame.regs[static_cast<size_t>(instr.b)];
+    const ExprNode& divisor = pool_.node(b);
+    if (divisor.op == ExprOp::kConst) {
+      if (divisor.imm == 0) {
+        // Unconditional division by zero on this path.
+        RecordVuln(VulnKind::kDivByZero, frame, instr.line, state.pc);
+        ++result_.paths_explored;
+        ++result_.paths_faulted;
+        return StepResult::kPathEnded;
+      }
+      bool made_fresh;
+      frame.regs[static_cast<size_t>(instr.dst)] =
+          pool_.FromBinaryOp(instr.binary_op, a, b, made_fresh);
+      return StepResult::kContinue;
+    }
+    // Symbolic divisor: is zero reachable?
+    std::vector<ExprRef> zero_pc = state.pc;
+    AddConstraint(zero_pc, pool_.Binary(ExprOp::kEq, b, pool_.Const(0)));
+    if (Feasible(zero_pc)) {
+      RecordVuln(VulnKind::kDivByZero, frame, instr.line, zero_pc);
+    }
+    // Continue on the non-zero side.
+    AddConstraint(state.pc, pool_.Binary(ExprOp::kNe, b, pool_.Const(0)));
+    if (!Feasible(state.pc)) {
+      ++result_.paths_explored;
+      ++result_.paths_faulted;
+      return StepResult::kPathEnded;
+    }
+    bool made_fresh;
+    frame.regs[static_cast<size_t>(instr.dst)] =
+        pool_.FromBinaryOp(instr.binary_op, a, b, made_fresh);
+    return StepResult::kContinue;
+  }
+
+  StepResult ExecArrayAccess(PathState& state, const lang::IrInstr& instr) {
+    Frame& frame = state.frames.back();
+    int64_t size = 0;
+    std::vector<ExprRef>* storage = ArrayStorage(state, frame, instr, size);
+    const ExprRef index = frame.regs[static_cast<size_t>(instr.a)];
+    const ExprNode& index_node = pool_.node(index);
+    if (index_node.op == ExprOp::kConst) {
+      if (index_node.imm < 0 || index_node.imm >= size) {
+        RecordVuln(VulnKind::kOutOfBounds, frame, instr.line, state.pc);
+        ++result_.paths_explored;
+        ++result_.paths_faulted;
+        return StepResult::kPathEnded;
+      }
+      const auto i = static_cast<size_t>(index_node.imm);
+      if (instr.op == lang::IrOpcode::kArrayLoad) {
+        frame.regs[static_cast<size_t>(instr.dst)] = (*storage)[i];
+      } else {
+        (*storage)[i] = frame.regs[static_cast<size_t>(instr.b)];
+      }
+      return StepResult::kContinue;
+    }
+    // Symbolic index: first, is an out-of-bounds access reachable?
+    const ExprRef below = pool_.Binary(ExprOp::kSlt, index, pool_.Const(0));
+    const ExprRef above = pool_.Binary(ExprOp::kSle, pool_.Const(size), index);
+    const ExprRef oob = pool_.Binary(ExprOp::kOr, below, above);
+    std::vector<ExprRef> oob_pc = state.pc;
+    AddConstraint(oob_pc, oob);
+    if (Feasible(oob_pc)) {
+      RecordVuln(VulnKind::kOutOfBounds, frame, instr.line, oob_pc);
+    }
+    // Continue in-bounds.
+    AddConstraint(state.pc, pool_.Falsy(oob));
+    if (!Feasible(state.pc)) {
+      ++result_.paths_explored;
+      ++result_.paths_faulted;
+      return StepResult::kPathEnded;
+    }
+    if (size > options_.max_symbolic_array) {
+      // Too wide to expand: havoc.
+      if (instr.op == lang::IrOpcode::kArrayLoad) {
+        frame.regs[static_cast<size_t>(instr.dst)] = pool_.FreshVar("wide_load");
+      } else {
+        for (auto& cell : *storage) {
+          cell = pool_.FreshVar("wide_store");
+        }
+      }
+      return StepResult::kContinue;
+    }
+    if (instr.op == lang::IrOpcode::kArrayLoad) {
+      // ITE chain over the cells.
+      ExprRef value = (*storage)[static_cast<size_t>(size - 1)];
+      for (int64_t i = size - 2; i >= 0; --i) {
+        const ExprRef is_i = pool_.Binary(ExprOp::kEq, index, pool_.Const(i));
+        value = pool_.Ite(is_i, (*storage)[static_cast<size_t>(i)], value);
+      }
+      frame.regs[static_cast<size_t>(instr.dst)] = Bounded(value);
+    } else {
+      const ExprRef value = frame.regs[static_cast<size_t>(instr.b)];
+      for (int64_t i = 0; i < size; ++i) {
+        const ExprRef is_i = pool_.Binary(ExprOp::kEq, index, pool_.Const(i));
+        (*storage)[static_cast<size_t>(i)] =
+            pool_.Ite(is_i, value, (*storage)[static_cast<size_t>(i)]);
+      }
+    }
+    return StepResult::kContinue;
+  }
+
+  StepResult ExecCall(PathState& state, const lang::IrInstr& instr) {
+    Frame& frame = state.frames.back();
+    const lang::IrFunction* callee = module_.FindFunction(instr.callee);
+    if (callee == nullptr ||
+        state.frames.size() >= static_cast<size_t>(options_.max_call_depth)) {
+      // External or too deep: havoc the result.
+      if (instr.dst != lang::kNoReg) {
+        frame.regs[static_cast<size_t>(instr.dst)] = pool_.FreshVar("call_" + instr.callee);
+      }
+      return StepResult::kContinue;
+    }
+    Frame new_frame = MakeFrame(*callee, /*symbolic_params=*/false);
+    for (size_t i = 0; i < callee->param_regs.size(); ++i) {
+      const ExprRef arg = i < instr.args.size()
+                              ? frame.regs[static_cast<size_t>(instr.args[i])]
+                              : pool_.Const(0);
+      new_frame.regs[static_cast<size_t>(callee->param_regs[i])] = arg;
+    }
+    new_frame.caller_dst = instr.dst;
+    state.frames.push_back(std::move(new_frame));
+    return StepResult::kContinue;
+  }
+
+  struct VulnInfo {
+    double fraction = 0.0;
+    uint64_t paths = 0;
+  };
+
+  static constexpr size_t kModelCacheSize = 8;
+
+  const lang::IrModule& module_;
+  SymExecOptions options_;
+  ExprPool pool_;
+  support::Rng rng_;
+  uint64_t total_steps_ = 0;
+  std::vector<std::vector<int64_t>> model_cache_;
+  SymExecResult result_;
+  std::vector<PathState> worklist_;
+  std::map<std::pair<VulnKind, std::pair<std::string, int>>, VulnInfo> vuln_map_;
+};
+
+}  // namespace
+
+SymExecResult Explore(const lang::IrModule& module, const std::string& entry,
+                      const SymExecOptions& options) {
+  return Explorer(module, options).Run(entry);
+}
+
+metrics::FeatureVector SymexFeatures(const lang::IrModule& module,
+                                     const SymExecOptions& options) {
+  metrics::FeatureVector fv;
+  std::vector<std::string> entries;
+  if (module.FindFunction("main") != nullptr) {
+    entries.push_back("main");
+  } else {
+    const metrics::CallGraph graph(module);
+    entries = graph.Roots();
+  }
+  const size_t max_entries =
+      options.max_entries > 0 ? static_cast<size_t>(options.max_entries) : entries.size();
+  if (entries.size() > max_entries) {
+    entries.resize(max_entries);
+  }
+  uint64_t paths = 0;
+  uint64_t completed = 0;
+  uint64_t vuln_sites = 0;
+  uint64_t oob_sites = 0;
+  uint64_t div_sites = 0;
+  uint64_t queries = 0;
+  double max_fraction = 0.0;
+  double sum_fraction = 0.0;
+  for (const auto& entry : entries) {
+    const SymExecResult result = Explore(module, entry, options);
+    paths += result.paths_explored;
+    completed += result.paths_completed;
+    vuln_sites += result.vulns.size();
+    queries += result.solver_queries;
+    for (const auto& vuln : result.vulns) {
+      if (vuln.kind == VulnKind::kOutOfBounds) {
+        ++oob_sites;
+      } else {
+        ++div_sites;
+      }
+      max_fraction = std::max(max_fraction, vuln.exploit_fraction);
+      sum_fraction += vuln.exploit_fraction;
+    }
+  }
+  fv.Set("symx.entries", static_cast<double>(entries.size()));
+  fv.Set("symx.paths", static_cast<double>(paths));
+  fv.Set("symx.paths_completed", static_cast<double>(completed));
+  fv.Set("symx.vuln_sites", static_cast<double>(vuln_sites));
+  fv.Set("symx.oob_sites", static_cast<double>(oob_sites));
+  fv.Set("symx.divzero_sites", static_cast<double>(div_sites));
+  fv.Set("symx.solver_queries", static_cast<double>(queries));
+  fv.Set("symx.max_exploit_fraction", max_fraction);
+  fv.Set("symx.sum_exploit_fraction", sum_fraction);
+  return fv;
+}
+
+}  // namespace symx

@@ -1,0 +1,97 @@
+// Bounded symbolic executor over the MiniC IR — the KLEE-style component the
+// paper's §4.1 draws on. Explores feasible paths from an entry function,
+// treating every input() as a fresh symbolic value, and reports:
+//   - the number of feasible paths (path counting),
+//   - vulnerability sites reachable under some input (array out-of-bounds,
+//     division by zero), and
+//   - an exploitability estimate per site: the fraction of the input space
+//     that triggers it (via sampling; exact model counting is available
+//     through counter.h for narrow widths).
+#ifndef SRC_SYMEXEC_EXECUTOR_H_
+#define SRC_SYMEXEC_EXECUTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/lang/ir.h"
+#include "src/metrics/feature_vector.h"
+#include "src/support/rng.h"
+#include "src/symexec/expr.h"
+
+namespace symx {
+
+struct SymExecOptions {
+  int width = 16;                   // Bitvector width for symbolic values.
+  uint64_t max_paths = 256;         // Stop forking after this many paths end.
+  uint64_t max_steps_per_path = 4096;
+  // Global instruction budget across all paths of one Explore call; stops
+  // runaway exploration even when individual paths stay under their limit.
+  uint64_t max_total_steps = 1 << 17;
+  // Global SAT-query budget; once exhausted, feasibility checks degrade to
+  // "assume feasible" (sound for exploration, may over-report paths) and
+  // exploitability estimation falls back to pure sampling.
+  uint64_t max_solver_queries = 4096;
+  int max_call_depth = 8;
+  int max_symbolic_array = 32;      // ITE-expand arrays up to this size.
+  // Expressions whose tree size exceeds this are concretized into fresh
+  // variables (KLEE-style), keeping bit-blasting cost bounded on
+  // loop-carried arithmetic chains.
+  uint32_t max_expr_nodes = 512;
+  uint64_t solver_conflict_budget = 5000;
+  // Exploitability estimation: try exact projected model counting up to this
+  // many models, then fall back to Monte-Carlo sampling.
+  uint64_t exploit_exact_cap = 64;
+  int exploit_sample_trials = 512;  // Monte-Carlo trials per vulnerability.
+  // SymexFeatures explores at most this many entry functions per module
+  // (call-graph roots beyond the cap are skipped, keeping per-file cost
+  // bounded on large generated modules).
+  int max_entries = 8;
+  uint64_t rng_seed = 0x5ec0de;
+};
+
+enum class VulnKind : uint8_t { kOutOfBounds, kDivByZero };
+
+const char* VulnKindName(VulnKind kind);
+
+struct VulnSite {
+  VulnKind kind = VulnKind::kOutOfBounds;
+  std::string function;
+  int line = 0;
+  // Estimated fraction of the whole input space triggering this site
+  // (maximum over the paths that reach it).
+  double exploit_fraction = 0.0;
+  // Number of distinct feasible paths on which the site was triggerable.
+  uint64_t paths = 0;
+};
+
+struct SymExecResult {
+  uint64_t paths_explored = 0;   // Paths run to a terminal state.
+  uint64_t paths_completed = 0;  // Paths ending in a normal return.
+  uint64_t paths_aborted = 0;    // Paths ending in abort().
+  uint64_t paths_infeasible_assume = 0;
+  uint64_t paths_faulted = 0;    // Paths that can only end in a fault (e.g.
+                                 // an unavoidable out-of-bounds access).
+  uint64_t paths_limited = 0;    // Paths cut by step/call-depth limits.
+  bool path_limit_hit = false;   // max_paths exhausted (exploration partial).
+  uint64_t forks = 0;
+  uint64_t solver_queries = 0;
+  int symbolic_inputs = 0;       // input() sites turned into variables.
+  std::vector<VulnSite> vulns;   // Deduplicated by (kind, line), sorted.
+
+  double MaxExploitFraction() const;
+};
+
+// Explores `entry`. Scalar parameters of the entry function are also made
+// symbolic (environment-controlled), matching how KLEE treats main's argv.
+SymExecResult Explore(const lang::IrModule& module, const std::string& entry,
+                      const SymExecOptions& options = {});
+
+// Feature extraction: explores from main() when present, otherwise from
+// every call-graph root, and summarises into "symx.*" features.
+metrics::FeatureVector SymexFeatures(const lang::IrModule& module,
+                                     const SymExecOptions& options = {});
+
+}  // namespace symx
+
+#endif  // SRC_SYMEXEC_EXECUTOR_H_

@@ -1,0 +1,331 @@
+#include "src/symexec/sat.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace symx {
+namespace {
+
+// Luby restart sequence scaled by `unit`.
+uint64_t Luby(uint64_t i) {
+  // Find the finite subsequence containing i, then recurse.
+  uint64_t k = 1;
+  while ((1ULL << (k + 1)) - 1 < i + 1) {
+    ++k;
+  }
+  while (true) {
+    if ((1ULL << k) - 1 == i + 1) {
+      return 1ULL << (k - 1);
+    }
+    i = i + 1 - (1ULL << (k - 1)) - 1;
+    k = 1;
+    while ((1ULL << (k + 1)) - 1 < i + 1) {
+      ++k;
+    }
+  }
+}
+
+}  // namespace
+
+Var SatSolver::NewVar() {
+  const Var var = static_cast<Var>(assign_.size());
+  assign_.push_back(kUndef);
+  level_.push_back(0);
+  reason_.push_back(-1);
+  activity_.push_back(0.0);
+  seen_.push_back(false);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  return var;
+}
+
+void SatSolver::AddClause(std::vector<Lit> clause) {
+  // Clauses are added at decision level 0, so the current assignment is
+  // permanent: satisfied clauses can be dropped and false literals removed.
+  Backtrack(0);
+  size_t keep = 0;
+  for (const Lit lit : clause) {
+    const int8_t v = Value(lit);
+    if (v == kTrue) {
+      return;  // Permanently satisfied.
+    }
+    if (v == kUndef) {
+      clause[keep++] = lit;
+    }
+  }
+  clause.resize(keep);
+  // Simplify: drop duplicate literals; detect tautologies.
+  std::sort(clause.begin(), clause.end());
+  clause.erase(std::unique(clause.begin(), clause.end()), clause.end());
+  for (size_t i = 0; i + 1 < clause.size(); ++i) {
+    if (clause[i] == Negate(clause[i + 1])) {
+      return;  // Tautology — always satisfied.
+    }
+  }
+  if (clause.empty()) {
+    trivially_unsat_ = true;
+    return;
+  }
+  if (clause.size() == 1) {
+    // Root-level unit: enqueue directly at level 0.
+    const Lit lit = clause[0];
+    if (Value(lit) == kFalse) {
+      trivially_unsat_ = true;
+      return;
+    }
+    if (Value(lit) == kUndef) {
+      Enqueue(lit, -1);
+      if (Propagate() != -1) {
+        trivially_unsat_ = true;
+      }
+    }
+    return;
+  }
+  clauses_.push_back({std::move(clause), false});
+  AttachClause(static_cast<int>(clauses_.size() - 1));
+}
+
+void SatSolver::AttachClause(int clause_index) {
+  const auto& lits = clauses_[static_cast<size_t>(clause_index)].lits;
+  watches_[static_cast<size_t>(lits[0])].push_back(clause_index);
+  watches_[static_cast<size_t>(lits[1])].push_back(clause_index);
+}
+
+void SatSolver::Enqueue(Lit lit, int reason) {
+  const Var var = LitVar(lit);
+  assign_[static_cast<size_t>(var)] = LitNegated(lit) ? kFalse : kTrue;
+  level_[static_cast<size_t>(var)] = static_cast<int>(trail_lim_.size());
+  reason_[static_cast<size_t>(var)] = reason;
+  trail_.push_back(lit);
+}
+
+int SatSolver::Propagate() {
+  while (propagate_head_ < trail_.size()) {
+    const Lit lit = trail_[propagate_head_++];
+    ++stats_propagations_;
+    // Clauses watching ~lit must find a new watch or propagate/conflict.
+    const Lit false_lit = Negate(lit);
+    auto& watch_list = watches_[static_cast<size_t>(false_lit)];
+    size_t keep = 0;
+    for (size_t i = 0; i < watch_list.size(); ++i) {
+      const int ci = watch_list[i];
+      auto& lits = clauses_[static_cast<size_t>(ci)].lits;
+      // Normalise: watched literal in position 1.
+      if (lits[0] == false_lit) {
+        std::swap(lits[0], lits[1]);
+      }
+      if (Value(lits[0]) == kTrue) {
+        watch_list[keep++] = ci;  // Clause satisfied; keep watch.
+        continue;
+      }
+      // Look for a replacement watch.
+      bool found = false;
+      for (size_t k = 2; k < lits.size(); ++k) {
+        if (Value(lits[k]) != kFalse) {
+          std::swap(lits[1], lits[k]);
+          watches_[static_cast<size_t>(lits[1])].push_back(ci);
+          found = true;
+          break;
+        }
+      }
+      if (found) {
+        continue;  // Watch moved; drop from this list.
+      }
+      // Unit or conflict.
+      watch_list[keep++] = ci;
+      if (Value(lits[0]) == kFalse) {
+        // Conflict: restore remaining watches and report.
+        for (size_t j = i + 1; j < watch_list.size(); ++j) {
+          watch_list[keep++] = watch_list[j];
+        }
+        watch_list.resize(keep);
+        propagate_head_ = trail_.size();
+        return ci;
+      }
+      Enqueue(lits[0], ci);
+    }
+    watch_list.resize(keep);
+  }
+  return -1;
+}
+
+void SatSolver::BumpVar(Var var) {
+  activity_[static_cast<size_t>(var)] += activity_inc_;
+  if (activity_[static_cast<size_t>(var)] > 1e100) {
+    for (double& a : activity_) {
+      a *= 1e-100;
+    }
+    activity_inc_ *= 1e-100;
+  }
+}
+
+void SatSolver::DecayActivities() { activity_inc_ /= 0.95; }
+
+void SatSolver::Analyze(int conflict_clause, std::vector<Lit>& learnt, int& backtrack_level) {
+  learnt.clear();
+  learnt.push_back(0);  // Placeholder for the asserting literal.
+  int counter = 0;
+  Lit p = -1;
+  int index = static_cast<int>(trail_.size()) - 1;
+  const int current_level = static_cast<int>(trail_lim_.size());
+  int ci = conflict_clause;
+  do {
+    const auto& lits = clauses_[static_cast<size_t>(ci)].lits;
+    // Skip lits[0] on iterations after the first (it is `p` itself).
+    for (size_t k = (p == -1 ? 0 : 1); k < lits.size(); ++k) {
+      const Lit q = lits[k];
+      const Var v = LitVar(q);
+      if (!seen_[static_cast<size_t>(v)] && level_[static_cast<size_t>(v)] > 0) {
+        seen_[static_cast<size_t>(v)] = true;
+        BumpVar(v);
+        if (level_[static_cast<size_t>(v)] == current_level) {
+          ++counter;
+        } else {
+          learnt.push_back(q);
+        }
+      }
+    }
+    // Find the next seen literal on the trail.
+    while (!seen_[static_cast<size_t>(LitVar(trail_[static_cast<size_t>(index)]))]) {
+      --index;
+    }
+    p = trail_[static_cast<size_t>(index)];
+    ci = reason_[static_cast<size_t>(LitVar(p))];
+    seen_[static_cast<size_t>(LitVar(p))] = false;
+    --counter;
+    --index;
+  } while (counter > 0);
+  learnt[0] = Negate(p);
+
+  // Compute backtrack level (second-highest level in the clause).
+  backtrack_level = 0;
+  for (size_t k = 1; k < learnt.size(); ++k) {
+    backtrack_level = std::max(backtrack_level,
+                               level_[static_cast<size_t>(LitVar(learnt[k]))]);
+  }
+  // Move a literal of backtrack_level into position 1 for watching.
+  for (size_t k = 1; k < learnt.size(); ++k) {
+    if (level_[static_cast<size_t>(LitVar(learnt[k]))] == backtrack_level) {
+      std::swap(learnt[1], learnt[k]);
+      break;
+    }
+  }
+  for (const Lit q : learnt) {
+    seen_[static_cast<size_t>(LitVar(q))] = false;
+  }
+}
+
+void SatSolver::Backtrack(int target_level) {
+  if (static_cast<int>(trail_lim_.size()) <= target_level) {
+    return;
+  }
+  const size_t bound = static_cast<size_t>(trail_lim_[static_cast<size_t>(target_level)]);
+  for (size_t i = trail_.size(); i-- > bound;) {
+    const Var var = LitVar(trail_[i]);
+    assign_[static_cast<size_t>(var)] = kUndef;
+    reason_[static_cast<size_t>(var)] = -1;
+  }
+  trail_.resize(bound);
+  trail_lim_.resize(static_cast<size_t>(target_level));
+  propagate_head_ = trail_.size();
+}
+
+Lit SatSolver::PickBranchLit() {
+  Var best = -1;
+  double best_activity = -1.0;
+  for (Var v = 0; v < num_vars(); ++v) {
+    if (assign_[static_cast<size_t>(v)] == kUndef && activity_[static_cast<size_t>(v)] >
+                                                         best_activity) {
+      best = v;
+      best_activity = activity_[static_cast<size_t>(v)];
+    }
+  }
+  if (best == -1) {
+    return -1;
+  }
+  // Positive-first polarity: callers upstream (the symbolic executor's
+  // solution cache) benefit from models with large variable values, which
+  // stay valid across loop iterations.
+  return MakeLit(best, false);
+}
+
+SatResult SatSolver::Solve(const std::vector<Lit>& assumptions, uint64_t max_conflicts) {
+  if (trivially_unsat_) {
+    return SatResult::kUnsat;
+  }
+  Backtrack(0);
+  if (Propagate() != -1) {
+    trivially_unsat_ = true;
+    return SatResult::kUnsat;
+  }
+  // Install assumptions, each on its own decision level.
+  for (const Lit a : assumptions) {
+    if (Value(a) == kTrue) {
+      continue;
+    }
+    if (Value(a) == kFalse) {
+      Backtrack(0);
+      return SatResult::kUnsat;
+    }
+    trail_lim_.push_back(static_cast<int>(trail_.size()));
+    Enqueue(a, -1);
+    if (Propagate() != -1) {
+      Backtrack(0);
+      return SatResult::kUnsat;
+    }
+  }
+  const int assumption_level = static_cast<int>(trail_lim_.size());
+
+  uint64_t conflicts_local = 0;
+  uint64_t restart_count = 0;
+  uint64_t restart_budget = 32 * Luby(restart_count);
+  std::vector<Lit> learnt;
+  for (;;) {
+    const int conflict = Propagate();
+    if (conflict != -1) {
+      ++stats_conflicts_;
+      ++conflicts_local;
+      if (static_cast<int>(trail_lim_.size()) <= assumption_level) {
+        Backtrack(0);
+        return SatResult::kUnsat;
+      }
+      if (max_conflicts != 0 && conflicts_local > max_conflicts) {
+        Backtrack(0);
+        return SatResult::kUnknown;
+      }
+      int backtrack_level;
+      Analyze(conflict, learnt, backtrack_level);
+      backtrack_level = std::max(backtrack_level, assumption_level);
+      Backtrack(backtrack_level);
+      if (learnt.size() == 1) {
+        Enqueue(learnt[0], -1);
+      } else {
+        clauses_.push_back({learnt, true});
+        AttachClause(static_cast<int>(clauses_.size() - 1));
+        Enqueue(learnt[0], static_cast<int>(clauses_.size() - 1));
+      }
+      DecayActivities();
+      if (conflicts_local >= restart_budget) {
+        ++restart_count;
+        restart_budget = conflicts_local + 32 * Luby(restart_count);
+        Backtrack(assumption_level);
+      }
+      continue;
+    }
+    const Lit branch = PickBranchLit();
+    if (branch == -1) {
+      // Full assignment: record the model.
+      model_.assign(static_cast<size_t>(num_vars()), false);
+      for (Var v = 0; v < num_vars(); ++v) {
+        model_[static_cast<size_t>(v)] = assign_[static_cast<size_t>(v)] == kTrue;
+      }
+      Backtrack(0);
+      return SatResult::kSat;
+    }
+    ++stats_decisions_;
+    trail_lim_.push_back(static_cast<int>(trail_.size()));
+    Enqueue(branch, -1);
+  }
+}
+
+}  // namespace symx

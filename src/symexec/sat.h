@@ -1,0 +1,92 @@
+// A compact CDCL SAT solver (watched literals, 1-UIP learning, VSIDS-style
+// activities, Luby restarts). Sized for the path-condition queries the
+// symbolic executor generates — thousands of variables, not millions.
+#ifndef SRC_SYMEXEC_SAT_H_
+#define SRC_SYMEXEC_SAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace symx {
+
+// Literal encoding: var v (0-based) positive = 2v, negative = 2v+1.
+using Lit = int32_t;
+using Var = int32_t;
+
+inline Lit MakeLit(Var var, bool negated) { return 2 * var + (negated ? 1 : 0); }
+inline Var LitVar(Lit lit) { return lit >> 1; }
+inline bool LitNegated(Lit lit) { return (lit & 1) != 0; }
+inline Lit Negate(Lit lit) { return lit ^ 1; }
+
+enum class SatResult : uint8_t { kSat, kUnsat, kUnknown };
+
+class SatSolver {
+ public:
+  SatSolver() = default;
+
+  // Returns the new variable's index.
+  Var NewVar();
+  int num_vars() const { return static_cast<int>(assign_.size()); }
+
+  // Adds a clause (empty clause makes the instance trivially UNSAT).
+  void AddClause(std::vector<Lit> clause);
+  void AddUnit(Lit lit) { AddClause({lit}); }
+  void AddBinary(Lit a, Lit b) { AddClause({a, b}); }
+  void AddTernary(Lit a, Lit b, Lit c) { AddClause({a, b, c}); }
+
+  // Solves under optional assumptions. `max_conflicts` bounds effort
+  // (0 = unlimited); exceeding it yields kUnknown.
+  SatResult Solve(const std::vector<Lit>& assumptions = {}, uint64_t max_conflicts = 0);
+
+  // Model access after kSat.
+  bool ModelValue(Var var) const { return model_[static_cast<size_t>(var)]; }
+
+  uint64_t conflicts() const { return stats_conflicts_; }
+  uint64_t decisions() const { return stats_decisions_; }
+  uint64_t propagations() const { return stats_propagations_; }
+
+ private:
+  enum : int8_t { kUndef = 0, kTrue = 1, kFalse = -1 };
+
+  struct Clause {
+    std::vector<Lit> lits;
+    bool learnt = false;
+  };
+
+  int8_t Value(Lit lit) const {
+    const int8_t v = assign_[static_cast<size_t>(LitVar(lit))];
+    return LitNegated(lit) ? static_cast<int8_t>(-v) : v;
+  }
+
+  void Enqueue(Lit lit, int reason);
+  // Returns the index of a conflicting clause or -1.
+  int Propagate();
+  void Analyze(int conflict_clause, std::vector<Lit>& learnt, int& backtrack_level);
+  void Backtrack(int level);
+  Lit PickBranchLit();
+  void BumpVar(Var var);
+  void DecayActivities();
+  void AttachClause(int clause_index);
+
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<int>> watches_;  // watches_[lit] = clause indices.
+  std::vector<int8_t> assign_;
+  std::vector<int> level_;
+  std::vector<int> reason_;  // Clause index or -1 for decisions/assumptions.
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;
+  size_t propagate_head_ = 0;
+  std::vector<double> activity_;
+  double activity_inc_ = 1.0;
+  std::vector<bool> model_;
+  std::vector<bool> seen_;  // Scratch for Analyze.
+  bool trivially_unsat_ = false;
+  uint64_t stats_conflicts_ = 0;
+  uint64_t stats_decisions_ = 0;
+  uint64_t stats_propagations_ = 0;
+};
+
+}  // namespace symx
+
+#endif  // SRC_SYMEXEC_SAT_H_

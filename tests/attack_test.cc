@@ -1,0 +1,132 @@
+// Tests for the attack-surface (RASQ) and attack-graph analyses.
+#include <gtest/gtest.h>
+
+#include "src/attack/graph.h"
+#include "src/attack/surface.h"
+
+namespace attack {
+namespace {
+
+TEST(Surface, RasqWeightedSum) {
+  SurfaceProfile profile("server");
+  profile.Set(SurfaceElement::kOpenSocket, 2);
+  profile.Set(SurfaceElement::kCommandLineInput, 5);
+  EXPECT_NEAR(profile.Rasq(), 2 * 1.0 + 5 * 0.2, 1e-12);
+  EXPECT_EQ(profile.Count(SurfaceElement::kOpenSocket), 2);
+  EXPECT_EQ(profile.Count(SurfaceElement::kWeakAcl), 0);
+}
+
+TEST(Surface, RelativeComparison) {
+  SurfaceProfile hardened("hardened");
+  hardened.Set(SurfaceElement::kOpenSocket, 1);
+  SurfaceProfile exposed("exposed");
+  exposed.Set(SurfaceElement::kOpenSocket, 4);
+  EXPECT_NEAR(RelativeRasq(exposed, hardened), 4.0, 1e-12);
+  EXPECT_NEAR(RelativeRasq(hardened, exposed), 0.25, 1e-12);
+  SurfaceProfile empty("none");
+  EXPECT_EQ(RelativeRasq(empty, empty), 1.0);
+}
+
+TEST(Surface, FromFeaturesUsesTaintSignals) {
+  metrics::FeatureVector features;
+  features.Set("dataflow.input_sites", 3.0);
+  features.Set("dataflow.tainted_sinks", 2.0);
+  features.Set("callgraph.roots", 4.0);
+  const SurfaceProfile profile = SurfaceProfile::FromFeatures("app", features);
+  EXPECT_EQ(profile.Count(SurfaceElement::kOpenSocket), 3);
+  EXPECT_EQ(profile.Count(SurfaceElement::kRpcEndpoint), 4);
+  EXPECT_GT(profile.Rasq(), 0.0);
+}
+
+// Classic three-host scenario: internet -> web server (remote exploit) ->
+// database (remote exploit requiring user foothold) -> local privilege
+// escalation on the database host.
+NetworkModel MakeTestNetwork() {
+  NetworkModel model;
+  const int internet = model.AddHost("internet", {});
+  const int web = model.AddHost("web", {"httpd"});
+  const int db = model.AddHost("db", {"sqld", "cron"});
+  model.Connect(internet, web);
+  model.ConnectBoth(web, db);
+  model.AddExploit({"CVE-web-rce", "httpd", Privilege::kUser, Privilege::kUser,
+                    /*remote=*/true, 1.0});
+  model.AddExploit({"CVE-sql-auth", "sqld", Privilege::kUser, Privilege::kUser,
+                    /*remote=*/true, 2.0});
+  model.AddExploit({"CVE-cron-lpe", "cron", Privilege::kUser, Privilege::kRoot,
+                    /*remote=*/false, 1.5});
+  return model;
+}
+
+TEST(Graph, ReachabilityThroughChain) {
+  const NetworkModel model = MakeTestNetwork();
+  const AttackGraph graph(model, {model.HostIndex("internet"), Privilege::kRoot});
+  EXPECT_TRUE(graph.CanReach({model.HostIndex("web"), Privilege::kUser}));
+  EXPECT_TRUE(graph.CanReach({model.HostIndex("db"), Privilege::kRoot}));
+  // No exploit grants root on the web host.
+  EXPECT_FALSE(graph.CanReach({model.HostIndex("web"), Privilege::kRoot}));
+}
+
+TEST(Graph, NoPathWithoutConnectivity) {
+  NetworkModel model;
+  const int internet = model.AddHost("internet", {});
+  const int isolated = model.AddHost("isolated", {"httpd"});
+  (void)internet;
+  model.AddExploit({"CVE-web-rce", "httpd", Privilege::kUser, Privilege::kUser, true, 1.0});
+  const AttackGraph graph(model, {0, Privilege::kRoot});
+  EXPECT_FALSE(graph.CanReach({isolated, Privilege::kUser}));
+}
+
+TEST(Graph, ShortestPathFollowsCosts) {
+  const NetworkModel model = MakeTestNetwork();
+  const AttackGraph graph(model, {model.HostIndex("internet"), Privilege::kRoot});
+  const auto path = graph.ShortestPath({model.HostIndex("db"), Privilege::kRoot});
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(model.exploits()[path[0].exploit].id, "CVE-web-rce");
+  EXPECT_EQ(model.exploits()[path[1].exploit].id, "CVE-sql-auth");
+  EXPECT_EQ(model.exploits()[path[2].exploit].id, "CVE-cron-lpe");
+  double total = 0.0;
+  for (const auto& edge : path) {
+    total += edge.cost;
+  }
+  EXPECT_NEAR(total, 4.5, 1e-12);
+}
+
+TEST(Graph, ShortestPathEmptyWhenUnreachable) {
+  const NetworkModel model = MakeTestNetwork();
+  const AttackGraph graph(model, {model.HostIndex("internet"), Privilege::kRoot});
+  EXPECT_TRUE(graph.ShortestPath({model.HostIndex("web"), Privilege::kRoot}).empty());
+}
+
+TEST(Graph, MinimalCutIsBottleneck) {
+  const NetworkModel model = MakeTestNetwork();
+  const AttackGraph graph(model, {model.HostIndex("internet"), Privilege::kRoot});
+  // Every attack on db-root passes through the single web RCE: patching it
+  // alone suffices.
+  const auto cut = graph.MinimalCut(model, {model.HostIndex("db"), Privilege::kRoot});
+  ASSERT_EQ(cut.size(), 1u);
+  EXPECT_EQ(cut[0], "CVE-web-rce");
+}
+
+TEST(Graph, MinimalCutNeedsTwoWithRedundantPaths) {
+  NetworkModel model;
+  const int internet = model.AddHost("internet", {});
+  const int target = model.AddHost("target", {"httpd", "ftpd"});
+  model.Connect(internet, target);
+  model.AddExploit({"CVE-http", "httpd", Privilege::kUser, Privilege::kRoot, true, 1.0});
+  model.AddExploit({"CVE-ftp", "ftpd", Privilege::kUser, Privilege::kRoot, true, 1.0});
+  const AttackGraph graph(model, {internet, Privilege::kRoot});
+  const auto cut = graph.MinimalCut(model, {target, Privilege::kRoot});
+  EXPECT_EQ(cut.size(), 2u);
+}
+
+TEST(Graph, MinimalCutEmptyWhenAlreadySafe) {
+  NetworkModel model;
+  model.AddHost("internet", {});
+  model.AddHost("target", {"httpd"});
+  // No connectivity, no exploits.
+  const AttackGraph graph(model, {0, Privilege::kRoot});
+  EXPECT_TRUE(graph.MinimalCut(model, {1, Privilege::kRoot}).empty());
+}
+
+}  // namespace
+}  // namespace attack

@@ -1,0 +1,199 @@
+// Statistical property tests on the synthetic ecosystem: the latent style
+// knobs must actually be expressed in the generated artifacts (code text and
+// CVE records) — otherwise the learning pipeline has nothing to recover.
+#include <gtest/gtest.h>
+
+#include "src/corpus/codegen.h"
+#include "src/corpus/ecosystem.h"
+#include "src/cvss/cwe.h"
+#include "src/support/rng.h"
+
+namespace corpus {
+namespace {
+
+int CountOccurrences(const std::string& text, const std::string& needle) {
+  int count = 0;
+  size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+TEST(GeneratorSignal, TaintinessRaisesInputDensity) {
+  // Same RNG seed, opposite taintiness: the taint-heavy program must read
+  // input() substantially more often per line.
+  double low_total = 0;
+  double high_total = 0;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    AppStyle low;
+    low.taintiness = 0.05;
+    AppStyle high;
+    high.taintiness = 0.95;
+    support::Rng rng_low(seed);
+    support::Rng rng_high(seed);
+    low_total += CountOccurrences(GenerateMiniCFile(rng_low, low, 800), "input()");
+    high_total += CountOccurrences(GenerateMiniCFile(rng_high, high, 800), "input()");
+  }
+  EXPECT_GT(high_total, 2.0 * low_total);
+}
+
+TEST(GeneratorSignal, UnsafetyLowersGuardDensity) {
+  double safe_guards = 0;
+  double unsafe_guards = 0;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    AppStyle safe;
+    safe.unsafety = 0.05;
+    AppStyle unsafe_style;
+    unsafe_style.unsafety = 0.95;
+    support::Rng rng_safe(seed);
+    support::Rng rng_unsafe(seed);
+    safe_guards += CountOccurrences(GenerateMiniCFile(rng_safe, safe, 800), ">= 0 &&");
+    unsafe_guards +=
+        CountOccurrences(GenerateMiniCFile(rng_unsafe, unsafe_style, 800), ">= 0 &&");
+  }
+  EXPECT_GT(safe_guards, 1.5 * unsafe_guards);
+}
+
+TEST(GeneratorSignal, ComplexityRaisesNesting) {
+  double simple_braces = 0;
+  double complex_braces = 0;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    AppStyle simple;
+    simple.complexity = 0.05;
+    AppStyle complex_style;
+    complex_style.complexity = 0.95;
+    support::Rng rng_simple(seed);
+    support::Rng rng_complex(seed);
+    // Deeply indented lines appear only under nesting.
+    simple_braces +=
+        CountOccurrences(GenerateMiniCFile(rng_simple, simple, 800), "\n      ");
+    complex_braces +=
+        CountOccurrences(GenerateMiniCFile(rng_complex, complex_style, 800), "\n      ");
+  }
+  EXPECT_GT(complex_braces, simple_braces);
+}
+
+TEST(CveSignal, TaintinessRaisesNetworkVectorShare) {
+  CorpusOptions options;
+  options.mature_apps = 164;
+  options.immature_apps = 0;
+  const EcosystemGenerator eco(options);
+  // Split apps by taintiness; compare AV:N share of their CVEs.
+  double low_n = 0;
+  double low_total = 0;
+  double high_n = 0;
+  double high_total = 0;
+  for (const auto& spec : eco.specs()) {
+    const auto summary = eco.database().Summarize(spec.name);
+    if (spec.style.taintiness < 0.3) {
+      low_n += summary.network_vector;
+      low_total += summary.total;
+    } else if (spec.style.taintiness > 0.7) {
+      high_n += summary.network_vector;
+      high_total += summary.total;
+    }
+  }
+  ASSERT_GT(low_total, 0);
+  ASSERT_GT(high_total, 0);
+  EXPECT_GT(high_n / high_total, low_n / low_total + 0.1);
+}
+
+TEST(CveSignal, LanguageShapesCweProfile) {
+  CorpusOptions options;
+  options.mature_apps = 164;
+  options.immature_apps = 0;
+  const EcosystemGenerator eco(options);
+  double c_memory = 0;
+  double c_total = 0;
+  double managed_memory = 0;
+  double managed_total = 0;
+  for (const auto& record : eco.database().records()) {
+    const AppSpec* spec = eco.FindSpec(record.app);
+    ASSERT_NE(spec, nullptr);
+    const bool is_memory =
+        cvss::CategoryOf(record.cwe) == cvss::CweCategory::kMemorySafety;
+    if (spec->language == metrics::Language::kC ||
+        spec->language == metrics::Language::kCpp) {
+      c_total += 1;
+      c_memory += is_memory ? 1 : 0;
+    } else {
+      managed_total += 1;
+      managed_memory += is_memory ? 1 : 0;
+    }
+  }
+  ASSERT_GT(c_total, 0);
+  ASSERT_GT(managed_total, 0);
+  // C-family corpus is memory-safety heavy; Python/Java should be near zero.
+  EXPECT_GT(c_memory / c_total, 0.3);
+  EXPECT_LT(managed_memory / managed_total, 0.05);
+}
+
+TEST(CveSignal, UnsafetyRaisesMemoryCweShare) {
+  CorpusOptions options;
+  options.mature_apps = 164;
+  options.immature_apps = 0;
+  const EcosystemGenerator eco(options);
+  double low_mem = 0;
+  double low_total = 0;
+  double high_mem = 0;
+  double high_total = 0;
+  for (const auto& record : eco.database().records()) {
+    const AppSpec* spec = eco.FindSpec(record.app);
+    if (spec->language != metrics::Language::kC &&
+        spec->language != metrics::Language::kCpp) {
+      continue;
+    }
+    const bool is_memory =
+        cvss::CategoryOf(record.cwe) == cvss::CweCategory::kMemorySafety;
+    if (spec->style.unsafety < 0.3) {
+      low_total += 1;
+      low_mem += is_memory ? 1 : 0;
+    } else if (spec->style.unsafety > 0.7) {
+      high_total += 1;
+      high_mem += is_memory ? 1 : 0;
+    }
+  }
+  ASSERT_GT(low_total, 0);
+  ASSERT_GT(high_total, 0);
+  EXPECT_GT(high_mem / high_total, low_mem / low_total);
+}
+
+TEST(CveSignal, CvssScoresSpanSeverityBands) {
+  CorpusOptions options;
+  options.mature_apps = 82;
+  options.immature_apps = 0;
+  const EcosystemGenerator eco(options);
+  int low = 0;
+  int medium = 0;
+  int high = 0;
+  int critical = 0;
+  for (const auto& record : eco.database().records()) {
+    switch (cvss::SeverityFor(record.BaseScore())) {
+      case cvss::Severity::kLow:
+        ++low;
+        break;
+      case cvss::Severity::kMedium:
+        ++medium;
+        break;
+      case cvss::Severity::kHigh:
+        ++high;
+        break;
+      case cvss::Severity::kCritical:
+        ++critical;
+        break;
+      default:
+        break;
+    }
+  }
+  // A realistic feed spans all four bands with medium/high dominating.
+  EXPECT_GT(low, 0);
+  EXPECT_GT(medium, 0);
+  EXPECT_GT(high, 0);
+  EXPECT_GT(critical, 0);
+  EXPECT_GT(medium + high, low + critical);
+}
+
+}  // namespace
+}  // namespace corpus

@@ -1,0 +1,225 @@
+// Tests for the synthetic ecosystem: determinism, language mix, source
+// parseability (property test over seeds), Figure-2 calibration, and the
+// survey corpus totals.
+#include <gtest/gtest.h>
+
+#include "src/corpus/codegen.h"
+#include "src/corpus/ecosystem.h"
+#include "src/corpus/survey.h"
+#include "src/lang/parser.h"
+#include "src/metrics/cloc.h"
+#include "src/support/stats.h"
+
+namespace corpus {
+namespace {
+
+CorpusOptions SmallOptions() {
+  CorpusOptions options;
+  options.mature_apps = 41;  // 164/4 keeps the language mix proportional.
+  options.immature_apps = 6;
+  options.size_scale = 0.02;
+  return options;
+}
+
+TEST(Ecosystem, DeterministicAcrossInstances) {
+  const EcosystemGenerator a(SmallOptions());
+  const EcosystemGenerator b(SmallOptions());
+  ASSERT_EQ(a.specs().size(), b.specs().size());
+  for (size_t i = 0; i < a.specs().size(); ++i) {
+    EXPECT_EQ(a.specs()[i].name, b.specs()[i].name);
+    EXPECT_EQ(a.specs()[i].vuln_count, b.specs()[i].vuln_count);
+    EXPECT_DOUBLE_EQ(a.specs()[i].kloc_nominal, b.specs()[i].kloc_nominal);
+  }
+  EXPECT_EQ(a.database().Serialize(), b.database().Serialize());
+  // Source generation is deterministic and order-independent.
+  const auto files_a = a.GenerateSources(a.specs()[0]);
+  const auto files_b = b.GenerateSources(b.specs()[0]);
+  ASSERT_EQ(files_a.size(), files_b.size());
+  EXPECT_EQ(files_a[0].text, files_b[0].text);
+}
+
+TEST(Ecosystem, LanguageMixMatchesPaper) {
+  CorpusOptions options;
+  options.mature_apps = 164;
+  options.immature_apps = 0;
+  options.size_scale = 0.001;  // Specs only; no sources generated here.
+  const EcosystemGenerator eco(options);
+  int c = 0;
+  int cpp = 0;
+  int python = 0;
+  int java = 0;
+  for (const auto& spec : eco.specs()) {
+    switch (spec.language) {
+      case metrics::Language::kC:
+        ++c;
+        break;
+      case metrics::Language::kCpp:
+        ++cpp;
+        break;
+      case metrics::Language::kPython:
+        ++python;
+        break;
+      default:
+        ++java;
+        break;
+    }
+  }
+  EXPECT_EQ(c, 126);
+  EXPECT_EQ(cpp, 20);
+  EXPECT_EQ(python, 6);
+  EXPECT_EQ(java, 12);
+}
+
+TEST(Ecosystem, ConvergingHistorySelectionMatchesMaturity) {
+  const CorpusOptions options = SmallOptions();
+  const EcosystemGenerator eco(options);
+  const auto selected = eco.database().AppsWithConvergingHistory(5.0);
+  EXPECT_EQ(static_cast<int>(selected.size()), options.mature_apps);
+  // Immature apps all have < 5-year spans.
+  for (const auto& spec : eco.specs()) {
+    if (spec.HistoryYears() < 5.0) {
+      bool found = false;
+      for (const auto& name : selected) {
+        found |= name == spec.name;
+      }
+      EXPECT_FALSE(found) << spec.name;
+    }
+  }
+}
+
+TEST(Ecosystem, VulnCountsMatchDatabase) {
+  const EcosystemGenerator eco(SmallOptions());
+  for (const auto& spec : eco.specs()) {
+    EXPECT_EQ(eco.database().Summarize(spec.name).total, spec.vuln_count) << spec.name;
+  }
+}
+
+TEST(Ecosystem, HistorySpansAreExact) {
+  const EcosystemGenerator eco(SmallOptions());
+  for (const auto& spec : eco.specs()) {
+    if (spec.vuln_count < 2) {
+      continue;
+    }
+    const auto summary = eco.database().Summarize(spec.name);
+    EXPECT_EQ(summary.first, spec.history_start);
+    EXPECT_EQ(summary.last, spec.history_end);
+  }
+}
+
+TEST(Ecosystem, Figure2CalibrationHolds) {
+  // The log–log regression of vuln counts on nominal kLoC must land near the
+  // paper's slope 0.39 and R² 24.66% (wide tolerances: 164 samples).
+  CorpusOptions options;
+  options.mature_apps = 164;
+  options.immature_apps = 0;
+  const EcosystemGenerator eco(options);
+  std::vector<double> kloc;
+  std::vector<double> vulns;
+  for (const auto& spec : eco.specs()) {
+    kloc.push_back(spec.kloc_nominal);
+    vulns.push_back(static_cast<double>(spec.vuln_count));
+  }
+  const support::LinearFit fit = support::FitLogLog(kloc, vulns);
+  EXPECT_GT(fit.slope, 0.2);
+  EXPECT_LT(fit.slope, 0.6);
+  EXPECT_GT(fit.r_squared, 0.12);
+  EXPECT_LT(fit.r_squared, 0.40);
+}
+
+TEST(Ecosystem, TotalVulnVolumeIsPaperScale) {
+  CorpusOptions options;
+  options.mature_apps = 164;
+  options.immature_apps = 0;
+  const EcosystemGenerator eco(options);
+  // Paper: 5,975 vulnerabilities over the 164 selected applications. The
+  // generator should land within a factor of ~2.
+  const auto total = static_cast<long long>(eco.database().size());
+  EXPECT_GT(total, 2500);
+  EXPECT_LT(total, 13000);
+}
+
+TEST(Ecosystem, GeneratedSourcesHitSizeTarget) {
+  const EcosystemGenerator eco(SmallOptions());
+  const auto& spec = eco.specs()[0];
+  const auto files = eco.GenerateSources(spec);
+  ASSERT_FALSE(files.empty());
+  long long lines = 0;
+  for (const auto& file : files) {
+    lines += metrics::CountLines(file.text, file.language).total();
+  }
+  const double target = spec.kloc_target * 1000.0;
+  EXPECT_GT(static_cast<double>(lines), 0.7 * target);
+  EXPECT_LT(static_cast<double>(lines), 1.8 * target + 600.0);
+}
+
+// Property test: generated MiniC must always parse and lower, across many
+// seeds and style corners.
+class MiniCGenProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MiniCGenProperty, AlwaysParsesAndLowers) {
+  support::Rng rng(GetParam());
+  AppStyle style;
+  style.complexity = rng.NextDouble();
+  style.unsafety = rng.NextDouble();
+  style.taintiness = rng.NextDouble();
+  const std::string source = GenerateMiniCFile(rng, style, 300);
+  auto unit = lang::Parse(source);
+  ASSERT_TRUE(unit.ok()) << unit.error().ToString() << "\n" << source.substr(0, 2000);
+  auto module = lang::LowerToIr(unit.value());
+  ASSERT_TRUE(module.ok()) << module.error().ToString() << "\n" << source.substr(0, 2000);
+  EXPECT_FALSE(module.value().functions.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MiniCGenProperty, ::testing::Range<uint64_t>(1, 80));
+
+TEST(Codegen, StyleShapesCode) {
+  support::Rng rng_safe(1);
+  support::Rng rng_unsafe(1);
+  AppStyle safe;
+  safe.unsafety = 0.0;
+  safe.taintiness = 0.8;
+  AppStyle unsafe_style;
+  unsafe_style.unsafety = 1.0;
+  unsafe_style.taintiness = 0.8;
+  // Same RNG stream, different styles: the unsafe code has fewer guards.
+  const std::string safe_src = GenerateMiniCFile(rng_safe, safe, 2000);
+  const std::string unsafe_src = GenerateMiniCFile(rng_unsafe, unsafe_style, 2000);
+  auto count_occurrences = [](const std::string& text, const std::string& needle) {
+    int count = 0;
+    size_t pos = 0;
+    while ((pos = text.find(needle, pos)) != std::string::npos) {
+      ++count;
+      pos += needle.size();
+    }
+    return count;
+  };
+  EXPECT_GT(count_occurrences(safe_src, ">= 0 &&"), count_occurrences(unsafe_src, ">= 0 &&"));
+}
+
+TEST(Survey, TotalsMatchPaper) {
+  const auto papers = GenerateSurveyCorpus();
+  int loc = 0;
+  int cve = 0;
+  int formal = 0;
+  for (const auto& paper : papers) {
+    switch (paper.method) {
+      case EvalMethod::kLinesOfCode:
+        ++loc;
+        break;
+      case EvalMethod::kCveReports:
+        ++cve;
+        break;
+      case EvalMethod::kFormalVerification:
+        ++formal;
+        break;
+    }
+  }
+  EXPECT_EQ(loc, 384);
+  EXPECT_EQ(cve, 116);
+  EXPECT_EQ(formal, 31);
+  EXPECT_EQ(SurveyVenues().size(), 5u);
+  EXPECT_EQ(CountSurvey(papers, "CCS", EvalMethod::kCveReports), 80);
+}
+
+}  // namespace
+}  // namespace corpus

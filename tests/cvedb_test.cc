@@ -1,0 +1,121 @@
+// Tests for the CVE database: indexing, aggregation, selection policy,
+// serialization round-trip.
+#include <gtest/gtest.h>
+
+#include "src/cvedb/cvedb.h"
+#include "src/cvss/cwe.h"
+
+namespace cvedb {
+namespace {
+
+CveRecord MakeRecord(const std::string& id, const std::string& app, DayStamp day,
+                     const char* vector_text, int cwe) {
+  CveRecord record;
+  record.id = id;
+  record.app = app;
+  record.published = day;
+  record.cwe = cwe;
+  auto vector = cvss::ParseVectorString(vector_text);
+  EXPECT_TRUE(vector.ok());
+  record.vector = vector.value();
+  return record;
+}
+
+constexpr const char* kCritical = "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H";  // 9.8
+constexpr const char* kMediumLocal = "CVSS:3.0/AV:L/AC:L/PR:L/UI:N/S:U/C:L/I:L/A:N";  // 4.4
+constexpr const char* kInfoLeak = "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N";  // 7.5
+
+Database MakeTestDb() {
+  Database db;
+  db.Add(MakeRecord("CVE-2010-0001", "appA", 365 * 11, kCritical,
+                    cvss::kCweStackBufferOverflow));
+  db.Add(MakeRecord("CVE-2016-0002", "appA", 365 * 17, kMediumLocal,
+                    cvss::kCweNullDeref));
+  db.Add(MakeRecord("CVE-2014-0003", "appA", 365 * 15, kInfoLeak,
+                    cvss::kCweInfoExposure));
+  db.Add(MakeRecord("CVE-2015-0004", "appB", 365 * 16, kMediumLocal,
+                    cvss::kCweSqlInjection));
+  db.Add(MakeRecord("CVE-2016-0005", "appB", 365 * 17 + 100, kMediumLocal,
+                    cvss::kCweXss));
+  return db;
+}
+
+TEST(Database, ForAppSortedByDate) {
+  const Database db = MakeTestDb();
+  const auto records = db.ForApp("appA");
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0]->id, "CVE-2010-0001");
+  EXPECT_EQ(records[2]->id, "CVE-2016-0002");
+  EXPECT_TRUE(db.ForApp("nonexistent").empty());
+}
+
+TEST(Database, AppsSorted) {
+  const Database db = MakeTestDb();
+  const auto apps = db.Apps();
+  ASSERT_EQ(apps.size(), 2u);
+  EXPECT_EQ(apps[0], "appA");
+  EXPECT_EQ(apps[1], "appB");
+}
+
+TEST(Database, SummaryAggregates) {
+  const Database db = MakeTestDb();
+  const AppSummary summary = db.Summarize("appA");
+  EXPECT_EQ(summary.total, 3);
+  EXPECT_EQ(summary.critical, 1);        // 9.8.
+  EXPECT_EQ(summary.high_or_worse, 2);   // 9.8 and 7.5.
+  EXPECT_EQ(summary.network_vector, 2);
+  EXPECT_EQ(summary.CountCwe(cvss::kCweStackBufferOverflow), 1);
+  EXPECT_EQ(summary.CountCwe(cvss::kCweSqlInjection), 0);
+  EXPECT_NEAR(summary.HistoryYears(), 6.0, 0.1);
+  EXPECT_NEAR(summary.max_score, 9.8, 1e-9);
+}
+
+TEST(Database, ConvergingHistorySelection) {
+  const Database db = MakeTestDb();
+  // appA spans 6 years; appB spans ~1.3 years.
+  const auto selected = db.AppsWithConvergingHistory(5.0);
+  ASSERT_EQ(selected.size(), 1u);
+  EXPECT_EQ(selected[0], "appA");
+  EXPECT_EQ(db.AppsWithConvergingHistory(1.0).size(), 2u);
+}
+
+TEST(Database, DateRangeQuery) {
+  const Database db = MakeTestDb();
+  const auto in_2014_2016 = db.InDateRange(365 * 15, 365 * 17);
+  ASSERT_EQ(in_2014_2016.size(), 2u);
+  EXPECT_EQ(in_2014_2016[0]->id, "CVE-2014-0003");
+  EXPECT_EQ(in_2014_2016[1]->id, "CVE-2015-0004");
+}
+
+TEST(Database, SerializeRoundTrip) {
+  const Database db = MakeTestDb();
+  const std::string text = db.Serialize();
+  auto restored = Database::Deserialize(text);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().size(), db.size());
+  EXPECT_EQ(restored.value().Serialize(), text);
+  const AppSummary original = db.Summarize("appA");
+  const AppSummary roundtrip = restored.value().Summarize("appA");
+  EXPECT_EQ(original.total, roundtrip.total);
+  EXPECT_EQ(original.critical, roundtrip.critical);
+  EXPECT_NEAR(original.max_score, roundtrip.max_score, 1e-12);
+}
+
+TEST(Database, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(Database::Deserialize("not|enough|fields\n").ok());
+  EXPECT_FALSE(Database::Deserialize("id|app|notanumber|121|" +
+                                     std::string(kCritical) + "\n")
+                   .ok());
+  EXPECT_FALSE(Database::Deserialize("id|app|100|121|CVSS:3.0/AV:N\n").ok());
+  // Empty input is a valid empty database.
+  EXPECT_TRUE(Database::Deserialize("").ok());
+  EXPECT_TRUE(Database::Deserialize("\n\n").ok());
+}
+
+TEST(Database, RecordYearComputation) {
+  const CveRecord record = MakeRecord("CVE-2014-1234", "x", 365 * 15 + 10, kCritical, 121);
+  EXPECT_EQ(record.Year(), 2014);
+}
+
+}  // namespace
+}  // namespace cvedb

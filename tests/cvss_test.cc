@@ -1,0 +1,139 @@
+// Tests for the CVSS v3.0 scoring engine against published reference scores
+// and for the CWE taxonomy.
+#include <gtest/gtest.h>
+
+#include "src/cvss/cvss.h"
+#include "src/cvss/cwe.h"
+
+namespace cvss {
+namespace {
+
+Vector MustParse(std::string_view text) {
+  auto result = ParseVectorString(text);
+  EXPECT_TRUE(result.ok()) << (result.ok() ? "" : result.error().ToString());
+  return result.ok() ? result.value() : Vector{};
+}
+
+struct ScoreCase {
+  const char* vector;
+  double expected;
+};
+
+class KnownScores : public ::testing::TestWithParam<ScoreCase> {};
+
+// Reference scores computed with the official FIRST v3.0 calculator.
+TEST_P(KnownScores, BaseScoreMatchesSpec) {
+  const auto& param = GetParam();
+  const Vector v = MustParse(param.vector);
+  EXPECT_NEAR(BaseScore(v), param.expected, 1e-9) << param.vector;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SpecExamples, KnownScores,
+    ::testing::Values(
+        // Full-impact network RCE (e.g. CVE-2014-6271 "Shellshock" class).
+        ScoreCase{"CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H", 9.8},
+        // Heartbleed-class info leak.
+        ScoreCase{"CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N", 7.5},
+        // Scope-changed privilege escalation.
+        ScoreCase{"CVSS:3.0/AV:N/AC:L/PR:L/UI:N/S:C/C:H/I:H/A:H", 9.9},
+        // Local, high-complexity, user-interaction case.
+        ScoreCase{"CVSS:3.0/AV:L/AC:H/PR:L/UI:R/S:U/C:H/I:N/A:N", 4.4},
+        // No impact at all scores zero.
+        ScoreCase{"CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N", 0.0},
+        // Physical, low impact.
+        ScoreCase{"CVSS:3.0/AV:P/AC:L/PR:N/UI:N/S:U/C:L/I:N/A:N", 2.4},
+        // Scope-changed XSS-style vector.
+        ScoreCase{"CVSS:3.0/AV:N/AC:L/PR:N/UI:R/S:C/C:L/I:L/A:N", 6.1},
+        // Adjacent network DoS.
+        ScoreCase{"CVSS:3.0/AV:A/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:H", 6.5}));
+
+TEST(Cvss, TemporalNeverExceedsBase) {
+  Vector v = MustParse("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H");
+  v.exploit = ExploitMaturity::kUnproven;
+  v.remediation = RemediationLevel::kOfficialFix;
+  v.confidence = ReportConfidence::kUnknown;
+  EXPECT_LT(TemporalScore(v), BaseScore(v));
+  v.exploit = ExploitMaturity::kHigh;
+  v.remediation = RemediationLevel::kUnavailable;
+  v.confidence = ReportConfidence::kConfirmed;
+  EXPECT_DOUBLE_EQ(TemporalScore(v), BaseScore(v));
+}
+
+TEST(Cvss, SeverityBands) {
+  EXPECT_EQ(SeverityFor(0.0), Severity::kNone);
+  EXPECT_EQ(SeverityFor(0.1), Severity::kLow);
+  EXPECT_EQ(SeverityFor(3.9), Severity::kLow);
+  EXPECT_EQ(SeverityFor(4.0), Severity::kMedium);
+  EXPECT_EQ(SeverityFor(6.9), Severity::kMedium);
+  EXPECT_EQ(SeverityFor(7.0), Severity::kHigh);
+  EXPECT_EQ(SeverityFor(8.9), Severity::kHigh);
+  EXPECT_EQ(SeverityFor(9.0), Severity::kCritical);
+  EXPECT_EQ(SeverityFor(10.0), Severity::kCritical);
+}
+
+TEST(Cvss, RoundTripThroughVectorString) {
+  const char* vectors[] = {
+      "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H",
+      "CVSS:3.0/AV:L/AC:H/PR:H/UI:R/S:C/C:L/I:L/A:N",
+      "CVSS:3.0/AV:A/AC:L/PR:L/UI:N/S:U/C:N/I:H/A:L",
+      "CVSS:3.0/AV:P/AC:H/PR:N/UI:R/S:U/C:L/I:N/A:H/E:P/RL:W/RC:R",
+  };
+  for (const char* text : vectors) {
+    const Vector v = MustParse(text);
+    EXPECT_EQ(ToVectorString(v), text);
+    const Vector again = MustParse(ToVectorString(v));
+    EXPECT_EQ(again, v);
+  }
+}
+
+TEST(Cvss, ParseRejectsMalformed) {
+  EXPECT_FALSE(ParseVectorString("AV:N/AC:L").ok());
+  EXPECT_FALSE(ParseVectorString("CVSS:3.0/AV:N").ok());  // Missing metrics.
+  EXPECT_FALSE(
+      ParseVectorString("CVSS:3.0/AV:Q/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H").ok());
+  EXPECT_FALSE(
+      ParseVectorString("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H/XX:1").ok());
+}
+
+TEST(Cvss, RoundUpMatchesSpecBehaviour) {
+  EXPECT_DOUBLE_EQ(RoundUp1(4.02), 4.1);
+  EXPECT_DOUBLE_EQ(RoundUp1(4.0), 4.0);
+  EXPECT_DOUBLE_EQ(RoundUp1(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RoundUp1(9.89), 9.9);
+}
+
+TEST(Cwe, TableLookupAndCategories) {
+  const CweEntry* entry = FindCwe(kCweStackBufferOverflow);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->category, CweCategory::kMemorySafety);
+  EXPECT_EQ(entry->parent, kCweBufferOverflowParent);
+  EXPECT_EQ(FindCwe(99999), nullptr);
+  EXPECT_EQ(CategoryOf(kCweSqlInjection), CweCategory::kInjection);
+  EXPECT_EQ(CategoryOf(424242), CweCategory::kOther);
+}
+
+TEST(Cwe, HierarchyWalk) {
+  EXPECT_TRUE(IsA(kCweStackBufferOverflow, kCweBufferOverflowParent));
+  EXPECT_TRUE(IsA(kCweStackBufferOverflow, kCweStackBufferOverflow));
+  EXPECT_FALSE(IsA(kCweStackBufferOverflow, kCweSqlInjection));
+  // SQL injection is a child of improper input validation in the curated tree.
+  EXPECT_TRUE(IsA(kCweSqlInjection, kCweInputValidation));
+  // Everything is a descendant of the root.
+  EXPECT_TRUE(IsA(kCweStackBufferOverflow, 0));
+}
+
+TEST(Cwe, TableIsSortedAndConsistent) {
+  const auto& table = CweTable();
+  for (size_t i = 1; i < table.size(); ++i) {
+    EXPECT_LT(table[i - 1].id, table[i].id);
+  }
+  for (const auto& entry : table) {
+    if (entry.parent != 0) {
+      EXPECT_NE(FindCwe(entry.parent), nullptr) << "dangling parent of " << entry.id;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cvss

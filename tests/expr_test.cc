@@ -1,0 +1,138 @@
+// Unit tests for the symbolic expression pool: hash-consing, constant
+// folding, algebraic identities, Truthy/Falsy normalisation, tree-size
+// accounting, and evaluation semantics.
+#include <gtest/gtest.h>
+
+#include "src/symexec/expr.h"
+
+namespace symx {
+namespace {
+
+TEST(ExprPool, HashConsingDeduplicates) {
+  ExprPool pool(16);
+  const ExprRef x = pool.FreshVar("x");
+  const ExprRef a = pool.Binary(ExprOp::kAdd, x, pool.Const(5));
+  const ExprRef b = pool.Binary(ExprOp::kAdd, x, pool.Const(5));
+  EXPECT_EQ(a, b);
+  const ExprRef c = pool.Binary(ExprOp::kAdd, x, pool.Const(6));
+  EXPECT_NE(a, c);
+}
+
+TEST(ExprPool, ConstantFolding) {
+  ExprPool pool(16);
+  const ExprRef sum = pool.Binary(ExprOp::kAdd, pool.Const(3), pool.Const(4));
+  EXPECT_EQ(pool.node(sum).op, ExprOp::kConst);
+  EXPECT_EQ(pool.node(sum).imm, 7);
+  const ExprRef cmp = pool.Binary(ExprOp::kSlt, pool.Const(-1), pool.Const(0));
+  EXPECT_EQ(pool.node(cmp).imm, 1);
+  const ExprRef ite = pool.Ite(pool.Const(0), pool.Const(10), pool.Const(20));
+  EXPECT_EQ(pool.node(ite).imm, 20);
+}
+
+TEST(ExprPool, FoldingRespectsWidth) {
+  ExprPool pool(8);
+  // 100 + 100 = 200 wraps to -56 in signed 8-bit.
+  const ExprRef sum = pool.Binary(ExprOp::kAdd, pool.Const(100), pool.Const(100));
+  EXPECT_EQ(pool.node(sum).imm, -56);
+  // Constants are stored sign-extended.
+  EXPECT_EQ(pool.node(pool.Const(255)).imm, -1);
+}
+
+TEST(ExprPool, AlgebraicIdentities) {
+  ExprPool pool(16);
+  const ExprRef x = pool.FreshVar("x");
+  EXPECT_EQ(pool.Binary(ExprOp::kAdd, x, pool.Const(0)), x);
+  EXPECT_EQ(pool.Binary(ExprOp::kAdd, pool.Const(0), x), x);
+  EXPECT_EQ(pool.Binary(ExprOp::kSub, x, pool.Const(0)), x);
+  EXPECT_EQ(pool.Binary(ExprOp::kMul, x, pool.Const(1)), x);
+  EXPECT_EQ(pool.Binary(ExprOp::kMul, pool.Const(1), x), x);
+}
+
+TEST(ExprPool, TruthyFalsyNormalisation) {
+  ExprPool pool(16);
+  const ExprRef x = pool.FreshVar("x");
+  const ExprRef y = pool.FreshVar("y");
+  const ExprRef lt = pool.Binary(ExprOp::kSlt, x, y);
+  // Comparisons are their own truthy form.
+  EXPECT_EQ(pool.Truthy(lt), lt);
+  // Falsy of a < b is b <= a.
+  const ExprRef not_lt = pool.Falsy(lt);
+  EXPECT_EQ(pool.node(not_lt).op, ExprOp::kSle);
+  EXPECT_EQ(pool.node(not_lt).a, y);
+  EXPECT_EQ(pool.node(not_lt).b, x);
+  // Double negation of a comparison returns the original.
+  EXPECT_EQ(pool.Falsy(pool.Falsy(lt)), lt);
+  // Non-comparisons are wrapped.
+  EXPECT_EQ(pool.node(pool.Truthy(x)).op, ExprOp::kNe);
+}
+
+TEST(ExprPool, TreeSizeGrowsAndSaturates) {
+  ExprPool pool(16);
+  ExprRef x = pool.FreshVar("x");
+  EXPECT_EQ(pool.TreeSize(x), 1u);
+  uint32_t previous = 1;
+  for (int i = 0; i < 40; ++i) {
+    x = pool.Binary(ExprOp::kMul, x, x);
+    // Doubles each round (plus one) until saturation; never decreases.
+    EXPECT_GE(pool.TreeSize(x), previous);
+    previous = pool.TreeSize(x);
+  }
+  EXPECT_EQ(previous, 0xffffffffu);  // Saturated, not wrapped.
+}
+
+TEST(ExprPool, EvalMatchesTwosComplementSemantics) {
+  ExprPool pool(8);
+  const ExprRef x = pool.FreshVar("x");
+  const ExprRef y = pool.FreshVar("y");
+  const ExprRef expr = pool.Binary(
+      ExprOp::kXor, pool.Binary(ExprOp::kMul, x, pool.Const(3)),
+      pool.Binary(ExprOp::kShr, y, pool.Const(2)));
+  // 8-bit: (50*3) & 0xff = 150 -> -106 signed; (200 >> 2) on masked y.
+  const int64_t value = pool.Eval(expr, {50, 200});
+  const int64_t expected =
+      static_cast<int8_t>((static_cast<uint8_t>(50 * 3)) ^ ((200 & 0xff) >> 2));
+  EXPECT_EQ(value, expected);
+}
+
+TEST(ExprPool, EvalIteAndComparisons) {
+  ExprPool pool(16);
+  const ExprRef x = pool.FreshVar("x");
+  const ExprRef cond = pool.Binary(ExprOp::kSle, x, pool.Const(10));
+  const ExprRef ite = pool.Ite(cond, pool.Const(111), pool.Const(222));
+  EXPECT_EQ(pool.Eval(ite, {10}), 111);
+  EXPECT_EQ(pool.Eval(ite, {11}), 222);
+}
+
+TEST(ExprPool, IsConcreteDetectsVariables) {
+  ExprPool pool(16);
+  const ExprRef x = pool.FreshVar("x");
+  EXPECT_FALSE(pool.IsConcrete(x));
+  EXPECT_TRUE(pool.IsConcrete(pool.Const(5)));
+  EXPECT_FALSE(pool.IsConcrete(pool.Binary(ExprOp::kAdd, x, pool.Const(1))));
+}
+
+TEST(ExprPool, DivisionBySymbolicBecomesFreshVar) {
+  ExprPool pool(16);
+  const ExprRef x = pool.FreshVar("x");
+  const ExprRef y = pool.FreshVar("y");
+  bool made_fresh = false;
+  const ExprRef quotient = pool.FromBinaryOp(lang::BinaryOp::kDiv, x, y, made_fresh);
+  EXPECT_TRUE(made_fresh);
+  EXPECT_EQ(pool.node(quotient).op, ExprOp::kVar);
+  // Constant division folds exactly.
+  made_fresh = false;
+  const ExprRef folded =
+      pool.FromBinaryOp(lang::BinaryOp::kDiv, pool.Const(42), pool.Const(6), made_fresh);
+  EXPECT_FALSE(made_fresh);
+  EXPECT_EQ(pool.node(folded).imm, 7);
+}
+
+TEST(ExprPool, ToStringIsReadable) {
+  ExprPool pool(16);
+  const ExprRef x = pool.FreshVar("x");
+  const ExprRef expr = pool.Binary(ExprOp::kSlt, x, pool.Const(8));
+  EXPECT_EQ(pool.ToString(expr), "(< x 8)");
+}
+
+}  // namespace
+}  // namespace symx

@@ -1,0 +1,109 @@
+// Property-based cross-validation between the three execution engines:
+// for randomly generated MiniC programs, (a) the concrete interpreter must
+// never fault in a way the symbolic executor deems impossible, and (b) any
+// fault the interpreter observes must correspond to a reported
+// vulnerability site when exploration was exhaustive.
+#include <gtest/gtest.h>
+
+#include "src/corpus/codegen.h"
+#include "src/lang/interp.h"
+#include "src/lang/parser.h"
+#include "src/metrics/callgraph.h"
+#include "src/support/rng.h"
+#include "src/symexec/executor.h"
+
+namespace {
+
+class EngineAgreement : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EngineAgreement, InterpreterFaultsImplyReportedVulnSites) {
+  support::Rng rng(GetParam() * 7919);
+  corpus::AppStyle style;
+  style.complexity = rng.NextDouble() * 0.6;
+  style.unsafety = rng.NextDouble();
+  style.taintiness = rng.NextDouble();
+  const std::string source = corpus::GenerateMiniCFile(rng, style, 120);
+  auto unit = lang::Parse(source);
+  ASSERT_TRUE(unit.ok());
+  auto module = lang::LowerToIr(unit.value());
+  ASSERT_TRUE(module.ok());
+
+  const metrics::CallGraph graph(module.value());
+  const auto roots = graph.Roots();
+  ASSERT_FALSE(roots.empty());
+  const std::string& entry = roots.front();
+
+  symx::SymExecOptions options;
+  options.max_paths = 48;
+  options.max_steps_per_path = 2048;
+  options.exploit_sample_trials = 32;
+  const symx::SymExecResult sym = symx::Explore(module.value(), entry, options);
+
+  // Concrete runs over random small inputs.
+  support::Rng input_rng(GetParam());
+  int faults_seen = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<int64_t> inputs;
+    for (int i = 0; i < 16; ++i) {
+      // Mix small values (likely in-bounds) and wild ones.
+      inputs.push_back(input_rng.NextBool(0.7)
+                           ? static_cast<int64_t>(input_rng.NextBelow(16))
+                           : static_cast<int64_t>(input_rng.NextBelow(1 << 14)) - 4096);
+    }
+    // Entry args: zeros (the executor's havoc covers more; concrete zeros
+    // are a subset of what symexec considered).
+    const auto trace = lang::Execute(module.value(), entry, {0, 0, 0, 0}, inputs);
+    if (trace.outcome == lang::ExecOutcome::kOutOfBounds ||
+        trace.outcome == lang::ExecOutcome::kDivisionByZero) {
+      ++faults_seen;
+    }
+  }
+  // If exploration was exhaustive (no path/step limit hit) and no fresh-var
+  // over-approximation was needed, a concrete fault implies symexec found at
+  // least one vulnerability site. (Path limits make symexec incomplete, so
+  // only assert when exploration finished.)
+  if (faults_seen > 0 && !sym.path_limit_hit && sym.paths_limited == 0) {
+    EXPECT_FALSE(sym.vulns.empty())
+        << "interpreter faulted " << faults_seen << "x but symexec found no sites\n"
+        << source.substr(0, 1500);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineAgreement, ::testing::Range<uint64_t>(1, 14));
+
+// The symbolic executor's path enumeration must agree with brute-force
+// concrete enumeration on programs with one small input.
+class PathCountAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(PathCountAgreement, ReturnValueSetMatchesConcreteSweep) {
+  const int k = GetParam();
+  std::string source = "int main() {\n  int r = 0;\n  int x = input();\n";
+  for (int i = 0; i < k; ++i) {
+    source += "  if (x > " + std::to_string(i * 8) + ") { r += " +
+              std::to_string(1 << i) + "; }\n";
+  }
+  source += "  return r;\n}\n";
+  auto unit = lang::Parse(source);
+  ASSERT_TRUE(unit.ok());
+  auto module = lang::LowerToIr(unit.value());
+  ASSERT_TRUE(module.ok());
+
+  symx::SymExecOptions options;
+  options.max_paths = 256;
+  const symx::SymExecResult sym = symx::Explore(module.value(), "main", options);
+  // Correlated branches: exactly k+1 feasible paths (x in each band).
+  EXPECT_EQ(sym.paths_completed, static_cast<uint64_t>(k + 1));
+
+  // Concrete sweep confirms exactly k+1 distinct return values.
+  std::set<int64_t> values;
+  for (int64_t x = -4; x <= 8 * k + 4; ++x) {
+    const auto trace = lang::Execute(module.value(), "main", {}, {x});
+    ASSERT_EQ(trace.outcome, lang::ExecOutcome::kReturned);
+    values.insert(trace.return_value);
+  }
+  EXPECT_EQ(values.size(), static_cast<size_t>(k + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, PathCountAgreement, ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace

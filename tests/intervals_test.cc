@@ -1,0 +1,286 @@
+// Tests for the interval abstract interpreter: lattice algebra, transfer
+// precision, branch refinement, widening termination, and soundness against
+// the concrete interpreter (property test).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/corpus/codegen.h"
+#include "src/dataflow/intervals.h"
+#include "src/lang/interp.h"
+#include "src/metrics/callgraph.h"
+#include "src/lang/parser.h"
+#include "src/support/rng.h"
+
+namespace dataflow {
+namespace {
+
+lang::IrModule MustLower(std::string_view source) {
+  auto unit = lang::Parse(source);
+  EXPECT_TRUE(unit.ok()) << (unit.ok() ? "" : unit.error().ToString());
+  auto module = lang::LowerToIr(unit.value());
+  EXPECT_TRUE(module.ok()) << (module.ok() ? "" : module.error().ToString());
+  return std::move(module).value();
+}
+
+int CountFindings(const IntervalReport& report, AiFinding::Kind kind) {
+  int count = 0;
+  for (const auto& finding : report.findings) {
+    count += finding.kind == kind ? 1 : 0;
+  }
+  return count;
+}
+
+// --- Lattice algebra ----------------------------------------------------------
+
+TEST(IntervalAlgebra, JoinMeetWiden) {
+  const Interval a = Interval::Range(0, 10);
+  const Interval b = Interval::Range(5, 20);
+  EXPECT_EQ(Join(a, b), Interval::Range(0, 20));
+  EXPECT_EQ(Meet(a, b), Interval::Range(5, 10));
+  EXPECT_TRUE(Meet(Interval::Range(0, 1), Interval::Range(5, 6)).bottom);
+  EXPECT_EQ(Join(Interval::Bottom(), a), a);
+  // Widening blows growing bounds to infinity but keeps stable ones.
+  const Interval widened = Widen(Interval::Range(0, 10), Interval::Range(0, 11));
+  EXPECT_EQ(widened.lo, 0);
+  EXPECT_EQ(widened.hi, Interval::kMax);
+}
+
+TEST(IntervalAlgebra, ArithmeticSaturates) {
+  const Interval big = Interval::Range(INT64_MAX / 2, INT64_MAX - 1);
+  const Interval sum = AddI(big, big);
+  EXPECT_EQ(sum.hi, Interval::kMax);
+  const Interval product = MulI(Interval::Range(-3, 3), Interval::Range(-5, 7));
+  EXPECT_EQ(product, Interval::Range(-21, 21));
+  EXPECT_EQ(NegI(Interval::Range(-2, 9)), Interval::Range(-9, 2));
+  EXPECT_EQ(SubI(Interval::Const(10), Interval::Range(1, 4)), Interval::Range(6, 9));
+}
+
+TEST(IntervalAlgebra, DivisionAndRemainder) {
+  EXPECT_EQ(DivI(Interval::Range(10, 20), Interval::Range(2, 5)), Interval::Range(2, 10));
+  const Interval rem = RemI(Interval::Range(0, 100), Interval::Const(7));
+  EXPECT_EQ(rem, Interval::Range(0, 6));
+  const Interval negrem = RemI(Interval::Range(-100, -1), Interval::Const(7));
+  EXPECT_EQ(negrem, Interval::Range(-6, 0));
+}
+
+// --- Proving safety ------------------------------------------------------------
+
+TEST(Intervals, ProvesConstantIndexSafe) {
+  const auto module = MustLower(R"(
+    int f() {
+      int buf[8];
+      buf[3] = 1;
+      return buf[3];
+    }
+  )");
+  const IntervalReport report = AnalyzeIntervals(module.functions[0]);
+  EXPECT_EQ(report.array_accesses, 2);
+  EXPECT_EQ(report.proven_in_bounds, 2);
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(Intervals, ProvesGuardedInputIndexSafe) {
+  const auto module = MustLower(R"(
+    int f() {
+      int buf[8];
+      int i = input();
+      if (i >= 0 && i < 8) {
+        buf[i] = 1;
+      }
+      return 0;
+    }
+  )");
+  const IntervalReport report = AnalyzeIntervals(module.functions[0]);
+  EXPECT_EQ(report.proven_in_bounds, report.array_accesses);
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(Intervals, FlagsUnguardedInputIndex) {
+  const auto module = MustLower(R"(
+    int f() {
+      int buf[8];
+      int i = input();
+      buf[i] = 1;
+      return 0;
+    }
+  )");
+  const IntervalReport report = AnalyzeIntervals(module.functions[0]);
+  EXPECT_EQ(CountFindings(report, AiFinding::Kind::kPossibleOutOfBounds), 1);
+}
+
+TEST(Intervals, FlagsInsufficientGuard) {
+  const auto module = MustLower(R"(
+    int f() {
+      int buf[8];
+      int i = input();
+      if (i < 16) {        // Missing lower bound, upper bound too lax.
+        buf[i] = 1;
+      }
+      return 0;
+    }
+  )");
+  const IntervalReport report = AnalyzeIntervals(module.functions[0]);
+  EXPECT_EQ(CountFindings(report, AiFinding::Kind::kPossibleOutOfBounds), 1);
+}
+
+TEST(Intervals, ProvesLoopBoundedIndexSafe) {
+  const auto module = MustLower(R"(
+    int f() {
+      int buf[10];
+      for (int i = 0; i < 10; ++i) {
+        buf[i] = i;
+      }
+      return buf[0];
+    }
+  )");
+  // Widening sends i's upper bound to +inf at the header, but the branch
+  // refinement (i < 10) restores it inside the body.
+  const IntervalReport report = AnalyzeIntervals(module.functions[0]);
+  EXPECT_EQ(report.proven_in_bounds, report.array_accesses);
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(Intervals, DivisionByGuardedValueProven) {
+  const auto module = MustLower(R"(
+    int f(int d) {
+      if (d > 0) {
+        return 100 / d;
+      }
+      return 0;
+    }
+  )");
+  const IntervalReport report = AnalyzeIntervals(module.functions[0]);
+  EXPECT_EQ(report.divisions, 1);
+  EXPECT_EQ(report.proven_nonzero_divisor, 1);
+}
+
+TEST(Intervals, UnguardedDivisionFlagged) {
+  const auto module = MustLower("int f(int d) { return 100 / d; }");
+  const IntervalReport report = AnalyzeIntervals(module.functions[0]);
+  EXPECT_EQ(CountFindings(report, AiFinding::Kind::kPossibleDivByZero), 1);
+}
+
+TEST(Intervals, EqualityRefinement) {
+  const auto module = MustLower(R"(
+    int f() {
+      int buf[4];
+      int i = input();
+      if (i == 2) {
+        buf[i] = 7;
+      }
+      return 0;
+    }
+  )");
+  const IntervalReport report = AnalyzeIntervals(module.functions[0]);
+  EXPECT_EQ(report.proven_in_bounds, report.array_accesses);
+}
+
+TEST(Intervals, InfeasibleBranchPruned) {
+  const auto module = MustLower(R"(
+    int f() {
+      int x = 5;
+      int buf[2];
+      if (x > 10) {
+        buf[100] = 1;  // Dead: x is exactly 5.
+      }
+      return 0;
+    }
+  )");
+  const IntervalReport report = AnalyzeIntervals(module.functions[0]);
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(Intervals, WideningTerminatesOnUnboundedLoop) {
+  const auto module = MustLower(R"(
+    int f() {
+      int x = 0;
+      while (x >= 0) {
+        x = x + 1;
+      }
+      return x;
+    }
+  )");
+  // Must terminate (widening) and produce a report without hanging.
+  const IntervalReport report = AnalyzeIntervals(module.functions[0]);
+  EXPECT_EQ(report.array_accesses, 0);
+}
+
+// --- Soundness property --------------------------------------------------------
+// If the analysis reports zero possible-OOB findings for a function, the
+// concrete interpreter must never observe an out-of-bounds fault in it.
+
+class IntervalSoundness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntervalSoundness, NoFindingsImpliesNoConcreteFaults) {
+  support::Rng rng(GetParam() * 104729);
+  corpus::AppStyle style;
+  style.complexity = rng.NextDouble() * 0.7;
+  style.unsafety = rng.NextDouble();
+  style.taintiness = rng.NextDouble();
+  const std::string source = corpus::GenerateMiniCFile(rng, style, 150);
+  const auto module = MustLower(source);
+
+  // Per-function cleanliness; a concrete run of `fn` can fault inside any
+  // transitive callee, so the property is asserted only when every function
+  // reachable from `fn` is clean for the fault kind.
+  std::map<std::string, std::pair<bool, bool>> clean;  // (oob, div).
+  for (const auto& fn : module.functions) {
+    const IntervalReport report = AnalyzeIntervals(fn);
+    clean[fn.name] = {
+        CountFindings(report, AiFinding::Kind::kPossibleOutOfBounds) == 0,
+        CountFindings(report, AiFinding::Kind::kPossibleDivByZero) == 0};
+  }
+  const metrics::CallGraph graph(module);
+  for (const auto& fn : module.functions) {
+    bool oob_clean = true;
+    bool div_clean = true;
+    for (const auto& callee : graph.ReachableFrom(fn.name)) {
+      const auto it = clean.find(callee);
+      if (it == clean.end()) {
+        continue;
+      }
+      oob_clean &= it->second.first;
+      div_clean &= it->second.second;
+    }
+    if (!oob_clean) {
+      continue;  // The analysis admits it cannot prove this call tree.
+    }
+    support::Rng input_rng(GetParam());
+    for (int trial = 0; trial < 25; ++trial) {
+      std::vector<int64_t> inputs;
+      std::vector<int64_t> args;
+      for (int i = 0; i < 12; ++i) {
+        inputs.push_back(static_cast<int64_t>(input_rng.NextBelow(1 << 15)) - (1 << 14));
+      }
+      for (size_t i = 0; i < fn.param_regs.size(); ++i) {
+        args.push_back(static_cast<int64_t>(input_rng.NextBelow(1 << 15)) - (1 << 14));
+      }
+      const auto trace = lang::Execute(module, fn.name, args, inputs);
+      EXPECT_NE(trace.outcome, lang::ExecOutcome::kOutOfBounds)
+          << fn.name << " faulted despite a clean interval report\n"
+          << source.substr(0, 1500);
+      if (div_clean) {
+        EXPECT_NE(trace.outcome, lang::ExecOutcome::kDivisionByZero) << fn.name;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSoundness, ::testing::Range<uint64_t>(1, 30));
+
+TEST(IntervalFeaturesTest, ModuleAggregation) {
+  const auto module = MustLower(R"(
+    int safe() { int b[4]; b[1] = 2; return b[1]; }
+    int risky() { int b[4]; int i = input(); b[i] = 1; return 100 / i; }
+  )");
+  const auto fv = IntervalFeatures(module);
+  EXPECT_EQ(fv.Get("ai.array_accesses"), 3.0);
+  EXPECT_EQ(fv.Get("ai.proven_in_bounds"), 2.0);
+  EXPECT_EQ(fv.Get("ai.possible_oob"), 1.0);
+  EXPECT_EQ(fv.Get("ai.possible_div0"), 1.0);
+  EXPECT_GT(fv.Get("ai.unproven_access_ratio"), 0.0);
+}
+
+}  // namespace
+}  // namespace dataflow

@@ -1,0 +1,145 @@
+// Smoke tests for the MiniC frontend: lex → parse → lower → interpret.
+#include <gtest/gtest.h>
+
+#include "src/lang/interp.h"
+#include "src/lang/ir.h"
+#include "src/lang/lexer.h"
+#include "src/lang/parser.h"
+
+namespace lang {
+namespace {
+
+IrModule MustLower(std::string_view source) {
+  auto unit = Parse(source);
+  EXPECT_TRUE(unit.ok()) << (unit.ok() ? "" : unit.error().ToString());
+  auto module = LowerToIr(unit.value());
+  EXPECT_TRUE(module.ok()) << (module.ok() ? "" : module.error().ToString());
+  return std::move(module).value();
+}
+
+TEST(LangSmoke, LexCountsLines) {
+  auto out = Lex("int x = 1; // trailing\n/* full comment line */\n\nint y = 2;\n");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().lines.comment_lines, 1);
+  EXPECT_EQ(out.value().lines.blank_lines, 1);
+  EXPECT_EQ(out.value().lines.code_lines, 2);
+}
+
+TEST(LangSmoke, ArithmeticAndCalls) {
+  const auto module = MustLower(R"(
+    int square(int x) { return x * x; }
+    int main() {
+      int total = 0;
+      for (int i = 1; i <= 4; ++i) {
+        total += square(i);
+      }
+      return total;
+    }
+  )");
+  const auto trace = Execute(module, "main", {}, {});
+  EXPECT_EQ(trace.outcome, ExecOutcome::kReturned);
+  EXPECT_EQ(trace.return_value, 1 + 4 + 9 + 16);
+}
+
+TEST(LangSmoke, ShortCircuitAndConditional) {
+  const auto module = MustLower(R"(
+    int main() {
+      int x = 3;
+      int guard = (x != 0) && (12 / x > 3);
+      int y = guard ? 100 : 7;
+      return y;
+    }
+  )");
+  const auto trace = Execute(module, "main", {}, {});
+  EXPECT_EQ(trace.outcome, ExecOutcome::kReturned);
+  EXPECT_EQ(trace.return_value, 100);
+}
+
+TEST(LangSmoke, OutOfBoundsDetected) {
+  const auto module = MustLower(R"(
+    int main() {
+      int buf[4];
+      int i = input();
+      buf[i] = 1;
+      return buf[i];
+    }
+  )");
+  const auto ok_trace = Execute(module, "main", {}, {3});
+  EXPECT_EQ(ok_trace.outcome, ExecOutcome::kReturned);
+  const auto bad_trace = Execute(module, "main", {}, {4});
+  EXPECT_EQ(bad_trace.outcome, ExecOutcome::kOutOfBounds);
+}
+
+TEST(LangSmoke, SwitchFallthrough) {
+  const auto module = MustLower(R"(
+    int classify(int x) {
+      int score = 0;
+      switch (x) {
+        case 1:
+          score += 10;
+        case 2:
+          score += 100;
+          break;
+        default:
+          score = -1;
+      }
+      return score;
+    }
+    int main() { return classify(input()); }
+  )");
+  EXPECT_EQ(Execute(module, "main", {}, {1}).return_value, 110);
+  EXPECT_EQ(Execute(module, "main", {}, {2}).return_value, 100);
+  EXPECT_EQ(Execute(module, "main", {}, {9}).return_value, -1);
+}
+
+TEST(LangSmoke, GlobalsAndWhile) {
+  const auto module = MustLower(R"(
+    int counter = 5;
+    int tab[3];
+    int main() {
+      while (counter > 0) {
+        counter = counter - 1;
+        tab[counter % 3] += 1;
+      }
+      return tab[0] + 10 * tab[1] + 100 * tab[2];
+    }
+  )");
+  const auto trace = Execute(module, "main", {}, {});
+  EXPECT_EQ(trace.outcome, ExecOutcome::kReturned);
+  // counter runs 4,3,2,1,0 -> indices 1,0,2,1,0 -> tab = {2,2,1}.
+  EXPECT_EQ(trace.return_value, 2 + 20 + 100);
+}
+
+TEST(LangSmoke, DivisionByZeroDetected) {
+  const auto module = MustLower("int main() { int d = input(); return 10 / d; }");
+  EXPECT_EQ(Execute(module, "main", {}, {2}).return_value, 5);
+  EXPECT_EQ(Execute(module, "main", {}, {0}).outcome, ExecOutcome::kDivisionByZero);
+}
+
+TEST(LangSmoke, ParseErrorsAreReported) {
+  EXPECT_FALSE(Parse("int main( { return 0; }").ok());
+  EXPECT_FALSE(Parse("int main() { return x; }").ok() &&
+               LowerToIr(Parse("int main() { return x; }").value()).ok());
+  EXPECT_FALSE(Parse("int main() { int x = \"unterminated; }").ok());
+}
+
+TEST(LangSmoke, AbortAndSink) {
+  const auto module = MustLower(R"(
+    int main() {
+      int v = input();
+      sink(v);
+      if (v > 10) {
+        abort();
+      }
+      return v;
+    }
+  )");
+  const auto ok_trace = Execute(module, "main", {}, {5});
+  EXPECT_EQ(ok_trace.outcome, ExecOutcome::kReturned);
+  ASSERT_EQ(ok_trace.sink_values.size(), 1u);
+  EXPECT_EQ(ok_trace.sink_values[0], 5);
+  EXPECT_EQ(Execute(module, "main", {}, {11}).outcome, ExecOutcome::kAborted);
+}
+
+}  // namespace
+}  // namespace lang

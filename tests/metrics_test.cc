@@ -1,0 +1,282 @@
+// Unit tests for the static-analysis metric extractors.
+#include <gtest/gtest.h>
+
+#include "src/lang/lexer.h"
+#include "src/lang/parser.h"
+#include "src/metrics/callgraph.h"
+#include "src/metrics/cloc.h"
+#include "src/metrics/complexity.h"
+#include "src/metrics/extract.h"
+#include "src/metrics/feature_vector.h"
+#include "src/metrics/smells.h"
+
+namespace metrics {
+namespace {
+
+lang::IrModule MustLower(std::string_view source) {
+  auto unit = lang::Parse(source);
+  EXPECT_TRUE(unit.ok()) << (unit.ok() ? "" : unit.error().ToString());
+  auto module = lang::LowerToIr(unit.value());
+  EXPECT_TRUE(module.ok()) << (module.ok() ? "" : module.error().ToString());
+  return std::move(module).value();
+}
+
+TEST(FeatureVector, SetAddMerge) {
+  FeatureVector a;
+  a.Set("x", 2.0);
+  a.Add("x", 3.0);
+  a.Set("y", 1.0);
+  FeatureVector b;
+  b.Set("x", 10.0);
+  b.Set("z", 4.0);
+  a.MergeSum(b);
+  EXPECT_DOUBLE_EQ(a.Get("x"), 15.0);
+  EXPECT_DOUBLE_EQ(a.Get("z"), 4.0);
+  FeatureVector c;
+  c.Set("x", 1.0);
+  c.MergeMax(b);
+  EXPECT_DOUBLE_EQ(c.Get("x"), 10.0);
+  EXPECT_EQ(a.Get("missing", -1.0), -1.0);
+  EXPECT_EQ(a.Names().size(), 3u);
+}
+
+TEST(Cloc, CFamilyClassification) {
+  const std::string source =
+      "// leading comment\n"
+      "\n"
+      "int x = 1; // trailing\n"
+      "/* block\n"
+      "   spanning */\n"
+      "int y = 2; /* inline */ int z = 3;\n"
+      "\"/* not a comment */\";\n";
+  const LineCount count = CountLines(source, Language::kC);
+  EXPECT_EQ(count.comment, 3);
+  EXPECT_EQ(count.blank, 1);
+  EXPECT_EQ(count.code, 3);
+}
+
+TEST(Cloc, PythonDocstringsAndHashes) {
+  const std::string source =
+      "# comment\n"
+      "\"\"\"module docstring\n"
+      "continues here\n"
+      "\"\"\"\n"
+      "\n"
+      "def f(x):\n"
+      "    return x  # trailing\n";
+  const LineCount count = CountLines(source, Language::kPython);
+  EXPECT_EQ(count.comment, 4);
+  EXPECT_EQ(count.blank, 1);
+  EXPECT_EQ(count.code, 2);
+}
+
+TEST(Cloc, BlockCommentStateSpansLines) {
+  const std::string source = "/*\n\n   all comment\n*/\nint x;\n";
+  const LineCount count = CountLines(source, Language::kCpp);
+  // The blank line inside the block comment counts as comment (cloc rule:
+  // we classify by in-comment state).
+  EXPECT_EQ(count.code, 1);
+  EXPECT_EQ(count.comment + count.blank, 4);
+}
+
+TEST(Complexity, StraightLineIsOne) {
+  const auto module = MustLower("int f() { int a = 1; int b = 2; return a + b; }");
+  EXPECT_EQ(CyclomaticComplexity(module.functions[0]), 1);
+}
+
+TEST(Complexity, EachDecisionAddsOne) {
+  const auto module = MustLower(R"(
+    int f(int x) {
+      if (x > 0) { x = 1; }
+      if (x > 1) { x = 2; } else { x = 3; }
+      while (x < 10) { x = x + 1; }
+      return x;
+    }
+  )");
+  // M = decisions + 1 = 3 + 1.
+  EXPECT_EQ(CyclomaticComplexity(module.functions[0]), 4);
+}
+
+TEST(Complexity, ShortCircuitCountsAsDecision) {
+  const auto module = MustLower("int f(int x, int y) { return (x > 0 && y > 0) ? 1 : 0; }");
+  // && and ?: each add a branch in the lowered CFG.
+  EXPECT_EQ(CyclomaticComplexity(module.functions[0]), 3);
+}
+
+TEST(Complexity, DecisionPointsSourceLevel) {
+  auto unit = lang::Parse(R"(
+    int f(int x) {
+      if (x > 0 && x < 5) { return 1; }
+      switch (x) { case 1: return 2; case 2: return 3; default: return 4; }
+    }
+  )");
+  ASSERT_TRUE(unit.ok());
+  // if + && + 2 cases (default doesn't count).
+  EXPECT_EQ(DecisionPoints(unit.value().functions[0]), 4);
+}
+
+TEST(Complexity, NestingDepth) {
+  auto unit = lang::Parse(R"(
+    int f(int x) {
+      if (x) {
+        while (x) {
+          if (x) { x = 0; }
+        }
+      }
+      return 0;
+    }
+  )");
+  ASSERT_TRUE(unit.ok());
+  EXPECT_EQ(MaxNestingDepth(unit.value().functions[0]), 3);
+}
+
+TEST(Halstead, CountsOperatorsAndOperands) {
+  auto lexed = lang::Lex("int f() { return 1 + 2 + x; }");
+  ASSERT_TRUE(lexed.ok());
+  const HalsteadMeasures hm = ComputeHalstead(lexed.value().tokens);
+  // Operands: 1, 2, x (f is an identifier too). Distinct operators include
+  // int, return, +.
+  EXPECT_GE(hm.distinct_operands, 3);
+  EXPECT_GE(hm.distinct_operators, 3);
+  EXPECT_GT(hm.volume, 0.0);
+  EXPECT_GT(hm.effort, 0.0);
+  EXPECT_NEAR(hm.estimated_bugs, hm.volume / 3000.0, 1e-12);
+}
+
+TEST(CallGraph, FanInOutAndRecursion) {
+  const auto module = MustLower(R"(
+    int leaf(int x) { return x; }
+    int mid(int x) { return leaf(x) + leaf(x + 1); }
+    int looper(int x) { if (x > 0) { return looper(x - 1); } return 0; }
+    int top(int x) { return mid(x) + leaf(x) + looper(x); }
+  )");
+  const CallGraph graph(module);
+  EXPECT_EQ(graph.FanOut("top"), 3);
+  EXPECT_EQ(graph.FanIn("leaf"), 2);
+  EXPECT_TRUE(graph.IsRecursive("looper"));
+  EXPECT_FALSE(graph.IsRecursive("mid"));
+  EXPECT_EQ(graph.CallSites("mid"), 2);
+  const auto reachable = graph.ReachableFrom("top");
+  EXPECT_EQ(reachable.size(), 4u);
+  const auto roots = graph.Roots();
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0], "top");
+}
+
+TEST(Smells, DetectsConfiguredPatterns) {
+  auto unit = lang::Parse(R"(
+    int many_params(int a, int b, int c, int d, int e, int f) { return a; }
+    int magic(int x) { return x * 31337 + 4242; }
+  )");
+  ASSERT_TRUE(unit.ok());
+  SmellThresholds thresholds;
+  const SmellReport report = DetectSmells(unit.value(), thresholds);
+  EXPECT_EQ(report.long_param_lists, 1);
+  EXPECT_EQ(report.magic_numbers, 2);
+  EXPECT_EQ(report.functions, 2);
+}
+
+TEST(BugSignals, UncheckedInputIndex) {
+  const auto module = MustLower(R"(
+    int unchecked() { int b[8]; int i = input(); b[i] = 1; return b[i]; }
+    int checked() {
+      int b[8];
+      int i = input();
+      if (i >= 0 && i < 8) { b[i] = 1; }
+      return 0;
+    }
+  )");
+  const auto signals = FindBugSignals(module);
+  int unchecked_hits = 0;
+  for (const auto& signal : signals) {
+    if (signal.kind == BugSignal::Kind::kUncheckedInputIndex) {
+      EXPECT_EQ(signal.function, "unchecked");
+      ++unchecked_hits;
+    }
+  }
+  EXPECT_GE(unchecked_hits, 1);
+}
+
+TEST(BugSignals, NonConstantDivisorAndDeadStore) {
+  const auto module = MustLower(R"(
+    int f(int d) {
+      int unused = 42;
+      return 100 / d;
+    }
+  )");
+  const auto signals = FindBugSignals(module);
+  bool divisor = false;
+  bool dead = false;
+  for (const auto& signal : signals) {
+    divisor |= signal.kind == BugSignal::Kind::kNonConstantDivisor;
+    dead |= signal.kind == BugSignal::Kind::kDeadStore;
+  }
+  EXPECT_TRUE(divisor);
+  EXPECT_TRUE(dead);
+}
+
+TEST(BugSignals, UnreachableAfterAbort) {
+  const auto module = MustLower(R"(
+    int f() {
+      abort();
+      return 7;
+    }
+  )");
+  const auto signals = FindBugSignals(module);
+  bool unreachable = false;
+  for (const auto& signal : signals) {
+    unreachable |= signal.kind == BugSignal::Kind::kUnreachableCode;
+  }
+  EXPECT_TRUE(unreachable);
+}
+
+TEST(Extract, MiniCFileProducesFullFamilies) {
+  SourceFile file;
+  file.path = "m.c";
+  file.language = Language::kMiniC;
+  file.text = R"(
+    // A module.
+    int table[16];
+    int handle(int request) {
+      int idx = input();
+      if (idx >= 0 && idx < 16) { table[idx] = request; }
+      sink(table[0]);
+      return request / 2;
+    }
+  )";
+  const FeatureVector fv = ExtractFileFeatures(file);
+  EXPECT_GT(fv.Get("loc.code"), 0.0);
+  EXPECT_GT(fv.Get("mccabe.total"), 0.0);
+  EXPECT_GT(fv.Get("halstead.volume"), 0.0);
+  EXPECT_EQ(fv.Get("shin.functions"), 1.0);
+  EXPECT_FALSE(fv.Has("parse.failed"));
+}
+
+TEST(Extract, BadMiniCDegradesGracefully) {
+  SourceFile file;
+  file.path = "bad.c";
+  file.language = Language::kMiniC;
+  file.text = "int f( { not valid\n";
+  const FeatureVector fv = ExtractFileFeatures(file);
+  EXPECT_EQ(fv.Get("parse.failed"), 1.0);
+  EXPECT_GT(fv.Get("loc.total"), 0.0);
+}
+
+TEST(Extract, AppAggregationSumsAndRatios) {
+  SourceFile a;
+  a.path = "a.c";
+  a.language = Language::kMiniC;
+  a.text = "// c\nint f() { return 1; }\n";
+  SourceFile b;
+  b.path = "b.py";
+  b.language = Language::kPython;
+  b.text = "# hi\ndef g(x):\n    return x\n";
+  const FeatureVector app = ExtractAppFeatures({a, b});
+  EXPECT_EQ(app.Get("app.files"), 2.0);
+  EXPECT_GT(app.Get("loc.comment_ratio"), 0.0);
+  EXPECT_EQ(app.Get("lang.minic.files"), 1.0);
+  EXPECT_EQ(app.Get("lang.python.files"), 1.0);
+}
+
+}  // namespace
+}  // namespace metrics

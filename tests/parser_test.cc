@@ -1,0 +1,249 @@
+// Focused lexer/parser/lowering edge-case tests, complementing the
+// integration-level lang_smoke_test.
+#include <gtest/gtest.h>
+
+#include "src/lang/interp.h"
+#include "src/lang/lexer.h"
+#include "src/lang/parser.h"
+
+namespace lang {
+namespace {
+
+// --- Lexer -------------------------------------------------------------------
+
+TEST(Lexer, HexAndDecimalLiterals) {
+  auto out = Lex("0x10 0xFF 42 0");
+  ASSERT_TRUE(out.ok());
+  const auto& tokens = out.value().tokens;
+  ASSERT_EQ(tokens.size(), 5u);  // 4 literals + EOF.
+  EXPECT_EQ(tokens[0].int_value, 16);
+  EXPECT_EQ(tokens[1].int_value, 255);
+  EXPECT_EQ(tokens[2].int_value, 42);
+  EXPECT_EQ(tokens[3].int_value, 0);
+}
+
+TEST(Lexer, CharEscapes) {
+  auto out = Lex(R"('a' '\n' '\t' '\0' '\\')");
+  ASSERT_TRUE(out.ok());
+  const auto& tokens = out.value().tokens;
+  EXPECT_EQ(tokens[0].int_value, 'a');
+  EXPECT_EQ(tokens[1].int_value, '\n');
+  EXPECT_EQ(tokens[2].int_value, '\t');
+  EXPECT_EQ(tokens[3].int_value, 0);
+  EXPECT_EQ(tokens[4].int_value, '\\');
+}
+
+TEST(Lexer, MaximalMunchOperators) {
+  auto out = Lex("a<<=b");  // Lexes as a, <<, =, b (no <<= in MiniC).
+  ASSERT_TRUE(out.ok());
+  const auto& tokens = out.value().tokens;
+  EXPECT_EQ(tokens[1].kind, TokenKind::kShl);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kAssign);
+  auto out2 = Lex("a+++b");  // a, ++, +, b.
+  ASSERT_TRUE(out2.ok());
+  EXPECT_EQ(out2.value().tokens[1].kind, TokenKind::kPlusPlus);
+  EXPECT_EQ(out2.value().tokens[2].kind, TokenKind::kPlus);
+}
+
+TEST(Lexer, ErrorsCarryLineNumbers) {
+  auto out = Lex("int x;\nint y = @;");
+  ASSERT_FALSE(out.ok());
+  EXPECT_NE(out.error().message().find("line 2"), std::string::npos);
+  EXPECT_FALSE(Lex("/* never closed").ok());
+  EXPECT_FALSE(Lex("\"no closing quote").ok());
+  EXPECT_FALSE(Lex("'ab'").ok());
+}
+
+TEST(Lexer, TokenPositionsAreOneBased) {
+  auto out = Lex("int x;");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().tokens[0].line, 1);
+  EXPECT_EQ(out.value().tokens[0].column, 1);
+  EXPECT_EQ(out.value().tokens[1].column, 5);
+}
+
+// --- Parser ------------------------------------------------------------------
+
+TEST(Parser, PrecedenceMatchesC) {
+  auto run = [](const char* expr_text) {
+    const std::string source = std::string("int main() { return ") + expr_text + "; }";
+    auto unit = Parse(source);
+    EXPECT_TRUE(unit.ok());
+    auto module = LowerToIr(unit.value());
+    EXPECT_TRUE(module.ok());
+    return Execute(module.value(), "main", {}, {}).return_value;
+  };
+  EXPECT_EQ(run("2 + 3 * 4"), 14);
+  EXPECT_EQ(run("(2 + 3) * 4"), 20);
+  EXPECT_EQ(run("10 - 4 - 3"), 3);       // Left associative.
+  EXPECT_EQ(run("1 << 2 + 1"), 8);       // + binds tighter than <<.
+  EXPECT_EQ(run("7 & 3 | 4"), 7);        // & tighter than |.
+  EXPECT_EQ(run("1 < 2 == 1"), 1);       // Relational tighter than equality.
+  EXPECT_EQ(run("0 || 1 && 0"), 0);      // && tighter than ||.
+  EXPECT_EQ(run("1 ? 2 : 0 ? 3 : 4"), 2);  // ?: right associative.
+  EXPECT_EQ(run("-3 * -2"), 6);
+  EXPECT_EQ(run("~0 & 0xF"), 15);
+  EXPECT_EQ(run("17 % 5"), 2);
+}
+
+TEST(Parser, AssignmentsAreExpressions) {
+  auto unit = Parse("int main() { int a = 0; int b = 0; a = b = 5; return a + b; }");
+  ASSERT_TRUE(unit.ok());
+  auto module = LowerToIr(unit.value());
+  ASSERT_TRUE(module.ok());
+  EXPECT_EQ(Execute(module.value(), "main", {}, {}).return_value, 10);
+}
+
+TEST(Parser, CompoundAssignAndIncrement) {
+  auto unit = Parse(R"(
+    int main() {
+      int a = 10;
+      a += 5;
+      a -= 3;
+      ++a;
+      --a;
+      return a;
+    }
+  )");
+  ASSERT_TRUE(unit.ok());
+  auto module = LowerToIr(unit.value());
+  ASSERT_TRUE(module.ok());
+  EXPECT_EQ(Execute(module.value(), "main", {}, {}).return_value, 12);
+}
+
+TEST(Parser, RejectsInvalidConstructs) {
+  EXPECT_FALSE(Parse("int main() { 5 = x; }").ok());          // Bad lvalue.
+  EXPECT_FALSE(Parse("int main() { ++5; }").ok());            // ++ on literal.
+  EXPECT_FALSE(Parse("int main() { return 1 +; }").ok());
+  EXPECT_FALSE(Parse("int main() { if (1) }").ok());
+  EXPECT_FALSE(Parse("int main() { switch (1) { foo: ; } }").ok());
+  EXPECT_FALSE(Parse("int 3bad() { return 0; }").ok());
+  EXPECT_FALSE(Parse("int f(int) { return 0; }").ok());       // Unnamed param.
+  EXPECT_FALSE(Parse("int x = y;").ok());  // Globals need constant init.
+}
+
+TEST(Parser, ErrorsNameTheLine) {
+  auto result = Parse("int main() {\n  int x = 1;\n  return x +;\n}");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message().find("line 3"), std::string::npos);
+}
+
+TEST(Parser, GlobalsWithNegativeAndCharInit) {
+  auto unit = Parse("int a = -5;\nint b = 'A';\nbool c = true;\nint main() { return a; }");
+  ASSERT_TRUE(unit.ok());
+  EXPECT_EQ(unit.value().globals[0].init_value, -5);
+  EXPECT_EQ(unit.value().globals[1].init_value, 'A');
+  EXPECT_EQ(unit.value().globals[2].init_value, 1);
+}
+
+TEST(Parser, NestedFunctionsRejectedAndArityChecked) {
+  // Calling a declared function with wrong arity fails at lowering.
+  auto unit = Parse("int f(int a, int b) { return a + b; } int main() { return f(1); }");
+  ASSERT_TRUE(unit.ok());
+  EXPECT_FALSE(LowerToIr(unit.value()).ok());
+}
+
+// --- Lowering / interpreter --------------------------------------------------
+
+TEST(Lowering, BreakAndContinueTargets) {
+  auto unit = Parse(R"(
+    int main() {
+      int total = 0;
+      for (int i = 0; i < 10; ++i) {
+        if (i == 3) { continue; }
+        if (i == 6) { break; }
+        total += i;
+      }
+      return total;
+    }
+  )");
+  ASSERT_TRUE(unit.ok());
+  auto module = LowerToIr(unit.value());
+  ASSERT_TRUE(module.ok());
+  // 0+1+2+4+5 = 12.
+  EXPECT_EQ(Execute(module.value(), "main", {}, {}).return_value, 12);
+}
+
+TEST(Lowering, BreakOutsideLoopFails) {
+  auto unit = Parse("int main() { break; }");
+  ASSERT_TRUE(unit.ok());
+  EXPECT_FALSE(LowerToIr(unit.value()).ok());
+}
+
+TEST(Lowering, ShadowingInNestedScopes) {
+  auto unit = Parse(R"(
+    int main() {
+      int x = 1;
+      {
+        int x = 2;
+        {
+          int x = 3;
+        }
+      }
+      return x;
+    }
+  )");
+  ASSERT_TRUE(unit.ok());
+  auto module = LowerToIr(unit.value());
+  ASSERT_TRUE(module.ok());
+  EXPECT_EQ(Execute(module.value(), "main", {}, {}).return_value, 1);
+}
+
+TEST(Lowering, DuplicateInSameScopeFails) {
+  auto unit = Parse("int main() { int x = 1; int x = 2; return x; }");
+  ASSERT_TRUE(unit.ok());
+  EXPECT_FALSE(LowerToIr(unit.value()).ok());
+}
+
+TEST(Interp, RecursionAndCallDepthLimit) {
+  auto unit = Parse(R"(
+    int fib(int n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    int spin(int n) { return spin(n + 1); }
+    int main() { return fib(input()); }
+  )");
+  ASSERT_TRUE(unit.ok());
+  auto module = LowerToIr(unit.value());
+  ASSERT_TRUE(module.ok());
+  EXPECT_EQ(Execute(module.value(), "main", {}, {10}).return_value, 55);
+  const auto runaway = Execute(module.value(), "spin", {0}, {});
+  EXPECT_EQ(runaway.outcome, ExecOutcome::kStepLimit);
+}
+
+TEST(Interp, ShortCircuitSkipsSideEffects) {
+  auto unit = Parse(R"(
+    int g = 0;
+    int bump() { g = g + 1; return 1; }
+    int main() {
+      int a = 0 && bump();
+      int b = 1 || bump();
+      return g * 10 + a + b;
+    }
+  )");
+  ASSERT_TRUE(unit.ok());
+  auto module = LowerToIr(unit.value());
+  ASSERT_TRUE(module.ok());
+  // bump() must never run: g == 0, a == 0, b == 1.
+  EXPECT_EQ(Execute(module.value(), "main", {}, {}).return_value, 1);
+}
+
+TEST(Interp, UnknownExternalCallsReturnZero) {
+  auto unit = Parse("int main() { return external_thing(1, 2) + 7; }");
+  ASSERT_TRUE(unit.ok());
+  auto module = LowerToIr(unit.value());
+  ASSERT_TRUE(module.ok());
+  EXPECT_EQ(Execute(module.value(), "main", {}, {}).return_value, 7);
+}
+
+TEST(Interp, NegativeDivisionTruncatesTowardZero) {
+  auto unit = Parse("int main() { return (0 - 7) / 2; }");
+  ASSERT_TRUE(unit.ok());
+  auto module = LowerToIr(unit.value());
+  ASSERT_TRUE(module.ok());
+  EXPECT_EQ(Execute(module.value(), "main", {}, {}).return_value, -3);
+}
+
+}  // namespace
+}  // namespace lang

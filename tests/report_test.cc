@@ -1,0 +1,78 @@
+// Tests for the terminal renderers.
+#include <gtest/gtest.h>
+
+#include "src/report/render.h"
+
+namespace report {
+namespace {
+
+TEST(Scatter, RendersPointsAndLegend) {
+  Series series;
+  series.label = "data";
+  series.glyph = 'o';
+  series.xs = {1, 10, 100};
+  series.ys = {1, 10, 100};
+  ScatterOptions options;
+  options.log_x = true;
+  options.log_y = true;
+  options.title = "Test plot";
+  options.x_label = "x";
+  options.y_label = "y";
+  const std::string out = RenderScatter({series}, options);
+  EXPECT_NE(out.find("Test plot"), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+  EXPECT_NE(out.find("o = data"), std::string::npos);
+  EXPECT_NE(out.find("log scale"), std::string::npos);
+}
+
+TEST(Scatter, LogAxesDropNonPositive) {
+  Series series;
+  series.xs = {-1, 0};
+  series.ys = {1, 1};
+  ScatterOptions options;
+  options.log_x = true;
+  const std::string out = RenderScatter({series}, options);
+  EXPECT_NE(out.find("(no data)"), std::string::npos);
+}
+
+TEST(Scatter, MultipleSeriesDistinctGlyphs) {
+  Series a;
+  a.glyph = '*';
+  a.label = "A";
+  a.xs = {1};
+  a.ys = {1};
+  Series b;
+  b.glyph = '+';
+  b.label = "B";
+  b.xs = {2};
+  b.ys = {2};
+  const std::string out = RenderScatter({a, b}, {});
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(Bars, ScalesToWidth) {
+  const std::string out = RenderBars({{"big", 100.0}, {"half", 50.0}}, 40, "title");
+  EXPECT_NE(out.find("title"), std::string::npos);
+  const size_t big_hashes = std::count(out.begin(), out.begin() + out.find("100"), '#');
+  EXPECT_EQ(big_hashes, 40u);
+  EXPECT_NE(out.find("half"), std::string::npos);
+}
+
+TEST(Table, AlignsColumns) {
+  const std::string out = RenderTable({"name", "value"}, {{"x", "1"}, {"longer", "22"}});
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  const std::string out = ToCsv({"a", "b"}, {{"plain", "with,comma"}, {"with\"quote", "x"}});
+  EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"with\"\"quote\""), std::string::npos);
+  EXPECT_EQ(out.find("\"plain\""), std::string::npos);  // No needless quoting.
+}
+
+}  // namespace
+}  // namespace report

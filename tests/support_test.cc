@@ -1,0 +1,189 @@
+// Unit tests for the support layer: statistics, strings, RNG determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/support/result.h"
+#include "src/support/rng.h"
+#include "src/support/stats.h"
+#include "src/support/strings.h"
+
+namespace support {
+namespace {
+
+TEST(Stats, RunningMatchesBatch) {
+  RunningStats rs;
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 10.0};
+  for (double x : xs) {
+    rs.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(rs.mean(), Mean(xs));
+  EXPECT_NEAR(rs.variance(), Variance(xs), 1e-12);
+  EXPECT_EQ(rs.min(), 1.0);
+  EXPECT_EQ(rs.max(), 10.0);
+  EXPECT_EQ(rs.count(), 5u);
+}
+
+TEST(Stats, PearsonPerfectAndNone) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> ys = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), 1.0, 1e-12);
+  const std::vector<double> anti = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(xs, anti), -1.0, 1e-12);
+  const std::vector<double> flat = {3, 3, 3, 3, 3};
+  EXPECT_EQ(PearsonCorrelation(xs, flat), 0.0);
+}
+
+TEST(Stats, SpearmanHandlesTiesAndMonotonicity) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> ys = {1, 4, 9, 16, 25};  // Monotone, nonlinear.
+  EXPECT_NEAR(SpearmanCorrelation(xs, ys), 1.0, 1e-12);
+  const std::vector<double> tied = {1, 1, 2, 2, 3};
+  const auto ranks = AverageRanks(tied);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 3.5);
+  EXPECT_DOUBLE_EQ(ranks[4], 5.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Median(xs), 2.5);
+}
+
+TEST(Stats, FitLineRecoversCoefficients) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 + 0.5 * i);
+  }
+  const LinearFit fit = FitLine(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.5, 1e-9);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Stats, FitLogLogDropsNonPositive) {
+  const std::vector<double> xs = {10, 100, 1000, -5, 0};
+  const std::vector<double> ys = {1, 10, 100, 7, 7};
+  const LinearFit fit = FitLogLog(xs, ys);
+  EXPECT_EQ(fit.n, 3u);
+  EXPECT_NEAR(fit.slope, 1.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, -1.0, 1e-9);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  Rng rng(99);
+  RunningStats rs;
+  for (int i = 0; i < 20000; ++i) {
+    rs.Add(rng.Normal(5.0, 2.0));
+  }
+  EXPECT_NEAR(rs.mean(), 5.0, 0.1);
+  EXPECT_NEAR(rs.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, PoissonMeanMatches) {
+  Rng rng(3);
+  RunningStats small;
+  RunningStats large;
+  for (int i = 0; i < 20000; ++i) {
+    small.Add(static_cast<double>(rng.Poisson(3.5)));
+    large.Add(static_cast<double>(rng.Poisson(80.0)));
+  }
+  EXPECT_NEAR(small.mean(), 3.5, 0.1);
+  EXPECT_NEAR(large.mean(), 80.0, 1.0);
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng rng(5);
+  const std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 30000; ++i) {
+    ++counts[rng.Categorical(weights)];
+  }
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / counts[0], 3.0, 0.3);
+  EXPECT_NEAR(static_cast<double>(counts[3]) / counts[0], 6.0, 0.6);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(1);
+  Rng child = parent.Fork();
+  // The child stream should differ from the parent's continuation.
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (child.NextU64() != parent.NextU64()) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Strings, SplitAndJoin) {
+  const auto parts = Split("a,,b,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(Join({"x", "y", "z"}, "::"), "x::y::z");
+  const auto words = SplitWhitespace("  hello\t world \n");
+  ASSERT_EQ(words.size(), 2u);
+  EXPECT_EQ(words[0], "hello");
+}
+
+TEST(Strings, TrimAndCase) {
+  EXPECT_EQ(Trim("  abc\t"), "abc");
+  EXPECT_EQ(ToLower("MiXeD"), "mixed");
+  EXPECT_EQ(ToUpper("MiXeD"), "MIXED");
+  EXPECT_TRUE(StartsWith("prefix.rest", "prefix"));
+  EXPECT_TRUE(EndsWith("file.cc", ".cc"));
+  EXPECT_FALSE(EndsWith("cc", "file.cc"));
+}
+
+TEST(Strings, StrictParsing) {
+  EXPECT_EQ(ParseInt("42").value(), 42);
+  EXPECT_EQ(ParseInt(" -17 ").value(), -17);
+  EXPECT_FALSE(ParseInt("12abc").has_value());
+  EXPECT_FALSE(ParseInt("").has_value());
+  EXPECT_NEAR(ParseDouble("3.5e2").value(), 350.0, 1e-12);
+  EXPECT_FALSE(ParseDouble("1.2.3").has_value());
+}
+
+TEST(Strings, FormatMatchesPrintf) {
+  EXPECT_EQ(Format("%d-%s-%0.2f", 7, "x", 1.5), "7-x-1.50");
+  EXPECT_EQ(Format("%s", std::string(500, 'a').c_str()).size(), 500u);
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> ok = 42;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  Result<int> bad = Error(Error::Code::kNotFound, "missing");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code(), Error::Code::kNotFound);
+  EXPECT_EQ(bad.value_or(-1), -1);
+  EXPECT_EQ(bad.error().ToString(), "not_found: missing");
+  Status status = Status::Ok();
+  EXPECT_TRUE(status.ok());
+}
+
+}  // namespace
+}  // namespace support

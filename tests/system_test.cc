@@ -1,0 +1,152 @@
+// Tests for whole-system evaluation (§5.3 future work) and for testbed
+// record serialization.
+#include <gtest/gtest.h>
+
+#include "src/clair/serialize.h"
+#include "src/clair/system.h"
+#include "src/corpus/codegen.h"
+#include "src/corpus/ecosystem.h"
+
+namespace clair {
+namespace {
+
+TEST(SystemExposure, ModelShape) {
+  EXPECT_DOUBLE_EQ(SystemEvaluator::ExposureOf(true, false), 1.0);
+  EXPECT_DOUBLE_EQ(SystemEvaluator::ExposureOf(false, false), 0.6);
+  EXPECT_DOUBLE_EQ(SystemEvaluator::ExposureOf(true, true), 1.25);
+  EXPECT_DOUBLE_EQ(SystemEvaluator::ExposureOf(false, true), 0.75);
+}
+
+class SystemEvalTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus::CorpusOptions corpus_options;
+    corpus_options.mature_apps = 32;
+    corpus_options.immature_apps = 0;
+    corpus_options.size_scale = 0.005;
+    ecosystem_ = new corpus::EcosystemGenerator(corpus_options);
+    TestbedOptions testbed_options;
+    testbed_options.deep_analysis_max_files = 1;
+    testbed_options.with_symexec = false;  // Keep the suite fast.
+    testbed_ = new Testbed(*ecosystem_, testbed_options);
+    PipelineOptions pipeline_options;
+    pipeline_options.cv_folds = 4;
+    const TrainingPipeline pipeline(testbed_->Collect(), pipeline_options);
+    model_ = new TrainedModel(pipeline.TrainFinal());
+    evaluator_ = new SecurityEvaluator(*model_, *testbed_);
+  }
+
+  static void TearDownTestSuite() {
+    delete evaluator_;
+    delete model_;
+    delete testbed_;
+    delete ecosystem_;
+  }
+
+  static std::vector<metrics::SourceFile> Component(uint64_t seed, double unsafety) {
+    support::Rng rng(seed);
+    corpus::AppStyle style;
+    style.unsafety = unsafety;
+    metrics::SourceFile file;
+    file.path = "comp.c";
+    file.language = metrics::Language::kMiniC;
+    file.text = corpus::GenerateMiniCFile(rng, style, 200);
+    return {file};
+  }
+
+  static corpus::EcosystemGenerator* ecosystem_;
+  static Testbed* testbed_;
+  static TrainedModel* model_;
+  static SecurityEvaluator* evaluator_;
+};
+
+corpus::EcosystemGenerator* SystemEvalTest::ecosystem_ = nullptr;
+Testbed* SystemEvalTest::testbed_ = nullptr;
+TrainedModel* SystemEvalTest::model_ = nullptr;
+SecurityEvaluator* SystemEvalTest::evaluator_ = nullptr;
+
+TEST_F(SystemEvalTest, WeakestLinkAndComposition) {
+  const SystemEvaluator system(*evaluator_);
+  const SystemReport report = system.Evaluate({
+      {"frontend", Component(1, 0.9), /*network_facing=*/true, /*privileged=*/false},
+      {"worker", Component(2, 0.5), /*network_facing=*/false, /*privileged=*/false},
+      {"updater", Component(3, 0.5), /*network_facing=*/false, /*privileged=*/true},
+  });
+  ASSERT_EQ(report.components.size(), 3u);
+  // Components sorted riskiest first; the weakest link matches the top.
+  EXPECT_EQ(report.components[0].report.subject, report.weakest_link);
+  EXPECT_DOUBLE_EQ(report.components[0].exposed_risk, report.weakest_risk);
+  // System risk at least the weakest link (composition only adds risk).
+  EXPECT_GE(report.system_risk, report.weakest_risk - 1e-12);
+  EXPECT_LE(report.system_risk, 1.0);
+  EXPECT_FALSE(report.ToString().empty());
+}
+
+TEST_F(SystemEvalTest, AddingComponentsNeverLowersRisk) {
+  const SystemEvaluator system(*evaluator_);
+  const std::vector<SystemComponent> base = {
+      {"frontend", Component(1, 0.7), true, false},
+  };
+  std::vector<SystemComponent> larger = base;
+  larger.push_back({"sidecar", Component(4, 0.7), true, false});
+  const double small_risk = system.Evaluate(base).system_risk;
+  const double large_risk = system.Evaluate(larger).system_risk;
+  EXPECT_GE(large_risk, small_risk - 1e-12);
+}
+
+TEST_F(SystemEvalTest, ExposureAmplifiesIdenticalComponent) {
+  const SystemEvaluator system(*evaluator_);
+  const auto files = Component(9, 0.8);
+  const SystemReport internal =
+      system.Evaluate({{"svc", files, /*network_facing=*/false, /*privileged=*/false}});
+  const SystemReport facing =
+      system.Evaluate({{"svc", files, /*network_facing=*/true, /*privileged=*/false}});
+  EXPECT_GE(facing.system_risk, internal.system_risk - 1e-12);
+}
+
+TEST_F(SystemEvalTest, RecordsRoundTripThroughSerialization) {
+  const auto records = testbed_->Collect();
+  const std::string text = SaveRecords(records);
+  auto loaded = LoadRecords(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().ToString();
+  ASSERT_EQ(loaded.value().size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    const auto& original = records[i];
+    const auto& restored = loaded.value()[i];
+    EXPECT_EQ(original.name, restored.name);
+    EXPECT_EQ(original.labels.total, restored.labels.total);
+    EXPECT_EQ(original.labels.by_cwe, restored.labels.by_cwe);
+    EXPECT_EQ(original.features.values(), restored.features.values());
+  }
+  // Save(Load(x)) is a fixpoint.
+  EXPECT_EQ(SaveRecords(loaded.value()), text);
+}
+
+TEST_F(SystemEvalTest, RetrainingFromLoadedRecordsIsIdentical) {
+  const auto records = testbed_->Collect();
+  auto loaded = LoadRecords(SaveRecords(records));
+  ASSERT_TRUE(loaded.ok());
+  PipelineOptions options;
+  options.cv_folds = 4;
+  const TrainingPipeline original(records, options);
+  const TrainingPipeline restored(loaded.value(), options);
+  const auto& hypothesis = StandardHypotheses()[0];
+  const auto report_a = original.EvaluateHypothesis(hypothesis);
+  const auto report_b = restored.EvaluateHypothesis(hypothesis);
+  EXPECT_DOUBLE_EQ(report_a.best.accuracy, report_b.best.accuracy);
+  EXPECT_DOUBLE_EQ(report_a.best.auc, report_b.best.auc);
+  EXPECT_EQ(report_a.best_learner, report_b.best_learner);
+}
+
+TEST(Serialize, RejectsMalformedInput) {
+  EXPECT_FALSE(LoadRecords("name=orphan\n").ok());
+  EXPECT_FALSE(LoadRecords("[app]\nbogus-line\n").ok());
+  EXPECT_FALSE(LoadRecords("[app]\nunknown.key=1\n").ok());
+  EXPECT_FALSE(LoadRecords("[app]\nlabel.total=notanumber\n").ok());
+  auto empty = LoadRecords("");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().empty());
+}
+
+}  // namespace
+}  // namespace clair
