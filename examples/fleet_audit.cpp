@@ -9,6 +9,7 @@
 #include "src/clair/system.h"
 #include "src/corpus/codegen.h"
 #include "src/corpus/ecosystem.h"
+#include "src/support/thread_pool.h"
 
 namespace {
 
@@ -38,10 +39,17 @@ int main() {
   const clair::Testbed testbed(ecosystem, testbed_options);
 
   // Collect once, serialize, and train from the reloaded rows — the
-  // artefact a team would check in next to its model configs.
+  // artefact a team would check in next to its model configs. Collection
+  // fans out one task per app (worker count from CLAIR_THREADS); the rows
+  // are bit-identical at any worker count.
+  std::printf("collecting with %d worker(s)\n", support::ThreadPool::Global().size());
   const auto records = testbed.Collect();
+  const auto cache = testbed.cache_stats();
   const std::string saved = clair::SaveRecords(records);
   std::printf("serialized testbed: %zu apps, %zu bytes\n", records.size(), saved.size());
+  std::printf("feature cache: %llu hits / %llu misses (rows keyed on content)\n",
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses));
   auto reloaded = clair::LoadRecords(saved);
   if (!reloaded.ok()) {
     std::printf("reload failed: %s\n", reloaded.error().ToString().c_str());

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/support/strings.h"
+#include "src/support/thread_pool.h"
 
 namespace clair {
 namespace {
@@ -122,11 +123,11 @@ VersionDelta SecurityEvaluator::CompareVersions(
 std::vector<SecurityReport> SecurityEvaluator::RankLibraries(
     const std::vector<std::pair<std::string, std::vector<metrics::SourceFile>>>& candidates)
     const {
-  std::vector<SecurityReport> reports;
-  reports.reserve(candidates.size());
-  for (const auto& [name, files] : candidates) {
-    reports.push_back(Evaluate(name, files));
-  }
+  // Candidate libraries evaluate independently (one extraction battery
+  // each); collect in input order, then sort.
+  std::vector<SecurityReport> reports = support::ParallelMap<SecurityReport>(
+      candidates.size(),
+      [&](size_t i) { return Evaluate(candidates[i].first, candidates[i].second); });
   std::stable_sort(reports.begin(), reports.end(),
                    [](const SecurityReport& a, const SecurityReport& b) {
                      return a.overall_risk < b.overall_risk;

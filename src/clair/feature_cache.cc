@@ -1,0 +1,68 @@
+#include "src/clair/feature_cache.h"
+
+namespace clair {
+
+uint64_t Fnv1a64(std::string_view bytes, uint64_t seed) {
+  uint64_t hash = seed;
+  for (const char c : bytes) {
+    hash = (hash ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+uint64_t HashSourceFiles(const std::vector<metrics::SourceFile>& files,
+                         uint64_t options_fingerprint) {
+  uint64_t hash = Fnv1a64("clair.feature_cache.v1");
+  hash ^= options_fingerprint;
+  hash *= 0x100000001b3ULL;
+  for (const auto& file : files) {
+    hash = Fnv1a64(file.path, hash);
+    hash = (hash ^ static_cast<uint64_t>(file.language)) * 0x100000001b3ULL;
+    hash = Fnv1a64(file.text, hash);
+    // Separator so (path="a", text="bc") and (path="ab", text="c") differ.
+    hash = (hash ^ 0x1fULL) * 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+bool FeatureCache::Lookup(uint64_t key, metrics::FeatureVector* out) const {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      *out = it->second;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void FeatureCache::Insert(uint64_t key, const metrics::FeatureVector& features) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.size() >= max_entries_ && entries_.find(key) == entries_.end()) {
+    return;
+  }
+  entries_[key] = features;
+}
+
+FeatureCacheStats FeatureCache::stats() const {
+  FeatureCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats.entries = entries_.size();
+  }
+  return stats;
+}
+
+void FeatureCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace clair

@@ -7,6 +7,7 @@
 #include "src/ml/linear.h"
 #include "src/ml/naive_bayes.h"
 #include "src/ml/tree.h"
+#include "src/support/thread_pool.h"
 
 namespace clair {
 
@@ -116,18 +117,26 @@ HypothesisReport TrainingPipeline::EvaluateHypothesis(const Hypothesis& hypothes
                              ? 0.0
                              : static_cast<double>(counts.size() > 1 ? counts[1] : 0) /
                                    static_cast<double>(data.num_rows());
+  // Learners cross-validate independently on the shared transformed dataset;
+  // selection scans the results in StandardLearners() order afterwards, so
+  // ties keep resolving to the same learner at any worker count.
+  const auto& learners = StandardLearners();
+  report.per_learner = support::ParallelMap<LearnerOutcome>(
+      learners.size(), [&](size_t i) {
+        return LearnerOutcome{
+            learners[i].name,
+            ml::CrossValidate(data, learners[i].factory, options_.cv_folds,
+                              options_.seed)};
+      });
   double best_score = -1.0;
-  for (const auto& learner : StandardLearners()) {
-    const ml::CvMetrics metrics =
-        ml::CrossValidate(data, learner.factory, options_.cv_folds, options_.seed);
-    report.per_learner.push_back({learner.name, metrics});
+  for (const auto& outcome : report.per_learner) {
     // Model selection on macro-F1 (robust to the skewed base rates these
     // hypotheses have), AUC as the tie-breaker.
-    const double score = metrics.macro_f1 + 1e-3 * metrics.auc;
+    const double score = outcome.metrics.macro_f1 + 1e-3 * outcome.metrics.auc;
     if (score > best_score) {
       best_score = score;
-      report.best_learner = learner.name;
-      report.best = metrics;
+      report.best_learner = outcome.learner;
+      report.best = outcome.metrics;
     }
   }
   // Feature attribution from a final model with importances.
@@ -147,11 +156,12 @@ HypothesisReport TrainingPipeline::EvaluateHypothesis(const Hypothesis& hypothes
 }
 
 std::vector<HypothesisReport> TrainingPipeline::EvaluateAll() const {
-  std::vector<HypothesisReport> reports;
-  for (const auto& hypothesis : StandardHypotheses()) {
-    reports.push_back(EvaluateHypothesis(hypothesis));
-  }
-  return reports;
+  // Hypotheses are independent (each builds its own labelled dataset), so
+  // they form the outermost parallel axis of the training phase; the nested
+  // learner/fold regions inside collapse to inline execution.
+  const auto& hypotheses = StandardHypotheses();
+  return support::ParallelMap<HypothesisReport>(
+      hypotheses.size(), [&](size_t i) { return EvaluateHypothesis(hypotheses[i]); });
 }
 
 ml::Dataset TrainingPipeline::BuildCountDataset() const {
@@ -188,15 +198,13 @@ TrainingPipeline::EvaluateCountRegression() const {
          return std::unique_ptr<ml::Regressor>(new ml::RandomForestRegressor(options));
        }},
   };
-  std::vector<CountRegressionOutcome> outcomes;
-  for (const auto& spec : specs) {
+  return support::ParallelMap<CountRegressionOutcome>(std::size(specs), [&](size_t i) {
     CountRegressionOutcome outcome;
-    outcome.model = spec.name;
-    outcome.metrics =
-        ml::CrossValidateRegression(data, spec.factory, options_.cv_folds, options_.seed);
-    outcomes.push_back(std::move(outcome));
-  }
-  return outcomes;
+    outcome.model = specs[i].name;
+    outcome.metrics = ml::CrossValidateRegression(data, specs[i].factory,
+                                                  options_.cv_folds, options_.seed);
+    return outcome;
+  });
 }
 
 TrainedModel TrainingPipeline::TrainFinal() const {
@@ -205,37 +213,48 @@ TrainedModel TrainingPipeline::TrainFinal() const {
 
 TrainedModel TrainingPipeline::TrainFinal(
     const std::vector<HypothesisReport>& reports) const {
+  const auto& hypotheses = StandardHypotheses();
+  // Final per-hypothesis models are independent fits on all rows; train them
+  // in parallel and assemble in hypothesis order (empty slots = hypotheses
+  // without a report).
+  auto bundles = support::ParallelMap<HypothesisModel>(
+      hypotheses.size(), [&](size_t i) {
+        const auto& hypothesis = hypotheses[i];
+        HypothesisModel bundle;
+        const HypothesisReport* report = nullptr;
+        for (const auto& candidate : reports) {
+          if (candidate.hypothesis_id == hypothesis.id) {
+            report = &candidate;
+            break;
+          }
+        }
+        if (report == nullptr) {
+          return bundle;
+        }
+        bundle.hypothesis_id = hypothesis.id;
+        bundle.learner = report->best_learner;
+        bundle.log1p = options_.log1p;
+        bundle.standardize = options_.standardize;
+        bundle.feature_names = feature_names_;
+        ml::Dataset data = BuildDataset(hypothesis);
+        ApplyTransforms(data, &bundle.standardizer);
+        for (const auto& learner : StandardLearners()) {
+          if (learner.name == report->best_learner) {
+            bundle.model = learner.factory();
+            break;
+          }
+        }
+        if (!bundle.model) {
+          bundle.model = StandardLearners().front().factory();
+        }
+        bundle.model->Train(data);
+        return bundle;
+      });
   TrainedModel trained;
-  for (const auto& hypothesis : StandardHypotheses()) {
-    const HypothesisReport* report = nullptr;
-    for (const auto& candidate : reports) {
-      if (candidate.hypothesis_id == hypothesis.id) {
-        report = &candidate;
-        break;
-      }
+  for (auto& bundle : bundles) {
+    if (bundle.model != nullptr) {
+      trained.Add(std::move(bundle));
     }
-    if (report == nullptr) {
-      continue;
-    }
-    HypothesisModel bundle;
-    bundle.hypothesis_id = hypothesis.id;
-    bundle.learner = report->best_learner;
-    bundle.log1p = options_.log1p;
-    bundle.standardize = options_.standardize;
-    bundle.feature_names = feature_names_;
-    ml::Dataset data = BuildDataset(hypothesis);
-    ApplyTransforms(data, &bundle.standardizer);
-    for (const auto& learner : StandardLearners()) {
-      if (learner.name == report->best_learner) {
-        bundle.model = learner.factory();
-        break;
-      }
-    }
-    if (!bundle.model) {
-      bundle.model = StandardLearners().front().factory();
-    }
-    bundle.model->Train(data);
-    trained.Add(std::move(bundle));
   }
   return trained;
 }

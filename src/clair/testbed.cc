@@ -1,11 +1,15 @@
 #include "src/clair/testbed.h"
 
+#include <memory>
+
 #include "src/dataflow/analyses.h"
 #include "src/dataflow/intervals.h"
 #include "src/lang/interp.h"
 #include "src/lang/parser.h"
 #include "src/metrics/callgraph.h"
 #include "src/support/rng.h"
+#include "src/support/strings.h"
+#include "src/support/thread_pool.h"
 
 namespace clair {
 namespace {
@@ -73,20 +77,60 @@ metrics::FeatureVector DynamicFeatures(const lang::IrModule& module, int trials,
 Testbed::Testbed(const corpus::EcosystemGenerator& ecosystem, TestbedOptions options)
     : ecosystem_(ecosystem), options_(options) {}
 
+uint64_t Testbed::OptionsFingerprint() const {
+  // Canonical text encoding of every option that changes extraction output.
+  // min_history_years and threads are deliberately excluded: selection does
+  // not change a row's content, and worker count never changes results.
+  const auto& sx = options_.symexec;
+  const std::string encoding = support::Format(
+      "df=%d sx=%d dyn=%d trials=%d dseed=%llu deep=%d "
+      "width=%d paths=%llu steps=%llu total=%llu queries=%llu depth=%d "
+      "array=%d nodes=%llu conflicts=%llu cap=%llu exploit=%d",
+      options_.with_dataflow, options_.with_symexec, options_.with_dynamic,
+      options_.dynamic_trials,
+      static_cast<unsigned long long>(options_.dynamic_seed),
+      options_.deep_analysis_max_files, sx.width,
+      static_cast<unsigned long long>(sx.max_paths),
+      static_cast<unsigned long long>(sx.max_steps_per_path),
+      static_cast<unsigned long long>(sx.max_total_steps),
+      static_cast<unsigned long long>(sx.max_solver_queries), sx.max_call_depth,
+      sx.max_symbolic_array, static_cast<unsigned long long>(sx.max_expr_nodes),
+      static_cast<unsigned long long>(sx.solver_conflict_budget),
+      static_cast<unsigned long long>(sx.exploit_exact_cap),
+      sx.exploit_sample_trials);
+  return Fnv1a64(encoding);
+}
+
 metrics::FeatureVector Testbed::ExtractFeatures(
     const std::vector<metrics::SourceFile>& files) const {
+  uint64_t cache_key = 0;
+  if (options_.cache_features) {
+    cache_key = HashSourceFiles(files, OptionsFingerprint());
+    metrics::FeatureVector cached;
+    if (cache_.Lookup(cache_key, &cached)) {
+      return cached;
+    }
+  }
   metrics::FeatureVector features = metrics::ExtractAppFeatures(files);
   if (!options_.with_dataflow && !options_.with_symexec && !options_.with_dynamic) {
+    if (options_.cache_features) {
+      cache_.Insert(cache_key, features);
+    }
     return features;
   }
+  // Deep-analysis budget (see TestbedOptions): the first
+  // `deep_analysis_max_files` MiniC files in order consume the budget,
+  // parse/lower failures included.
+  int deep_attempted = 0;
   int deep_done = 0;
   for (const auto& file : files) {
-    if (deep_done >= options_.deep_analysis_max_files) {
+    if (deep_attempted >= options_.deep_analysis_max_files) {
       break;
     }
     if (file.language != metrics::Language::kMiniC) {
       continue;
     }
+    const int attempt_index = deep_attempted++;
     auto unit = lang::Parse(file.text);
     if (!unit.ok()) {
       continue;
@@ -103,11 +147,16 @@ metrics::FeatureVector Testbed::ExtractFeatures(
       features.MergeSum(symx::SymexFeatures(module.value(), options_.symexec));
     }
     if (options_.with_dynamic) {
-      features.MergeSum(DynamicFeatures(module.value(), options_.dynamic_trials,
-                                        options_.dynamic_seed + deep_done));
+      // Seeded by attempt index, so a file's dynamic stream is a function of
+      // its position among deep candidates, not of earlier parse outcomes.
+      features.MergeSum(
+          DynamicFeatures(module.value(), options_.dynamic_trials,
+                          support::Rng::TaskSeed(options_.dynamic_seed,
+                                                 static_cast<uint64_t>(attempt_index))));
     }
     ++deep_done;
   }
+  features.Set("deep.files_attempted", static_cast<double>(deep_attempted));
   features.Set("deep.files_analyzed", static_cast<double>(deep_done));
 
   // Density features: most raw counts scale with application size, which
@@ -136,25 +185,42 @@ metrics::FeatureVector Testbed::ExtractFeatures(
     features.Set("ai.proven_div_ratio",
                  features.Get("ai.proven_nonzero_divisor") / divisions);
   }
+  if (options_.cache_features) {
+    cache_.Insert(cache_key, features);
+  }
   return features;
 }
 
 std::vector<AppRecord> Testbed::Collect() const {
-  std::vector<AppRecord> records;
   const auto selected =
       ecosystem_.database().AppsWithConvergingHistory(options_.min_history_years);
+  std::vector<const corpus::AppSpec*> specs;
+  specs.reserve(selected.size());
+  std::vector<std::string> names;
   for (const auto& app : selected) {
     const corpus::AppSpec* spec = ecosystem_.FindSpec(app);
-    if (spec == nullptr) {
-      continue;
+    if (spec != nullptr) {
+      specs.push_back(spec);
+      names.push_back(app);
     }
-    AppRecord record;
-    record.name = app;
-    record.features = ExtractFeatures(ecosystem_.GenerateSources(*spec));
-    record.labels = ecosystem_.database().Summarize(app);
-    records.push_back(std::move(record));
   }
-  return records;
+  // One task per app: source synthesis + the full extraction battery. Every
+  // input is per-app deterministic (GenerateSources forks a per-app stream,
+  // ExtractFeatures derives per-index seeds), and ParallelMap collects in
+  // index order, so the matrix is bit-identical at any worker count.
+  std::unique_ptr<support::ThreadPool> dedicated;
+  if (options_.threads > 0) {
+    dedicated = std::make_unique<support::ThreadPool>(options_.threads);
+  }
+  support::ThreadPool& pool =
+      dedicated != nullptr ? *dedicated : support::ThreadPool::Global();
+  return pool.ParallelMap<AppRecord>(specs.size(), [&](size_t i) {
+    AppRecord record;
+    record.name = names[i];
+    record.features = ExtractFeatures(ecosystem_.GenerateSources(*specs[i]));
+    record.labels = ecosystem_.database().Summarize(record.name);
+    return record;
+  });
 }
 
 }  // namespace clair

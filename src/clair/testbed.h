@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "src/clair/feature_cache.h"
 #include "src/corpus/ecosystem.h"
 #include "src/cvedb/cvedb.h"
 #include "src/metrics/extract.h"
@@ -24,9 +25,23 @@ struct TestbedOptions {
   bool with_dynamic = true;
   int dynamic_trials = 8;
   uint64_t dynamic_seed = 0xd1a9;
-  // Deeper analyses run on a sample of each app's files to bound cost;
-  // text-level and parse-level metrics always cover every file.
+  // Deeper analyses (dataflow, intervals, symexec, dynamic traces) run on a
+  // bounded sample of each app's files; text-level and parse-level metrics
+  // always cover every file. Budget policy: the first
+  // `deep_analysis_max_files` MiniC files *in file order* consume the
+  // budget whether or not they parse and lower — a file that fails to parse
+  // spends its slot and contributes nothing. This keeps per-app deep cost
+  // bounded by the option alone and keeps per-file seeds stable under
+  // failures. The features report both sides: `deep.files_attempted`
+  // (budget consumed) and `deep.files_analyzed` (successfully analysed).
   int deep_analysis_max_files = 3;
+  // Worker count for the corpus sweep in Collect(): one task per app.
+  // 0 = the process default (CLAIR_THREADS, else hardware_concurrency);
+  // 1 = exact serial behaviour. Results are bit-identical at any setting.
+  int threads = 0;
+  // Content-addressed caching of finished feature rows (see
+  // feature_cache.h); repeated extraction of identical sources is a lookup.
+  bool cache_features = true;
   symx::SymExecOptions symexec = TightSymexecDefaults();
 
   static symx::SymExecOptions TightSymexecDefaults() {
@@ -59,15 +74,25 @@ class Testbed {
   metrics::FeatureVector ExtractFeatures(
       const std::vector<metrics::SourceFile>& files) const;
 
-  // Runs selection + extraction + label join over the whole ecosystem.
-  // Deterministic; order follows the database's sorted app names.
+  // Runs selection + extraction + label join over the whole ecosystem, one
+  // parallel task per app (TestbedOptions::threads). Deterministic and
+  // bit-identical across worker counts; order follows the database's sorted
+  // app names.
   std::vector<AppRecord> Collect() const;
 
   const TestbedOptions& options() const { return options_; }
 
+  // Hit/miss counters of the feature-row cache (zeros when disabled).
+  FeatureCacheStats cache_stats() const { return cache_.stats(); }
+
  private:
+  // Fingerprint of every option that changes extraction output; part of the
+  // cache key so differently-configured testbeds never share rows.
+  uint64_t OptionsFingerprint() const;
+
   const corpus::EcosystemGenerator& ecosystem_;
   TestbedOptions options_;
+  mutable FeatureCache cache_;
 };
 
 }  // namespace clair

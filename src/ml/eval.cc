@@ -5,6 +5,7 @@
 
 #include "src/support/stats.h"
 #include "src/support/strings.h"
+#include "src/support/thread_pool.h"
 
 namespace ml {
 
@@ -146,7 +147,10 @@ RegressionMetrics CrossValidateRegression(
   const auto folds = data.StratifiedFolds(k, rng);
   std::vector<double> predicted(data.num_rows(), 0.0);
   std::vector<double> actual(data.num_rows(), 0.0);
-  for (size_t f = 0; f < folds.size(); ++f) {
+  // Folds are independent once the split is fixed; each task trains on the
+  // other folds and writes predictions for its own disjoint row set, so the
+  // pooled vectors are identical at any worker count.
+  support::ParallelFor(folds.size(), [&](size_t f) {
     std::vector<size_t> train_rows;
     for (size_t g = 0; g < folds.size(); ++g) {
       if (g != f) {
@@ -160,7 +164,7 @@ RegressionMetrics CrossValidateRegression(
       predicted[row] = model->Predict(data.Row(row));
       actual[row] = data.Target(row);
     }
-  }
+  });
   return EvaluateRegression(predicted, actual);
 }
 
@@ -172,32 +176,50 @@ CvMetrics CrossValidate(const Dataset& data,
   metrics.folds = static_cast<size_t>(k);
   support::Rng rng(seed);
   const auto folds = data.StratifiedFolds(k, rng);
+  // Per-fold held-out results, collected in fold order then merged serially,
+  // so the pooled confusion matrix and AUC score sequence are bit-identical
+  // to the serial sweep at any worker count.
+  struct FoldResult {
+    std::vector<std::pair<int, int>> confusion_pairs;  // (actual, predicted).
+    std::vector<double> scores;
+    std::vector<int> labels;
+  };
+  const auto fold_results =
+      support::ParallelMap<FoldResult>(folds.size(), [&](size_t f) {
+        std::vector<size_t> train_rows;
+        for (size_t g = 0; g < folds.size(); ++g) {
+          if (g != f) {
+            train_rows.insert(train_rows.end(), folds[g].begin(), folds[g].end());
+          }
+        }
+        const Dataset train = data.Subset(train_rows);
+        auto model = factory();
+        model->Train(train);
+        FoldResult result;
+        for (const size_t row : folds[f]) {
+          const auto proba = model->PredictProba(data.Row(row));
+          int best = 0;
+          for (size_t c = 1; c < proba.size(); ++c) {
+            if (proba[c] > proba[static_cast<size_t>(best)]) {
+              best = static_cast<int>(c);
+            }
+          }
+          result.confusion_pairs.emplace_back(data.ClassIndex(row), best);
+          if (data.num_classes() == 2) {
+            result.scores.push_back(proba.size() > 1 ? proba[1] : 0.0);
+            result.labels.push_back(data.ClassIndex(row));
+          }
+        }
+        return result;
+      });
   std::vector<double> all_scores;
   std::vector<int> all_labels;
-  for (size_t f = 0; f < folds.size(); ++f) {
-    std::vector<size_t> train_rows;
-    for (size_t g = 0; g < folds.size(); ++g) {
-      if (g != f) {
-        train_rows.insert(train_rows.end(), folds[g].begin(), folds[g].end());
-      }
+  for (const auto& result : fold_results) {
+    for (const auto& [actual, predicted] : result.confusion_pairs) {
+      metrics.confusion.Add(actual, predicted);
     }
-    const Dataset train = data.Subset(train_rows);
-    auto model = factory();
-    model->Train(train);
-    for (const size_t row : folds[f]) {
-      const auto proba = model->PredictProba(data.Row(row));
-      int best = 0;
-      for (size_t c = 1; c < proba.size(); ++c) {
-        if (proba[c] > proba[static_cast<size_t>(best)]) {
-          best = static_cast<int>(c);
-        }
-      }
-      metrics.confusion.Add(data.ClassIndex(row), best);
-      if (data.num_classes() == 2) {
-        all_scores.push_back(proba.size() > 1 ? proba[1] : 0.0);
-        all_labels.push_back(data.ClassIndex(row));
-      }
-    }
+    all_scores.insert(all_scores.end(), result.scores.begin(), result.scores.end());
+    all_labels.insert(all_labels.end(), result.labels.begin(), result.labels.end());
   }
   metrics.accuracy = metrics.confusion.Accuracy();
   metrics.macro_f1 = metrics.confusion.MacroF1();

@@ -5,6 +5,8 @@
 #include <map>
 #include <numeric>
 
+#include "src/support/thread_pool.h"
+
 namespace ml {
 
 std::vector<double> DecisionTreeClassifier::Distribution(const Dataset& data,
@@ -173,26 +175,29 @@ std::vector<std::pair<std::string, double>> DecisionTreeClassifier::FeatureImpor
 }
 
 void RandomForestClassifier::Train(const Dataset& data) {
-  trees_.clear();
   num_classes_ = data.num_classes();
-  support::Rng rng(options_.seed);
   TreeOptions tree_options = options_.tree;
   if (tree_options.features_per_split == 0) {
     // Default: sqrt(d), the standard forest heuristic.
     tree_options.features_per_split = static_cast<size_t>(
         std::max(1.0, std::sqrt(static_cast<double>(data.num_features()))));
   }
-  for (int t = 0; t < options_.num_trees; ++t) {
-    // Bootstrap sample.
-    std::vector<size_t> sample(data.num_rows());
-    for (auto& row : sample) {
-      row = static_cast<size_t>(rng.NextBelow(data.num_rows()));
-    }
-    const Dataset bagged = data.Subset(sample);
-    auto tree = std::make_unique<DecisionTreeClassifier>(tree_options, rng.NextU64());
-    tree->Train(bagged);
-    trees_.push_back(std::move(tree));
-  }
+  // Each tree draws its bootstrap sample and split stream from a stable
+  // per-tree seed, so bagging parallelises with bit-identical forests at any
+  // worker count (and tree t is the same forest-member regardless of
+  // num_trees).
+  trees_ = support::ParallelMap<std::unique_ptr<DecisionTreeClassifier>>(
+      static_cast<size_t>(options_.num_trees), [&](size_t t) {
+        support::Rng rng = support::Rng::ForTask(options_.seed, t);
+        std::vector<size_t> sample(data.num_rows());
+        for (auto& row : sample) {
+          row = static_cast<size_t>(rng.NextBelow(data.num_rows()));
+        }
+        const Dataset bagged = data.Subset(sample);
+        auto tree = std::make_unique<DecisionTreeClassifier>(tree_options, rng.NextU64());
+        tree->Train(bagged);
+        return tree;
+      });
 }
 
 std::vector<double> RandomForestClassifier::PredictProba(std::span<const double> x) const {
@@ -200,8 +205,13 @@ std::vector<double> RandomForestClassifier::PredictProba(std::span<const double>
   if (trees_.empty()) {
     return total;
   }
-  for (const auto& tree : trees_) {
-    const auto proba = tree->PredictProba(x);
+  // Fan out over trees; summing the per-tree distributions in index order
+  // keeps floating-point results identical to the serial loop. Inside an
+  // outer parallel region (CV folds, the corpus sweep) this collapses to
+  // the inline serial path.
+  const auto per_tree = support::ParallelMap<std::vector<double>>(
+      trees_.size(), [&](size_t t) { return trees_[t]->PredictProba(x); });
+  for (const auto& proba : per_tree) {
     for (size_t c = 0; c < total.size() && c < proba.size(); ++c) {
       total[c] += proba[c];
     }
@@ -354,33 +364,36 @@ std::vector<std::pair<std::string, double>> DecisionTreeRegressor::FeatureImport
 }
 
 void RandomForestRegressor::Train(const Dataset& data) {
-  trees_.clear();
-  support::Rng rng(options_.seed);
   TreeOptions tree_options = options_.tree;
   if (tree_options.features_per_split == 0) {
     // Regression forests conventionally use d/3 features per split.
     tree_options.features_per_split =
         std::max<size_t>(1, data.num_features() / 3);
   }
-  for (int t = 0; t < options_.num_trees; ++t) {
-    std::vector<size_t> sample(data.num_rows());
-    for (auto& row : sample) {
-      row = static_cast<size_t>(rng.NextBelow(data.num_rows()));
-    }
-    const Dataset bagged = data.Subset(sample);
-    auto tree = std::make_unique<DecisionTreeRegressor>(tree_options, rng.NextU64());
-    tree->Train(bagged);
-    trees_.push_back(std::move(tree));
-  }
+  // Stable per-tree seeds; see RandomForestClassifier::Train.
+  trees_ = support::ParallelMap<std::unique_ptr<DecisionTreeRegressor>>(
+      static_cast<size_t>(options_.num_trees), [&](size_t t) {
+        support::Rng rng = support::Rng::ForTask(options_.seed, t);
+        std::vector<size_t> sample(data.num_rows());
+        for (auto& row : sample) {
+          row = static_cast<size_t>(rng.NextBelow(data.num_rows()));
+        }
+        const Dataset bagged = data.Subset(sample);
+        auto tree = std::make_unique<DecisionTreeRegressor>(tree_options, rng.NextU64());
+        tree->Train(bagged);
+        return tree;
+      });
 }
 
 double RandomForestRegressor::Predict(std::span<const double> x) const {
   if (trees_.empty()) {
     return 0.0;
   }
+  const auto per_tree = support::ParallelMap<double>(
+      trees_.size(), [&](size_t t) { return trees_[t]->Predict(x); });
   double total = 0.0;
-  for (const auto& tree : trees_) {
-    total += tree->Predict(x);
+  for (const double value : per_tree) {
+    total += value;
   }
   return total / static_cast<double>(trees_.size());
 }

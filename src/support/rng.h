@@ -152,6 +152,32 @@ class Rng {
   // application its own stream so generation order never matters.
   Rng Fork() { return Rng(NextU64() ^ 0xd1b54a32d192ed03ULL); }
 
+  // Alias for Fork() under the splittable-RNG naming convention.
+  Rng Split() { return Fork(); }
+
+  // Expands (base seed, task index) into an independent 64-bit seed via
+  // SplitMix64, so parallel tasks get stable per-index streams that do not
+  // depend on scheduling or on how many sibling tasks exist. The golden-ratio
+  // multiplier decorrelates adjacent indices before mixing.
+  static uint64_t TaskSeed(uint64_t base_seed, uint64_t task_index) {
+    SplitMix64 sm(base_seed ^ (task_index * 0x9e3779b97f4a7c15ULL) ^
+                  0xd1b54a32d192ed03ULL);
+    return sm.Next();
+  }
+
+  // A generator for task `task_index` of a family seeded with `base_seed`.
+  // The canonical way to seed work items inside support::ParallelMap.
+  static Rng ForTask(uint64_t base_seed, uint64_t task_index) {
+    return Rng(TaskSeed(base_seed, task_index));
+  }
+
+  // Instance form: a child stream for task `task_index`, derived from the
+  // generator's current state WITHOUT advancing it (const), so forking for
+  // task i never perturbs the parent or tasks j != i.
+  Rng ForkForTask(uint64_t task_index) const {
+    return ForTask(state_[0] ^ Rotl(state_[2], 17) ^ state_[3], task_index);
+  }
+
  private:
   static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 

@@ -1,0 +1,203 @@
+#include "src/support/thread_pool.h"
+
+#include <cstdlib>
+#include <exception>
+
+namespace support {
+namespace {
+
+thread_local bool tl_in_parallel_region = false;
+
+// RAII marker for nested-region detection; restores the previous value so
+// serial regions nested inside parallel ones unwind correctly.
+class RegionGuard {
+ public:
+  RegionGuard() : previous_(tl_in_parallel_region) { tl_in_parallel_region = true; }
+  ~RegionGuard() { tl_in_parallel_region = previous_; }
+
+ private:
+  bool previous_;
+};
+
+}  // namespace
+
+int ResolveThreadCount(int requested) {
+  if (requested > 0) {
+    return requested;
+  }
+  if (const char* env = std::getenv("CLAIR_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) {
+      return parsed;
+    }
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? static_cast<int>(hardware) : 1;
+}
+
+bool InParallelRegion() { return tl_in_parallel_region; }
+
+// One parallel region. Indices are pre-split into per-participant stripes;
+// claims go through each stripe's atomic cursor so an index runs exactly
+// once no matter which participant (owner or thief) claims it.
+struct ThreadPool::Job {
+  struct alignas(64) Stripe {
+    std::atomic<size_t> next{0};
+    size_t end = 0;
+  };
+
+  const std::function<void(size_t)>* body = nullptr;
+  size_t n = 0;
+  std::vector<Stripe> stripes;
+  std::atomic<size_t> completed{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(int threads) {
+  const int resolved = ResolveThreadCount(threads);
+  workers_.reserve(static_cast<size_t>(resolved - 1));
+  for (int i = 1; i < resolved; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stopping_ || generation_ != seen_generation; });
+      if (stopping_) {
+        return;
+      }
+      seen_generation = generation_;
+      job = job_;
+    }
+    if (job != nullptr) {
+      // Stripe 0 belongs to the caller; workers own 1..k-1. The worker index
+      // does not matter for correctness (stealing covers every stripe), so a
+      // cheap thread-id hash spreads the starting points.
+      const size_t stripe =
+          1 + std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+                  (job->stripes.size() - 1);
+      Participate(*job, stripe);
+    }
+  }
+}
+
+void ThreadPool::Participate(Job& job, size_t first_stripe) {
+  RegionGuard guard;
+  const size_t stripe_count = job.stripes.size();
+  for (size_t offset = 0; offset < stripe_count; ++offset) {
+    Job::Stripe& stripe = job.stripes[(first_stripe + offset) % stripe_count];
+    for (;;) {
+      const size_t index = stripe.next.fetch_add(1);
+      if (index >= stripe.end) {
+        break;
+      }
+      if (!job.failed.load(std::memory_order_relaxed)) {
+        try {
+          (*job.body)(index);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(job.error_mutex);
+          if (!job.error) {
+            job.error = std::current_exception();
+          }
+          job.failed.store(true, std::memory_order_relaxed);
+        }
+      }
+      if (job.completed.fetch_add(1) + 1 == job.n) {
+        job.completed.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) {
+  if (n == 0) {
+    return;
+  }
+  // Serial paths: a 1-participant pool, a tiny range, or a nested region.
+  // All reproduce exact serial order; the parallel path reproduces the same
+  // *results* because output slots are indexed and seeds are per-index.
+  if (workers_.empty() || n == 1 || tl_in_parallel_region) {
+    RegionGuard guard;
+    for (size_t i = 0; i < n; ++i) {
+      body(i);
+    }
+    return;
+  }
+
+  std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+  auto job = std::make_shared<Job>();
+  job->body = &body;
+  job->n = n;
+  const size_t participants = workers_.size() + 1;
+  job->stripes = std::vector<Job::Stripe>(participants);
+  for (size_t p = 0; p < participants; ++p) {
+    job->stripes[p].next.store(n * p / participants);
+    job->stripes[p].end = n * (p + 1) / participants;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = job;
+    ++generation_;
+  }
+  wake_.notify_all();
+
+  Participate(*job, 0);
+  // Wait until every claimed index has finished executing (claims drain to
+  // n even on failure — failed regions skip bodies but still count).
+  size_t done = job->completed.load();
+  while (done < n) {
+    job->completed.wait(done);
+    done = job->completed.load();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_.reset();
+  }
+  if (job->error) {
+    std::rethrow_exception(job->error);
+  }
+}
+
+namespace {
+
+std::mutex global_pool_mutex;
+std::unique_ptr<ThreadPool> global_pool;
+
+}  // namespace
+
+ThreadPool& ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(global_pool_mutex);
+  if (global_pool == nullptr) {
+    global_pool = std::make_unique<ThreadPool>(0);
+  }
+  return *global_pool;
+}
+
+void ThreadPool::SetGlobalThreads(int threads) {
+  std::lock_guard<std::mutex> lock(global_pool_mutex);
+  global_pool = std::make_unique<ThreadPool>(threads);
+}
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& body) {
+  ThreadPool::Global().ParallelFor(n, body);
+}
+
+}  // namespace support

@@ -1,0 +1,100 @@
+// Deterministic parallel runtime.
+//
+// A fixed-size pool of workers plus `ParallelFor`/`ParallelMap` helpers that
+// split an index range into per-participant stripes; each participant drains
+// its own stripe first and then steals remaining indices from the other
+// stripes, so uneven tasks (apps of very different sizes, trees of different
+// depths) still load-balance. Determinism contract: results are collected in
+// index order and callers derive any randomness from a stable per-index seed
+// (`Rng::TaskSeed`), so output is bit-identical to the serial run regardless
+// of worker count or scheduling.
+//
+// Worker-count resolution: an explicit count wins; otherwise the
+// `CLAIR_THREADS` environment variable; otherwise `hardware_concurrency`.
+// A count of 1 spawns no threads and reproduces the exact serial behaviour.
+// Nested parallel regions are safe: a `ParallelFor` issued from inside a
+// running task executes inline on the calling worker (no deadlock, no
+// oversubscription).
+#ifndef SRC_SUPPORT_THREAD_POOL_H_
+#define SRC_SUPPORT_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace support {
+
+// Worker count after applying the resolution policy above. `requested` <= 0
+// defers to CLAIR_THREADS / hardware_concurrency; the result is always >= 1.
+int ResolveThreadCount(int requested = 0);
+
+// True while the calling thread is executing a task inside ParallelFor (on
+// any pool). Used to collapse nested parallel regions to inline execution.
+bool InParallelRegion();
+
+class ThreadPool {
+ public:
+  // `threads` <= 0 resolves via ResolveThreadCount(). A pool of size k runs
+  // tasks on k participants: k-1 spawned workers plus the submitting thread.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total participants (spawned workers + the caller).
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // Runs body(0..n-1), each index exactly once, blocking until all finish.
+  // The first exception thrown by any task is rethrown on the caller after
+  // the region drains; remaining unclaimed indices are skipped. Reentrant
+  // calls (from inside a task) run inline and serially.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+  // Ordered map: out[i] = fn(i), collected in index order. T must be
+  // default-constructible and movable.
+  template <typename T, typename Fn>
+  std::vector<T> ParallelMap(size_t n, Fn&& fn) {
+    std::vector<T> out(n);
+    ParallelFor(n, [&](size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+  // The process-wide pool, created on first use with ResolveThreadCount(0).
+  static ThreadPool& Global();
+  // Replaces the global pool (0 = re-resolve from the environment). Must not
+  // be called while a parallel region is running; intended for startup
+  // configuration and for tests comparing worker counts.
+  static void SetGlobalThreads(int threads);
+
+ private:
+  struct Job;
+
+  void WorkerLoop();
+  static void Participate(Job& job, size_t first_stripe);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;                  // Guards job_ and generation_.
+  std::condition_variable wake_;
+  std::shared_ptr<Job> job_;
+  uint64_t generation_ = 0;
+  bool stopping_ = false;
+  std::mutex submit_mutex_;           // One parallel region per pool at a time.
+};
+
+// Helpers running on the global pool.
+void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+template <typename T, typename Fn>
+std::vector<T> ParallelMap(size_t n, Fn&& fn) {
+  return ThreadPool::Global().ParallelMap<T>(n, std::forward<Fn>(fn));
+}
+
+}  // namespace support
+
+#endif  // SRC_SUPPORT_THREAD_POOL_H_

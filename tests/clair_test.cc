@@ -6,9 +6,12 @@
 #include "src/clair/evaluator.h"
 #include "src/clair/hypothesis.h"
 #include "src/clair/pipeline.h"
+#include "src/clair/serialize.h"
 #include "src/clair/testbed.h"
 #include "src/corpus/codegen.h"
 #include "src/corpus/ecosystem.h"
+#include "src/ml/tree.h"
+#include "src/support/thread_pool.h"
 
 namespace clair {
 namespace {
@@ -169,6 +172,151 @@ TEST_F(ClairTest, EvaluatorComparesVersionsAndRanksLibraries) {
               unsafe_report.overall_risk - safe_report.overall_risk, 1e-12);
   EXPECT_EQ(delta.by_hypothesis.size(), StandardHypotheses().size());
   EXPECT_FALSE(delta.ToString().empty());
+}
+
+TEST_F(ClairTest, DeepAnalysisBudgetCountsAttemptedFiles) {
+  // Policy under test (TestbedOptions): the first `deep_analysis_max_files`
+  // MiniC files in order consume the budget whether or not they parse.
+  metrics::SourceFile broken;
+  broken.path = "broken.c";
+  broken.language = metrics::Language::kMiniC;
+  broken.text = "int main( { this does not parse";
+  support::Rng rng(77);
+  corpus::AppStyle style;
+  metrics::SourceFile good;
+  good.path = "good.c";
+  good.language = metrics::Language::kMiniC;
+  good.text = corpus::GenerateMiniCFile(rng, style, 120);
+
+  TestbedOptions options;
+  options.deep_analysis_max_files = 1;
+  const Testbed tight(*ecosystem_, options);
+  const auto spent_on_failure = tight.ExtractFeatures({broken, good});
+  // The unparseable file spent the only slot; nothing was deep-analysed.
+  EXPECT_EQ(spent_on_failure.Get("deep.files_attempted"), 1.0);
+  EXPECT_EQ(spent_on_failure.Get("deep.files_analyzed"), 0.0);
+  EXPECT_FALSE(spent_on_failure.Has("dataflow.instructions"));
+
+  options.deep_analysis_max_files = 2;
+  const Testbed wide(*ecosystem_, options);
+  const auto with_budget = wide.ExtractFeatures({broken, good});
+  EXPECT_EQ(with_budget.Get("deep.files_attempted"), 2.0);
+  EXPECT_EQ(with_budget.Get("deep.files_analyzed"), 1.0);
+
+  // Non-MiniC files never consume deep budget.
+  metrics::SourceFile python;
+  python.path = "tool.py";
+  python.language = metrics::Language::kPython;
+  python.text = "def f():\n    return 1\n";
+  const auto python_only = tight.ExtractFeatures({python});
+  EXPECT_EQ(python_only.Get("deep.files_attempted"), 0.0);
+  EXPECT_EQ(python_only.Get("deep.files_analyzed"), 0.0);
+}
+
+TEST_F(ClairTest, FeatureCacheHitsOnIdenticalInputAndRespectsOptions) {
+  support::Rng rng(101);
+  corpus::AppStyle style;
+  metrics::SourceFile file;
+  file.path = "cached.c";
+  file.language = metrics::Language::kMiniC;
+  file.text = corpus::GenerateMiniCFile(rng, style, 150);
+  const std::vector<metrics::SourceFile> files = {file};
+
+  TestbedOptions options;
+  options.deep_analysis_max_files = 1;
+  const Testbed cached(*ecosystem_, options);
+  const auto first = cached.ExtractFeatures(files);
+  EXPECT_EQ(cached.cache_stats().hits, 0u);
+  EXPECT_EQ(cached.cache_stats().misses, 1u);
+  const auto second = cached.ExtractFeatures(files);
+  EXPECT_EQ(cached.cache_stats().hits, 1u);
+  EXPECT_EQ(cached.cache_stats().entries, 1u);
+  EXPECT_TRUE(first.values() == second.values());
+
+  // A content change is a different key.
+  auto changed = files;
+  changed[0].text += "\nint extra(int a) { return a; }\n";
+  (void)cached.ExtractFeatures(changed);
+  EXPECT_EQ(cached.cache_stats().misses, 2u);
+
+  // Same sources under different extraction options must not share rows.
+  TestbedOptions shallow = options;
+  shallow.with_symexec = false;
+  const Testbed other(*ecosystem_, shallow);
+  const auto without_symexec = other.ExtractFeatures(files);
+  EXPECT_FALSE(without_symexec.values() == first.values());
+
+  // Disabled cache: no counters move.
+  TestbedOptions off = options;
+  off.cache_features = false;
+  const Testbed uncached(*ecosystem_, off);
+  (void)uncached.ExtractFeatures(files);
+  EXPECT_EQ(uncached.cache_stats().hits, 0u);
+  EXPECT_EQ(uncached.cache_stats().misses, 0u);
+}
+
+// The paper-scale determinism guarantee: the feature matrix, forest
+// predictions, and CV scores are bit-identical at 1 worker and at 4.
+TEST(ClairDeterminism, ParallelRuntimeIsBitIdenticalToSerial) {
+  corpus::CorpusOptions corpus_options;
+  corpus_options.mature_apps = 10;
+  corpus_options.immature_apps = 2;
+  corpus_options.size_scale = 0.01;
+  const corpus::EcosystemGenerator ecosystem(corpus_options);
+
+  const auto collect = [&](int threads) {
+    TestbedOptions options;
+    options.deep_analysis_max_files = 1;
+    options.threads = threads;
+    const Testbed testbed(ecosystem, options);
+    return testbed.Collect();
+  };
+  const auto serial_records = collect(1);
+  const auto parallel_records = collect(4);
+  // Byte-identical matrix: the serialized rows are the canonical encoding.
+  EXPECT_EQ(SaveRecords(serial_records), SaveRecords(parallel_records));
+
+  // Forest training + prediction and CV under a 1-worker vs 4-worker global
+  // pool. Exact equality on every probability and metric.
+  const auto evaluate = [&](const std::vector<AppRecord>& records, int threads) {
+    support::ThreadPool::SetGlobalThreads(threads);
+    PipelineOptions options;
+    options.cv_folds = 3;
+    const TrainingPipeline pipeline(records, options);
+    const Hypothesis& hypothesis = StandardHypotheses()[0];
+    ml::Dataset data = pipeline.BuildDataset(hypothesis);
+    pipeline.ApplyTransforms(data, nullptr);
+    ml::ForestOptions forest_options;
+    forest_options.num_trees = 16;
+    forest_options.seed = 13;
+    ml::RandomForestClassifier forest(forest_options);
+    forest.Train(data);
+    std::vector<double> outputs;
+    for (size_t row = 0; row < data.num_rows(); ++row) {
+      const auto proba = forest.PredictProba(data.Row(row));
+      outputs.insert(outputs.end(), proba.begin(), proba.end());
+    }
+    const ml::CvMetrics cv = ml::CrossValidate(
+        data,
+        [] {
+          ml::ForestOptions inner;
+          inner.num_trees = 8;
+          inner.seed = 5;
+          return std::unique_ptr<ml::Classifier>(new ml::RandomForestClassifier(inner));
+        },
+        3, options.seed);
+    outputs.push_back(cv.accuracy);
+    outputs.push_back(cv.macro_f1);
+    outputs.push_back(cv.auc);
+    support::ThreadPool::SetGlobalThreads(0);
+    return outputs;
+  };
+  const auto serial_outputs = evaluate(serial_records, 1);
+  const auto parallel_outputs = evaluate(serial_records, 4);
+  ASSERT_EQ(serial_outputs.size(), parallel_outputs.size());
+  for (size_t i = 0; i < serial_outputs.size(); ++i) {
+    EXPECT_EQ(serial_outputs[i], parallel_outputs[i]) << i;
+  }
 }
 
 TEST(ClairStats, CorpusStatsMedians) {

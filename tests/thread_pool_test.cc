@@ -1,0 +1,181 @@
+// Tests for the deterministic parallel runtime: scheduling correctness,
+// exception propagation, nested-region safety, and the central contract —
+// ParallelMap output is bit-identical at 1 and N workers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "src/support/rng.h"
+#include "src/support/thread_pool.h"
+
+namespace support {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> counts(kN);
+  pool.ParallelFor(kN, [&](size_t i) { counts[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  // Serial order contract: indices run 0..n-1 on the calling thread.
+  std::vector<size_t> order;
+  pool.ParallelFor(64, [&](size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 64u);
+  for (size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(ThreadPool, ZeroAndOneSizedRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ParallelMapCollectsInIndexOrder) {
+  ThreadPool pool(4);
+  const auto out =
+      pool.ParallelMap<size_t>(1000, [](size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 1000u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], i * i);
+  }
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(256,
+                       [](size_t i) {
+                         if (i == 137) {
+                           throw std::runtime_error("task failed");
+                         }
+                       }),
+      std::runtime_error);
+  // The pool survives a failed region and can run the next one.
+  std::atomic<int> ran{0};
+  pool.ParallelFor(32, [&](size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPool, ExceptionOnSerialPathPropagatesToo) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.ParallelFor(
+                   8, [](size_t i) { if (i == 3) { throw std::logic_error("x"); } }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, NestedParallelismRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  EXPECT_FALSE(InParallelRegion());
+  std::atomic<long long> total{0};
+  pool.ParallelFor(16, [&](size_t) {
+    EXPECT_TRUE(InParallelRegion());
+    // A nested region on the same pool must not deadlock; it runs inline.
+    pool.ParallelFor(16, [&](size_t j) {
+      total.fetch_add(static_cast<long long>(j));
+    });
+  });
+  EXPECT_EQ(total.load(), 16 * (15 * 16 / 2));
+  EXPECT_FALSE(InParallelRegion());
+}
+
+TEST(ThreadPool, NestedOnGlobalPoolIsAlsoInline) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  pool.ParallelFor(8, [&](size_t) {
+    support::ParallelFor(8, [&](size_t) { ran.fetch_add(1); });
+  });
+  EXPECT_EQ(ran.load(), 64);
+}
+
+// The core determinism contract: a seeded per-index computation produces a
+// bit-identical result vector at 1 worker and at N workers.
+TEST(ThreadPool, OneVsManyWorkersBitIdenticalParallelMap) {
+  constexpr size_t kN = 512;
+  constexpr uint64_t kBase = 20170508;
+  const auto run = [&](int threads) {
+    ThreadPool pool(threads);
+    return pool.ParallelMap<double>(kN, [&](size_t i) {
+      Rng rng = Rng::ForTask(kBase, i);
+      // A float-heavy task whose result depends on the whole stream.
+      double acc = 0.0;
+      for (int step = 0; step < 100; ++step) {
+        acc += rng.Normal() * rng.NextDouble();
+      }
+      return acc;
+    });
+  };
+  const auto serial = run(1);
+  const auto parallel4 = run(4);
+  const auto parallel7 = run(7);
+  ASSERT_EQ(serial.size(), parallel4.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    // Exact binary equality, not EXPECT_DOUBLE_EQ's 4-ulp tolerance.
+    EXPECT_EQ(serial[i], parallel4[i]) << i;
+    EXPECT_EQ(serial[i], parallel7[i]) << i;
+  }
+}
+
+TEST(ThreadPool, ResolveThreadCountPolicy) {
+  EXPECT_EQ(ResolveThreadCount(3), 3);
+  EXPECT_GE(ResolveThreadCount(0), 1);
+  EXPECT_GE(ResolveThreadCount(-5), 1);
+}
+
+TEST(ThreadPool, SetGlobalThreadsReplacesPool) {
+  ThreadPool::SetGlobalThreads(2);
+  EXPECT_EQ(ThreadPool::Global().size(), 2);
+  std::atomic<int> ran{0};
+  support::ParallelFor(64, [&](size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 64);
+  ThreadPool::SetGlobalThreads(0);  // Back to the environment default.
+}
+
+TEST(Rng, TaskSeedStableAndSpread) {
+  // Stable across calls, distinct across indices and bases.
+  EXPECT_EQ(Rng::TaskSeed(1, 0), Rng::TaskSeed(1, 0));
+  EXPECT_NE(Rng::TaskSeed(1, 0), Rng::TaskSeed(1, 1));
+  EXPECT_NE(Rng::TaskSeed(1, 0), Rng::TaskSeed(2, 0));
+  // Adjacent indices must decorrelate: streams differ immediately.
+  Rng a = Rng::ForTask(7, 10);
+  Rng b = Rng::ForTask(7, 11);
+  EXPECT_NE(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, ForkForTaskIsConstAndStable) {
+  const Rng parent(42);
+  Rng child1 = parent.ForkForTask(5);
+  Rng child2 = parent.ForkForTask(5);
+  Rng other = parent.ForkForTask(6);
+  EXPECT_EQ(child1.NextU64(), child2.NextU64());
+  Rng child3 = parent.ForkForTask(5);
+  EXPECT_NE(child3.NextU64(), other.NextU64());
+}
+
+TEST(Rng, SplitAliasesForkSemantics) {
+  Rng a(9);
+  Rng b(9);
+  Rng child_a = a.Split();
+  Rng child_b = b.Fork();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(child_a.NextU64(), child_b.NextU64());
+  }
+}
+
+}  // namespace
+}  // namespace support
