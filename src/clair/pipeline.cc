@@ -82,13 +82,13 @@ TrainingPipeline::TrainingPipeline(std::vector<AppRecord> records, PipelineOptio
 
 ml::Dataset TrainingPipeline::BuildDataset(const Hypothesis& hypothesis) const {
   ml::Dataset data = ml::Dataset::ForClassification(feature_names_, hypothesis.classes);
+  data.Reserve(records_.size());
+  std::vector<double> row(feature_names_.size());
   for (const auto& record : records_) {
-    std::vector<double> row;
-    row.reserve(feature_names_.size());
-    for (const auto& name : feature_names_) {
-      row.push_back(record.features.Get(name, 0.0));
+    for (size_t j = 0; j < feature_names_.size(); ++j) {
+      row[j] = record.features.Get(feature_names_[j], 0.0);
     }
-    data.AddRow(std::move(row), hypothesis.label(record.labels, stats_));
+    data.AddRow(row, hypothesis.label(record.labels, stats_));
   }
   return data;
 }
@@ -139,14 +139,13 @@ HypothesisReport TrainingPipeline::EvaluateHypothesis(const Hypothesis& hypothes
       report.best = outcome.metrics;
     }
   }
-  // Feature attribution from a final model with importances.
-  ml::Dataset full = BuildDataset(hypothesis);
-  ApplyTransforms(full, nullptr);
+  // Feature attribution from a final model with importances, trained on the
+  // same transformed dataset (and shared binned view) the CV sweep used.
   ml::ForestOptions forest_options;
   forest_options.num_trees = 48;
   forest_options.seed = 13;
   ml::RandomForestClassifier forest(forest_options);
-  forest.Train(full);
+  forest.Train(data);
   auto importance = forest.FeatureImportance();
   if (importance.size() > 10) {
     importance.resize(10);
@@ -166,13 +165,13 @@ std::vector<HypothesisReport> TrainingPipeline::EvaluateAll() const {
 
 ml::Dataset TrainingPipeline::BuildCountDataset() const {
   ml::Dataset data = ml::Dataset::ForRegression(feature_names_, "log10_vulns");
+  data.Reserve(records_.size());
+  std::vector<double> row(feature_names_.size());
   for (const auto& record : records_) {
-    std::vector<double> row;
-    row.reserve(feature_names_.size());
-    for (const auto& name : feature_names_) {
-      row.push_back(record.features.Get(name, 0.0));
+    for (size_t j = 0; j < feature_names_.size(); ++j) {
+      row[j] = record.features.Get(feature_names_[j], 0.0);
     }
-    data.AddRow(std::move(row), std::log10(1.0 + record.labels.total));
+    data.AddRow(row, std::log10(1.0 + record.labels.total));
   }
   return data;
 }

@@ -1,0 +1,94 @@
+#include "src/ml/binned.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ml {
+namespace {
+
+// Distinct sorted values of `column` with their multiplicities.
+void DistinctValues(std::span<const double> column, std::vector<double>& values,
+                    std::vector<size_t>& counts) {
+  std::vector<double> sorted(column.begin(), column.end());
+  std::sort(sorted.begin(), sorted.end());
+  values.clear();
+  counts.clear();
+  for (const double v : sorted) {
+    if (values.empty() || v != values.back()) {
+      values.push_back(v);
+      counts.push_back(1);
+    } else {
+      ++counts.back();
+    }
+  }
+}
+
+BinnedColumn BinColumn(std::span<const double> column, uint16_t max_bins,
+                       std::vector<double>& values, std::vector<size_t>& counts) {
+  BinnedColumn out;
+  DistinctValues(column, values, counts);
+  const size_t distinct = values.size();
+
+  // bin_upper[b] = largest distinct value assigned to bin b.
+  std::vector<double> bin_upper;
+  std::vector<double> bin_lower;  // Smallest distinct value in bin b.
+  if (distinct <= max_bins) {
+    // Exact mode: one bin per distinct value, so every candidate threshold
+    // of the sort-based search survives binning unchanged.
+    out.exact = true;
+    bin_upper = values;
+    bin_lower = values;
+  } else {
+    // Quantile binning: close a bin once it holds >= rows/max_bins rows, so
+    // heavy ties absorb into one bin and the rest split the mass evenly.
+    const double per_bin =
+        static_cast<double>(column.size()) / static_cast<double>(max_bins);
+    size_t cum = 0;
+    size_t bin_start = 0;
+    for (size_t i = 0; i < distinct; ++i) {
+      cum += counts[i];
+      const size_t bins_made = bin_upper.size();
+      const bool last_value = i + 1 == distinct;
+      const bool quota_met =
+          static_cast<double>(cum) >= per_bin * static_cast<double>(bins_made + 1);
+      // Never exceed max_bins: once max_bins - 1 bins are closed the tail
+      // all lands in the final bin.
+      if (last_value || (quota_met && bins_made + 1 < max_bins)) {
+        bin_lower.push_back(values[bin_start]);
+        bin_upper.push_back(values[i]);
+        bin_start = i + 1;
+      }
+    }
+  }
+
+  out.num_bins = static_cast<uint16_t>(bin_upper.size());
+  out.thresholds.reserve(out.num_bins > 0 ? out.num_bins - 1 : 0);
+  for (size_t b = 0; b + 1 < bin_upper.size(); ++b) {
+    out.thresholds.push_back(0.5 * (bin_upper[b] + bin_lower[b + 1]));
+  }
+
+  out.codes.resize(column.size());
+  for (size_t i = 0; i < column.size(); ++i) {
+    const auto it = std::lower_bound(bin_upper.begin(), bin_upper.end(), column[i]);
+    out.codes[i] = static_cast<uint8_t>(it - bin_upper.begin());
+  }
+  return out;
+}
+
+}  // namespace
+
+BinnedView BinnedView::Build(const Dataset& data, uint16_t max_bins) {
+  BinnedView view;
+  view.max_bins_ = std::clamp<uint16_t>(max_bins, 2, 256);
+  view.num_rows_ = data.num_rows();
+  view.columns_.reserve(data.num_features());
+  std::vector<double> values;
+  std::vector<size_t> counts;
+  for (size_t j = 0; j < data.num_features(); ++j) {
+    view.columns_.push_back(BinColumn(data.Column(j), view.max_bins_, values, counts));
+    view.all_exact_ = view.all_exact_ && view.columns_.back().exact;
+  }
+  return view;
+}
+
+}  // namespace ml

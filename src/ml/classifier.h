@@ -21,6 +21,12 @@ class Classifier {
   virtual ~Classifier() = default;
 
   virtual void Train(const Dataset& data) = 0;
+  // Trains on a row-index view of `data` (indices may repeat — bootstrap
+  // bags and CV folds both pass these). Implementations override this to
+  // avoid materialising a subset copy; the fallback copies.
+  virtual void TrainIndexed(const Dataset& data, std::span<const size_t> rows) {
+    Train(data.Subset(rows));
+  }
   // Probability (or score) per class; sums to 1.
   virtual std::vector<double> PredictProba(std::span<const double> x) const = 0;
   virtual std::string Name() const = 0;
@@ -45,6 +51,10 @@ class Regressor {
  public:
   virtual ~Regressor() = default;
   virtual void Train(const Dataset& data) = 0;
+  // Index-view training; see Classifier::TrainIndexed.
+  virtual void TrainIndexed(const Dataset& data, std::span<const size_t> rows) {
+    Train(data.Subset(rows));
+  }
   virtual double Predict(std::span<const double> x) const = 0;
   virtual std::string Name() const = 0;
   virtual std::vector<std::pair<std::string, double>> FeatureImportance() const {

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/ml/binned.h"
+
 namespace ml {
 
 Dataset Dataset::ForClassification(std::vector<std::string> feature_names,
@@ -10,6 +12,7 @@ Dataset Dataset::ForClassification(std::vector<std::string> feature_names,
   data.feature_names_ = std::move(feature_names);
   data.class_names_ = std::move(class_names);
   data.target_name_ = "class";
+  data.columns_.resize(data.feature_names_.size());
   return data;
 }
 
@@ -18,23 +21,89 @@ Dataset Dataset::ForRegression(std::vector<std::string> feature_names,
   Dataset data;
   data.feature_names_ = std::move(feature_names);
   data.target_name_ = std::move(target_name);
+  data.columns_.resize(data.feature_names_.size());
   return data;
 }
 
-void Dataset::AddRow(std::vector<double> features, double target) {
+Dataset::Dataset(const Dataset& other)
+    : feature_names_(other.feature_names_),
+      class_names_(other.class_names_),
+      target_name_(other.target_name_),
+      columns_(other.columns_),
+      targets_(other.targets_) {
+  std::lock_guard<std::mutex> lock(other.binned_mutex_);
+  binned_ = other.binned_;  // Immutable snapshot; safe to share.
+  binned_bins_ = other.binned_bins_;
+}
+
+Dataset& Dataset::operator=(const Dataset& other) {
+  if (this == &other) {
+    return *this;
+  }
+  feature_names_ = other.feature_names_;
+  class_names_ = other.class_names_;
+  target_name_ = other.target_name_;
+  columns_ = other.columns_;
+  targets_ = other.targets_;
+  std::shared_ptr<const BinnedView> view;
+  uint16_t bins = 0;
+  {
+    std::lock_guard<std::mutex> lock(other.binned_mutex_);
+    view = other.binned_;
+    bins = other.binned_bins_;
+  }
+  std::lock_guard<std::mutex> lock(binned_mutex_);
+  binned_ = std::move(view);
+  binned_bins_ = bins;
+  return *this;
+}
+
+Dataset::Dataset(Dataset&& other) noexcept
+    : feature_names_(std::move(other.feature_names_)),
+      class_names_(std::move(other.class_names_)),
+      target_name_(std::move(other.target_name_)),
+      columns_(std::move(other.columns_)),
+      targets_(std::move(other.targets_)),
+      binned_(std::move(other.binned_)),
+      binned_bins_(other.binned_bins_) {}
+
+Dataset& Dataset::operator=(Dataset&& other) noexcept {
+  if (this == &other) {
+    return *this;
+  }
+  feature_names_ = std::move(other.feature_names_);
+  class_names_ = std::move(other.class_names_);
+  target_name_ = std::move(other.target_name_);
+  columns_ = std::move(other.columns_);
+  targets_ = std::move(other.targets_);
+  binned_ = std::move(other.binned_);
+  binned_bins_ = other.binned_bins_;
+  return *this;
+}
+
+void Dataset::Reserve(size_t rows) {
+  for (auto& column : columns_) {
+    column.reserve(rows);
+  }
+  targets_.reserve(rows);
+}
+
+void Dataset::AddRow(std::span<const double> features, double target) {
   assert(features.size() == feature_names_.size());
   if (is_classification()) {
     assert(target >= 0 && target < static_cast<double>(class_names_.size()));
   }
-  features_.push_back(std::move(features));
+  InvalidateBinned();
+  for (size_t j = 0; j < columns_.size(); ++j) {
+    columns_[j].push_back(features[j]);
+  }
   targets_.push_back(target);
 }
 
-std::vector<double> Dataset::Column(size_t col) const {
-  std::vector<double> out;
-  out.reserve(num_rows());
-  for (const auto& row : features_) {
-    out.push_back(row[col]);
+std::vector<double> Dataset::Row(size_t i) const {
+  std::vector<double> out(columns_.size());
+  for (size_t j = 0; j < columns_.size(); ++j) {
+    out[j] = columns_[j][i];
   }
   return out;
 }
@@ -52,10 +121,15 @@ Dataset Dataset::Subset(std::span<const size_t> rows) const {
   out.feature_names_ = feature_names_;
   out.class_names_ = class_names_;
   out.target_name_ = target_name_;
-  out.features_.reserve(rows.size());
+  out.columns_.resize(columns_.size());
+  for (size_t j = 0; j < columns_.size(); ++j) {
+    out.columns_[j].reserve(rows.size());
+    for (const size_t row : rows) {
+      out.columns_[j].push_back(columns_[j][row]);
+    }
+  }
   out.targets_.reserve(rows.size());
   for (const size_t row : rows) {
-    out.features_.push_back(features_[row]);
     out.targets_.push_back(targets_[row]);
   }
   return out;
@@ -89,6 +163,21 @@ std::vector<std::vector<size_t>> Dataset::StratifiedFolds(int k, support::Rng& r
     }
   }
   return folds;
+}
+
+std::shared_ptr<const BinnedView> Dataset::Binned(uint16_t max_bins) const {
+  std::lock_guard<std::mutex> lock(binned_mutex_);
+  if (!binned_ || binned_bins_ != max_bins) {
+    binned_ = std::make_shared<const BinnedView>(BinnedView::Build(*this, max_bins));
+    binned_bins_ = max_bins;
+  }
+  return binned_;
+}
+
+void Dataset::InvalidateBinned() {
+  std::lock_guard<std::mutex> lock(binned_mutex_);
+  binned_.reset();
+  binned_bins_ = 0;
 }
 
 }  // namespace ml

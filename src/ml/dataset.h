@@ -1,10 +1,19 @@
 // Dataset representation for the learning pipeline (the in-repo stand-in for
 // Weka's ARFF instances): named numeric features, a nominal or numeric
 // target, and helpers for subsetting and stratified fold construction.
+//
+// Storage is columnar (SoA): one flat contiguous buffer per feature, so the
+// per-column scans that dominate training (split finding, transform fits,
+// feature ranking) are sequential reads, and a whole column can be handed out
+// as a zero-copy span. Row access materialises a gather; hot row-major
+// consumers (linear models, kNN) gather their own matrix once per Train.
 #ifndef SRC_ML_DATASET_H_
 #define SRC_ML_DATASET_H_
 
 #include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -12,6 +21,8 @@
 #include "src/support/rng.h"
 
 namespace ml {
+
+class BinnedView;
 
 class Dataset {
  public:
@@ -22,6 +33,11 @@ class Dataset {
   static Dataset ForRegression(std::vector<std::string> feature_names,
                                std::string target_name);
 
+  Dataset(const Dataset& other);
+  Dataset& operator=(const Dataset& other);
+  Dataset(Dataset&& other) noexcept;
+  Dataset& operator=(Dataset&& other) noexcept;
+
   bool is_classification() const { return !class_names_.empty(); }
   size_t num_features() const { return feature_names_.size(); }
   size_t num_rows() const { return targets_.size(); }
@@ -31,28 +47,45 @@ class Dataset {
   const std::vector<std::string>& class_names() const { return class_names_; }
   const std::string& target_name() const { return target_name_; }
 
+  // Pre-sizes every column (and the target buffer) for `rows` rows, so bulk
+  // conversion (testbed -> feature matrix) appends without reallocation.
+  void Reserve(size_t rows);
+
   // Appends a row. For classification `target` must be an integral class
   // index in [0, num_classes).
-  void AddRow(std::vector<double> features, double target);
-
-  std::span<const double> Row(size_t i) const {
-    return {features_[i].data(), features_[i].size()};
+  void AddRow(std::span<const double> features, double target);
+  void AddRow(std::initializer_list<double> features, double target) {
+    AddRow(std::span<const double>(features.begin(), features.size()), target);
   }
-  double Feature(size_t row, size_t col) const { return features_[row][col]; }
-  void SetFeature(size_t row, size_t col, double v) { features_[row][col] = v; }
+
+  // Materialised copy of row `i` (the storage is columnar).
+  std::vector<double> Row(size_t i) const;
+  double Feature(size_t row, size_t col) const { return columns_[col][row]; }
+  void SetFeature(size_t row, size_t col, double v) {
+    InvalidateBinned();
+    columns_[col][row] = v;
+  }
   double Target(size_t i) const { return targets_[i]; }
   int ClassIndex(size_t i) const { return static_cast<int>(targets_[i]); }
 
-  // All values of one feature column.
-  std::vector<double> Column(size_t col) const;
+  // Zero-copy view of one feature column.
+  std::span<const double> Column(size_t col) const {
+    return {columns_[col].data(), columns_[col].size()};
+  }
+  // Writable column view for in-place transforms; drops the binned cache.
+  std::span<double> MutableColumn(size_t col) {
+    InvalidateBinned();
+    return {columns_[col].data(), columns_[col].size()};
+  }
   // All targets.
   const std::vector<double>& targets() const { return targets_; }
 
   // Class frequency histogram (classification only).
   std::vector<size_t> ClassCounts() const;
 
-  // A new dataset containing the given rows (indices may repeat — used by
-  // bootstrap sampling).
+  // A new dataset containing the given rows (indices may repeat). Training
+  // hot paths use index views instead (Classifier::TrainIndexed); this
+  // remains for consumers that need a standalone materialised copy.
   Dataset Subset(std::span<const size_t> rows) const;
 
   // Deterministic stratified k-fold split: returns `k` disjoint index sets
@@ -60,12 +93,26 @@ class Dataset {
   // regression the split is a plain shuffled partition.
   std::vector<std::vector<size_t>> StratifiedFolds(int k, support::Rng& rng) const;
 
+  // The lazily-built quantile-binned view of this dataset (<= max_bins codes
+  // per feature; see binned.h). Built once under a lock and shared by every
+  // tree, bag, and CV fold that trains on this dataset; mutation (AddRow /
+  // SetFeature / MutableColumn) invalidates the cache.
+  std::shared_ptr<const BinnedView> Binned(uint16_t max_bins = 256) const;
+
  private:
+  Dataset() = default;
+
+  void InvalidateBinned();
+
   std::vector<std::string> feature_names_;
   std::vector<std::string> class_names_;  // Empty => regression.
   std::string target_name_;
-  std::vector<std::vector<double>> features_;
+  std::vector<std::vector<double>> columns_;  // [feature][row], flat per column.
   std::vector<double> targets_;
+
+  mutable std::mutex binned_mutex_;
+  mutable std::shared_ptr<const BinnedView> binned_;
+  mutable uint16_t binned_bins_ = 0;
 };
 
 }  // namespace ml

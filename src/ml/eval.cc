@@ -157,9 +157,8 @@ RegressionMetrics CrossValidateRegression(
         train_rows.insert(train_rows.end(), folds[g].begin(), folds[g].end());
       }
     }
-    const Dataset train = data.Subset(train_rows);
     auto model = factory();
-    model->Train(train);
+    model->TrainIndexed(data, train_rows);
     for (const size_t row : folds[f]) {
       predicted[row] = model->Predict(data.Row(row));
       actual[row] = data.Target(row);
@@ -192,9 +191,8 @@ CvMetrics CrossValidate(const Dataset& data,
             train_rows.insert(train_rows.end(), folds[g].begin(), folds[g].end());
           }
         }
-        const Dataset train = data.Subset(train_rows);
         auto model = factory();
-        model->Train(train);
+        model->TrainIndexed(data, train_rows);
         FoldResult result;
         for (const size_t row : folds[f]) {
           const auto proba = model->PredictProba(data.Row(row));

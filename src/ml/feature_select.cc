@@ -42,11 +42,12 @@ FeatureRanking RankByInformationGain(const Dataset& data, int bins) {
   Discretizer disc(bins);
   disc.Fit(data);
   for (size_t j = 0; j < data.num_features(); ++j) {
-    // Joint histogram bin × class.
+    // Joint histogram bin × class, filled from one sequential column scan.
     std::vector<std::vector<double>> joint(static_cast<size_t>(bins),
                                            std::vector<double>(classes, 0.0));
+    const auto column = data.Column(j);
     for (size_t i = 0; i < rows; ++i) {
-      const int bin = disc.BinOf(j, data.Feature(i, j));
+      const int bin = disc.BinOf(j, column[i]);
       joint[static_cast<size_t>(bin)][static_cast<size_t>(data.ClassIndex(i))] += 1.0;
     }
     double h_cond = 0.0;
@@ -89,13 +90,13 @@ Dataset SelectFeatures(const Dataset& data, const FeatureRanking& ranking, size_
   Dataset out = data.is_classification()
                     ? Dataset::ForClassification(names, data.class_names())
                     : Dataset::ForRegression(names, data.target_name());
+  out.Reserve(data.num_rows());
+  std::vector<double> row(k);
   for (size_t i = 0; i < data.num_rows(); ++i) {
-    std::vector<double> row;
-    row.reserve(k);
-    for (const size_t j : keep) {
-      row.push_back(data.Feature(i, j));
+    for (size_t p = 0; p < k; ++p) {
+      row[p] = data.Feature(i, keep[p]);
     }
-    out.AddRow(std::move(row), data.Target(i));
+    out.AddRow(row, data.Target(i));
   }
   return out;
 }

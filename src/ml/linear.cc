@@ -2,8 +2,38 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 namespace ml {
+namespace {
+
+// Gathers the row-index view into a flat row-major matrix + target vector.
+// Linear models are row-major hot loops; one gather out of the columnar
+// storage beats materialising a row per access (or a Subset per fold).
+void GatherMatrix(const Dataset& data, std::span<const size_t> rows,
+                  std::vector<double>& x, std::vector<double>& y) {
+  const size_t dim = data.num_features();
+  x.resize(rows.size() * dim);
+  y.resize(rows.size());
+  for (size_t j = 0; j < dim; ++j) {
+    const auto column = data.Column(j);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      x[i * dim + j] = column[rows[i]];
+    }
+  }
+  const auto& targets = data.targets();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    y[i] = targets[rows[i]];
+  }
+}
+
+std::vector<size_t> AllRows(const Dataset& data) {
+  std::vector<size_t> rows(data.num_rows());
+  std::iota(rows.begin(), rows.end(), size_t{0});
+  return rows;
+}
+
+}  // namespace
 
 bool SolveLinearSystem(std::vector<std::vector<double>> a, std::vector<double> b,
                        std::vector<double>& x) {
@@ -44,21 +74,33 @@ bool SolveLinearSystem(std::vector<std::vector<double>> a, std::vector<double> b
 }
 
 void LinearRegressor::Train(const Dataset& data) {
+  const auto rows = AllRows(data);
+  TrainIndexed(data, rows);
+}
+
+void LinearRegressor::TrainIndexed(const Dataset& data, std::span<const size_t> rows) {
   feature_names_ = data.feature_names();
-  const size_t n = data.num_features() + 1;  // +1 intercept.
+  const size_t dim = data.num_features();
+  const size_t n = dim + 1;  // +1 intercept.
+  std::vector<double> x;
+  std::vector<double> y;
+  GatherMatrix(data, rows, x, y);
+  auto accumulate = [&](std::vector<std::vector<double>>& xtx, std::vector<double>& xty) {
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const double* row = x.data() + i * dim;
+      // Augmented feature vector [1, x...].
+      auto feature = [row](size_t j) { return j == 0 ? 1.0 : row[j - 1]; };
+      for (size_t p = 0; p < n; ++p) {
+        for (size_t q = 0; q < n; ++q) {
+          xtx[p][q] += feature(p) * feature(q);
+        }
+        xty[p] += feature(p) * y[i];
+      }
+    }
+  };
   std::vector<std::vector<double>> xtx(n, std::vector<double>(n, 0.0));
   std::vector<double> xty(n, 0.0);
-  for (size_t i = 0; i < data.num_rows(); ++i) {
-    const auto row = data.Row(i);
-    // Augmented feature vector [1, x...].
-    auto feature = [&row](size_t j) { return j == 0 ? 1.0 : row[j - 1]; };
-    for (size_t p = 0; p < n; ++p) {
-      for (size_t q = 0; q < n; ++q) {
-        xtx[p][q] += feature(p) * feature(q);
-      }
-      xty[p] += feature(p) * data.Target(i);
-    }
-  }
+  accumulate(xtx, xty);
   for (size_t p = 1; p < n; ++p) {
     xtx[p][p] += lambda_;  // Intercept is not regularised.
   }
@@ -66,16 +108,7 @@ void LinearRegressor::Train(const Dataset& data) {
     // Singular system: retry with a stabilising ridge.
     std::vector<std::vector<double>> xtx2(n, std::vector<double>(n, 0.0));
     std::vector<double> xty2(n, 0.0);
-    for (size_t i = 0; i < data.num_rows(); ++i) {
-      const auto row = data.Row(i);
-      auto feature = [&row](size_t j) { return j == 0 ? 1.0 : row[j - 1]; };
-      for (size_t p = 0; p < n; ++p) {
-        for (size_t q = 0; q < n; ++q) {
-          xtx2[p][q] += feature(p) * feature(q);
-        }
-        xty2[p] += feature(p) * data.Target(i);
-      }
-    }
+    accumulate(xtx2, xty2);
     for (size_t p = 0; p < n; ++p) {
       xtx2[p][p] += 1e-6;
     }
@@ -106,28 +139,38 @@ std::vector<std::pair<std::string, double>> LinearRegressor::FeatureImportance()
 }
 
 void LogisticClassifier::Train(const Dataset& data) {
+  const auto rows = AllRows(data);
+  TrainIndexed(data, rows);
+}
+
+void LogisticClassifier::TrainIndexed(const Dataset& data, std::span<const size_t> rows) {
   feature_names_ = data.feature_names();
   num_classes_ = data.num_classes();
-  const size_t dim = data.num_features() + 1;
+  const size_t features = data.num_features();
+  const size_t dim = features + 1;
   weights_.assign(num_classes_, std::vector<double>(dim, 0.0));
-  if (data.num_rows() == 0) {
+  if (rows.empty()) {
     return;
   }
+  // Gather once: the gradient loop touches every row 500 times.
+  std::vector<double> x;
+  std::vector<double> y;
+  GatherMatrix(data, rows, x, y);
   std::vector<std::vector<double>> gradients(num_classes_, std::vector<double>(dim, 0.0));
-  const double inv_n = 1.0 / static_cast<double>(data.num_rows());
+  const double inv_n = 1.0 / static_cast<double>(rows.size());
   for (int iter = 0; iter < options_.iterations; ++iter) {
     for (auto& g : gradients) {
       std::fill(g.begin(), g.end(), 0.0);
     }
-    for (size_t i = 0; i < data.num_rows(); ++i) {
-      const auto x = data.Row(i);
-      const auto proba = PredictProba(x);
-      const auto label = static_cast<size_t>(data.ClassIndex(i));
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const std::span<const double> row(x.data() + i * features, features);
+      const auto proba = PredictProba(row);
+      const auto label = static_cast<size_t>(y[i]);
       for (size_t c = 0; c < num_classes_; ++c) {
         const double error = proba[c] - (c == label ? 1.0 : 0.0);
         gradients[c][0] += error;
-        for (size_t j = 0; j < x.size(); ++j) {
-          gradients[c][j + 1] += error * x[j];
+        for (size_t j = 0; j < features; ++j) {
+          gradients[c][j + 1] += error * row[j];
         }
       }
     }

@@ -20,6 +20,7 @@ class LinearRegressor : public Regressor {
   explicit LinearRegressor(double ridge_lambda = 0.0) : lambda_(ridge_lambda) {}
 
   void Train(const Dataset& data) override;
+  void TrainIndexed(const Dataset& data, std::span<const size_t> rows) override;
   double Predict(std::span<const double> x) const override;
   std::string Name() const override { return lambda_ > 0.0 ? "ridge" : "ols"; }
   std::vector<std::pair<std::string, double>> FeatureImportance() const override;
@@ -46,6 +47,7 @@ class LogisticClassifier : public Classifier {
   explicit LogisticClassifier(LogisticOptions options = {}) : options_(options) {}
 
   void Train(const Dataset& data) override;
+  void TrainIndexed(const Dataset& data, std::span<const size_t> rows) override;
   std::vector<double> PredictProba(std::span<const double> x) const override;
   std::string Name() const override { return "logistic"; }
   std::vector<std::pair<std::string, double>> FeatureImportance() const override;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 namespace ml {
 
@@ -10,6 +11,13 @@ constexpr double kMinVariance = 1e-9;
 }  // namespace
 
 void NaiveBayesClassifier::Train(const Dataset& data) {
+  std::vector<size_t> rows(data.num_rows());
+  std::iota(rows.begin(), rows.end(), size_t{0});
+  TrainIndexed(data, rows);
+}
+
+void NaiveBayesClassifier::TrainIndexed(const Dataset& data,
+                                        std::span<const size_t> rows) {
   feature_names_ = data.feature_names();
   const size_t classes = data.num_classes();
   const size_t features = data.num_features();
@@ -17,18 +25,23 @@ void NaiveBayesClassifier::Train(const Dataset& data) {
   means_.assign(classes, std::vector<double>(features, 0.0));
   variances_.assign(classes, std::vector<double>(features, 1.0));
   std::vector<size_t> counts(classes, 0);
-  for (size_t i = 0; i < data.num_rows(); ++i) {
-    const auto c = static_cast<size_t>(data.ClassIndex(i));
-    ++counts[c];
-    const auto row = data.Row(i);
-    for (size_t j = 0; j < features; ++j) {
-      means_[c][j] += row[j];
+  // Class of each view row, gathered once; the two sweeps below are then
+  // pure column scans over the SoA storage.
+  std::vector<size_t> row_class(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    row_class[i] = static_cast<size_t>(data.ClassIndex(rows[i]));
+    ++counts[row_class[i]];
+  }
+  for (size_t j = 0; j < features; ++j) {
+    const auto column = data.Column(j);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      means_[row_class[i]][j] += column[rows[i]];
     }
   }
   for (size_t c = 0; c < classes; ++c) {
     // Laplace-smoothed prior.
     log_priors_[c] = std::log((static_cast<double>(counts[c]) + 1.0) /
-                              (static_cast<double>(data.num_rows()) +
+                              (static_cast<double>(rows.size()) +
                                static_cast<double>(classes)));
     if (counts[c] > 0) {
       for (size_t j = 0; j < features; ++j) {
@@ -37,12 +50,11 @@ void NaiveBayesClassifier::Train(const Dataset& data) {
     }
   }
   std::vector<std::vector<double>> sq(classes, std::vector<double>(features, 0.0));
-  for (size_t i = 0; i < data.num_rows(); ++i) {
-    const auto c = static_cast<size_t>(data.ClassIndex(i));
-    const auto row = data.Row(i);
-    for (size_t j = 0; j < features; ++j) {
-      const double d = row[j] - means_[c][j];
-      sq[c][j] += d * d;
+  for (size_t j = 0; j < features; ++j) {
+    const auto column = data.Column(j);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const double d = column[rows[i]] - means_[row_class[i]][j];
+      sq[row_class[i]][j] += d * d;
     }
   }
   for (size_t c = 0; c < classes; ++c) {

@@ -12,6 +12,7 @@ namespace ml {
 class NaiveBayesClassifier : public Classifier {
  public:
   void Train(const Dataset& data) override;
+  void TrainIndexed(const Dataset& data, std::span<const size_t> rows) override;
   std::vector<double> PredictProba(std::span<const double> x) const override;
   std::string Name() const override { return "naive-bayes"; }
   std::vector<std::pair<std::string, double>> FeatureImportance() const override;

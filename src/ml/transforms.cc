@@ -8,10 +8,9 @@
 namespace ml {
 
 void ApplyLog1p(Dataset& data) {
-  for (size_t i = 0; i < data.num_rows(); ++i) {
-    for (size_t j = 0; j < data.num_features(); ++j) {
-      const double v = data.Feature(i, j);
-      data.SetFeature(i, j, v >= 0.0 ? std::log1p(v) : -std::log1p(-v));
+  for (size_t j = 0; j < data.num_features(); ++j) {
+    for (double& v : data.MutableColumn(j)) {
+      v = v >= 0.0 ? std::log1p(v) : -std::log1p(-v);
     }
   }
 }
@@ -29,9 +28,11 @@ void Standardizer::Fit(const Dataset& data) {
 
 void Standardizer::Apply(Dataset& data) const {
   const size_t cols = std::min(means_.size(), data.num_features());
-  for (size_t i = 0; i < data.num_rows(); ++i) {
-    for (size_t j = 0; j < cols; ++j) {
-      data.SetFeature(i, j, (data.Feature(i, j) - means_[j]) / stddevs_[j]);
+  for (size_t j = 0; j < cols; ++j) {
+    const double mean = means_[j];
+    const double stddev = stddevs_[j];
+    for (double& v : data.MutableColumn(j)) {
+      v = (v - mean) / stddev;
     }
   }
 }
@@ -61,9 +62,9 @@ int Discretizer::BinOf(size_t col, double value) const {
 
 void Discretizer::Apply(Dataset& data) const {
   const size_t cols = std::min(lo_.size(), data.num_features());
-  for (size_t i = 0; i < data.num_rows(); ++i) {
-    for (size_t j = 0; j < cols; ++j) {
-      data.SetFeature(i, j, static_cast<double>(BinOf(j, data.Feature(i, j))));
+  for (size_t j = 0; j < cols; ++j) {
+    for (double& v : data.MutableColumn(j)) {
+      v = static_cast<double>(BinOf(j, v));
     }
   }
 }

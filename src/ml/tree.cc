@@ -8,9 +8,18 @@
 #include "src/support/thread_pool.h"
 
 namespace ml {
+namespace {
 
-std::vector<double> DecisionTreeClassifier::Distribution(const Dataset& data,
-                                                         const std::vector<size_t>& rows) {
+std::vector<size_t> AllRows(const Dataset& data) {
+  std::vector<size_t> rows(data.num_rows());
+  std::iota(rows.begin(), rows.end(), size_t{0});
+  return rows;
+}
+
+}  // namespace
+
+std::vector<double> DecisionTreeClassifier::Distribution(
+    const Dataset& data, std::span<const size_t> rows) const {
   std::vector<double> dist(data.num_classes(), 0.0);
   for (const size_t row : rows) {
     dist[static_cast<size_t>(data.ClassIndex(row))] += 1.0;
@@ -33,16 +42,140 @@ double DecisionTreeClassifier::Gini(const std::vector<double>& distribution) {
 }
 
 void DecisionTreeClassifier::Train(const Dataset& data) {
+  const auto rows = AllRows(data);
+  TrainIndexed(data, rows);
+}
+
+void DecisionTreeClassifier::TrainIndexed(const Dataset& data,
+                                          std::span<const size_t> rows) {
   feature_names_ = data.feature_names();
   importance_.assign(data.num_features(), 0.0);
   nodes_.clear();
-  std::vector<size_t> rows(data.num_rows());
-  std::iota(rows.begin(), rows.end(), size_t{0});
-  Build(data, rows, 0);
+  std::vector<size_t> working(rows.begin(), rows.end());
+  if (options_.split_mode == SplitMode::kHistogram) {
+    const auto view = data.Binned(options_.max_bins);
+    BuildBinned(data, *view, std::span<size_t>(working), 0);
+  } else {
+    BuildExact(data, working, 0);
+  }
 }
 
-int DecisionTreeClassifier::Build(const Dataset& data, std::vector<size_t>& rows,
-                                  int depth) {
+// Histogram split search: one O(rows) pass builds per-bin class counts, then
+// an O(bins) sweep scores every boundary. On exactly-binned columns this
+// considers the same candidates with the same integer counts as the sort
+// sweep in BuildExact, so the chosen split is identical.
+int DecisionTreeClassifier::BuildBinned(const Dataset& data, const BinnedView& view,
+                                        std::span<size_t> rows, int depth) {
+  const int index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[static_cast<size_t>(index)].depth = depth;
+  auto distribution = Distribution(data, rows);
+  const double parent_gini = Gini(distribution);
+  const bool pure = parent_gini < 1e-12;
+  if (pure || depth >= options_.max_depth || rows.size() < 2 * options_.min_samples_leaf) {
+    nodes_[static_cast<size_t>(index)].proba = std::move(distribution);
+    return index;
+  }
+
+  const size_t classes = data.num_classes();
+  std::vector<double> total_counts(classes, 0.0);
+  for (const size_t row : rows) {
+    total_counts[static_cast<size_t>(data.ClassIndex(row))] += 1.0;
+  }
+
+  // Feature subset for this split.
+  std::vector<size_t> candidates(data.num_features());
+  std::iota(candidates.begin(), candidates.end(), size_t{0});
+  if (options_.features_per_split > 0 &&
+      options_.features_per_split < candidates.size()) {
+    rng_.Shuffle(candidates);
+    candidates.resize(options_.features_per_split);
+  }
+
+  double best_gain = 1e-12;
+  int best_feature = -1;
+  int best_bin = -1;
+  double best_threshold = 0.0;
+  const double n_total = static_cast<double>(rows.size());
+  auto gini_of = [](const std::vector<double>& counts, double n) {
+    double g = 1.0;
+    for (const double c : counts) {
+      const double p = c / n;
+      g -= p * p;
+    }
+    return g;
+  };
+  std::vector<double> left_counts(classes, 0.0);
+  std::vector<double> right_counts(classes, 0.0);
+  for (const size_t feature : candidates) {
+    const BinnedColumn& col = view.column(feature);
+    const size_t bins = col.num_bins;
+    if (bins < 2) {
+      continue;  // Constant column: nothing to split on.
+    }
+    hist_.assign(bins * classes, 0.0);
+    for (const size_t row : rows) {
+      hist_[static_cast<size_t>(col.codes[row]) * classes +
+            static_cast<size_t>(data.ClassIndex(row))] += 1.0;
+    }
+    std::fill(left_counts.begin(), left_counts.end(), 0.0);
+    right_counts = total_counts;
+    double n_left = 0.0;
+    for (size_t b = 0; b + 1 < bins; ++b) {
+      double bin_n = 0.0;
+      for (size_t c = 0; c < classes; ++c) {
+        const double v = hist_[b * classes + c];
+        left_counts[c] += v;
+        right_counts[c] -= v;
+        bin_n += v;
+      }
+      if (bin_n == 0.0) {
+        continue;  // Empty bin: same boundary as the previous candidate.
+      }
+      n_left += bin_n;
+      const double n_right = n_total - n_left;
+      if (n_right <= 0.0) {
+        break;  // No rows to the right of any later boundary.
+      }
+      if (n_left < static_cast<double>(options_.min_samples_leaf) ||
+          n_right < static_cast<double>(options_.min_samples_leaf)) {
+        continue;
+      }
+      const double gain = parent_gini - (n_left / n_total) * gini_of(left_counts, n_left) -
+                          (n_right / n_total) * gini_of(right_counts, n_right);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(feature);
+        best_bin = static_cast<int>(b);
+        best_threshold = col.thresholds[b];
+      }
+    }
+  }
+
+  if (best_feature < 0) {
+    nodes_[static_cast<size_t>(index)].proba = std::move(distribution);
+    return index;
+  }
+
+  importance_[static_cast<size_t>(best_feature)] += best_gain * n_total;
+  const auto& codes = view.column(static_cast<size_t>(best_feature)).codes;
+  const auto mid = std::stable_partition(rows.begin(), rows.end(), [&](size_t row) {
+    return static_cast<int>(codes[row]) <= best_bin;
+  });
+  const auto n_left_rows = static_cast<size_t>(mid - rows.begin());
+  const int left = BuildBinned(data, view, rows.first(n_left_rows), depth + 1);
+  const int right = BuildBinned(data, view, rows.subspan(n_left_rows), depth + 1);
+  Node& node = nodes_[static_cast<size_t>(index)];
+  node.leaf = false;
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  return index;
+}
+
+int DecisionTreeClassifier::BuildExact(const Dataset& data, std::vector<size_t>& rows,
+                                       int depth) {
   const int index = static_cast<int>(nodes_.size());
   nodes_.emplace_back();
   nodes_[static_cast<size_t>(index)].depth = depth;
@@ -129,8 +262,8 @@ int DecisionTreeClassifier::Build(const Dataset& data, std::vector<size_t>& rows
   }
   rows.clear();
   rows.shrink_to_fit();
-  const int left = Build(data, left_rows, depth + 1);
-  const int right = Build(data, right_rows, depth + 1);
+  const int left = BuildExact(data, left_rows, depth + 1);
+  const int right = BuildExact(data, right_rows, depth + 1);
   Node& node = nodes_[static_cast<size_t>(index)];
   node.leaf = false;
   node.feature = best_feature;
@@ -175,6 +308,12 @@ std::vector<std::pair<std::string, double>> DecisionTreeClassifier::FeatureImpor
 }
 
 void RandomForestClassifier::Train(const Dataset& data) {
+  const auto rows = AllRows(data);
+  TrainIndexed(data, rows);
+}
+
+void RandomForestClassifier::TrainIndexed(const Dataset& data,
+                                          std::span<const size_t> rows) {
   num_classes_ = data.num_classes();
   TreeOptions tree_options = options_.tree;
   if (tree_options.features_per_split == 0) {
@@ -182,20 +321,24 @@ void RandomForestClassifier::Train(const Dataset& data) {
     tree_options.features_per_split = static_cast<size_t>(
         std::max(1.0, std::sqrt(static_cast<double>(data.num_features()))));
   }
+  if (tree_options.split_mode == SplitMode::kHistogram && data.num_rows() > 0) {
+    // Build (or reuse) the shared binned view before fanning out, so the
+    // one-time binning pass is not raced by the per-tree tasks.
+    data.Binned(tree_options.max_bins);
+  }
   // Each tree draws its bootstrap sample and split stream from a stable
   // per-tree seed, so bagging parallelises with bit-identical forests at any
   // worker count (and tree t is the same forest-member regardless of
-  // num_trees).
+  // num_trees). Bags are row-index views into the shared dataset: no copies.
   trees_ = support::ParallelMap<std::unique_ptr<DecisionTreeClassifier>>(
       static_cast<size_t>(options_.num_trees), [&](size_t t) {
         support::Rng rng = support::Rng::ForTask(options_.seed, t);
-        std::vector<size_t> sample(data.num_rows());
+        std::vector<size_t> sample(rows.size());
         for (auto& row : sample) {
-          row = static_cast<size_t>(rng.NextBelow(data.num_rows()));
+          row = rows[rng.NextBelow(rows.size())];
         }
-        const Dataset bagged = data.Subset(sample);
         auto tree = std::make_unique<DecisionTreeClassifier>(tree_options, rng.NextU64());
-        tree->Train(bagged);
+        tree->TrainIndexed(data, sample);
         return tree;
       });
 }
@@ -237,16 +380,129 @@ std::vector<std::pair<std::string, double>> RandomForestClassifier::FeatureImpor
 }
 
 void DecisionTreeRegressor::Train(const Dataset& data) {
+  const auto rows = AllRows(data);
+  TrainIndexed(data, rows);
+}
+
+void DecisionTreeRegressor::TrainIndexed(const Dataset& data,
+                                         std::span<const size_t> rows) {
   feature_names_ = data.feature_names();
   importance_.assign(data.num_features(), 0.0);
   nodes_.clear();
-  std::vector<size_t> rows(data.num_rows());
-  std::iota(rows.begin(), rows.end(), size_t{0});
-  Build(data, rows, 0);
+  std::vector<size_t> working(rows.begin(), rows.end());
+  if (options_.split_mode == SplitMode::kHistogram) {
+    const auto view = data.Binned(options_.max_bins);
+    BuildBinned(data, *view, std::span<size_t>(working), 0);
+  } else {
+    BuildExact(data, working, 0);
+  }
 }
 
-int DecisionTreeRegressor::Build(const Dataset& data, std::vector<size_t>& rows,
-                                 int depth) {
+// Histogram split search for regression: per-bin (count, sum, sum-of-squares)
+// accumulators, then an O(bins) SSE sweep. Accumulation order differs from
+// the sorted exact sweep, so gains agree to floating-point tolerance rather
+// than bit-exactly.
+int DecisionTreeRegressor::BuildBinned(const Dataset& data, const BinnedView& view,
+                                       std::span<size_t> rows, int depth) {
+  const int index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  double sum = 0.0;
+  double sq = 0.0;
+  for (const size_t row : rows) {
+    sum += data.Target(row);
+    sq += data.Target(row) * data.Target(row);
+  }
+  const double n_total = static_cast<double>(rows.size());
+  const double mean = n_total > 0.0 ? sum / n_total : 0.0;
+  const double sse_parent = sq - n_total * mean * mean;
+  nodes_[static_cast<size_t>(index)].value = mean;
+  if (depth >= options_.max_depth || rows.size() < 2 * options_.min_samples_leaf ||
+      sse_parent < 1e-12) {
+    return index;
+  }
+
+  std::vector<size_t> candidates(data.num_features());
+  std::iota(candidates.begin(), candidates.end(), size_t{0});
+  if (options_.features_per_split > 0 &&
+      options_.features_per_split < candidates.size()) {
+    rng_.Shuffle(candidates);
+    candidates.resize(options_.features_per_split);
+  }
+
+  double best_gain = 1e-12;
+  int best_feature = -1;
+  int best_bin = -1;
+  double best_threshold = 0.0;
+  const auto& targets = data.targets();
+  for (const size_t feature : candidates) {
+    const BinnedColumn& col = view.column(feature);
+    const size_t bins = col.num_bins;
+    if (bins < 2) {
+      continue;
+    }
+    hist_.assign(bins * 3, 0.0);  // (count, sum, sum of squares) per bin.
+    for (const size_t row : rows) {
+      const size_t base = static_cast<size_t>(col.codes[row]) * 3;
+      const double y = targets[row];
+      hist_[base] += 1.0;
+      hist_[base + 1] += y;
+      hist_[base + 2] += y * y;
+    }
+    double n_left = 0.0;
+    double left_sum = 0.0;
+    double left_sq = 0.0;
+    for (size_t b = 0; b + 1 < bins; ++b) {
+      const double bin_n = hist_[b * 3];
+      n_left += bin_n;
+      left_sum += hist_[b * 3 + 1];
+      left_sq += hist_[b * 3 + 2];
+      if (bin_n == 0.0) {
+        continue;
+      }
+      const double n_right = n_total - n_left;
+      if (n_right <= 0.0) {
+        break;
+      }
+      if (n_left < static_cast<double>(options_.min_samples_leaf) ||
+          n_right < static_cast<double>(options_.min_samples_leaf)) {
+        continue;
+      }
+      const double right_sum = sum - left_sum;
+      const double right_sq = sq - left_sq;
+      const double sse_left = left_sq - left_sum * left_sum / n_left;
+      const double sse_right = right_sq - right_sum * right_sum / n_right;
+      const double gain = sse_parent - sse_left - sse_right;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(feature);
+        best_bin = static_cast<int>(b);
+        best_threshold = col.thresholds[b];
+      }
+    }
+  }
+
+  if (best_feature < 0) {
+    return index;
+  }
+  importance_[static_cast<size_t>(best_feature)] += best_gain;
+  const auto& codes = view.column(static_cast<size_t>(best_feature)).codes;
+  const auto mid = std::stable_partition(rows.begin(), rows.end(), [&](size_t row) {
+    return static_cast<int>(codes[row]) <= best_bin;
+  });
+  const auto n_left_rows = static_cast<size_t>(mid - rows.begin());
+  const int left = BuildBinned(data, view, rows.first(n_left_rows), depth + 1);
+  const int right = BuildBinned(data, view, rows.subspan(n_left_rows), depth + 1);
+  Node& node = nodes_[static_cast<size_t>(index)];
+  node.leaf = false;
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  return index;
+}
+
+int DecisionTreeRegressor::BuildExact(const Dataset& data, std::vector<size_t>& rows,
+                                      int depth) {
   const int index = static_cast<int>(nodes_.size());
   nodes_.emplace_back();
   double sum = 0.0;
@@ -326,8 +582,8 @@ int DecisionTreeRegressor::Build(const Dataset& data, std::vector<size_t>& rows,
   }
   rows.clear();
   rows.shrink_to_fit();
-  const int left = Build(data, left_rows, depth + 1);
-  const int right = Build(data, right_rows, depth + 1);
+  const int left = BuildExact(data, left_rows, depth + 1);
+  const int right = BuildExact(data, right_rows, depth + 1);
   Node& node = nodes_[static_cast<size_t>(index)];
   node.leaf = false;
   node.feature = best_feature;
@@ -364,23 +620,31 @@ std::vector<std::pair<std::string, double>> DecisionTreeRegressor::FeatureImport
 }
 
 void RandomForestRegressor::Train(const Dataset& data) {
+  const auto rows = AllRows(data);
+  TrainIndexed(data, rows);
+}
+
+void RandomForestRegressor::TrainIndexed(const Dataset& data,
+                                         std::span<const size_t> rows) {
   TreeOptions tree_options = options_.tree;
   if (tree_options.features_per_split == 0) {
     // Regression forests conventionally use d/3 features per split.
     tree_options.features_per_split =
         std::max<size_t>(1, data.num_features() / 3);
   }
-  // Stable per-tree seeds; see RandomForestClassifier::Train.
+  if (tree_options.split_mode == SplitMode::kHistogram && data.num_rows() > 0) {
+    data.Binned(tree_options.max_bins);
+  }
+  // Stable per-tree seeds; see RandomForestClassifier::TrainIndexed.
   trees_ = support::ParallelMap<std::unique_ptr<DecisionTreeRegressor>>(
       static_cast<size_t>(options_.num_trees), [&](size_t t) {
         support::Rng rng = support::Rng::ForTask(options_.seed, t);
-        std::vector<size_t> sample(data.num_rows());
+        std::vector<size_t> sample(rows.size());
         for (auto& row : sample) {
-          row = static_cast<size_t>(rng.NextBelow(data.num_rows()));
+          row = rows[rng.NextBelow(rows.size())];
         }
-        const Dataset bagged = data.Subset(sample);
         auto tree = std::make_unique<DecisionTreeRegressor>(tree_options, rng.NextU64());
-        tree->Train(bagged);
+        tree->TrainIndexed(data, sample);
         return tree;
       });
 }
@@ -412,24 +676,45 @@ std::vector<std::pair<std::string, double>> RandomForestRegressor::FeatureImport
   return out;
 }
 
-void KnnClassifier::Train(const Dataset& data) { train_ = data; }
+void KnnClassifier::Train(const Dataset& data) {
+  const auto rows = AllRows(data);
+  TrainIndexed(data, rows);
+}
+
+void KnnClassifier::TrainIndexed(const Dataset& data, std::span<const size_t> rows) {
+  dim_ = data.num_features();
+  num_classes_ = data.num_classes();
+  train_x_.resize(rows.size() * dim_);
+  train_y_.resize(rows.size());
+  // Gather column-by-column out of the columnar storage into the flat
+  // row-major matrix the distance scan wants.
+  for (size_t j = 0; j < dim_; ++j) {
+    const auto column = data.Column(j);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      train_x_[i * dim_ + j] = column[rows[i]];
+    }
+  }
+  for (size_t i = 0; i < rows.size(); ++i) {
+    train_y_[i] = data.ClassIndex(rows[i]);
+  }
+}
 
 std::vector<double> KnnClassifier::PredictProba(std::span<const double> x) const {
-  std::vector<double> proba(train_.num_classes(), 0.0);
-  if (train_.num_rows() == 0) {
+  std::vector<double> proba(num_classes_, 0.0);
+  if (train_y_.empty()) {
     return proba;
   }
   std::vector<std::pair<double, int>> distances;  // (distance², class).
-  distances.reserve(train_.num_rows());
-  for (size_t i = 0; i < train_.num_rows(); ++i) {
-    const auto row = train_.Row(i);
+  distances.reserve(train_y_.size());
+  const size_t n = std::min(dim_, x.size());
+  for (size_t i = 0; i < train_y_.size(); ++i) {
+    const double* row = train_x_.data() + i * dim_;
     double d2 = 0.0;
-    const size_t n = std::min(row.size(), x.size());
     for (size_t j = 0; j < n; ++j) {
       const double d = row[j] - x[j];
       d2 += d * d;
     }
-    distances.emplace_back(d2, train_.ClassIndex(i));
+    distances.emplace_back(d2, train_y_[i]);
   }
   const size_t k = std::min(static_cast<size_t>(k_), distances.size());
   std::partial_sort(distances.begin(), distances.begin() + static_cast<long>(k),

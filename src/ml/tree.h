@@ -1,21 +1,40 @@
 // CART decision tree (binary splits on numeric features, Gini impurity) and
 // a bagged random forest with per-split feature subsampling.
+//
+// Split finding runs in one of two modes:
+//  - kHistogram (default): O(rows + bins) scan over the dataset's shared
+//    quantile-binned view (ml::BinnedView, <= 256 uint8_t codes/feature).
+//    Exactly reproduces the sort-based search whenever every column has
+//    <= max_bins distinct values; otherwise tolerance-equivalent.
+//  - kExact: the original O(rows log rows) sort per candidate feature at
+//    every node, kept as the reference implementation.
+// Both modes train on row-index views (TrainIndexed), so bootstrap bags and
+// CV folds never copy the dataset.
 #ifndef SRC_ML_TREE_H_
 #define SRC_ML_TREE_H_
 
 #include <memory>
 #include <vector>
 
+#include "src/ml/binned.h"
 #include "src/ml/classifier.h"
 #include "src/support/rng.h"
 
 namespace ml {
+
+enum class SplitMode {
+  kHistogram,  // Binned histogram scan (fast path).
+  kExact,      // Sort-based exact search (reference path).
+};
 
 struct TreeOptions {
   int max_depth = 12;
   size_t min_samples_leaf = 2;
   // 0 = consider all features at each split; otherwise sample this many.
   size_t features_per_split = 0;
+  SplitMode split_mode = SplitMode::kHistogram;
+  // Histogram mode: bins per feature (clamped to [2, 256]).
+  uint16_t max_bins = BinnedView::kDefaultBins;
 };
 
 class DecisionTreeClassifier : public Classifier {
@@ -24,6 +43,7 @@ class DecisionTreeClassifier : public Classifier {
       : options_(options), rng_(seed) {}
 
   void Train(const Dataset& data) override;
+  void TrainIndexed(const Dataset& data, std::span<const size_t> rows) override;
   std::vector<double> PredictProba(std::span<const double> x) const override;
   std::string Name() const override { return "decision-tree"; }
   std::vector<std::pair<std::string, double>> FeatureImportance() const override;
@@ -42,9 +62,12 @@ class DecisionTreeClassifier : public Classifier {
     int depth = 0;
   };
 
-  int Build(const Dataset& data, std::vector<size_t>& rows, int depth);
-  static std::vector<double> Distribution(const Dataset& data,
-                                          const std::vector<size_t>& rows);
+  int BuildExact(const Dataset& data, std::vector<size_t>& rows, int depth);
+  // Histogram path: partitions `rows` in place and recurses on sub-spans.
+  int BuildBinned(const Dataset& data, const BinnedView& view,
+                  std::span<size_t> rows, int depth);
+  std::vector<double> Distribution(const Dataset& data,
+                                   std::span<const size_t> rows) const;
   static double Gini(const std::vector<double>& distribution);
 
   TreeOptions options_;
@@ -52,6 +75,7 @@ class DecisionTreeClassifier : public Classifier {
   std::vector<Node> nodes_;
   std::vector<std::string> feature_names_;
   std::vector<double> importance_;  // Gini decrease per feature.
+  std::vector<double> hist_;        // Scratch: bins x classes counts.
 };
 
 struct ForestOptions {
@@ -65,6 +89,7 @@ class RandomForestClassifier : public Classifier {
   explicit RandomForestClassifier(ForestOptions options = {}) : options_(options) {}
 
   void Train(const Dataset& data) override;
+  void TrainIndexed(const Dataset& data, std::span<const size_t> rows) override;
   std::vector<double> PredictProba(std::span<const double> x) const override;
   std::string Name() const override { return "random-forest"; }
   std::vector<std::pair<std::string, double>> FeatureImportance() const override;
@@ -82,6 +107,7 @@ class DecisionTreeRegressor : public Regressor {
       : options_(options), rng_(seed) {}
 
   void Train(const Dataset& data) override;
+  void TrainIndexed(const Dataset& data, std::span<const size_t> rows) override;
   double Predict(std::span<const double> x) const override;
   std::string Name() const override { return "tree-regressor"; }
   std::vector<std::pair<std::string, double>> FeatureImportance() const override;
@@ -96,13 +122,16 @@ class DecisionTreeRegressor : public Regressor {
     double value = 0.0;  // Leaf mean.
   };
 
-  int Build(const Dataset& data, std::vector<size_t>& rows, int depth);
+  int BuildExact(const Dataset& data, std::vector<size_t>& rows, int depth);
+  int BuildBinned(const Dataset& data, const BinnedView& view,
+                  std::span<size_t> rows, int depth);
 
   TreeOptions options_;
   support::Rng rng_;
   std::vector<Node> nodes_;
   std::vector<std::string> feature_names_;
   std::vector<double> importance_;
+  std::vector<double> hist_;  // Scratch: bins x (count, sum, sum-of-squares).
 };
 
 // Bagged regression forest.
@@ -111,6 +140,7 @@ class RandomForestRegressor : public Regressor {
   explicit RandomForestRegressor(ForestOptions options = {}) : options_(options) {}
 
   void Train(const Dataset& data) override;
+  void TrainIndexed(const Dataset& data, std::span<const size_t> rows) override;
   double Predict(std::span<const double> x) const override;
   std::string Name() const override { return "forest-regressor"; }
   std::vector<std::pair<std::string, double>> FeatureImportance() const override;
@@ -121,17 +151,23 @@ class RandomForestRegressor : public Regressor {
 };
 
 // k-nearest-neighbours on Euclidean distance (inputs should be standardised).
+// Keeps its own flat row-major copy of the training rows: predict-time
+// distance scans want contiguous rows, not the dataset's columnar layout.
 class KnnClassifier : public Classifier {
  public:
   explicit KnnClassifier(int k = 5) : k_(k) {}
 
   void Train(const Dataset& data) override;
+  void TrainIndexed(const Dataset& data, std::span<const size_t> rows) override;
   std::vector<double> PredictProba(std::span<const double> x) const override;
   std::string Name() const override { return "knn"; }
 
  private:
   int k_;
-  Dataset train_ = Dataset::ForClassification({}, {"0", "1"});
+  size_t dim_ = 0;
+  size_t num_classes_ = 0;
+  std::vector<double> train_x_;  // Row-major rows x dim.
+  std::vector<int> train_y_;
 };
 
 }  // namespace ml

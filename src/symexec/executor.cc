@@ -232,10 +232,15 @@ class Explorer {
       for (const int var_id : used) {
         model[static_cast<size_t>(var_id)] = blaster.ModelValueOf(var_id);
       }
-      if (model_cache_.size() >= kModelCacheSize) {
-        model_cache_.erase(model_cache_.begin());
+      // Ring-buffer eviction: overwrite the oldest slot in place instead of
+      // erase(begin()), which shifted every remaining entry on each insert.
+      // The feasibility scan above is any-match, so slot order is irrelevant.
+      if (model_cache_.size() < kModelCacheSize) {
+        model_cache_.push_back(std::move(model));
+      } else {
+        model_cache_[model_cache_next_] = std::move(model);
+        model_cache_next_ = (model_cache_next_ + 1) % kModelCacheSize;
       }
-      model_cache_.push_back(std::move(model));
     }
     return true;  // kSat, or kUnknown treated as feasible.
   }
@@ -657,6 +662,7 @@ class Explorer {
   support::Rng rng_;
   uint64_t total_steps_ = 0;
   std::vector<std::vector<int64_t>> model_cache_;
+  size_t model_cache_next_ = 0;  // Next ring-buffer slot to overwrite.
   SymExecResult result_;
   std::vector<PathState> worklist_;
   std::map<std::pair<VulnKind, std::pair<std::string, int>>, VulnInfo> vuln_map_;

@@ -1,0 +1,354 @@
+// Tests for the quantile-binned dataset view and histogram tree training:
+// binning mechanics on adversarial distributions, binned-vs-exact split
+// equivalence, accuracy parity on quantile-compressed data, index-view
+// training parity, and 1-vs-N-worker bit-identity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "src/ml/binned.h"
+#include "src/ml/dataset.h"
+#include "src/ml/eval.h"
+#include "src/ml/linear.h"
+#include "src/ml/naive_bayes.h"
+#include "src/ml/tree.h"
+#include "src/support/rng.h"
+#include "src/support/thread_pool.h"
+
+namespace ml {
+namespace {
+
+Dataset MakeBlobs(size_t per_class, double separation, uint64_t seed) {
+  Dataset data = Dataset::ForClassification({"f0", "f1", "noise"}, {"neg", "pos"});
+  support::Rng rng(seed);
+  for (size_t i = 0; i < per_class; ++i) {
+    data.AddRow({rng.Normal(0.0, 1.0), rng.Normal(0.0, 1.0), rng.Normal(0.0, 1.0)}, 0.0);
+    data.AddRow({rng.Normal(separation, 1.0), rng.Normal(separation, 1.0),
+                 rng.Normal(0.0, 1.0)},
+                1.0);
+  }
+  return data;
+}
+
+std::vector<size_t> AllRows(const Dataset& data) {
+  std::vector<size_t> rows(data.num_rows());
+  std::iota(rows.begin(), rows.end(), size_t{0});
+  return rows;
+}
+
+// Flattened predictions over every training row.
+std::vector<double> ForestOutputs(const RandomForestClassifier& forest,
+                                  const Dataset& data) {
+  std::vector<double> out;
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    const auto proba = forest.PredictProba(data.Row(i));
+    out.insert(out.end(), proba.begin(), proba.end());
+  }
+  return out;
+}
+
+double TrainAccuracy(const Classifier& model, const Dataset& data) {
+  size_t correct = 0;
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    correct += model.Predict(data.Row(i)) == data.ClassIndex(i) ? 1 : 0;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.num_rows());
+}
+
+TEST(BinnedView, ExactModeWhenFewDistinctValues) {
+  Dataset data = Dataset::ForRegression({"a", "b"}, "y");
+  for (int i = 0; i < 100; ++i) {
+    data.AddRow({static_cast<double>(i % 7), 3.5}, 0.0);
+  }
+  const auto view = data.Binned(256);
+  ASSERT_EQ(view->num_features(), 2u);
+  EXPECT_TRUE(view->all_exact());
+  // Column a: one bin per distinct value, thresholds at consecutive midpoints.
+  const BinnedColumn& a = view->column(0);
+  EXPECT_EQ(a.num_bins, 7);
+  ASSERT_EQ(a.thresholds.size(), 6u);
+  for (size_t b = 0; b < a.thresholds.size(); ++b) {
+    EXPECT_DOUBLE_EQ(a.thresholds[b], static_cast<double>(b) + 0.5);
+  }
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    EXPECT_EQ(a.codes[i], static_cast<uint8_t>(i % 7));
+  }
+  // Column b is constant: a single bin, no thresholds, nothing to split on.
+  const BinnedColumn& b = view->column(1);
+  EXPECT_EQ(b.num_bins, 1);
+  EXPECT_TRUE(b.thresholds.empty());
+}
+
+TEST(BinnedView, QuantileModeRespectsBinBudgetUnderHeavyTies) {
+  // Adversarial distribution: one value holds 60% of the mass, the tail is
+  // 500 distinct values (> 256 total), forcing quantile compression.
+  Dataset data = Dataset::ForRegression({"a"}, "y");
+  support::Rng rng(7);
+  for (int i = 0; i < 750; ++i) {
+    data.AddRow({0.0}, 0.0);
+  }
+  for (int i = 0; i < 500; ++i) {
+    data.AddRow({1.0 + static_cast<double>(i) * 0.01}, 0.0);
+  }
+  const auto view = data.Binned(256);
+  const BinnedColumn& col = view->column(0);
+  EXPECT_FALSE(col.exact);
+  EXPECT_FALSE(view->all_exact());
+  EXPECT_GE(col.num_bins, 2);
+  EXPECT_LE(col.num_bins, 256);
+  // Codes are monotone in the raw value and thresholds separate the bins.
+  for (size_t i = 0; i + 1 < data.num_rows(); ++i) {
+    if (data.Feature(i, 0) <= data.Feature(i + 1, 0)) {
+      EXPECT_LE(col.codes[i], col.codes[i + 1]);
+    }
+  }
+  for (size_t b = 0; b + 1 < col.thresholds.size(); ++b) {
+    EXPECT_LT(col.thresholds[b], col.thresholds[b + 1]);
+  }
+  // The heavy tie lands alone in bin 0.
+  EXPECT_EQ(col.codes[0], 0);
+  EXPECT_GT(col.thresholds[0], 0.0);
+  EXPECT_LT(col.thresholds[0], 1.0);
+}
+
+TEST(BinnedView, CacheIsSharedAndInvalidatedOnMutation) {
+  Dataset data = MakeBlobs(30, 2.0, 11);
+  const auto first = data.Binned(256);
+  EXPECT_EQ(first.get(), data.Binned(256).get());  // Cached.
+  EXPECT_NE(first.get(), data.Binned(64).get());   // Different bin budget.
+  data.AddRow({0.0, 0.0, 0.0}, 0.0);
+  const auto after = data.Binned(256);
+  EXPECT_NE(first.get(), after.get());  // Mutation invalidates.
+  EXPECT_EQ(after->num_rows(), data.num_rows());
+}
+
+// With <= 256 rows every column is exactly binned, so the histogram search
+// considers the same candidate boundaries with the same integer class counts
+// as the sort-based search: the grown tree partitions identically and
+// training-row predictions match bit for bit.
+TEST(Tree, HistogramMatchesExactOnExactlyBinnedData) {
+  const Dataset data = MakeBlobs(60, 1.0, 17);  // 120 rows, weak separation.
+  ASSERT_TRUE(data.Binned(256)->all_exact());
+  TreeOptions histogram_options;
+  histogram_options.split_mode = SplitMode::kHistogram;
+  TreeOptions exact_options;
+  exact_options.split_mode = SplitMode::kExact;
+  DecisionTreeClassifier histogram_tree(histogram_options, 3);
+  DecisionTreeClassifier exact_tree(exact_options, 3);
+  histogram_tree.Train(data);
+  exact_tree.Train(data);
+  EXPECT_EQ(histogram_tree.node_count(), exact_tree.node_count());
+  EXPECT_EQ(histogram_tree.depth(), exact_tree.depth());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    const auto h = histogram_tree.PredictProba(data.Row(i));
+    const auto e = exact_tree.PredictProba(data.Row(i));
+    ASSERT_EQ(h.size(), e.size());
+    for (size_t c = 0; c < h.size(); ++c) {
+      EXPECT_EQ(h[c], e[c]) << "row " << i << " class " << c;
+    }
+  }
+  // Same splits => same impurity decreases.
+  const auto hi = histogram_tree.FeatureImportance();
+  const auto ei = exact_tree.FeatureImportance();
+  ASSERT_EQ(hi.size(), ei.size());
+  for (size_t j = 0; j < hi.size(); ++j) {
+    EXPECT_EQ(hi[j].first, ei[j].first);
+    EXPECT_DOUBLE_EQ(hi[j].second, ei[j].second);
+  }
+}
+
+TEST(Tree, HistogramMatchesExactOnTiesAndConstantColumns) {
+  // Heavy ties, a constant column, and an integer signal column.
+  Dataset data = Dataset::ForClassification({"signal", "tied", "constant"}, {"a", "b"});
+  support::Rng rng(23);
+  for (int i = 0; i < 200; ++i) {
+    const double label = i % 2 == 0 ? 0.0 : 1.0;
+    data.AddRow({label * 2.0 + static_cast<double>(rng.NextBelow(3)),
+                 static_cast<double>(rng.NextBelow(2)), 5.0},
+                label);
+  }
+  ASSERT_TRUE(data.Binned(256)->all_exact());
+  TreeOptions histogram_options;
+  histogram_options.split_mode = SplitMode::kHistogram;
+  TreeOptions exact_options;
+  exact_options.split_mode = SplitMode::kExact;
+  DecisionTreeClassifier histogram_tree(histogram_options, 9);
+  DecisionTreeClassifier exact_tree(exact_options, 9);
+  histogram_tree.Train(data);
+  exact_tree.Train(data);
+  EXPECT_EQ(histogram_tree.node_count(), exact_tree.node_count());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    EXPECT_EQ(histogram_tree.Predict(data.Row(i)), exact_tree.Predict(data.Row(i)));
+  }
+}
+
+// On continuous data with > 256 distinct values the histogram learner is an
+// approximation; the acceptance bar is accuracy within 1% of the exact
+// sort-based learner.
+TEST(Forest, HistogramAccuracyWithinOnePercentOfExact)  {
+  Dataset data = MakeBlobs(400, 2.0, 29);  // 800 rows: quantile compression.
+  ASSERT_FALSE(data.Binned(256)->all_exact());
+  ForestOptions histogram_options;
+  histogram_options.num_trees = 24;
+  histogram_options.seed = 7;
+  histogram_options.tree.split_mode = SplitMode::kHistogram;
+  ForestOptions exact_options = histogram_options;
+  exact_options.tree.split_mode = SplitMode::kExact;
+  RandomForestClassifier histogram_forest(histogram_options);
+  RandomForestClassifier exact_forest(exact_options);
+  histogram_forest.Train(data);
+  exact_forest.Train(data);
+  const double histogram_accuracy = TrainAccuracy(histogram_forest, data);
+  const double exact_accuracy = TrainAccuracy(exact_forest, data);
+  EXPECT_NEAR(histogram_accuracy, exact_accuracy, 0.01);
+
+  const auto cv_factory = [](SplitMode mode) {
+    return [mode] {
+      ForestOptions options;
+      options.num_trees = 16;
+      options.seed = 3;
+      options.tree.split_mode = mode;
+      return std::unique_ptr<Classifier>(new RandomForestClassifier(options));
+    };
+  };
+  const CvMetrics histogram_cv =
+      CrossValidate(data, cv_factory(SplitMode::kHistogram), 5, 1);
+  const CvMetrics exact_cv = CrossValidate(data, cv_factory(SplitMode::kExact), 5, 1);
+  EXPECT_NEAR(histogram_cv.accuracy, exact_cv.accuracy, 0.01);
+}
+
+TEST(TreeRegressor, HistogramMatchesExactFitOnPiecewiseData) {
+  Dataset data = Dataset::ForRegression({"x"}, "y");
+  for (int i = 0; i < 100; ++i) {
+    const double x = static_cast<double>(i);
+    data.AddRow({x}, x < 50 ? 10.0 : -5.0);
+  }
+  TreeOptions histogram_options;
+  histogram_options.split_mode = SplitMode::kHistogram;
+  TreeOptions exact_options;
+  exact_options.split_mode = SplitMode::kExact;
+  DecisionTreeRegressor histogram_tree(histogram_options);
+  DecisionTreeRegressor exact_tree(exact_options);
+  histogram_tree.Train(data);
+  exact_tree.Train(data);
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    EXPECT_NEAR(histogram_tree.Predict(data.Row(i)), exact_tree.Predict(data.Row(i)),
+                1e-9);
+  }
+}
+
+// TrainIndexed on a bootstrap-style index view must reproduce training on the
+// materialised Subset copy: the gather orders are identical, so the fitted
+// parameters (and therefore predictions) match exactly for the non-tree
+// learners, and for exact-mode forests the whole RNG stream lines up.
+TEST(TrainIndexed, MatchesSubsetTrainingForAllLearners) {
+  const Dataset data = MakeBlobs(80, 1.5, 31);
+  support::Rng rng(13);
+  std::vector<size_t> rows(data.num_rows());
+  for (auto& row : rows) {
+    row = rng.NextBelow(data.num_rows());  // With repeats, like a bag.
+  }
+  const Dataset subset = data.Subset(rows);
+  const auto probe = [&](const Classifier& a, const Classifier& b) {
+    for (size_t i = 0; i < 20; ++i) {
+      const auto pa = a.PredictProba(data.Row(i));
+      const auto pb = b.PredictProba(data.Row(i));
+      ASSERT_EQ(pa.size(), pb.size());
+      for (size_t c = 0; c < pa.size(); ++c) {
+        EXPECT_EQ(pa[c], pb[c]) << "row " << i;
+      }
+    }
+  };
+
+  LogisticClassifier logistic_indexed;
+  logistic_indexed.TrainIndexed(data, rows);
+  LogisticClassifier logistic_subset;
+  logistic_subset.Train(subset);
+  probe(logistic_indexed, logistic_subset);
+
+  NaiveBayesClassifier bayes_indexed;
+  bayes_indexed.TrainIndexed(data, rows);
+  NaiveBayesClassifier bayes_subset;
+  bayes_subset.Train(subset);
+  probe(bayes_indexed, bayes_subset);
+
+  KnnClassifier knn_indexed(5);
+  knn_indexed.TrainIndexed(data, rows);
+  KnnClassifier knn_subset(5);
+  knn_subset.Train(subset);
+  probe(knn_indexed, knn_subset);
+
+  // Exact-mode forest: split search does not depend on dataset-global
+  // binning, so index-view bagging must equal Subset bagging bit for bit.
+  ForestOptions forest_options;
+  forest_options.num_trees = 8;
+  forest_options.seed = 21;
+  forest_options.tree.split_mode = SplitMode::kExact;
+  RandomForestClassifier forest_indexed(forest_options);
+  forest_indexed.TrainIndexed(data, rows);
+  RandomForestClassifier forest_subset(forest_options);
+  forest_subset.Train(subset);
+  probe(forest_indexed, forest_subset);
+}
+
+TEST(TrainIndexed, LinearRegressorMatchesSubset) {
+  Dataset data = Dataset::ForRegression({"a", "b"}, "y");
+  support::Rng rng(37);
+  for (int i = 0; i < 150; ++i) {
+    const double a = rng.Uniform(-5, 5);
+    const double b = rng.Uniform(-5, 5);
+    data.AddRow({a, b}, 1.0 + 2.0 * a - 0.5 * b + rng.Normal(0, 0.05));
+  }
+  std::vector<size_t> rows;
+  for (size_t i = 0; i < data.num_rows(); i += 2) {
+    rows.push_back(i);
+  }
+  LinearRegressor indexed;
+  indexed.TrainIndexed(data, rows);
+  LinearRegressor subset;
+  subset.Train(data.Subset(rows));
+  ASSERT_EQ(indexed.weights().size(), subset.weights().size());
+  for (size_t j = 0; j < indexed.weights().size(); ++j) {
+    EXPECT_EQ(indexed.weights()[j], subset.weights()[j]);
+  }
+}
+
+// Forest training and CV on index views must not depend on the worker count:
+// per-tree RNG streams are keyed by task index and results are reduced in
+// index order.
+TEST(Determinism, ForestAndCvBitIdenticalAcrossThreadCounts) {
+  const Dataset data = MakeBlobs(100, 1.0, 41);
+  const auto run = [&](int threads) {
+    support::ThreadPool::SetGlobalThreads(threads);
+    ForestOptions options;
+    options.num_trees = 16;
+    options.seed = 13;
+    RandomForestClassifier forest(options);
+    forest.TrainIndexed(data, AllRows(data));
+    std::vector<double> outputs = ForestOutputs(forest, data);
+    const CvMetrics cv = CrossValidate(
+        data,
+        [] {
+          ForestOptions inner;
+          inner.num_trees = 8;
+          inner.seed = 5;
+          return std::unique_ptr<Classifier>(new RandomForestClassifier(inner));
+        },
+        4, 17);
+    outputs.push_back(cv.accuracy);
+    outputs.push_back(cv.macro_f1);
+    outputs.push_back(cv.auc);
+    support::ThreadPool::SetGlobalThreads(0);
+    return outputs;
+  };
+  const auto serial = run(1);
+  const auto parallel = run(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << i;
+  }
+}
+
+}  // namespace
+}  // namespace ml

@@ -37,7 +37,10 @@ TEST(Dataset, BasicAccessors) {
   EXPECT_EQ(data.num_features(), 2u);
   EXPECT_EQ(data.num_classes(), 2u);
   EXPECT_EQ(data.ClassIndex(1), 1);
-  EXPECT_EQ(data.Column(1), (std::vector<double>{2.0, 4.0}));
+  const auto column = data.Column(1);
+  EXPECT_EQ(std::vector<double>(column.begin(), column.end()),
+            (std::vector<double>{2.0, 4.0}));
+  EXPECT_EQ(data.Row(1), (std::vector<double>{3.0, 4.0}));
   const auto counts = data.ClassCounts();
   EXPECT_EQ(counts[0], 1u);
   EXPECT_EQ(counts[1], 1u);
