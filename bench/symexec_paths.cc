@@ -4,11 +4,20 @@
 //
 // Sweeps programs of growing branch depth: feasible-path counts (exactly
 // 2^k for k independent branches), exploitability fractions for a guarded
-// overflow (exact model counting vs Monte-Carlo sampling), and solver
-// micro-benchmarks.
+// overflow (exact model counting vs Monte-Carlo sampling), the incremental
+// (persistent SAT instance + activation literals) vs one-shot solver
+// comparison, and solver micro-benchmarks.
+//
+// Emits machine-readable results to BENCH_symexec.json in the working
+// directory. `--smoke` runs reduced workloads and skips the google-benchmark
+// timing loops but still writes the JSON (the ctest `symperf` label runs
+// this mode).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cmath>
+#include <cstring>
+#include <fstream>
 
 #include "bench/common.h"
 #include "src/lang/parser.h"
@@ -37,6 +46,69 @@ std::string DiamondProgram(int branches) {
   return body;
 }
 
+// k correlated branches over one input: k+1 feasible paths with long shared
+// path-condition prefixes — the workload incremental solving amortizes.
+std::string BandsProgram(int k) {
+  std::string body = "int main() {\n  int r = 0;\n  int x = input();\n";
+  for (int i = 0; i < k; ++i) {
+    body += support::Format("  if (x > %d) { r += %d; }\n", i * 8, 1 << (i % 24));
+  }
+  body += "  return r;\n}\n";
+  return body;
+}
+
+// Guarded array traffic: feasibility checks plus out-of-bounds reachability
+// queries and exploitability counting on every symbolic index.
+std::string GuardedArrayProgram(int accesses) {
+  std::string body = "int main() {\n  int buf[8];\n  int r = 0;\n";
+  for (int i = 0; i < accesses; ++i) {
+    body += support::Format(
+        "  int i%d = input();\n  if (i%d >= 0 && i%d < %d) { buf[i%d] = i%d; r += "
+        "buf[i%d]; }\n",
+        i, i, i, 8 + (i % 3), i, i, i);
+  }
+  body += "  return r;\n}\n";
+  return body;
+}
+
+double Seconds(std::chrono::steady_clock::time_point t0,
+               std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+struct ModeStats {
+  double seconds = 0.0;
+  uint64_t paths = 0;
+  uint64_t queries = 0;
+  uint64_t conflicts = 0;
+  uint64_t reuse_hits = 0;
+  uint64_t folds = 0;
+  size_t vulns = 0;
+
+  double QueriesPerSec() const { return seconds > 0.0 ? queries / seconds : 0.0; }
+};
+
+ModeStats RunMode(const lang::IrModule& module, bool incremental, int repeats) {
+  symx::SymExecOptions options;
+  options.max_paths = 1 << 10;
+  options.max_total_steps = 1 << 20;
+  options.max_solver_queries = 1 << 20;
+  options.incremental_solver = incremental;
+  ModeStats stats;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < repeats; ++r) {
+    const symx::SymExecResult result = symx::Explore(module, "main", options);
+    stats.paths += result.paths_explored;
+    stats.queries += result.solver_queries;
+    stats.conflicts += result.sat_conflicts;
+    stats.reuse_hits += result.model_reuse_hits;
+    stats.folds += result.simplifier_folds;
+    stats.vulns = result.vulns.size();
+  }
+  stats.seconds = Seconds(t0, std::chrono::steady_clock::now());
+  return stats;
+}
+
 void PrintPathCounting() {
   benchcommon::PrintHeader("Symbolic execution", "path counting and exploitability");
   std::printf("Feasible paths for k independent input branches (expect 2^k):\n");
@@ -48,10 +120,14 @@ void PrintPathCounting() {
     const symx::SymExecResult result = symx::Explore(module, "main", options);
     rows.push_back({std::to_string(k), std::to_string(result.paths_completed),
                     std::to_string(1 << k), std::to_string(result.solver_queries),
-                    std::to_string(result.forks)});
+                    std::to_string(result.forks),
+                    std::to_string(result.model_reuse_hits),
+                    std::to_string(result.sat_conflicts),
+                    std::to_string(result.simplifier_folds)});
   }
   std::printf("%s\n", report::RenderTable({"branches", "paths found", "expected",
-                                           "solver queries", "forks"},
+                                           "solver queries", "forks", "reuse hits",
+                                           "conflicts", "folds"},
                                           rows)
                           .c_str());
 }
@@ -110,6 +186,169 @@ void PrintCounterComparison() {
                                            "sampled fraction", "true fraction"},
                                           rows)
                           .c_str());
+}
+
+// Minimal JSON writer for the machine-readable bench artifact (same pattern
+// as pipeline_throughput.cc).
+class JsonSink {
+ public:
+  void Add(const std::string& key, const std::string& value, bool quote) {
+    entries_.push_back({key, value, quote});
+  }
+  void AddNumber(const std::string& key, double value) {
+    Add(key, support::Format("%.6g", value), false);
+  }
+  void AddInt(const std::string& key, uint64_t value) {
+    Add(key, std::to_string(value), false);
+  }
+  void AddRaw(const std::string& key, const std::string& json) {
+    Add(key, json, false);
+  }
+
+  bool WriteTo(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << "{\n";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const auto& e = entries_[i];
+      out << "  \"" << e.key << "\": ";
+      if (e.quote) {
+        out << '"' << e.value << '"';
+      } else {
+        out << e.value;
+      }
+      out << (i + 1 < entries_.size() ? ",\n" : "\n");
+    }
+    out << "}\n";
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+    bool quote;
+  };
+  std::vector<Entry> entries_;
+};
+
+std::string ModeJson(const ModeStats& s) {
+  return support::Format(
+      "{\"seconds\": %.6f, \"paths\": %llu, \"solver_queries\": %llu, "
+      "\"queries_per_sec\": %.1f, \"sat_conflicts\": %llu, "
+      "\"model_reuse_hits\": %llu, \"simplifier_folds\": %llu, \"vulns\": %zu}",
+      s.seconds, static_cast<unsigned long long>(s.paths),
+      static_cast<unsigned long long>(s.queries), s.QueriesPerSec(),
+      static_cast<unsigned long long>(s.conflicts),
+      static_cast<unsigned long long>(s.reuse_hits),
+      static_cast<unsigned long long>(s.folds), s.vulns);
+}
+
+// Runs every workload in both solver modes, prints the comparison table, and
+// writes BENCH_symexec.json. Aborts with a nonzero exit if the two modes
+// disagree on path counts or vuln sites (they are specified bit-identical).
+int RunModeComparison(bool smoke) {
+  struct Workload {
+    std::string name;
+    lang::IrModule module;
+  };
+  const int repeats = smoke ? 1 : 3;
+  std::vector<Workload> workloads;
+  workloads.push_back({"diamond", MustLower(DiamondProgram(smoke ? 6 : 8))});
+  workloads.push_back({"bands", MustLower(BandsProgram(smoke ? 8 : 12))});
+  workloads.push_back(
+      {"guarded_array", MustLower(GuardedArrayProgram(smoke ? 3 : 5))});
+
+  std::printf("Incremental (persistent SAT + activation literals) vs one-shot\n");
+  std::printf("(fresh solver per query); identical exploration results required:\n\n");
+  std::vector<std::vector<std::string>> rows;
+  JsonSink sink;
+  sink.Add("bench", "symexec_paths", true);
+  sink.AddInt("smoke", smoke ? 1 : 0);
+  sink.AddInt("repeats", static_cast<uint64_t>(repeats));
+
+  double total_inc_seconds = 0.0;
+  double total_os_seconds = 0.0;
+  uint64_t total_inc_queries = 0;
+  uint64_t total_os_queries = 0;
+  uint64_t total_inc_paths = 0;
+  uint64_t total_reuse_hits = 0;
+  uint64_t total_folds = 0;
+  bool mismatch = false;
+  std::string workloads_json = "[";
+  for (size_t w = 0; w < workloads.size(); ++w) {
+    const auto& workload = workloads[w];
+    const ModeStats oneshot = RunMode(workload.module, /*incremental=*/false, repeats);
+    const ModeStats inc = RunMode(workload.module, /*incremental=*/true, repeats);
+    if (inc.paths != oneshot.paths || inc.vulns != oneshot.vulns) {
+      std::fprintf(stderr,
+                   "FAIL: %s: incremental/one-shot disagree (paths %llu vs %llu, "
+                   "vulns %zu vs %zu)\n",
+                   workload.name.c_str(), static_cast<unsigned long long>(inc.paths),
+                   static_cast<unsigned long long>(oneshot.paths), inc.vulns,
+                   oneshot.vulns);
+      mismatch = true;
+    }
+    total_inc_seconds += inc.seconds;
+    total_os_seconds += oneshot.seconds;
+    total_inc_queries += inc.queries;
+    total_os_queries += oneshot.queries;
+    total_inc_paths += inc.paths;
+    total_reuse_hits += inc.reuse_hits;
+    total_folds += inc.folds;
+    const double speedup =
+        oneshot.QueriesPerSec() > 0.0 ? inc.QueriesPerSec() / oneshot.QueriesPerSec()
+                                      : 0.0;
+    rows.push_back({workload.name, std::to_string(inc.paths),
+                    std::to_string(inc.queries),
+                    support::Format("%.0f", oneshot.QueriesPerSec()),
+                    support::Format("%.0f", inc.QueriesPerSec()),
+                    support::Format("%.2fx", speedup),
+                    std::to_string(inc.reuse_hits), std::to_string(inc.conflicts)});
+    workloads_json += support::Format(
+        "%s{\"name\": \"%s\", \"oneshot\": %s, \"incremental\": %s, "
+        "\"speedup_queries_per_sec\": %.3f}",
+        w == 0 ? "" : ", ", workload.name.c_str(), ModeJson(oneshot).c_str(),
+        ModeJson(inc).c_str(), speedup);
+  }
+  workloads_json += "]";
+  std::printf("%s\n",
+              report::RenderTable({"workload", "paths", "queries", "oneshot q/s",
+                                   "incremental q/s", "speedup", "reuse hits",
+                                   "conflicts"},
+                                  rows)
+                  .c_str());
+
+  const double os_qps =
+      total_os_seconds > 0.0 ? total_os_queries / total_os_seconds : 0.0;
+  const double inc_qps =
+      total_inc_seconds > 0.0 ? total_inc_queries / total_inc_seconds : 0.0;
+  const double total_speedup = os_qps > 0.0 ? inc_qps / os_qps : 0.0;
+  std::printf("total: %.0f q/s one-shot vs %.0f q/s incremental (%.2fx), "
+              "%llu model-reuse hits, %llu simplifier folds\n\n",
+              os_qps, inc_qps, total_speedup,
+              static_cast<unsigned long long>(total_reuse_hits),
+              static_cast<unsigned long long>(total_folds));
+
+  sink.AddRaw("workloads", workloads_json);
+  sink.AddNumber("total_oneshot_queries_per_sec", os_qps);
+  sink.AddNumber("total_incremental_queries_per_sec", inc_qps);
+  sink.AddNumber("total_speedup_queries_per_sec", total_speedup);
+  sink.AddNumber("total_paths_per_sec_incremental",
+                 total_inc_seconds > 0.0 ? total_inc_paths / total_inc_seconds : 0.0);
+  sink.AddNumber("model_reuse_hit_rate",
+                 total_inc_queries + total_reuse_hits > 0
+                     ? static_cast<double>(total_reuse_hits) /
+                           static_cast<double>(total_inc_queries + total_reuse_hits)
+                     : 0.0);
+  sink.AddInt("modes_agree", mismatch ? 0 : 1);
+  const std::string path = "BENCH_symexec.json";
+  if (sink.WriteTo(path)) {
+    std::printf("wrote %s\n\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "WARNING: could not write %s\n", path.c_str());
+  }
+  return mismatch ? 1 : 0;
 }
 
 void BM_SatPigeonhole(benchmark::State& state) {
@@ -173,9 +412,21 @@ BENCHMARK(BM_BitblastMultiply)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
   PrintPathCounting();
   PrintExploitability();
   PrintCounterComparison();
+  const int status = RunModeComparison(smoke);
+  if (status != 0) return status;
+  if (smoke) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

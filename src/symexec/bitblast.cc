@@ -1,5 +1,6 @@
 #include "src/symexec/bitblast.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace symx {
@@ -147,15 +148,18 @@ std::vector<Lit> BitBlaster::BoolToVec(Lit bit) {
 }
 
 const std::vector<Var>& BitBlaster::VarBits(int var_id) {
-  auto it = var_bits_.find(var_id);
-  if (it == var_bits_.end()) {
+  const auto id = static_cast<size_t>(var_id);
+  if (var_bits_.size() <= id) {
+    var_bits_.resize(std::max(id + 1, static_cast<size_t>(pool_.num_vars())));
+  }
+  if (var_bits_[id].empty()) {
     std::vector<Var> bits(static_cast<size_t>(pool_.width()));
     for (auto& bit : bits) {
       bit = solver_.NewVar();
     }
-    it = var_bits_.emplace(var_id, std::move(bits)).first;
+    var_bits_[id] = std::move(bits);
   }
-  return it->second;
+  return var_bits_[id];
 }
 
 int64_t BitBlaster::ModelValueOf(int var_id) {
@@ -169,11 +173,57 @@ int64_t BitBlaster::ModelValueOf(int var_id) {
   return pool_.SignExtend(value);
 }
 
-const std::vector<Lit>& BitBlaster::Encode(ExprRef ref) {
-  const auto cached = cache_.find(ref);
-  if (cached != cache_.end()) {
-    return cached->second;
+std::vector<Var> BitBlaster::EncodingCone(ExprRef ref) const {
+  std::vector<Var> cone;
+  std::vector<bool> visited(pool_.size(), false);
+  std::vector<ExprRef> stack = {ref};
+  while (!stack.empty()) {
+    const ExprRef r = stack.back();
+    stack.pop_back();
+    if (visited[static_cast<size_t>(r)]) {
+      continue;
+    }
+    visited[static_cast<size_t>(r)] = true;
+    if (static_cast<size_t>(r) < cache_.size()) {
+      for (const Lit lit : cache_[static_cast<size_t>(r)]) {
+        cone.push_back(LitVar(lit));
+      }
+      // Interior Tseitin auxiliaries of this node's first encoding.
+      const auto [lo, hi] = encode_range_[static_cast<size_t>(r)];
+      for (Var v = lo; v < hi; ++v) {
+        cone.push_back(v);
+      }
+    }
+    const ExprNode& node = pool_.node(r);
+    if (node.op == ExprOp::kVar &&
+        static_cast<size_t>(node.var_id) < var_bits_.size()) {
+      for (const Var v : var_bits_[static_cast<size_t>(node.var_id)]) {
+        cone.push_back(v);
+      }
+    }
+    for (const ExprRef child : {node.a, node.b, node.c}) {
+      if (child != kNoExpr) {
+        stack.push_back(child);
+      }
+    }
   }
+  std::sort(cone.begin(), cone.end());
+  cone.erase(std::unique(cone.begin(), cone.end()), cone.end());
+  return cone;
+}
+
+const std::vector<Lit>& BitBlaster::Encode(ExprRef ref) {
+  if (cache_.size() < pool_.size()) {
+    cache_.resize(pool_.size());
+    encode_range_.resize(pool_.size(), {0, 0});
+  }
+  if (!cache_[static_cast<size_t>(ref)].empty()) {
+    return cache_[static_cast<size_t>(ref)];
+  }
+  // Record the solver variables allocated while encoding this node (interior
+  // Tseitin auxiliaries included; nested child ranges overlap harmlessly) —
+  // EncodingCone needs them all.
+  const Var range_lo = static_cast<Var>(solver_.num_vars());
   const ExprNode& node = pool_.node(ref);
   const size_t w = static_cast<size_t>(pool_.width());
   std::vector<Lit> out;
@@ -307,7 +357,10 @@ const std::vector<Lit>& BitBlaster::Encode(ExprRef ref) {
     }
   }
   assert(out.size() == w);
-  return cache_.emplace(ref, std::move(out)).first->second;
+  encode_range_[static_cast<size_t>(ref)] = {range_lo,
+                                             static_cast<Var>(solver_.num_vars())};
+  cache_[static_cast<size_t>(ref)] = std::move(out);
+  return cache_[static_cast<size_t>(ref)];
 }
 
 void BitBlaster::AssertTrue(ExprRef ref) {
@@ -323,6 +376,23 @@ void BitBlaster::AssertTrue(ExprRef ref) {
     }
   }
   solver_.AddClause(std::move(clause));  // Empty clause => UNSAT, as desired.
+}
+
+void BitBlaster::AssertTrueUnder(Lit act, ExprRef ref) {
+  const std::vector<Lit> bits = Encode(ref);
+  std::vector<Lit> clause;
+  clause.reserve(bits.size() + 1);
+  clause.push_back(Negate(act));
+  for (const Lit bit : bits) {
+    if (bit == TrueLit()) {
+      return;  // act → true: vacuous, no clause needed.
+    }
+    if (bit != FalseLit()) {
+      clause.push_back(bit);
+    }
+  }
+  // All bits false leaves {¬act}: assuming `act` is then immediately UNSAT.
+  solver_.AddClause(std::move(clause));
 }
 
 void BitBlaster::AssertFalse(ExprRef ref) {

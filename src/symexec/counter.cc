@@ -24,6 +24,7 @@ CountResult CountExact(const ExprPool& pool, std::span<const ExprRef> constraint
   for (;;) {
     ++result.sat_calls;
     const SatResult sat = solver.Solve({}, solver_conflict_budget);
+    result.conflicts = solver.conflicts();
     if (sat == SatResult::kUnknown) {
       result.exact = false;
       return result;

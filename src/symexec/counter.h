@@ -24,6 +24,7 @@ struct CountResult {
   uint64_t models = 0;   // Distinct projected assignments found.
   bool exact = true;     // False if the cap stopped enumeration.
   uint64_t sat_calls = 0;
+  uint64_t conflicts = 0;  // CDCL conflicts spent across the enumeration.
 };
 
 // Exact projected model count of (AND of `constraints`, each truthy) over the

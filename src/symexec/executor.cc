@@ -5,6 +5,7 @@
 
 #include "src/metrics/callgraph.h"
 #include "src/support/strings.h"
+#include "src/support/thread_pool.h"
 #include "src/symexec/bitblast.h"
 #include "src/symexec/counter.h"
 
@@ -53,7 +54,8 @@ class Explorer {
       : module_(module),
         options_(options),
         pool_(options.width),
-        rng_(options.rng_seed) {}
+        rng_(options.rng_seed),
+        inc_blaster_(pool_, inc_solver_) {}
 
   SymExecResult Run(const std::string& entry) {
     const lang::IrFunction* fn = module_.FindFunction(entry);
@@ -83,6 +85,7 @@ class Explorer {
       RunPath(std::move(state));
     }
     FinishVulns();
+    result_.simplifier_folds = pool_.simplifier_folds();
     return std::move(result_);
   }
 
@@ -192,6 +195,29 @@ class Explorer {
     pc.push_back(c);
   }
 
+  // The activation literal gating constraint `c` in the persistent solver:
+  // act → (c truthy). Encoded at most once per constraint; feasibility of a
+  // path-condition prefix is then Solve(assumptions = {act(c) for c in pc}),
+  // and a retired branch simply stops assuming its literal.
+  Lit ActivationLit(ExprRef c) {
+    if (activation_.size() < pool_.size()) {
+      activation_.resize(pool_.size(), -1);
+      cones_.resize(pool_.size());
+    }
+    if (activation_[static_cast<size_t>(c)] != -1) {
+      return activation_[static_cast<size_t>(c)];
+    }
+    const Var var = inc_solver_.NewVar();
+    // Negative-first: decisions must not re-activate constraints this query
+    // does not assume (they would only make the instance harder).
+    inc_solver_.SetPolarity(var, false);
+    const Lit act = MakeLit(var, false);
+    inc_blaster_.AssertTrueUnder(act, c);
+    activation_[static_cast<size_t>(c)] = act;
+    cones_[static_cast<size_t>(c)] = inc_blaster_.EncodingCone(c);
+    return act;
+  }
+
   bool Feasible(const std::vector<ExprRef>& pc) {
     // Solution cache (KLEE-style): a cached model that satisfies every
     // constraint proves satisfiability without a solver call. Variables the
@@ -205,6 +231,7 @@ class Explorer {
         }
       }
       if (all) {
+        ++result_.model_reuse_hits;
         return true;
       }
     }
@@ -212,26 +239,51 @@ class Explorer {
       return true;  // Budget exhausted: assume feasible (sound for search).
     }
     ++result_.solver_queries;
-    SatSolver solver;
-    BitBlaster blaster(pool_, solver);
-    for (const ExprRef c : pc) {
-      blaster.AssertTrue(c);
+    SatResult sat;
+    std::vector<int64_t> model;
+    if (options_.incremental_solver) {
+      std::vector<Lit> assumptions;
+      assumptions.reserve(pc.size());
+      for (const ExprRef c : pc) {
+        assumptions.push_back(ActivationLit(c));
+      }
+      const std::vector<Var> decision_vars = ConeUnion(pc);
+      const uint64_t conflicts_before = inc_solver_.conflicts();
+      sat = inc_solver_.Solve(assumptions, options_.solver_conflict_budget,
+                              &decision_vars);
+      result_.sat_conflicts += inc_solver_.conflicts() - conflicts_before;
+      if (sat == SatResult::kSat) {
+        // Every variable in `pc` was materialised when its constraint was
+        // encoded, so the model covers all mentioned vars.
+        const std::vector<int> used = UsedVars(pc);
+        model.assign(static_cast<size_t>(pool_.num_vars()), 0);
+        for (const int var_id : used) {
+          model[static_cast<size_t>(var_id)] = inc_blaster_.ModelValueOf(var_id);
+        }
+      }
+    } else {
+      // One-shot reference oracle: fresh instance, full re-encode per query.
+      SatSolver solver;
+      BitBlaster blaster(pool_, solver);
+      for (const ExprRef c : pc) {
+        blaster.AssertTrue(c);
+      }
+      sat = solver.Solve({}, options_.solver_conflict_budget);
+      result_.sat_conflicts += solver.conflicts();
+      if (sat == SatResult::kSat) {
+        // Encoding the constraints materialised the bits of every variable
+        // they mention, so the model can be read back directly.
+        const std::vector<int> used = UsedVars(pc);
+        model.assign(static_cast<size_t>(pool_.num_vars()), 0);
+        for (const int var_id : used) {
+          model[static_cast<size_t>(var_id)] = blaster.ModelValueOf(var_id);
+        }
+      }
     }
-    // Materialise the bits of every mentioned variable before solving so the
-    // model can be read back.
-    const std::vector<int> used = UsedVars(pc);
-    for (const int var_id : used) {
-      blaster.VarBits(var_id);
-    }
-    const SatResult sat = solver.Solve({}, options_.solver_conflict_budget);
     if (sat == SatResult::kUnsat) {
       return false;
     }
     if (sat == SatResult::kSat) {
-      std::vector<int64_t> model(static_cast<size_t>(pool_.num_vars()), 0);
-      for (const int var_id : used) {
-        model[static_cast<size_t>(var_id)] = blaster.ModelValueOf(var_id);
-      }
       // Ring-buffer eviction: overwrite the oldest slot in place instead of
       // erase(begin()), which shifted every remaining entry on each insert.
       // The feasibility scan above is any-match, so slot order is irrelevant.
@@ -243,6 +295,99 @@ class Explorer {
       }
     }
     return true;  // kSat, or kUnknown treated as feasible.
+  }
+
+  // Union of the encoding cones of `pc`'s constraints (each already encoded
+  // via ActivationLit). Restricting decisions to this set keeps per-query
+  // cost tracking the current path condition, not everything the persistent
+  // solver has accumulated; retired constraints' variables stay undecided.
+  // The epoch stamp dedups the union without a per-query clearing pass.
+  std::vector<Var> ConeUnion(const std::vector<ExprRef>& pc) {
+    if (cone_stamp_.size() < static_cast<size_t>(inc_solver_.num_vars())) {
+      cone_stamp_.resize(static_cast<size_t>(inc_solver_.num_vars()), 0);
+    }
+    ++cone_epoch_;
+    std::vector<Var> decision_vars;
+    for (const ExprRef c : pc) {
+      for (const Var v : cones_[static_cast<size_t>(c)]) {
+        if (cone_stamp_[static_cast<size_t>(v)] != cone_epoch_) {
+          cone_stamp_[static_cast<size_t>(v)] = cone_epoch_;
+          decision_vars.push_back(v);
+        }
+      }
+    }
+    return decision_vars;
+  }
+
+  // Projected model enumeration on the persistent solver. Same contract as
+  // CountExact, but the trigger condition's encoding (already emitted for the
+  // feasibility queries) is reused instead of re-blasted into a fresh solver,
+  // and learned clauses carry over between enumerations. Blocking clauses are
+  // gated behind a per-enumeration session literal: {~session, ~model bits},
+  // assumed true while enumerating, then retired with a root-level unit
+  // ~session — which permanently satisfies them, so the next learned-DB sweep
+  // reclaims the dead clauses. The projection bits lie inside the trigger
+  // condition's encoding cone (projection = UsedVars(trigger_pc)), so the
+  // cone-restricted search decides every blocking clause.
+  CountResult CountExactIncremental(const std::vector<ExprRef>& trigger_pc,
+                                    const std::vector<int>& projection,
+                                    uint64_t cap, uint64_t budget) {
+    CountResult result;
+    std::vector<Lit> assumptions;
+    assumptions.reserve(trigger_pc.size() + 1);
+    for (const ExprRef c : trigger_pc) {
+      assumptions.push_back(ActivationLit(c));
+    }
+    const Var session_var = inc_solver_.NewVar();
+    inc_solver_.SetPolarity(session_var, false);
+    const Lit session = MakeLit(session_var, false);
+    assumptions.push_back(session);
+    std::vector<Var> proj_bits;
+    for (const int var_id : projection) {
+      const auto& bits = inc_blaster_.VarBits(var_id);
+      proj_bits.insert(proj_bits.end(), bits.begin(), bits.end());
+    }
+    const std::vector<Var> decision_vars = ConeUnion(trigger_pc);
+    // Branch on projection bits first: every blocking clause is over them,
+    // so deciding them early keeps conflicts against blocked models shallow
+    // (a fresh per-enumeration solver gets this ordering for free; the
+    // persistent one has to be nudged past its accumulated activities).
+    for (const Var bit : proj_bits) {
+      inc_solver_.BoostActivity(bit);
+    }
+    const uint64_t conflicts_before = inc_solver_.conflicts();
+    for (;;) {
+      ++result.sat_calls;
+      const SatResult sat = inc_solver_.Solve(assumptions, budget, &decision_vars);
+      if (sat == SatResult::kUnknown) {
+        result.exact = false;
+        break;
+      }
+      if (sat == SatResult::kUnsat) {
+        break;
+      }
+      ++result.models;
+      if (result.models >= cap) {
+        result.exact = false;
+        break;
+      }
+      if (proj_bits.empty()) {
+        break;  // No projection variables: the count is 0 or 1.
+      }
+      std::vector<Lit> blocking;
+      blocking.reserve(proj_bits.size() + 1);
+      blocking.push_back(Negate(session));
+      for (const Var bit : proj_bits) {
+        blocking.push_back(MakeLit(bit, inc_solver_.ModelValue(bit)));
+      }
+      // Trail-preserving add: the installed assumption prefix (the whole
+      // propagated trigger condition) survives, so the next Solve resumes
+      // instead of re-installing it for every enumerated model.
+      inc_solver_.AddBlockingClause(std::move(blocking));
+    }
+    result.conflicts = inc_solver_.conflicts() - conflicts_before;
+    inc_solver_.AddUnit(Negate(session));
+    return result;
   }
 
   // Variables mentioned anywhere in `constraints`.
@@ -289,10 +434,14 @@ class Explorer {
     if (result_.solver_queries >= options_.max_solver_queries) {
       return EstimateFraction(pool_, trigger_pc, rng_, options_.exploit_sample_trials);
     }
-    const CountResult counted = CountExact(pool_, trigger_pc, used,
-                                           options_.exploit_exact_cap,
-                                           options_.solver_conflict_budget);
+    const CountResult counted =
+        options_.incremental_solver
+            ? CountExactIncremental(trigger_pc, used, options_.exploit_exact_cap,
+                                    options_.solver_conflict_budget)
+            : CountExact(pool_, trigger_pc, used, options_.exploit_exact_cap,
+                         options_.solver_conflict_budget);
     result_.solver_queries += counted.sat_calls;
+    result_.sat_conflicts += counted.conflicts;
     const double lower_bound = std::ldexp(static_cast<double>(counted.models), -bits);
     if (counted.exact) {
       return lower_bound;
@@ -660,6 +809,17 @@ class Explorer {
   SymExecOptions options_;
   ExprPool pool_;
   support::Rng rng_;
+  // Persistent SAT instance for incremental mode: one solver + blaster for
+  // the whole exploration, with per-constraint activation literals
+  // (activation_[ref] == -1 until the constraint is first encoded).
+  SatSolver inc_solver_;
+  BitBlaster inc_blaster_;
+  std::vector<Lit> activation_;
+  // Per-constraint decision cones (indexed like activation_) and the
+  // epoch-stamped scratch used to union them per query.
+  std::vector<std::vector<Var>> cones_;
+  std::vector<uint32_t> cone_stamp_;
+  uint32_t cone_epoch_ = 0;
   uint64_t total_steps_ = 0;
   std::vector<std::vector<int64_t>> model_cache_;
   size_t model_cache_next_ = 0;  // Next ring-buffer slot to overwrite.
@@ -696,14 +856,31 @@ metrics::FeatureVector SymexFeatures(const lang::IrModule& module,
   uint64_t oob_sites = 0;
   uint64_t div_sites = 0;
   uint64_t queries = 0;
+  uint64_t conflicts = 0;
+  uint64_t reuse_hits = 0;
+  uint64_t folds = 0;
   double max_fraction = 0.0;
   double sum_fraction = 0.0;
-  for (const auto& entry : entries) {
-    const SymExecResult result = Explore(module, entry, options);
+  // Entry explorations are independent (each builds its own pool, solver,
+  // and RNG), so they fan out on the global pool. Per-entry Rng::TaskSeed
+  // streams keep every entry's sampling independent of sibling count and
+  // scheduling; aggregation below runs in index order, so the features are
+  // bit-identical at any CLAIR_THREADS value.
+  const std::vector<SymExecResult> results = support::ParallelMap<SymExecResult>(
+      entries.size(), [&](size_t i) {
+        SymExecOptions entry_options = options;
+        entry_options.rng_seed =
+            support::Rng::TaskSeed(options.rng_seed, static_cast<uint64_t>(i));
+        return Explore(module, entries[i], entry_options);
+      });
+  for (const SymExecResult& result : results) {
     paths += result.paths_explored;
     completed += result.paths_completed;
     vuln_sites += result.vulns.size();
     queries += result.solver_queries;
+    conflicts += result.sat_conflicts;
+    reuse_hits += result.model_reuse_hits;
+    folds += result.simplifier_folds;
     for (const auto& vuln : result.vulns) {
       if (vuln.kind == VulnKind::kOutOfBounds) {
         ++oob_sites;
@@ -721,6 +898,9 @@ metrics::FeatureVector SymexFeatures(const lang::IrModule& module,
   fv.Set("symx.oob_sites", static_cast<double>(oob_sites));
   fv.Set("symx.divzero_sites", static_cast<double>(div_sites));
   fv.Set("symx.solver_queries", static_cast<double>(queries));
+  fv.Set("symx.sat_conflicts", static_cast<double>(conflicts));
+  fv.Set("symx.model_reuse_hits", static_cast<double>(reuse_hits));
+  fv.Set("symx.simplifier_folds", static_cast<double>(folds));
   fv.Set("symx.max_exploit_fraction", max_fraction);
   fv.Set("symx.sum_exploit_fraction", sum_fraction);
   return fv;

@@ -39,6 +39,16 @@ struct SymExecOptions {
   // loop-carried arithmetic chains.
   uint32_t max_expr_nodes = 512;
   uint64_t solver_conflict_budget = 5000;
+  // Incremental solving (the default): each Explore keeps ONE persistent
+  // SatSolver + BitBlaster, encodes every path constraint once behind a
+  // fresh activation literal (act → constraint), and checks feasibility of
+  // the current prefix with Solve(assumptions = {act₀…actₖ}). Learned
+  // clauses and the CNF encoding survive across the thousands of queries one
+  // exploration issues. `false` rebuilds a fresh solver per query — the
+  // one-shot reference oracle the equivalence tests compare against; both
+  // modes produce identical path counts, vuln sites, and exploitability
+  // estimates (every verdict is sound and complete under the budgets).
+  bool incremental_solver = true;
   // Exploitability estimation: try exact projected model counting up to this
   // many models, then fall back to Monte-Carlo sampling.
   uint64_t exploit_exact_cap = 64;
@@ -76,6 +86,9 @@ struct SymExecResult {
   bool path_limit_hit = false;   // max_paths exhausted (exploration partial).
   uint64_t forks = 0;
   uint64_t solver_queries = 0;
+  uint64_t sat_conflicts = 0;      // CDCL conflicts across all SAT work.
+  uint64_t model_reuse_hits = 0;   // Feasibility proven by a cached model.
+  uint64_t simplifier_folds = 0;   // Expressions resolved without interning.
   int symbolic_inputs = 0;       // input() sites turned into variables.
   std::vector<VulnSite> vulns;   // Deduplicated by (kind, line), sorted.
 
@@ -88,7 +101,10 @@ SymExecResult Explore(const lang::IrModule& module, const std::string& entry,
                       const SymExecOptions& options = {});
 
 // Feature extraction: explores from main() when present, otherwise from
-// every call-graph root, and summarises into "symx.*" features.
+// every call-graph root, and summarises into "symx.*" features. Entries are
+// explored in parallel on the global thread pool; each entry's exploration
+// seeds its RNG via Rng::TaskSeed(options.rng_seed, entry_index), so the
+// result is bit-identical at any CLAIR_THREADS value.
 metrics::FeatureVector SymexFeatures(const lang::IrModule& module,
                                      const SymExecOptions& options = {});
 

@@ -177,7 +177,41 @@ ExprRef ExprPool::Unary(ExprOp op, ExprRef a) {
   node.a = a;
   int64_t folded;
   if (TryFold(node, folded)) {
+    ++simplifier_folds_;
     return Const(folded);
+  }
+  // Normalizing rewrites. Operand fields are copied up front because the
+  // builders called below may reallocate nodes_.
+  const ExprOp a_op = nodes_[static_cast<size_t>(a)].op;
+  const ExprRef a_a = nodes_[static_cast<size_t>(a)].a;
+  const ExprRef a_b = nodes_[static_cast<size_t>(a)].b;
+  if ((op == ExprOp::kNeg && a_op == ExprOp::kNeg) ||
+      (op == ExprOp::kNot && a_op == ExprOp::kNot)) {
+    ++simplifier_folds_;
+    return a_a;  // Double negation / double complement.
+  }
+  if (op == ExprOp::kBoolNot) {
+    // Comparisons are 0/1-valued: their logical negation is the dual /
+    // swapped comparison, and !!x is x != 0.
+    switch (a_op) {
+      case ExprOp::kEq:
+        ++simplifier_folds_;
+        return Binary(ExprOp::kNe, a_a, a_b);
+      case ExprOp::kNe:
+        ++simplifier_folds_;
+        return Binary(ExprOp::kEq, a_a, a_b);
+      case ExprOp::kSlt:
+        ++simplifier_folds_;
+        return Binary(ExprOp::kSle, a_b, a_a);
+      case ExprOp::kSle:
+        ++simplifier_folds_;
+        return Binary(ExprOp::kSlt, a_b, a_a);
+      case ExprOp::kBoolNot:
+        ++simplifier_folds_;
+        return Truthy(a_a);
+      default:
+        break;
+    }
   }
   return Intern(node);
 }
@@ -189,25 +223,119 @@ ExprRef ExprPool::Binary(ExprOp op, ExprRef a, ExprRef b) {
   node.b = b;
   int64_t folded;
   if (TryFold(node, folded)) {
+    ++simplifier_folds_;
     return Const(folded);
   }
-  // Light algebraic identities keep path conditions small.
-  const ExprNode& na = nodes_[static_cast<size_t>(a)];
-  const ExprNode& nb = nodes_[static_cast<size_t>(b)];
-  if (op == ExprOp::kAdd && nb.op == ExprOp::kConst && nb.imm == 0) {
-    return a;
-  }
-  if (op == ExprOp::kAdd && na.op == ExprOp::kConst && na.imm == 0) {
-    return b;
-  }
-  if (op == ExprOp::kSub && nb.op == ExprOp::kConst && nb.imm == 0) {
-    return a;
-  }
-  if (op == ExprOp::kMul && nb.op == ExprOp::kConst && nb.imm == 1) {
-    return a;
-  }
-  if (op == ExprOp::kMul && na.op == ExprOp::kConst && na.imm == 1) {
-    return b;
+  // Identity/annihilator/idempotence rules: many loop-generated conditions
+  // collapse to constants here and never reach the solver, and the rest
+  // bit-blast to smaller CNF. `keep` records the fold before returning an
+  // existing ref; `make` does the same before building a constant. Operand
+  // nodes are copied (not referenced): Const() may reallocate nodes_.
+  auto keep = [this](ExprRef r) {
+    ++simplifier_folds_;
+    return r;
+  };
+  auto make = [this](int64_t value) {
+    ++simplifier_folds_;
+    return Const(value);
+  };
+  const ExprNode na = nodes_[static_cast<size_t>(a)];
+  const ExprNode nb = nodes_[static_cast<size_t>(b)];
+  const bool ca = na.op == ExprOp::kConst;
+  const bool cb = nb.op == ExprOp::kConst;
+  const int64_t all_ones = SignExtend(Mask());
+  switch (op) {
+    case ExprOp::kAdd:
+      if (cb && nb.imm == 0) {
+        return keep(a);
+      }
+      if (ca && na.imm == 0) {
+        return keep(b);
+      }
+      break;
+    case ExprOp::kSub:
+      if (cb && nb.imm == 0) {
+        return keep(a);
+      }
+      if (a == b) {
+        return make(0);
+      }
+      break;
+    case ExprOp::kMul:
+      if ((ca && na.imm == 0) || (cb && nb.imm == 0)) {
+        return make(0);
+      }
+      if (cb && nb.imm == 1) {
+        return keep(a);
+      }
+      if (ca && na.imm == 1) {
+        return keep(b);
+      }
+      break;
+    case ExprOp::kAnd:
+      if ((ca && na.imm == 0) || (cb && nb.imm == 0)) {
+        return make(0);
+      }
+      if (cb && nb.imm == all_ones) {
+        return keep(a);
+      }
+      if (ca && na.imm == all_ones) {
+        return keep(b);
+      }
+      if (a == b) {
+        return keep(a);
+      }
+      break;
+    case ExprOp::kOr:
+      if (cb && nb.imm == 0) {
+        return keep(a);
+      }
+      if (ca && na.imm == 0) {
+        return keep(b);
+      }
+      if ((ca && na.imm == all_ones) || (cb && nb.imm == all_ones)) {
+        return make(all_ones);
+      }
+      if (a == b) {
+        return keep(a);
+      }
+      break;
+    case ExprOp::kXor:
+      if (cb && nb.imm == 0) {
+        return keep(a);
+      }
+      if (ca && na.imm == 0) {
+        return keep(b);
+      }
+      if (a == b) {
+        return make(0);
+      }
+      break;
+    case ExprOp::kShl:
+    case ExprOp::kShr:
+      if (ca && na.imm == 0) {
+        return make(0);
+      }
+      // Shift amounts act modulo the width (same computation as Eval/TryFold).
+      if (cb &&
+          (static_cast<uint64_t>(nb.imm) & (static_cast<uint64_t>(width_) - 1)) == 0) {
+        return keep(a);
+      }
+      break;
+    case ExprOp::kEq:
+    case ExprOp::kSle:
+      if (a == b) {
+        return make(1);
+      }
+      break;
+    case ExprOp::kNe:
+    case ExprOp::kSlt:
+      if (a == b) {
+        return make(0);
+      }
+      break;
+    default:
+      break;
   }
   return Intern(node);
 }
@@ -220,11 +348,17 @@ ExprRef ExprPool::Ite(ExprRef cond, ExprRef then_e, ExprRef else_e) {
   node.c = else_e;
   int64_t folded;
   if (TryFold(node, folded)) {
+    ++simplifier_folds_;
     return Const(folded);
   }
   const ExprNode& nc = nodes_[static_cast<size_t>(cond)];
   if (nc.op == ExprOp::kConst) {
+    ++simplifier_folds_;
     return nc.imm != 0 ? then_e : else_e;
+  }
+  if (then_e == else_e) {
+    ++simplifier_folds_;
+    return then_e;
   }
   return Intern(node);
 }

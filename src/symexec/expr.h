@@ -85,6 +85,14 @@ class ExprPool {
   // Logical negation of a truthy value.
   ExprRef Falsy(ExprRef a);
 
+  // Number of constructions the normalizing simplifier resolved without
+  // interning a new node: constant folds, identity/annihilator rules (x&0,
+  // x|0, x^x, x*1, shift-by-0, ...), double negation, self-comparisons, and
+  // Ite with a constant condition or equal arms. Each avoided node is CNF the
+  // bit-blaster never has to emit; many branch conditions collapse to
+  // constants and never reach the SAT solver at all.
+  uint64_t simplifier_folds() const { return simplifier_folds_; }
+
   const ExprNode& node(ExprRef ref) const { return nodes_[static_cast<size_t>(ref)]; }
   uint32_t TreeSize(ExprRef ref) const { return nodes_[static_cast<size_t>(ref)].tree_size; }
   size_t size() const { return nodes_.size(); }
@@ -107,6 +115,7 @@ class ExprPool {
   bool TryFold(const ExprNode& node, int64_t& out) const;
 
   int width_;
+  uint64_t simplifier_folds_ = 0;
   std::vector<ExprNode> nodes_;
   std::vector<std::string> var_names_;
   std::unordered_map<uint64_t, std::vector<ExprRef>> intern_;

@@ -33,16 +33,94 @@ Var SatSolver::NewVar() {
   level_.push_back(0);
   reason_.push_back(-1);
   activity_.push_back(0.0);
+  polarity_.push_back(true);
   seen_.push_back(false);
   watches_.emplace_back();
   watches_.emplace_back();
+  order_.index.push_back(-1);
+  query_order_.index.push_back(-1);
+  decision_stamp_.push_back(0);
   return var;
+}
+
+void SatSolver::HeapBuild(VarOrderHeap& h, std::vector<Var> vars) {
+  for (const Var v : h.heap) {
+    h.index[static_cast<size_t>(v)] = -1;
+  }
+  h.heap = std::move(vars);
+  for (size_t i = 0; i < h.heap.size(); ++i) {
+    h.index[static_cast<size_t>(h.heap[i])] = static_cast<int>(i);
+  }
+  // Bottom-up heapify: O(n), cheaper than n inserts.
+  for (size_t i = h.heap.size() / 2; i-- > 0;) {
+    HeapSiftDown(h, i);
+  }
+}
+
+void SatSolver::HeapSiftUp(VarOrderHeap& h, size_t i) {
+  const Var var = h.heap[i];
+  while (i > 0) {
+    const size_t parent = (i - 1) / 2;
+    if (!HeapLess(h.heap[parent], var)) {
+      break;
+    }
+    h.heap[i] = h.heap[parent];
+    h.index[static_cast<size_t>(h.heap[i])] = static_cast<int>(i);
+    i = parent;
+  }
+  h.heap[i] = var;
+  h.index[static_cast<size_t>(var)] = static_cast<int>(i);
+}
+
+void SatSolver::HeapSiftDown(VarOrderHeap& h, size_t i) {
+  const Var var = h.heap[i];
+  const size_t n = h.heap.size();
+  for (;;) {
+    size_t child = 2 * i + 1;
+    if (child >= n) {
+      break;
+    }
+    if (child + 1 < n && HeapLess(h.heap[child], h.heap[child + 1])) {
+      ++child;
+    }
+    if (!HeapLess(var, h.heap[child])) {
+      break;
+    }
+    h.heap[i] = h.heap[child];
+    h.index[static_cast<size_t>(h.heap[i])] = static_cast<int>(i);
+    i = child;
+  }
+  h.heap[i] = var;
+  h.index[static_cast<size_t>(var)] = static_cast<int>(i);
+}
+
+void SatSolver::HeapInsert(VarOrderHeap& h, Var var) {
+  if (h.index[static_cast<size_t>(var)] != -1) {
+    return;
+  }
+  h.heap.push_back(var);
+  HeapSiftUp(h, h.heap.size() - 1);
+}
+
+Var SatSolver::HeapPopMax(VarOrderHeap& h) {
+  const Var top = h.heap[0];
+  h.index[static_cast<size_t>(top)] = -1;
+  const Var last = h.heap.back();
+  h.heap.pop_back();
+  if (!h.heap.empty()) {
+    h.heap[0] = last;
+    h.index[static_cast<size_t>(last)] = 0;
+    HeapSiftDown(h, 0);
+  }
+  return top;
 }
 
 void SatSolver::AddClause(std::vector<Lit> clause) {
   // Clauses are added at decision level 0, so the current assignment is
   // permanent: satisfied clauses can be dropped and false literals removed.
+  // This drops any assumption levels kept from the previous Solve call.
   Backtrack(0);
+  installed_.clear();
   size_t keep = 0;
   for (const Lit lit : clause) {
     const int8_t v = Value(lit);
@@ -81,14 +159,116 @@ void SatSolver::AddClause(std::vector<Lit> clause) {
     }
     return;
   }
+  // Watch the two HIGHEST literals (descending order): for the executor's
+  // activation clauses {~act, bits...} those are the constraint's own newest
+  // gate variables rather than input-variable bits shared by every other
+  // constraint's cone, so unrelated queries never walk this clause's watches.
+  std::reverse(clause.begin(), clause.end());
   clauses_.push_back({std::move(clause), false});
   AttachClause(static_cast<int>(clauses_.size() - 1));
 }
 
+void SatSolver::AddBlockingClause(std::vector<Lit> clause) {
+  // Simplify against permanent (root-level) facts only — deeper assignments
+  // are transient.
+  size_t keep = 0;
+  for (const Lit lit : clause) {
+    const Var v = LitVar(lit);
+    if (assign_[static_cast<size_t>(v)] != kUndef && level_[static_cast<size_t>(v)] == 0) {
+      if (Value(lit) == kTrue) {
+        return;  // Permanently satisfied.
+      }
+      continue;  // Permanently false.
+    }
+    clause[keep++] = lit;
+  }
+  clause.resize(keep);
+  // Backjump instead of rewinding to the assumption prefix: keep every trail
+  // level that leaves the clause with at least one non-false literal. Called
+  // right after a kSat (all literals false), this unwinds just past the
+  // deepest decision the blocked model depended on, so the next Solve with
+  // the same assumptions RESUMES the search mid-trail instead of re-deciding
+  // the whole cone for every enumerated model.
+  int lmax = 0;
+  int lsecond = 0;
+  int at_max = 0;
+  for (const Lit lit : clause) {
+    if (Value(lit) != kFalse) {
+      continue;
+    }
+    const int l = level_[static_cast<size_t>(LitVar(lit))];
+    if (l > lmax) {
+      lsecond = lmax;
+      lmax = l;
+      at_max = 1;
+    } else if (l == lmax) {
+      ++at_max;
+    } else {
+      lsecond = std::max(lsecond, l);
+    }
+  }
+  // One literal at the deepest level: unwind to the second-deepest and the
+  // clause becomes unit there. Several: unwind one level below the deepest
+  // (they all unassign together). Never disturb the assumption levels.
+  int target = at_max <= 1 ? lsecond : std::max(lmax - 1, 0);
+  target = std::max(target, static_cast<int>(installed_.size()));
+  Backtrack(target);
+  std::sort(clause.begin(), clause.end());
+  clause.erase(std::unique(clause.begin(), clause.end()), clause.end());
+  for (size_t i = 0; i + 1 < clause.size(); ++i) {
+    if (clause[i] == Negate(clause[i + 1])) {
+      return;  // Tautology.
+    }
+  }
+  if (clause.size() <= 1) {
+    // Degenerate (empty or root-unit): the prefix is not worth preserving —
+    // reuse AddClause's root-level handling.
+    Backtrack(0);
+    installed_.clear();
+    AddClause(std::move(clause));
+    return;
+  }
+  // Watch two literals that are not false under the kept prefix (partition
+  // non-false literals to the front). Watching a false literal would let its
+  // already-happened falsification go unnoticed.
+  size_t non_false = 0;
+  for (size_t i = 0; i < clause.size(); ++i) {
+    if (Value(clause[i]) != kFalse) {
+      std::swap(clause[non_false++], clause[i]);
+    }
+  }
+  if (non_false == 0) {
+    // Conflicts with the assumption prefix itself: give up the prefix. After
+    // Backtrack(0) every remaining literal is unassigned, so a normal attach
+    // is valid and the next Solve discovers the (now-unsuppressed) conflict.
+    Backtrack(0);
+    installed_.clear();
+    clauses_.push_back({std::move(clause), false});
+    AttachClause(static_cast<int>(clauses_.size() - 1));
+    return;
+  }
+  clauses_.push_back({std::move(clause), false});
+  const int ci = static_cast<int>(clauses_.size() - 1);
+  AttachClause(ci);
+  if (non_false == 1) {
+    // Unit under the prefix: propagate now so the next Solve resumes from a
+    // fixpoint. A conflict here means the prefix is exhausted — fall back to
+    // root and let the next Solve return kUnsat through its entry path.
+    const Lit unit = clauses_[static_cast<size_t>(ci)].lits[0];
+    if (Value(unit) == kUndef) {
+      Enqueue(unit, ci);
+      if (Propagate() != -1) {
+        Backtrack(0);
+        installed_.clear();
+      }
+    }
+  }
+}
+
 void SatSolver::AttachClause(int clause_index) {
   const auto& lits = clauses_[static_cast<size_t>(clause_index)].lits;
-  watches_[static_cast<size_t>(lits[0])].push_back(clause_index);
-  watches_[static_cast<size_t>(lits[1])].push_back(clause_index);
+  watches_[static_cast<size_t>(lits[0])].push_back({clause_index, lits[1]});
+  watches_[static_cast<size_t>(lits[1])].push_back({clause_index, lits[0]});
 }
 
 void SatSolver::Enqueue(Lit lit, int reason) {
@@ -108,14 +288,21 @@ int SatSolver::Propagate() {
     auto& watch_list = watches_[static_cast<size_t>(false_lit)];
     size_t keep = 0;
     for (size_t i = 0; i < watch_list.size(); ++i) {
-      const int ci = watch_list[i];
+      const Watcher w = watch_list[i];
+      // Blocker fast path: a true blocker proves the clause satisfied
+      // without loading the clause itself.
+      if (Value(w.blocker) == kTrue) {
+        watch_list[keep++] = w;
+        continue;
+      }
+      const int ci = w.clause;
       auto& lits = clauses_[static_cast<size_t>(ci)].lits;
       // Normalise: watched literal in position 1.
       if (lits[0] == false_lit) {
         std::swap(lits[0], lits[1]);
       }
       if (Value(lits[0]) == kTrue) {
-        watch_list[keep++] = ci;  // Clause satisfied; keep watch.
+        watch_list[keep++] = {ci, lits[0]};  // Satisfied; cache as blocker.
         continue;
       }
       // Look for a replacement watch.
@@ -123,7 +310,7 @@ int SatSolver::Propagate() {
       for (size_t k = 2; k < lits.size(); ++k) {
         if (Value(lits[k]) != kFalse) {
           std::swap(lits[1], lits[k]);
-          watches_[static_cast<size_t>(lits[1])].push_back(ci);
+          watches_[static_cast<size_t>(lits[1])].push_back({ci, lits[0]});
           found = true;
           break;
         }
@@ -132,7 +319,7 @@ int SatSolver::Propagate() {
         continue;  // Watch moved; drop from this list.
       }
       // Unit or conflict.
-      watch_list[keep++] = ci;
+      watch_list[keep++] = {ci, lits[0]};
       if (Value(lits[0]) == kFalse) {
         // Conflict: restore remaining watches and report.
         for (size_t j = i + 1; j < watch_list.size(); ++j) {
@@ -149,13 +336,34 @@ int SatSolver::Propagate() {
   return -1;
 }
 
-void SatSolver::BumpVar(Var var) {
-  activity_[static_cast<size_t>(var)] += activity_inc_;
-  if (activity_[static_cast<size_t>(var)] > 1e100) {
+void SatSolver::BoostActivity(Var var) {
+  activity_[static_cast<size_t>(var)] = max_activity_ + activity_inc_;
+  max_activity_ = activity_[static_cast<size_t>(var)];
+  if (max_activity_ > 1e100) {
     for (double& a : activity_) {
       a *= 1e-100;
     }
     activity_inc_ *= 1e-100;
+    max_activity_ *= 1e-100;
+  }
+  // No heap fixup: boosts happen between Solve calls, and each call
+  // heapifies its candidate set on entry.
+}
+
+void SatSolver::BumpVar(Var var) {
+  activity_[static_cast<size_t>(var)] += activity_inc_;
+  max_activity_ = std::max(max_activity_, activity_[static_cast<size_t>(var)]);
+  if (activity_[static_cast<size_t>(var)] > 1e100) {
+    // Uniform rescale preserves the heap order; no re-heapify needed.
+    for (double& a : activity_) {
+      a *= 1e-100;
+    }
+    activity_inc_ *= 1e-100;
+    max_activity_ *= 1e-100;
+  }
+  VarOrderHeap& heap = restricted_ ? query_order_ : order_;
+  if (heap.index[static_cast<size_t>(var)] != -1) {
+    HeapSiftUp(heap, static_cast<size_t>(heap.index[static_cast<size_t>(var)]));
   }
 }
 
@@ -224,6 +432,15 @@ void SatSolver::Backtrack(int target_level) {
     const Var var = LitVar(trail_[i]);
     assign_[static_cast<size_t>(var)] = kUndef;
     reason_[static_cast<size_t>(var)] = -1;
+    // Back into the ACTIVE decision pool only; no heap is maintained outside
+    // a Solve call (each call heapifies its candidate set on entry).
+    if (restricted_) {
+      if (decision_stamp_[static_cast<size_t>(var)] == decision_epoch_) {
+        HeapInsert(query_order_, var);
+      }
+    } else if (solving_) {
+      HeapInsert(order_, var);
+    }
   }
   trail_.resize(bound);
   trail_lim_.resize(static_cast<size_t>(target_level));
@@ -231,50 +448,194 @@ void SatSolver::Backtrack(int target_level) {
 }
 
 Lit SatSolver::PickBranchLit() {
-  Var best = -1;
-  double best_activity = -1.0;
-  for (Var v = 0; v < num_vars(); ++v) {
-    if (assign_[static_cast<size_t>(v)] == kUndef && activity_[static_cast<size_t>(v)] >
-                                                         best_activity) {
-      best = v;
-      best_activity = activity_[static_cast<size_t>(v)];
+  // Pop heap entries until an unassigned variable surfaces (entries for
+  // assigned vars are stale; Backtrack re-inserts on unassignment). A
+  // restricted query draws only from its own decision set.
+  VarOrderHeap& heap = restricted_ ? query_order_ : order_;
+  while (!heap.heap.empty()) {
+    const Var best = HeapPopMax(heap);
+    if (assign_[static_cast<size_t>(best)] != kUndef) {
+      continue;
     }
+    // Positive-first polarity by default: callers upstream (the symbolic
+    // executor's solution cache) benefit from models with large variable
+    // values, which stay valid across loop iterations. Activation literals
+    // are marked negative-first via SetPolarity.
+    return MakeLit(best, !polarity_[static_cast<size_t>(best)]);
   }
-  if (best == -1) {
-    return -1;
-  }
-  // Positive-first polarity: callers upstream (the symbolic executor's
-  // solution cache) benefit from models with large variable values, which
-  // stay valid across loop iterations.
-  return MakeLit(best, false);
+  return -1;
 }
 
-SatResult SatSolver::Solve(const std::vector<Lit>& assumptions, uint64_t max_conflicts) {
+void SatSolver::ReduceLearnedDb() {
+  // Must be at root level with propagation at fixpoint.
+  size_t long_total = 0;
+  for (const auto& c : clauses_) {
+    if (c.learnt && c.lits.size() > 3) {
+      ++long_total;
+    }
+  }
+  const size_t drop_budget = long_total / 2;
+  size_t long_seen = 0;
+  std::vector<Clause> kept;
+  kept.reserve(clauses_.size() - drop_budget);
+  num_learnt_ = 0;
+  std::vector<Lit> units;
+  for (auto& c : clauses_) {
+    if (c.learnt && c.lits.size() > 3 && ++long_seen <= drop_budget) {
+      continue;  // Oldest long learned clauses go first.
+    }
+    // Root simplification: drop permanently satisfied clauses, strip
+    // permanently false literals.
+    bool satisfied = false;
+    size_t keep = 0;
+    for (const Lit lit : c.lits) {
+      const int8_t v = Value(lit);
+      if (v == kTrue) {
+        satisfied = true;
+        break;
+      }
+      if (v == kUndef) {
+        c.lits[keep++] = lit;
+      }
+    }
+    if (satisfied) {
+      continue;
+    }
+    c.lits.resize(keep);
+    if (keep == 0) {
+      trivially_unsat_ = true;
+      return;
+    }
+    if (keep == 1) {
+      units.push_back(c.lits[0]);
+      continue;
+    }
+    num_learnt_ += c.learnt ? 1 : 0;
+    kept.push_back(std::move(c));
+  }
+  clauses_ = std::move(kept);
+  for (auto& watch_list : watches_) {
+    watch_list.clear();
+  }
+  for (size_t i = 0; i < clauses_.size(); ++i) {
+    AttachClause(static_cast<int>(i));
+  }
+  // Old clause indices are gone; root-level facts need no reasons (Analyze
+  // never dereferences level-0 reasons).
+  for (const Lit lit : trail_) {
+    reason_[static_cast<size_t>(LitVar(lit))] = -1;
+  }
+  for (const Lit lit : units) {
+    if (Value(lit) == kFalse) {
+      trivially_unsat_ = true;
+      return;
+    }
+    if (Value(lit) == kUndef) {
+      Enqueue(lit, -1);
+    }
+  }
+  if (Propagate() != -1) {
+    trivially_unsat_ = true;
+  }
+}
+
+SatResult SatSolver::Solve(const std::vector<Lit>& assumptions, uint64_t max_conflicts,
+                           const std::vector<Var>* decision_vars) {
   if (trivially_unsat_) {
     return SatResult::kUnsat;
   }
-  Backtrack(0);
+  if (num_learnt_ > learnt_limit_) {
+    Backtrack(0);
+    installed_.clear();
+    if (Propagate() != -1) {
+      trivially_unsat_ = true;
+      return SatResult::kUnsat;
+    }
+    ReduceLearnedDb();
+    learnt_limit_ += learnt_limit_ / 2;
+    if (trivially_unsat_) {
+      return SatResult::kUnsat;
+    }
+  }
+  // Trail reuse: a kSat exit leaves the assumption levels (and their
+  // propagations) installed. Keep the longest prefix shared with this call's
+  // assumptions — across the executor's DFS-ordered queries that skips
+  // re-propagating most of the path condition. AddClause invalidates the
+  // saved prefix (it backtracks to root).
+  size_t lcp = 0;
+  while (lcp < assumptions.size() && lcp < installed_.size() &&
+         installed_[lcp] == assumptions[lcp]) {
+    ++lcp;
+  }
+  if (lcp == assumptions.size() && lcp == installed_.size()) {
+    // Identical assumption set: keep any deeper search levels too and resume
+    // the previous search in place. Model enumeration lands here after
+    // AddBlockingClause's backjump, turning the whole enumeration into one
+    // continuing search rather than a from-scratch solve per model.
+  } else {
+    Backtrack(static_cast<int>(lcp));
+    installed_.resize(lcp);
+  }
   if (Propagate() != -1) {
-    trivially_unsat_ = true;
+    if (trail_lim_.empty()) {
+      trivially_unsat_ = true;
+      return SatResult::kUnsat;
+    }
+    // The kept prefix (a prefix of this call's assumptions) is contradicted.
+    Backtrack(0);
+    installed_.clear();
     return SatResult::kUnsat;
   }
-  // Install assumptions, each on its own decision level.
-  for (const Lit a : assumptions) {
-    if (Value(a) == kTrue) {
-      continue;
-    }
+  // Install the remaining assumptions, each on its own decision level (a
+  // level per assumption keeps levels aligned with assumption indices, which
+  // the prefix-reuse bookkeeping relies on).
+  for (size_t i = lcp; i < assumptions.size(); ++i) {
+    const Lit a = assumptions[i];
     if (Value(a) == kFalse) {
       Backtrack(0);
+      installed_.clear();
       return SatResult::kUnsat;
     }
     trail_lim_.push_back(static_cast<int>(trail_.size()));
-    Enqueue(a, -1);
-    if (Propagate() != -1) {
-      Backtrack(0);
-      return SatResult::kUnsat;
+    installed_.push_back(a);
+    if (Value(a) == kUndef) {
+      Enqueue(a, -1);
+      if (Propagate() != -1) {
+        Backtrack(0);
+        installed_.clear();
+        return SatResult::kUnsat;
+      }
     }
   }
-  const int assumption_level = static_cast<int>(trail_lim_.size());
+  const int assumption_level = static_cast<int>(assumptions.size());
+
+  // Build this call's active decision heap (bottom-up heapify, O(n)). No heap
+  // is kept current between calls: the executor's persistent solver issues
+  // only restricted queries, so eagerly maintaining the full-instance heap on
+  // every enqueue/backtrack was pure overhead.
+  restricted_ = decision_vars != nullptr;
+  if (restricted_) {
+    ++decision_epoch_;
+    std::vector<Var> candidates;
+    candidates.reserve(decision_vars->size());
+    for (const Var v : *decision_vars) {
+      decision_stamp_[static_cast<size_t>(v)] = decision_epoch_;
+      if (assign_[static_cast<size_t>(v)] == kUndef) {
+        candidates.push_back(v);
+      }
+    }
+    HeapBuild(query_order_, std::move(candidates));
+  } else {
+    std::vector<Var> candidates;
+    candidates.reserve(assign_.size());
+    for (Var v = 0; v < num_vars(); ++v) {
+      if (assign_[static_cast<size_t>(v)] == kUndef) {
+        candidates.push_back(v);
+      }
+    }
+    HeapBuild(order_, std::move(candidates));
+  }
+  solving_ = true;
 
   uint64_t conflicts_local = 0;
   uint64_t restart_count = 0;
@@ -286,11 +647,17 @@ SatResult SatSolver::Solve(const std::vector<Lit>& assumptions, uint64_t max_con
       ++stats_conflicts_;
       ++conflicts_local;
       if (static_cast<int>(trail_lim_.size()) <= assumption_level) {
+        solving_ = false;
+        restricted_ = false;
         Backtrack(0);
+        installed_.clear();
         return SatResult::kUnsat;
       }
       if (max_conflicts != 0 && conflicts_local > max_conflicts) {
+        solving_ = false;
+        restricted_ = false;
         Backtrack(0);
+        installed_.clear();
         return SatResult::kUnknown;
       }
       int backtrack_level;
@@ -301,6 +668,7 @@ SatResult SatSolver::Solve(const std::vector<Lit>& assumptions, uint64_t max_con
         Enqueue(learnt[0], -1);
       } else {
         clauses_.push_back({learnt, true});
+        ++num_learnt_;
         AttachClause(static_cast<int>(clauses_.size() - 1));
         Enqueue(learnt[0], static_cast<int>(clauses_.size() - 1));
       }
@@ -314,12 +682,28 @@ SatResult SatSolver::Solve(const std::vector<Lit>& assumptions, uint64_t max_con
     }
     const Lit branch = PickBranchLit();
     if (branch == -1) {
-      // Full assignment: record the model.
-      model_.assign(static_cast<size_t>(num_vars()), false);
-      for (Var v = 0; v < num_vars(); ++v) {
-        model_[static_cast<size_t>(v)] = assign_[static_cast<size_t>(v)] == kTrue;
+      // Full assignment (or, restricted, full over the decision set — the
+      // remainder is extendable, see the header contract): record the model.
+      // The trail stays put so the next call can reuse the installed
+      // assumption prefix.
+      if (restricted_) {
+        // Only the decision set has meaningful values, and restricted
+        // callers only read those — skip the O(num_vars) sweep, which would
+        // dominate on a persistent instance grown across a whole exploration.
+        if (model_.size() < static_cast<size_t>(num_vars())) {
+          model_.resize(static_cast<size_t>(num_vars()), false);
+        }
+        for (const Var v : *decision_vars) {
+          model_[static_cast<size_t>(v)] = assign_[static_cast<size_t>(v)] == kTrue;
+        }
+      } else {
+        model_.assign(static_cast<size_t>(num_vars()), false);
+        for (Var v = 0; v < num_vars(); ++v) {
+          model_[static_cast<size_t>(v)] = assign_[static_cast<size_t>(v)] == kTrue;
+        }
       }
-      Backtrack(0);
+      solving_ = false;
+      restricted_ = false;
       return SatResult::kSat;
     }
     ++stats_decisions_;

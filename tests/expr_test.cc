@@ -3,6 +3,10 @@
 // accounting, and evaluation semantics.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
+#include "src/support/rng.h"
 #include "src/symexec/expr.h"
 
 namespace symx {
@@ -132,6 +136,209 @@ TEST(ExprPool, ToStringIsReadable) {
   const ExprRef x = pool.FreshVar("x");
   const ExprRef expr = pool.Binary(ExprOp::kSlt, x, pool.Const(8));
   EXPECT_EQ(pool.ToString(expr), "(< x 8)");
+}
+
+TEST(Simplifier, IdentityAndAnnihilatorRules) {
+  ExprPool pool(16);
+  const ExprRef x = pool.FreshVar("x");
+  const ExprRef zero = pool.Const(0);
+  const ExprRef one = pool.Const(1);
+  const ExprRef ones = pool.Const(-1);  // All bits set in W bits.
+
+  EXPECT_EQ(pool.Binary(ExprOp::kAdd, x, zero), x);
+  EXPECT_EQ(pool.Binary(ExprOp::kAdd, zero, x), x);
+  EXPECT_EQ(pool.Binary(ExprOp::kSub, x, zero), x);
+  EXPECT_EQ(pool.Binary(ExprOp::kMul, x, one), x);
+  EXPECT_EQ(pool.Binary(ExprOp::kMul, one, x), x);
+  EXPECT_EQ(pool.Binary(ExprOp::kAnd, x, ones), x);
+  EXPECT_EQ(pool.Binary(ExprOp::kAnd, x, x), x);
+  EXPECT_EQ(pool.Binary(ExprOp::kOr, x, zero), x);
+  EXPECT_EQ(pool.Binary(ExprOp::kOr, x, x), x);
+  EXPECT_EQ(pool.Binary(ExprOp::kXor, x, zero), x);
+  EXPECT_EQ(pool.Binary(ExprOp::kShl, x, zero), x);
+  EXPECT_EQ(pool.Binary(ExprOp::kShr, x, zero), x);
+  // Shift amounts act modulo the width, so shifting by W is shifting by 0.
+  EXPECT_EQ(pool.Binary(ExprOp::kShl, x, pool.Const(16)), x);
+
+  const ExprRef mul0 = pool.Binary(ExprOp::kMul, x, zero);
+  EXPECT_EQ(pool.node(mul0).op, ExprOp::kConst);
+  EXPECT_EQ(pool.node(mul0).imm, 0);
+  const ExprRef and0 = pool.Binary(ExprOp::kAnd, zero, x);
+  EXPECT_EQ(pool.node(and0).imm, 0);
+  const ExprRef or1 = pool.Binary(ExprOp::kOr, x, ones);
+  EXPECT_EQ(pool.node(or1).op, ExprOp::kConst);
+  EXPECT_EQ(pool.node(or1).imm, pool.SignExtend(pool.Mask()));
+  const ExprRef xx = pool.Binary(ExprOp::kXor, x, x);
+  EXPECT_EQ(pool.node(xx).imm, 0);
+  const ExprRef sub = pool.Binary(ExprOp::kSub, x, x);
+  EXPECT_EQ(pool.node(sub).imm, 0);
+  const ExprRef shl_of_zero = pool.Binary(ExprOp::kShl, zero, x);
+  EXPECT_EQ(pool.node(shl_of_zero).imm, 0);
+}
+
+TEST(Simplifier, SelfComparisonsFoldToBooleans) {
+  ExprPool pool(16);
+  const ExprRef x = pool.FreshVar("x");
+  const ExprRef e = pool.Binary(ExprOp::kAdd, x, pool.Const(3));
+  EXPECT_EQ(pool.node(pool.Binary(ExprOp::kEq, e, e)).imm, 1);
+  EXPECT_EQ(pool.node(pool.Binary(ExprOp::kSle, e, e)).imm, 1);
+  EXPECT_EQ(pool.node(pool.Binary(ExprOp::kNe, e, e)).imm, 0);
+  EXPECT_EQ(pool.node(pool.Binary(ExprOp::kSlt, e, e)).imm, 0);
+}
+
+TEST(Simplifier, DoubleNegationAndComplement) {
+  ExprPool pool(16);
+  const ExprRef x = pool.FreshVar("x");
+  EXPECT_EQ(pool.Unary(ExprOp::kNeg, pool.Unary(ExprOp::kNeg, x)), x);
+  EXPECT_EQ(pool.Unary(ExprOp::kNot, pool.Unary(ExprOp::kNot, x)), x);
+}
+
+TEST(Simplifier, BoolNotRewritesToDualComparison) {
+  ExprPool pool(16);
+  const ExprRef x = pool.FreshVar("x");
+  const ExprRef y = pool.FreshVar("y");
+  const ExprRef eq = pool.Binary(ExprOp::kEq, x, y);
+  const ExprRef ne = pool.Binary(ExprOp::kNe, x, y);
+  const ExprRef lt = pool.Binary(ExprOp::kSlt, x, y);
+  const ExprRef ge = pool.Binary(ExprOp::kSle, y, x);
+  EXPECT_EQ(pool.Unary(ExprOp::kBoolNot, eq), ne);
+  EXPECT_EQ(pool.Unary(ExprOp::kBoolNot, ne), eq);
+  EXPECT_EQ(pool.Unary(ExprOp::kBoolNot, lt), ge);
+  EXPECT_EQ(pool.Unary(ExprOp::kBoolNot, ge), lt);
+  // !!x is x != 0 (a truthy 0/1 value), not x itself.
+  const ExprRef not_not =
+      pool.Unary(ExprOp::kBoolNot, pool.Unary(ExprOp::kBoolNot, x));
+  EXPECT_EQ(not_not, pool.Binary(ExprOp::kNe, x, pool.Const(0)));
+}
+
+TEST(Simplifier, IteRules) {
+  ExprPool pool(16);
+  const ExprRef x = pool.FreshVar("x");
+  const ExprRef y = pool.FreshVar("y");
+  const ExprRef cond = pool.Binary(ExprOp::kSlt, x, y);
+  EXPECT_EQ(pool.Ite(pool.Const(1), x, y), x);
+  EXPECT_EQ(pool.Ite(pool.Const(0), x, y), y);
+  EXPECT_EQ(pool.Ite(cond, x, x), x);
+}
+
+TEST(Simplifier, FoldCounterAdvancesOnRewrites) {
+  ExprPool pool(16);
+  const ExprRef x = pool.FreshVar("x");
+  const uint64_t before = pool.simplifier_folds();
+  pool.Binary(ExprOp::kAdd, x, pool.Const(0));
+  pool.Binary(ExprOp::kXor, x, x);
+  pool.Binary(ExprOp::kAdd, pool.Const(2), pool.Const(3));
+  EXPECT_GE(pool.simplifier_folds(), before + 3);
+  // A construction that cannot simplify leaves the counter alone.
+  const uint64_t mid = pool.simplifier_folds();
+  pool.Binary(ExprOp::kAdd, x, pool.FreshVar("y"));
+  EXPECT_EQ(pool.simplifier_folds(), mid);
+}
+
+// Reference semantics for one operator application, mirroring Eval's
+// two's-complement W-bit behaviour. The property test below checks that
+// whatever the simplifying builders return evaluates identically.
+int64_t RefOp(const ExprPool& pool, ExprOp op, int64_t a, int64_t b, int64_t c) {
+  const auto ua = static_cast<uint64_t>(a);
+  const auto ub = static_cast<uint64_t>(b);
+  const uint64_t wmask = static_cast<uint64_t>(pool.width()) - 1;
+  switch (op) {
+    case ExprOp::kAdd:
+      return pool.SignExtend(ua + ub);
+    case ExprOp::kSub:
+      return pool.SignExtend(ua - ub);
+    case ExprOp::kMul:
+      return pool.SignExtend(ua * ub);
+    case ExprOp::kNeg:
+      return pool.SignExtend(0 - ua);
+    case ExprOp::kNot:
+      return pool.SignExtend(~ua);
+    case ExprOp::kAnd:
+      return pool.SignExtend(ua & ub);
+    case ExprOp::kOr:
+      return pool.SignExtend(ua | ub);
+    case ExprOp::kXor:
+      return pool.SignExtend(ua ^ ub);
+    case ExprOp::kShl:
+      return pool.SignExtend((ua & pool.Mask()) << (ub & wmask));
+    case ExprOp::kShr:
+      return pool.SignExtend((ua & pool.Mask()) >> (ub & wmask));
+    case ExprOp::kEq:
+      return a == b ? 1 : 0;
+    case ExprOp::kNe:
+      return a != b ? 1 : 0;
+    case ExprOp::kSlt:
+      return a < b ? 1 : 0;
+    case ExprOp::kSle:
+      return a <= b ? 1 : 0;
+    case ExprOp::kBoolNot:
+      return a == 0 ? 1 : 0;
+    case ExprOp::kIte:
+      return a != 0 ? b : c;
+    default:
+      ADD_FAILURE() << "unexpected op";
+      return 0;
+  }
+}
+
+// Property test: for every operator, applying the simplifying builder to
+// randomly chosen operands (variables, rewrite-triggering constants, and
+// previously built subexpressions) yields an expression that evaluates
+// exactly like the reference semantics applied to the operands' values,
+// across ~1k random assignments per operator.
+TEST(Simplifier, BuildersPreserveEvaluationSemantics) {
+  constexpr ExprOp kUnaryOps[] = {ExprOp::kNeg, ExprOp::kNot, ExprOp::kBoolNot};
+  constexpr ExprOp kBinaryOps[] = {ExprOp::kAdd, ExprOp::kSub, ExprOp::kMul,
+                                   ExprOp::kAnd, ExprOp::kOr,  ExprOp::kXor,
+                                   ExprOp::kShl, ExprOp::kShr, ExprOp::kEq,
+                                   ExprOp::kNe,  ExprOp::kSlt, ExprOp::kSle};
+  constexpr int kCombos = 16;
+  constexpr int kAssignments = 64;  // 16 * 64 = 1024 evals per operator.
+  for (const int width : {8, 16}) {
+    ExprPool pool(width);
+    support::Rng rng(0xC0FFEE ^ static_cast<uint64_t>(width));
+    std::vector<ExprRef> operands = {pool.FreshVar("x"), pool.FreshVar("y"),
+                                     pool.Const(0),      pool.Const(1),
+                                     pool.Const(-1),     pool.Const(width)};
+    const int num_vars = pool.num_vars();
+    auto pick = [&]() {
+      return operands[static_cast<size_t>(rng.NextBelow(operands.size()))];
+    };
+    auto check = [&](ExprOp op, ExprRef a, ExprRef b, ExprRef c, ExprRef built) {
+      std::vector<int64_t> values(static_cast<size_t>(num_vars), 0);
+      for (int t = 0; t < kAssignments; ++t) {
+        for (auto& v : values) {
+          v = pool.SignExtend(rng.NextU64());
+        }
+        const int64_t ref =
+            RefOp(pool, op, pool.Eval(a, values), b == kNoExpr ? 0 : pool.Eval(b, values),
+                  c == kNoExpr ? 0 : pool.Eval(c, values));
+        ASSERT_EQ(pool.Eval(built, values), ref)
+            << "op=" << static_cast<int>(op) << " width=" << width
+            << " expr=" << pool.ToString(built);
+      }
+      operands.push_back(built);  // Feed composites back into the operand pool.
+    };
+    for (const ExprOp op : kUnaryOps) {
+      for (int i = 0; i < kCombos; ++i) {
+        const ExprRef a = pick();
+        check(op, a, kNoExpr, kNoExpr, pool.Unary(op, a));
+      }
+    }
+    for (const ExprOp op : kBinaryOps) {
+      for (int i = 0; i < kCombos; ++i) {
+        const ExprRef a = pick();
+        const ExprRef b = pick();
+        check(op, a, b, kNoExpr, pool.Binary(op, a, b));
+      }
+    }
+    for (int i = 0; i < kCombos; ++i) {
+      const ExprRef a = pick();
+      const ExprRef b = pick();
+      const ExprRef c = pick();
+      check(ExprOp::kIte, a, b, c, pool.Ite(a, b, c));
+    }
+  }
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include "src/lang/interp.h"
 #include "src/lang/parser.h"
 #include "src/support/rng.h"
+#include "src/support/thread_pool.h"
 #include "src/symexec/bitblast.h"
 #include "src/symexec/counter.h"
 #include "src/symexec/executor.h"
@@ -450,6 +451,208 @@ TEST(Executor, SolverQueryBudgetDegradesGracefully) {
   // Budget exhaustion must not prevent termination.
   EXPECT_GT(result.paths_explored, 0u);
   EXPECT_LE(result.solver_queries, 4u + 4u);  // Feasibility plus counting slack.
+}
+
+// --- Incremental solving equivalence -----------------------------------------
+
+TEST(Sat, IncrementalSolvesMatchFreshOracle) {
+  // A persistent solver under interleaved clause additions, assumption
+  // queries (with and without decision restriction, with repeated assumption
+  // sets to exercise trail reuse), and model blocking must agree with a
+  // fresh solver rebuilt from scratch for every query.
+  support::Rng rng(0xD1CE);
+  constexpr int kNumVars = 8;
+  for (int iter = 0; iter < 40; ++iter) {
+    SatSolver inc;
+    std::vector<Var> all_vars;
+    for (int v = 0; v < kNumVars; ++v) {
+      all_vars.push_back(inc.NewVar());
+    }
+    std::vector<std::vector<Lit>> clauses;
+    const auto oracle_sat = [&](const std::vector<Lit>& assumptions) {
+      SatSolver fresh;
+      for (int v = 0; v < kNumVars; ++v) {
+        fresh.NewVar();
+      }
+      for (const auto& clause : clauses) {
+        fresh.AddClause(clause);
+      }
+      for (const Lit a : assumptions) {
+        fresh.AddUnit(a);
+      }
+      return fresh.Solve() == SatResult::kSat;
+    };
+    const auto model_satisfies = [&](const std::vector<Lit>& assumptions) {
+      for (const Lit a : assumptions) {
+        if (inc.ModelValue(LitVar(a)) == LitNegated(a)) {
+          return false;
+        }
+      }
+      for (const auto& clause : clauses) {
+        bool any = false;
+        for (const Lit lit : clause) {
+          if (inc.ModelValue(LitVar(lit)) != LitNegated(lit)) {
+            any = true;
+            break;
+          }
+        }
+        if (!any) {
+          return false;
+        }
+      }
+      return true;
+    };
+    std::vector<Lit> prev_assumptions;
+    for (int round = 0; round < 10; ++round) {
+      const int new_clauses = static_cast<int>(rng.NextBelow(3));
+      for (int c = 0; c < new_clauses; ++c) {
+        std::vector<Lit> clause;
+        const int len = 1 + static_cast<int>(rng.NextBelow(3));
+        for (int k = 0; k < len; ++k) {
+          clause.push_back(
+              MakeLit(static_cast<Var>(rng.NextBelow(kNumVars)), rng.NextBool()));
+        }
+        clauses.push_back(clause);
+        inc.AddClause(clause);
+      }
+      std::vector<Lit> assumptions;
+      if (round % 3 == 2) {
+        assumptions = prev_assumptions;  // Repeat: hits the trail-reuse path.
+      } else {
+        for (int v = 0; v < kNumVars; ++v) {
+          if (rng.NextBelow(4) == 0) {
+            assumptions.push_back(MakeLit(static_cast<Var>(v), rng.NextBool()));
+          }
+        }
+      }
+      prev_assumptions = assumptions;
+      // Restricting decisions to ALL variables is always sound and drives
+      // the restricted-query machinery (per-call heap, epoch stamps).
+      const bool restricted = rng.NextBool();
+      const SatResult got = inc.Solve(assumptions, 0, restricted ? &all_vars : nullptr);
+      ASSERT_NE(got, SatResult::kUnknown);
+      ASSERT_EQ(got == SatResult::kSat, oracle_sat(assumptions))
+          << "iter " << iter << " round " << round;
+      if (got == SatResult::kSat) {
+        ASSERT_TRUE(model_satisfies(assumptions)) << "iter " << iter;
+        if (rng.NextBool()) {
+          // Block the model (enumeration style) and re-query under the same
+          // assumptions: exercises the backjump + resumed-search path.
+          std::vector<Lit> blocking;
+          for (const Var v : all_vars) {
+            blocking.push_back(MakeLit(v, inc.ModelValue(v)));
+          }
+          inc.AddBlockingClause(blocking);
+          clauses.push_back(std::move(blocking));
+          const SatResult after =
+              inc.Solve(assumptions, 0, restricted ? &all_vars : nullptr);
+          ASSERT_EQ(after == SatResult::kSat, oracle_sat(assumptions))
+              << "iter " << iter << " round " << round << " after blocking";
+          if (after == SatResult::kSat) {
+            ASSERT_TRUE(model_satisfies(assumptions)) << "iter " << iter;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Executor, IncrementalAndOneShotModesAgree) {
+  // The incremental solver is the default; the one-shot oracle must produce
+  // bit-identical exploration results on a corpus covering branching, vulns,
+  // loops, symbolic arrays, and interprocedural flows.
+  const char* kPrograms[] = {
+      // Diamond branching.
+      R"(int main() {
+           int r = 0;
+           int a = input(); if (a > 0) { r += 1; }
+           int b = input(); if (b > 0) { r += 2; }
+           int c = input(); if (c > 0) { r += 4; }
+           return r;
+         })",
+      // Guarded and unguarded out-of-bounds.
+      R"(int main() {
+           int buf[8];
+           int i = input();
+           if (i >= 0 && i < 10) { buf[i] = 1; }
+           return buf[0];
+         })",
+      // Division by zero behind a branch.
+      R"(int main() {
+           int d = input();
+           int r = 0;
+           if (d != 1) { r = 100 / d; }
+           return r;
+         })",
+      // Loop with symbolic bound.
+      R"(int main() {
+           int n = input();
+           int s = 0;
+           for (int i = 0; i < n && i < 5; ++i) { s += i; }
+           return s;
+         })",
+      // Symbolic array index read.
+      R"(int main() {
+           int t[4];
+           t[0] = 10; t[1] = 20; t[2] = 30; t[3] = 40;
+           int i = input();
+           if (i >= 0 && i < 4) { return t[i]; }
+           return 0;
+         })",
+      // Interprocedural vulnerability.
+      R"(int poke(int i) { int b[4]; b[i] = 7; return b[0]; }
+         int main() {
+           int x = input();
+           if (x > 2) { return poke(x); }
+           return 0;
+         })",
+  };
+  for (const char* source : kPrograms) {
+    const auto module = MustLower(source);
+    SymExecOptions options;
+    options.max_paths = 256;
+    options.max_solver_queries = 1 << 16;  // Generous: no budget divergence.
+    options.incremental_solver = true;
+    const SymExecResult inc = Explore(module, "main", options);
+    options.incremental_solver = false;
+    const SymExecResult oneshot = Explore(module, "main", options);
+    EXPECT_EQ(inc.paths_explored, oneshot.paths_explored) << source;
+    EXPECT_EQ(inc.paths_completed, oneshot.paths_completed) << source;
+    EXPECT_EQ(inc.paths_aborted, oneshot.paths_aborted) << source;
+    EXPECT_EQ(inc.paths_faulted, oneshot.paths_faulted) << source;
+    EXPECT_EQ(inc.paths_infeasible_assume, oneshot.paths_infeasible_assume) << source;
+    EXPECT_EQ(inc.forks, oneshot.forks) << source;
+    ASSERT_EQ(inc.vulns.size(), oneshot.vulns.size()) << source;
+    for (size_t i = 0; i < inc.vulns.size(); ++i) {
+      EXPECT_EQ(inc.vulns[i].kind, oneshot.vulns[i].kind) << source;
+      EXPECT_EQ(inc.vulns[i].function, oneshot.vulns[i].function) << source;
+      EXPECT_EQ(inc.vulns[i].line, oneshot.vulns[i].line) << source;
+      EXPECT_EQ(inc.vulns[i].paths, oneshot.vulns[i].paths) << source;
+      EXPECT_EQ(inc.vulns[i].exploit_fraction, oneshot.vulns[i].exploit_fraction)
+          << source;
+    }
+    // Solver-query counts are NOT compared: the modes may find different
+    // models, so cache-hit patterns (and therefore query counts) can differ
+    // while every exploration-visible result stays identical.
+  }
+}
+
+TEST(Executor, SymexFeaturesAreThreadCountInvariant) {
+  const auto module = MustLower(R"(
+    int helper(int v) { int b[4]; if (v < 6) { b[v] = 1; } return b[0]; }
+    int main() {
+      int x = input();
+      int r = 0;
+      if (x > 0) { r = helper(x); }
+      return r;
+    }
+  )");
+  support::ThreadPool::SetGlobalThreads(1);
+  const metrics::FeatureVector serial = SymexFeatures(module);
+  support::ThreadPool::SetGlobalThreads(4);
+  const metrics::FeatureVector parallel = SymexFeatures(module);
+  support::ThreadPool::SetGlobalThreads(0);  // Restore the default.
+  EXPECT_EQ(serial.ToString(), parallel.ToString());
 }
 
 }  // namespace
