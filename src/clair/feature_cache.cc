@@ -1,5 +1,9 @@
 #include "src/clair/feature_cache.h"
 
+#include <cstring>
+
+#include "src/support/fault_injection.h"
+
 namespace clair {
 
 uint64_t Fnv1a64(std::string_view bytes, uint64_t seed) {
@@ -25,14 +29,36 @@ uint64_t HashSourceFiles(const std::vector<metrics::SourceFile>& files,
   return hash;
 }
 
+uint64_t ChecksumFeatures(const metrics::FeatureVector& features) {
+  uint64_t hash = Fnv1a64("clair.feature_cache.row.v1");
+  for (const auto& [name, value] : features.values()) {
+    hash = Fnv1a64(name, hash);
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    hash = (hash ^ bits) * 0x100000001b3ULL;
+  }
+  return hash;
+}
+
 bool FeatureCache::Lookup(uint64_t key, metrics::FeatureVector* out) const {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
-      *out = it->second;
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      return true;
+      // Integrity guard: a row that no longer matches its insert-time
+      // checksum (bit rot, a bug elsewhere scribbling on the map, or an
+      // injected cache fault simulating either) must not be served — the
+      // caller recomputes instead of training on a corrupt row.
+      const bool injected = support::FaultInjector::Global().ShouldFail(
+          support::FaultSite::kCache, key);
+      if (!injected && ChecksumFeatures(it->second.features) == it->second.checksum) {
+        *out = it->second.features;
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      entries_.erase(it);
+      integrity_rejects_.fetch_add(1, std::memory_order_relaxed);
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
@@ -44,13 +70,14 @@ void FeatureCache::Insert(uint64_t key, const metrics::FeatureVector& features) 
   if (entries_.size() >= max_entries_ && entries_.find(key) == entries_.end()) {
     return;
   }
-  entries_[key] = features;
+  entries_[key] = Entry{features, ChecksumFeatures(features)};
 }
 
 FeatureCacheStats FeatureCache::stats() const {
   FeatureCacheStats stats;
   stats.hits = hits_.load(std::memory_order_relaxed);
   stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.integrity_rejects = integrity_rejects_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stats.entries = entries_.size();
@@ -63,6 +90,18 @@ void FeatureCache::Clear() {
   entries_.clear();
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
+  integrity_rejects_.store(0, std::memory_order_relaxed);
+}
+
+bool FeatureCache::CorruptEntryForTest(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return false;
+  }
+  it->second.features.Set("corrupted.by.test",
+                          it->second.features.Get("corrupted.by.test") + 1.0);
+  return true;
 }
 
 }  // namespace clair

@@ -32,10 +32,18 @@ uint64_t Fnv1a64(std::string_view bytes, uint64_t seed = 0xcbf29ce484222325ULL);
 uint64_t HashSourceFiles(const std::vector<metrics::SourceFile>& files,
                          uint64_t options_fingerprint);
 
+// Row checksum used by the integrity guard: a digest of every (name, value)
+// pair, stored beside the row at insert time and re-verified on lookup.
+uint64_t ChecksumFeatures(const metrics::FeatureVector& features);
+
 struct FeatureCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t entries = 0;
+  // Cached rows rejected by the lookup-time integrity guard (checksum
+  // mismatch or an injected cache fault); each reject is also a miss, so the
+  // caller transparently recomputed the row.
+  uint64_t integrity_rejects = 0;
 
   double HitRate() const {
     const uint64_t total = hits + misses;
@@ -49,7 +57,10 @@ class FeatureCache {
   // corpus working set is far smaller, so eviction machinery isn't worth it).
   explicit FeatureCache(size_t max_entries = 1 << 16) : max_entries_(max_entries) {}
 
-  // Returns true and fills `out` on a hit; counts the miss otherwise.
+  // Returns true and fills `out` on a valid hit. A stored row that fails the
+  // integrity check is evicted and counted as integrity_rejects + a miss, so
+  // the caller falls back to recomputation instead of consuming a corrupt
+  // row. Counts a plain miss otherwise.
   bool Lookup(uint64_t key, metrics::FeatureVector* out) const;
 
   void Insert(uint64_t key, const metrics::FeatureVector& features);
@@ -58,12 +69,23 @@ class FeatureCache {
 
   void Clear();
 
+  // Test scaffolding: silently mutates the stored row (leaving its checksum
+  // stale) so tests can prove the integrity guard fires. Returns false when
+  // the key is absent.
+  bool CorruptEntryForTest(uint64_t key);
+
  private:
+  struct Entry {
+    metrics::FeatureVector features;
+    uint64_t checksum = 0;
+  };
+
   size_t max_entries_;
   mutable std::mutex mutex_;
-  std::unordered_map<uint64_t, metrics::FeatureVector> entries_;
+  mutable std::unordered_map<uint64_t, Entry> entries_;
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};
+  mutable std::atomic<uint64_t> integrity_rejects_{0};
 };
 
 }  // namespace clair

@@ -78,6 +78,7 @@ TrainingPipeline::TrainingPipeline(std::vector<AppRecord> records, PipelineOptio
   }
   feature_names_.assign(names.begin(), names.end());
   stats_ = ComputeCorpusStats(summaries);
+  robustness_ = SummarizeRecordRobustness(records_);
 }
 
 ml::Dataset TrainingPipeline::BuildDataset(const Hypothesis& hypothesis) const {

@@ -82,6 +82,11 @@ class TrainingPipeline {
   const std::vector<std::string>& feature_names() const { return feature_names_; }
   const CorpusStats& corpus_stats() const { return stats_; }
 
+  // Robustness audit folded from the rows' `robust.*` provenance features:
+  // how many stages degraded or retried while extracting this training set
+  // (survives serialization and the feature cache — see run_report.h).
+  const RunReport& robustness() const { return robustness_; }
+
   // Builds the per-hypothesis dataset (raw, untransformed).
   ml::Dataset BuildDataset(const Hypothesis& hypothesis) const;
 
@@ -118,6 +123,7 @@ class TrainingPipeline {
   PipelineOptions options_;
   std::vector<std::string> feature_names_;
   CorpusStats stats_;
+  RunReport robustness_;
 };
 
 }  // namespace clair

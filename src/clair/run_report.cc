@@ -1,0 +1,76 @@
+#include "src/clair/run_report.h"
+
+#include "src/clair/testbed.h"
+#include "src/support/strings.h"
+
+namespace clair {
+
+uint64_t RunReport::TotalFailures() const {
+  uint64_t total = 0;
+  for (const auto& [name, stage] : stages) {
+    total += stage.failures;
+  }
+  return total;
+}
+
+uint64_t RunReport::TotalDegraded() const {
+  uint64_t total = 0;
+  for (const auto& [name, stage] : stages) {
+    total += stage.degraded;
+  }
+  return total;
+}
+
+std::string RunReport::ToString() const {
+  std::string out =
+      "stage       attempts  failures  injected  timeouts  retries  "
+      "recovered  degraded    wall_s\n";
+  for (const auto& [name, s] : stages) {
+    out += support::Format(
+        "%-10s %9llu %9llu %9llu %9llu %8llu %10llu %9llu %9.3f\n", name.c_str(),
+        static_cast<unsigned long long>(s.attempts),
+        static_cast<unsigned long long>(s.failures),
+        static_cast<unsigned long long>(s.injected),
+        static_cast<unsigned long long>(s.timeouts),
+        static_cast<unsigned long long>(s.retries),
+        static_cast<unsigned long long>(s.recovered),
+        static_cast<unsigned long long>(s.degraded), s.wall_seconds);
+  }
+  out += support::Format(
+      "apps=%llu resumed_from_checkpoint=%llu checkpoint_appends=%llu "
+      "rows_from_cache=%llu cache_integrity_rejects=%llu\n",
+      static_cast<unsigned long long>(apps_total),
+      static_cast<unsigned long long>(apps_from_checkpoint),
+      static_cast<unsigned long long>(checkpoint_appends),
+      static_cast<unsigned long long>(rows_from_cache),
+      static_cast<unsigned long long>(cache_integrity_rejects));
+  return out;
+}
+
+RunReport SummarizeRecordRobustness(const std::vector<AppRecord>& records) {
+  RunReport report;
+  report.apps_total = records.size();
+  for (const auto& record : records) {
+    for (const auto& [name, value] : record.features.WithPrefix("robust.")) {
+      // Keys look like "robust.<stage>_<counter>".
+      const std::string tail = name.substr(7);
+      const size_t sep = tail.rfind('_');
+      if (sep == std::string::npos) {
+        continue;
+      }
+      StageReport& stage = report.stages[tail.substr(0, sep)];
+      const std::string counter = tail.substr(sep + 1);
+      const auto count = static_cast<uint64_t>(value);
+      if (counter == "failures") {
+        stage.failures += count;
+      } else if (counter == "degraded") {
+        stage.degraded += count;
+      } else if (counter == "retries") {
+        stage.retries += count;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace clair

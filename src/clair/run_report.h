@@ -1,0 +1,64 @@
+// Failure taxonomy for a corpus sweep.
+//
+// The robustness layer never lets a stage failure abort an app row — it
+// downgrades the stage and records what happened. RunReport is where those
+// events become auditable: per-stage attempt/failure/injected/timeout/retry/
+// degraded counts plus wall-clock, and sweep-level counters (checkpoint
+// resumes, cache provenance). LEOPARD-style prediction quality arguments
+// hinge on knowing how complete corpus coverage actually was; this report
+// is that accounting.
+//
+// Two sources:
+//   - Testbed::run_report()   — live counters from the current process
+//     (includes attempts and wall-clock);
+//   - SummarizeRecordRobustness(records) — folded from the rows'
+//     `robust.*` provenance features, which survive serialization and the
+//     feature cache, so a training run can audit rows it did not extract.
+#ifndef SRC_CLAIR_RUN_REPORT_H_
+#define SRC_CLAIR_RUN_REPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace clair {
+
+struct AppRecord;
+
+struct StageReport {
+  uint64_t attempts = 0;   // Stage invocations, retries included.
+  uint64_t failures = 0;   // Failed attempts, any cause.
+  uint64_t injected = 0;   // ... of which were injected faults.
+  uint64_t timeouts = 0;   // ... of which were watchdog expiries.
+  uint64_t retries = 0;    // Re-attempts issued after a failure.
+  uint64_t recovered = 0;  // Stages that succeeded on a retry.
+  uint64_t degraded = 0;   // Stages downgraded to neutral features.
+  double wall_seconds = 0.0;
+};
+
+struct RunReport {
+  // Keyed by stage name ("parse", "lower", "dataflow", "intervals",
+  // "symexec", "dynamic"); sorted, deterministic iteration.
+  std::map<std::string, StageReport> stages;
+  uint64_t apps_total = 0;            // Rows the sweep was asked for.
+  uint64_t apps_from_checkpoint = 0;  // Rows resumed, not recomputed.
+  uint64_t rows_from_cache = 0;       // Rows served by the feature cache.
+  uint64_t checkpoint_appends = 0;    // Rows streamed to the checkpoint.
+  uint64_t cache_integrity_rejects = 0;
+
+  uint64_t TotalFailures() const;
+  uint64_t TotalDegraded() const;
+
+  // Human-readable table (one line per stage plus sweep totals).
+  std::string ToString() const;
+};
+
+// Folds the rows' `robust.<stage>_{failures,degraded,retries}` provenance
+// counters into a report. Attempt counts and wall-clock are only known to
+// the extracting process, so those fields stay zero here.
+RunReport SummarizeRecordRobustness(const std::vector<AppRecord>& records);
+
+}  // namespace clair
+
+#endif  // SRC_CLAIR_RUN_REPORT_H_

@@ -1,5 +1,7 @@
 #include "src/clair/serialize.h"
 
+#include <cstdlib>
+
 #include "src/support/strings.h"
 
 namespace clair {
@@ -126,6 +128,70 @@ support::Result<std::vector<AppRecord>> LoadRecords(std::string_view text) {
       return Error(Error::Code::kParseError,
                    support::Format("line %d: bad value for '%s'", line_no, key.c_str()));
     }
+  }
+  return records;
+}
+
+std::string SaveCheckpointRecord(const AppRecord& record) {
+  const std::string block = SaveRecords({record});
+  return block + support::Format(
+                     "crc=%016llx\n",
+                     static_cast<unsigned long long>(Fnv1a64(block)));
+}
+
+std::vector<AppRecord> LoadCheckpoint(std::string_view text,
+                                      CheckpointLoadStats* stats) {
+  CheckpointLoadStats local;
+  std::vector<AppRecord> records;
+  std::string block;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t eol = text.find('\n', pos);
+    // A line without a terminating newline is a mid-write truncation: the
+    // block it belongs to is incomplete by definition, so stop here.
+    if (eol == std::string_view::npos) {
+      block += text.substr(pos);
+      pos = text.size();
+      break;
+    }
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (support::StartsWith(line, "crc=")) {
+      const std::string digits(line.substr(4));
+      char* end = nullptr;
+      const unsigned long long crc = std::strtoull(digits.c_str(), &end, 16);
+      const bool crc_ok = end != nullptr && *end == '\0' && !digits.empty() &&
+                          crc == Fnv1a64(block);
+      bool parsed_ok = false;
+      if (crc_ok) {
+        auto parsed = LoadRecords(block);
+        if (parsed.ok() && parsed.value().size() == 1) {
+          records.push_back(std::move(parsed.value().front()));
+          ++local.complete_records;
+          parsed_ok = true;
+        }
+      }
+      if (!parsed_ok) {
+        ++local.dropped_blocks;
+      }
+      block.clear();
+    } else {
+      // "[app]" starts a new block; pending lines without a crc are an
+      // orphaned partial write (e.g. a kill mid-line followed by appends
+      // from the resumed sweep) — drop them, keep the new block intact.
+      if (line == "[app]" && !block.empty()) {
+        ++local.dropped_blocks;
+        block.clear();
+      }
+      block += line;
+      block += '\n';
+    }
+  }
+  if (!block.empty()) {
+    ++local.dropped_blocks;  // Truncated tail without its crc line.
+  }
+  if (stats != nullptr) {
+    *stats = local;
   }
   return records;
 }

@@ -31,6 +31,29 @@ std::string SaveRecords(const std::vector<AppRecord>& records);
 
 support::Result<std::vector<AppRecord>> LoadRecords(std::string_view text);
 
+// --- Checkpointed collection (Testbed::Collect streaming) ---
+//
+// A checkpoint file is a sequence of blocks, each an [app] section in the
+// SaveRecords format followed by one `crc=<16 hex digits>` integrity line
+// digesting the section text. The crc line is written last, so a sweep
+// killed mid-write leaves at most one truncated block, which the tolerant
+// loader below drops (that app is simply recomputed on resume). Records
+// round-trip bit-identically: doubles are saved with %.17g.
+
+// One record as a checkpoint block (section + crc line).
+std::string SaveCheckpointRecord(const AppRecord& record);
+
+struct CheckpointLoadStats {
+  size_t complete_records = 0;
+  size_t dropped_blocks = 0;  // Truncated tail, crc mismatch, or bad section.
+};
+
+// Tolerant reader: returns every block whose crc verifies and whose section
+// parses, silently dropping the rest. Never fails — an unreadable
+// checkpoint degrades to an empty resume set.
+std::vector<AppRecord> LoadCheckpoint(std::string_view text,
+                                      CheckpointLoadStats* stats = nullptr);
+
 }  // namespace clair
 
 #endif  // SRC_CLAIR_SERIALIZE_H_

@@ -1,7 +1,14 @@
 #include "src/clair/testbed.h"
 
+#include <chrono>
+#include <fstream>
 #include <memory>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
 
+#include "src/clair/serialize.h"
 #include "src/dataflow/analyses.h"
 #include "src/dataflow/intervals.h"
 #include "src/lang/interp.h"
@@ -15,9 +22,12 @@ namespace clair {
 namespace {
 
 // §5.3's dynamic-trace extension: execute the module's call-graph roots on
-// random inputs and summarise runtime behaviour.
+// random inputs and summarise runtime behaviour. `deadline` (not owned) is
+// threaded into the interpreter, which halts a trial gracefully on expiry;
+// the expiry is then re-raised here so the stage wrapper records a timeout
+// instead of caching a partially-sampled row.
 metrics::FeatureVector DynamicFeatures(const lang::IrModule& module, int trials,
-                                       uint64_t seed) {
+                                       uint64_t seed, support::Deadline* deadline) {
   metrics::FeatureVector fv;
   const metrics::CallGraph graph(module);
   std::vector<std::string> entries;
@@ -38,6 +48,7 @@ metrics::FeatureVector DynamicFeatures(const lang::IrModule& module, int trials,
   long long sink_events = 0;
   lang::InterpOptions interp_options;
   interp_options.max_steps = 1 << 14;
+  interp_options.deadline = deadline;
   for (const auto& entry : entries) {
     for (int t = 0; t < trials; ++t) {
       std::vector<int64_t> inputs;
@@ -48,6 +59,9 @@ metrics::FeatureVector DynamicFeatures(const lang::IrModule& module, int trials,
       }
       const auto trace =
           lang::Execute(module, entry, {0, 1, 2, 3}, std::move(inputs), interp_options);
+      if (deadline != nullptr) {
+        deadline->ThrowIfExpired("dynamic");
+      }
       ++runs;
       steps += static_cast<long long>(trace.steps);
       branches += static_cast<long long>(trace.branches);
@@ -77,15 +91,113 @@ metrics::FeatureVector DynamicFeatures(const lang::IrModule& module, int trials,
 Testbed::Testbed(const corpus::EcosystemGenerator& ecosystem, TestbedOptions options)
     : ecosystem_(ecosystem), options_(options) {}
 
+const char* Testbed::StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kParse:
+      return "parse";
+    case Stage::kLower:
+      return "lower";
+    case Stage::kDataflow:
+      return "dataflow";
+    case Stage::kIntervals:
+      return "intervals";
+    case Stage::kSymexec:
+      return "symexec";
+    case Stage::kDynamic:
+      return "dynamic";
+    case Stage::kStageCount:
+      break;
+  }
+  return "?";
+}
+
+// Retry-and-degrade wrapper around one deep-analysis stage. Failure modes
+// are normalised here: an Error result, an InjectedFault, a watchdog
+// DeadlineExceeded, and any other std::exception all count a failed
+// attempt. Each retry runs under the next ScopedAttempt salt, so injected
+// verdicts re-roll (transient faults recover; rate-1.0 faults fail every
+// attempt and degrade). Provenance is stamped into the row as sparse
+// `robust.*` features — absent on clean rows, so fault-free output is
+// byte-identical to a build without this layer.
+template <typename T, typename Fn>
+std::optional<T> Testbed::GuardStage(Stage stage, metrics::FeatureVector& features,
+                                     Fn&& run) const {
+  StageCounters& counters = stage_counters_[static_cast<int>(stage)];
+  const int max_attempts = std::max(options_.stage_retries, 0) + 1;
+  const auto start = std::chrono::steady_clock::now();
+  std::optional<T> result;
+  int failed_attempts = 0;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    counters.attempts.fetch_add(1, std::memory_order_relaxed);
+    if (attempt > 0) {
+      counters.retries.fetch_add(1, std::memory_order_relaxed);
+    }
+    bool injected = false;
+    bool timeout = false;
+    try {
+      support::FaultInjector::ScopedAttempt salt(static_cast<uint32_t>(attempt));
+      auto outcome = run(attempt);
+      if (outcome.ok()) {
+        result.emplace(std::move(outcome).value());
+      } else {
+        // Sites whose substrate reports failure as an error value rather
+        // than a throw (the parser, lowering) tag injected faults by
+        // message so the taxonomy still separates them from organic errors.
+        injected = support::StartsWith(outcome.error().message(), "injected fault");
+      }
+    } catch (const support::InjectedFault&) {
+      injected = true;
+    } catch (const support::DeadlineExceeded&) {
+      timeout = true;
+    } catch (const std::exception&) {
+      // Organic analyzer failure: counted below, row continues.
+    }
+    if (result.has_value()) {
+      break;
+    }
+    ++failed_attempts;
+    counters.failures.fetch_add(1, std::memory_order_relaxed);
+    if (injected) {
+      counters.injected.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (timeout) {
+      counters.timeouts.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  counters.wall_nanos.fetch_add(
+      static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()),
+      std::memory_order_relaxed);
+  const std::string prefix = std::string("robust.") + StageName(stage);
+  if (failed_attempts > 0) {
+    features.Add(prefix + "_failures", static_cast<double>(failed_attempts));
+  }
+  if (!result.has_value()) {
+    counters.degraded.fetch_add(1, std::memory_order_relaxed);
+    features.Add(prefix + "_degraded", 1.0);
+    return std::nullopt;
+  }
+  if (failed_attempts > 0) {
+    counters.recovered.fetch_add(1, std::memory_order_relaxed);
+    features.Add(prefix + "_retries", static_cast<double>(failed_attempts));
+  }
+  return result;
+}
+
 uint64_t Testbed::OptionsFingerprint() const {
   // Canonical text encoding of every option that changes extraction output.
-  // min_history_years and threads are deliberately excluded: selection does
-  // not change a row's content, and worker count never changes results.
+  // min_history_years, threads, and checkpoint_path are deliberately
+  // excluded: selection does not change a row's content, worker count never
+  // changes results, and checkpointing only persists them. The active
+  // fault-injection config is included (fingerprint 0 when no site is
+  // armed), so faulted runs never share cached rows with clean ones.
   const auto& sx = options_.symexec;
   const std::string encoding = support::Format(
       "df=%d sx=%d dyn=%d trials=%d dseed=%llu deep=%d "
       "width=%d paths=%llu steps=%llu total=%llu queries=%llu depth=%d "
-      "array=%d nodes=%llu conflicts=%llu cap=%llu exploit=%d",
+      "array=%d nodes=%llu conflicts=%llu cap=%llu exploit=%d "
+      "retries=%d budget=%llu wall=%d faults=%016llx",
       options_.with_dataflow, options_.with_symexec, options_.with_dynamic,
       options_.dynamic_trials,
       static_cast<unsigned long long>(options_.dynamic_seed),
@@ -97,7 +209,10 @@ uint64_t Testbed::OptionsFingerprint() const {
       sx.max_symbolic_array, static_cast<unsigned long long>(sx.max_expr_nodes),
       static_cast<unsigned long long>(sx.solver_conflict_budget),
       static_cast<unsigned long long>(sx.exploit_exact_cap),
-      sx.exploit_sample_trials);
+      sx.exploit_sample_trials, options_.stage_retries,
+      static_cast<unsigned long long>(options_.stage_step_budget),
+      options_.stage_wall_ms,
+      static_cast<unsigned long long>(support::FaultInjector::Global().Fingerprint()));
   return Fnv1a64(encoding);
 }
 
@@ -120,7 +235,9 @@ metrics::FeatureVector Testbed::ExtractFeatures(
   }
   // Deep-analysis budget (see TestbedOptions): the first
   // `deep_analysis_max_files` MiniC files in order consume the budget,
-  // parse/lower failures included.
+  // parse/lower failures included. Every stage below runs isolated under
+  // GuardStage: a failure degrades that stage for that file — the app row
+  // always completes.
   int deep_attempted = 0;
   int deep_done = 0;
   for (const auto& file : files) {
@@ -131,28 +248,71 @@ metrics::FeatureVector Testbed::ExtractFeatures(
       continue;
     }
     const int attempt_index = deep_attempted++;
-    auto unit = lang::Parse(file.text);
-    if (!unit.ok()) {
+    auto unit = GuardStage<lang::TranslationUnit>(
+        Stage::kParse, features, [&](int) { return lang::Parse(file.text); });
+    if (!unit.has_value()) {
       continue;
     }
-    auto module = lang::LowerToIr(unit.value());
-    if (!module.ok()) {
+    auto module = GuardStage<lang::IrModule>(
+        Stage::kLower, features, [&](int) { return lang::LowerToIr(*unit); });
+    if (!module.has_value()) {
       continue;
     }
     if (options_.with_dataflow) {
-      features.MergeSum(dataflow::DataflowFeatures(module.value()));
-      features.MergeSum(dataflow::IntervalFeatures(module.value()));
+      auto df = GuardStage<metrics::FeatureVector>(
+          Stage::kDataflow, features,
+          [&](int) -> support::Result<metrics::FeatureVector> {
+            support::Deadline deadline = StageDeadline();
+            return dataflow::DataflowFeatures(*module, &deadline);
+          });
+      if (df.has_value()) {
+        features.MergeSum(*df);
+      }
+      auto iv = GuardStage<metrics::FeatureVector>(
+          Stage::kIntervals, features,
+          [&](int) -> support::Result<metrics::FeatureVector> {
+            support::Deadline deadline = StageDeadline();
+            dataflow::IntervalOptions interval_options;
+            interval_options.deadline = &deadline;
+            return dataflow::IntervalFeatures(*module, interval_options);
+          });
+      if (iv.has_value()) {
+        features.MergeSum(*iv);
+      }
     }
     if (options_.with_symexec) {
-      features.MergeSum(symx::SymexFeatures(module.value(), options_.symexec));
+      auto sx = GuardStage<metrics::FeatureVector>(
+          Stage::kSymexec, features,
+          [&](int attempt) -> support::Result<metrics::FeatureVector> {
+            // Symexec fans its entries out to pool workers, which do not
+            // inherit this thread's ScopedAttempt salt — the retry attempt
+            // rides in the options instead (see SymExecOptions::fault_salt).
+            symx::SymExecOptions symexec_options = options_.symexec;
+            symexec_options.watchdog_steps = options_.stage_step_budget;
+            symexec_options.fault_salt = static_cast<uint32_t>(attempt);
+            return symx::SymexFeatures(*module, symexec_options);
+          });
+      if (sx.has_value()) {
+        features.MergeSum(*sx);
+      }
     }
     if (options_.with_dynamic) {
-      // Seeded by attempt index, so a file's dynamic stream is a function of
-      // its position among deep candidates, not of earlier parse outcomes.
-      features.MergeSum(
-          DynamicFeatures(module.value(), options_.dynamic_trials,
-                          support::Rng::TaskSeed(options_.dynamic_seed,
-                                                 static_cast<uint64_t>(attempt_index))));
+      auto dyn = GuardStage<metrics::FeatureVector>(
+          Stage::kDynamic, features,
+          [&](int) -> support::Result<metrics::FeatureVector> {
+            support::Deadline deadline = StageDeadline();
+            // Seeded by attempt index, so a file's dynamic stream is a
+            // function of its position among deep candidates, not of
+            // earlier parse outcomes.
+            return DynamicFeatures(
+                *module, options_.dynamic_trials,
+                support::Rng::TaskSeed(options_.dynamic_seed,
+                                       static_cast<uint64_t>(attempt_index)),
+                &deadline);
+          });
+      if (dyn.has_value()) {
+        features.MergeSum(*dyn);
+      }
     }
     ++deep_done;
   }
@@ -204,6 +364,41 @@ std::vector<AppRecord> Testbed::Collect() const {
       names.push_back(app);
     }
   }
+  // Checkpoint resume: load every intact block from a previous interrupted
+  // sweep (the tolerant loader drops truncated tails), keyed by app name.
+  // Resumed rows are returned verbatim — record serialization round-trips
+  // doubles exactly, so the resumed sweep is byte-identical to an
+  // uninterrupted one.
+  std::unordered_map<std::string, AppRecord> resumed;
+  std::unique_ptr<std::ofstream> checkpoint;
+  std::mutex checkpoint_mutex;
+  if (!options_.checkpoint_path.empty()) {
+    bool needs_newline = false;
+    {
+      std::ifstream in(options_.checkpoint_path, std::ios::binary);
+      if (in) {
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        const std::string text = buffer.str();
+        needs_newline = !text.empty() && text.back() != '\n';
+        for (auto& record : LoadCheckpoint(text)) {
+          std::string name = record.name;
+          resumed.emplace(std::move(name), std::move(record));
+        }
+      }
+    }
+    checkpoint = std::make_unique<std::ofstream>(
+        options_.checkpoint_path, std::ios::binary | std::ios::app);
+    if (!*checkpoint) {
+      checkpoint.reset();  // Unwritable path: degrade to an unsaved sweep.
+    } else if (needs_newline) {
+      // A kill mid-line left the file without its trailing newline; close
+      // the wounded line so the next block starts clean (the loader drops
+      // the orphan).
+      (*checkpoint) << '\n';
+      checkpoint->flush();
+    }
+  }
   // One task per app: source synthesis + the full extraction battery. Every
   // input is per-app deterministic (GenerateSources forks a per-app stream,
   // ExtractFeatures derives per-index seeds), and ParallelMap collects in
@@ -214,13 +409,52 @@ std::vector<AppRecord> Testbed::Collect() const {
   }
   support::ThreadPool& pool =
       dedicated != nullptr ? *dedicated : support::ThreadPool::Global();
-  return pool.ParallelMap<AppRecord>(specs.size(), [&](size_t i) {
+  auto records = pool.ParallelMap<AppRecord>(specs.size(), [&](size_t i) {
+    if (const auto it = resumed.find(names[i]); it != resumed.end()) {
+      apps_from_checkpoint_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
     AppRecord record;
     record.name = names[i];
     record.features = ExtractFeatures(ecosystem_.GenerateSources(*specs[i]));
     record.labels = ecosystem_.database().Summarize(record.name);
+    if (checkpoint != nullptr) {
+      const std::string block = SaveCheckpointRecord(record);
+      std::lock_guard<std::mutex> lock(checkpoint_mutex);
+      (*checkpoint) << block;
+      checkpoint->flush();
+      checkpoint_appends_.fetch_add(1, std::memory_order_relaxed);
+    }
     return record;
   });
+  apps_total_.fetch_add(records.size(), std::memory_order_relaxed);
+  return records;
+}
+
+RunReport Testbed::run_report() const {
+  RunReport report;
+  for (int i = 0; i < kStageCount; ++i) {
+    const StageCounters& c = stage_counters_[i];
+    StageReport stage;
+    stage.attempts = c.attempts.load(std::memory_order_relaxed);
+    stage.failures = c.failures.load(std::memory_order_relaxed);
+    stage.injected = c.injected.load(std::memory_order_relaxed);
+    stage.timeouts = c.timeouts.load(std::memory_order_relaxed);
+    stage.retries = c.retries.load(std::memory_order_relaxed);
+    stage.recovered = c.recovered.load(std::memory_order_relaxed);
+    stage.degraded = c.degraded.load(std::memory_order_relaxed);
+    stage.wall_seconds = static_cast<double>(c.wall_nanos.load(std::memory_order_relaxed)) * 1e-9;
+    if (stage.attempts > 0) {
+      report.stages[StageName(static_cast<Stage>(i))] = stage;
+    }
+  }
+  report.apps_total = apps_total_.load(std::memory_order_relaxed);
+  report.apps_from_checkpoint = apps_from_checkpoint_.load(std::memory_order_relaxed);
+  report.checkpoint_appends = checkpoint_appends_.load(std::memory_order_relaxed);
+  const FeatureCacheStats cache_stats = cache_.stats();
+  report.rows_from_cache = cache_stats.hits;
+  report.cache_integrity_rejects = cache_stats.integrity_rejects;
+  return report;
 }
 
 }  // namespace clair

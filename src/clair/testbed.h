@@ -4,13 +4,19 @@
 #ifndef SRC_CLAIR_TESTBED_H_
 #define SRC_CLAIR_TESTBED_H_
 
+#include <array>
+#include <atomic>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/clair/feature_cache.h"
+#include "src/clair/run_report.h"
 #include "src/corpus/ecosystem.h"
 #include "src/cvedb/cvedb.h"
 #include "src/metrics/extract.h"
+#include "src/support/deadline.h"
+#include "src/support/fault_injection.h"
 #include "src/symexec/executor.h"
 
 namespace clair {
@@ -42,6 +48,31 @@ struct TestbedOptions {
   // Content-addressed caching of finished feature rows (see
   // feature_cache.h); repeated extraction of identical sources is a lookup.
   bool cache_features = true;
+
+  // --- Robustness layer (per-stage isolation in ExtractFeatures) ---
+  // Each deep stage (parse, lower, dataflow, intervals, symexec, dynamic)
+  // runs guarded: an Error, an exception, an injected fault, or a watchdog
+  // expiry downgrades *that stage* to neutral features — the app row always
+  // completes — and stamps `robust.<stage>_failures` /
+  // `robust.<stage>_degraded` provenance counters into the row.
+  //
+  // A failed stage is re-attempted this many times before degrading. Retry
+  // verdicts re-roll the fault-injection hash (attempt salt), so transient
+  // injected faults recover; deterministic failures fail every attempt.
+  int stage_retries = 1;
+  // Cooperative per-stage step budget (0 = off). Deterministic: expiry is a
+  // pure function of the stage's own work, so rows stay bit-identical at any
+  // CLAIR_THREADS. Sized far above anything the synthetic corpus reaches.
+  uint64_t stage_step_budget = 1ull << 22;
+  // Wall-clock per-stage budget in ms (0 = off). Nondeterministic by
+  // nature — a production-sweep safety net, not for reproducible runs, and
+  // a poor fit with cache_features (a timed-out row may be cached).
+  int stage_wall_ms = 0;
+  // When non-empty, Collect() streams each finished record to this file
+  // (crc-guarded blocks, see serialize.h) and resumes an interrupted sweep
+  // from it, producing records bit-identical to an uninterrupted run.
+  std::string checkpoint_path;
+
   symx::SymExecOptions symexec = TightSymexecDefaults();
 
   static symx::SymExecOptions TightSymexecDefaults() {
@@ -85,7 +116,50 @@ class Testbed {
   // Hit/miss counters of the feature-row cache (zeros when disabled).
   FeatureCacheStats cache_stats() const { return cache_.stats(); }
 
+  // Failure-taxonomy snapshot: per-stage attempt/failure/degraded/retry
+  // counts and wall-clock accumulated by every ExtractFeatures/Collect run
+  // of this testbed so far. Wall-clock is the only nondeterministic field.
+  RunReport run_report() const;
+
  private:
+  // Guarded deep-analysis stages, in pipeline order.
+  enum class Stage : int {
+    kParse = 0,
+    kLower,
+    kDataflow,
+    kIntervals,
+    kSymexec,
+    kDynamic,
+    kStageCount,
+  };
+  static constexpr int kStageCount = static_cast<int>(Stage::kStageCount);
+  static const char* StageName(Stage stage);
+
+  struct StageCounters {
+    std::atomic<uint64_t> attempts{0};
+    std::atomic<uint64_t> failures{0};
+    std::atomic<uint64_t> injected{0};
+    std::atomic<uint64_t> timeouts{0};
+    std::atomic<uint64_t> retries{0};
+    std::atomic<uint64_t> recovered{0};
+    std::atomic<uint64_t> degraded{0};
+    std::atomic<uint64_t> wall_nanos{0};
+  };
+
+  // Runs one stage with retry + degradation semantics: `run(attempt)`
+  // returns support::Result<T>; an error arm, an InjectedFault, a
+  // DeadlineExceeded, or any std::exception counts a failed attempt. After
+  // the last attempt the stage degrades: provenance counters are stamped
+  // into `features` and nullopt is returned, never an exception.
+  template <typename T, typename Fn>
+  std::optional<T> GuardStage(Stage stage, metrics::FeatureVector& features,
+                              Fn&& run) const;
+
+  // Fresh per-stage watchdog from the configured budgets.
+  support::Deadline StageDeadline() const {
+    return support::Deadline(options_.stage_step_budget, options_.stage_wall_ms);
+  }
+
   // Fingerprint of every option that changes extraction output; part of the
   // cache key so differently-configured testbeds never share rows.
   uint64_t OptionsFingerprint() const;
@@ -93,6 +167,10 @@ class Testbed {
   const corpus::EcosystemGenerator& ecosystem_;
   TestbedOptions options_;
   mutable FeatureCache cache_;
+  mutable std::array<StageCounters, kStageCount> stage_counters_;
+  mutable std::atomic<uint64_t> apps_total_{0};
+  mutable std::atomic<uint64_t> apps_from_checkpoint_{0};
+  mutable std::atomic<uint64_t> checkpoint_appends_{0};
 };
 
 }  // namespace clair

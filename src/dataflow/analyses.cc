@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <functional>
 
+#include "src/support/fault_injection.h"
+
 namespace dataflow {
 namespace {
 
@@ -548,13 +550,21 @@ TaintSummary AnalyzeTaint(const lang::IrFunction& fn) {
   return summary;
 }
 
-metrics::FeatureVector DataflowFeatures(const lang::IrModule& module) {
+metrics::FeatureVector DataflowFeatures(const lang::IrModule& module,
+                                        support::Deadline* deadline) {
+  support::FaultInjector::Global().MaybeFail(support::FaultSite::kDataflow,
+                                             lang::ModuleFingerprint(module));
   metrics::FeatureVector fv;
   double mean_reaching_sum = 0.0;
   int max_live = 0;
   int max_dom_depth = 0;
   TaintSummary total;
   for (const auto& fn : module.functions) {
+    if (deadline != nullptr) {
+      // Weight by block count: the fixpoint analyses below are linear-ish in
+      // blocks per iteration, so the watchdog tracks real work.
+      deadline->TickOrThrow("dataflow", fn.blocks.size() + 1);
+    }
     const ReachingDefinitions rd(fn);
     mean_reaching_sum += rd.MeanReachingPerUse();
     const Liveness lv(fn);

@@ -12,6 +12,7 @@
 
 #include "src/lang/ir.h"
 #include "src/metrics/feature_vector.h"
+#include "src/support/deadline.h"
 
 namespace dataflow {
 
@@ -92,8 +93,11 @@ struct TaintSummary {
 TaintSummary AnalyzeTaint(const lang::IrFunction& fn);
 
 // Aggregates all dataflow-derived features for a module into the shared
-// FeatureVector namespace "dataflow.*".
-metrics::FeatureVector DataflowFeatures(const lang::IrModule& module);
+// FeatureVector namespace "dataflow.*". `deadline`, when given, is ticked
+// once per analyzed block so the caller's watchdog can bound runaway
+// modules; expiry throws support::DeadlineExceeded.
+metrics::FeatureVector DataflowFeatures(const lang::IrModule& module,
+                                        support::Deadline* deadline = nullptr);
 
 }  // namespace dataflow
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <deque>
 
+#include "src/support/fault_injection.h"
+
 namespace dataflow {
 namespace {
 
@@ -226,6 +228,9 @@ class IntervalAnalyzer {
     std::deque<lang::BlockId> worklist = {0};
     int iterations = 0;
     while (!worklist.empty() && ++iterations < options_.max_iterations) {
+      if (options_.deadline != nullptr) {
+        options_.deadline->TickOrThrow("intervals");
+      }
       const lang::BlockId block = worklist.front();
       worklist.pop_front();
       AbsState out = in_[static_cast<size_t>(block)];
@@ -858,6 +863,8 @@ IntervalReport AnalyzeIntervals(const lang::IrFunction& fn, const IntervalOption
 
 metrics::FeatureVector IntervalFeatures(const lang::IrModule& module,
                                         const IntervalOptions& options) {
+  support::FaultInjector::Global().MaybeFail(support::FaultSite::kIntervals,
+                                             lang::ModuleFingerprint(module));
   metrics::FeatureVector fv;
   long long accesses = 0;
   long long proven = 0;

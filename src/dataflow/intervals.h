@@ -19,6 +19,7 @@
 
 #include "src/lang/ir.h"
 #include "src/metrics/feature_vector.h"
+#include "src/support/deadline.h"
 
 namespace dataflow {
 
@@ -91,6 +92,9 @@ struct IntervalOptions {
   int max_iterations = 1000;
   // Value range assumed for input(): full width by default.
   Interval input_range = Interval::Top();
+  // Cooperative watchdog, ticked once per worklist visit; expiry throws
+  // support::DeadlineExceeded out of the analysis. Not owned.
+  support::Deadline* deadline = nullptr;
 };
 
 // Analyzes one function (intraprocedural; calls return Top).

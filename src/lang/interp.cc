@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "src/support/fault_injection.h"
 #include "src/support/strings.h"
 
 namespace lang {
@@ -151,6 +152,9 @@ class Machine {
         if (++trace_.steps > options_.max_steps) {
           return Halt(ExecOutcome::kStepLimit, instr.line);
         }
+        if (options_.deadline != nullptr && !options_.deadline->Tick()) {
+          return Halt(ExecOutcome::kStepLimit, instr.line);
+        }
         if (!Step(fn, instr, regs, arrays, depth)) {
           return false;
         }
@@ -280,6 +284,20 @@ class Machine {
 
 ExecTrace Execute(const IrModule& module, const std::string& entry, std::vector<int64_t> args,
                   std::vector<int64_t> inputs, const InterpOptions& options) {
+  // Robustness injection site: keyed by the module, entry, and concrete
+  // inputs, so one trial of one subject fails — deterministically — while
+  // sibling trials proceed.
+  const auto& faults = support::FaultInjector::Global();
+  if (faults.enabled()) {
+    uint64_t key = support::FaultKey(entry, ModuleFingerprint(module));
+    for (const int64_t arg : args) {
+      key = support::FaultKeyMix(key, static_cast<uint64_t>(arg));
+    }
+    for (const int64_t input : inputs) {
+      key = support::FaultKeyMix(key, static_cast<uint64_t>(input));
+    }
+    faults.MaybeFail(support::FaultSite::kDynamic, key);
+  }
   Machine machine(module, std::move(inputs), options);
   return machine.Run(entry, std::move(args));
 }

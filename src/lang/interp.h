@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/lang/ir.h"
+#include "src/support/deadline.h"
 #include "src/support/result.h"
 
 namespace lang {
@@ -40,6 +41,11 @@ struct ExecTrace {
 struct InterpOptions {
   uint64_t max_steps = 1u << 20;
   uint64_t max_call_depth = 256;
+  // Cooperative watchdog shared across a caller's trials (not owned); ticked
+  // once per executed instruction. Expiry halts the run with kStepLimit —
+  // the interpreter degrades gracefully rather than throwing, and the stage
+  // owner decides whether an expired deadline downgrades the whole stage.
+  support::Deadline* deadline = nullptr;
 };
 
 // Runs `entry` with the given scalar arguments. Each input() call consumes the

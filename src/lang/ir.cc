@@ -1,5 +1,6 @@
 #include "src/lang/ir.h"
 
+#include "src/support/fault_injection.h"
 #include "src/support/strings.h"
 
 namespace lang {
@@ -25,6 +26,18 @@ const IrFunction* IrModule::FindFunction(const std::string& name) const {
     }
   }
   return nullptr;
+}
+
+uint64_t ModuleFingerprint(const IrModule& module) {
+  uint64_t key = support::FaultKey("lang.ir.module");
+  for (const auto& global : module.globals) {
+    key = support::FaultKey(global.name, key);
+  }
+  for (const auto& fn : module.functions) {
+    key = support::FaultKey(fn.name, key);
+    key = support::FaultKeyMix(key, fn.blocks.size());
+  }
+  return key;
 }
 
 namespace {

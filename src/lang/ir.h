@@ -111,6 +111,11 @@ struct IrModule {
   const IrFunction* FindFunction(const std::string& name) const;
 };
 
+// Cheap deterministic digest of a module's shape (global/function names and
+// block counts). Used as the subject key for fault-injection sites inside
+// analyses that no longer see the source text.
+uint64_t ModuleFingerprint(const IrModule& module);
+
 // Lowers a parsed unit. Performs name resolution; fails on references to
 // undeclared variables/functions and call-arity mismatches against
 // locally-defined functions.

@@ -2,6 +2,7 @@
 #include <utility>
 
 #include "src/lang/ir.h"
+#include "src/support/fault_injection.h"
 #include "src/support/strings.h"
 
 namespace lang {
@@ -889,6 +890,22 @@ class FunctionLowerer {
 }  // namespace
 
 support::Result<IrModule> LowerToIr(const TranslationUnit& unit) {
+  // Robustness injection site: keyed by the unit's declaration names (the
+  // source text is gone by this point), deterministic per unit.
+  const auto& faults = support::FaultInjector::Global();
+  if (faults.enabled()) {
+    uint64_t key = support::FaultKey("lang.lower");
+    for (const auto& global : unit.globals) {
+      key = support::FaultKey(global.name, key);
+    }
+    for (const auto& fn_decl : unit.functions) {
+      key = support::FaultKey(fn_decl.name, key);
+    }
+    if (faults.ShouldFail(support::FaultSite::kLower, key)) {
+      return support::Error(support::Error::Code::kInternal,
+                            "injected fault: lower");
+    }
+  }
   IrModule module;
   for (const auto& global : unit.globals) {
     IrGlobal g;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/lang/lexer.h"
+#include "src/support/fault_injection.h"
 #include "src/support/strings.h"
 
 namespace lang {
@@ -732,6 +733,13 @@ class Parser {
 }  // namespace
 
 support::Result<TranslationUnit> Parse(std::string_view source) {
+  // Robustness injection site: keyed by the source digest, so a configured
+  // parse-fault rate hits the same files at any thread count.
+  const auto& faults = support::FaultInjector::Global();
+  if (faults.ShouldFail(support::FaultSite::kParse, support::FaultKey(source))) {
+    return support::Error(support::Error::Code::kInternal,
+                          "injected fault: parse");
+  }
   auto lexed = Lex(source);
   if (!lexed.ok()) {
     return lexed.error();

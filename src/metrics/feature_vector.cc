@@ -40,6 +40,18 @@ void FeatureVector::MergeMax(const FeatureVector& other) {
   }
 }
 
+std::vector<std::pair<std::string, double>> FeatureVector::WithPrefix(
+    std::string_view prefix) const {
+  std::vector<std::pair<std::string, double>> out;
+  for (auto it = values_.lower_bound(std::string(prefix)); it != values_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) {
+      break;
+    }
+    out.emplace_back(it->first, it->second);
+  }
+  return out;
+}
+
 std::vector<std::string> FeatureVector::Names() const {
   std::vector<std::string> names;
   names.reserve(values_.size());

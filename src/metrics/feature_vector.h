@@ -37,6 +37,10 @@ class FeatureVector {
   const std::map<std::string, double>& values() const { return values_; }
   std::vector<std::string> Names() const;
 
+  // All (name, value) pairs whose name starts with `prefix`, in sorted
+  // order. Cheap: walks only the matching subrange of the ordered map.
+  std::vector<std::pair<std::string, double>> WithPrefix(std::string_view prefix) const;
+
   std::string ToString() const;
 
  private:

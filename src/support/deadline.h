@@ -1,0 +1,107 @@
+// Cooperative stage watchdog.
+//
+// Threads cannot be killed, so a runaway analyzer is bounded cooperatively:
+// the stage owner hands the analyzer a Deadline and the analyzer's loops
+// Tick() it, bailing out once the budget is spent. Two budgets compose:
+//
+//   - a *step* budget — deterministic: expiry is a pure function of the work
+//     done, so a tripped watchdog trips at the same logical point at any
+//     CLAIR_THREADS value and results stay bit-identical;
+//   - a *wall-clock* budget — nondeterministic by nature, off by default,
+//     for production sweeps that must survive genuinely pathological inputs
+//     even when the step budget was mis-sized. The clock is polled only
+//     every `wall_check_interval` ticks to keep the hot path cheap.
+//
+// Expiry is sticky; analyzers either return a partial result (the concrete
+// interpreter reports kStepLimit) or call ThrowIfExpired and let the stage
+// wrapper downgrade the stage to neutral features.
+#ifndef SRC_SUPPORT_DEADLINE_H_
+#define SRC_SUPPORT_DEADLINE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace support {
+
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  explicit DeadlineExceeded(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Deadline {
+ public:
+  // 0 disables the corresponding budget; a default-constructed Deadline is
+  // unlimited and Tick() never fails.
+  explicit Deadline(uint64_t max_steps = 0, int wall_ms = 0,
+                    uint64_t wall_check_interval = 1024)
+      : max_steps_(max_steps), wall_check_interval_(wall_check_interval) {
+    if (wall_ms > 0) {
+      wall_deadline_ = Clock::now() + std::chrono::milliseconds(wall_ms);
+      wall_armed_ = true;
+      next_wall_check_ = wall_check_interval_;
+    }
+  }
+
+  static Deadline Unlimited() { return Deadline(); }
+  static Deadline Steps(uint64_t max_steps) { return Deadline(max_steps); }
+  static Deadline WallClock(int wall_ms) { return Deadline(0, wall_ms); }
+
+  // Consumes `steps` units of budget. Returns false once expired (sticky).
+  bool Tick(uint64_t steps = 1) {
+    if (expired_) {
+      return false;
+    }
+    steps_ += steps;
+    if (max_steps_ != 0 && steps_ > max_steps_) {
+      expired_ = true;
+      return false;
+    }
+    if (wall_armed_ && steps_ >= next_wall_check_) {
+      next_wall_check_ = steps_ + wall_check_interval_;
+      if (Clock::now() > wall_deadline_) {
+        expired_ = true;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Tick that throws DeadlineExceeded on expiry, tagged with the stage name.
+  void TickOrThrow(const char* stage, uint64_t steps = 1) {
+    if (!Tick(steps)) {
+      ThrowExpired(stage);
+    }
+  }
+
+  void ThrowIfExpired(const char* stage) const {
+    if (expired_) {
+      ThrowExpired(stage);
+    }
+  }
+
+  bool expired() const { return expired_; }
+  uint64_t steps_used() const { return steps_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  [[noreturn]] void ThrowExpired(const char* stage) const {
+    throw DeadlineExceeded(std::string("stage '") + stage +
+                           "' exceeded its watchdog budget after " +
+                           std::to_string(steps_) + " steps");
+  }
+
+  uint64_t max_steps_ = 0;
+  uint64_t steps_ = 0;
+  uint64_t wall_check_interval_ = 1024;
+  uint64_t next_wall_check_ = 0;
+  bool wall_armed_ = false;
+  bool expired_ = false;
+  Clock::time_point wall_deadline_{};
+};
+
+}  // namespace support
+
+#endif  // SRC_SUPPORT_DEADLINE_H_

@@ -1,0 +1,223 @@
+#include "src/support/fault_injection.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/support/strings.h"
+
+namespace support {
+namespace {
+
+thread_local uint32_t tl_fault_attempt = 0;
+
+// SplitMix64 finalizer: full-avalanche mixing so adjacent keys (query
+// indices, file positions) land on independent verdicts.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+FaultInjector* GlobalSlot() {
+  static FaultInjector* injector = [] {
+    auto* made = new FaultInjector();
+    if (const char* env = std::getenv("CLAIR_FAULTS")) {
+      auto parsed = FaultInjector::Parse(env);
+      if (parsed.ok()) {
+        *made = parsed.value();
+      } else {
+        std::fprintf(stderr, "CLAIR_FAULTS ignored: %s\n",
+                     parsed.error().ToString().c_str());
+      }
+    }
+    return made;
+  }();
+  return injector;
+}
+
+}  // namespace
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kParse:
+      return "parse";
+    case FaultSite::kLower:
+      return "lower";
+    case FaultSite::kDataflow:
+      return "dataflow";
+    case FaultSite::kIntervals:
+      return "intervals";
+    case FaultSite::kSolver:
+      return "solver";
+    case FaultSite::kDynamic:
+      return "dynamic";
+    case FaultSite::kCache:
+      return "cache";
+    case FaultSite::kSiteCount:
+      break;
+  }
+  return "?";
+}
+
+InjectedFault::InjectedFault(FaultSite site, uint64_t key)
+    : std::runtime_error(Format("injected fault at site '%s' (key=%llx)",
+                                FaultSiteName(site),
+                                static_cast<unsigned long long>(key))),
+      site_(site) {}
+
+uint64_t FaultKey(std::string_view bytes, uint64_t seed) {
+  uint64_t hash = seed;
+  for (const char c : bytes) {
+    hash = (hash ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+uint64_t FaultKeyMix(uint64_t a, uint64_t b) { return Mix64(a ^ Mix64(b)); }
+
+FaultInjector::FaultInjector(const FaultInjector& other)
+    : rates_(other.rates_), seed_(other.seed_), any_(other.any_) {
+  for (int i = 0; i < kFaultSiteCount; ++i) {
+    injected_[static_cast<size_t>(i)].store(
+        other.injected_[static_cast<size_t>(i)].load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+  }
+}
+
+FaultInjector& FaultInjector::operator=(const FaultInjector& other) {
+  rates_ = other.rates_;
+  seed_ = other.seed_;
+  any_ = other.any_;
+  for (int i = 0; i < kFaultSiteCount; ++i) {
+    injected_[static_cast<size_t>(i)].store(
+        other.injected_[static_cast<size_t>(i)].load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+Result<FaultInjector> FaultInjector::Parse(std::string_view config) {
+  FaultInjector injector;
+  for (const auto& raw_entry : Split(config, ',')) {
+    const auto entry = Trim(raw_entry);
+    if (entry.empty()) {
+      continue;
+    }
+    const size_t colon = entry.find(':');
+    if (colon == std::string_view::npos) {
+      return Error(Error::Code::kInvalidArgument,
+                   Format("fault entry '%s': expected site:rate",
+                          std::string(entry).c_str()));
+    }
+    const auto name = Trim(entry.substr(0, colon));
+    const std::string value(Trim(entry.substr(colon + 1)));
+    if (name == "seed") {
+      const auto seed = ParseInt(value);
+      if (!seed || *seed < 0) {
+        return Error(Error::Code::kInvalidArgument,
+                     Format("fault seed '%s': expected a non-negative integer",
+                            value.c_str()));
+      }
+      injector.seed_ = static_cast<uint64_t>(*seed);
+      continue;
+    }
+    int site = -1;
+    for (int i = 0; i < kFaultSiteCount; ++i) {
+      if (name == FaultSiteName(static_cast<FaultSite>(i))) {
+        site = i;
+        break;
+      }
+    }
+    if (site < 0) {
+      return Error(Error::Code::kInvalidArgument,
+                   Format("unknown fault site '%s'", std::string(name).c_str()));
+    }
+    const auto rate = ParseDouble(value);
+    if (!rate) {
+      return Error(Error::Code::kInvalidArgument,
+                   Format("fault rate '%s': expected a number", value.c_str()));
+    }
+    injector.rates_[static_cast<size_t>(site)] =
+        *rate < 0.0 ? 0.0 : (*rate > 1.0 ? 1.0 : *rate);
+  }
+  for (const double rate : injector.rates_) {
+    injector.any_ = injector.any_ || rate > 0.0;
+  }
+  return injector;
+}
+
+FaultInjector& FaultInjector::Global() { return *GlobalSlot(); }
+
+bool FaultInjector::ShouldFailSlow(FaultSite site, uint64_t key,
+                                   uint32_t attempt) const {
+  const double rate = rates_[static_cast<size_t>(site)];
+  if (rate <= 0.0) {
+    return false;
+  }
+  bool fail = rate >= 1.0;
+  if (!fail) {
+    uint64_t h = Mix64(seed_ ^ (static_cast<uint64_t>(site) << 56));
+    h = FaultKeyMix(h, key);
+    h = FaultKeyMix(h, attempt);
+    // Top 53 bits as a uniform draw in [0, 1).
+    fail = static_cast<double>(h >> 11) * 0x1.0p-53 < rate;
+  }
+  if (fail) {
+    injected_[static_cast<size_t>(site)].fetch_add(1, std::memory_order_relaxed);
+  }
+  return fail;
+}
+
+void FaultInjector::ResetCounters() {
+  for (auto& counter : injected_) {
+    counter.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string FaultInjector::ConfigString() const {
+  std::string out;
+  for (int i = 0; i < kFaultSiteCount; ++i) {
+    if (rates_[static_cast<size_t>(i)] > 0.0) {
+      if (!out.empty()) {
+        out += ',';
+      }
+      out += Format("%s:%g", FaultSiteName(static_cast<FaultSite>(i)),
+                    rates_[static_cast<size_t>(i)]);
+    }
+  }
+  if (any_ && seed_ != 0) {
+    out += Format(",seed:%llu", static_cast<unsigned long long>(seed_));
+  }
+  return out;
+}
+
+uint64_t FaultInjector::Fingerprint() const {
+  if (!any_) {
+    return 0;
+  }
+  return FaultKey(ConfigString(), FaultKey("clair.faults.v1"));
+}
+
+uint32_t FaultInjector::CurrentAttempt() { return tl_fault_attempt; }
+
+FaultInjector::ScopedAttempt::ScopedAttempt(uint32_t attempt)
+    : previous_(tl_fault_attempt) {
+  tl_fault_attempt = attempt;
+}
+
+FaultInjector::ScopedAttempt::~ScopedAttempt() { tl_fault_attempt = previous_; }
+
+FaultInjector::ScopedConfig::ScopedConfig(std::string_view config)
+    : previous_(FaultInjector::Global()) {
+  auto parsed = FaultInjector::Parse(config);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "ScopedConfig: %s\n", parsed.error().ToString().c_str());
+    std::abort();
+  }
+  *GlobalSlot() = parsed.value();
+}
+
+FaultInjector::ScopedConfig::~ScopedConfig() { *GlobalSlot() = previous_; }
+
+}  // namespace support

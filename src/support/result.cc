@@ -1,0 +1,17 @@
+#include "src/support/result.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace support {
+namespace internal {
+
+[[noreturn]] void ResultArmViolation(const char* accessor, const std::string& held) {
+  std::fprintf(stderr, "fatal: %s accessed the wrong arm; held state: %s\n",
+               accessor, held.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace support

@@ -6,13 +6,20 @@
 #ifndef SRC_SUPPORT_RESULT_H_
 #define SRC_SUPPORT_RESULT_H_
 
-#include <cassert>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <variant>
 
 namespace support {
+
+namespace internal {
+// Prints the accessor and the held state to stderr, then aborts. Wrong-arm
+// access is a programming error that must not compile away: under NDEBUG an
+// assert would vanish and std::get would be UB on the wrong alternative.
+[[noreturn]] void ResultArmViolation(const char* accessor, const std::string& held);
+}  // namespace internal
 
 // A failure description: machine-readable code plus a human-readable message.
 class Error {
@@ -54,13 +61,21 @@ class Error {
 
   std::string ToString() const { return std::string(CodeName(code_)) + ": " + message_; }
 
+  // Context chaining: returns a copy with `context` prefixed, keeping the
+  // code. Each propagation layer can add its frame:
+  //   return status.error().Wrap("loading checkpoint");
+  Error Wrap(std::string_view context) const {
+    return Error(code_, std::string(context) + ": " + message_);
+  }
+
  private:
   Code code_;
   std::string message_;
 };
 
-// Result<T> holds either a value or an Error. Accessing the wrong arm asserts
-// in debug builds; callers are expected to check ok() first.
+// Result<T> holds either a value or an Error. Accessing the wrong arm aborts
+// with the held error printed — always, including NDEBUG builds; callers are
+// expected to check ok() first.
 template <typename T>
 class Result {
  public:
@@ -71,20 +86,22 @@ class Result {
   bool ok() const { return std::holds_alternative<T>(inner_); }
 
   const T& value() const& {
-    assert(ok());
+    CheckHoldsValue("Result::value()");
     return std::get<T>(inner_);
   }
   T& value() & {
-    assert(ok());
+    CheckHoldsValue("Result::value()");
     return std::get<T>(inner_);
   }
   T&& value() && {
-    assert(ok());
+    CheckHoldsValue("Result::value() &&");
     return std::get<T>(std::move(inner_));
   }
 
   const Error& error() const {
-    assert(!ok());
+    if (ok()) {
+      internal::ResultArmViolation("Result::error()", "result holds a value");
+    }
     return std::get<Error>(inner_);
   }
 
@@ -92,6 +109,12 @@ class Result {
   T value_or(T fallback) const& { return ok() ? std::get<T>(inner_) : std::move(fallback); }
 
  private:
+  void CheckHoldsValue(const char* accessor) const {
+    if (!ok()) {
+      internal::ResultArmViolation(accessor, std::get<Error>(inner_).ToString());
+    }
+  }
+
   std::variant<T, Error> inner_;
 };
 
@@ -105,7 +128,9 @@ class Status {
 
   bool ok() const { return !error_.has_value(); }
   const Error& error() const {
-    assert(!ok());
+    if (ok()) {
+      internal::ResultArmViolation("Status::error()", "status is ok");
+    }
     return *error_;
   }
 

@@ -4,6 +4,8 @@
 #include <map>
 
 #include "src/metrics/callgraph.h"
+#include "src/support/deadline.h"
+#include "src/support/fault_injection.h"
 #include "src/support/strings.h"
 #include "src/support/thread_pool.h"
 #include "src/symexec/bitblast.h"
@@ -55,7 +57,10 @@ class Explorer {
         options_(options),
         pool_(options.width),
         rng_(options.rng_seed),
-        inc_blaster_(pool_, inc_solver_) {}
+        inc_blaster_(pool_, inc_solver_),
+        deadline_(options.watchdog_steps),
+        fault_key_(support::FaultKeyMix(lang::ModuleFingerprint(module),
+                                       options.rng_seed)) {}
 
   SymExecResult Run(const std::string& entry) {
     const lang::IrFunction* fn = module_.FindFunction(entry);
@@ -239,6 +244,12 @@ class Explorer {
       return true;  // Budget exhausted: assume feasible (sound for search).
     }
     ++result_.solver_queries;
+    // Robustness injection site: per-query granularity, keyed by the
+    // exploration's module×entry key and the deterministic query index.
+    support::FaultInjector::Global().MaybeFail(
+        support::FaultSite::kSolver,
+        support::FaultKeyMix(fault_key_, result_.solver_queries),
+        options_.fault_salt);
     SatResult sat;
     std::vector<int64_t> model;
     if (options_.incremental_solver) {
@@ -442,6 +453,10 @@ class Explorer {
                          options_.solver_conflict_budget);
     result_.solver_queries += counted.sat_calls;
     result_.sat_conflicts += counted.conflicts;
+    support::FaultInjector::Global().MaybeFail(
+        support::FaultSite::kSolver,
+        support::FaultKeyMix(fault_key_, result_.solver_queries),
+        options_.fault_salt);
     const double lower_bound = std::ldexp(static_cast<double>(counted.models), -bits);
     if (counted.exact) {
       return lower_bound;
@@ -507,6 +522,7 @@ class Explorer {
         ++frame.instr_index;
         ++state.steps;
         ++total_steps_;
+        deadline_.TickOrThrow("symexec");
         if (ExecInstr(state, instr) == StepResult::kPathEnded) {
           return;
         }
@@ -516,6 +532,7 @@ class Explorer {
       // an empty symbolic loop must still exhaust the budget.
       ++state.steps;
       ++total_steps_;
+      deadline_.TickOrThrow("symexec");
       const lang::Terminator& term = block.term;
       switch (term.kind) {
         case lang::TerminatorKind::kJump:
@@ -821,6 +838,8 @@ class Explorer {
   std::vector<uint32_t> cone_stamp_;
   uint32_t cone_epoch_ = 0;
   uint64_t total_steps_ = 0;
+  support::Deadline deadline_;   // Per-exploration cooperative watchdog.
+  uint64_t fault_key_ = 0;       // Module×entry key for solver-query faults.
   std::vector<std::vector<int64_t>> model_cache_;
   size_t model_cache_next_ = 0;  // Next ring-buffer slot to overwrite.
   SymExecResult result_;

@@ -58,6 +58,15 @@ struct SymExecOptions {
   // bounded on large generated modules).
   int max_entries = 8;
   uint64_t rng_seed = 0x5ec0de;
+  // Cooperative watchdog: per-entry step budget (0 = unlimited). Each
+  // Explore owns its own deadline, so expiry is a pure function of that
+  // entry's work and results stay bit-identical at any thread count; expiry
+  // throws support::DeadlineExceeded for the stage wrapper to downgrade.
+  uint64_t watchdog_steps = 0;
+  // Retry salt mixed into solver-query fault-injection verdicts. Carried in
+  // the options (not thread-local state) because entry explorations fan out
+  // onto pool workers that do not inherit the caller's attempt context.
+  uint32_t fault_salt = 0;
 };
 
 enum class VulnKind : uint8_t { kOutOfBounds, kDivByZero };

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "src/clair/evaluator.h"
+#include "src/clair/feature_cache.h"
 #include "src/clair/hypothesis.h"
 #include "src/clair/pipeline.h"
 #include "src/clair/serialize.h"
@@ -11,6 +12,8 @@
 #include "src/corpus/codegen.h"
 #include "src/corpus/ecosystem.h"
 #include "src/ml/tree.h"
+#include "src/support/fault_injection.h"
+#include "src/support/strings.h"
 #include "src/support/thread_pool.h"
 
 namespace clair {
@@ -253,6 +256,135 @@ TEST_F(ClairTest, FeatureCacheHitsOnIdenticalInputAndRespectsOptions) {
   (void)uncached.ExtractFeatures(files);
   EXPECT_EQ(uncached.cache_stats().hits, 0u);
   EXPECT_EQ(uncached.cache_stats().misses, 0u);
+}
+
+TEST_F(ClairTest, FeatureCacheRejectsCorruptRowsAndRecomputes) {
+  // Satellite of the robustness layer: a silently mutated cached row must
+  // not be served — the lookup-time checksum evicts it and the caller
+  // recomputes, with the event visible in integrity_rejects.
+  FeatureCache cache;
+  metrics::FeatureVector row;
+  row.Set("loc.code", 123.0);
+  row.Set("mccabe.total", 7.0);
+  cache.Insert(42, row);
+  metrics::FeatureVector out;
+  ASSERT_TRUE(cache.Lookup(42, &out));
+  EXPECT_TRUE(out.values() == row.values());
+
+  ASSERT_TRUE(cache.CorruptEntryForTest(42));
+  EXPECT_FALSE(cache.Lookup(42, &out));  // Rejected, evicted, counted a miss.
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.integrity_rejects, 1u);
+  EXPECT_EQ(stats.entries, 0u);
+  // Recompute-and-reinsert restores normal service.
+  cache.Insert(42, row);
+  ASSERT_TRUE(cache.Lookup(42, &out));
+  EXPECT_TRUE(out.values() == row.values());
+
+  // An injected cache fault behaves like corruption: reject + recompute.
+  cache.Insert(43, row);
+  {
+    support::FaultInjector::ScopedConfig scoped("cache:1");
+    EXPECT_FALSE(cache.Lookup(43, &out));
+  }
+  EXPECT_EQ(cache.stats().integrity_rejects, 2u);
+}
+
+TEST_F(ClairTest, BudgetPolicyHoldsUnderInjectedParseFaults) {
+  // Satellite of the robustness layer: a file whose parse is *injected* to
+  // fail must behave exactly like an organically unparseable file — it
+  // consumes its deep-analysis budget slot, later files keep their
+  // position-derived dynamic seeds, and the row completes with robust.*
+  // provenance instead of aborting.
+  support::Rng rng(909);
+  corpus::AppStyle style;
+  metrics::SourceFile first;
+  first.path = "a_first.c";
+  first.language = metrics::Language::kMiniC;
+  first.text = corpus::GenerateMiniCFile(rng, style, 100);
+  metrics::SourceFile second;
+  second.path = "b_second.c";
+  second.language = metrics::Language::kMiniC;
+  second.text = corpus::GenerateMiniCFile(rng, style, 100);
+
+  TestbedOptions options;
+  options.deep_analysis_max_files = 2;
+  options.cache_features = false;
+  options.stage_retries = 0;  // Deterministic single verdict per file.
+  const Testbed testbed(*ecosystem_, options);
+
+  const auto clean = testbed.ExtractFeatures({first, second});
+  EXPECT_EQ(clean.Get("deep.files_attempted"), 2.0);
+  EXPECT_EQ(clean.Get("deep.files_analyzed"), 2.0);
+  EXPECT_FALSE(clean.Has("robust.parse_degraded"));
+
+  // Fail only the first file's parse: key the injection off its digest.
+  metrics::FeatureVector faulted;
+  {
+    support::FaultInjector::ScopedConfig scoped("parse:0.45,seed:5");
+    // Find a seed-dependent split where exactly one of the two files fails;
+    // scan seeds deterministically until the verdicts differ.
+    faulted = testbed.ExtractFeatures({first, second});
+    if (faulted.Get("robust.parse_degraded") != 1.0) {
+      bool found = false;
+      for (int seed = 1; seed <= 64 && !found; ++seed) {
+        support::FaultInjector::ScopedConfig rescoped(
+            support::Format("parse:0.45,seed:%d", seed));
+        faulted = testbed.ExtractFeatures({first, second});
+        found = faulted.Get("robust.parse_degraded") == 1.0;
+      }
+      ASSERT_TRUE(found) << "no seed split the two files in 64 tries";
+    }
+  }
+  // Both slots were spent; only one file was deep-analysed.
+  EXPECT_EQ(faulted.Get("deep.files_attempted"), 2.0);
+  EXPECT_EQ(faulted.Get("deep.files_analyzed"), 1.0);
+  EXPECT_EQ(faulted.Get("robust.parse_failures"), 1.0);
+  // The surviving file's dynamic stream is a function of its *position*
+  // (attempt index), not of the other file's outcome: the clean run's
+  // per-position seeds are the same, so dynamic.runs is identical whenever
+  // the second file survived (one entry set, same trial count).
+  if (faulted.Has("dynamic.runs")) {
+    EXPECT_GT(faulted.Get("dynamic.runs"), 0.0);
+  }
+}
+
+TEST_F(ClairTest, CachedAndUncachedRowsAreBitIdentical) {
+  // Rows served by the feature cache must be byte-for-byte the rows the
+  // extractor would have produced — including robust.* provenance.
+  support::Rng rng(311);
+  corpus::AppStyle style;
+  metrics::SourceFile file;
+  file.path = "roundtrip.c";
+  file.language = metrics::Language::kMiniC;
+  file.text = corpus::GenerateMiniCFile(rng, style, 140);
+  const std::vector<metrics::SourceFile> files = {file};
+
+  TestbedOptions with_cache;
+  with_cache.deep_analysis_max_files = 1;
+  const Testbed cached(*ecosystem_, with_cache);
+  TestbedOptions no_cache = with_cache;
+  no_cache.cache_features = false;
+  const Testbed uncached(*ecosystem_, no_cache);
+
+  const auto cold = cached.ExtractFeatures(files);
+  const auto warm = cached.ExtractFeatures(files);
+  const auto direct = uncached.ExtractFeatures(files);
+  EXPECT_EQ(cached.cache_stats().hits, 1u);
+  EXPECT_TRUE(cold.values() == warm.values());
+  EXPECT_TRUE(cold.values() == direct.values());
+
+  // Same under forced solver faults: the faulted config gets its own cache
+  // key (the injector fingerprint is part of it), and the cached faulted
+  // row equals the uncached faulted row.
+  support::FaultInjector::ScopedConfig scoped("solver:1");
+  const auto faulted_cold = cached.ExtractFeatures(files);
+  const auto faulted_warm = cached.ExtractFeatures(files);
+  const auto faulted_direct = uncached.ExtractFeatures(files);
+  EXPECT_TRUE(faulted_cold.values() == faulted_warm.values());
+  EXPECT_TRUE(faulted_cold.values() == faulted_direct.values());
+  EXPECT_FALSE(faulted_cold.values() == cold.values());
+  EXPECT_EQ(faulted_cold.Get("robust.symexec_degraded"), 1.0);
 }
 
 // The paper-scale determinism guarantee: the feature matrix, forest

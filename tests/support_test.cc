@@ -1,8 +1,13 @@
-// Unit tests for the support layer: statistics, strings, RNG determinism.
+// Unit tests for the support layer: statistics, strings, RNG determinism,
+// Result arm safety, cooperative deadlines, and deterministic fault injection.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
+#include <vector>
 
+#include "src/support/deadline.h"
+#include "src/support/fault_injection.h"
 #include "src/support/result.h"
 #include "src/support/rng.h"
 #include "src/support/stats.h"
@@ -183,6 +188,191 @@ TEST(Result, ValueAndError) {
   EXPECT_EQ(bad.error().ToString(), "not_found: missing");
   Status status = Status::Ok();
   EXPECT_TRUE(status.ok());
+}
+
+TEST(Result, WrapPrefixesContextAndKeepsCode) {
+  const Error base(Error::Code::kParseError, "bad token at line 3");
+  const Error wrapped = base.Wrap("loading checkpoint");
+  EXPECT_EQ(wrapped.code(), Error::Code::kParseError);
+  EXPECT_EQ(wrapped.message(), "loading checkpoint: bad token at line 3");
+  const Error twice = wrapped.Wrap("resume");
+  EXPECT_EQ(twice.ToString(),
+            "parse_error: resume: loading checkpoint: bad token at line 3");
+}
+
+// Wrong-arm access must die loudly in every build mode (under NDEBUG an
+// assert would vanish and std::get on the wrong variant alternative is UB),
+// and the abort message must carry the held error so the crash is debuggable.
+TEST(ResultDeathTest, ValueOnErrorAbortsWithHeldError) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const Result<int> bad = Error(Error::Code::kNotFound, "missing file");
+  EXPECT_DEATH({ (void)bad.value(); }, "not_found: missing file");
+}
+
+TEST(ResultDeathTest, ErrorOnValueAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const Result<int> ok = 7;
+  EXPECT_DEATH({ (void)ok.error(); }, "result holds a value");
+  const Status status = Status::Ok();
+  EXPECT_DEATH({ (void)status.error(); }, "status is ok");
+}
+
+TEST(Deadline, UnlimitedNeverExpires) {
+  Deadline deadline = Deadline::Unlimited();
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(deadline.Tick());
+  }
+  EXPECT_FALSE(deadline.expired());
+}
+
+TEST(Deadline, StepBudgetIsExactAndSticky) {
+  Deadline deadline = Deadline::Steps(10);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(deadline.Tick()) << "tick " << i;
+  }
+  EXPECT_FALSE(deadline.Tick());
+  EXPECT_TRUE(deadline.expired());
+  // Sticky: once expired, stays expired (and stops counting).
+  EXPECT_FALSE(deadline.Tick());
+  EXPECT_EQ(deadline.steps_used(), 11u);
+  EXPECT_THROW(deadline.ThrowIfExpired("stage"), DeadlineExceeded);
+}
+
+TEST(Deadline, TickOrThrowNamesTheStage) {
+  Deadline deadline = Deadline::Steps(1);
+  deadline.TickOrThrow("dataflow");
+  try {
+    deadline.TickOrThrow("dataflow");
+    FAIL() << "expected DeadlineExceeded";
+  } catch (const DeadlineExceeded& e) {
+    EXPECT_NE(std::string(e.what()).find("dataflow"), std::string::npos);
+  }
+}
+
+TEST(Deadline, WeightedTicksCountEachStep) {
+  Deadline deadline = Deadline::Steps(100);
+  EXPECT_TRUE(deadline.Tick(60));
+  EXPECT_TRUE(deadline.Tick(40));
+  EXPECT_FALSE(deadline.Tick(1));
+}
+
+TEST(FaultInjector, ParseAcceptsSitesRatesAndSeed) {
+  auto parsed = FaultInjector::Parse("parse:0.25,solver:1,seed:42");
+  ASSERT_TRUE(parsed.ok());
+  const FaultInjector& injector = parsed.value();
+  EXPECT_TRUE(injector.enabled());
+  EXPECT_DOUBLE_EQ(injector.rate(FaultSite::kParse), 0.25);
+  EXPECT_DOUBLE_EQ(injector.rate(FaultSite::kSolver), 1.0);
+  EXPECT_DOUBLE_EQ(injector.rate(FaultSite::kDynamic), 0.0);
+  EXPECT_EQ(injector.ConfigString(), "parse:0.25,solver:1,seed:42");
+}
+
+TEST(FaultInjector, ParseRejectsGarbage) {
+  EXPECT_FALSE(FaultInjector::Parse("nosuchsite:0.5").ok());
+  EXPECT_FALSE(FaultInjector::Parse("parse").ok());
+  EXPECT_FALSE(FaultInjector::Parse("parse:abc").ok());
+  EXPECT_FALSE(FaultInjector::Parse("seed:notanumber").ok());
+  auto empty = FaultInjector::Parse("");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(empty.value().enabled());
+  EXPECT_EQ(empty.value().Fingerprint(), 0u);
+}
+
+TEST(FaultInjector, VerdictIsPureFunctionOfKeyAndAttempt) {
+  auto parsed = FaultInjector::Parse("solver:0.5,seed:7");
+  ASSERT_TRUE(parsed.ok());
+  const FaultInjector& injector = parsed.value();
+  // Same key, same attempt -> same verdict, call after call.
+  for (uint64_t key = 0; key < 200; ++key) {
+    EXPECT_EQ(injector.ShouldFail(FaultSite::kSolver, key, 0),
+              injector.ShouldFail(FaultSite::kSolver, key, 0));
+  }
+  // Attempt salt re-rolls: some keys that fail at attempt 0 pass at 1.
+  int recovered = 0;
+  for (uint64_t key = 0; key < 200; ++key) {
+    if (injector.ShouldFail(FaultSite::kSolver, key, 0) &&
+        !injector.ShouldFail(FaultSite::kSolver, key, 1)) {
+      ++recovered;
+    }
+  }
+  EXPECT_GT(recovered, 0);
+  // Rate 0.5 over 200 keys: the hit count should be in a generous band.
+  int hits = 0;
+  for (uint64_t key = 0; key < 200; ++key) {
+    hits += injector.ShouldFail(FaultSite::kSolver, key, 0) ? 1 : 0;
+  }
+  EXPECT_GT(hits, 60);
+  EXPECT_LT(hits, 140);
+}
+
+TEST(FaultInjector, VerdictsAgreeAcrossThreads) {
+  auto parsed = FaultInjector::Parse("dataflow:0.3,seed:11");
+  ASSERT_TRUE(parsed.ok());
+  const FaultInjector& injector = parsed.value();
+  std::vector<uint8_t> serial(512);
+  for (uint64_t key = 0; key < serial.size(); ++key) {
+    serial[key] = injector.ShouldFail(FaultSite::kDataflow, key, 0) ? 1 : 0;
+  }
+  std::vector<uint8_t> threaded(serial.size(), 0xff);
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&, w] {
+      for (uint64_t key = static_cast<uint64_t>(w); key < threaded.size(); key += 4) {
+        threaded[key] = injector.ShouldFail(FaultSite::kDataflow, key, 0) ? 1 : 0;
+      }
+    });
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  EXPECT_EQ(serial, threaded);
+}
+
+TEST(FaultInjector, RateOneAlwaysFiresAndCounts) {
+  auto parsed = FaultInjector::Parse("cache:1");
+  ASSERT_TRUE(parsed.ok());
+  const FaultInjector& injector = parsed.value();
+  for (uint64_t key = 0; key < 32; ++key) {
+    EXPECT_TRUE(injector.ShouldFail(FaultSite::kCache, key, 0));
+  }
+  EXPECT_EQ(injector.injected(FaultSite::kCache), 32u);
+  EXPECT_THROW(injector.MaybeFail(FaultSite::kCache, 1), InjectedFault);
+}
+
+TEST(FaultInjector, ScopedAttemptSaltsTheDefaultVerdict) {
+  auto parsed = FaultInjector::Parse("parse:0.5,seed:3");
+  ASSERT_TRUE(parsed.ok());
+  const FaultInjector& injector = parsed.value();
+  EXPECT_EQ(FaultInjector::CurrentAttempt(), 0u);
+  uint64_t differing = 0;
+  for (uint64_t key = 0; key < 200; ++key) {
+    const bool at0 = injector.ShouldFail(FaultSite::kParse, key);
+    FaultInjector::ScopedAttempt salt(1);
+    EXPECT_EQ(FaultInjector::CurrentAttempt(), 1u);
+    if (injector.ShouldFail(FaultSite::kParse, key) != at0) {
+      ++differing;
+    }
+  }
+  EXPECT_EQ(FaultInjector::CurrentAttempt(), 0u);
+  EXPECT_GT(differing, 0u);
+}
+
+TEST(FaultInjector, ScopedConfigSwapsAndRestoresGlobal) {
+  const std::string before = FaultInjector::Global().ConfigString();
+  {
+    FaultInjector::ScopedConfig scoped("lower:1");
+    EXPECT_TRUE(FaultInjector::Global().enabled());
+    EXPECT_DOUBLE_EQ(FaultInjector::Global().rate(FaultSite::kLower), 1.0);
+    EXPECT_NE(FaultInjector::Global().Fingerprint(), 0u);
+  }
+  EXPECT_EQ(FaultInjector::Global().ConfigString(), before);
+}
+
+TEST(FaultInjector, FaultKeyMatchesFnvAndMixes) {
+  // Same input -> same key; different inputs -> (overwhelmingly) different.
+  EXPECT_EQ(FaultKey("abc"), FaultKey("abc"));
+  EXPECT_NE(FaultKey("abc"), FaultKey("abd"));
+  EXPECT_NE(FaultKeyMix(1, 2), FaultKeyMix(2, 1));
 }
 
 }  // namespace
