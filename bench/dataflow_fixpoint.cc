@@ -1,0 +1,463 @@
+// Fixpoint-engine throughput: word-packed bitset + priority-worklist engine
+// vs the dense reference sweeps it replaced, per analysis and per CFG tier.
+//
+// Every timed function is also cross-checked between the two modes (reaching
+// sets, live-in sets, idoms, taint summaries, interval reports); any
+// disagreement is counted, reported in the JSON, and fails the bench with a
+// nonzero exit. The engine is only a performance change — results are
+// specified bit-identical.
+//
+// Emits BENCH_dataflow.json in the working directory. `--smoke` runs reduced
+// workloads and skips the google-benchmark timing loops but still writes the
+// JSON and still enforces the equivalence check (the ctest `dfperf` label
+// runs this mode).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/corpus/codegen.h"
+#include "src/dataflow/analyses.h"
+#include "src/dataflow/intervals.h"
+#include "src/dataflow/random_cfg.h"
+#include "src/lang/parser.h"
+#include "src/support/rng.h"
+#include "src/support/strings.h"
+
+namespace {
+
+using dataflow::DataflowMode;
+
+double Seconds(std::chrono::steady_clock::time_point t0,
+               std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+class JsonSink {
+ public:
+  void Add(const std::string& key, const std::string& value, bool quote) {
+    entries_.push_back({key, value, quote});
+  }
+  void AddNumber(const std::string& key, double value) {
+    Add(key, support::Format("%.6g", value), false);
+  }
+  void AddInt(const std::string& key, uint64_t value) {
+    Add(key, std::to_string(value), false);
+  }
+  void AddRaw(const std::string& key, const std::string& json) {
+    Add(key, json, false);
+  }
+
+  bool WriteTo(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << "{\n";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const auto& e = entries_[i];
+      out << "  \"" << e.key << "\": ";
+      if (e.quote) {
+        out << '"' << e.value << '"';
+      } else {
+        out << e.value;
+      }
+      out << (i + 1 < entries_.size() ? ",\n" : "\n");
+    }
+    out << "}\n";
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+    bool quote;
+  };
+  std::vector<Entry> entries_;
+};
+
+// --- Equivalence oracle ------------------------------------------------------
+
+// Compares every externally observable result of the two modes for one
+// function. Returns the number of disagreements (0 when bit-identical).
+int CrossCheck(const lang::IrFunction& fn) {
+  int mismatches = 0;
+  const dataflow::CfgView cfg(fn);
+  {
+    const dataflow::ReachingDefinitions engine(fn, &cfg, DataflowMode::kEngine);
+    const dataflow::ReachingDefinitions reference(fn, &cfg, DataflowMode::kReference);
+    for (size_t b = 0; b < fn.blocks.size(); ++b) {
+      if (!(engine.InSet(static_cast<lang::BlockId>(b)) ==
+            reference.InSet(static_cast<lang::BlockId>(b)))) {
+        ++mismatches;
+      }
+    }
+    if (engine.MeanReachingPerUse() != reference.MeanReachingPerUse()) {
+      ++mismatches;
+    }
+  }
+  {
+    const dataflow::Liveness engine(fn, &cfg, DataflowMode::kEngine);
+    const dataflow::Liveness reference(fn, &cfg, DataflowMode::kReference);
+    for (size_t b = 0; b < fn.blocks.size(); ++b) {
+      for (lang::RegId r = 0; r < fn.reg_count; ++r) {
+        if (engine.LiveIn(static_cast<lang::BlockId>(b), r) !=
+            reference.LiveIn(static_cast<lang::BlockId>(b), r)) {
+          ++mismatches;
+        }
+      }
+    }
+    if (engine.MaxLiveAtEntry() != reference.MaxLiveAtEntry()) {
+      ++mismatches;
+    }
+  }
+  {
+    const dataflow::Dominators engine(fn, &cfg, DataflowMode::kEngine);
+    const dataflow::Dominators reference(fn, &cfg, DataflowMode::kReference);
+    for (size_t b = 0; b < fn.blocks.size(); ++b) {
+      if (engine.Idom(static_cast<lang::BlockId>(b)) !=
+          reference.Idom(static_cast<lang::BlockId>(b))) {
+        ++mismatches;
+      }
+    }
+    if (engine.TreeDepth() != reference.TreeDepth()) {
+      ++mismatches;
+    }
+  }
+  {
+    const auto engine = dataflow::AnalyzeTaint(fn, &cfg, DataflowMode::kEngine);
+    const auto reference = dataflow::AnalyzeTaint(fn, &cfg, DataflowMode::kReference);
+    if (engine.tainted_instructions != reference.tainted_instructions ||
+        engine.tainted_branches != reference.tainted_branches ||
+        engine.tainted_array_indices != reference.tainted_array_indices ||
+        engine.tainted_sinks != reference.tainted_sinks ||
+        engine.tainted_call_args != reference.tainted_call_args ||
+        engine.input_sites != reference.input_sites) {
+      ++mismatches;
+    }
+  }
+  {
+    dataflow::IntervalOptions engine_options;
+    engine_options.mode = DataflowMode::kEngine;
+    dataflow::IntervalOptions reference_options;
+    reference_options.mode = DataflowMode::kReference;
+    const auto engine = dataflow::AnalyzeIntervals(fn, engine_options, &cfg);
+    const auto reference = dataflow::AnalyzeIntervals(fn, reference_options);
+    if (engine.array_accesses != reference.array_accesses ||
+        engine.proven_in_bounds != reference.proven_in_bounds ||
+        engine.divisions != reference.divisions ||
+        engine.proven_nonzero_divisor != reference.proven_nonzero_divisor ||
+        engine.findings.size() != reference.findings.size()) {
+      ++mismatches;
+    }
+  }
+  return mismatches;
+}
+
+// --- Timed workloads ---------------------------------------------------------
+
+struct AnalysisTiming {
+  std::string name;
+  double engine_seconds = 0.0;
+  double reference_seconds = 0.0;
+
+  double Speedup() const {
+    return engine_seconds > 0.0 ? reference_seconds / engine_seconds : 0.0;
+  }
+};
+
+struct TierResult {
+  std::string name;
+  int blocks = 0;
+  int functions = 0;
+  std::vector<AnalysisTiming> analyses;
+  int mismatches = 0;
+
+  double AggregateSpeedup() const {
+    double engine = 0.0;
+    double reference = 0.0;
+    for (const auto& timing : analyses) {
+      engine += timing.engine_seconds;
+      reference += timing.reference_seconds;
+    }
+    return engine > 0.0 ? reference / engine : 0.0;
+  }
+};
+
+// One synthetic tier: `functions` random CFGs of exactly `blocks` blocks.
+TierResult RunTier(const std::string& name, int blocks, int functions, int regs,
+                   uint64_t seed) {
+  TierResult result;
+  result.name = name;
+  result.blocks = blocks;
+  result.functions = functions;
+
+  support::Rng rng(seed);
+  dataflow::RandomCfgOptions options;
+  options.min_blocks = blocks;
+  options.max_blocks = blocks;
+  options.num_regs = regs;
+  options.max_instrs_per_block = 8;
+  std::vector<lang::IrFunction> fns;
+  fns.reserve(static_cast<size_t>(functions));
+  for (int i = 0; i < functions; ++i) {
+    fns.push_back(dataflow::MakeRandomFunction(rng, options));
+  }
+  std::vector<dataflow::CfgView> views;
+  views.reserve(fns.size());
+  for (const auto& fn : fns) {
+    views.emplace_back(fn);
+  }
+
+  auto time_analysis = [&](const std::string& analysis,
+                           auto&& run /* (fn, cfg, mode) -> observable */) {
+    AnalysisTiming timing;
+    timing.name = analysis;
+    for (const DataflowMode mode : {DataflowMode::kEngine, DataflowMode::kReference}) {
+      const auto t0 = std::chrono::steady_clock::now();
+      uint64_t sink = 0;
+      for (size_t i = 0; i < fns.size(); ++i) {
+        sink += run(fns[i], views[i], mode);
+      }
+      benchmark::DoNotOptimize(sink);
+      const auto t1 = std::chrono::steady_clock::now();
+      (mode == DataflowMode::kEngine ? timing.engine_seconds
+                                     : timing.reference_seconds) = Seconds(t0, t1);
+    }
+    result.analyses.push_back(timing);
+  };
+
+  time_analysis("reaching_defs", [](const lang::IrFunction& fn,
+                                    const dataflow::CfgView& cfg, DataflowMode mode) {
+    const dataflow::ReachingDefinitions rd(fn, &cfg, mode);
+    return static_cast<uint64_t>(rd.InSet(static_cast<lang::BlockId>(fn.blocks.size()) - 1)
+                                     .Count());
+  });
+  time_analysis("liveness", [](const lang::IrFunction& fn,
+                               const dataflow::CfgView& cfg, DataflowMode mode) {
+    const dataflow::Liveness lv(fn, &cfg, mode);
+    return static_cast<uint64_t>(lv.MaxLiveAtEntry());
+  });
+  time_analysis("dominators", [](const lang::IrFunction& fn,
+                                 const dataflow::CfgView& cfg, DataflowMode mode) {
+    const dataflow::Dominators dom(fn, &cfg, mode);
+    return static_cast<uint64_t>(dom.TreeDepth());
+  });
+  time_analysis("taint", [](const lang::IrFunction& fn, const dataflow::CfgView& cfg,
+                            DataflowMode mode) {
+    const auto summary = dataflow::AnalyzeTaint(fn, &cfg, mode);
+    return static_cast<uint64_t>(summary.tainted_instructions);
+  });
+
+  for (const auto& fn : fns) {
+    result.mismatches += CrossCheck(fn);
+  }
+  return result;
+}
+
+std::string TimingJson(const AnalysisTiming& timing) {
+  return support::Format(
+      "{\"engine_seconds\": %.6f, \"reference_seconds\": %.6f, \"speedup\": %.2f}",
+      timing.engine_seconds, timing.reference_seconds, timing.Speedup());
+}
+
+std::string TierJson(const TierResult& tier) {
+  std::string body = support::Format(
+      "{\"blocks\": %d, \"functions\": %d, \"mismatches\": %d, "
+      "\"aggregate_speedup\": %.2f",
+      tier.blocks, tier.functions, tier.mismatches, tier.AggregateSpeedup());
+  for (const auto& timing : tier.analyses) {
+    body += support::Format(", \"%s\": %s", timing.name.c_str(),
+                            TimingJson(timing).c_str());
+  }
+  body += "}";
+  return body;
+}
+
+// Full-pipeline feature extraction on realistic (corpus-generated) modules:
+// DataflowFeatures + IntervalFeatures in both modes, with the feature maps
+// compared for exact equality.
+struct CorpusResult {
+  double engine_seconds = 0.0;
+  double reference_seconds = 0.0;
+  int mismatches = 0;
+  int modules = 0;
+
+  double Speedup() const {
+    return engine_seconds > 0.0 ? reference_seconds / engine_seconds : 0.0;
+  }
+};
+
+CorpusResult RunCorpus(int modules, int target_lines, int reps) {
+  CorpusResult result;
+  result.modules = modules;
+  std::vector<lang::IrModule> lowered;
+  support::Rng rng(7701);
+  corpus::AppStyle style;
+  for (int m = 0; m < modules; ++m) {
+    const std::string source = corpus::GenerateMiniCFile(rng, style, target_lines);
+    auto unit = lang::Parse(source);
+    if (!unit.ok()) continue;
+    auto module = lang::LowerToIr(unit.value());
+    if (!module.ok()) continue;
+    lowered.push_back(std::move(module).value());
+  }
+  std::vector<metrics::FeatureVector> engine_features;
+  for (const DataflowMode mode : {DataflowMode::kEngine, DataflowMode::kReference}) {
+    dataflow::IntervalOptions interval_options;
+    interval_options.mode = mode;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < reps; ++rep) {
+      for (size_t m = 0; m < lowered.size(); ++m) {
+        metrics::FeatureVector fv = dataflow::DataflowFeatures(lowered[m], nullptr, mode);
+        const metrics::FeatureVector ai = dataflow::IntervalFeatures(lowered[m], interval_options);
+        for (const auto& [key, value] : ai.values()) {
+          fv.Set(key, value);
+        }
+        if (rep == 0) {
+          if (mode == DataflowMode::kEngine) {
+            engine_features.push_back(fv);
+          } else if (!(engine_features[m].values() == fv.values())) {
+            ++result.mismatches;
+          }
+        }
+      }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    (mode == DataflowMode::kEngine ? result.engine_seconds
+                                   : result.reference_seconds) = Seconds(t0, t1);
+  }
+  return result;
+}
+
+// --- google-benchmark microbenches (full mode only) --------------------------
+
+lang::IrFunction BenchFunction(int blocks, int regs) {
+  support::Rng rng(42);
+  dataflow::RandomCfgOptions options;
+  options.min_blocks = blocks;
+  options.max_blocks = blocks;
+  options.num_regs = regs;
+  return dataflow::MakeRandomFunction(rng, options);
+}
+
+void BM_ReachingDefs(benchmark::State& state) {
+  const auto fn = BenchFunction(static_cast<int>(state.range(0)), 64);
+  const dataflow::CfgView cfg(fn);
+  const auto mode =
+      state.range(1) != 0 ? DataflowMode::kEngine : DataflowMode::kReference;
+  for (auto _ : state) {
+    const dataflow::ReachingDefinitions rd(fn, &cfg, mode);
+    benchmark::DoNotOptimize(rd.definitions().size());
+  }
+}
+BENCHMARK(BM_ReachingDefs)
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Liveness(benchmark::State& state) {
+  const auto fn = BenchFunction(static_cast<int>(state.range(0)), 64);
+  const dataflow::CfgView cfg(fn);
+  const auto mode =
+      state.range(1) != 0 ? DataflowMode::kEngine : DataflowMode::kReference;
+  for (auto _ : state) {
+    const dataflow::Liveness lv(fn, &cfg, mode);
+    benchmark::DoNotOptimize(lv.MaxLiveAtEntry());
+  }
+}
+BENCHMARK(BM_Liveness)
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  benchcommon::PrintHeader(
+      "dataflow_fixpoint",
+      "bitset/worklist fixpoint engine vs dense reference sweeps");
+
+  struct TierSpec {
+    const char* name;
+    int blocks;
+    int functions;
+    int regs;
+  };
+  const std::vector<TierSpec> specs =
+      smoke ? std::vector<TierSpec>{{"small", 16, 6, 24}, {"large", 128, 3, 48}}
+            : std::vector<TierSpec>{{"small", 64, 24, 48},
+                                    {"medium", 256, 12, 96},
+                                    {"large", 1024, 6, 160}};
+
+  JsonSink sink;
+  sink.Add("bench", "dataflow_fixpoint", true);
+  sink.Add("mode", smoke ? "smoke" : "full", true);
+
+  int total_mismatches = 0;
+  double largest_aggregate = 0.0;
+  std::printf("%-8s %6s %4s | %-14s %10s %10s %8s\n", "tier", "blocks", "fns",
+              "analysis", "engine(s)", "ref(s)", "speedup");
+  for (const auto& spec : specs) {
+    const TierResult tier =
+        RunTier(spec.name, spec.blocks, spec.functions, spec.regs, 0xC1A1D);
+    for (const auto& timing : tier.analyses) {
+      std::printf("%-8s %6d %4d | %-14s %10.4f %10.4f %7.2fx\n", tier.name.c_str(),
+                  tier.blocks, tier.functions, timing.name.c_str(),
+                  timing.engine_seconds, timing.reference_seconds, timing.Speedup());
+    }
+    std::printf("%-8s %6d %4d | %-14s %10s %10s %7.2fx  (mismatches: %d)\n\n",
+                tier.name.c_str(), tier.blocks, tier.functions, "aggregate", "", "",
+                tier.AggregateSpeedup(), tier.mismatches);
+    sink.AddRaw("tier_" + tier.name, TierJson(tier));
+    total_mismatches += tier.mismatches;
+    largest_aggregate = tier.AggregateSpeedup();  // Last tier is the largest.
+  }
+
+  const CorpusResult corpus = RunCorpus(smoke ? 2 : 6, smoke ? 120 : 400, smoke ? 1 : 3);
+  std::printf("corpus: %d modules, engine %.4fs vs reference %.4fs (%.2fx), "
+              "feature mismatches: %d\n",
+              corpus.modules, corpus.engine_seconds, corpus.reference_seconds,
+              corpus.Speedup(), corpus.mismatches);
+  sink.AddRaw("corpus",
+              support::Format("{\"modules\": %d, \"engine_seconds\": %.6f, "
+                              "\"reference_seconds\": %.6f, \"speedup\": %.2f, "
+                              "\"mismatches\": %d}",
+                              corpus.modules, corpus.engine_seconds,
+                              corpus.reference_seconds, corpus.Speedup(),
+                              corpus.mismatches));
+  total_mismatches += corpus.mismatches;
+
+  sink.AddNumber("largest_tier_aggregate_speedup", largest_aggregate);
+  sink.AddInt("equivalence_mismatches", static_cast<uint64_t>(total_mismatches));
+  if (!sink.WriteTo("BENCH_dataflow.json")) {
+    std::fprintf(stderr, "failed to write BENCH_dataflow.json\n");
+    return 2;
+  }
+  std::printf("\nwrote BENCH_dataflow.json (largest-tier aggregate speedup %.2fx)\n",
+              largest_aggregate);
+  if (total_mismatches != 0) {
+    std::fprintf(stderr, "FAIL: %d engine/reference mismatches\n", total_mismatches);
+    return 1;
+  }
+  if (smoke) return 0;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "src/lang/ir_walk.h"
 #include "src/support/fault_injection.h"
 
 namespace dataflow {
@@ -203,11 +204,15 @@ bool IsComparisonOp(lang::BinaryOp op) {
 
 class IntervalAnalyzer {
  public:
-  IntervalAnalyzer(const lang::IrFunction& fn, const IntervalOptions& options)
-      : fn_(fn), options_(options) {}
+  IntervalAnalyzer(const lang::IrFunction& fn, const IntervalOptions& options,
+                   const CfgView* cfg)
+      : fn_(fn), options_(options), cfg_(cfg) {}
 
   IntervalReport Run() {
     const size_t num_blocks = fn_.blocks.size();
+    if (num_blocks == 0) {
+      return IntervalReport{};  // No entry block to seed.
+    }
     in_.assign(num_blocks, MakeBottom());
     visits_.assign(num_blocks, 0);
     ComputeCfgFacts();
@@ -568,42 +573,53 @@ class IntervalAnalyzer {
           break;
       }
     }
-    // Back-edge targets via RPO: an edge u->v with rpo(u) >= rpo(v) makes v a
-    // widening point.
-    std::vector<int> rpo_index(num_blocks, -1);
-    {
-      std::vector<bool> seen(num_blocks, false);
-      std::vector<lang::BlockId> post;
-      std::vector<std::pair<lang::BlockId, size_t>> stack = {{0, 0}};
-      seen[0] = true;
-      while (!stack.empty()) {
-        auto& [block, child] = stack.back();
-        const auto succs = fn_.Successors(block);
-        if (child < succs.size()) {
-          const lang::BlockId next = succs[child++];
-          if (!seen[static_cast<size_t>(next)]) {
-            seen[static_cast<size_t>(next)] = true;
-            stack.emplace_back(next, 0);
+    // Back-edge targets (u->v with rpo(u) >= rpo(v)) are the widening
+    // points. Engine mode takes them from the shared CfgView (computed once
+    // per function and reused by every analysis); reference mode keeps the
+    // original inline recomputation. Both derive the same RPO, so the
+    // widening points — and with them the whole analysis — are identical.
+    if (options_.mode == DataflowMode::kEngine) {
+      if (cfg_ != nullptr) {
+        widen_point_ = cfg_->widen_point;
+      } else {
+        widen_point_ = CfgView(fn_).widen_point;
+      }
+    } else {
+      std::vector<int> rpo_index(num_blocks, -1);
+      {
+        std::vector<bool> seen(num_blocks, false);
+        std::vector<lang::BlockId> post;
+        std::vector<std::pair<lang::BlockId, size_t>> stack = {{0, 0}};
+        seen[0] = true;
+        while (!stack.empty()) {
+          auto& [block, child] = stack.back();
+          const auto succs = fn_.Successors(block);
+          if (child < succs.size()) {
+            const lang::BlockId next = succs[child++];
+            if (!seen[static_cast<size_t>(next)]) {
+              seen[static_cast<size_t>(next)] = true;
+              stack.emplace_back(next, 0);
+            }
+          } else {
+            post.push_back(block);
+            stack.pop_back();
           }
-        } else {
-          post.push_back(block);
-          stack.pop_back();
+        }
+        // Reverse post-order index: last-finished block (the entry) gets 0.
+        for (auto it = post.rbegin(); it != post.rend(); ++it) {
+          rpo_index[static_cast<size_t>(*it)] = static_cast<int>(it - post.rbegin());
         }
       }
-      // Reverse post-order index: last-finished block (the entry) gets 0.
-      for (auto it = post.rbegin(); it != post.rend(); ++it) {
-        rpo_index[static_cast<size_t>(*it)] = static_cast<int>(it - post.rbegin());
-      }
-    }
-    widen_point_.assign(num_blocks, false);
-    for (size_t u = 0; u < num_blocks; ++u) {
-      if (rpo_index[u] < 0) {
-        continue;
-      }
-      for (const lang::BlockId v : fn_.Successors(static_cast<lang::BlockId>(u))) {
-        if (rpo_index[static_cast<size_t>(v)] >= 0 &&
-            rpo_index[u] >= rpo_index[static_cast<size_t>(v)]) {
-          widen_point_[static_cast<size_t>(v)] = true;
+      widen_point_.assign(num_blocks, false);
+      for (size_t u = 0; u < num_blocks; ++u) {
+        if (rpo_index[u] < 0) {
+          continue;
+        }
+        for (const lang::BlockId v : fn_.Successors(static_cast<lang::BlockId>(u))) {
+          if (rpo_index[static_cast<size_t>(v)] >= 0 &&
+              rpo_index[u] >= rpo_index[static_cast<size_t>(v)]) {
+            widen_point_[static_cast<size_t>(v)] = true;
+          }
         }
       }
     }
@@ -613,21 +629,7 @@ class IntervalAnalyzer {
     def_instr_.assign(static_cast<size_t>(fn_.reg_count), nullptr);
     for (size_t b = 0; b < num_blocks; ++b) {
       for (const auto& instr : fn_.blocks[b].instrs) {
-        lang::RegId dst = lang::kNoReg;
-        switch (instr.op) {
-          case lang::IrOpcode::kConst:
-          case lang::IrOpcode::kCopy:
-          case lang::IrOpcode::kUnOp:
-          case lang::IrOpcode::kBinOp:
-          case lang::IrOpcode::kLoadGlobal:
-          case lang::IrOpcode::kArrayLoad:
-          case lang::IrOpcode::kCall:
-          case lang::IrOpcode::kInput:
-            dst = instr.dst;
-            break;
-          default:
-            break;
-        }
+        const lang::RegId dst = lang::DstOf(instr);
         if (dst != lang::kNoReg) {
           ++def_count_[static_cast<size_t>(dst)];
           def_block_[static_cast<size_t>(dst)] = static_cast<lang::BlockId>(b);
@@ -659,25 +661,7 @@ class IntervalAnalyzer {
     int candidates = 0;
     for (const auto& block : fn_.blocks) {
       for (const auto& instr : block.instrs) {
-        if (instr.dst != cond) {
-          continue;
-        }
-        bool writes = false;
-        switch (instr.op) {
-          case lang::IrOpcode::kConst:
-          case lang::IrOpcode::kCopy:
-          case lang::IrOpcode::kUnOp:
-          case lang::IrOpcode::kBinOp:
-          case lang::IrOpcode::kLoadGlobal:
-          case lang::IrOpcode::kArrayLoad:
-          case lang::IrOpcode::kCall:
-          case lang::IrOpcode::kInput:
-            writes = true;
-            break;
-          default:
-            break;
-        }
-        if (!writes) {
+        if (instr.dst != cond || !lang::WritesDst(instr)) {
           continue;
         }
         if (instr.op == lang::IrOpcode::kConst) {
@@ -846,6 +830,7 @@ class IntervalAnalyzer {
 
   const lang::IrFunction& fn_;
   IntervalOptions options_;
+  const CfgView* cfg_ = nullptr;  // Shared CFG facts (engine mode); not owned.
   std::vector<AbsState> in_;
   std::vector<int> visits_;
   std::vector<std::vector<PredEdge>> preds_;
@@ -857,8 +842,9 @@ class IntervalAnalyzer {
 
 }  // namespace
 
-IntervalReport AnalyzeIntervals(const lang::IrFunction& fn, const IntervalOptions& options) {
-  return IntervalAnalyzer(fn, options).Run();
+IntervalReport AnalyzeIntervals(const lang::IrFunction& fn, const IntervalOptions& options,
+                                const CfgView* cfg) {
+  return IntervalAnalyzer(fn, options, cfg).Run();
 }
 
 metrics::FeatureVector IntervalFeatures(const lang::IrModule& module,
@@ -873,7 +859,7 @@ metrics::FeatureVector IntervalFeatures(const lang::IrModule& module,
   long long possible_oob = 0;
   long long possible_div0 = 0;
   for (const auto& fn : module.functions) {
-    const IntervalReport report = AnalyzeIntervals(fn, options);
+    const IntervalReport report = AnalyzeIntervals(fn, options);  // CfgView built per mode inside.
     accesses += report.array_accesses;
     proven += report.proven_in_bounds;
     divisions += report.divisions;

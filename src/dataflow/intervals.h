@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "src/dataflow/engine.h"
 #include "src/lang/ir.h"
 #include "src/metrics/feature_vector.h"
 #include "src/support/deadline.h"
@@ -95,11 +96,20 @@ struct IntervalOptions {
   // Cooperative watchdog, ticked once per worklist visit; expiry throws
   // support::DeadlineExceeded out of the analysis. Not owned.
   support::Deadline* deadline = nullptr;
+  // Where the analysis gets its CFG facts (RPO / widening points). Unlike the
+  // pure set analyses, the FIFO worklist itself is kept verbatim in both
+  // modes: widening makes interval results visitation-order-sensitive, so
+  // only the order-insensitive CFG facts differ in provenance. Both modes
+  // therefore produce identical reports by construction.
+  DataflowMode mode = DefaultDataflowMode();
 };
 
-// Analyzes one function (intraprocedural; calls return Top).
+// Analyzes one function (intraprocedural; calls return Top). `cfg`, when
+// given, must view `fn`; it supplies precomputed CFG facts in engine mode
+// (DataflowFeatures-style sharing) and is ignored in reference mode.
 IntervalReport AnalyzeIntervals(const lang::IrFunction& fn,
-                                const IntervalOptions& options = {});
+                                const IntervalOptions& options = {},
+                                const CfgView* cfg = nullptr);
 
 // Whole-module aggregation into "ai.*" features.
 metrics::FeatureVector IntervalFeatures(const lang::IrModule& module,

@@ -1,0 +1,166 @@
+// Seeded random IrFunction generator for dataflow testing and benching.
+//
+// Builds structurally messy CFGs on purpose: forward edges, back edges
+// (irreducible loops included), unreachable blocks that branch back into
+// live code, self-loops, multiple defs per register, array traffic, taint
+// sources/sinks, and conditional branches on computed registers. The intent
+// is to exercise every corner the engine/reference equivalence proof relies
+// on, not to look like lowered MiniC.
+#ifndef SRC_DATAFLOW_RANDOM_CFG_H_
+#define SRC_DATAFLOW_RANDOM_CFG_H_
+
+#include <string>
+
+#include "src/lang/ir.h"
+#include "src/support/rng.h"
+
+namespace dataflow {
+
+struct RandomCfgOptions {
+  int min_blocks = 1;
+  int max_blocks = 64;
+  int max_instrs_per_block = 8;
+  int num_regs = 12;
+  int num_arrays = 2;
+  // Probability that a block's terminator is a conditional branch (the rest
+  // split between jumps and returns).
+  double branch_prob = 0.55;
+  double return_prob = 0.12;
+};
+
+inline lang::IrFunction MakeRandomFunction(support::Rng& rng,
+                                           const RandomCfgOptions& options = {}) {
+  lang::IrFunction fn;
+  fn.name = "synthetic";
+  const int num_blocks =
+      options.min_blocks +
+      static_cast<int>(rng.NextBelow(
+          static_cast<uint64_t>(options.max_blocks - options.min_blocks + 1)));
+  fn.reg_count = options.num_regs;
+  fn.reg_names.resize(static_cast<size_t>(options.num_regs));
+  for (int r = 0; r < options.num_regs; ++r) {
+    fn.reg_names[static_cast<size_t>(r)] = "r" + std::to_string(r);
+  }
+  for (int a = 0; a < options.num_arrays; ++a) {
+    lang::IrArray array;
+    array.name = "arr" + std::to_string(a);
+    array.size = 4 + static_cast<int64_t>(rng.NextBelow(12));
+    fn.arrays.push_back(array);
+  }
+  // A couple of parameters so liveness has upward-exposed entry uses.
+  if (options.num_regs >= 2) {
+    fn.param_regs = {0, 1};
+  }
+  auto reg = [&] {
+    return static_cast<lang::RegId>(rng.NextBelow(static_cast<uint64_t>(options.num_regs)));
+  };
+  auto block_id = [&] {
+    return static_cast<lang::BlockId>(rng.NextBelow(static_cast<uint64_t>(num_blocks)));
+  };
+  fn.blocks.resize(static_cast<size_t>(num_blocks));
+  for (int b = 0; b < num_blocks; ++b) {
+    lang::IrBlock& block = fn.blocks[static_cast<size_t>(b)];
+    const int num_instrs =
+        static_cast<int>(rng.NextBelow(static_cast<uint64_t>(options.max_instrs_per_block + 1)));
+    for (int i = 0; i < num_instrs; ++i) {
+      lang::IrInstr instr;
+      instr.line = b * 100 + i;
+      switch (rng.NextBelow(10)) {
+        case 0:
+          instr.op = lang::IrOpcode::kConst;
+          instr.dst = reg();
+          instr.imm = static_cast<int64_t>(rng.NextBelow(200)) - 100;
+          break;
+        case 1:
+          instr.op = lang::IrOpcode::kInput;
+          instr.dst = reg();
+          break;
+        case 2:
+          instr.op = lang::IrOpcode::kCopy;
+          instr.dst = reg();
+          instr.a = reg();
+          break;
+        case 3:
+          instr.op = lang::IrOpcode::kUnOp;
+          instr.dst = reg();
+          instr.a = reg();
+          instr.unary_op = rng.NextBool() ? lang::UnaryOp::kNeg : lang::UnaryOp::kNot;
+          break;
+        case 4:
+        case 5:
+          instr.op = lang::IrOpcode::kBinOp;
+          instr.dst = reg();
+          instr.a = reg();
+          instr.b = reg();
+          instr.binary_op = rng.NextBool() ? lang::BinaryOp::kAdd
+                           : rng.NextBool() ? lang::BinaryOp::kSub
+                                            : lang::BinaryOp::kLt;
+          break;
+        case 6:
+          if (!fn.arrays.empty()) {
+            instr.op = lang::IrOpcode::kArrayLoad;
+            instr.dst = reg();
+            instr.a = reg();
+            instr.array = static_cast<lang::ArrayId>(rng.NextBelow(fn.arrays.size()));
+          } else {
+            instr.op = lang::IrOpcode::kConst;
+            instr.dst = reg();
+          }
+          break;
+        case 7:
+          if (!fn.arrays.empty()) {
+            instr.op = lang::IrOpcode::kArrayStore;
+            instr.a = reg();
+            instr.b = reg();
+            instr.array = static_cast<lang::ArrayId>(rng.NextBelow(fn.arrays.size()));
+          } else {
+            instr.op = lang::IrOpcode::kCopy;
+            instr.dst = reg();
+            instr.a = reg();
+          }
+          break;
+        case 8: {
+          instr.op = lang::IrOpcode::kCall;
+          instr.callee = "callee";
+          if (rng.NextBool(0.7)) {
+            instr.dst = reg();
+          }
+          const int num_args = static_cast<int>(rng.NextBelow(3));
+          for (int arg = 0; arg < num_args; ++arg) {
+            instr.args.push_back(reg());
+          }
+          break;
+        }
+        default:
+          instr.op = lang::IrOpcode::kOutput;
+          instr.a = reg();
+          instr.is_sink = rng.NextBool(0.3);
+          break;
+      }
+      block.instrs.push_back(std::move(instr));
+    }
+    // Terminator: edges may target *any* block, including earlier ones (back
+    // edges / irreducible regions) and the block itself (self-loops).
+    const double roll = rng.NextDouble();
+    if (roll < options.branch_prob && num_blocks > 1) {
+      block.term.kind = lang::TerminatorKind::kBranch;
+      block.term.cond = reg();
+      block.term.target_true = block_id();
+      block.term.target_false = block_id();
+    } else if (roll < options.branch_prob + options.return_prob || num_blocks == 1) {
+      block.term.kind = lang::TerminatorKind::kReturn;
+      if (rng.NextBool()) {
+        block.term.value = reg();
+      }
+    } else {
+      block.term.kind = lang::TerminatorKind::kJump;
+      block.term.target_true = block_id();
+    }
+    block.term.line = b * 100 + 99;
+  }
+  return fn;
+}
+
+}  // namespace dataflow
+
+#endif  // SRC_DATAFLOW_RANDOM_CFG_H_

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <set>
 
+#include "src/lang/ir_walk.h"
+
 namespace metrics {
 namespace {
 
@@ -330,11 +332,7 @@ class IrLinter {
     };
     for (const auto& block : fn_.blocks) {
       for (const auto& instr : block.instrs) {
-        mark(instr.a);
-        mark(instr.b);
-        for (lang::RegId arg : instr.args) {
-          mark(arg);
-        }
+        lang::ForEachUse(instr, mark);
       }
       mark(block.term.cond);
       mark(block.term.value);
