@@ -80,30 +80,43 @@ struct ModeStats {
   double seconds = 0.0;
   uint64_t paths = 0;
   uint64_t queries = 0;
+  uint64_t pruned = 0;
   uint64_t conflicts = 0;
   uint64_t reuse_hits = 0;
   uint64_t folds = 0;
   size_t vulns = 0;
+  double fraction_sum = 0.0;  // Sum of exploit fractions (bit-compared).
 
   double QueriesPerSec() const { return seconds > 0.0 ? queries / seconds : 0.0; }
+  double QueriesPerPath() const {
+    return paths > 0 ? static_cast<double>(queries) / static_cast<double>(paths)
+                     : 0.0;
+  }
 };
 
-ModeStats RunMode(const lang::IrModule& module, bool incremental, int repeats) {
+ModeStats RunMode(const lang::IrModule& module, bool incremental, int repeats,
+                  bool range_pruning = true) {
   symx::SymExecOptions options;
   options.max_paths = 1 << 10;
   options.max_total_steps = 1 << 20;
   options.max_solver_queries = 1 << 20;
   options.incremental_solver = incremental;
+  options.range_pruning = range_pruning;
   ModeStats stats;
   const auto t0 = std::chrono::steady_clock::now();
   for (int r = 0; r < repeats; ++r) {
     const symx::SymExecResult result = symx::Explore(module, "main", options);
     stats.paths += result.paths_explored;
     stats.queries += result.solver_queries;
+    stats.pruned += result.range_pruned;
     stats.conflicts += result.sat_conflicts;
     stats.reuse_hits += result.model_reuse_hits;
     stats.folds += result.simplifier_folds;
     stats.vulns = result.vulns.size();
+    stats.fraction_sum = 0.0;
+    for (const auto& vuln : result.vulns) {
+      stats.fraction_sum += vuln.exploit_fraction;
+    }
   }
   stats.seconds = Seconds(t0, std::chrono::steady_clock::now());
   return stats;
@@ -244,6 +257,109 @@ std::string ModeJson(const ModeStats& s) {
       static_cast<unsigned long long>(s.folds), s.vulns);
 }
 
+// Range-guided pruning: the same workloads with the constant-interval
+// precheck on vs off. Exploration results must be bit-identical (paths,
+// vulns, exploit fractions); the payoff is SAT queries per explored path.
+// Returns false on any semantic mismatch.
+bool RunPruningComparison(JsonSink& sink, bool smoke) {
+  struct Workload {
+    std::string name;
+    lang::IrModule module;
+  };
+  const int repeats = smoke ? 1 : 3;
+  std::vector<Workload> workloads;
+  workloads.push_back({"diamond", MustLower(DiamondProgram(smoke ? 6 : 8))});
+  workloads.push_back({"bands", MustLower(BandsProgram(smoke ? 8 : 12))});
+  workloads.push_back(
+      {"guarded_array", MustLower(GuardedArrayProgram(smoke ? 3 : 5))});
+
+  std::printf("Range-guided path pruning (constant-interval precheck) vs\n");
+  std::printf("solver-every-branch; identical exploration results required:\n\n");
+  std::vector<std::vector<std::string>> rows;
+  uint64_t off_queries = 0;
+  uint64_t off_paths = 0;
+  uint64_t on_queries = 0;
+  uint64_t on_paths = 0;
+  uint64_t on_pruned = 0;
+  double off_seconds = 0.0;
+  double on_seconds = 0.0;
+  bool agree = true;
+  std::string pruning_json = "[";
+  for (size_t w = 0; w < workloads.size(); ++w) {
+    const auto& workload = workloads[w];
+    const ModeStats off =
+        RunMode(workload.module, /*incremental=*/true, repeats, /*range_pruning=*/false);
+    const ModeStats on =
+        RunMode(workload.module, /*incremental=*/true, repeats, /*range_pruning=*/true);
+    if (on.paths != off.paths || on.vulns != off.vulns ||
+        on.fraction_sum != off.fraction_sum) {
+      std::fprintf(stderr,
+                   "FAIL: %s: pruned/unpruned disagree (paths %llu vs %llu, "
+                   "vulns %zu vs %zu, fraction sum %.17g vs %.17g)\n",
+                   workload.name.c_str(), static_cast<unsigned long long>(on.paths),
+                   static_cast<unsigned long long>(off.paths), on.vulns, off.vulns,
+                   on.fraction_sum, off.fraction_sum);
+      agree = false;
+    }
+    off_queries += off.queries;
+    off_paths += off.paths;
+    on_queries += on.queries;
+    on_paths += on.paths;
+    on_pruned += on.pruned;
+    off_seconds += off.seconds;
+    on_seconds += on.seconds;
+    const double drop = off.QueriesPerPath() > 0.0
+                            ? 1.0 - on.QueriesPerPath() / off.QueriesPerPath()
+                            : 0.0;
+    const double prune_rate =
+        on.queries + on.pruned > 0
+            ? static_cast<double>(on.pruned) /
+                  static_cast<double>(on.queries + on.pruned)
+            : 0.0;
+    rows.push_back({workload.name, std::to_string(on.paths),
+                    support::Format("%.2f", off.QueriesPerPath()),
+                    support::Format("%.2f", on.QueriesPerPath()),
+                    support::Format("%.1f%%", 100.0 * drop),
+                    std::to_string(on.pruned),
+                    support::Format("%.2f", prune_rate)});
+    pruning_json += support::Format(
+        "%s{\"name\": \"%s\", \"queries_per_path_off\": %.4f, "
+        "\"queries_per_path_on\": %.4f, \"query_drop\": %.4f, "
+        "\"range_pruned\": %llu, \"prune_rate\": %.4f, "
+        "\"seconds_off\": %.6f, \"seconds_on\": %.6f}",
+        w == 0 ? "" : ", ", workload.name.c_str(), off.QueriesPerPath(),
+        on.QueriesPerPath(), drop, static_cast<unsigned long long>(on.pruned),
+        prune_rate, off.seconds, on.seconds);
+  }
+  pruning_json += "]";
+  std::printf("%s\n",
+              report::RenderTable({"workload", "paths", "q/path off", "q/path on",
+                                   "query drop", "pruned", "prune rate"},
+                                  rows)
+                  .c_str());
+  const double qpp_off =
+      off_paths > 0 ? static_cast<double>(off_queries) / off_paths : 0.0;
+  const double qpp_on =
+      on_paths > 0 ? static_cast<double>(on_queries) / on_paths : 0.0;
+  const double total_drop = qpp_off > 0.0 ? 1.0 - qpp_on / qpp_off : 0.0;
+  const double total_rate =
+      on_queries + on_pruned > 0
+          ? static_cast<double>(on_pruned) /
+                static_cast<double>(on_queries + on_pruned)
+          : 0.0;
+  std::printf("total: %.2f queries/path unpruned vs %.2f pruned "
+              "(%.1f%% drop, prune rate %.2f), %.3fs vs %.3fs\n\n",
+              qpp_off, qpp_on, 100.0 * total_drop, total_rate, off_seconds,
+              on_seconds);
+  sink.AddRaw("pruning_workloads", pruning_json);
+  sink.AddNumber("queries_per_path_unpruned", qpp_off);
+  sink.AddNumber("queries_per_path_pruned", qpp_on);
+  sink.AddNumber("query_drop_per_path", total_drop);
+  sink.AddNumber("range_prune_rate", total_rate);
+  sink.AddInt("pruning_agrees", agree ? 1 : 0);
+  return agree;
+}
+
 // Runs every workload in both solver modes, prints the comparison table, and
 // writes BENCH_symexec.json. Aborts with a nonzero exit if the two modes
 // disagree on path counts or vuln sites (they are specified bit-identical).
@@ -342,6 +458,9 @@ int RunModeComparison(bool smoke) {
                            static_cast<double>(total_inc_queries + total_reuse_hits)
                      : 0.0);
   sink.AddInt("modes_agree", mismatch ? 0 : 1);
+  if (!RunPruningComparison(sink, smoke)) {
+    mismatch = true;
+  }
   const std::string path = "BENCH_symexec.json";
   if (sink.WriteTo(path)) {
     std::printf("wrote %s\n\n", path.c_str());

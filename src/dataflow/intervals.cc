@@ -11,12 +11,35 @@ namespace {
 
 bool IsInf(int64_t v) { return v == Interval::kMin || v == Interval::kMax; }
 
-// Saturating add of possibly-infinite bounds. inf + finite = inf;
-// (-inf) + (+inf) never occurs for valid interval corners of the same side.
-int64_t SatAdd(int64_t a, int64_t b) {
+// --- Direction-aware saturating bound arithmetic ------------------------------
+//
+// The sentinel encoding is positional: kMin means -infinity only in a *lower*
+// bound and kMax means +infinity only in an *upper* bound; on the opposite
+// side each is the genuine extreme constant (Const(INT64_MIN) is the interval
+// [kMin, kMin] whose hi really is INT64_MIN). The original helpers ignored the
+// position and short-circuited both sentinels symmetrically, which made e.g.
+// AddI(Const(INT64_MIN), Const(5)) collapse to [kMin, kMin] — an interval that
+// *excludes* the true sum INT64_MIN + 5. The fixed helpers below treat the
+// sentinel of their own side as infinite and everything else as an exact
+// value; a genuine overflow saturates toward the overflow's own sign, which
+// keeps containment on both sides (a lower bound that saturates to kMax still
+// reads "at least kMax"; an upper bound that saturates to kMin reads "at most
+// kMin").
+
+// Add feeding a lower bound: only kMin is infinite.
+int64_t SatAddLo(int64_t a, int64_t b) {
   if (a == Interval::kMin || b == Interval::kMin) {
     return Interval::kMin;
   }
+  int64_t out;
+  if (__builtin_add_overflow(a, b, &out)) {
+    return a > 0 ? Interval::kMax : Interval::kMin;
+  }
+  return out;
+}
+
+// Add feeding an upper bound: only kMax is infinite.
+int64_t SatAddHi(int64_t a, int64_t b) {
   if (a == Interval::kMax || b == Interval::kMax) {
     return Interval::kMax;
   }
@@ -27,29 +50,45 @@ int64_t SatAdd(int64_t a, int64_t b) {
   return out;
 }
 
-int64_t SatNeg(int64_t a) {
-  if (a == Interval::kMin) {
-    return Interval::kMax;
-  }
-  if (a == Interval::kMax) {
+// Negated upper bound feeding a lower bound: -(+inf) = -inf, and the genuine
+// constant INT64_MIN negates to 2^63 which saturates to "at least kMax".
+int64_t NegLo(int64_t hi_bound) {
+  if (hi_bound == Interval::kMax) {
     return Interval::kMin;
   }
-  return -a;
+  if (hi_bound == Interval::kMin) {
+    return Interval::kMax;
+  }
+  return -hi_bound;
 }
 
-int64_t SatMul(int64_t a, int64_t b) {
-  if (a == 0 || b == 0) {
-    return 0;
+// Negated lower bound feeding an upper bound: -(-inf) = +inf; the genuine
+// constant INT64_MAX negates exactly (INT64_MIN + 1 fits).
+int64_t NegHi(int64_t lo_bound) {
+  if (lo_bound == Interval::kMin) {
+    return Interval::kMax;
   }
-  const bool negative = (a < 0) != (b < 0);
-  if (IsInf(a) || IsInf(b)) {
-    return negative ? Interval::kMin : Interval::kMax;
+  return -lo_bound;
+}
+
+int64_t NarrowLo(__int128 v) {
+  if (v < static_cast<__int128>(Interval::kMin)) {
+    return Interval::kMin;
   }
-  int64_t out;
-  if (__builtin_mul_overflow(a, b, &out)) {
-    return negative ? Interval::kMin : Interval::kMax;
+  if (v > static_cast<__int128>(Interval::kMax)) {
+    return Interval::kMax;
   }
-  return out;
+  return static_cast<int64_t>(v);
+}
+
+int64_t NarrowHi(__int128 v) {
+  if (v > static_cast<__int128>(Interval::kMax)) {
+    return Interval::kMax;
+  }
+  if (v < static_cast<__int128>(Interval::kMin)) {
+    return Interval::kMin;
+  }
+  return static_cast<int64_t>(v);
 }
 
 }  // namespace
@@ -92,26 +131,59 @@ Interval AddI(const Interval& a, const Interval& b) {
   if (a.bottom || b.bottom) {
     return Interval::Bottom();
   }
-  return {SatAdd(a.lo, b.lo), SatAdd(a.hi, b.hi), false};
+  return {SatAddLo(a.lo, b.lo), SatAddHi(a.hi, b.hi), false};
 }
 
 Interval NegI(const Interval& a) {
   if (a.bottom) {
     return a;
   }
-  return {SatNeg(a.hi), SatNeg(a.lo), false};
+  return {NegLo(a.hi), NegHi(a.lo), false};
 }
 
-Interval SubI(const Interval& a, const Interval& b) { return AddI(a, NegI(b)); }
+Interval SubI(const Interval& a, const Interval& b) {
+  // Direct subtraction rather than AddI(a, NegI(b)): negation maps the
+  // genuine constant kMin+1 to kMax, which the hi position then reads as
+  // +inf, losing a finite bound the difference actually has. Computing the
+  // bound differences in __int128 keeps exactly what the constant-interval
+  // algebra keeps, preserving the cross-domain bijection.
+  if (a.bottom || b.bottom) {
+    return Interval::Bottom();
+  }
+  const int64_t lo =
+      (a.lo == Interval::kMin || b.hi == Interval::kMax)
+          ? Interval::kMin
+          : NarrowLo(static_cast<__int128>(a.lo) - b.hi);
+  const int64_t hi =
+      (a.hi == Interval::kMax || b.lo == Interval::kMin)
+          ? Interval::kMax
+          : NarrowHi(static_cast<__int128>(a.hi) - b.lo);
+  return {lo, hi, false};
+}
 
 Interval MulI(const Interval& a, const Interval& b) {
   if (a.bottom || b.bottom) {
     return Interval::Bottom();
   }
-  const int64_t products[] = {SatMul(a.lo, b.lo), SatMul(a.lo, b.hi), SatMul(a.hi, b.lo),
-                              SatMul(a.hi, b.hi)};
-  return {*std::min_element(products, products + 4),
-          *std::max_element(products, products + 4), false};
+  // Corner products in __int128 with pseudo-infinities at ±2^63: one past
+  // the genuine extremes, so a sentinel (infinite) bound and the genuine
+  // extreme constant stay distinguishable and products of true infinities
+  // always land outside int64 and saturate. |corner| <= 2^126 fits __int128.
+  constexpr __int128 kInf128 = static_cast<__int128>(1) << 63;
+  const __int128 xs[2] = {a.lo == Interval::kMin ? -kInf128 : static_cast<__int128>(a.lo),
+                          a.hi == Interval::kMax ? kInf128 : static_cast<__int128>(a.hi)};
+  const __int128 ys[2] = {b.lo == Interval::kMin ? -kInf128 : static_cast<__int128>(b.lo),
+                          b.hi == Interval::kMax ? kInf128 : static_cast<__int128>(b.hi)};
+  __int128 lo = xs[0] * ys[0];
+  __int128 hi = lo;
+  for (const __int128 x : xs) {
+    for (const __int128 y : ys) {
+      const __int128 p = x * y;
+      lo = std::min(lo, p);
+      hi = std::max(hi, p);
+    }
+  }
+  return {NarrowLo(lo), NarrowHi(hi), false};
 }
 
 Interval DivI(const Interval& a, const Interval& b) {
@@ -121,24 +193,29 @@ Interval DivI(const Interval& a, const Interval& b) {
   if (IsInf(a.lo) || IsInf(a.hi) || IsInf(b.lo) || IsInf(b.hi)) {
     return Interval::Top();
   }
-  // Divisor interval must not contain zero (caller refines first).
+  // Truncated division is monotone in both operands only while the divisor
+  // keeps one sign, so evaluate the positive and negative divisor parts
+  // separately; a part clipped to ±1 also covers the old "straddling"
+  // extremes (x/1 = x, x/-1 = -x). Zero is a fault, not a value (the caller
+  // refines the divisor first). All bounds are finite here (the IsInf
+  // check above) so the int64 divisions cannot overflow.
   std::vector<int64_t> corners;
-  for (const int64_t x : {a.lo, a.hi}) {
-    for (const int64_t y : {b.lo, b.hi}) {
-      if (y != 0) {
+  if (b.hi >= 1) {
+    for (const int64_t x : {a.lo, a.hi}) {
+      for (const int64_t y : {std::max<int64_t>(b.lo, 1), b.hi}) {
         corners.push_back(x / y);
       }
     }
   }
-  // If b straddles ±1 around the excluded zero, include ±|a| extremes.
-  if (b.lo < 0 && b.hi > 0) {
+  if (b.lo <= -1) {
     for (const int64_t x : {a.lo, a.hi}) {
-      corners.push_back(x);
-      corners.push_back(SatNeg(x));
+      for (const int64_t y : {b.lo, std::min<int64_t>(b.hi, -1)}) {
+        corners.push_back(x / y);
+      }
     }
   }
   if (corners.empty()) {
-    return Interval::Bottom();
+    return Interval::Bottom();  // Divisor interval is exactly {0}.
   }
   return {*std::min_element(corners.begin(), corners.end()),
           *std::max_element(corners.begin(), corners.end()), false};
@@ -151,31 +228,210 @@ Interval RemI(const Interval& a, const Interval& b) {
   if (IsInf(b.lo) || IsInf(b.hi)) {
     return Interval::Top();
   }
-  // |a % b| < max(|b.lo|, |b.hi|); sign follows the dividend.
-  const int64_t mag = std::max(b.lo == Interval::kMin ? Interval::kMax : std::abs(b.lo),
-                               b.hi == Interval::kMin ? Interval::kMax : std::abs(b.hi));
+  // |a % b| < max(|b.lo|, |b.hi|); sign follows the dividend. Both bounds
+  // are finite after the IsInf check, so std::abs is safe.
+  const int64_t mag = std::max(std::abs(b.lo), std::abs(b.hi));
   if (mag == 0) {
     return Interval::Bottom();
   }
-  Interval out = Interval::Range(SatNeg(mag - 1), mag - 1);
-  if (!a.bottom && a.lo >= 0) {
+  Interval out = Interval::Range(-(mag - 1), mag - 1);
+  if (a.lo >= 0) {
     out = Meet(out, Interval::Range(0, Interval::kMax));
   }
-  if (!a.bottom && a.hi <= 0) {
+  if (a.hi <= 0) {
     out = Meet(out, Interval::Range(Interval::kMin, 0));
   }
   return out;
 }
 
+Interval FromConstantInterval(const support::ConstantInterval& ci) {
+  if (ci.is_empty()) {
+    return Interval::Bottom();
+  }
+  return Interval::Range(ci.min_defined ? ci.min : Interval::kMin,
+                         ci.max_defined ? ci.max : Interval::kMax);
+}
+
+support::ConstantInterval ToConstantInterval(const Interval& iv) {
+  if (iv.bottom) {
+    return support::ConstantInterval::Empty();
+  }
+  support::ConstantInterval ci;
+  if (iv.lo != Interval::kMin) {
+    ci.min = iv.lo;
+    ci.min_defined = true;
+  }
+  if (iv.hi != Interval::kMax) {
+    ci.max = iv.hi;
+    ci.max_defined = true;
+  }
+  return ci;
+}
+
 namespace {
 
+// --- Value domains ------------------------------------------------------------
+//
+// The analyzer below is one template shared by both CLAIR_DATAFLOW modes;
+// only the value domain differs. Reference mode keeps the original sentinel
+// Interval; engine mode stores support::ConstantInterval values and runs the
+// new algebra. Engine values are kept *normalised* (a defined bound sitting
+// exactly on an int64 extreme is converted to an undefined side), which makes
+// the sentinel<->flags mapping a bijection under which every operation pair
+// below is equal — so both modes produce bit-identical reports by
+// construction. Each domain exposes sentinel-style Lo/Hi accessors so the
+// shared refinement and bounds-check logic reads identically in both modes.
+
+struct RefDomain {
+  using Value = Interval;
+
+  static Value Top() { return Interval::Top(); }
+  static Value Bottom() { return Interval::Bottom(); }
+  static Value Const(int64_t v) { return Interval::Const(v); }
+  static Value Range(int64_t lo, int64_t hi) { return Interval::Range(lo, hi); }
+  static Value FromInterval(const Interval& iv) { return iv; }
+  static Interval ToInterval(const Value& v) { return v; }
+
+  static bool IsBottom(const Value& v) { return v.bottom; }
+  static bool Contains(const Value& v, int64_t x) { return v.Contains(x); }
+  static int64_t Lo(const Value& v) { return v.lo; }
+  static int64_t Hi(const Value& v) { return v.hi; }
+
+  static Value Join(const Value& a, const Value& b) { return dataflow::Join(a, b); }
+  static Value Meet(const Value& a, const Value& b) { return dataflow::Meet(a, b); }
+  static Value Widen(const Value& o, const Value& n) { return dataflow::Widen(o, n); }
+  static Value Add(const Value& a, const Value& b) { return AddI(a, b); }
+  static Value Sub(const Value& a, const Value& b) { return SubI(a, b); }
+  static Value Mul(const Value& a, const Value& b) { return MulI(a, b); }
+  static Value Neg(const Value& a) { return NegI(a); }
+  static Value Div(const Value& a, const Value& b) { return DivI(a, b); }
+  static Value Rem(const Value& a, const Value& b) { return RemI(a, b); }
+};
+
+struct CiDomain {
+  using Value = support::ConstantInterval;
+
+  // Keeps engine values inside the bijective image of the sentinel domain:
+  // a defined bound on an int64 extreme carries the same information as an
+  // unbounded side there, so fold it.
+  static Value Normal(Value v) {
+    if (v.is_empty()) {
+      return support::ConstantInterval::Empty();
+    }
+    if (v.min_defined && v.min == INT64_MIN) {
+      v.min_defined = false;
+      v.min = 0;
+    }
+    if (v.max_defined && v.max == INT64_MAX) {
+      v.max_defined = false;
+      v.max = 0;
+    }
+    return v;
+  }
+
+  static Value Top() { return support::ConstantInterval::Everything(); }
+  static Value Bottom() { return support::ConstantInterval::Empty(); }
+  static Value Const(int64_t v) {
+    return Normal(support::ConstantInterval::SinglePoint(v));
+  }
+  // Sentinel-style constructor: kMin/kMax arguments mean unbounded sides.
+  static Value Range(int64_t lo, int64_t hi) {
+    if (lo > hi) {
+      return Bottom();
+    }
+    return Normal(support::ConstantInterval::Bounded(lo, hi));
+  }
+  static Value FromInterval(const Interval& iv) { return ToConstantInterval(iv); }
+  static Interval ToInterval(const Value& v) { return FromConstantInterval(v); }
+
+  static bool IsBottom(const Value& v) { return v.is_empty(); }
+  static bool Contains(const Value& v, int64_t x) {
+    return !v.is_empty() && v.Contains(x);
+  }
+  static int64_t Lo(const Value& v) {
+    return v.min_defined ? v.min : Interval::kMin;
+  }
+  static int64_t Hi(const Value& v) {
+    return v.max_defined ? v.max : Interval::kMax;
+  }
+
+  static Value Join(const Value& a, const Value& b) {
+    return Normal(support::ConstantInterval::Union(a, b));
+  }
+  static Value Meet(const Value& a, const Value& b) {
+    return Normal(support::ConstantInterval::Intersection(a, b));
+  }
+  static Value Widen(const Value& older, const Value& newer) {
+    if (older.is_empty()) {
+      return newer;
+    }
+    if (newer.is_empty()) {
+      return older;
+    }
+    Value out = older;
+    if (older.min_defined && (!newer.min_defined || newer.min < older.min)) {
+      out.min_defined = false;
+      out.min = 0;
+    }
+    if (older.max_defined && (!newer.max_defined || newer.max > older.max)) {
+      out.max_defined = false;
+      out.max = 0;
+    }
+    return out;
+  }
+  static Value Add(const Value& a, const Value& b) { return Normal(a + b); }
+  static Value Sub(const Value& a, const Value& b) { return Normal(a - b); }
+  static Value Mul(const Value& a, const Value& b) { return Normal(a * b); }
+  static Value Neg(const Value& a) { return Normal(-a); }
+  static Value Div(const Value& a, const Value& b) {
+    if (a.is_empty() || b.is_empty()) {
+      return Bottom();
+    }
+    // Mirror the reference coarsening: any unbounded side gives up, and a
+    // {0}-only divisor means every execution faults. Within those guards the
+    // ConstantInterval sign-split division computes the same corners as the
+    // fixed DivI.
+    if (!a.is_bounded() || !b.is_bounded()) {
+      return Top();
+    }
+    if (b.is_single_point(0)) {
+      return Bottom();
+    }
+    return Normal(a / b);
+  }
+  static Value Rem(const Value& a, const Value& b) {
+    if (a.is_empty() || b.is_empty()) {
+      return Bottom();
+    }
+    if (!b.is_bounded()) {
+      return Top();
+    }
+    // Same magnitude bound as the reference RemI (no dividend-magnitude
+    // tightening: that extra precision lives in the support algebra's
+    // operator% and would break cross-mode report equality here).
+    const int64_t mag = std::max(std::abs(b.min), std::abs(b.max));
+    if (mag == 0) {
+      return Bottom();
+    }
+    Value out = Range(-(mag - 1), mag - 1);
+    if (a.min_defined && a.min >= 0) {
+      out = Meet(out, support::ConstantInterval::BoundedBelow(0));
+    }
+    if (a.max_defined && a.max <= 0) {
+      out = Meet(out, support::ConstantInterval::BoundedAbove(0));
+    }
+    return out;
+  }
+};
+
 // Per-program-point abstract state.
-struct AbsState {
-  std::vector<Interval> regs;
-  std::vector<Interval> arrays;  // Value summary per local array.
+template <typename V>
+struct AbsStateT {
+  std::vector<V> regs;
+  std::vector<V> arrays;  // Value summary per local array.
   bool reachable = false;
 
-  bool operator==(const AbsState&) const = default;
+  bool operator==(const AbsStateT&) const = default;
 };
 
 // A comparison definition used for branch refinement: reg = a OP b.
@@ -202,8 +458,14 @@ bool IsComparisonOp(lang::BinaryOp op) {
   }
 }
 
+// The fixpoint analyzer, shared verbatim by both modes; `D` supplies the
+// value domain (see the domain structs above).
+template <typename D>
 class IntervalAnalyzer {
  public:
+  using V = typename D::Value;
+  using AbsState = AbsStateT<V>;
+
   IntervalAnalyzer(const lang::IrFunction& fn, const IntervalOptions& options,
                    const CfgView* cfg)
       : fn_(fn), options_(options), cfg_(cfg) {}
@@ -220,13 +482,13 @@ class IntervalAnalyzer {
     AbsState entry = MakeBottom();
     entry.reachable = true;
     for (auto& reg : entry.regs) {
-      reg = Interval::Const(0);
+      reg = D::Const(0);
     }
     for (const lang::RegId param : fn_.param_regs) {
-      entry.regs[static_cast<size_t>(param)] = Interval::Top();
+      entry.regs[static_cast<size_t>(param)] = D::Top();
     }
     for (size_t a = 0; a < fn_.arrays.size(); ++a) {
-      entry.arrays[a] = fn_.arrays[a].is_param ? Interval::Top() : Interval::Const(0);
+      entry.arrays[a] = fn_.arrays[a].is_param ? D::Top() : D::Const(0);
     }
     in_[0] = entry;
 
@@ -286,6 +548,9 @@ class IntervalAnalyzer {
 
     // Final checking pass with the stable states.
     IntervalReport report;
+    if (options_.record_block_ranges) {
+      report.block_entry_regs.resize(num_blocks);
+    }
     for (size_t b = 0; b < num_blocks; ++b) {
       if (!in_[b].reachable) {
         continue;
@@ -295,10 +560,18 @@ class IntervalAnalyzer {
       for (size_t r = 0; r < in_[b].regs.size(); ++r) {
         const auto& iv = in_[b].regs[r];
         std::fprintf(stderr, " %s=[%lld,%lld]%s", fn_.reg_names[r].c_str(),
-                     (long long)iv.lo, (long long)iv.hi, iv.bottom ? "B" : "");
+                     (long long)D::Lo(iv), (long long)D::Hi(iv),
+                     D::IsBottom(iv) ? "B" : "");
       }
       std::fprintf(stderr, "\n");
 #endif
+      if (options_.record_block_ranges) {
+        auto& regs = report.block_entry_regs[b];
+        regs.reserve(in_[b].regs.size());
+        for (const V& reg : in_[b].regs) {
+          regs.push_back(D::ToInterval(reg));
+        }
+      }
       AbsState state = in_[b];
       CmpDefMap cmp_defs;
       TransferBlock(static_cast<lang::BlockId>(b), state, cmp_defs, &report);
@@ -311,8 +584,8 @@ class IntervalAnalyzer {
 
   AbsState MakeBottom() const {
     AbsState state;
-    state.regs.assign(static_cast<size_t>(fn_.reg_count), Interval::Bottom());
-    state.arrays.assign(fn_.arrays.size(), Interval::Bottom());
+    state.regs.assign(static_cast<size_t>(fn_.reg_count), D::Bottom());
+    state.arrays.assign(fn_.arrays.size(), D::Bottom());
     state.reachable = false;
     return state;
   }
@@ -321,7 +594,7 @@ class IntervalAnalyzer {
     // A refinement that produced an empty interval for some register proves
     // the edge infeasible.
     for (const auto& reg : state.regs) {
-      if (reg.bottom) {
+      if (D::IsBottom(reg)) {
         return true;
       }
     }
@@ -337,10 +610,10 @@ class IntervalAnalyzer {
     }
     AbsState out = a;
     for (size_t r = 0; r < out.regs.size(); ++r) {
-      out.regs[r] = Join(a.regs[r], b.regs[r]);
+      out.regs[r] = D::Join(a.regs[r], b.regs[r]);
     }
     for (size_t arr = 0; arr < out.arrays.size(); ++arr) {
-      out.arrays[arr] = Join(a.arrays[arr], b.arrays[arr]);
+      out.arrays[arr] = D::Join(a.arrays[arr], b.arrays[arr]);
     }
     return out;
   }
@@ -351,10 +624,10 @@ class IntervalAnalyzer {
     }
     AbsState out = newer;
     for (size_t r = 0; r < out.regs.size(); ++r) {
-      out.regs[r] = Widen(older.regs[r], newer.regs[r]);
+      out.regs[r] = D::Widen(older.regs[r], newer.regs[r]);
     }
     for (size_t arr = 0; arr < out.arrays.size(); ++arr) {
-      out.arrays[arr] = Widen(older.arrays[arr], newer.arrays[arr]);
+      out.arrays[arr] = D::Widen(older.arrays[arr], newer.arrays[arr]);
     }
     return out;
   }
@@ -370,19 +643,19 @@ class IntervalAnalyzer {
     }
   }
 
-  Interval RegOf(const AbsState& state, lang::RegId reg) const {
+  V RegOf(const AbsState& state, lang::RegId reg) const {
     return state.regs[static_cast<size_t>(reg)];
   }
 
   void TransferInstr(const lang::IrInstr& instr, AbsState& state, CmpDefMap& cmp_defs,
                      IntervalReport* report) {
-    auto set = [&state, &cmp_defs](lang::RegId reg, const Interval& value) {
+    auto set = [&state, &cmp_defs](lang::RegId reg, const V& value) {
       state.regs[static_cast<size_t>(reg)] = value;
       cmp_defs[static_cast<size_t>(reg)].valid = false;
     };
     switch (instr.op) {
       case lang::IrOpcode::kConst:
-        set(instr.dst, Interval::Const(instr.imm));
+        set(instr.dst, D::Const(instr.imm));
         break;
       case lang::IrOpcode::kCopy:
         set(instr.dst, RegOf(state, instr.a));
@@ -390,40 +663,40 @@ class IntervalAnalyzer {
         cmp_defs[static_cast<size_t>(instr.dst)] = cmp_defs[static_cast<size_t>(instr.a)];
         break;
       case lang::IrOpcode::kUnOp: {
-        const Interval a = RegOf(state, instr.a);
+        const V a = RegOf(state, instr.a);
         switch (instr.unary_op) {
           case lang::UnaryOp::kNeg:
-            set(instr.dst, NegI(a));
+            set(instr.dst, D::Neg(a));
             break;
           case lang::UnaryOp::kNot:
-            set(instr.dst, Interval::Range(0, 1));
+            set(instr.dst, D::Range(0, 1));
             break;
           default:
-            set(instr.dst, Interval::Top());
+            set(instr.dst, D::Top());
             break;
         }
         break;
       }
       case lang::IrOpcode::kBinOp: {
-        const Interval a = RegOf(state, instr.a);
-        const Interval b = RegOf(state, instr.b);
-        Interval value = Interval::Top();
+        const V a = RegOf(state, instr.a);
+        const V b = RegOf(state, instr.b);
+        V value = D::Top();
         switch (instr.binary_op) {
           case lang::BinaryOp::kAdd:
-            value = AddI(a, b);
+            value = D::Add(a, b);
             break;
           case lang::BinaryOp::kSub:
-            value = SubI(a, b);
+            value = D::Sub(a, b);
             break;
           case lang::BinaryOp::kMul:
-            value = MulI(a, b);
+            value = D::Mul(a, b);
             break;
           case lang::BinaryOp::kDiv:
           case lang::BinaryOp::kRem: {
             if (report != nullptr) {
               ++report->divisions;
             }
-            const bool divisor_nonzero = !b.Contains(0);
+            const bool divisor_nonzero = !D::Contains(b, 0);
             if (report != nullptr) {
               if (divisor_nonzero) {
                 ++report->proven_nonzero_divisor;
@@ -432,12 +705,13 @@ class IntervalAnalyzer {
                     {AiFinding::Kind::kPossibleDivByZero, fn_.name, instr.line});
               }
             }
-            const Interval refined_divisor =
+            const V refined_divisor =
                 divisor_nonzero ? b
-                                : Join(Meet(b, Interval::Range(Interval::kMin, -1)),
-                                       Meet(b, Interval::Range(1, Interval::kMax)));
-            value = instr.binary_op == lang::BinaryOp::kDiv ? DivI(a, refined_divisor)
-                                                            : RemI(a, refined_divisor);
+                                : D::Join(D::Meet(b, D::Range(Interval::kMin, -1)),
+                                          D::Meet(b, D::Range(1, Interval::kMax)));
+            value = instr.binary_op == lang::BinaryOp::kDiv
+                        ? D::Div(a, refined_divisor)
+                        : D::Rem(a, refined_divisor);
             break;
           }
           case lang::BinaryOp::kEq:
@@ -446,22 +720,22 @@ class IntervalAnalyzer {
           case lang::BinaryOp::kLe:
           case lang::BinaryOp::kGt:
           case lang::BinaryOp::kGe:
-            value = Interval::Range(0, 1);
+            value = D::Range(0, 1);
             break;
           case lang::BinaryOp::kAnd:
           case lang::BinaryOp::kOr:
-            value = Interval::Range(0, 1);
+            value = D::Range(0, 1);
             break;
           case lang::BinaryOp::kBitAnd:
-            if (!a.bottom && !b.bottom && a.lo >= 0 && b.lo >= 0) {
-              value = Interval::Range(0, std::min(a.hi, b.hi));
+            if (!D::IsBottom(a) && !D::IsBottom(b) && D::Lo(a) >= 0 && D::Lo(b) >= 0) {
+              value = D::Range(0, std::min(D::Hi(a), D::Hi(b)));
             }
             break;
           case lang::BinaryOp::kBitOr:
           case lang::BinaryOp::kBitXor:
           case lang::BinaryOp::kShl:
           case lang::BinaryOp::kShr:
-            value = Interval::Top();
+            value = D::Top();
             break;
         }
         set(instr.dst, value);
@@ -476,14 +750,14 @@ class IntervalAnalyzer {
         break;
       }
       case lang::IrOpcode::kLoadGlobal:
-        set(instr.dst, Interval::Top());  // Globals are modelled as Top.
+        set(instr.dst, D::Top());  // Globals are modelled as Top.
         break;
       case lang::IrOpcode::kStoreGlobal:
         break;
       case lang::IrOpcode::kArrayLoad:
       case lang::IrOpcode::kArrayStore: {
         int64_t size = 0;
-        Interval summary = Interval::Top();
+        V summary = D::Top();
         if (instr.array >= 0) {
           size = fn_.arrays[static_cast<size_t>(instr.array)].size;
           summary = state.arrays[static_cast<size_t>(instr.array)];
@@ -497,10 +771,10 @@ class IntervalAnalyzer {
           // whole-module wrapper below. For intraprocedural runs this arm is
           // conservative.)
         }
-        const Interval index = RegOf(state, instr.a);
+        const V index = RegOf(state, instr.a);
         if (report != nullptr && size > 0) {
           ++report->array_accesses;
-          if (!index.bottom && index.lo >= 0 && index.hi < size) {
+          if (!D::IsBottom(index) && D::Lo(index) >= 0 && D::Hi(index) < size) {
             ++report->proven_in_bounds;
           } else {
             report->findings.push_back(
@@ -508,20 +782,20 @@ class IntervalAnalyzer {
           }
         }
         if (instr.op == lang::IrOpcode::kArrayLoad) {
-          set(instr.dst, instr.array >= 0 ? summary : Interval::Top());
+          set(instr.dst, instr.array >= 0 ? summary : D::Top());
         } else if (instr.array >= 0) {
           state.arrays[static_cast<size_t>(instr.array)] =
-              Join(summary, RegOf(state, instr.b));
+              D::Join(summary, RegOf(state, instr.b));
         }
         break;
       }
       case lang::IrOpcode::kCall:
         if (instr.dst != lang::kNoReg) {
-          set(instr.dst, Interval::Top());
+          set(instr.dst, D::Top());
         }
         break;
       case lang::IrOpcode::kInput:
-        set(instr.dst, options_.input_range);
+        set(instr.dst, D::FromInterval(options_.input_range));
         break;
       case lang::IrOpcode::kOutput:
       case lang::IrOpcode::kAssume:
@@ -781,41 +1055,43 @@ class IntervalAnalyzer {
           return;
       }
     }
-    Interval& ia = state.regs[static_cast<size_t>(reg_a)];
-    Interval& ib = state.regs[static_cast<size_t>(reg_b)];
-    Interval new_a = ia;
-    Interval new_b = ib;
+    V& ia = state.regs[static_cast<size_t>(reg_a)];
+    V& ib = state.regs[static_cast<size_t>(reg_b)];
+    V new_a = ia;
+    V new_b = ib;
+    // Endpoint nudges go through the direction-aware saturating helpers:
+    // `lo + 1` stays -inf when lo is the sentinel, `hi - 1` stays +inf.
     switch (op) {
       case lang::BinaryOp::kEq: {
-        const Interval met = Meet(ia, ib);
+        const V met = D::Meet(ia, ib);
         new_a = met;
         new_b = met;
         break;
       }
       case lang::BinaryOp::kNe:
-        if (ib.IsConst() && ia.Contains(ib.lo)) {
-          if (ia.lo == ib.lo) {
-            new_a = Interval::Range(SatAdd(ia.lo, 1), ia.hi);
-          } else if (ia.hi == ib.lo) {
-            new_a = Interval::Range(ia.lo, SatAdd(ia.hi, -1));
+        if (!D::IsBottom(ib) && D::Lo(ib) == D::Hi(ib) && D::Contains(ia, D::Lo(ib))) {
+          if (D::Lo(ia) == D::Lo(ib)) {
+            new_a = D::Range(SatAddLo(D::Lo(ia), 1), D::Hi(ia));
+          } else if (D::Hi(ia) == D::Lo(ib)) {
+            new_a = D::Range(D::Lo(ia), SatAddHi(D::Hi(ia), -1));
           }
         }
         break;
       case lang::BinaryOp::kLt:
-        new_a = Meet(ia, Interval::Range(Interval::kMin, SatAdd(ib.hi, -1)));
-        new_b = Meet(ib, Interval::Range(SatAdd(ia.lo, 1), Interval::kMax));
+        new_a = D::Meet(ia, D::Range(Interval::kMin, SatAddHi(D::Hi(ib), -1)));
+        new_b = D::Meet(ib, D::Range(SatAddLo(D::Lo(ia), 1), Interval::kMax));
         break;
       case lang::BinaryOp::kLe:
-        new_a = Meet(ia, Interval::Range(Interval::kMin, ib.hi));
-        new_b = Meet(ib, Interval::Range(ia.lo, Interval::kMax));
+        new_a = D::Meet(ia, D::Range(Interval::kMin, D::Hi(ib)));
+        new_b = D::Meet(ib, D::Range(D::Lo(ia), Interval::kMax));
         break;
       case lang::BinaryOp::kGt:
-        new_a = Meet(ia, Interval::Range(SatAdd(ib.lo, 1), Interval::kMax));
-        new_b = Meet(ib, Interval::Range(Interval::kMin, SatAdd(ia.hi, -1)));
+        new_a = D::Meet(ia, D::Range(SatAddLo(D::Lo(ib), 1), Interval::kMax));
+        new_b = D::Meet(ib, D::Range(Interval::kMin, SatAddHi(D::Hi(ia), -1)));
         break;
       case lang::BinaryOp::kGe:
-        new_a = Meet(ia, Interval::Range(ib.lo, Interval::kMax));
-        new_b = Meet(ib, Interval::Range(Interval::kMin, ia.hi));
+        new_a = D::Meet(ia, D::Range(D::Lo(ib), Interval::kMax));
+        new_b = D::Meet(ib, D::Range(Interval::kMin, D::Hi(ia)));
         break;
       default:
         return;
@@ -844,7 +1120,10 @@ class IntervalAnalyzer {
 
 IntervalReport AnalyzeIntervals(const lang::IrFunction& fn, const IntervalOptions& options,
                                 const CfgView* cfg) {
-  return IntervalAnalyzer(fn, options, cfg).Run();
+  if (options.mode == DataflowMode::kReference) {
+    return IntervalAnalyzer<RefDomain>(fn, options, cfg).Run();
+  }
+  return IntervalAnalyzer<CiDomain>(fn, options, cfg).Run();
 }
 
 metrics::FeatureVector IntervalFeatures(const lang::IrModule& module,

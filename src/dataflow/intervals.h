@@ -20,6 +20,7 @@
 #include "src/dataflow/engine.h"
 #include "src/lang/ir.h"
 #include "src/metrics/feature_vector.h"
+#include "src/support/constant_interval.h"
 #include "src/support/deadline.h"
 
 namespace dataflow {
@@ -56,6 +57,16 @@ struct Interval {
   bool operator==(const Interval&) const = default;
 };
 
+// Conversion to/from the support-layer constant-interval algebra. The
+// mapping is the canonical bijection between sentinel intervals and
+// *normalised* ConstantIntervals: lo == kMin <-> min undefined, hi == kMax
+// <-> max undefined, Bottom <-> Empty. FromConstantInterval normalises
+// (a defined bound sitting exactly on an int64 extreme becomes the
+// corresponding sentinel), so the roundtrip conflates the genuine extreme
+// constants with infinities — exactly as the sentinel domain itself does.
+support::ConstantInterval ToConstantInterval(const Interval& iv);
+Interval FromConstantInterval(const support::ConstantInterval& ci);
+
 // Lattice and arithmetic operations (all saturating; documented in the .cc).
 Interval Join(const Interval& a, const Interval& b);
 Interval Meet(const Interval& a, const Interval& b);
@@ -83,6 +94,12 @@ struct IntervalReport {
   long long divisions = 0;
   long long proven_nonzero_divisor = 0;
   std::vector<AiFinding> findings;  // Deterministic order.
+  // Proven per-register ranges at each block's entry, in sentinel-Interval
+  // currency for both modes. Filled only when
+  // IntervalOptions::record_block_ranges is set; unreachable blocks keep an
+  // empty register vector. Used by the concrete-trace cross-check in
+  // interp_property_test.
+  std::vector<std::vector<Interval>> block_entry_regs;
 };
 
 struct IntervalOptions {
@@ -96,11 +113,20 @@ struct IntervalOptions {
   // Cooperative watchdog, ticked once per worklist visit; expiry throws
   // support::DeadlineExceeded out of the analysis. Not owned.
   support::Deadline* deadline = nullptr;
-  // Where the analysis gets its CFG facts (RPO / widening points). Unlike the
-  // pure set analyses, the FIFO worklist itself is kept verbatim in both
-  // modes: widening makes interval results visitation-order-sensitive, so
-  // only the order-insensitive CFG facts differ in provenance. Both modes
-  // therefore produce identical reports by construction.
+  // Record the stable per-block entry ranges into
+  // IntervalReport::block_entry_regs (off by default; the vectors are
+  // O(blocks * regs)).
+  bool record_block_ranges = false;
+  // Selects both the CFG-fact provenance (shared CfgView vs inline
+  // recomputation) and the value domain: engine mode runs on the
+  // support::ConstantInterval algebra, reference mode on the original
+  // sentinel domain. The FIFO worklist and every transfer/refinement rule
+  // are one shared template: widening makes interval results
+  // visitation-order-sensitive, so the analyzer control flow is kept
+  // verbatim and only the domain representation differs. The two domains
+  // are related by the ToConstantInterval/FromConstantInterval bijection
+  // (engine values stay normalised), so both modes produce identical
+  // reports by construction.
   DataflowMode mode = DefaultDataflowMode();
 };
 

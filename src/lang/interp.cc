@@ -9,15 +9,21 @@ namespace lang {
 namespace {
 
 // Evaluates a binary op with C-like 64-bit semantics. Division by zero is
-// reported via `ok`.
-int64_t EvalBinOp(BinaryOp op, int64_t a, int64_t b, bool& ok) {
+// reported via `ok`; `wrapped` is set when the two's-complement result
+// differs from the mathematical one.
+int64_t EvalBinOp(BinaryOp op, int64_t a, int64_t b, bool& ok, bool& wrapped) {
   ok = true;
+  wrapped = false;
+  int64_t exact;
   switch (op) {
     case BinaryOp::kAdd:
+      wrapped = __builtin_add_overflow(a, b, &exact);
       return static_cast<int64_t>(static_cast<uint64_t>(a) + static_cast<uint64_t>(b));
     case BinaryOp::kSub:
+      wrapped = __builtin_sub_overflow(a, b, &exact);
       return static_cast<int64_t>(static_cast<uint64_t>(a) - static_cast<uint64_t>(b));
     case BinaryOp::kMul:
+      wrapped = __builtin_mul_overflow(a, b, &exact);
       return static_cast<int64_t>(static_cast<uint64_t>(a) * static_cast<uint64_t>(b));
     case BinaryOp::kDiv:
       if (b == 0) {
@@ -25,6 +31,7 @@ int64_t EvalBinOp(BinaryOp op, int64_t a, int64_t b, bool& ok) {
         return 0;
       }
       if (a == INT64_MIN && b == -1) {
+        wrapped = true;
         return INT64_MIN;  // Wrap, matching two's complement hardware.
       }
       return a / b;
@@ -70,9 +77,11 @@ int64_t EvalBinOp(BinaryOp op, int64_t a, int64_t b, bool& ok) {
   return 0;
 }
 
-int64_t EvalUnOp(UnaryOp op, int64_t a) {
+int64_t EvalUnOp(UnaryOp op, int64_t a, bool& wrapped) {
+  wrapped = false;
   switch (op) {
     case UnaryOp::kNeg:
+      wrapped = a == INT64_MIN;
       return static_cast<int64_t>(0 - static_cast<uint64_t>(a));
     case UnaryOp::kNot:
       return a == 0 ? 1 : 0;
@@ -147,6 +156,9 @@ class Machine {
 
     BlockId block = 0;
     for (;;) {
+      if (options_.observer != nullptr) {
+        options_.observer->OnBlockEntry(fn, block, regs);
+      }
       const IrBlock& bb = fn.blocks[static_cast<size_t>(block)];
       for (const auto& instr : bb.instrs) {
         if (++trace_.steps > options_.max_steps) {
@@ -188,15 +200,21 @@ class Machine {
       case IrOpcode::kCopy:
         regs[static_cast<size_t>(instr.dst)] = reg(instr.a);
         return true;
-      case IrOpcode::kUnOp:
-        regs[static_cast<size_t>(instr.dst)] = EvalUnOp(instr.unary_op, reg(instr.a));
+      case IrOpcode::kUnOp: {
+        bool wrapped;
+        regs[static_cast<size_t>(instr.dst)] = EvalUnOp(instr.unary_op, reg(instr.a), wrapped);
+        trace_.wraps += wrapped ? 1 : 0;
         return true;
+      }
       case IrOpcode::kBinOp: {
         bool ok;
-        const int64_t value = EvalBinOp(instr.binary_op, reg(instr.a), reg(instr.b), ok);
+        bool wrapped;
+        const int64_t value =
+            EvalBinOp(instr.binary_op, reg(instr.a), reg(instr.b), ok, wrapped);
         if (!ok) {
           return Halt(ExecOutcome::kDivisionByZero, instr.line);
         }
+        trace_.wraps += wrapped ? 1 : 0;
         regs[static_cast<size_t>(instr.dst)] = value;
         return true;
       }

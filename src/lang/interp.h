@@ -34,8 +34,24 @@ struct ExecTrace {
   uint64_t steps = 0;                 // Instructions executed.
   uint64_t branches = 0;              // Conditional branches taken.
   uint64_t inputs_consumed = 0;
+  // Arithmetic ops whose two's-complement result differs from the
+  // mathematical one (add/sub/mul/neg overflow, INT64_MIN / -1). Lets
+  // soundness cross-checks against the interval analysis — which models
+  // non-wrapping integers — skip traces the analysis does not claim to
+  // cover.
+  uint64_t wraps = 0;
   int fault_line = 0;                 // Source line for abnormal outcomes.
   std::string error;                  // For kError.
+};
+
+// Callback fired when control enters a basic block, with the full register
+// file at entry (before the block's first instruction). Used by tests to
+// cross-check concrete register values against per-block proven ranges.
+class BlockObserver {
+ public:
+  virtual ~BlockObserver() = default;
+  virtual void OnBlockEntry(const IrFunction& fn, BlockId block,
+                            const std::vector<int64_t>& regs) = 0;
 };
 
 struct InterpOptions {
@@ -46,6 +62,9 @@ struct InterpOptions {
   // the interpreter degrades gracefully rather than throwing, and the stage
   // owner decides whether an expired deadline downgrades the whole stage.
   support::Deadline* deadline = nullptr;
+  // Per-block entry hook (not owned). Fires in every function activation,
+  // including callees.
+  BlockObserver* observer = nullptr;
 };
 
 // Runs `entry` with the given scalar arguments. Each input() call consumes the

@@ -1,0 +1,336 @@
+#include "src/support/constant_interval.h"
+
+#include <algorithm>
+
+namespace support {
+namespace {
+
+// Extended bound: a finite __int128 value or a signed infinity. All
+// arithmetic runs in this domain so no int64 overflow can corrupt a bound;
+// narrowing back to int64 happens once, at the end, per direction.
+struct Ext {
+  int cls = 0;  // -1: -infinity, 0: finite, +1: +infinity.
+  __int128 v = 0;
+};
+
+Ext NegInf() { return {-1, 0}; }
+Ext PosInf() { return {+1, 0}; }
+Ext Finite(__int128 v) { return {0, v}; }
+
+Ext LowerOf(const ConstantInterval& a) {
+  return a.min_defined ? Finite(a.min) : NegInf();
+}
+Ext UpperOf(const ConstantInterval& a) {
+  return a.max_defined ? Finite(a.max) : PosInf();
+}
+
+int SignOf(const Ext& e) {
+  if (e.cls != 0) return e.cls;
+  return e.v < 0 ? -1 : (e.v > 0 ? 1 : 0);
+}
+
+bool ExtLess(const Ext& a, const Ext& b) {
+  if (a.cls != b.cls) return a.cls < b.cls;
+  return a.cls == 0 && a.v < b.v;
+}
+
+Ext ExtMin(const Ext& a, const Ext& b) { return ExtLess(b, a) ? b : a; }
+Ext ExtMax(const Ext& a, const Ext& b) { return ExtLess(a, b) ? b : a; }
+
+// Sums never mix opposite infinities here: lower-bound sums only involve
+// {-inf, finite}, upper-bound sums only {finite, +inf}.
+Ext ExtAdd(const Ext& a, const Ext& b) {
+  if (a.cls != 0) return a;
+  if (b.cls != 0) return b;
+  return Finite(a.v + b.v);
+}
+
+Ext ExtNeg(const Ext& a) {
+  if (a.cls != 0) return {-a.cls, 0};
+  return Finite(-a.v);
+}
+
+// Corner product with the 0 * inf = 0 convention: if 0 is an endpoint of an
+// operand range it is an attained value, so 0 is a valid corner result.
+Ext ExtMul(const Ext& a, const Ext& b) {
+  if (a.cls == 0 && b.cls == 0) return Finite(a.v * b.v);
+  const int sign = SignOf(a) * SignOf(b);
+  if (sign == 0) return Finite(0);
+  return {sign, 0};
+}
+
+// Truncating corner division; `b` is never zero and never spans zero (the
+// caller splits the divisor into sign-pure parts first).
+Ext ExtDiv(const Ext& a, const Ext& b) {
+  if (a.cls != 0) return {SignOf(a) * SignOf(b), 0};
+  if (b.cls != 0) return Finite(0);  // |b| > |a| eventually; trunc -> 0.
+  return Finite(a.v / b.v);
+}
+
+int64_t Clamp64(__int128 v) {
+  if (v < static_cast<__int128>(INT64_MIN)) return INT64_MIN;
+  if (v > static_cast<__int128>(INT64_MAX)) return INT64_MAX;
+  return static_cast<int64_t>(v);
+}
+
+// Narrows an extended lower/upper bound pair into a ConstantInterval. A
+// lower bound below INT64_MIN (or an upper bound above INT64_MAX) carries
+// no representable information and drops to undefined; a bound that exits
+// the int64 range on its *own* side saturates inward, which is still a
+// sound (weaker) claim.
+ConstantInterval FromExt(const Ext& lo, const Ext& hi) {
+  ConstantInterval r = ConstantInterval::Everything();
+  if (lo.cls == 0 && lo.v >= static_cast<__int128>(INT64_MIN)) {
+    r.min = Clamp64(lo.v);
+    r.min_defined = true;
+  } else if (lo.cls > 0) {
+    r.min = INT64_MAX;
+    r.min_defined = true;
+  }
+  if (hi.cls == 0 && hi.v <= static_cast<__int128>(INT64_MAX)) {
+    r.max = Clamp64(hi.v);
+    r.max_defined = true;
+  } else if (hi.cls < 0) {
+    r.max = INT64_MIN;
+    r.max_defined = true;
+  }
+  return r;
+}
+
+__int128 Abs128(int64_t x) {
+  const __int128 w = x;
+  return w < 0 ? -w : w;
+}
+
+}  // namespace
+
+void ConstantInterval::Include(int64_t x) {
+  if (is_empty()) {
+    *this = SinglePoint(x);
+    return;
+  }
+  if (min_defined) min = std::min(min, x);
+  if (max_defined) max = std::max(max, x);
+}
+
+ConstantInterval ConstantInterval::Union(const ConstantInterval& a,
+                                         const ConstantInterval& b) {
+  if (a.is_empty()) return b;
+  if (b.is_empty()) return a;
+  ConstantInterval r = Everything();
+  if (a.min_defined && b.min_defined) {
+    r.min = std::min(a.min, b.min);
+    r.min_defined = true;
+  }
+  if (a.max_defined && b.max_defined) {
+    r.max = std::max(a.max, b.max);
+    r.max_defined = true;
+  }
+  return r;
+}
+
+ConstantInterval ConstantInterval::Intersection(const ConstantInterval& a,
+                                                const ConstantInterval& b) {
+  if (a.is_empty() || b.is_empty()) return Empty();
+  ConstantInterval r = Everything();
+  if (a.min_defined || b.min_defined) {
+    r.min_defined = true;
+    r.min = a.min_defined && b.min_defined ? std::max(a.min, b.min)
+                                           : (a.min_defined ? a.min : b.min);
+  }
+  if (a.max_defined || b.max_defined) {
+    r.max_defined = true;
+    r.max = a.max_defined && b.max_defined ? std::min(a.max, b.max)
+                                           : (a.max_defined ? a.max : b.max);
+  }
+  if (r.is_empty()) return Empty();
+  return r;
+}
+
+ConstantInterval operator+(const ConstantInterval& a,
+                           const ConstantInterval& b) {
+  if (a.is_empty() || b.is_empty()) return ConstantInterval::Empty();
+  return FromExt(ExtAdd(LowerOf(a), LowerOf(b)), ExtAdd(UpperOf(a), UpperOf(b)));
+}
+
+ConstantInterval operator-(const ConstantInterval& a) {
+  if (a.is_empty()) return ConstantInterval::Empty();
+  return FromExt(ExtNeg(UpperOf(a)), ExtNeg(LowerOf(a)));
+}
+
+ConstantInterval operator-(const ConstantInterval& a,
+                           const ConstantInterval& b) {
+  // Not a + (-b): that narrows the negated operand to int64 first, and the
+  // intermediate saturation (e.g. -INT64_MIN -> INT64_MAX) can cost one
+  // unit of precision in the final bound. Subtract on extended bounds and
+  // narrow once.
+  if (a.is_empty() || b.is_empty()) return ConstantInterval::Empty();
+  return FromExt(ExtAdd(LowerOf(a), ExtNeg(UpperOf(b))),
+                 ExtAdd(UpperOf(a), ExtNeg(LowerOf(b))));
+}
+
+ConstantInterval operator*(const ConstantInterval& a,
+                           const ConstantInterval& b) {
+  if (a.is_empty() || b.is_empty()) return ConstantInterval::Empty();
+  const Ext corners[4] = {
+      ExtMul(LowerOf(a), LowerOf(b)), ExtMul(LowerOf(a), UpperOf(b)),
+      ExtMul(UpperOf(a), LowerOf(b)), ExtMul(UpperOf(a), UpperOf(b))};
+  Ext lo = corners[0];
+  Ext hi = corners[0];
+  for (int i = 1; i < 4; ++i) {
+    lo = ExtMin(lo, corners[i]);
+    hi = ExtMax(hi, corners[i]);
+  }
+  return FromExt(lo, hi);
+}
+
+ConstantInterval operator/(const ConstantInterval& a,
+                           const ConstantInterval& b) {
+  if (a.is_empty() || b.is_empty()) return ConstantInterval::Empty();
+  // Truncated division is monotone in both operands only while the divisor
+  // keeps one sign, so evaluate the positive and negative divisor parts
+  // separately and take the hull. Zero is a fault, not a value.
+  ConstantInterval out = ConstantInterval::Empty();
+  bool any_part = false;
+  const ConstantInterval parts[2] = {
+      ConstantInterval::Intersection(b, ConstantInterval::BoundedBelow(1)),
+      ConstantInterval::Intersection(b, ConstantInterval::BoundedAbove(-1))};
+  for (const ConstantInterval& part : parts) {
+    if (part.is_empty()) continue;
+    const Ext corners[4] = {
+        ExtDiv(LowerOf(a), LowerOf(part)), ExtDiv(LowerOf(a), UpperOf(part)),
+        ExtDiv(UpperOf(a), LowerOf(part)), ExtDiv(UpperOf(a), UpperOf(part))};
+    Ext lo = corners[0];
+    Ext hi = corners[0];
+    for (int i = 1; i < 4; ++i) {
+      lo = ExtMin(lo, corners[i]);
+      hi = ExtMax(hi, corners[i]);
+    }
+    out = ConstantInterval::Union(out, FromExt(lo, hi));
+    any_part = true;
+  }
+  // Divisor is exactly {0}: every execution faults; no result constraint.
+  return any_part ? out : ConstantInterval::Everything();
+}
+
+ConstantInterval operator%(const ConstantInterval& a,
+                           const ConstantInterval& b) {
+  if (a.is_empty() || b.is_empty()) return ConstantInterval::Empty();
+  // C++ remainder: sign(r) = sign(dividend), |r| < |divisor|, |r| <= |x|
+  // for the actual dividend x (so r <= max(x, 0) and r >= min(x, 0)).
+  bool mag_defined = false;
+  __int128 mag = 0;  // Upper bound on |r|.
+  if (b.is_bounded()) {
+    const __int128 bmag = std::max(Abs128(b.min), Abs128(b.max));
+    if (bmag == 0) return ConstantInterval::Everything();  // Divisor == {0}.
+    mag = bmag - 1;
+    mag_defined = true;
+  }
+  Ext lo = mag_defined ? Finite(-mag) : NegInf();
+  Ext hi = mag_defined ? Finite(mag) : PosInf();
+  if (a.min_defined) {
+    const __int128 dividend_lo = std::min<__int128>(a.min, 0);
+    if (lo.cls != 0 || lo.v < dividend_lo) lo = Finite(dividend_lo);
+  }
+  if (a.max_defined) {
+    const __int128 dividend_hi = std::max<__int128>(a.max, 0);
+    if (hi.cls != 0 || hi.v > dividend_hi) hi = Finite(dividend_hi);
+  }
+  return FromExt(lo, hi);
+}
+
+ConstantInterval ConstantInterval::Shl(const ConstantInterval& a,
+                                       const ConstantInterval& b) {
+  if (a.is_empty() || b.is_empty()) return Empty();
+  if (!b.is_bounded() || b.min < 0 || b.max > 63) return Everything();
+  const Ext powers[2] = {Finite(static_cast<__int128>(1) << b.min),
+                         Finite(static_cast<__int128>(1) << b.max)};
+  Ext lo = ExtMul(LowerOf(a), powers[0]);
+  Ext hi = ExtMul(UpperOf(a), powers[0]);
+  for (const Ext& p : powers) {
+    lo = ExtMin(lo, ExtMul(LowerOf(a), p));
+    hi = ExtMax(hi, ExtMul(UpperOf(a), p));
+  }
+  return FromExt(lo, hi);
+}
+
+ConstantInterval ConstantInterval::Shr(const ConstantInterval& a,
+                                       const ConstantInterval& b) {
+  if (a.is_empty() || b.is_empty()) return Empty();
+  if (!b.is_bounded() || b.min < 0 || b.max > 63) return Everything();
+  // Arithmetic shift = floor division by 2^s; >> on signed __int128 is
+  // arithmetic in every supported toolchain.
+  const auto shift = [](const Ext& x, int64_t s) -> Ext {
+    if (x.cls != 0) return x;
+    return Finite(x.v >> s);
+  };
+  Ext lo = shift(LowerOf(a), b.min);
+  Ext hi = shift(UpperOf(a), b.min);
+  for (const int64_t s : {b.min, b.max}) {
+    lo = ExtMin(lo, shift(LowerOf(a), s));
+    hi = ExtMax(hi, shift(UpperOf(a), s));
+  }
+  return FromExt(lo, hi);
+}
+
+ConstantInterval ConstantInterval::Min(const ConstantInterval& a,
+                                       const ConstantInterval& b) {
+  if (a.is_empty() || b.is_empty()) return Empty();
+  return FromExt(ExtMin(LowerOf(a), LowerOf(b)), ExtMin(UpperOf(a), UpperOf(b)));
+}
+
+ConstantInterval ConstantInterval::Max(const ConstantInterval& a,
+                                       const ConstantInterval& b) {
+  if (a.is_empty() || b.is_empty()) return Empty();
+  return FromExt(ExtMax(LowerOf(a), LowerOf(b)), ExtMax(UpperOf(a), UpperOf(b)));
+}
+
+ConstantInterval ConstantInterval::Abs(const ConstantInterval& a) {
+  if (a.is_empty()) return Empty();
+  Ext lo = Finite(0);
+  if (a.min_defined && a.min > 0) lo = Finite(a.min);
+  if (a.max_defined && a.max < 0) lo = Finite(Abs128(a.max));
+  const Ext hi = a.is_bounded()
+                     ? Finite(std::max(Abs128(a.min), Abs128(a.max)))
+                     : PosInf();
+  return FromExt(lo, hi);
+}
+
+Tristate ConstantInterval::ProveLt(const ConstantInterval& a,
+                                   const ConstantInterval& b) {
+  if (a.is_empty() || b.is_empty()) return Tristate::kUnknown;
+  if (a.max_defined && b.min_defined && a.max < b.min) return Tristate::kTrue;
+  if (a.min_defined && b.max_defined && a.min >= b.max) return Tristate::kFalse;
+  return Tristate::kUnknown;
+}
+
+Tristate ConstantInterval::ProveLe(const ConstantInterval& a,
+                                   const ConstantInterval& b) {
+  if (a.is_empty() || b.is_empty()) return Tristate::kUnknown;
+  if (a.max_defined && b.min_defined && a.max <= b.min) return Tristate::kTrue;
+  if (a.min_defined && b.max_defined && a.min > b.max) return Tristate::kFalse;
+  return Tristate::kUnknown;
+}
+
+Tristate ConstantInterval::ProveGe(const ConstantInterval& a,
+                                   const ConstantInterval& b) {
+  return TriNot(ProveLt(a, b));
+}
+
+Tristate ConstantInterval::ProveEq(const ConstantInterval& a,
+                                   const ConstantInterval& b) {
+  if (a.is_empty() || b.is_empty()) return Tristate::kUnknown;
+  if (a.is_single_point() && b.is_single_point(a.min)) return Tristate::kTrue;
+  if ((a.max_defined && b.min_defined && a.max < b.min) ||
+      (b.max_defined && a.min_defined && b.max < a.min)) {
+    return Tristate::kFalse;
+  }
+  return Tristate::kUnknown;
+}
+
+Tristate ConstantInterval::ProveNe(const ConstantInterval& a,
+                                   const ConstantInterval& b) {
+  return TriNot(ProveEq(a, b));
+}
+
+}  // namespace support

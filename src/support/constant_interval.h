@@ -1,0 +1,152 @@
+// A constant-interval algebra over int64 with explicit one-sided bounds.
+//
+// Unlike dataflow::Interval, which overloads INT64_MIN/INT64_MAX as
+// +/-infinity sentinels (conflating "unbounded" with the genuine extreme
+// constants), a ConstantInterval carries `min_defined`/`max_defined` flags:
+// an undefined side means "no finite bound is known", while a defined side
+// is an exact int64 claim. Arithmetic is evaluated in __int128 so no
+// intermediate overflow can silently flip a bound; a result bound that
+// leaves the int64 range either saturates inward (still a sound claim) or
+// drops to undefined, per direction.
+//
+// The modelled concrete semantics are *mathematical* integer arithmetic
+// (no wraparound): callers that need wraparound soundness must clamp the
+// result to their machine-width range themselves (see symx range_eval).
+// Division and remainder follow C++ truncation-toward-zero; shifts require
+// a shift amount provably within [0, 63] and give up otherwise.
+#ifndef SRC_SUPPORT_CONSTANT_INTERVAL_H_
+#define SRC_SUPPORT_CONSTANT_INTERVAL_H_
+
+#include <cstdint>
+
+namespace support {
+
+// Three-valued verdict for the comparison deciders.
+enum class Tristate {
+  kFalse = 0,
+  kTrue = 1,
+  kUnknown = 2,
+};
+
+inline Tristate TriNot(Tristate t) {
+  if (t == Tristate::kUnknown) return Tristate::kUnknown;
+  return t == Tristate::kTrue ? Tristate::kFalse : Tristate::kTrue;
+}
+inline Tristate TriAnd(Tristate a, Tristate b) {
+  if (a == Tristate::kFalse || b == Tristate::kFalse) return Tristate::kFalse;
+  if (a == Tristate::kTrue && b == Tristate::kTrue) return Tristate::kTrue;
+  return Tristate::kUnknown;
+}
+inline Tristate TriOr(Tristate a, Tristate b) {
+  if (a == Tristate::kTrue || b == Tristate::kTrue) return Tristate::kTrue;
+  if (a == Tristate::kFalse && b == Tristate::kFalse) return Tristate::kFalse;
+  return Tristate::kUnknown;
+}
+
+struct ConstantInterval {
+  int64_t min = 0;
+  int64_t max = 0;
+  bool min_defined = false;
+  bool max_defined = false;
+
+  // Default: the full, unbounded interval ("everything").
+  ConstantInterval() = default;
+  ConstantInterval(int64_t mn, int64_t mx)
+      : min(mn), max(mx), min_defined(true), max_defined(true) {}
+
+  static ConstantInterval Everything() { return ConstantInterval{}; }
+  static ConstantInterval SinglePoint(int64_t x) { return {x, x}; }
+  static ConstantInterval Bounded(int64_t mn, int64_t mx) { return {mn, mx}; }
+  static ConstantInterval BoundedBelow(int64_t mn) {
+    ConstantInterval r;
+    r.min = mn;
+    r.min_defined = true;
+    return r;
+  }
+  static ConstantInterval BoundedAbove(int64_t mx) {
+    ConstantInterval r;
+    r.max = mx;
+    r.max_defined = true;
+    return r;
+  }
+  // Canonical empty interval (only Intersection and explicit construction
+  // produce it; arithmetic on non-empty operands never does).
+  static ConstantInterval Empty() { return {1, 0}; }
+
+  bool is_everything() const { return !min_defined && !max_defined; }
+  bool is_bounded() const { return min_defined && max_defined; }
+  bool is_empty() const { return min_defined && max_defined && min > max; }
+  bool is_single_point() const {
+    return min_defined && max_defined && min == max;
+  }
+  bool is_single_point(int64_t x) const {
+    return min_defined && max_defined && min == x && max == x;
+  }
+
+  bool Contains(int64_t x) const {
+    return !(min_defined && x < min) && !(max_defined && x > max);
+  }
+  // Containment for mathematically exact values wider than int64 (the fuzz
+  // oracle evaluates ops in __int128).
+  bool Contains(__int128 x) const {
+    return !(min_defined && x < static_cast<__int128>(min)) &&
+           !(max_defined && x > static_cast<__int128>(max));
+  }
+
+  // Grows the interval to include x.
+  void Include(int64_t x);
+
+  bool operator==(const ConstantInterval& o) const {
+    if (is_empty() && o.is_empty()) return true;
+    return min_defined == o.min_defined && max_defined == o.max_defined &&
+           (!min_defined || min == o.min) && (!max_defined || max == o.max);
+  }
+  bool operator!=(const ConstantInterval& o) const { return !(*this == o); }
+
+  // Lattice operations. Union is the convex hull of the two intervals.
+  static ConstantInterval Union(const ConstantInterval& a,
+                                const ConstantInterval& b);
+  static ConstantInterval Intersection(const ConstantInterval& a,
+                                       const ConstantInterval& b);
+
+  // Overflow-safe arithmetic (mathematical semantics; see file comment).
+  friend ConstantInterval operator+(const ConstantInterval& a,
+                                    const ConstantInterval& b);
+  friend ConstantInterval operator-(const ConstantInterval& a,
+                                    const ConstantInterval& b);
+  friend ConstantInterval operator-(const ConstantInterval& a);
+  friend ConstantInterval operator*(const ConstantInterval& a,
+                                    const ConstantInterval& b);
+  // Truncating division; divisor values of zero are ignored (a fault, not a
+  // value). Returns Everything when the divisor is exactly {0}.
+  friend ConstantInterval operator/(const ConstantInterval& a,
+                                    const ConstantInterval& b);
+  // C++ remainder: sign follows the dividend, |r| < |b| and |r| <= |a|.
+  friend ConstantInterval operator%(const ConstantInterval& a,
+                                    const ConstantInterval& b);
+  // Shifts: `b` must be provably within [0, 63] or the result is Everything.
+  // Shl is a * 2^b; Shr is arithmetic (floor division by 2^b).
+  static ConstantInterval Shl(const ConstantInterval& a,
+                              const ConstantInterval& b);
+  static ConstantInterval Shr(const ConstantInterval& a,
+                              const ConstantInterval& b);
+
+  static ConstantInterval Min(const ConstantInterval& a,
+                              const ConstantInterval& b);
+  static ConstantInterval Max(const ConstantInterval& a,
+                              const ConstantInterval& b);
+  static ConstantInterval Abs(const ConstantInterval& a);
+
+  // Comparison deciders: cheap endpoint checks answering "provably true",
+  // "provably false", or "unknown". Empty operands yield kUnknown (the
+  // caller is asking about an infeasible state; any answer is vacuous).
+  static Tristate ProveLt(const ConstantInterval& a, const ConstantInterval& b);
+  static Tristate ProveLe(const ConstantInterval& a, const ConstantInterval& b);
+  static Tristate ProveGe(const ConstantInterval& a, const ConstantInterval& b);
+  static Tristate ProveEq(const ConstantInterval& a, const ConstantInterval& b);
+  static Tristate ProveNe(const ConstantInterval& a, const ConstantInterval& b);
+};
+
+}  // namespace support
+
+#endif  // SRC_SUPPORT_CONSTANT_INTERVAL_H_

@@ -1,0 +1,132 @@
+#include "src/support/interval_set.h"
+
+#include <algorithm>
+
+namespace support {
+namespace {
+
+// True when `r` lies entirely before value `lo` with at least a one-value
+// gap (so it can neither overlap nor coalesce with a range starting at lo).
+bool EndsStrictlyBefore(const IntervalSet::Range& r, int64_t lo) {
+  return lo != INT64_MIN && r.hi < lo - 1;
+}
+
+}  // namespace
+
+IntervalSet IntervalSet::Of(int64_t lo, int64_t hi) {
+  IntervalSet s;
+  s.Insert(lo, hi);
+  return s;
+}
+
+IntervalSet IntervalSet::FromConstantInterval(const ConstantInterval& ci) {
+  if (ci.is_empty()) return IntervalSet();
+  return Of(ci.min_defined ? ci.min : INT64_MIN,
+            ci.max_defined ? ci.max : INT64_MAX);
+}
+
+void IntervalSet::Insert(int64_t lo, int64_t hi) {
+  if (lo > hi) return;
+  // Everything before `first` ends at least two below lo; everything from
+  // `first` to `last` overlaps or touches [lo, hi] and is coalesced into it.
+  const auto first =
+      std::partition_point(ranges_.begin(), ranges_.end(),
+                           [&](const Range& r) { return EndsStrictlyBefore(r, lo); });
+  auto last = first;
+  int64_t merged_lo = lo;
+  int64_t merged_hi = hi;
+  while (last != ranges_.end() && (hi == INT64_MAX || last->lo <= hi + 1)) {
+    merged_lo = std::min(merged_lo, last->lo);
+    merged_hi = std::max(merged_hi, last->hi);
+    ++last;
+  }
+  if (first == last) {
+    ranges_.insert(first, Range{lo, hi});
+    return;
+  }
+  first->lo = merged_lo;
+  first->hi = merged_hi;
+  ranges_.erase(first + 1, last);
+}
+
+void IntervalSet::Remove(int64_t lo, int64_t hi) {
+  if (lo > hi || ranges_.empty()) return;
+  IntersectWith(Of(lo, hi).Complement());
+}
+
+void IntervalSet::UnionWith(const IntervalSet& other) {
+  for (const Range& r : other.ranges_) Insert(r.lo, r.hi);
+}
+
+void IntervalSet::IntersectWith(const IntervalSet& other) {
+  std::vector<Range> out;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < ranges_.size() && j < other.ranges_.size()) {
+    const Range& a = ranges_[i];
+    const Range& b = other.ranges_[j];
+    const int64_t lo = std::max(a.lo, b.lo);
+    const int64_t hi = std::min(a.hi, b.hi);
+    if (lo <= hi) out.push_back(Range{lo, hi});
+    // Advance whichever range ends first; the other may still overlap more.
+    if (a.hi < b.hi) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  ranges_ = std::move(out);
+}
+
+IntervalSet IntervalSet::Complement() const {
+  IntervalSet out;
+  int64_t cursor = INT64_MIN;
+  bool cursor_valid = true;  // False once a range reaches INT64_MAX.
+  for (const Range& r : ranges_) {
+    if (cursor_valid && r.lo > cursor) {
+      out.ranges_.push_back(Range{cursor, r.lo - 1});
+    }
+    if (r.hi == INT64_MAX) {
+      cursor_valid = false;
+    } else {
+      cursor = r.hi + 1;
+    }
+  }
+  if (cursor_valid) out.ranges_.push_back(Range{cursor, INT64_MAX});
+  return out;
+}
+
+bool IntervalSet::Contains(int64_t x) const {
+  const auto it =
+      std::partition_point(ranges_.begin(), ranges_.end(),
+                           [&](const Range& r) { return r.hi < x; });
+  return it != ranges_.end() && it->lo <= x;
+}
+
+ConstantInterval IntervalSet::Hull() const {
+  if (ranges_.empty()) return ConstantInterval::Empty();
+  ConstantInterval hull = ConstantInterval::Everything();
+  if (ranges_.front().lo != INT64_MIN) {
+    hull.min = ranges_.front().lo;
+    hull.min_defined = true;
+  }
+  if (ranges_.back().hi != INT64_MAX) {
+    hull.max = ranges_.back().hi;
+    hull.max_defined = true;
+  }
+  return hull;
+}
+
+uint64_t IntervalSet::Cardinality(bool* saturated) const {
+  unsigned __int128 total = 0;
+  for (const Range& r : ranges_) {
+    const uint64_t span =
+        static_cast<uint64_t>(r.hi) - static_cast<uint64_t>(r.lo);
+    total += static_cast<unsigned __int128>(span) + 1;
+  }
+  const bool overflow = total > static_cast<unsigned __int128>(UINT64_MAX);
+  if (saturated != nullptr) *saturated = overflow;
+  return overflow ? UINT64_MAX : static_cast<uint64_t>(total);
+}
+
+}  // namespace support

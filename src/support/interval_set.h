@@ -1,0 +1,69 @@
+// A set of int64 values represented as sorted, disjoint, non-adjacent
+// closed ranges [lo, hi] (Envoy-style insert-with-coalescing). Used for
+// branch-refinement bookkeeping in the symbolic executor, where equality
+// and disequality constraints punch points and holes that a single convex
+// interval cannot express, and for exact model counting: the cardinality
+// of the refined set short-circuits full SAT enumeration.
+#ifndef SRC_SUPPORT_INTERVAL_SET_H_
+#define SRC_SUPPORT_INTERVAL_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/support/constant_interval.h"
+
+namespace support {
+
+class IntervalSet {
+ public:
+  struct Range {
+    int64_t lo = 0;
+    int64_t hi = 0;  // Inclusive.
+    bool operator==(const Range& o) const { return lo == o.lo && hi == o.hi; }
+  };
+
+  IntervalSet() = default;  // Empty set.
+
+  static IntervalSet All() { return Of(INT64_MIN, INT64_MAX); }
+  static IntervalSet Of(int64_t lo, int64_t hi);
+  // Undefined sides of the interval become the int64 extremes; an empty
+  // interval becomes the empty set.
+  static IntervalSet FromConstantInterval(const ConstantInterval& ci);
+
+  // Inserts [lo, hi], coalescing with overlapping and adjacent ranges.
+  // No-op when lo > hi.
+  void Insert(int64_t lo, int64_t hi);
+  // Removes every value in [lo, hi], splitting a straddling range.
+  void Remove(int64_t lo, int64_t hi);
+
+  void UnionWith(const IntervalSet& other);
+  void IntersectWith(const IntervalSet& other);
+  // The complement within the full int64 universe.
+  IntervalSet Complement() const;
+
+  bool Contains(int64_t x) const;
+  bool Empty() const { return ranges_.empty(); }
+  size_t NumRanges() const { return ranges_.size(); }
+  const std::vector<Range>& ranges() const { return ranges_; }
+
+  // Convex hull; ConstantInterval::Empty() for the empty set. Bounds that
+  // reach the int64 extremes are reported as undefined (unbounded) sides
+  // so downstream deciders stay conservative about saturated endpoints.
+  ConstantInterval Hull() const;
+
+  // Number of values in the set, saturating at UINT64_MAX (the full
+  // universe holds 2^64 values which does not fit; *saturated is set when
+  // the true count exceeds the returned value).
+  uint64_t Cardinality(bool* saturated = nullptr) const;
+
+  bool operator==(const IntervalSet& o) const { return ranges_ == o.ranges_; }
+  bool operator!=(const IntervalSet& o) const { return !(*this == o); }
+
+ private:
+  std::vector<Range> ranges_;  // Sorted by lo; disjoint and non-adjacent.
+};
+
+}  // namespace support
+
+#endif  // SRC_SUPPORT_INTERVAL_SET_H_

@@ -10,6 +10,7 @@
 #include "src/support/thread_pool.h"
 #include "src/symexec/bitblast.h"
 #include "src/symexec/counter.h"
+#include "src/symexec/range_eval.h"
 
 namespace symx {
 
@@ -47,6 +48,10 @@ struct PathState {
   std::vector<ExprRef> globals;
   std::vector<std::vector<ExprRef>> global_arrays;
   std::vector<ExprRef> pc;  // Path condition: conjunction of truthy exprs.
+  // Disjoint value sets implied by `pc`, keyed by subexpression: the range
+  // domain's over-approximation of the same conjunction, used to decide new
+  // branch deltas without the solver. Forked (copied) with the path.
+  RangeRefinements ranges;
   uint64_t steps = 0;
 };
 
@@ -57,10 +62,21 @@ class Explorer {
         options_(options),
         pool_(options.width),
         rng_(options.rng_seed),
+        range_eval_(pool_),
         inc_blaster_(pool_, inc_solver_),
         deadline_(options.watchdog_steps),
         fault_key_(support::FaultKeyMix(lang::ModuleFingerprint(module),
-                                       options.rng_seed)) {}
+                                       options.rng_seed)) {
+    // Solver-site fault injection is keyed by the deterministic query index;
+    // pruning changes which queries exist, which would shift every verdict.
+    // When the solver site is armed the robustness matrix must see the exact
+    // reference query stream, so the optimisation stands down there. Faults
+    // at other sites never observe individual queries and keep pruning on.
+    if (support::FaultInjector::Global().rate(support::FaultSite::kSolver) >
+        0.0) {
+      options_.range_pruning = false;
+    }
+  }
 
   SymExecResult Run(const std::string& entry) {
     const lang::IrFunction* fn = module_.FindFunction(entry);
@@ -221,6 +237,38 @@ class Explorer {
     activation_[static_cast<size_t>(c)] = act;
     cones_[static_cast<size_t>(c)] = inc_blaster_.EncodingCone(c);
     return act;
+  }
+
+  // Feasibility of `pc` (== the path's prior condition plus `delta`), with a
+  // range-domain precheck. `refs` over-approximates the models of the prior
+  // condition, so a kFalse verdict for `delta` means every model falsifies it
+  // (pc is UNSAT), and a kTrue verdict means delta is implied — pc is
+  // equisatisfiable with the prior condition, which is feasible by the path
+  // invariant. Either way the SAT query is skipped and counted as pruned;
+  // kUnknown falls through to the solver. Callers must pass the refinements
+  // from *before* learning `delta` (refining first would decide trivially).
+  bool FeasibleDelta(const RangeRefinements& refs, ExprRef delta,
+                     const std::vector<ExprRef>& pc) {
+    if (options_.range_pruning) {
+      switch (range_eval_.DecideTruthy(delta, refs)) {
+        case support::Tristate::kTrue:
+          ++result_.range_pruned;
+          return true;
+        case support::Tristate::kFalse:
+          ++result_.range_pruned;
+          return false;
+        case support::Tristate::kUnknown:
+          break;
+      }
+    }
+    return Feasible(pc);
+  }
+
+  // Learns `delta` (just asserted into a path condition) into `refs`.
+  void Refine(ExprRef delta, RangeRefinements& refs) {
+    if (options_.range_pruning) {
+      range_eval_.RefineTrue(delta, refs);
+    }
   }
 
   bool Feasible(const std::vector<ExprRef>& pc) {
@@ -435,7 +483,8 @@ class Explorer {
   // Estimated fraction of the input space satisfying `trigger_pc`.
   // Variables not mentioned by the constraints cancel between numerator and
   // denominator, so counting is projected onto the used variables only.
-  double TriggerFraction(const std::vector<ExprRef>& trigger_pc) {
+  double TriggerFraction(const std::vector<ExprRef>& trigger_pc,
+                         const RangeRefinements& refs) {
     const std::vector<int> used = UsedVars(trigger_pc);
     if (used.empty()) {
       // Fully concrete (and known feasible): triggers on every input.
@@ -444,6 +493,43 @@ class Explorer {
     const int bits = pool_.width() * static_cast<int>(used.size());
     if (result_.solver_queries >= options_.max_solver_queries) {
       return EstimateFraction(pool_, trigger_pc, rng_, options_.exploit_sample_trials);
+    }
+    if (options_.range_pruning) {
+      // Variable-separable trigger conditions count as a product of set
+      // cardinalities, skipping model enumeration. The two outcomes mirror
+      // the enumerating path exactly: an exact count below the cap returns
+      // the same ldexp value without touching the RNG, and a count at or
+      // over the cap returns max(sampled, ldexp(cap, -bits)) with the same
+      // EstimateFraction trial consumption — so the sampling stream stays
+      // aligned with reference mode across subsequent vulnerabilities.
+      // (`refs` documents provenance; the decomposition re-derives the sets
+      // from trigger_pc itself, which is the exact condition to count.)
+      (void)refs;
+      std::vector<std::pair<int32_t, support::IntervalSet>> var_sets;
+      if (range_eval_.DecomposeExact(trigger_pc, var_sets)) {
+        unsigned __int128 count = 1;
+        bool saturated = false;
+        for (const auto& vs : var_sets) {
+          bool sat = false;
+          const uint64_t card = vs.second.Cardinality(&sat);
+          saturated = saturated || sat;
+          count *= card;
+          if (count > static_cast<unsigned __int128>(UINT64_MAX)) {
+            saturated = true;
+            count = UINT64_MAX;
+          }
+        }
+        ++result_.range_pruned;
+        if (!saturated && count < options_.exploit_exact_cap) {
+          return std::ldexp(static_cast<double>(static_cast<uint64_t>(count)),
+                            -bits);
+        }
+        const double lower_bound = std::ldexp(
+            static_cast<double>(options_.exploit_exact_cap), -bits);
+        const double sampled = EstimateFraction(pool_, trigger_pc, rng_,
+                                                options_.exploit_sample_trials);
+        return std::max(sampled, lower_bound);
+      }
     }
     const CountResult counted =
         options_.incremental_solver
@@ -467,11 +553,12 @@ class Explorer {
   }
 
   void RecordVuln(VulnKind kind, const Frame& frame, int line,
-                  const std::vector<ExprRef>& trigger_pc) {
+                  const std::vector<ExprRef>& trigger_pc,
+                  const RangeRefinements& refs) {
     const auto key = std::make_pair(kind, std::make_pair(frame.fn->name, line));
     auto& entry = vuln_map_[key];
     ++entry.paths;
-    entry.fraction = std::max(entry.fraction, TriggerFraction(trigger_pc));
+    entry.fraction = std::max(entry.fraction, TriggerFraction(trigger_pc, refs));
   }
 
   void FinishVulns() {
@@ -585,22 +672,25 @@ class Explorer {
     AddConstraint(pc_true, truthy);
     std::vector<ExprRef> pc_false = state.pc;
     AddConstraint(pc_false, falsy);
-    const bool true_ok = Feasible(pc_true);
-    const bool false_ok = Feasible(pc_false);
+    const bool true_ok = FeasibleDelta(state.ranges, truthy, pc_true);
+    const bool false_ok = FeasibleDelta(state.ranges, falsy, pc_false);
     if (true_ok && false_ok) {
       ++result_.forks;
       PathState other = state;  // Deep copy.
       other.pc = std::move(pc_false);
       other.frames.back().block = term.target_false;
       other.frames.back().instr_index = 0;
+      Refine(falsy, other.ranges);
       worklist_.push_back(std::move(other));
       state.pc = std::move(pc_true);
+      Refine(truthy, state.ranges);
       frame.block = term.target_true;
       frame.instr_index = 0;
       return StepResult::kContinue;
     }
     if (true_ok || false_ok) {
       state.pc = true_ok ? std::move(pc_true) : std::move(pc_false);
+      Refine(true_ok ? truthy : falsy, state.ranges);
       frame.block = true_ok ? term.target_true : term.target_false;
       frame.instr_index = 0;
       return StepResult::kContinue;
@@ -676,8 +766,11 @@ class Explorer {
           ++result_.paths_infeasible_assume;
           return StepResult::kPathEnded;
         }
-        AddConstraint(state.pc, pool_.Truthy(cond));
-        if (!Feasible(state.pc)) {
+        const ExprRef assumed = pool_.Truthy(cond);
+        AddConstraint(state.pc, assumed);
+        const bool live = FeasibleDelta(state.ranges, assumed, state.pc);
+        Refine(assumed, state.ranges);
+        if (!live) {
           ++result_.paths_explored;
           ++result_.paths_infeasible_assume;
           return StepResult::kPathEnded;
@@ -696,7 +789,8 @@ class Explorer {
     if (divisor.op == ExprOp::kConst) {
       if (divisor.imm == 0) {
         // Unconditional division by zero on this path.
-        RecordVuln(VulnKind::kDivByZero, frame, instr.line, state.pc);
+        RecordVuln(VulnKind::kDivByZero, frame, instr.line, state.pc,
+                   state.ranges);
         ++result_.paths_explored;
         ++result_.paths_faulted;
         return StepResult::kPathEnded;
@@ -707,14 +801,20 @@ class Explorer {
       return StepResult::kContinue;
     }
     // Symbolic divisor: is zero reachable?
+    const ExprRef zero = pool_.Binary(ExprOp::kEq, b, pool_.Const(0));
     std::vector<ExprRef> zero_pc = state.pc;
-    AddConstraint(zero_pc, pool_.Binary(ExprOp::kEq, b, pool_.Const(0)));
-    if (Feasible(zero_pc)) {
-      RecordVuln(VulnKind::kDivByZero, frame, instr.line, zero_pc);
+    AddConstraint(zero_pc, zero);
+    if (FeasibleDelta(state.ranges, zero, zero_pc)) {
+      RangeRefinements zero_refs = state.ranges;
+      Refine(zero, zero_refs);
+      RecordVuln(VulnKind::kDivByZero, frame, instr.line, zero_pc, zero_refs);
     }
     // Continue on the non-zero side.
-    AddConstraint(state.pc, pool_.Binary(ExprOp::kNe, b, pool_.Const(0)));
-    if (!Feasible(state.pc)) {
+    const ExprRef nonzero = pool_.Binary(ExprOp::kNe, b, pool_.Const(0));
+    AddConstraint(state.pc, nonzero);
+    const bool live = FeasibleDelta(state.ranges, nonzero, state.pc);
+    Refine(nonzero, state.ranges);
+    if (!live) {
       ++result_.paths_explored;
       ++result_.paths_faulted;
       return StepResult::kPathEnded;
@@ -733,7 +833,8 @@ class Explorer {
     const ExprNode& index_node = pool_.node(index);
     if (index_node.op == ExprOp::kConst) {
       if (index_node.imm < 0 || index_node.imm >= size) {
-        RecordVuln(VulnKind::kOutOfBounds, frame, instr.line, state.pc);
+        RecordVuln(VulnKind::kOutOfBounds, frame, instr.line, state.pc,
+                   state.ranges);
         ++result_.paths_explored;
         ++result_.paths_faulted;
         return StepResult::kPathEnded;
@@ -752,12 +853,17 @@ class Explorer {
     const ExprRef oob = pool_.Binary(ExprOp::kOr, below, above);
     std::vector<ExprRef> oob_pc = state.pc;
     AddConstraint(oob_pc, oob);
-    if (Feasible(oob_pc)) {
-      RecordVuln(VulnKind::kOutOfBounds, frame, instr.line, oob_pc);
+    if (FeasibleDelta(state.ranges, oob, oob_pc)) {
+      RangeRefinements oob_refs = state.ranges;
+      Refine(oob, oob_refs);
+      RecordVuln(VulnKind::kOutOfBounds, frame, instr.line, oob_pc, oob_refs);
     }
     // Continue in-bounds.
-    AddConstraint(state.pc, pool_.Falsy(oob));
-    if (!Feasible(state.pc)) {
+    const ExprRef in_bounds = pool_.Falsy(oob);
+    AddConstraint(state.pc, in_bounds);
+    const bool live = FeasibleDelta(state.ranges, in_bounds, state.pc);
+    Refine(in_bounds, state.ranges);
+    if (!live) {
       ++result_.paths_explored;
       ++result_.paths_faulted;
       return StepResult::kPathEnded;
@@ -826,6 +932,7 @@ class Explorer {
   SymExecOptions options_;
   ExprPool pool_;
   support::Rng rng_;
+  RangeEvaluator range_eval_;
   // Persistent SAT instance for incremental mode: one solver + blaster for
   // the whole exploration, with per-constraint activation literals
   // (activation_[ref] == -1 until the constraint is first encoded).
@@ -875,6 +982,7 @@ metrics::FeatureVector SymexFeatures(const lang::IrModule& module,
   uint64_t oob_sites = 0;
   uint64_t div_sites = 0;
   uint64_t queries = 0;
+  uint64_t pruned = 0;
   uint64_t conflicts = 0;
   uint64_t reuse_hits = 0;
   uint64_t folds = 0;
@@ -897,6 +1005,7 @@ metrics::FeatureVector SymexFeatures(const lang::IrModule& module,
     completed += result.paths_completed;
     vuln_sites += result.vulns.size();
     queries += result.solver_queries;
+    pruned += result.range_pruned;
     conflicts += result.sat_conflicts;
     reuse_hits += result.model_reuse_hits;
     folds += result.simplifier_folds;
@@ -917,6 +1026,12 @@ metrics::FeatureVector SymexFeatures(const lang::IrModule& module,
   fv.Set("symx.oob_sites", static_cast<double>(oob_sites));
   fv.Set("symx.divzero_sites", static_cast<double>(div_sites));
   fv.Set("symx.solver_queries", static_cast<double>(queries));
+  fv.Set("symx.range_pruned", static_cast<double>(pruned));
+  // Fraction of feasibility decisions the range domain settled without a SAT
+  // query. 0 when pruning is disabled or nothing was decidable.
+  fv.Set("symx.range_prune_rate",
+         static_cast<double>(pruned) /
+             static_cast<double>(std::max<uint64_t>(1, pruned + queries)));
   fv.Set("symx.sat_conflicts", static_cast<double>(conflicts));
   fv.Set("symx.model_reuse_hits", static_cast<double>(reuse_hits));
   fv.Set("symx.simplifier_folds", static_cast<double>(folds));

@@ -49,6 +49,15 @@ struct SymExecOptions {
   // modes produce identical path counts, vuln sites, and exploitability
   // estimates (every verdict is sound and complete under the budgets).
   bool incremental_solver = true;
+  // Range-guided path pruning: track disjoint value sets implied by the
+  // path condition (see range_eval.h) and decide branch deltas with interval
+  // arithmetic before consulting the SAT solver. Decided branches skip their
+  // feasibility query entirely (counted in SymExecResult::range_pruned);
+  // undecided ones fall through to the solver, so semantic results — path
+  // counts, vulnerability sites, exploit fractions — are unchanged. `false`
+  // gives the solver-every-branch reference behaviour the equivalence tests
+  // and the bench harness compare against.
+  bool range_pruning = true;
   // Exploitability estimation: try exact projected model counting up to this
   // many models, then fall back to Monte-Carlo sampling.
   uint64_t exploit_exact_cap = 64;
@@ -95,6 +104,11 @@ struct SymExecResult {
   bool path_limit_hit = false;   // max_paths exhausted (exploration partial).
   uint64_t forks = 0;
   uint64_t solver_queries = 0;
+  // Feasibility checks decided by the constant-interval range domain without
+  // a SAT query (options.range_pruning). Each is a solver call that never
+  // happened; range_pruned / (range_pruned + solver_queries) is the prune
+  // rate the bench harness reports.
+  uint64_t range_pruned = 0;
   uint64_t sat_conflicts = 0;      // CDCL conflicts across all SAT work.
   uint64_t model_reuse_hits = 0;   // Feasibility proven by a cached model.
   uint64_t simplifier_folds = 0;   // Expressions resolved without interning.

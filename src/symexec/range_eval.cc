@@ -1,0 +1,497 @@
+#include "src/symexec/range_eval.h"
+
+#include <algorithm>
+
+namespace symx {
+
+using support::ConstantInterval;
+using support::IntervalSet;
+using support::Tristate;
+
+const IntervalSet* RangeRefinements::Find(ExprRef e) const {
+  for (const auto& entry : entries_) {
+    if (entry.first == e) return &entry.second;
+  }
+  return nullptr;
+}
+
+void RangeRefinements::Constrain(ExprRef e, const IntervalSet& s) {
+  for (auto& entry : entries_) {
+    if (entry.first == e) {
+      entry.second.IntersectWith(s);
+      return;
+    }
+  }
+  entries_.emplace_back(e, s);
+}
+
+RangeEvaluator::RangeEvaluator(const ExprPool& pool) : pool_(pool) {
+  const int w = pool.width();
+  if (w >= 64) {
+    w_min_ = INT64_MIN;
+    w_max_ = INT64_MAX;
+  } else {
+    w_max_ = (int64_t{1} << (w - 1)) - 1;
+    w_min_ = -w_max_ - 1;
+  }
+}
+
+ConstantInterval RangeEvaluator::ClampW(const ConstantInterval& ci) const {
+  // The algebra models mathematical integers; the executor evaluates in W-bit
+  // two's-complement. A result interval that fits entirely inside the W-bit
+  // signed range cannot have wrapped and is exact; anything else may have
+  // wrapped to an arbitrary W-bit value.
+  if (ci.is_empty()) return ci;
+  if (ci.min_defined && ci.max_defined && ci.min >= w_min_ && ci.max <= w_max_) {
+    return ci;
+  }
+  return ConstantInterval::Bounded(w_min_, w_max_);
+}
+
+bool RangeEvaluator::BooleanShaped(ExprRef e) const {
+  const ExprNode& n = pool_.node(e);
+  switch (n.op) {
+    case ExprOp::kEq:
+    case ExprOp::kNe:
+    case ExprOp::kSlt:
+    case ExprOp::kSle:
+    case ExprOp::kBoolNot:
+      return true;
+    case ExprOp::kConst:
+      return n.imm == 0 || n.imm == 1;
+    case ExprOp::kAnd:
+    case ExprOp::kOr:
+      return BooleanShaped(n.a) && BooleanShaped(n.b);
+    default:
+      return false;
+  }
+}
+
+ConstantInterval RangeEvaluator::RangeOf(ExprRef e,
+                                         const RangeRefinements& refs) const {
+  const ExprNode& n = pool_.node(e);
+  ConstantInterval r;
+  switch (n.op) {
+    case ExprOp::kConst:
+      // imm is stored sign-extended from W bits, so it is already in range.
+      return ConstantInterval::SinglePoint(n.imm);
+    case ExprOp::kVar:
+      r = ConstantInterval::Bounded(w_min_, w_max_);
+      break;
+    case ExprOp::kAdd:
+      r = ClampW(RangeOf(n.a, refs) + RangeOf(n.b, refs));
+      break;
+    case ExprOp::kSub:
+      r = ClampW(RangeOf(n.a, refs) - RangeOf(n.b, refs));
+      break;
+    case ExprOp::kMul:
+      r = ClampW(RangeOf(n.a, refs) * RangeOf(n.b, refs));
+      break;
+    case ExprOp::kNeg:
+      r = ClampW(-RangeOf(n.a, refs));
+      break;
+    case ExprOp::kNot:
+      // ~x == -x - 1 exactly in two's complement, and maps [w_min, w_max]
+      // onto itself, so no wrap is possible.
+      r = ClampW(ConstantInterval::SinglePoint(-1) - RangeOf(n.a, refs));
+      break;
+    case ExprOp::kAnd: {
+      const ConstantInterval ra = RangeOf(n.a, refs);
+      const ConstantInterval rb = RangeOf(n.b, refs);
+      if (ra.min_defined && ra.min >= 0 && rb.min_defined && rb.min >= 0) {
+        // Both sign bits clear: the conjunction clears bits only.
+        int64_t hi = w_max_;
+        if (ra.max_defined) hi = std::min(hi, ra.max);
+        if (rb.max_defined) hi = std::min(hi, rb.max);
+        r = ConstantInterval::Bounded(0, hi);
+      } else {
+        r = ConstantInterval::Bounded(w_min_, w_max_);
+      }
+      break;
+    }
+    case ExprOp::kOr:
+    case ExprOp::kXor: {
+      const ConstantInterval ra = RangeOf(n.a, refs);
+      const ConstantInterval rb = RangeOf(n.b, refs);
+      if (ra.min_defined && ra.min >= 0 && rb.min_defined && rb.min >= 0) {
+        // Sign bit stays clear; tighter bit-level bounds are not worth the
+        // complexity here.
+        r = ConstantInterval::Bounded(0, w_max_);
+      } else {
+        r = ConstantInterval::Bounded(w_min_, w_max_);
+      }
+      break;
+    }
+    case ExprOp::kShl:
+    case ExprOp::kShr: {
+      const ExprNode& shift = pool_.node(n.b);
+      if (shift.op != ExprOp::kConst) {
+        r = ConstantInterval::Bounded(w_min_, w_max_);
+        break;
+      }
+      const int64_t s =
+          shift.imm & (pool_.width() - 1);  // Executor masks the amount.
+      const ConstantInterval ra = RangeOf(n.a, refs);
+      if (n.op == ExprOp::kShl) {
+        r = ClampW(ConstantInterval::Shl(ra, ConstantInterval::SinglePoint(s)));
+      } else if (s == 0) {
+        r = ra;
+      } else if (ra.min_defined && ra.min >= 0) {
+        // Logical and arithmetic right shift agree on non-negative values.
+        r = ClampW(ConstantInterval::Shr(ra, ConstantInterval::SinglePoint(s)));
+      } else {
+        // Logical shift of a possibly-negative W-bit pattern: the result's
+        // top s bits are zero, so it is non-negative.
+        r = ConstantInterval::Bounded(0, w_max_);
+      }
+      break;
+    }
+    case ExprOp::kEq:
+    case ExprOp::kNe:
+    case ExprOp::kSlt:
+    case ExprOp::kSle:
+    case ExprOp::kBoolNot:
+      switch (DecideTruthy(e, refs)) {
+        case Tristate::kTrue:
+          r = ConstantInterval::SinglePoint(1);
+          break;
+        case Tristate::kFalse:
+          r = ConstantInterval::SinglePoint(0);
+          break;
+        case Tristate::kUnknown:
+          r = ConstantInterval::Bounded(0, 1);
+          break;
+      }
+      break;
+    case ExprOp::kIte:
+      switch (DecideTruthy(n.a, refs)) {
+        case Tristate::kTrue:
+          r = RangeOf(n.b, refs);
+          break;
+        case Tristate::kFalse:
+          r = RangeOf(n.c, refs);
+          break;
+        case Tristate::kUnknown:
+          r = ConstantInterval::Union(RangeOf(n.b, refs), RangeOf(n.c, refs));
+          break;
+      }
+      break;
+  }
+  // Structural range, sharpened by whatever the path condition taught us
+  // about this exact subterm (hash-consing makes handle equality structural
+  // equality).
+  if (const IntervalSet* s = refs.Find(e)) {
+    r = ConstantInterval::Intersection(r, s->Hull());
+  }
+  return r;
+}
+
+IntervalSet RangeEvaluator::SetOf(ExprRef e, const RangeRefinements& refs) const {
+  IntervalSet s = IntervalSet::FromConstantInterval(RangeOf(e, refs));
+  if (const IntervalSet* refined = refs.Find(e)) {
+    s.IntersectWith(*refined);
+  }
+  return s;
+}
+
+Tristate RangeEvaluator::DecideTruthy(ExprRef e,
+                                      const RangeRefinements& refs) const {
+  const ExprNode& n = pool_.node(e);
+  switch (n.op) {
+    case ExprOp::kConst:
+      return n.imm != 0 ? Tristate::kTrue : Tristate::kFalse;
+    case ExprOp::kBoolNot:
+      return TriNot(DecideTruthy(n.a, refs));
+    case ExprOp::kAnd:
+      if (BooleanShaped(n.a) && BooleanShaped(n.b)) {
+        return TriAnd(DecideTruthy(n.a, refs), DecideTruthy(n.b, refs));
+      }
+      break;
+    case ExprOp::kOr:
+      if (BooleanShaped(n.a) && BooleanShaped(n.b)) {
+        return TriOr(DecideTruthy(n.a, refs), DecideTruthy(n.b, refs));
+      }
+      break;
+    case ExprOp::kEq:
+    case ExprOp::kNe: {
+      // Sets, not hulls: a disequality refinement punches a hole an interval
+      // cannot see.
+      const IntervalSet sa = SetOf(n.a, refs);
+      const IntervalSet sb = SetOf(n.b, refs);
+      Tristate eq = Tristate::kUnknown;
+      IntervalSet common = sa;
+      common.IntersectWith(sb);
+      if (common.Empty()) {
+        eq = Tristate::kFalse;
+      } else if (sa.NumRanges() == 1 && sa == sb &&
+                 sa.ranges().front().lo == sa.ranges().front().hi) {
+        eq = Tristate::kTrue;
+      }
+      return n.op == ExprOp::kEq ? eq : TriNot(eq);
+    }
+    case ExprOp::kSlt:
+      return ConstantInterval::ProveLt(RangeOf(n.a, refs), RangeOf(n.b, refs));
+    case ExprOp::kSle:
+      return ConstantInterval::ProveLe(RangeOf(n.a, refs), RangeOf(n.b, refs));
+    default:
+      break;
+  }
+  // Generic value used as a condition: truthy iff nonzero.
+  const IntervalSet s = SetOf(e, refs);
+  if (s.Empty()) return Tristate::kUnknown;  // Contradictory refinements.
+  if (!s.Contains(0)) return Tristate::kTrue;
+  if (s.NumRanges() == 1 && s.ranges().front().lo == 0 &&
+      s.ranges().front().hi == 0) {
+    return Tristate::kFalse;
+  }
+  return Tristate::kUnknown;
+}
+
+bool RangeEvaluator::ParseAtom(ExprRef e, bool truthy, ExprRef& target,
+                               IntervalSet& set) const {
+  const ExprNode& n = pool_.node(e);
+  // Normalizes `expr OP const` / `const OP expr`; comparisons against two
+  // non-constant sides are not atoms.
+  const auto side = [&](ExprRef x, ExprRef k, bool swapped) -> bool {
+    if (pool_.node(k).op != ExprOp::kConst || pool_.node(x).op == ExprOp::kConst) {
+      return false;
+    }
+    const int64_t kv = pool_.node(k).imm;
+    target = x;
+    set = IntervalSet();
+    switch (n.op) {
+      case ExprOp::kEq:
+        if (truthy) {
+          set.Insert(kv, kv);
+        } else {
+          set = IntervalSet::All();
+          set.Remove(kv, kv);
+        }
+        return true;
+      case ExprOp::kNe:
+        if (truthy) {
+          set = IntervalSet::All();
+          set.Remove(kv, kv);
+        } else {
+          set.Insert(kv, kv);
+        }
+        return true;
+      case ExprOp::kSlt:
+        if (!swapped) {
+          // x < K  |  !(x < K) == x >= K
+          if (truthy) {
+            if (kv != INT64_MIN) set.Insert(INT64_MIN, kv - 1);
+          } else {
+            set.Insert(kv, INT64_MAX);
+          }
+        } else {
+          // K < x  |  x <= K
+          if (truthy) {
+            if (kv != INT64_MAX) set.Insert(kv + 1, INT64_MAX);
+          } else {
+            set.Insert(INT64_MIN, kv);
+          }
+        }
+        return true;
+      case ExprOp::kSle:
+        if (!swapped) {
+          // x <= K  |  x > K
+          if (truthy) {
+            set.Insert(INT64_MIN, kv);
+          } else {
+            if (kv != INT64_MAX) set.Insert(kv + 1, INT64_MAX);
+          }
+        } else {
+          // K <= x  |  x < K
+          if (truthy) {
+            set.Insert(kv, INT64_MAX);
+          } else {
+            if (kv != INT64_MIN) set.Insert(INT64_MIN, kv - 1);
+          }
+        }
+        return true;
+      default:
+        return false;
+    }
+  };
+  switch (n.op) {
+    case ExprOp::kEq:
+    case ExprOp::kNe:
+      return side(n.a, n.b, false) || side(n.b, n.a, false);
+    case ExprOp::kSlt:
+    case ExprOp::kSle:
+      return side(n.a, n.b, false) || side(n.b, n.a, true);
+    case ExprOp::kBoolNot:
+      // !y truthy <=> y == 0.
+      target = n.a;
+      set = IntervalSet();
+      if (truthy) {
+        set.Insert(0, 0);
+      } else {
+        set = IntervalSet::All();
+        set.Remove(0, 0);
+      }
+      return true;
+    default:
+      return false;
+  }
+}
+
+void RangeEvaluator::RefineTrue(ExprRef e, RangeRefinements& refs) const {
+  const ExprNode& n = pool_.node(e);
+  switch (n.op) {
+    case ExprOp::kAnd:
+      if (BooleanShaped(n.a) && BooleanShaped(n.b)) {
+        RefineTrue(n.a, refs);
+        RefineTrue(n.b, refs);
+        return;
+      }
+      break;
+    case ExprOp::kBoolNot:
+      RefineFalse(n.a, refs);
+      return;
+    case ExprOp::kOr: {
+      // A disjunction refines only when both arms bound the same expression
+      // (e.g. x < 0 || x > 9 from a bounds check): the union is exact.
+      ExprRef ta, tb;
+      IntervalSet sa, sb;
+      if (ParseAtom(n.a, true, ta, sa) && ParseAtom(n.b, true, tb, sb) &&
+          ta == tb) {
+        sa.UnionWith(sb);
+        refs.Constrain(ta, sa);
+      }
+      return;
+    }
+    case ExprOp::kEq:
+      // y == 0 with boolean-shaped y is a negation in disguise (the executor
+      // spells some negated conditions this way).
+      if (pool_.node(n.b).op == ExprOp::kConst && pool_.node(n.b).imm == 0 &&
+          BooleanShaped(n.a)) {
+        RefineFalse(n.a, refs);
+        return;
+      }
+      break;
+    case ExprOp::kNe:
+      if (pool_.node(n.b).op == ExprOp::kConst && pool_.node(n.b).imm == 0 &&
+          BooleanShaped(n.a)) {
+        RefineTrue(n.a, refs);
+        return;
+      }
+      break;
+    default:
+      break;
+  }
+  ExprRef target;
+  IntervalSet set;
+  if (ParseAtom(e, true, target, set)) {
+    refs.Constrain(target, set);
+  }
+}
+
+void RangeEvaluator::RefineFalse(ExprRef e, RangeRefinements& refs) const {
+  const ExprNode& n = pool_.node(e);
+  switch (n.op) {
+    case ExprOp::kOr:
+      // !(a || b) == !a && !b.
+      if (BooleanShaped(n.a) && BooleanShaped(n.b)) {
+        RefineFalse(n.a, refs);
+        RefineFalse(n.b, refs);
+        return;
+      }
+      break;
+    case ExprOp::kBoolNot:
+      RefineTrue(n.a, refs);
+      return;
+    case ExprOp::kAnd:
+      // !(a && b) is a disjunction; nothing convex to learn.
+      return;
+    default:
+      break;
+  }
+  ExprRef target;
+  IntervalSet set;
+  if (ParseAtom(e, false, target, set)) {
+    refs.Constrain(target, set);
+  }
+}
+
+bool RangeEvaluator::TranslateConstraint(
+    ExprRef e, bool truthy, bool exact_vars_only,
+    std::vector<std::pair<ExprRef, IntervalSet>>& atoms) const {
+  const ExprNode& n = pool_.node(e);
+  switch (n.op) {
+    case ExprOp::kConst:
+      // A folded constraint: either vacuous or an outright contradiction.
+      // Contradictions cannot be expressed as a var atom — bail and let the
+      // solver report UNSAT.
+      return (n.imm != 0) == truthy;
+    case ExprOp::kBoolNot:
+      return TranslateConstraint(n.a, !truthy, exact_vars_only, atoms);
+    case ExprOp::kAnd:
+      if (truthy && BooleanShaped(n.a) && BooleanShaped(n.b)) {
+        return TranslateConstraint(n.a, true, exact_vars_only, atoms) &&
+               TranslateConstraint(n.b, true, exact_vars_only, atoms);
+      }
+      return false;
+    case ExprOp::kOr:
+      if (!truthy && BooleanShaped(n.a) && BooleanShaped(n.b)) {
+        return TranslateConstraint(n.a, false, exact_vars_only, atoms) &&
+               TranslateConstraint(n.b, false, exact_vars_only, atoms);
+      }
+      if (truthy) {
+        // Same-target disjunction is still exact as a single set union.
+        ExprRef ta, tb;
+        IntervalSet sa, sb;
+        if (ParseAtom(n.a, true, ta, sa) && ParseAtom(n.b, true, tb, sb) &&
+            ta == tb && (!exact_vars_only || pool_.node(ta).op == ExprOp::kVar)) {
+          sa.UnionWith(sb);
+          atoms.emplace_back(ta, sa);
+          return true;
+        }
+      }
+      return false;
+    case ExprOp::kEq:
+    case ExprOp::kNe:
+      if (pool_.node(n.b).op == ExprOp::kConst && pool_.node(n.b).imm == 0 &&
+          BooleanShaped(n.a)) {
+        const bool inner = (n.op == ExprOp::kNe) == truthy;
+        return TranslateConstraint(n.a, inner, exact_vars_only, atoms);
+      }
+      break;
+    default:
+      break;
+  }
+  ExprRef target;
+  IntervalSet set;
+  if (!ParseAtom(e, truthy, target, set)) return false;
+  if (exact_vars_only && pool_.node(target).op != ExprOp::kVar) return false;
+  atoms.emplace_back(target, set);
+  return true;
+}
+
+bool RangeEvaluator::DecomposeExact(
+    const std::vector<ExprRef>& pc,
+    std::vector<std::pair<int32_t, IntervalSet>>& var_sets) const {
+  std::vector<std::pair<ExprRef, IntervalSet>> atoms;
+  for (const ExprRef c : pc) {
+    if (!TranslateConstraint(c, /*truthy=*/true, /*exact_vars_only=*/true,
+                             atoms)) {
+      return false;
+    }
+  }
+  var_sets.clear();
+  for (const auto& atom : atoms) {
+    const int32_t var_id = pool_.node(atom.first).var_id;
+    auto it = std::find_if(
+        var_sets.begin(), var_sets.end(),
+        [var_id](const auto& vs) { return vs.first == var_id; });
+    if (it == var_sets.end()) {
+      var_sets.emplace_back(var_id, IntervalSet::Of(w_min_, w_max_));
+      it = var_sets.end() - 1;
+    }
+    it->second.IntersectWith(atom.second);
+  }
+  return true;
+}
+
+}  // namespace symx

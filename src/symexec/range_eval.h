@@ -1,0 +1,106 @@
+// Range-guided branch prechecking for the symbolic executor.
+//
+// As a path accumulates constraints, most of them are one-variable bounds
+// (loop guards, array-index checks, equality switches). Parsing those into
+// disjoint value sets (support::IntervalSet) gives a cheap abstract domain
+// that can often decide a new branch condition outright — provably true or
+// provably false under the current path condition — in which case the SAT
+// query the executor would have issued is skipped entirely and counted as
+// `range_pruned`. Undecided conditions fall through to the solver, so the
+// mechanism is a pure accelerator: exploration results are unchanged.
+//
+// Soundness model: expressions are W-bit two's-complement (W =
+// ExprPool::width()). Interval arithmetic is evaluated in the mathematical
+// integers via support::ConstantInterval; any bound escaping the W-bit
+// signed range means the operation may wrap, and the result widens to the
+// full W-bit range. Verdicts are therefore sound for the executor's Eval
+// semantics, wraparound included.
+#ifndef SRC_SYMEXEC_RANGE_EVAL_H_
+#define SRC_SYMEXEC_RANGE_EVAL_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/support/constant_interval.h"
+#include "src/support/interval_set.h"
+#include "src/symexec/expr.h"
+
+namespace symx {
+
+// Per-path map from expression handle to the set of W-bit signed values the
+// expression can take under the constraints parsed so far. Hash-consing
+// makes ExprRef identity structural identity, so an entry keyed on any
+// subexpression (a variable, `x + 1`, a whole comparison operand) refines
+// every later occurrence of that subexpression on the same path. Copied
+// wholesale on path forks; the entry count stays small (one per distinct
+// constrained subexpression), so a linear scan beats a map.
+class RangeRefinements {
+ public:
+  // The refinement set for `e`, or nullptr when unconstrained.
+  const support::IntervalSet* Find(ExprRef e) const;
+  // Intersects `e`'s set with `s` (an absent entry starts as the full
+  // universe).
+  void Constrain(ExprRef e, const support::IntervalSet& s);
+
+  bool Empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<std::pair<ExprRef, support::IntervalSet>> entries_;
+};
+
+class RangeEvaluator {
+ public:
+  explicit RangeEvaluator(const ExprPool& pool);
+
+  // Signed W-bit range of `e` under `refs`. Always a subset of
+  // [w_min, w_max]; never empty unless a refinement is contradictory.
+  support::ConstantInterval RangeOf(ExprRef e,
+                                    const RangeRefinements& refs) const;
+
+  // Decides whether `e` (a branch condition / constraint) is provably
+  // truthy, provably falsy, or unknown under `refs`.
+  support::Tristate DecideTruthy(ExprRef e, const RangeRefinements& refs) const;
+
+  // Learns refinements from asserting `e` truthy (resp. falsy). Handles
+  // comparison-vs-constant atoms, equality holes, conjunctions, negations,
+  // and same-operand disjunctions (unioned into one set); anything else is
+  // ignored — refinements over-approximate the path condition by design.
+  void RefineTrue(ExprRef e, RangeRefinements& refs) const;
+  void RefineFalse(ExprRef e, RangeRefinements& refs) const;
+
+  // Exact per-variable decomposition of a conjunction of constraints, used
+  // to seed model counting: on success, `var_sets` holds, for each variable
+  // mentioned, exactly the W-bit values permitted by `pc` (constraints are
+  // variable-separable). Returns false — and the caller must fall back to
+  // SAT enumeration — if any constraint is not exactly expressible as
+  // single-variable value sets.
+  bool DecomposeExact(const std::vector<ExprRef>& pc,
+                      std::vector<std::pair<int32_t, support::IntervalSet>>&
+                          var_sets) const;
+
+  int64_t w_min() const { return w_min_; }
+  int64_t w_max() const { return w_max_; }
+
+ private:
+  support::ConstantInterval ClampW(const support::ConstantInterval& ci) const;
+  support::IntervalSet SetOf(ExprRef e, const RangeRefinements& refs) const;
+  bool BooleanShaped(ExprRef e) const;
+  // Exact single-atom translation: constraint `e` (asserted truthy when
+  // `truthy`, falsy otherwise) as "target expression ∈ set". Returns false
+  // when `e` is not such an atom.
+  bool ParseAtom(ExprRef e, bool truthy, ExprRef& target,
+                 support::IntervalSet& set) const;
+  bool TranslateConstraint(ExprRef e, bool truthy, bool exact_vars_only,
+                           std::vector<std::pair<ExprRef, support::IntervalSet>>&
+                               atoms) const;
+
+  const ExprPool& pool_;
+  int64_t w_min_;
+  int64_t w_max_;
+};
+
+}  // namespace symx
+
+#endif  // SRC_SYMEXEC_RANGE_EVAL_H_

@@ -5,7 +5,10 @@
 // vulnerability site when exploration was exhaustive.
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "src/corpus/codegen.h"
+#include "src/dataflow/intervals.h"
 #include "src/lang/interp.h"
 #include "src/lang/parser.h"
 #include "src/metrics/callgraph.h"
@@ -105,5 +108,102 @@ TEST_P(PathCountAgreement, ReturnValueSetMatchesConcreteSweep) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Depths, PathCountAgreement, ::testing::Values(1, 2, 3, 5, 8));
+
+// --- Concrete traces vs proven interval ranges -------------------------------
+
+// Records, for every block entered during a concrete run, whether the
+// register file lies inside the interval analysis's proven per-block entry
+// ranges. Violations are collected rather than asserted so the caller can
+// discard traces that wrapped (the analysis models non-wrapping integers and
+// makes no claim about such runs).
+class RangeChecker : public lang::BlockObserver {
+ public:
+  explicit RangeChecker(
+      const std::map<std::string, dataflow::IntervalReport>& reports)
+      : reports_(reports) {}
+
+  void OnBlockEntry(const lang::IrFunction& fn, lang::BlockId block,
+                    const std::vector<int64_t>& regs) override {
+    const auto it = reports_.find(fn.name);
+    if (it == reports_.end()) return;
+    const auto& per_block = it->second.block_entry_regs;
+    if (static_cast<size_t>(block) >= per_block.size()) return;
+    const auto& ranges = per_block[static_cast<size_t>(block)];
+    if (ranges.empty()) {
+      violations.push_back(fn.name + ": entered block " + std::to_string(block) +
+                           " the analysis proved unreachable");
+      return;
+    }
+    for (size_t r = 0; r < regs.size() && r < ranges.size(); ++r) {
+      if (!ranges[r].Contains(regs[r])) {
+        violations.push_back(fn.name + " block " + std::to_string(block) +
+                             " r" + std::to_string(r) + "=" +
+                             std::to_string(regs[r]) + " outside [" +
+                             std::to_string(ranges[r].lo) + "," +
+                             std::to_string(ranges[r].hi) + "]");
+      }
+    }
+  }
+
+  const std::map<std::string, dataflow::IntervalReport>& reports_;
+  std::vector<std::string> violations;
+};
+
+class IntervalTraceCrossCheck : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntervalTraceCrossCheck, ObservedRegistersLieInProvenRanges) {
+  support::Rng rng(GetParam() * 31337);
+  corpus::AppStyle style;
+  style.complexity = rng.NextDouble() * 0.7;
+  style.unsafety = rng.NextDouble();
+  style.taintiness = rng.NextDouble();
+  const std::string source = corpus::GenerateMiniCFile(rng, style, 140);
+  auto unit = lang::Parse(source);
+  ASSERT_TRUE(unit.ok());
+  auto module = lang::LowerToIr(unit.value());
+  ASSERT_TRUE(module.ok());
+
+  std::map<std::string, dataflow::IntervalReport> reports;
+  dataflow::IntervalOptions iv_opts;
+  iv_opts.record_block_ranges = true;
+  for (const auto& fn : module.value().functions) {
+    reports.emplace(fn.name, dataflow::AnalyzeIntervals(fn, iv_opts));
+  }
+
+  support::Rng input_rng(GetParam());
+  int traces_checked = 0;
+  for (const auto& fn : module.value().functions) {
+    for (int trial = 0; trial < 10; ++trial) {
+      std::vector<int64_t> inputs;
+      std::vector<int64_t> args;
+      for (int i = 0; i < 12; ++i) {
+        inputs.push_back(static_cast<int64_t>(input_rng.NextBelow(1 << 16)) -
+                         (1 << 15));
+      }
+      for (size_t i = 0; i < fn.param_regs.size(); ++i) {
+        args.push_back(static_cast<int64_t>(input_rng.NextBelow(1 << 16)) -
+                       (1 << 15));
+      }
+      RangeChecker checker(reports);
+      lang::InterpOptions opts;
+      opts.observer = &checker;
+      const auto trace =
+          lang::Execute(module.value(), fn.name, args, inputs, opts);
+      if (trace.wraps > 0) {
+        continue;  // The analysis makes no claim about wrapping runs.
+      }
+      ++traces_checked;
+      EXPECT_TRUE(checker.violations.empty())
+          << fn.name << " seed " << GetParam() << " trial " << trial << ":\n"
+          << checker.violations.front() << "\n"
+          << source.substr(0, 1500);
+    }
+  }
+  // The skip-on-wrap rule must not hollow out the test.
+  EXPECT_GT(traces_checked, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalTraceCrossCheck,
+                         ::testing::Range<uint64_t>(1, 13));
 
 }  // namespace

@@ -1,0 +1,418 @@
+// Randomized soundness fuzz for the interval algebras (seeded, deterministic).
+//
+// Strategy: draw random intervals, draw random concrete values inside them,
+// evaluate each operation on the concrete values in __int128 (mathematical
+// semantics, no overflow), and assert the abstract result contains the
+// concrete result. Runs against both domains:
+//   - the sentinel dataflow::Interval ops, read positionally (lo == kMin is
+//     -inf, hi == kMax is +inf; the opposite positions are genuine extreme
+//     constants), and
+//   - the support::ConstantInterval algebra with explicit definedness.
+// Plus cross-domain agreement through the conversion bijection, decider
+// consistency, and IntervalSet behaviour against a brute-force set model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+
+#include "src/dataflow/intervals.h"
+#include "src/support/constant_interval.h"
+#include "src/support/interval_set.h"
+#include "src/support/rng.h"
+
+namespace {
+
+using dataflow::AddI;
+using dataflow::DivI;
+using dataflow::FromConstantInterval;
+using dataflow::Interval;
+using dataflow::Join;
+using dataflow::Meet;
+using dataflow::MulI;
+using dataflow::NegI;
+using dataflow::RemI;
+using dataflow::SubI;
+using dataflow::ToConstantInterval;
+using dataflow::Widen;
+using support::ConstantInterval;
+using support::IntervalSet;
+using support::Rng;
+using support::Tristate;
+
+// A bound value biased toward the places where saturation and sentinel
+// handling go wrong: the int64 extremes and their immediate neighbours,
+// small values around zero, and random values of varying magnitude.
+int64_t RandomBound(Rng& rng) {
+  static constexpr int64_t kPool[] = {
+      INT64_MIN,     INT64_MIN + 1, INT64_MIN + 2, INT64_MIN / 2,
+      -(1 << 20),    -65536,        -100,          -2,
+      -1,            0,             1,             2,
+      100,           65536,         (1 << 20),     INT64_MAX / 2,
+      INT64_MAX - 2, INT64_MAX - 1, INT64_MAX};
+  if (rng.NextBool(0.5)) {
+    return kPool[rng.NextBelow(sizeof(kPool) / sizeof(kPool[0]))];
+  }
+  // Random value with a random magnitude (shifting right concentrates mass
+  // near zero; raw draws exercise the full width).
+  const int shift = static_cast<int>(rng.NextBelow(64));
+  return static_cast<int64_t>(rng.NextU64()) >> shift;
+}
+
+Interval RandomInterval(Rng& rng) {
+  int64_t a = RandomBound(rng);
+  int64_t b = RandomBound(rng);
+  if (a > b) std::swap(a, b);
+  return Interval::Range(a, b);
+}
+
+ConstantInterval RandomCi(Rng& rng) {
+  ConstantInterval ci;  // Everything.
+  ci.min_defined = rng.NextBool(0.85);
+  ci.max_defined = rng.NextBool(0.85);
+  if (ci.min_defined) ci.min = RandomBound(rng);
+  if (ci.max_defined) ci.max = RandomBound(rng);
+  if (ci.min_defined && ci.max_defined && ci.min > ci.max) {
+    std::swap(ci.min, ci.max);
+  }
+  return ci;
+}
+
+// Uniform draw from [lo, hi] (inclusive), any int64 endpoints.
+int64_t SampleBetween(int64_t lo, int64_t hi, Rng& rng) {
+  const uint64_t span =
+      static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+  if (span == UINT64_MAX) return static_cast<int64_t>(rng.NextU64());
+  return static_cast<int64_t>(static_cast<uint64_t>(lo) +
+                              rng.NextBelow(span + 1));
+}
+
+int64_t SampleIn(const Interval& iv, Rng& rng) {
+  return SampleBetween(iv.lo, iv.hi, rng);
+}
+
+int64_t SampleIn(const ConstantInterval& ci, Rng& rng) {
+  return SampleBetween(ci.min_defined ? ci.min : INT64_MIN,
+                       ci.max_defined ? ci.max : INT64_MAX, rng);
+}
+
+// Positional sentinel containment for mathematically exact values: lo ==
+// kMin imposes no lower bound, hi == kMax imposes no upper bound.
+bool SentinelContains(const Interval& iv, __int128 v) {
+  if (iv.bottom) return false;
+  const bool lo_ok =
+      iv.lo == Interval::kMin || v >= static_cast<__int128>(iv.lo);
+  const bool hi_ok =
+      iv.hi == Interval::kMax || v <= static_cast<__int128>(iv.hi);
+  return lo_ok && hi_ok;
+}
+
+// --- Sentinel-domain arithmetic soundness ------------------------------------
+
+TEST(IntervalFuzz, SentinelArithmeticSound) {
+  Rng rng(0xC1A1Eu);
+  for (int iter = 0; iter < 20000; ++iter) {
+    const Interval a = RandomInterval(rng);
+    const Interval b = RandomInterval(rng);
+    const __int128 x = SampleIn(a, rng);
+    const __int128 y = SampleIn(b, rng);
+    ASSERT_TRUE(SentinelContains(AddI(a, b), x + y))
+        << "AddI [" << a.lo << "," << a.hi << "] [" << b.lo << "," << b.hi
+        << "] x=" << static_cast<int64_t>(x) << " y=" << static_cast<int64_t>(y);
+    ASSERT_TRUE(SentinelContains(SubI(a, b), x - y)) << "SubI iter " << iter;
+    ASSERT_TRUE(SentinelContains(MulI(a, b), x * y))
+        << "MulI [" << a.lo << "," << a.hi << "] [" << b.lo << "," << b.hi
+        << "] x=" << static_cast<int64_t>(x) << " y=" << static_cast<int64_t>(y);
+    ASSERT_TRUE(SentinelContains(NegI(a), -x)) << "NegI iter " << iter;
+    if (y != 0) {
+      // DivI/RemI contract: zero is excluded from the divisor's *values*
+      // even when the interval straddles it.
+      ASSERT_TRUE(SentinelContains(DivI(a, b), x / y))
+          << "DivI [" << a.lo << "," << a.hi << "] / [" << b.lo << "," << b.hi
+          << "] x=" << static_cast<int64_t>(x)
+          << " y=" << static_cast<int64_t>(y);
+      ASSERT_TRUE(SentinelContains(RemI(a, b), x % y))
+          << "RemI [" << a.lo << "," << a.hi << "] % [" << b.lo << "," << b.hi
+          << "] x=" << static_cast<int64_t>(x)
+          << " y=" << static_cast<int64_t>(y);
+    }
+    // Lattice: Join covers both operands; Widen covers old and new.
+    ASSERT_TRUE(SentinelContains(Join(a, b), x));
+    ASSERT_TRUE(SentinelContains(Join(a, b), y));
+    const Interval j = Join(a, b);
+    ASSERT_TRUE(SentinelContains(Widen(a, j), x));
+    ASSERT_TRUE(SentinelContains(Widen(a, j), y));
+    // Meet: a value in both operands is in the meet.
+    if (a.Contains(static_cast<int64_t>(x)) &&
+        b.Contains(static_cast<int64_t>(x))) {
+      ASSERT_TRUE(SentinelContains(Meet(a, b), x));
+    }
+  }
+}
+
+// --- ConstantInterval soundness ----------------------------------------------
+
+TEST(IntervalFuzz, ConstantIntervalArithmeticSound) {
+  Rng rng(0xBEEFu);
+  for (int iter = 0; iter < 20000; ++iter) {
+    const ConstantInterval a = RandomCi(rng);
+    const ConstantInterval b = RandomCi(rng);
+    const int64_t x = SampleIn(a, rng);
+    const int64_t y = SampleIn(b, rng);
+    const __int128 wx = x;
+    const __int128 wy = y;
+    ASSERT_TRUE((a + b).Contains(wx + wy)) << "add iter " << iter;
+    ASSERT_TRUE((a - b).Contains(wx - wy)) << "sub iter " << iter;
+    ASSERT_TRUE((a * b).Contains(wx * wy))
+        << "mul iter " << iter << " x=" << x << " y=" << y;
+    ASSERT_TRUE((-a).Contains(-wx)) << "neg iter " << iter;
+    if (y != 0) {
+      ASSERT_TRUE((a / b).Contains(wx / wy))
+          << "div iter " << iter << " x=" << x << " y=" << y;
+      ASSERT_TRUE((a % b).Contains(wx % wy))
+          << "rem iter " << iter << " x=" << x << " y=" << y;
+    }
+    ASSERT_TRUE(ConstantInterval::Min(a, b).Contains(std::min(x, y)));
+    ASSERT_TRUE(ConstantInterval::Max(a, b).Contains(std::max(x, y)));
+    ASSERT_TRUE(
+        ConstantInterval::Abs(a).Contains(wx < 0 ? -wx : wx));
+    ASSERT_TRUE(ConstantInterval::Union(a, b).Contains(x));
+    ASSERT_TRUE(ConstantInterval::Union(a, b).Contains(y));
+    if (a.Contains(x) && b.Contains(x)) {
+      ASSERT_TRUE(ConstantInterval::Intersection(a, b).Contains(x));
+    }
+    // Shifts with an in-range amount.
+    int64_t s_lo = static_cast<int64_t>(rng.NextBelow(64));
+    int64_t s_hi = static_cast<int64_t>(rng.NextBelow(64));
+    if (s_lo > s_hi) std::swap(s_lo, s_hi);
+    const ConstantInterval s(s_lo, s_hi);
+    const int64_t sv = SampleBetween(s_lo, s_hi, rng);
+    ASSERT_TRUE(ConstantInterval::Shl(a, s).Contains(
+        wx * (static_cast<__int128>(1) << sv)))
+        << "shl iter " << iter << " x=" << x << " s=" << sv;
+    ASSERT_TRUE(ConstantInterval::Shr(a, s).Contains(
+        static_cast<__int128>(x >> sv)))
+        << "shr iter " << iter << " x=" << x << " s=" << sv;
+  }
+}
+
+TEST(IntervalFuzz, DecidersNeverLie) {
+  Rng rng(0xDEC1DEu);
+  for (int iter = 0; iter < 20000; ++iter) {
+    const ConstantInterval a = RandomCi(rng);
+    const ConstantInterval b = RandomCi(rng);
+    const int64_t x = SampleIn(a, rng);
+    const int64_t y = SampleIn(b, rng);
+    const auto check = [&](Tristate verdict, bool concrete, const char* op) {
+      if (verdict == Tristate::kTrue) {
+        ASSERT_TRUE(concrete) << op << " x=" << x << " y=" << y;
+      } else if (verdict == Tristate::kFalse) {
+        ASSERT_FALSE(concrete) << op << " x=" << x << " y=" << y;
+      }
+    };
+    check(ConstantInterval::ProveLt(a, b), x < y, "lt");
+    check(ConstantInterval::ProveLe(a, b), x <= y, "le");
+    check(ConstantInterval::ProveGe(a, b), x >= y, "ge");
+    check(ConstantInterval::ProveEq(a, b), x == y, "eq");
+    check(ConstantInterval::ProveNe(a, b), x != y, "ne");
+  }
+}
+
+// --- Cross-domain agreement --------------------------------------------------
+
+// For ops whose sentinel implementation is the exact image of the support
+// algebra (add/sub/neg/mul and the lattice hull/meet), converting operands,
+// applying the ConstantInterval op, and converting back must reproduce the
+// sentinel result bit-for-bit. (DivI/RemI intentionally coarsen relative to
+// the raw algebra; their agreement is exercised end-to-end by the dataflow
+// mode-equality tests instead.)
+TEST(IntervalFuzz, CrossDomainBijection) {
+  Rng rng(0x5EED5u);
+  for (int iter = 0; iter < 20000; ++iter) {
+    const Interval a = RandomInterval(rng);
+    const Interval b = RandomInterval(rng);
+    const ConstantInterval ca = ToConstantInterval(a);
+    const ConstantInterval cb = ToConstantInterval(b);
+    ASSERT_EQ(FromConstantInterval(ca + cb), AddI(a, b)) << "add " << iter;
+    ASSERT_EQ(FromConstantInterval(ca - cb), SubI(a, b))
+        << "sub [" << a.lo << "," << a.hi << "] [" << b.lo << "," << b.hi
+        << "]";
+    ASSERT_EQ(FromConstantInterval(-ca), NegI(a)) << "neg " << iter;
+    ASSERT_EQ(FromConstantInterval(ca * cb), MulI(a, b))
+        << "mul [" << a.lo << "," << a.hi << "] [" << b.lo << "," << b.hi
+        << "]";
+    ASSERT_EQ(FromConstantInterval(ConstantInterval::Union(ca, cb)),
+              Join(a, b))
+        << "join " << iter;
+    ASSERT_EQ(FromConstantInterval(ConstantInterval::Intersection(ca, cb)),
+              Meet(a, b))
+        << "meet " << iter;
+    // Roundtrip identity on the sentinel side.
+    ASSERT_EQ(FromConstantInterval(ca), a);
+    ASSERT_EQ(FromConstantInterval(cb), b);
+  }
+  // Bottom maps to Empty and back.
+  ASSERT_TRUE(ToConstantInterval(Interval::Bottom()).is_empty());
+  ASSERT_TRUE(FromConstantInterval(ConstantInterval::Empty()).bottom);
+}
+
+// --- IntervalSet vs brute force ----------------------------------------------
+
+// Model window: all comparisons are exhaustive over [-40, 40].
+constexpr int64_t kWinLo = -40;
+constexpr int64_t kWinHi = 40;
+
+std::set<int64_t> ModelOf(const IntervalSet& s) {
+  std::set<int64_t> out;
+  for (int64_t v = kWinLo; v <= kWinHi; ++v) {
+    if (s.Contains(v)) out.insert(v);
+  }
+  return out;
+}
+
+void CheckInvariants(const IntervalSet& s) {
+  const auto& rs = s.ranges();
+  for (size_t i = 0; i < rs.size(); ++i) {
+    ASSERT_LE(rs[i].lo, rs[i].hi) << "range " << i;
+    if (i > 0) {
+      // Disjoint AND non-adjacent: a gap of at least one value. Guard the
+      // +1 against overflow (previous hi can never be INT64_MAX here, or a
+      // following range could not exist).
+      ASSERT_LT(rs[i - 1].hi, INT64_MAX);
+      ASSERT_LT(rs[i - 1].hi + 1, rs[i].lo) << "ranges " << i - 1 << "," << i;
+    }
+  }
+}
+
+TEST(IntervalFuzz, IntervalSetMatchesBruteForce) {
+  Rng rng(0x5E75u);
+  for (int round = 0; round < 400; ++round) {
+    IntervalSet s;
+    std::set<int64_t> model;
+    for (int op = 0; op < 10; ++op) {
+      int64_t lo = kWinLo + static_cast<int64_t>(rng.NextBelow(kWinHi - kWinLo + 1));
+      int64_t hi = kWinLo + static_cast<int64_t>(rng.NextBelow(kWinHi - kWinLo + 1));
+      if (lo > hi) std::swap(lo, hi);
+      if (rng.NextBool(0.65)) {
+        s.Insert(lo, hi);
+        for (int64_t v = lo; v <= hi; ++v) model.insert(v);
+      } else {
+        s.Remove(lo, hi);
+        for (int64_t v = lo; v <= hi; ++v) model.erase(v);
+      }
+      CheckInvariants(s);
+      ASSERT_EQ(ModelOf(s), model) << "round " << round << " op " << op;
+    }
+    // Cardinality is exact for window-bounded sets.
+    bool saturated = true;
+    ASSERT_EQ(s.Cardinality(&saturated), model.size());
+    ASSERT_FALSE(saturated);
+    // Hull bounds match the model extremes (window values never sit on the
+    // int64 extremes, so both sides are defined).
+    const ConstantInterval hull = s.Hull();
+    if (model.empty()) {
+      ASSERT_TRUE(hull.is_empty());
+    } else {
+      ASSERT_TRUE(hull.is_bounded());
+      ASSERT_EQ(hull.min, *model.begin());
+      ASSERT_EQ(hull.max, *model.rbegin());
+    }
+    // Complement: window membership flips; values outside the window are in
+    // the complement; double complement is the identity.
+    const IntervalSet comp = s.Complement();
+    CheckInvariants(comp);
+    for (int64_t v = kWinLo; v <= kWinHi; ++v) {
+      ASSERT_EQ(comp.Contains(v), !s.Contains(v)) << v;
+    }
+    ASSERT_TRUE(comp.Contains(INT64_MIN));
+    ASSERT_TRUE(comp.Contains(INT64_MAX));
+    ASSERT_EQ(comp.Complement(), s);
+    // Complement cardinality: 2^64 - |s|, saturated only for the empty set.
+    bool comp_saturated = false;
+    const uint64_t comp_card = comp.Cardinality(&comp_saturated);
+    if (model.empty() && s.Empty()) {
+      ASSERT_TRUE(comp_saturated);
+      ASSERT_EQ(comp_card, UINT64_MAX);
+    } else {
+      ASSERT_FALSE(comp_saturated);
+      ASSERT_EQ(comp_card, UINT64_MAX - s.Cardinality() + 1);
+    }
+    // Binary set algebra against a second random set.
+    IntervalSet t;
+    std::set<int64_t> tmodel;
+    for (int op = 0; op < 6; ++op) {
+      int64_t lo = kWinLo + static_cast<int64_t>(rng.NextBelow(kWinHi - kWinLo + 1));
+      int64_t hi = kWinLo + static_cast<int64_t>(rng.NextBelow(kWinHi - kWinLo + 1));
+      if (lo > hi) std::swap(lo, hi);
+      t.Insert(lo, hi);
+      for (int64_t v = lo; v <= hi; ++v) tmodel.insert(v);
+    }
+    IntervalSet uni = s;
+    uni.UnionWith(t);
+    IntervalSet inter = s;
+    inter.IntersectWith(t);
+    CheckInvariants(uni);
+    CheckInvariants(inter);
+    for (int64_t v = kWinLo; v <= kWinHi; ++v) {
+      ASSERT_EQ(uni.Contains(v), model.count(v) || tmodel.count(v)) << v;
+      ASSERT_EQ(inter.Contains(v), model.count(v) && tmodel.count(v)) << v;
+    }
+  }
+}
+
+// Extreme-endpoint stress: the coalescing, complement and removal paths must
+// not overflow near the int64 boundaries.
+TEST(IntervalFuzz, IntervalSetExtremeEndpoints) {
+  Rng rng(0xFEEDu);
+  for (int round = 0; round < 2000; ++round) {
+    IntervalSet s;
+    const int ops = 1 + static_cast<int>(rng.NextBelow(6));
+    for (int op = 0; op < ops; ++op) {
+      int64_t lo = RandomBound(rng);
+      int64_t hi = RandomBound(rng);
+      if (lo > hi) std::swap(lo, hi);
+      if (rng.NextBool(0.7)) {
+        s.Insert(lo, hi);
+        ASSERT_TRUE(s.Contains(lo));
+        ASSERT_TRUE(s.Contains(hi));
+      } else {
+        s.Remove(lo, hi);
+        ASSERT_FALSE(s.Contains(lo));
+        ASSERT_FALSE(s.Contains(hi));
+      }
+      CheckInvariants(s);
+      ASSERT_EQ(s.Complement().Complement(), s);
+    }
+    // Membership spot checks against a per-range oracle.
+    for (int probe = 0; probe < 8; ++probe) {
+      const int64_t v = RandomBound(rng);
+      bool expect = false;
+      for (const auto& r : s.ranges()) {
+        expect |= r.lo <= v && v <= r.hi;
+      }
+      ASSERT_EQ(s.Contains(v), expect) << "probe " << v;
+    }
+  }
+}
+
+// FromConstantInterval/Hull agree with ConstantInterval containment.
+TEST(IntervalFuzz, IntervalSetFromConstantInterval) {
+  Rng rng(0xF00Du);
+  for (int iter = 0; iter < 5000; ++iter) {
+    const ConstantInterval ci = RandomCi(rng);
+    const IntervalSet s = IntervalSet::FromConstantInterval(ci);
+    for (int probe = 0; probe < 4; ++probe) {
+      const int64_t v = RandomBound(rng);
+      ASSERT_EQ(s.Contains(v), ci.Contains(v)) << "v=" << v;
+    }
+    // Hull is the tightest interval: it must contain exactly what the set
+    // does at its endpoints (extremes normalise to undefined sides).
+    const ConstantInterval hull = s.Hull();
+    ASSERT_EQ(hull.Contains(INT64_MIN), s.Contains(INT64_MIN));
+    ASSERT_EQ(hull.Contains(INT64_MAX), s.Contains(INT64_MAX));
+  }
+  ASSERT_TRUE(
+      IntervalSet::FromConstantInterval(ConstantInterval::Empty()).Empty());
+}
+
+}  // namespace

@@ -269,6 +269,168 @@ TEST_P(IntervalSoundness, NoFindingsImpliesNoConcreteFaults) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSoundness, ::testing::Range<uint64_t>(1, 30));
 
+// --- Saturating-arithmetic regressions ---------------------------------------
+//
+// The sentinel encoding reads kMin as -inf only in the lo position and kMax
+// as +inf only in the hi position; the original helpers treated the values as
+// infinite regardless of position, collapsing genuine extreme constants and
+// (for division) mishandling zero-endpoint divisors. These pins hold the
+// corrected values in BOTH domains: the sentinel ops directly, and the
+// ConstantInterval algebra through the conversion bijection.
+
+TEST(IntervalAlgebra, ExtremeConstantsRegression) {
+  // [kMin,kMin] + [5,5]: kMin is a genuine constant here, not -inf. The old
+  // SatAdd collapsed this to [kMin,kMin], excluding the true value kMin+5.
+  EXPECT_EQ(AddI(Interval::Const(Interval::kMin), Interval::Const(5)),
+            Interval::Range(Interval::kMin, Interval::kMin + 5));
+  // Dual bug on the hi side via subtraction.
+  EXPECT_EQ(SubI(Interval::Const(Interval::kMax), Interval::Const(5)),
+            Interval::Range(Interval::kMax - 5, Interval::kMax));
+  // [kMax,kMax] denotes [kMax, +inf) (hi-position kMax is the +inf
+  // sentinel), so its negation is (-inf, -kMax]. The old SatNeg returned
+  // [kMin,kMin], whose hi-position kMin wrongly excludes -kMax = kMin+1.
+  EXPECT_EQ(NegI(Interval::Const(Interval::kMax)),
+            Interval::Range(Interval::kMin, Interval::kMin + 1));
+  // [kMin,kMin] denotes (-inf, kMin]; its negation is [2^63, +inf), whose
+  // lower bound saturates inward to kMax and whose upper side is the +inf
+  // sentinel — [kMax, kMax] is the tightest sentinel claim.
+  EXPECT_EQ(NegI(Interval::Const(Interval::kMin)),
+            Interval::Range(Interval::kMax, Interval::kMax));
+  // [kMax, +inf) * {-1} = (-inf, -kMax]; the old SatMul produced
+  // [kMin,kMin], excluding -kMax.
+  EXPECT_EQ(MulI(Interval::Const(Interval::kMax), Interval::Const(-1)),
+            Interval::Range(Interval::kMin, Interval::kMin + 1));
+  // A genuinely unbounded-below operand stays unbounded below.
+  EXPECT_EQ(MulI(Interval::Range(Interval::kMin, 5), Interval::Const(2)),
+            Interval::Range(Interval::kMin, 10));
+}
+
+TEST(IntervalAlgebra, ZeroEndpointDivisorRegression) {
+  // Divisor [0,5]: zero is excluded semantically (the analysis refines
+  // divisors), so actual divisors are [1,5] and 20/1 = 20 is reachable. The
+  // old straddle test (`lo < 0 && hi > 0`) missed zero endpoints and gave
+  // the unsound [2,4].
+  EXPECT_EQ(DivI(Interval::Range(10, 20), Interval::Range(0, 5)),
+            Interval::Range(2, 20));
+  EXPECT_EQ(DivI(Interval::Range(10, 20), Interval::Range(-5, 0)),
+            Interval::Range(-20, -2));
+  // Straddling divisor: both sign parts contribute.
+  EXPECT_EQ(DivI(Interval::Range(10, 20), Interval::Range(-3, 5)),
+            Interval::Range(-20, 20));
+  // Divisor exactly {0}: no legal divisor value remains.
+  EXPECT_TRUE(DivI(Interval::Range(10, 20), Interval::Const(0)).bottom);
+}
+
+TEST(IntervalAlgebra, RemainderSignPins) {
+  // Sign follows the dividend; magnitude bounded by max(|b|) - 1 = 4.
+  EXPECT_EQ(RemI(Interval::Range(-7, 100), Interval::Range(1, 5)),
+            Interval::Range(-4, 4));
+  // Negative divisor: |r| < |-7| = 7 and a nonnegative dividend keeps r >= 0.
+  EXPECT_EQ(RemI(Interval::Range(0, 100), Interval::Const(-7)),
+            Interval::Range(0, 6));
+  EXPECT_EQ(RemI(Interval::Range(-100, 0), Interval::Const(7)),
+            Interval::Range(-6, 0));
+}
+
+TEST(ConstantIntervalAlgebra, MirrorsFixedSentinelValues) {
+  using support::ConstantInterval;
+  // The same regression cases through the support algebra: genuine extreme
+  // constants stay exact because definedness is explicit.
+  const auto sum = ConstantInterval::SinglePoint(INT64_MIN) +
+                   ConstantInterval::SinglePoint(5);
+  EXPECT_EQ(sum, ConstantInterval::SinglePoint(INT64_MIN + 5));
+  const auto prod = ConstantInterval::SinglePoint(INT64_MAX) *
+                    ConstantInterval::SinglePoint(-1);
+  EXPECT_EQ(prod, ConstantInterval::SinglePoint(INT64_MIN + 1));
+  // -{INT64_MIN} = {2^63}: above int64, so the result is bounded below by
+  // INT64_MAX (saturated inward) and unbounded above.
+  const auto neg = -ConstantInterval::SinglePoint(INT64_MIN);
+  EXPECT_TRUE(neg.min_defined);
+  EXPECT_EQ(neg.min, INT64_MAX);
+  EXPECT_FALSE(neg.max_defined);
+  // One-sided bounds propagate through addition.
+  EXPECT_EQ(ConstantInterval::BoundedBelow(3) + ConstantInterval::SinglePoint(10),
+            ConstantInterval::BoundedBelow(13));
+  // Division and remainder (raw algebra keeps the dividend-magnitude
+  // tightening the dataflow shim drops).
+  EXPECT_EQ(ConstantInterval(10, 20) / ConstantInterval(0, 5),
+            ConstantInterval(2, 20));
+  EXPECT_EQ(ConstantInterval(3, 100) % ConstantInterval(7, 7),
+            ConstantInterval(0, 6));
+  EXPECT_EQ(ConstantInterval(2, 2) % ConstantInterval(7, 7),
+            ConstantInterval(0, 2));  // |r| <= |a| tightening.
+  // Conversion roundtrip agrees with the fixed sentinel ops.
+  EXPECT_EQ(FromConstantInterval(
+                ToConstantInterval(Interval::Const(Interval::kMax)) *
+                ToConstantInterval(Interval::Const(-1))),
+            MulI(Interval::Const(Interval::kMax), Interval::Const(-1)));
+}
+
+TEST(ConstantIntervalAlgebra, ShiftAndDeciderPins) {
+  using support::ConstantInterval;
+  using support::Tristate;
+  EXPECT_EQ(ConstantInterval::Shl(ConstantInterval(1, 3), ConstantInterval(2, 4)),
+            ConstantInterval(4, 48));
+  EXPECT_EQ(ConstantInterval::Shr(ConstantInterval(-17, 100), ConstantInterval(2, 2)),
+            ConstantInterval(-5, 25));  // Arithmetic shift: floor(-17/4) = -5.
+  // Shift amount not provably in [0, 63] -> give up.
+  EXPECT_TRUE(ConstantInterval::Shl(ConstantInterval(1, 1),
+                                    ConstantInterval(-1, 2))
+                  .is_everything());
+  EXPECT_EQ(ConstantInterval::ProveLt(ConstantInterval(0, 4), ConstantInterval(5, 9)),
+            Tristate::kTrue);
+  EXPECT_EQ(ConstantInterval::ProveLt(ConstantInterval(5, 9), ConstantInterval(0, 4)),
+            Tristate::kFalse);
+  EXPECT_EQ(ConstantInterval::ProveLt(ConstantInterval(0, 5), ConstantInterval(5, 9)),
+            Tristate::kUnknown);
+  EXPECT_EQ(ConstantInterval::ProveEq(ConstantInterval::SinglePoint(7),
+                                      ConstantInterval::SinglePoint(7)),
+            Tristate::kTrue);
+  EXPECT_EQ(ConstantInterval::ProveNe(ConstantInterval(0, 3), ConstantInterval(4, 9)),
+            Tristate::kTrue);
+  EXPECT_EQ(ConstantInterval::ProveGe(ConstantInterval::BoundedBelow(10),
+                                      ConstantInterval::BoundedAbove(9)),
+            Tristate::kTrue);
+}
+
+// --- Engine/reference report equality ----------------------------------------
+
+TEST(IntervalModeEquality, ReportsBitIdenticalAcrossDomains) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    support::Rng rng(seed * 7919);
+    corpus::AppStyle style;
+    style.complexity = rng.NextDouble() * 0.8;
+    style.unsafety = rng.NextDouble();
+    style.taintiness = rng.NextDouble();
+    const std::string source = corpus::GenerateMiniCFile(rng, style, 160);
+    const auto module = MustLower(source);
+    for (const auto& fn : module.functions) {
+      IntervalOptions engine_opts;
+      engine_opts.mode = DataflowMode::kEngine;
+      engine_opts.record_block_ranges = true;
+      IntervalOptions ref_opts = engine_opts;
+      ref_opts.mode = DataflowMode::kReference;
+      const IntervalReport a = AnalyzeIntervals(fn, engine_opts);
+      const IntervalReport b = AnalyzeIntervals(fn, ref_opts);
+      EXPECT_EQ(a.array_accesses, b.array_accesses) << fn.name;
+      EXPECT_EQ(a.proven_in_bounds, b.proven_in_bounds) << fn.name;
+      EXPECT_EQ(a.divisions, b.divisions) << fn.name;
+      EXPECT_EQ(a.proven_nonzero_divisor, b.proven_nonzero_divisor) << fn.name;
+      ASSERT_EQ(a.findings.size(), b.findings.size()) << fn.name;
+      for (size_t i = 0; i < a.findings.size(); ++i) {
+        EXPECT_EQ(a.findings[i].kind, b.findings[i].kind) << fn.name;
+        EXPECT_EQ(a.findings[i].function, b.findings[i].function);
+        EXPECT_EQ(a.findings[i].line, b.findings[i].line);
+      }
+      ASSERT_EQ(a.block_entry_regs.size(), b.block_entry_regs.size()) << fn.name;
+      for (size_t blk = 0; blk < a.block_entry_regs.size(); ++blk) {
+        EXPECT_EQ(a.block_entry_regs[blk], b.block_entry_regs[blk])
+            << fn.name << " block " << blk;
+      }
+    }
+  }
+}
+
 TEST(IntervalFeaturesTest, ModuleAggregation) {
   const auto module = MustLower(R"(
     int safe() { int b[4]; b[1] = 2; return b[1]; }

@@ -3,8 +3,10 @@
 // against concrete expression evaluation.
 #include <gtest/gtest.h>
 
+#include "src/corpus/codegen.h"
 #include "src/lang/interp.h"
 #include "src/lang/parser.h"
+#include "src/metrics/callgraph.h"
 #include "src/support/rng.h"
 #include "src/support/thread_pool.h"
 #include "src/symexec/bitblast.h"
@@ -634,6 +636,195 @@ TEST(Executor, IncrementalAndOneShotModesAgree) {
     // Solver-query counts are NOT compared: the modes may find different
     // models, so cache-hit patterns (and therefore query counts) can differ
     // while every exploration-visible result stays identical.
+  }
+}
+
+// --- Range-guided path pruning ----------------------------------------------
+
+// Semantic exploration results that must be bit-identical whether or not the
+// range domain pruned solver queries. Counter fields (solver_queries,
+// range_pruned, sat_conflicts, model_reuse_hits) are intentionally excluded:
+// differing query counts are the optimisation's whole point.
+void ExpectSameExploration(const SymExecResult& a, const SymExecResult& b,
+                           const std::string& label) {
+  EXPECT_EQ(a.paths_explored, b.paths_explored) << label;
+  EXPECT_EQ(a.paths_completed, b.paths_completed) << label;
+  EXPECT_EQ(a.paths_aborted, b.paths_aborted) << label;
+  EXPECT_EQ(a.paths_infeasible_assume, b.paths_infeasible_assume) << label;
+  EXPECT_EQ(a.paths_faulted, b.paths_faulted) << label;
+  EXPECT_EQ(a.paths_limited, b.paths_limited) << label;
+  EXPECT_EQ(a.path_limit_hit, b.path_limit_hit) << label;
+  EXPECT_EQ(a.forks, b.forks) << label;
+  EXPECT_EQ(a.symbolic_inputs, b.symbolic_inputs) << label;
+  ASSERT_EQ(a.vulns.size(), b.vulns.size()) << label;
+  for (size_t i = 0; i < a.vulns.size(); ++i) {
+    EXPECT_EQ(a.vulns[i].kind, b.vulns[i].kind) << label;
+    EXPECT_EQ(a.vulns[i].function, b.vulns[i].function) << label;
+    EXPECT_EQ(a.vulns[i].line, b.vulns[i].line) << label;
+    EXPECT_EQ(a.vulns[i].paths, b.vulns[i].paths) << label;
+    EXPECT_EQ(a.vulns[i].exploit_fraction, b.vulns[i].exploit_fraction) << label;
+  }
+}
+
+TEST(Executor, RangePruningPreservesExplorationResults) {
+  const char* kPrograms[] = {
+      // Correlated branches: the inner guards are implied or refuted by the
+      // outer ones, the bread-and-butter pruning case.
+      R"(int main() {
+           int x = input();
+           int r = 0;
+           if (x > 5) {
+             if (x > 3) { r += 1; }
+             if (x < 2) { r += 2; }
+           }
+           return r;
+         })",
+      // Array access whose bounds check is subsumed by earlier guards.
+      R"(int main() {
+           int buf[8];
+           int i = input();
+           if (i >= 0) {
+             if (i < 8) {
+               buf[i] = 1;
+               return buf[i];
+             }
+           }
+           return 0;
+         })",
+      // Equality/disequality holes a convex interval cannot express.
+      R"(int main() {
+           int x = input();
+           int r = 0;
+           if (x == 7) { r = 70; }
+           if (x != 7) { r = 7; }
+           return 100 / (x - 6);
+         })",
+      // Division guarded transitively.
+      R"(int main() {
+           int d = input();
+           if (d > 0) { return 100 / d; }
+           return 0;
+         })",
+      // Loop with symbolic bound: loop-carried guards accumulate.
+      R"(int main() {
+           int n = input();
+           int s = 0;
+           for (int i = 0; i < n && i < 5; ++i) { s += i; }
+           return s;
+         })",
+      // Interprocedural vulnerability.
+      R"(int poke(int i) { int b[4]; b[i] = 7; return b[0]; }
+         int main() {
+           int x = input();
+           if (x > 2) { return poke(x); }
+           return 0;
+         })",
+  };
+  uint64_t total_pruned = 0;
+  for (const char* source : kPrograms) {
+    const auto module = MustLower(source);
+    SymExecOptions options;
+    options.max_paths = 256;
+    options.max_solver_queries = 1 << 16;  // Generous: no budget divergence.
+    options.range_pruning = false;
+    const SymExecResult ref = Explore(module, "main", options);
+    options.range_pruning = true;
+    const SymExecResult pruned = Explore(module, "main", options);
+    ExpectSameExploration(ref, pruned, source);
+    EXPECT_EQ(ref.range_pruned, 0u) << source;
+    EXPECT_LE(pruned.solver_queries, ref.solver_queries) << source;
+    total_pruned += pruned.range_pruned;
+  }
+  // The corpus above is built to be decidable: pruning must actually fire.
+  EXPECT_GT(total_pruned, 0u);
+}
+
+TEST(Executor, RangePruningAgreesOnGeneratedCorpus) {
+  // Randomized breadth: generated MiniC programs (branch-heavy, array-heavy,
+  // interprocedural) must explore identically with and without pruning.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    support::Rng rng(seed * 104729);
+    corpus::AppStyle style;
+    style.complexity = rng.NextDouble() * 0.6;
+    style.unsafety = rng.NextDouble();
+    style.taintiness = rng.NextDouble();
+    const std::string source = corpus::GenerateMiniCFile(rng, style, 120);
+    const auto module = MustLower(source);
+    const metrics::CallGraph graph(module);
+    const auto roots = graph.Roots();
+    ASSERT_FALSE(roots.empty());
+
+    SymExecOptions options;
+    options.max_paths = 48;
+    options.max_steps_per_path = 2048;
+    options.exploit_sample_trials = 32;
+    options.max_solver_queries = 1 << 16;
+    options.range_pruning = false;
+    const SymExecResult ref = Explore(module, roots.front(), options);
+    options.range_pruning = true;
+    const SymExecResult pruned = Explore(module, roots.front(), options);
+    ExpectSameExploration(ref, pruned, "seed " + std::to_string(seed));
+    EXPECT_LE(pruned.solver_queries, ref.solver_queries) << "seed " << seed;
+  }
+}
+
+TEST(Executor, RangePruningSkipsSolverQueries) {
+  // Every inner decision is implied by the outer guards, so the pruned run
+  // must answer most feasibility checks without the solver.
+  const auto module = MustLower(R"(
+    int main() {
+      int x = input();
+      int buf[8];
+      int r = 0;
+      if (x >= 0) {
+        if (x < 8) {
+          buf[x] = 1;
+          if (x >= 0) { r += 1; }
+          if (x > 9) { r += 2; }
+          r += buf[x];
+        }
+      }
+      return r;
+    }
+  )");
+  SymExecOptions options;
+  options.max_solver_queries = 1 << 16;
+  options.range_pruning = false;
+  const SymExecResult ref = Explore(module, "main", options);
+  options.range_pruning = true;
+  const SymExecResult pruned = Explore(module, "main", options);
+  ExpectSameExploration(ref, pruned, "correlated guards");
+  EXPECT_GT(pruned.range_pruned, 0u);
+  EXPECT_LT(pruned.solver_queries, ref.solver_queries);
+}
+
+TEST(Executor, PruneRateFeatureIsReported) {
+  const auto module = MustLower(R"(
+    int main() {
+      int x = input();
+      int r = 0;
+      if (x > 4) {
+        if (x > 2) { r += 1; }
+        if (x < 0) { r += 2; }
+      }
+      return r;
+    }
+  )");
+  SymExecOptions options;
+  const metrics::FeatureVector on = SymexFeatures(module, options);
+  EXPECT_GT(on.Get("symx.range_pruned"), 0.0);
+  EXPECT_GT(on.Get("symx.range_prune_rate"), 0.0);
+  EXPECT_LE(on.Get("symx.range_prune_rate"), 1.0);
+  options.range_pruning = false;
+  const metrics::FeatureVector off = SymexFeatures(module, options);
+  EXPECT_EQ(off.Get("symx.range_pruned"), 0.0);
+  EXPECT_EQ(off.Get("symx.range_prune_rate"), 0.0);
+  // Pruning must not change the semantic features, only the counters.
+  for (const char* key : {"symx.paths", "symx.paths_completed",
+                          "symx.vuln_sites", "symx.oob_sites",
+                          "symx.divzero_sites", "symx.max_exploit_fraction",
+                          "symx.sum_exploit_fraction"}) {
+    EXPECT_EQ(on.Get(key), off.Get(key)) << key;
   }
 }
 
