@@ -4,13 +4,63 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "src/clair/testbed.h"
 #include "src/corpus/ecosystem.h"
+#include "src/support/strings.h"
 
 namespace benchcommon {
+
+// Minimal writer for the machine-readable BENCH_*.json artifacts: ordered
+// (key, value) entries emitted as one flat JSON object. Values are quoted
+// strings, numbers, or raw pre-rendered JSON for nested arrays/objects.
+// Shared by every perf bench so the emitter boilerplate lives once.
+class JsonSink {
+ public:
+  void Add(const std::string& key, const std::string& value, bool quote) {
+    entries_.push_back({key, value, quote});
+  }
+  void AddNumber(const std::string& key, double value) {
+    Add(key, support::Format("%.6g", value), false);
+  }
+  void AddInt(const std::string& key, uint64_t value) {
+    Add(key, std::to_string(value), false);
+  }
+  void AddRaw(const std::string& key, const std::string& json) {
+    Add(key, json, false);
+  }
+
+  bool WriteTo(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      return false;
+    }
+    out << "{\n";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const auto& e = entries_[i];
+      out << "  \"" << e.key << "\": ";
+      if (e.quote) {
+        out << '"' << e.value << '"';
+      } else {
+        out << e.value;
+      }
+      out << (i + 1 < entries_.size() ? ",\n" : "\n");
+    }
+    out << "}\n";
+    return out.good();
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+    bool quote;
+  };
+  std::vector<Entry> entries_;
+};
 
 // Reads a double from the environment, falling back to `fallback`. Benches
 // use this so `CLAIR_SIZE_SCALE=1.0 ./fig2_loc_vs_vulns` reproduces the

@@ -40,9 +40,10 @@ double Seconds(std::chrono::steady_clock::time_point t0,
   return std::chrono::duration<double>(t1 - t0).count();
 }
 
-// Accumulates results and renders them as BENCH_pipeline.json: per-stage
-// milliseconds (with optional rows/s), the thread sweep, and the training
-// mode comparison.
+// Accumulates results for BENCH_pipeline.json: per-stage milliseconds (with
+// optional rows/s), the thread sweep, and the training mode comparison.
+// The emitter itself is the shared benchcommon::JsonSink; this wrapper only
+// renders the bench's nested sections.
 class JsonSink {
  public:
   void AddStage(const std::string& name, double ms, double rows_per_sec = 0.0) {
@@ -58,48 +59,54 @@ class JsonSink {
   void SetTraining(size_t rows, size_t features, double train_speedup,
                    double cv_speedup) {
     training_ = support::Format(
-        "  \"training\": {\"rows\": %zu, \"features\": %zu, "
+        "{\"rows\": %zu, \"features\": %zu, "
         "\"train_speedup_histogram_vs_exact\": %.2f, "
-        "\"cv_speedup_histogram_vs_exact\": %.2f},\n",
+        "\"cv_speedup_histogram_vs_exact\": %.2f}",
         rows, features, train_speedup, cv_speedup);
   }
   void SetDataflow(size_t modules, double speedup, bool identical) {
     dataflow_ = support::Format(
-        "  \"dataflow\": {\"modules\": %zu, "
-        "\"engine_vs_reference_speedup\": %.2f, \"features_identical\": %s},\n",
+        "{\"modules\": %zu, \"engine_vs_reference_speedup\": %.2f, "
+        "\"features_identical\": %s}",
         modules, speedup, identical ? "true" : "false");
   }
   void SetRobustness(const std::string& faults, const clair::RunReport& report) {
     robustness_ = support::Format(
-        "  \"robustness\": {\"faults\": \"%s\", \"apps\": %llu, "
-        "\"stage_failures\": %llu, \"stages_degraded\": %llu},\n",
+        "{\"faults\": \"%s\", \"apps\": %llu, "
+        "\"stage_failures\": %llu, \"stages_degraded\": %llu}",
         faults.c_str(), static_cast<unsigned long long>(report.apps_total),
         static_cast<unsigned long long>(report.TotalFailures()),
         static_cast<unsigned long long>(report.TotalDegraded()));
   }
 
   bool Write(const std::string& path) const {
-    std::ofstream out(path);
-    if (!out) {
-      return false;
+    benchcommon::JsonSink sink;
+    sink.Add("bench", "pipeline_throughput", true);
+    if (!training_.empty()) {
+      sink.AddRaw("training", training_);
     }
-    out << "{\n  \"bench\": \"pipeline_throughput\",\n";
-    out << training_;
-    out << dataflow_;
-    out << robustness_;
-    out << "  \"stages\": [\n";
-    for (size_t i = 0; i < stages_.size(); ++i) {
-      out << stages_[i] << (i + 1 < stages_.size() ? ",\n" : "\n");
+    if (!dataflow_.empty()) {
+      sink.AddRaw("dataflow", dataflow_);
     }
-    out << "  ],\n  \"thread_sweep\": [\n";
-    for (size_t i = 0; i < sweep_.size(); ++i) {
-      out << sweep_[i] << (i + 1 < sweep_.size() ? ",\n" : "\n");
+    if (!robustness_.empty()) {
+      sink.AddRaw("robustness", robustness_);
     }
-    out << "  ]\n}\n";
-    return out.good();
+    sink.AddRaw("stages", JoinArray(stages_));
+    sink.AddRaw("thread_sweep", JoinArray(sweep_));
+    return sink.WriteTo(path);
   }
 
  private:
+  static std::string JoinArray(const std::vector<std::string>& items) {
+    std::string out = "[\n";
+    for (size_t i = 0; i < items.size(); ++i) {
+      out += items[i];
+      out += i + 1 < items.size() ? ",\n" : "\n";
+    }
+    out += "  ]";
+    return out;
+  }
+
   std::vector<std::string> stages_;
   std::vector<std::string> sweep_;
   std::string training_;

@@ -1,0 +1,373 @@
+// Analysis-as-a-service throughput: the clair::Scheduler serving an
+// open-loop stream of mixed score requests, batched vs unbatched.
+//
+// The mixed workload interleaves priorities, extract-only probes, and a
+// duplicate-heavy tail (many requests for identical sources, as a fleet of
+// CI jobs scoring the same release would issue). Batched mode coalesces the
+// duplicates into one extraction per content key and funnels every
+// surviving row through one columnar forest call per hypothesis; unbatched
+// mode serves the same queue as waves of one. Both run against
+// cache-disabled testbeds so the comparison isolates the scheduler's own
+// batching from the persistent feature cache (a warm-cache section reports
+// the cache counters separately).
+//
+// Every result is compared bit-for-bit against an independent synchronous
+// sweep (ExtractFeatures + per-hypothesis PredictRisk + the severity
+// weighting of SecurityEvaluator::Evaluate); any mismatch fails the bench.
+// Emits BENCH_serving.json. `--smoke` runs a reduced workload and still
+// writes the JSON (the ctest `servperf` label runs this mode).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/clair/evaluator.h"
+#include "src/clair/hypothesis.h"
+#include "src/clair/pipeline.h"
+#include "src/clair/scheduler.h"
+#include "src/clair/testbed.h"
+#include "src/corpus/codegen.h"
+#include "src/support/rng.h"
+#include "src/support/strings.h"
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point t0,
+               std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+double LatencyMs(const clair::ScoreResult& result) {
+  return std::chrono::duration<double, std::milli>(result.resolved_at -
+                                                   result.submitted_at)
+      .count();
+}
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+// One synthetic single-file subject per unique content key.
+std::vector<metrics::SourceFile> MakeSubjectFiles(uint64_t seed, int lines) {
+  support::Rng rng(seed);
+  corpus::AppStyle style;
+  metrics::SourceFile file;
+  file.path = support::Format("subject_%llu.c",
+                              static_cast<unsigned long long>(seed));
+  file.language = metrics::Language::kMiniC;
+  file.text = corpus::GenerateMiniCFile(rng, style, lines);
+  return {file};
+}
+
+struct Workload {
+  std::vector<clair::ScoreRequest> requests;
+  size_t unique_subjects = 0;
+};
+
+// Deterministic mixed workload: `unique` distinct subjects, each repeated a
+// varying number of times (the duplicate-heavy tail that coalescing
+// exploits), shuffled priorities, and a sprinkle of extract-only probes.
+Workload MakeWorkload(size_t unique, size_t total) {
+  Workload workload;
+  workload.unique_subjects = unique;
+  std::vector<std::vector<metrics::SourceFile>> subjects;
+  subjects.reserve(unique);
+  for (size_t s = 0; s < unique; ++s) {
+    subjects.push_back(MakeSubjectFiles(100 + s, 60 + static_cast<int>(s) * 7));
+  }
+  support::Rng rng(42);
+  for (size_t i = 0; i < total; ++i) {
+    const size_t s = i % unique;  // Round-robin: every subject duplicated.
+    clair::ScoreRequest request;
+    request.subject = support::Format("subject_%zu", s);
+    request.files = subjects[s];
+    request.priority = static_cast<int>(rng.NextBelow(3));
+    request.extract_only = i % 7 == 6;
+    workload.requests.push_back(std::move(request));
+  }
+  return workload;
+}
+
+// Synchronous per-subject reference, computed exactly as the evaluator does:
+// one extraction, per-hypothesis PredictRisk in StandardHypotheses() order,
+// severity-weighted overall risk.
+struct Reference {
+  metrics::FeatureVector features;
+  std::vector<std::string> hypothesis_ids;
+  std::vector<double> hypothesis_risks;
+  double overall_risk = 0.0;
+};
+
+Reference MakeReference(const clair::Testbed& testbed,
+                        const clair::TrainedModel& model,
+                        const std::vector<metrics::SourceFile>& files) {
+  Reference ref;
+  ref.features = testbed.ExtractFeatures(files);
+  double weighted = 0.0;
+  double weight_total = 0.0;
+  for (const auto& hypothesis : clair::StandardHypotheses()) {
+    const clair::HypothesisModel* bundle = model.ForHypothesis(hypothesis.id);
+    if (bundle == nullptr) {
+      continue;
+    }
+    const double risk = bundle->PredictRisk(ref.features);
+    const double weight = clair::HypothesisSeverityWeight(hypothesis.id);
+    ref.hypothesis_ids.push_back(hypothesis.id);
+    ref.hypothesis_risks.push_back(risk);
+    weighted += weight * risk;
+    weight_total += weight;
+  }
+  ref.overall_risk = weight_total > 0.0 ? weighted / weight_total : 0.0;
+  return ref;
+}
+
+// Exact (bitwise, via ==) comparison of a served result against the
+// synchronous reference. Returns a description of the first mismatch, or
+// empty when identical.
+std::string CompareToReference(const clair::ScoreResult& result,
+                               const Reference& ref, bool extract_only) {
+  if (result.state != clair::RequestState::kDone) {
+    return support::Format("request %llu resolved %s, expected done",
+                           static_cast<unsigned long long>(result.id),
+                           clair::RequestStateName(result.state));
+  }
+  if (result.features.values() != ref.features.values()) {
+    return support::Format("request %llu: feature row differs from sync sweep",
+                           static_cast<unsigned long long>(result.id));
+  }
+  if (extract_only) {
+    return result.hypothesis_risks.empty()
+               ? std::string()
+               : support::Format("request %llu: extract-only carries risks",
+                                 static_cast<unsigned long long>(result.id));
+  }
+  if (result.hypothesis_ids != ref.hypothesis_ids) {
+    return support::Format("request %llu: hypothesis set differs",
+                           static_cast<unsigned long long>(result.id));
+  }
+  for (size_t i = 0; i < ref.hypothesis_risks.size(); ++i) {
+    if (result.hypothesis_risks[i] != ref.hypothesis_risks[i]) {
+      return support::Format(
+          "request %llu: risk[%s] %.17g != sync %.17g",
+          static_cast<unsigned long long>(result.id),
+          ref.hypothesis_ids[i].c_str(), result.hypothesis_risks[i],
+          ref.hypothesis_risks[i]);
+    }
+  }
+  if (result.overall_risk != ref.overall_risk) {
+    return support::Format("request %llu: overall %.17g != sync %.17g",
+                           static_cast<unsigned long long>(result.id),
+                           result.overall_risk, ref.overall_risk);
+  }
+  return std::string();
+}
+
+struct ModeResult {
+  double seconds = 0.0;
+  double requests_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  clair::SchedulerStats stats;
+  clair::FeatureCacheStats cache;
+  std::string mismatch;  // First output divergence from the sync reference.
+};
+
+// Serves the whole workload through one scheduler: open-loop submit of
+// every request up front, then a drain to completion. `testbed` should be
+// cache-free so both modes pay full extraction cost per non-coalesced
+// request.
+ModeResult ServeWorkload(const clair::Testbed& testbed,
+                         const clair::TrainedModel& model,
+                         const Workload& workload,
+                         const std::map<std::string, Reference>& references,
+                         bool batching) {
+  ModeResult mode;
+  std::vector<uint64_t> ids;
+  ids.reserve(workload.requests.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    clair::SchedulerOptions options;
+    options.batching = batching;
+    clair::Scheduler scheduler(testbed, model, options);
+    for (const auto& request : workload.requests) {
+      ids.push_back(scheduler.Submit(request));
+    }
+    scheduler.Drain();
+    mode.seconds = Seconds(t0, std::chrono::steady_clock::now());
+    mode.requests_per_sec =
+        static_cast<double>(ids.size()) / std::max(mode.seconds, 1e-9);
+    std::vector<double> latencies;
+    latencies.reserve(ids.size());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const clair::ScoreResult result = scheduler.Wait(ids[i]);
+      latencies.push_back(LatencyMs(result));
+      if (mode.mismatch.empty()) {
+        const auto& request = workload.requests[i];
+        mode.mismatch = CompareToReference(
+            result, references.at(request.subject), request.extract_only);
+      }
+    }
+    mode.p50_ms = Percentile(latencies, 0.50);
+    mode.p99_ms = Percentile(latencies, 0.99);
+    mode.stats = scheduler.stats();
+  }
+  mode.cache = testbed.cache_stats();
+  return mode;
+}
+
+std::string ModeJson(const ModeResult& mode, size_t requests) {
+  return support::Format(
+      "{\"requests\": %zu, \"seconds\": %.3f, \"requests_per_sec\": %.2f, "
+      "\"p50_ms\": %.2f, \"p99_ms\": %.2f, \"waves\": %llu, "
+      "\"coalesced\": %llu, \"predict_batches\": %llu, "
+      "\"predict_rows\": %llu}",
+      requests, mode.seconds, mode.requests_per_sec, mode.p50_ms, mode.p99_ms,
+      static_cast<unsigned long long>(mode.stats.waves),
+      static_cast<unsigned long long>(mode.stats.coalesced),
+      static_cast<unsigned long long>(mode.stats.predict_batches),
+      static_cast<unsigned long long>(mode.stats.predict_rows));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+  benchcommon::PrintHeader(
+      "Serving throughput",
+      "async stage-DAG scheduler, cross-request batching vs waves of one");
+
+  // Train once on the small shared corpus (same shape as the mlperf bench).
+  corpus::CorpusOptions corpus_options;
+  corpus_options.mature_apps = 48;
+  corpus_options.immature_apps = 8;
+  corpus_options.size_scale = 0.01;
+  corpus::EcosystemGenerator ecosystem(corpus_options);
+  clair::TestbedOptions train_options;
+  train_options.deep_analysis_max_files = 1;
+  clair::Testbed train_testbed(ecosystem, train_options);
+  clair::PipelineOptions pipeline_options;
+  pipeline_options.cv_folds = 5;
+  const clair::TrainingPipeline pipeline(train_testbed.Collect(),
+                                         pipeline_options);
+  const clair::TrainedModel model = pipeline.TrainFinal();
+
+  const size_t unique = smoke ? 4 : 10;
+  const size_t total = smoke ? 20 : 60;
+  const Workload workload = MakeWorkload(unique, total);
+
+  // Cache-free testbeds: one per mode so extraction and coalescing counters
+  // stay per-mode, plus one for the synchronous reference sweep.
+  clair::TestbedOptions serve_options;
+  serve_options.deep_analysis_max_files = 1;
+  serve_options.cache_features = false;
+  clair::Testbed reference_testbed(ecosystem, serve_options);
+  clair::Testbed unbatched_testbed(ecosystem, serve_options);
+  clair::Testbed batched_testbed(ecosystem, serve_options);
+
+  std::map<std::string, Reference> references;
+  for (size_t s = 0; s < workload.unique_subjects; ++s) {
+    const auto& request = workload.requests[s];
+    references.emplace(request.subject,
+                       MakeReference(reference_testbed, model, request.files));
+  }
+
+  std::printf("workload: %zu requests over %zu unique subjects "
+              "(duplicate-heavy, mixed priorities, 1-in-7 extract-only)\n\n",
+              workload.requests.size(), workload.unique_subjects);
+
+  const ModeResult unbatched =
+      ServeWorkload(unbatched_testbed, model, workload, references, false);
+  const ModeResult batched =
+      ServeWorkload(batched_testbed, model, workload, references, true);
+  const double speedup =
+      batched.requests_per_sec / std::max(unbatched.requests_per_sec, 1e-9);
+
+  const auto print_mode = [&](const char* name, const ModeResult& mode) {
+    std::printf("%-10s %8.2f req/s   p50 %8.2f ms   p99 %8.2f ms   "
+                "waves %llu   coalesced %llu   predict rows %llu\n",
+                name, mode.requests_per_sec, mode.p50_ms, mode.p99_ms,
+                static_cast<unsigned long long>(mode.stats.waves),
+                static_cast<unsigned long long>(mode.stats.coalesced),
+                static_cast<unsigned long long>(mode.stats.predict_rows));
+  };
+  print_mode("unbatched", unbatched);
+  print_mode("batched", batched);
+  std::printf("speedup (batched vs unbatched): %.2fx\n\n", speedup);
+
+  // Warm-cache section: same workload against a cache-enabled testbed, to
+  // report the feature-cache counters the scheduler surfaces (hits from
+  // repeats across waves, coalesced fills from duplicates within one).
+  clair::TestbedOptions cached_options;
+  cached_options.deep_analysis_max_files = 1;
+  clair::Testbed cached_testbed(ecosystem, cached_options);
+  const ModeResult cached =
+      ServeWorkload(cached_testbed, model, workload, references, true);
+  std::printf("warm cache: hits %llu  misses %llu  coalesced fills %llu\n",
+              static_cast<unsigned long long>(cached.cache.hits),
+              static_cast<unsigned long long>(cached.cache.misses),
+              static_cast<unsigned long long>(cached.cache.coalesced_fills));
+
+  bool ok = true;
+  for (const auto* mode : {&unbatched, &batched, &cached}) {
+    if (!mode->mismatch.empty()) {
+      std::fprintf(stderr, "OUTPUT MISMATCH: %s\n", mode->mismatch.c_str());
+      ok = false;
+    }
+  }
+  if (ok) {
+    std::printf("all %zu served results bit-identical to the synchronous "
+                "sweep in every mode\n",
+                workload.requests.size() * 3);
+  }
+
+  benchcommon::JsonSink json;
+  json.Add("bench", "serving_throughput", true);
+  json.AddInt("requests", workload.requests.size());
+  json.AddInt("unique_subjects", workload.unique_subjects);
+  json.AddRaw("unbatched", ModeJson(unbatched, workload.requests.size()));
+  json.AddRaw("batched", ModeJson(batched, workload.requests.size()));
+  json.AddNumber("speedup_batched_vs_unbatched", speedup);
+  json.AddRaw(
+      "warm_cache",
+      support::Format("{\"hits\": %llu, \"misses\": %llu, "
+                      "\"coalesced_fills\": %llu}",
+                      static_cast<unsigned long long>(cached.cache.hits),
+                      static_cast<unsigned long long>(cached.cache.misses),
+                      static_cast<unsigned long long>(
+                          cached.cache.coalesced_fills)));
+  json.Add("outputs_identical", ok ? "true" : "false", false);
+  const char* json_path = "BENCH_serving.json";
+  if (!json.WriteTo(json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path);
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path);
+  if (!ok) {
+    return 1;
+  }
+  // The smoke workload is too small to hold the throughput bar reliably
+  // under ctest parallelism; the full run enforces it.
+  if (!smoke && speedup < 2.0) {
+    std::fprintf(stderr, "speedup %.2fx below the 2x serving bar\n", speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -201,49 +201,8 @@ void PrintCounterComparison() {
                           .c_str());
 }
 
-// Minimal JSON writer for the machine-readable bench artifact (same pattern
-// as pipeline_throughput.cc).
-class JsonSink {
- public:
-  void Add(const std::string& key, const std::string& value, bool quote) {
-    entries_.push_back({key, value, quote});
-  }
-  void AddNumber(const std::string& key, double value) {
-    Add(key, support::Format("%.6g", value), false);
-  }
-  void AddInt(const std::string& key, uint64_t value) {
-    Add(key, std::to_string(value), false);
-  }
-  void AddRaw(const std::string& key, const std::string& json) {
-    Add(key, json, false);
-  }
-
-  bool WriteTo(const std::string& path) const {
-    std::ofstream out(path);
-    if (!out) return false;
-    out << "{\n";
-    for (size_t i = 0; i < entries_.size(); ++i) {
-      const auto& e = entries_[i];
-      out << "  \"" << e.key << "\": ";
-      if (e.quote) {
-        out << '"' << e.value << '"';
-      } else {
-        out << e.value;
-      }
-      out << (i + 1 < entries_.size() ? ",\n" : "\n");
-    }
-    out << "}\n";
-    return true;
-  }
-
- private:
-  struct Entry {
-    std::string key;
-    std::string value;
-    bool quote;
-  };
-  std::vector<Entry> entries_;
-};
+// Machine-readable artifact writer (shared across benches, see common.h).
+using benchcommon::JsonSink;
 
 std::string ModeJson(const ModeStats& s) {
   return support::Format(

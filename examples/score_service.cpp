@@ -1,0 +1,117 @@
+// Analysis-as-a-service: the clair::Scheduler serving a stream of score
+// requests — the "clairvoyant oracle as a daemon" deployment the paper's
+// §5.3 development-cycle integration implies. A CI fleet submits subjects
+// asynchronously with priorities; the scheduler coalesces duplicate
+// submissions, batches model inference across concurrent requests, and
+// guarantees each answer is bit-identical to a standalone synchronous
+// evaluation. This example trains a small model, then plays three roles:
+// a release gate (high priority), a nightly fleet audit (low priority,
+// heavily duplicated), and a fickle developer who cancels a request.
+#include <cstdio>
+
+#include "src/clair/pipeline.h"
+#include "src/clair/scheduler.h"
+#include "src/clair/testbed.h"
+#include "src/corpus/codegen.h"
+#include "src/corpus/ecosystem.h"
+#include "src/support/rng.h"
+#include "src/support/strings.h"
+
+namespace {
+
+std::vector<metrics::SourceFile> Component(uint64_t seed, double unsafety) {
+  support::Rng rng(seed);
+  corpus::AppStyle style;
+  style.unsafety = unsafety;
+  metrics::SourceFile file;
+  file.path = support::Format("component_%llu.c",
+                              static_cast<unsigned long long>(seed));
+  file.language = metrics::Language::kMiniC;
+  file.text = corpus::GenerateMiniCFile(rng, style, 120);
+  return {file};
+}
+
+}  // namespace
+
+int main() {
+  // --- Train the oracle once (as quickstart does). --------------------------
+  corpus::CorpusOptions corpus_options;
+  corpus_options.mature_apps = 32;
+  corpus_options.immature_apps = 4;
+  corpus_options.size_scale = 0.01;
+  const corpus::EcosystemGenerator ecosystem(corpus_options);
+  clair::TestbedOptions testbed_options;
+  testbed_options.deep_analysis_max_files = 1;
+  const clair::Testbed testbed(ecosystem, testbed_options);
+  clair::PipelineOptions pipeline_options;
+  pipeline_options.cv_folds = 4;
+  const clair::TrainingPipeline pipeline(testbed.Collect(), pipeline_options);
+  const clair::TrainedModel model = pipeline.TrainFinal();
+  std::printf("oracle trained on %d apps; serving...\n\n",
+              corpus_options.mature_apps + corpus_options.immature_apps);
+
+  // --- Serve a mixed request stream. ----------------------------------------
+  clair::Scheduler scheduler(testbed, model);
+
+  // The release gate scores one candidate at high priority.
+  clair::ScoreRequest gate;
+  gate.subject = "release-candidate";
+  gate.files = Component(1, 0.8);
+  gate.priority = 10;
+  const uint64_t gate_id = scheduler.Submit(gate);
+
+  // A nightly audit floods the queue at low priority — every CI shard
+  // submits the same three components, so most of these coalesce.
+  std::vector<uint64_t> audit_ids;
+  for (int shard = 0; shard < 4; ++shard) {
+    for (uint64_t component = 0; component < 3; ++component) {
+      clair::ScoreRequest audit;
+      audit.subject = support::Format(
+          "audit/component-%llu", static_cast<unsigned long long>(component));
+      audit.files = Component(10 + component, 0.2 + 0.2 * component);
+      audit.priority = -1;
+      audit_ids.push_back(scheduler.Submit(audit));
+    }
+  }
+
+  // A developer asks, then changes their mind before the result lands.
+  clair::ScoreRequest scratch;
+  scratch.subject = "scratch-branch";
+  scratch.files = Component(99, 0.5);
+  const uint64_t scratch_id = scheduler.Submit(scratch);
+  scheduler.Cancel(scratch_id);
+
+  // --- Collect. --------------------------------------------------------------
+  const clair::ScoreResult gate_result = scheduler.Wait(gate_id);
+  std::printf("[%s] %-20s overall risk %.3f (wave %llu)\n",
+              clair::RequestStateName(gate_result.state),
+              gate_result.subject.c_str(), gate_result.overall_risk,
+              static_cast<unsigned long long>(gate_result.wave));
+  for (size_t i = 0; i < gate_result.hypothesis_ids.size(); ++i) {
+    std::printf("    %-16s %.3f\n", gate_result.hypothesis_ids[i].c_str(),
+                gate_result.hypothesis_risks[i]);
+  }
+
+  for (const uint64_t id : audit_ids) {
+    const clair::ScoreResult result = scheduler.Wait(id);
+    std::printf("[%s] %-20s overall risk %.3f%s\n",
+                clair::RequestStateName(result.state), result.subject.c_str(),
+                result.overall_risk, result.coalesced ? "  (coalesced)" : "");
+  }
+
+  const clair::ScoreResult cancelled = scheduler.Wait(scratch_id);
+  std::printf("[%s] %-20s %d stages unwound\n",
+              clair::RequestStateName(cancelled.state),
+              cancelled.subject.c_str(), cancelled.stages_unwound);
+
+  const clair::SchedulerStats stats = scheduler.stats();
+  std::printf("\nserved %llu requests in %llu waves: %llu coalesced, "
+              "%llu rows through %llu batched forest calls, %llu cancelled\n",
+              static_cast<unsigned long long>(stats.submitted),
+              static_cast<unsigned long long>(stats.waves),
+              static_cast<unsigned long long>(stats.coalesced),
+              static_cast<unsigned long long>(stats.predict_rows),
+              static_cast<unsigned long long>(stats.predict_batches),
+              static_cast<unsigned long long>(stats.cancelled));
+  return 0;
+}

@@ -7,12 +7,8 @@
 #include "src/support/thread_pool.h"
 
 namespace clair {
-namespace {
 
-// Severity weights for the overall score: the paper's three worked examples
-// plus the broader battery, weighted by how directly each maps to exploit
-// impact.
-double HypothesisWeight(const std::string& id) {
+double HypothesisSeverityWeight(const std::string& id) {
   if (id == "critical") {
     return 1.0;
   }
@@ -27,8 +23,6 @@ double HypothesisWeight(const std::string& id) {
   }
   return 0.5;
 }
-
-}  // namespace
 
 std::string SecurityReport::ToString() const {
   std::string out = support::Format("Security report for %s\n", subject.c_str());
@@ -91,7 +85,7 @@ SecurityReport SecurityEvaluator::Evaluate(
       importance.resize(5);
     }
     prediction.contributing_features = std::move(importance);
-    const double weight = HypothesisWeight(hypothesis.id);
+    const double weight = HypothesisSeverityWeight(hypothesis.id);
     weighted += weight * prediction.risk;
     weight_total += weight;
     report.predictions.push_back(std::move(prediction));

@@ -14,6 +14,13 @@
 
 namespace clair {
 
+// Severity weight of a hypothesis in the overall score: the paper's three
+// worked examples plus the broader battery, weighted by how directly each
+// maps to exploit impact. Exported so the serving scheduler's batched
+// predict path computes the exact same severity-weighted overall risk as
+// SecurityEvaluator::Evaluate.
+double HypothesisSeverityWeight(const std::string& id);
+
 struct HypothesisPrediction {
   std::string hypothesis_id;
   std::string question;

@@ -78,6 +78,7 @@ FeatureCacheStats FeatureCache::stats() const {
   stats.hits = hits_.load(std::memory_order_relaxed);
   stats.misses = misses_.load(std::memory_order_relaxed);
   stats.integrity_rejects = integrity_rejects_.load(std::memory_order_relaxed);
+  stats.coalesced_fills = coalesced_fills_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stats.entries = entries_.size();
@@ -91,6 +92,7 @@ void FeatureCache::Clear() {
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
   integrity_rejects_.store(0, std::memory_order_relaxed);
+  coalesced_fills_.store(0, std::memory_order_relaxed);
 }
 
 bool FeatureCache::CorruptEntryForTest(uint64_t key) {

@@ -44,6 +44,11 @@ struct FeatureCacheStats {
   // mismatch or an injected cache fault); each reject is also a miss, so the
   // caller transparently recomputed the row.
   uint64_t integrity_rejects = 0;
+  // Extractions avoided by request coalescing: duplicate in-flight requests
+  // the serving scheduler routed to a single cache fill instead of extracting
+  // independently (see Testbed::NoteCoalescedExtractions). Not part of
+  // hits/misses — the coalesced requests never performed a lookup.
+  uint64_t coalesced_fills = 0;
 
   double HitRate() const {
     const uint64_t total = hits + misses;
@@ -67,6 +72,11 @@ class FeatureCache {
 
   FeatureCacheStats stats() const;
 
+  // Credits `count` coalesced fills (see FeatureCacheStats::coalesced_fills).
+  void NoteCoalescedFills(uint64_t count) {
+    coalesced_fills_.fetch_add(count, std::memory_order_relaxed);
+  }
+
   void Clear();
 
   // Test scaffolding: silently mutates the stored row (leaving its checksum
@@ -86,6 +96,7 @@ class FeatureCache {
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};
   mutable std::atomic<uint64_t> integrity_rejects_{0};
+  mutable std::atomic<uint64_t> coalesced_fills_{0};
 };
 
 }  // namespace clair

@@ -57,6 +57,42 @@ double HypothesisModel::PredictRisk(const metrics::FeatureVector& features) cons
   return proba.size() > 1 ? proba[1] : 0.0;
 }
 
+std::vector<double> HypothesisModel::PredictRiskBatch(
+    const std::vector<const metrics::FeatureVector*>& rows) const {
+  // Same transform as PredictRisk, applied per row; the classifier call is
+  // the only batched step, and PredictProbaBatch is bit-identical to the
+  // per-row loop, so batched risks byte-equal N independent PredictRisk
+  // calls.
+  std::vector<std::vector<double>> matrix;
+  matrix.reserve(rows.size());
+  for (const metrics::FeatureVector* features : rows) {
+    std::vector<double> row;
+    row.reserve(feature_names.size());
+    for (const auto& name : feature_names) {
+      double value = features->Get(name, 0.0);
+      if (log1p) {
+        value = value >= 0.0 ? std::log1p(value) : -std::log1p(-value);
+      }
+      row.push_back(value);
+    }
+    if (standardize) {
+      const auto& means = standardizer.means();
+      const auto& stddevs = standardizer.stddevs();
+      for (size_t j = 0; j < row.size() && j < means.size(); ++j) {
+        row[j] = (row[j] - means[j]) / stddevs[j];
+      }
+    }
+    matrix.push_back(std::move(row));
+  }
+  const auto probas = model->PredictProbaBatch(matrix);
+  std::vector<double> risks;
+  risks.reserve(probas.size());
+  for (const auto& proba : probas) {
+    risks.push_back(proba.size() > 1 ? proba[1] : 0.0);
+  }
+  return risks;
+}
+
 const HypothesisModel* TrainedModel::ForHypothesis(const std::string& id) const {
   for (const auto& model : models_) {
     if (model.hypothesis_id == id) {

@@ -62,6 +62,13 @@ struct HypothesisModel {
 
   // Probability of the risky ("yes") class for a raw feature vector.
   double PredictRisk(const metrics::FeatureVector& features) const;
+
+  // Batched risk: out[i] == PredictRisk(*rows[i]) exactly (same per-row
+  // transform, then one Classifier::PredictProbaBatch call, so the forest
+  // amortizes tree traversal across the whole batch). The serving
+  // scheduler's cross-request predict batching rides on this.
+  std::vector<double> PredictRiskBatch(
+      const std::vector<const metrics::FeatureVector*>& rows) const;
 };
 
 class TrainedModel {

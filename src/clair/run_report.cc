@@ -38,11 +38,15 @@ std::string RunReport::ToString() const {
   }
   out += support::Format(
       "apps=%llu resumed_from_checkpoint=%llu checkpoint_appends=%llu "
-      "rows_from_cache=%llu cache_integrity_rejects=%llu\n",
+      "rows_from_cache=%llu cache_misses=%llu cache_entries=%llu "
+      "cache_coalesced_fills=%llu cache_integrity_rejects=%llu\n",
       static_cast<unsigned long long>(apps_total),
       static_cast<unsigned long long>(apps_from_checkpoint),
       static_cast<unsigned long long>(checkpoint_appends),
       static_cast<unsigned long long>(rows_from_cache),
+      static_cast<unsigned long long>(cache_misses),
+      static_cast<unsigned long long>(cache_entries),
+      static_cast<unsigned long long>(cache_coalesced_fills),
       static_cast<unsigned long long>(cache_integrity_rejects));
   return out;
 }

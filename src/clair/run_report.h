@@ -43,8 +43,13 @@ struct RunReport {
   std::map<std::string, StageReport> stages;
   uint64_t apps_total = 0;            // Rows the sweep was asked for.
   uint64_t apps_from_checkpoint = 0;  // Rows resumed, not recomputed.
-  uint64_t rows_from_cache = 0;       // Rows served by the feature cache.
+  uint64_t rows_from_cache = 0;       // Cache hits: rows served, not computed.
   uint64_t checkpoint_appends = 0;    // Rows streamed to the checkpoint.
+  uint64_t cache_misses = 0;          // Lookups that fell through to extraction.
+  uint64_t cache_entries = 0;         // Rows resident at snapshot time.
+  // Extractions avoided by the serving scheduler coalescing duplicate
+  // in-flight requests onto one cache fill.
+  uint64_t cache_coalesced_fills = 0;
   uint64_t cache_integrity_rejects = 0;
 
   uint64_t TotalFailures() const;

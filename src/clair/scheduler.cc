@@ -1,0 +1,402 @@
+#include "src/clair/scheduler.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "src/clair/evaluator.h"
+#include "src/clair/feature_cache.h"
+#include "src/clair/hypothesis.h"
+
+namespace clair {
+namespace {
+
+// Extraction stages a wave runs as one composite (the testbed walks them
+// per file internally); the scheduler's request-level tracker settles them
+// together when the row lands.
+constexpr StageKind kExtractionStages[] = {
+    StageKind::kParse,    StageKind::kLower,   StageKind::kDataflow,
+    StageKind::kIntervals, StageKind::kSymexec, StageKind::kDynamic,
+    StageKind::kFeatures,
+};
+
+}  // namespace
+
+const char* RequestStateName(RequestState state) {
+  switch (state) {
+    case RequestState::kQueued:
+      return "queued";
+    case RequestState::kRunning:
+      return "running";
+    case RequestState::kDone:
+      return "done";
+    case RequestState::kFailed:
+      return "failed";
+    case RequestState::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+Scheduler::Scheduler(const Testbed& testbed, const TrainedModel& model,
+                     SchedulerOptions options)
+    : testbed_(testbed), model_(model), options_(std::move(options)) {
+  if (options_.max_batch == 0) {
+    options_.max_batch = 1;
+  }
+  if (options_.threads > 0) {
+    dedicated_pool_ = std::make_unique<support::ThreadPool>(options_.threads);
+  }
+  paused_ = options_.start_paused;
+  coordinator_ = std::thread([this] { CoordinatorLoop(); });
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    paused_ = false;  // A paused scheduler still drains deterministically.
+  }
+  cv_.notify_all();
+  coordinator_.join();
+}
+
+uint64_t Scheduler::Submit(ScoreRequest request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t id = ++next_id_;
+  auto entry = std::make_unique<Entry>();
+  entry->request = std::move(request);
+  entry->result.id = id;
+  entry->result.subject = entry->request.subject;
+  entry->result.submitted_at = std::chrono::steady_clock::now();
+  if (entry->request.extract_only) {
+    entry->tracker.Disable(StageKind::kPredict);
+  }
+  entries_.emplace(id, std::move(entry));
+  ++stats_.submitted;
+  cv_.notify_all();
+  return id;
+}
+
+bool Scheduler::Cancel(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return false;
+  }
+  Entry& entry = *it->second;
+  if (entry.state == RequestState::kQueued) {
+    entry.result.stages_unwound = entry.tracker.CancelPending();
+    ResolveLocked(entry, RequestState::kCancelled);
+    return true;
+  }
+  if (entry.state == RequestState::kRunning && !entry.predict_started) {
+    entry.cancel_requested = true;
+    return true;
+  }
+  return false;  // Already resolved, or predict is past unwinding.
+}
+
+ScoreResult Scheduler::Wait(uint64_t id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    ScoreResult missing;
+    missing.id = id;
+    missing.state = RequestState::kFailed;
+    missing.error = "unknown request id";
+    return missing;
+  }
+  Entry& entry = *it->second;
+  cv_.wait(lock, [&] { return Resolved(entry.state); });
+  return entry.result;
+}
+
+void Scheduler::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void Scheduler::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  paused_ = false;
+  cv_.notify_all();
+  cv_.wait(lock, [&] {
+    for (const auto& [id, entry] : entries_) {
+      if (!Resolved(entry->state)) {
+        return false;
+      }
+    }
+    return true;
+  });
+}
+
+SchedulerStats Scheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+bool Scheduler::HasQueuedLocked() const {
+  for (const auto& [id, entry] : entries_) {
+    if (entry->state == RequestState::kQueued) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<uint64_t> Scheduler::PlanWaveLocked() {
+  std::vector<uint64_t> queued;
+  for (const auto& [id, entry] : entries_) {
+    if (entry->state == RequestState::kQueued) {
+      queued.push_back(id);
+    }
+  }
+  // Priority order, FIFO within a priority (ids are submission-ordered).
+  std::stable_sort(queued.begin(), queued.end(), [&](uint64_t a, uint64_t b) {
+    const int pa = entries_.at(a)->request.priority;
+    const int pb = entries_.at(b)->request.priority;
+    return pa != pb ? pa > pb : a < b;
+  });
+  const size_t cap = options_.batching ? options_.max_batch : 1;
+  if (queued.size() > cap) {
+    queued.resize(cap);
+  }
+  return queued;
+}
+
+void Scheduler::CoordinatorLoop() {
+  for (;;) {
+    std::vector<uint64_t> wave;
+    uint64_t wave_number = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock,
+               [&] { return stopping_ || (!paused_ && HasQueuedLocked()); });
+      wave = PlanWaveLocked();
+      if (wave.empty()) {
+        if (stopping_) {
+          return;
+        }
+        continue;
+      }
+      wave_number = ++stats_.waves;
+      if (wave.size() > 1) {
+        stats_.batched_requests += wave.size();
+      }
+      for (const uint64_t id : wave) {
+        Entry& entry = *entries_.at(id);
+        entry.state = RequestState::kRunning;
+        entry.result.wave = wave_number;
+        for (const StageKind stage : kExtractionStages) {
+          entry.tracker.MarkRunning(stage);
+        }
+      }
+    }
+    RunWave(wave, wave_number);
+  }
+}
+
+void Scheduler::RunWave(const std::vector<uint64_t>& wave_ids,
+                        uint64_t wave_number) {
+  // --- Plan: coalesce duplicate in-flight content keys. One group per
+  // distinct source set; the first request in wave (priority) order leads,
+  // the rest copy its row. Entry pointers are stable (unique_ptr in the
+  // map) and only this coordinator mutates unresolved entries, so the wave
+  // body reads them without the lock.
+  struct Group {
+    std::vector<Entry*> members;  // members[0] is the leader.
+  };
+  std::vector<Group> groups;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::map<uint64_t, size_t> group_of;
+    for (const uint64_t id : wave_ids) {
+      Entry* entry = entries_.at(id).get();
+      const uint64_t key = HashSourceFiles(entry->request.files, /*options_fingerprint=*/0);
+      const auto [it, inserted] = group_of.emplace(key, groups.size());
+      if (inserted) {
+        groups.push_back(Group{});
+      } else {
+        entry->result.coalesced = true;
+      }
+      groups[it->second].members.push_back(entry);
+    }
+  }
+  uint64_t coalesced = 0;
+  for (const Group& group : groups) {
+    coalesced += group.members.size() - 1;
+  }
+  if (coalesced > 0) {
+    testbed_.NoteCoalescedExtractions(coalesced);
+  }
+
+  // --- Extract: unique groups fan out on the pool. Failures are caught per
+  // group (never-drop: one poisoned subject must not sink its wave-mates),
+  // and the completion hook publishes extract-only requests as soon as
+  // their group's row lands — no waiting for the wave barrier.
+  support::ThreadPool& pool = dedicated_pool_ != nullptr
+                                  ? *dedicated_pool_
+                                  : support::ThreadPool::Global();
+  std::vector<metrics::FeatureVector> rows(groups.size());
+  std::vector<std::string> errors(groups.size());
+  const auto settle_extraction = [](Entry& entry, bool ok) {
+    for (const StageKind stage : kExtractionStages) {
+      if (ok) {
+        entry.tracker.MarkDone(stage);
+      } else {
+        entry.tracker.MarkFailed(stage);
+      }
+    }
+  };
+  pool.ParallelFor(
+      groups.size(),
+      [&](size_t g) {
+        try {
+          rows[g] = testbed_.ExtractFeatures(groups[g].members[0]->request.files);
+        } catch (const std::exception& ex) {
+          errors[g] = std::string("extraction: ") + ex.what();
+        } catch (...) {
+          errors[g] = "extraction: unknown exception";
+        }
+      },
+      [&](size_t g) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (Entry* entry : groups[g].members) {
+          if (!entry->request.extract_only || Resolved(entry->state)) {
+            continue;
+          }
+          settle_extraction(*entry, errors[g].empty());
+          if (entry->cancel_requested) {
+            entry->result.stages_unwound = entry->tracker.CancelPending();
+            ResolveLocked(*entry, RequestState::kCancelled);
+          } else if (!errors[g].empty()) {
+            entry->result.error = errors[g];
+            ResolveLocked(*entry, RequestState::kFailed);
+          } else {
+            entry->result.features = rows[g];
+            ResolveLocked(*entry, RequestState::kDone);
+          }
+        }
+      });
+
+  if (options_.on_wave_extracted) {
+    options_.on_wave_extracted(wave_number);
+  }
+
+  // --- Checkpoint: the last cancellation point. Under the lock, settle
+  // extraction outcomes into each surviving entry, honor mid-wave cancels
+  // (unwinding exactly the not-yet-started predict stage), resolve failures
+  // with their taxonomized error, and commit the survivors to predict.
+  std::vector<Entry*> predict_entries;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.coalesced += coalesced;
+    for (size_t g = 0; g < groups.size(); ++g) {
+      for (Entry* entry : groups[g].members) {
+        if (Resolved(entry->state)) {
+          continue;  // extract_only, or cancelled while queued elsewhere.
+        }
+        settle_extraction(*entry, errors[g].empty());
+        if (entry->cancel_requested) {
+          entry->result.stages_unwound = entry->tracker.CancelPending();
+          ResolveLocked(*entry, RequestState::kCancelled);
+          continue;
+        }
+        if (!errors[g].empty()) {
+          entry->result.error = errors[g];
+          ResolveLocked(*entry, RequestState::kFailed);
+          continue;
+        }
+        entry->result.features = rows[g];
+        entry->predict_started = true;
+        entry->tracker.MarkRunning(StageKind::kPredict);
+        predict_entries.push_back(entry);
+      }
+    }
+  }
+  if (predict_entries.empty()) {
+    return;
+  }
+
+  // --- Predict: one columnar forest call per hypothesis for the whole
+  // wave. Hypothesis order, the per-row transform, and the severity
+  // weighting all match SecurityEvaluator::Evaluate, and PredictRiskBatch
+  // is bit-identical to per-row PredictRisk — so a batched result
+  // byte-equals an independent synchronous sweep.
+  std::vector<const metrics::FeatureVector*> batch_rows;
+  batch_rows.reserve(predict_entries.size());
+  for (const Entry* entry : predict_entries) {
+    batch_rows.push_back(&entry->result.features);
+  }
+  std::vector<double> weighted(predict_entries.size(), 0.0);
+  std::vector<double> weight_total(predict_entries.size(), 0.0);
+  uint64_t batches = 0;
+  std::string predict_error;
+  try {
+    for (const auto& hypothesis : StandardHypotheses()) {
+      const HypothesisModel* bundle = model_.ForHypothesis(hypothesis.id);
+      if (bundle == nullptr) {
+        continue;
+      }
+      const std::vector<double> risks = bundle->PredictRiskBatch(batch_rows);
+      ++batches;
+      const double weight = HypothesisSeverityWeight(hypothesis.id);
+      for (size_t i = 0; i < predict_entries.size(); ++i) {
+        ScoreResult& result = predict_entries[i]->result;
+        result.hypothesis_ids.push_back(hypothesis.id);
+        result.hypothesis_risks.push_back(risks[i]);
+        weighted[i] += weight * risks[i];
+        weight_total[i] += weight;
+      }
+    }
+  } catch (const std::exception& ex) {
+    predict_error = std::string("predict: ") + ex.what();
+  } catch (...) {
+    predict_error = "predict: unknown exception";
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.predict_batches += batches;
+  stats_.predict_rows += batches > 0 ? predict_entries.size() : 0;
+  for (size_t i = 0; i < predict_entries.size(); ++i) {
+    Entry& entry = *predict_entries[i];
+    if (!predict_error.empty()) {
+      entry.tracker.MarkFailed(StageKind::kPredict);
+      entry.result.error = predict_error;
+      ResolveLocked(entry, RequestState::kFailed);
+      continue;
+    }
+    entry.tracker.MarkDone(StageKind::kPredict);
+    entry.result.overall_risk =
+        weight_total[i] > 0.0 ? weighted[i] / weight_total[i] : 0.0;
+    ResolveLocked(entry, RequestState::kDone);
+  }
+}
+
+void Scheduler::ResolveLocked(Entry& entry, RequestState state) {
+  entry.state = state;
+  entry.result.state = state;
+  entry.result.resolved_at = std::chrono::steady_clock::now();
+  entry.result.completion_index = ++completion_counter_;
+  switch (state) {
+    case RequestState::kDone:
+      ++stats_.completed;
+      break;
+    case RequestState::kFailed:
+      ++stats_.failed;
+      break;
+    case RequestState::kCancelled:
+      ++stats_.cancelled;
+      break;
+    case RequestState::kQueued:
+    case RequestState::kRunning:
+      break;  // Not terminal; never passed here.
+  }
+  cv_.notify_all();
+}
+
+}  // namespace clair

@@ -1,0 +1,204 @@
+// Analysis-as-a-service: an asynchronous scheduler that serves a continuous
+// stream of "score this subject" requests over the extraction stage DAG
+// (stage_graph.h), instead of the one-shot synchronous sweep the
+// Pipeline/Testbed pair runs.
+//
+// Throughput comes from cross-request batching. A coordinator thread drains
+// the queue in priority order and plans *waves* of up to
+// `SchedulerOptions::max_batch` requests; within a wave:
+//   - duplicate in-flight content keys are coalesced: N requests for
+//     identical sources cost ONE extraction (the followers copy the
+//     leader's row and are counted in FeatureCacheStats::coalesced_fills);
+//   - unique extractions fan out on the support::ThreadPool, and the pool's
+//     completion hook publishes extract-only requests the moment their row
+//     lands — before the rest of the wave finishes;
+//   - all surviving rows go through ONE columnar forest call per hypothesis
+//     (HypothesisModel::PredictRiskBatch), amortizing tree traversal across
+//     the wave, with the severity-weighted overall risk computed exactly as
+//     SecurityEvaluator::Evaluate does.
+// Symbolic-execution solver work batches implicitly: wave extractions reuse
+// each worker thread's persistent incremental SAT session
+// (SymExecOptions::reuse_solver_session), so one solver serves the queued
+// path queries of many requests.
+//
+// Determinism contract: a request's result — features, per-hypothesis
+// risks, overall risk — is bit-identical to an independent synchronous
+// sweep (ExtractFeatures + PredictRisk per hypothesis) at any
+// CLAIR_THREADS, any batch composition, and with batching on or off; only
+// scheduling metadata (wave number, latency, completion order) varies.
+//
+// Requests support priorities (higher first, FIFO within a priority) and
+// cancellation: a queued request unwinds all its not-yet-started stages; a
+// request cancelled mid-wave (after extraction, before predict) unwinds
+// exactly the predict stage. Shutdown is a deterministic drain — the
+// destructor resolves every submitted request before returning, upholding
+// the never-drop-a-row guarantee (every request ends kDone, kFailed with a
+// taxonomized error, or kCancelled; never silently lost).
+#ifndef SRC_CLAIR_SCHEDULER_H_
+#define SRC_CLAIR_SCHEDULER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/clair/pipeline.h"
+#include "src/clair/stage_graph.h"
+#include "src/clair/testbed.h"
+#include "src/metrics/extract.h"
+#include "src/support/thread_pool.h"
+
+namespace clair {
+
+enum class RequestState : uint8_t {
+  kQueued = 0,
+  kRunning,
+  kDone,
+  kFailed,     // Resolved with a taxonomized error, never silently dropped.
+  kCancelled,  // Unwound before its remaining stages ran.
+};
+
+const char* RequestStateName(RequestState state);
+
+struct ScoreRequest {
+  std::string subject;
+  std::vector<metrics::SourceFile> files;
+  int priority = 0;  // Higher runs sooner; ties break by submission order.
+  // Resolve after feature assembly, skipping predict — these publish from
+  // the extraction wave's completion hook, before the wave barrier.
+  bool extract_only = false;
+};
+
+struct ScoreResult {
+  uint64_t id = 0;
+  std::string subject;
+  RequestState state = RequestState::kQueued;
+  metrics::FeatureVector features;
+  // Parallel arrays in StandardHypotheses() order (hypotheses the model
+  // bundle covers). Empty for extract_only / failed / cancelled requests.
+  std::vector<std::string> hypothesis_ids;
+  std::vector<double> hypothesis_risks;
+  double overall_risk = 0.0;  // Severity-weighted, as SecurityEvaluator.
+  std::string error;          // Set when state == kFailed.
+  int stages_unwound = 0;     // DAG stages cancelled before they started.
+  uint64_t wave = 0;          // Wave that served it (0 = never scheduled).
+  bool coalesced = false;     // Row copied from a duplicate in-flight leader.
+  uint64_t completion_index = 0;  // Global resolve order, 1-based.
+  std::chrono::steady_clock::time_point submitted_at;
+  std::chrono::steady_clock::time_point resolved_at;
+};
+
+struct SchedulerOptions {
+  // false = waves of one request: the unbatched reference mode the serving
+  // bench compares against. Results are bit-identical either way.
+  bool batching = true;
+  size_t max_batch = 64;  // Requests per wave (>= 1).
+  // Worker pool for wave extraction; 0 = the process-global pool
+  // (CLAIR_THREADS). Results are bit-identical at any setting.
+  int threads = 0;
+  // Construct idle: nothing runs until Resume() (or Drain/destruction).
+  // Tests use this to build a fully-loaded queue and observe priority order.
+  bool start_paused = false;
+  // Test hook: invoked on the coordinator thread after a wave's extractions
+  // complete and before its batched predict, with no scheduler lock held —
+  // Cancel() from inside is safe, which is how the mid-DAG cancellation
+  // test unwinds a predict deterministically.
+  std::function<void(uint64_t wave)> on_wave_extracted;
+};
+
+struct SchedulerStats {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  uint64_t cancelled = 0;
+  uint64_t waves = 0;
+  uint64_t batched_requests = 0;  // Requests served by waves of size > 1.
+  uint64_t coalesced = 0;         // Extractions avoided by deduplication.
+  uint64_t predict_batches = 0;   // Batched forest calls (per hypothesis).
+  uint64_t predict_rows = 0;      // Rows those calls scored.
+};
+
+class Scheduler {
+ public:
+  // Borrows the testbed (extraction configuration + feature cache) and the
+  // trained model bundle; both must outlive the scheduler.
+  Scheduler(const Testbed& testbed, const TrainedModel& model,
+            SchedulerOptions options = {});
+  // Deterministic drain: resolves every submitted request, then joins.
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Enqueues a request; returns its id (monotonic from 1).
+  uint64_t Submit(ScoreRequest request);
+
+  // Cancels a request. Queued: resolves kCancelled immediately, unwinding
+  // every not-yet-started stage. Running before its predict stage started:
+  // marks it for unwind at the wave's post-extraction checkpoint and
+  // returns true. Already resolved (or predict underway): returns false.
+  bool Cancel(uint64_t id);
+
+  // Blocks until the request resolves; returns a copy of its result. An
+  // unknown id returns a kFailed result with an explanatory error.
+  ScoreResult Wait(uint64_t id);
+
+  // Starts a paused scheduler (no-op when already running).
+  void Resume();
+
+  // Resumes if paused and blocks until every submitted request resolves.
+  void Drain();
+
+  SchedulerStats stats() const;
+
+ private:
+  struct Entry {
+    ScoreRequest request;
+    RequestState state = RequestState::kQueued;
+    bool cancel_requested = false;  // Honored at the wave checkpoint.
+    bool predict_started = false;   // Past the last cancellation point.
+    StageTracker tracker;           // Request-level DAG progress.
+    ScoreResult result;
+    Entry() : tracker(StageGraph::Extraction()) {}
+  };
+
+  void CoordinatorLoop();
+  // Picks the next wave under the lock: queued entries sorted by
+  // (-priority, id), truncated to max_batch (1 when batching is off).
+  std::vector<uint64_t> PlanWaveLocked();
+  void RunWave(const std::vector<uint64_t>& wave_ids, uint64_t wave_number);
+  // Marks an entry resolved: stamps resolved_at/completion_index, updates
+  // stats, and wakes waiters. Caller holds mutex_.
+  void ResolveLocked(Entry& entry, RequestState state);
+  static bool Resolved(RequestState state) {
+    return state == RequestState::kDone || state == RequestState::kFailed ||
+           state == RequestState::kCancelled;
+  }
+  bool HasQueuedLocked() const;
+
+  const Testbed& testbed_;
+  const TrainedModel& model_;
+  SchedulerOptions options_;
+  std::unique_ptr<support::ThreadPool> dedicated_pool_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<uint64_t, std::unique_ptr<Entry>> entries_;
+  uint64_t next_id_ = 0;
+  uint64_t completion_counter_ = 0;
+  SchedulerStats stats_;
+  bool paused_ = false;
+  bool stopping_ = false;
+
+  std::thread coordinator_;  // Last member: joins before the rest unwinds.
+};
+
+}  // namespace clair
+
+#endif  // SRC_CLAIR_SCHEDULER_H_

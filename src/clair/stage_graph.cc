@@ -1,0 +1,140 @@
+#include "src/clair/stage_graph.h"
+
+namespace clair {
+
+const char* StageName(StageKind kind) {
+  switch (kind) {
+    case StageKind::kParse:
+      return "parse";
+    case StageKind::kLower:
+      return "lower";
+    case StageKind::kDataflow:
+      return "dataflow";
+    case StageKind::kIntervals:
+      return "intervals";
+    case StageKind::kSymexec:
+      return "symexec";
+    case StageKind::kDynamic:
+      return "dynamic";
+    case StageKind::kFeatures:
+      return "features";
+    case StageKind::kPredict:
+      return "predict";
+    case StageKind::kCount:
+      break;
+  }
+  return "?";
+}
+
+const char* StageStateName(StageState state) {
+  switch (state) {
+    case StageState::kPending:
+      return "pending";
+    case StageState::kRunning:
+      return "running";
+    case StageState::kDone:
+      return "done";
+    case StageState::kFailed:
+      return "failed";
+    case StageState::kSkipped:
+      return "skipped";
+    case StageState::kDisabled:
+      return "disabled";
+    case StageState::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+StageGraph::StageGraph(std::vector<StageKind> order, std::vector<StageEdge> edges)
+    : order_(std::move(order)), edges_(std::move(edges)) {
+  for (const StageEdge& edge : edges_) {
+    deps_[static_cast<size_t>(edge.to)].push_back(edge);
+  }
+}
+
+const StageGraph& StageGraph::Extraction() {
+  static const StageGraph graph(
+      {StageKind::kParse, StageKind::kLower, StageKind::kDataflow,
+       StageKind::kIntervals, StageKind::kSymexec, StageKind::kDynamic,
+       StageKind::kFeatures, StageKind::kPredict},
+      {
+          {StageKind::kParse, StageKind::kLower, /*hard=*/true},
+          {StageKind::kLower, StageKind::kDataflow, /*hard=*/true},
+          {StageKind::kLower, StageKind::kIntervals, /*hard=*/true},
+          {StageKind::kLower, StageKind::kSymexec, /*hard=*/true},
+          {StageKind::kLower, StageKind::kDynamic, /*hard=*/true},
+          {StageKind::kDataflow, StageKind::kFeatures, /*hard=*/false},
+          {StageKind::kIntervals, StageKind::kFeatures, /*hard=*/false},
+          {StageKind::kSymexec, StageKind::kFeatures, /*hard=*/false},
+          {StageKind::kDynamic, StageKind::kFeatures, /*hard=*/false},
+          {StageKind::kFeatures, StageKind::kPredict, /*hard=*/true},
+      });
+  return graph;
+}
+
+StageTracker::StageTracker(const StageGraph& graph) : graph_(graph) {
+  states_.fill(StageState::kPending);
+}
+
+void StageTracker::Disable(StageKind kind) { Set(kind, StageState::kDisabled); }
+
+StageKind StageTracker::NextRunnable() {
+  // One pass per call keeps the cascade simple: marking a stage kSkipped
+  // here may unblock (skip) its own dependents, which the *next* pass
+  // handles. The graph is tiny (8 stages), so the re-scan cost is nil.
+  for (bool progressed = true; progressed;) {
+    progressed = false;
+    for (const StageKind kind : graph_.Order()) {
+      if (state(kind) != StageState::kPending) {
+        continue;
+      }
+      bool deps_settled = true;
+      bool hard_dep_missing = false;
+      for (const StageEdge& dep : graph_.Deps(kind)) {
+        const StageState dep_state = state(dep.from);
+        if (dep_state == StageState::kPending || dep_state == StageState::kRunning) {
+          deps_settled = false;
+          break;
+        }
+        if (dep.hard && dep_state != StageState::kDone &&
+            dep_state != StageState::kDisabled) {
+          hard_dep_missing = true;
+        }
+      }
+      if (!deps_settled) {
+        continue;
+      }
+      if (hard_dep_missing) {
+        Set(kind, StageState::kSkipped);
+        progressed = true;  // The skip may gate this stage's dependents.
+        continue;
+      }
+      return kind;
+    }
+  }
+  return StageKind::kCount;
+}
+
+int StageTracker::CancelPending() {
+  int unwound = 0;
+  for (const StageKind kind : graph_.Order()) {
+    if (state(kind) == StageState::kPending) {
+      Set(kind, StageState::kCancelled);
+      ++unwound;
+    }
+  }
+  return unwound;
+}
+
+bool StageTracker::Settled() const {
+  for (const StageKind kind : graph_.Order()) {
+    const StageState s = state(kind);
+    if (s == StageState::kPending || s == StageState::kRunning) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace clair

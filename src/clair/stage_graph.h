@@ -1,0 +1,145 @@
+// Explicit stage DAG for feature extraction and scoring.
+//
+// The extraction battery has always had an implicit pipeline shape — parse,
+// lower, then four independent deep analyses, then feature assembly, then
+// prediction. This header makes that shape a first-class object: a static
+// `StageGraph` describing the stages and their dependency edges, plus a
+// small per-run `StageTracker` state machine that walks the graph in its
+// deterministic order, skips stages whose *hard* prerequisites did not
+// complete (a file that fails to parse never reaches dataflow), tolerates
+// *soft* failures (a degraded analysis still feeds feature assembly), and
+// supports cancellation (pending stages unwind without running).
+//
+// Two consumers share it: `Testbed::ExtractFeatures` drives its per-file
+// deep-analysis loop off `StageGraph::Extraction()`, and `clair::Scheduler`
+// tracks per-request progress with one tracker per request so a cancel can
+// report exactly which stages were unwound. The graph's `Order()` is fixed
+// to the battery's historical execution order, so the refactor is
+// bit-identical to the hand-rolled loop it replaces.
+#ifndef SRC_CLAIR_STAGE_GRAPH_H_
+#define SRC_CLAIR_STAGE_GRAPH_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace clair {
+
+// Stages of the score-one-subject pipeline, in deterministic execution
+// order. kParse..kDynamic are per-file analysis stages; kFeatures (feature
+// assembly + densities) and kPredict (model inference) are per-request.
+enum class StageKind : int {
+  kParse = 0,
+  kLower,
+  kDataflow,
+  kIntervals,
+  kSymexec,
+  kDynamic,
+  kFeatures,
+  kPredict,
+  kCount,
+};
+
+inline constexpr int kStageKindCount = static_cast<int>(StageKind::kCount);
+
+const char* StageName(StageKind kind);
+
+// A dependency edge. `hard` edges gate execution: if the prerequisite did
+// not complete, the dependent stage is skipped outright (parse → lower,
+// lower → analyses, features → predict). Soft edges only order execution:
+// the dependent still runs when the prerequisite degraded (analyses →
+// features — a failed dataflow pass must not suppress feature assembly,
+// that is the never-drop-a-row guarantee).
+struct StageEdge {
+  StageKind from;
+  StageKind to;
+  bool hard;
+};
+
+class StageGraph {
+ public:
+  // The extraction DAG:
+  //   parse → lower → {dataflow, intervals, symexec, dynamic} → features
+  //   → predict
+  // with hard edges through lower and into predict, soft edges from the
+  // analyses into features.
+  static const StageGraph& Extraction();
+
+  // All stages in deterministic topological order (the battery's historical
+  // execution order; ties broken by enum value).
+  const std::vector<StageKind>& Order() const { return order_; }
+  const std::vector<StageEdge>& edges() const { return edges_; }
+
+  // Prerequisites of `kind` (pairs of stage and hardness).
+  const std::vector<StageEdge>& Deps(StageKind kind) const {
+    return deps_[static_cast<size_t>(kind)];
+  }
+
+ private:
+  StageGraph(std::vector<StageKind> order, std::vector<StageEdge> edges);
+
+  std::vector<StageKind> order_;
+  std::vector<StageEdge> edges_;
+  std::array<std::vector<StageEdge>, kStageKindCount> deps_;
+};
+
+enum class StageState : uint8_t {
+  kPending,    // Not yet started.
+  kRunning,    // Claimed by a runner.
+  kDone,       // Completed (possibly after retries).
+  kFailed,     // Ran and degraded/failed; soft dependents still proceed.
+  kSkipped,    // Never ran: a hard prerequisite failed or was skipped.
+  kDisabled,   // Not part of this run's configuration; never gates.
+  kCancelled,  // Unwound by cancellation before it started.
+};
+
+const char* StageStateName(StageState state);
+
+// Per-run walk over a StageGraph. Not thread-safe: each run (one file's
+// deep battery, one request's lifecycle) owns its tracker and advances it
+// from a single thread at a time.
+class StageTracker {
+ public:
+  explicit StageTracker(const StageGraph& graph);
+
+  // Removes a stage from this run (e.g. with_dataflow=false, or per-file
+  // trackers that stop before kFeatures). Disabled stages never gate their
+  // dependents. Only valid before the walk starts.
+  void Disable(StageKind kind);
+
+  // Returns the next stage that is pending with every prerequisite settled
+  // and every hard prerequisite completed (or disabled), in graph order.
+  // Stages whose hard prerequisites failed are marked kSkipped as they are
+  // encountered (the skip cascades through hard edges). Returns
+  // StageKind::kCount when nothing further can run.
+  StageKind NextRunnable();
+
+  void MarkRunning(StageKind kind) { Set(kind, StageState::kRunning); }
+  void MarkDone(StageKind kind) { Set(kind, StageState::kDone); }
+  void MarkFailed(StageKind kind) { Set(kind, StageState::kFailed); }
+
+  // Cancellation unwind: every still-pending stage moves to kCancelled.
+  // Returns how many stages were unwound. Running stages are left to finish
+  // (their results are discarded by the caller).
+  int CancelPending();
+
+  StageState state(StageKind kind) const {
+    return states_[static_cast<size_t>(kind)];
+  }
+
+  // True once no stage is pending or running.
+  bool Settled() const;
+
+ private:
+  void Set(StageKind kind, StageState state) {
+    states_[static_cast<size_t>(kind)] = state;
+  }
+
+  const StageGraph& graph_;
+  std::array<StageState, kStageKindCount> states_;
+};
+
+}  // namespace clair
+
+#endif  // SRC_CLAIR_STAGE_GRAPH_H_

@@ -91,26 +91,6 @@ metrics::FeatureVector DynamicFeatures(const lang::IrModule& module, int trials,
 Testbed::Testbed(const corpus::EcosystemGenerator& ecosystem, TestbedOptions options)
     : ecosystem_(ecosystem), options_(options) {}
 
-const char* Testbed::StageName(Stage stage) {
-  switch (stage) {
-    case Stage::kParse:
-      return "parse";
-    case Stage::kLower:
-      return "lower";
-    case Stage::kDataflow:
-      return "dataflow";
-    case Stage::kIntervals:
-      return "intervals";
-    case Stage::kSymexec:
-      return "symexec";
-    case Stage::kDynamic:
-      return "dynamic";
-    case Stage::kStageCount:
-      break;
-  }
-  return "?";
-}
-
 // Retry-and-degrade wrapper around one deep-analysis stage. Failure modes
 // are normalised here: an Error result, an InjectedFault, a watchdog
 // DeadlineExceeded, and any other std::exception all count a failed
@@ -120,7 +100,7 @@ const char* Testbed::StageName(Stage stage) {
 // `robust.*` features — absent on clean rows, so fault-free output is
 // byte-identical to a build without this layer.
 template <typename T, typename Fn>
-std::optional<T> Testbed::GuardStage(Stage stage, metrics::FeatureVector& features,
+std::optional<T> Testbed::GuardStage(StageKind stage, metrics::FeatureVector& features,
                                      Fn&& run) const {
   StageCounters& counters = stage_counters_[static_cast<int>(stage)];
   const int max_attempts = std::max(options_.stage_retries, 0) + 1;
@@ -235,9 +215,12 @@ metrics::FeatureVector Testbed::ExtractFeatures(
   }
   // Deep-analysis budget (see TestbedOptions): the first
   // `deep_analysis_max_files` MiniC files in order consume the budget,
-  // parse/lower failures included. Every stage below runs isolated under
-  // GuardStage: a failure degrades that stage for that file — the app row
-  // always completes.
+  // parse/lower failures included. Each file walks the extraction stage DAG
+  // (stage_graph.h): hard edges gate — a parse or lower failure skips the
+  // file's remaining stages without attempting them — while analysis
+  // failures are soft: GuardStage degrades that stage for that file and the
+  // walk continues, so the app row always completes.
+  const StageGraph& graph = StageGraph::Extraction();
   int deep_attempted = 0;
   int deep_done = 0;
   for (const auto& file : files) {
@@ -248,73 +231,120 @@ metrics::FeatureVector Testbed::ExtractFeatures(
       continue;
     }
     const int attempt_index = deep_attempted++;
-    auto unit = GuardStage<lang::TranslationUnit>(
-        Stage::kParse, features, [&](int) { return lang::Parse(file.text); });
-    if (!unit.has_value()) {
-      continue;
+    // Per-file tracker: feature assembly and prediction are per-request
+    // stages owned by the caller (or the scheduler), so they are disabled
+    // here; configuration switches disable their analyses the same way.
+    StageTracker tracker(graph);
+    tracker.Disable(StageKind::kFeatures);
+    tracker.Disable(StageKind::kPredict);
+    if (!options_.with_dataflow) {
+      tracker.Disable(StageKind::kDataflow);
+      tracker.Disable(StageKind::kIntervals);
     }
-    auto module = GuardStage<lang::IrModule>(
-        Stage::kLower, features, [&](int) { return lang::LowerToIr(*unit); });
-    if (!module.has_value()) {
-      continue;
+    if (!options_.with_symexec) {
+      tracker.Disable(StageKind::kSymexec);
     }
-    if (options_.with_dataflow) {
-      auto df = GuardStage<metrics::FeatureVector>(
-          Stage::kDataflow, features,
-          [&](int) -> support::Result<metrics::FeatureVector> {
-            support::Deadline deadline = StageDeadline();
-            return dataflow::DataflowFeatures(*module, &deadline);
-          });
-      if (df.has_value()) {
-        features.MergeSum(*df);
+    if (!options_.with_dynamic) {
+      tracker.Disable(StageKind::kDynamic);
+    }
+    std::optional<lang::TranslationUnit> unit;
+    std::optional<lang::IrModule> module;
+    for (StageKind stage = tracker.NextRunnable(); stage != StageKind::kCount;
+         stage = tracker.NextRunnable()) {
+      tracker.MarkRunning(stage);
+      bool ok = false;
+      switch (stage) {
+        case StageKind::kParse:
+          unit = GuardStage<lang::TranslationUnit>(
+              stage, features, [&](int) { return lang::Parse(file.text); });
+          ok = unit.has_value();
+          break;
+        case StageKind::kLower:
+          module = GuardStage<lang::IrModule>(
+              stage, features, [&](int) { return lang::LowerToIr(*unit); });
+          ok = module.has_value();
+          break;
+        case StageKind::kDataflow: {
+          auto df = GuardStage<metrics::FeatureVector>(
+              stage, features,
+              [&](int) -> support::Result<metrics::FeatureVector> {
+                support::Deadline deadline = StageDeadline();
+                return dataflow::DataflowFeatures(*module, &deadline);
+              });
+          if (df.has_value()) {
+            features.MergeSum(*df);
+            ok = true;
+          }
+          break;
+        }
+        case StageKind::kIntervals: {
+          auto iv = GuardStage<metrics::FeatureVector>(
+              stage, features,
+              [&](int) -> support::Result<metrics::FeatureVector> {
+                support::Deadline deadline = StageDeadline();
+                dataflow::IntervalOptions interval_options;
+                interval_options.deadline = &deadline;
+                return dataflow::IntervalFeatures(*module, interval_options);
+              });
+          if (iv.has_value()) {
+            features.MergeSum(*iv);
+            ok = true;
+          }
+          break;
+        }
+        case StageKind::kSymexec: {
+          auto sx = GuardStage<metrics::FeatureVector>(
+              stage, features,
+              [&](int attempt) -> support::Result<metrics::FeatureVector> {
+                // Symexec fans its entries out to pool workers, which do not
+                // inherit this thread's ScopedAttempt salt — the retry
+                // attempt rides in the options instead (see
+                // SymExecOptions::fault_salt).
+                symx::SymExecOptions symexec_options = options_.symexec;
+                symexec_options.watchdog_steps = options_.stage_step_budget;
+                symexec_options.fault_salt = static_cast<uint32_t>(attempt);
+                return symx::SymexFeatures(*module, symexec_options);
+              });
+          if (sx.has_value()) {
+            features.MergeSum(*sx);
+            ok = true;
+          }
+          break;
+        }
+        case StageKind::kDynamic: {
+          auto dyn = GuardStage<metrics::FeatureVector>(
+              stage, features,
+              [&](int) -> support::Result<metrics::FeatureVector> {
+                support::Deadline deadline = StageDeadline();
+                // Seeded by attempt index, so a file's dynamic stream is a
+                // function of its position among deep candidates, not of
+                // earlier parse outcomes.
+                return DynamicFeatures(
+                    *module, options_.dynamic_trials,
+                    support::Rng::TaskSeed(options_.dynamic_seed,
+                                           static_cast<uint64_t>(attempt_index)),
+                    &deadline);
+              });
+          if (dyn.has_value()) {
+            features.MergeSum(*dyn);
+            ok = true;
+          }
+          break;
+        }
+        case StageKind::kFeatures:
+        case StageKind::kPredict:
+        case StageKind::kCount:
+          break;  // Disabled above; unreachable.
       }
-      auto iv = GuardStage<metrics::FeatureVector>(
-          Stage::kIntervals, features,
-          [&](int) -> support::Result<metrics::FeatureVector> {
-            support::Deadline deadline = StageDeadline();
-            dataflow::IntervalOptions interval_options;
-            interval_options.deadline = &deadline;
-            return dataflow::IntervalFeatures(*module, interval_options);
-          });
-      if (iv.has_value()) {
-        features.MergeSum(*iv);
+      if (ok) {
+        tracker.MarkDone(stage);
+      } else {
+        tracker.MarkFailed(stage);
       }
     }
-    if (options_.with_symexec) {
-      auto sx = GuardStage<metrics::FeatureVector>(
-          Stage::kSymexec, features,
-          [&](int attempt) -> support::Result<metrics::FeatureVector> {
-            // Symexec fans its entries out to pool workers, which do not
-            // inherit this thread's ScopedAttempt salt — the retry attempt
-            // rides in the options instead (see SymExecOptions::fault_salt).
-            symx::SymExecOptions symexec_options = options_.symexec;
-            symexec_options.watchdog_steps = options_.stage_step_budget;
-            symexec_options.fault_salt = static_cast<uint32_t>(attempt);
-            return symx::SymexFeatures(*module, symexec_options);
-          });
-      if (sx.has_value()) {
-        features.MergeSum(*sx);
-      }
+    if (tracker.state(StageKind::kLower) == StageState::kDone) {
+      ++deep_done;
     }
-    if (options_.with_dynamic) {
-      auto dyn = GuardStage<metrics::FeatureVector>(
-          Stage::kDynamic, features,
-          [&](int) -> support::Result<metrics::FeatureVector> {
-            support::Deadline deadline = StageDeadline();
-            // Seeded by attempt index, so a file's dynamic stream is a
-            // function of its position among deep candidates, not of
-            // earlier parse outcomes.
-            return DynamicFeatures(
-                *module, options_.dynamic_trials,
-                support::Rng::TaskSeed(options_.dynamic_seed,
-                                       static_cast<uint64_t>(attempt_index)),
-                &deadline);
-          });
-      if (dyn.has_value()) {
-        features.MergeSum(*dyn);
-      }
-    }
-    ++deep_done;
   }
   features.Set("deep.files_attempted", static_cast<double>(deep_attempted));
   features.Set("deep.files_analyzed", static_cast<double>(deep_done));
@@ -433,7 +463,7 @@ std::vector<AppRecord> Testbed::Collect() const {
 
 RunReport Testbed::run_report() const {
   RunReport report;
-  for (int i = 0; i < kStageCount; ++i) {
+  for (int i = 0; i < kStageKindCount; ++i) {
     const StageCounters& c = stage_counters_[i];
     StageReport stage;
     stage.attempts = c.attempts.load(std::memory_order_relaxed);
@@ -445,7 +475,7 @@ RunReport Testbed::run_report() const {
     stage.degraded = c.degraded.load(std::memory_order_relaxed);
     stage.wall_seconds = static_cast<double>(c.wall_nanos.load(std::memory_order_relaxed)) * 1e-9;
     if (stage.attempts > 0) {
-      report.stages[StageName(static_cast<Stage>(i))] = stage;
+      report.stages[StageName(static_cast<StageKind>(i))] = stage;
     }
   }
   report.apps_total = apps_total_.load(std::memory_order_relaxed);
@@ -453,6 +483,9 @@ RunReport Testbed::run_report() const {
   report.checkpoint_appends = checkpoint_appends_.load(std::memory_order_relaxed);
   const FeatureCacheStats cache_stats = cache_.stats();
   report.rows_from_cache = cache_stats.hits;
+  report.cache_misses = cache_stats.misses;
+  report.cache_entries = cache_stats.entries;
+  report.cache_coalesced_fills = cache_stats.coalesced_fills;
   report.cache_integrity_rejects = cache_stats.integrity_rejects;
   return report;
 }

@@ -12,6 +12,7 @@
 
 #include "src/clair/feature_cache.h"
 #include "src/clair/run_report.h"
+#include "src/clair/stage_graph.h"
 #include "src/corpus/ecosystem.h"
 #include "src/cvedb/cvedb.h"
 #include "src/metrics/extract.h"
@@ -121,20 +122,15 @@ class Testbed {
   // of this testbed so far. Wall-clock is the only nondeterministic field.
   RunReport run_report() const;
 
- private:
-  // Guarded deep-analysis stages, in pipeline order.
-  enum class Stage : int {
-    kParse = 0,
-    kLower,
-    kDataflow,
-    kIntervals,
-    kSymexec,
-    kDynamic,
-    kStageCount,
-  };
-  static constexpr int kStageCount = static_cast<int>(Stage::kStageCount);
-  static const char* StageName(Stage stage);
+  // Coalesced-fill accounting: the serving scheduler calls this when it
+  // routes N>1 duplicate in-flight requests to a single extraction, so the
+  // cache's effectiveness counters (surfaced via run_report) reflect work
+  // avoided by request coalescing as well as by lookups.
+  void NoteCoalescedExtractions(uint64_t count) const {
+    cache_.NoteCoalescedFills(count);
+  }
 
+ private:
   struct StageCounters {
     std::atomic<uint64_t> attempts{0};
     std::atomic<uint64_t> failures{0};
@@ -152,7 +148,7 @@ class Testbed {
   // the last attempt the stage degrades: provenance counters are stamped
   // into `features` and nullopt is returned, never an exception.
   template <typename T, typename Fn>
-  std::optional<T> GuardStage(Stage stage, metrics::FeatureVector& features,
+  std::optional<T> GuardStage(StageKind stage, metrics::FeatureVector& features,
                               Fn&& run) const;
 
   // Fresh per-stage watchdog from the configured budgets.
@@ -167,7 +163,9 @@ class Testbed {
   const corpus::EcosystemGenerator& ecosystem_;
   TestbedOptions options_;
   mutable FeatureCache cache_;
-  mutable std::array<StageCounters, kStageCount> stage_counters_;
+  // Indexed by StageKind; the per-request stages (features, predict) stay
+  // zero here — the scheduler accounts for them in its own stats.
+  mutable std::array<StageCounters, kStageKindCount> stage_counters_;
   mutable std::atomic<uint64_t> apps_total_{0};
   mutable std::atomic<uint64_t> apps_from_checkpoint_{0};
   mutable std::atomic<uint64_t> checkpoint_appends_{0};

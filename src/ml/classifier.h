@@ -29,6 +29,20 @@ class Classifier {
   }
   // Probability (or score) per class; sums to 1.
   virtual std::vector<double> PredictProba(std::span<const double> x) const = 0;
+  // Batched predict: out[i] == PredictProba(rows[i]) exactly — overrides
+  // must stay bit-identical to the per-row loop (the serving scheduler's
+  // batched-equals-sequential guarantee depends on it). The default loops;
+  // models override to amortize shared work across rows (the forest walks
+  // each tree once for the whole batch instead of once per row).
+  virtual std::vector<std::vector<double>> PredictProbaBatch(
+      const std::vector<std::vector<double>>& rows) const {
+    std::vector<std::vector<double>> out;
+    out.reserve(rows.size());
+    for (const auto& row : rows) {
+      out.push_back(PredictProba(row));
+    }
+    return out;
+  }
   virtual std::string Name() const = 0;
   // (feature name, importance >= 0), descending. Empty if not supported.
   virtual std::vector<std::pair<std::string, double>> FeatureImportance() const {

@@ -365,6 +365,43 @@ std::vector<double> RandomForestClassifier::PredictProba(std::span<const double>
   return total;
 }
 
+std::vector<std::vector<double>> RandomForestClassifier::PredictProbaBatch(
+    const std::vector<std::vector<double>>& rows) const {
+  std::vector<std::vector<double>> out(rows.size(),
+                                       std::vector<double>(num_classes_, 0.0));
+  if (trees_.empty() || rows.empty()) {
+    return out;
+  }
+  // One parallel region for the whole batch, fanned over trees rather than
+  // rows: each task walks a single tree for every row, keeping that tree's
+  // nodes hot in cache, and the region count drops from |rows| to 1.
+  // Accumulating per row in tree-index order then dividing reproduces
+  // PredictProba's floating-point sums exactly, so batched output is
+  // bit-identical to the per-row loop at any thread count.
+  const auto per_tree = support::ParallelMap<std::vector<std::vector<double>>>(
+      trees_.size(), [&](size_t t) {
+        std::vector<std::vector<double>> tree_out;
+        tree_out.reserve(rows.size());
+        for (const auto& row : rows) {
+          tree_out.push_back(trees_[t]->PredictProba(row));
+        }
+        return tree_out;
+      });
+  for (size_t i = 0; i < rows.size(); ++i) {
+    auto& total = out[i];
+    for (const auto& tree_out : per_tree) {
+      const auto& proba = tree_out[i];
+      for (size_t c = 0; c < total.size() && c < proba.size(); ++c) {
+        total[c] += proba[c];
+      }
+    }
+    for (double& p : total) {
+      p /= static_cast<double>(trees_.size());
+    }
+  }
+  return out;
+}
+
 std::vector<std::pair<std::string, double>> RandomForestClassifier::FeatureImportance()
     const {
   std::map<std::string, double> merged;

@@ -91,6 +91,8 @@ class RandomForestClassifier : public Classifier {
   void Train(const Dataset& data) override;
   void TrainIndexed(const Dataset& data, std::span<const size_t> rows) override;
   std::vector<double> PredictProba(std::span<const double> x) const override;
+  std::vector<std::vector<double>> PredictProbaBatch(
+      const std::vector<std::vector<double>>& rows) const override;
   std::string Name() const override { return "random-forest"; }
   std::vector<std::pair<std::string, double>> FeatureImportance() const override;
 

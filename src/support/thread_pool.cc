@@ -47,6 +47,7 @@ struct ThreadPool::Job {
   };
 
   const std::function<void(size_t)>* body = nullptr;
+  const std::function<void(size_t)>* on_index_done = nullptr;  // Optional.
   size_t n = 0;
   std::vector<Stripe> stripes;
   std::atomic<size_t> completed{0};
@@ -112,6 +113,9 @@ void ThreadPool::Participate(Job& job, size_t first_stripe) {
       if (!job.failed.load(std::memory_order_relaxed)) {
         try {
           (*job.body)(index);
+          if (job.on_index_done != nullptr) {
+            (*job.on_index_done)(index);
+          }
         } catch (...) {
           std::lock_guard<std::mutex> lock(job.error_mutex);
           if (!job.error) {
@@ -128,6 +132,12 @@ void ThreadPool::Participate(Job& job, size_t first_stripe) {
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) {
+  static const std::function<void(size_t)> kNoHook;
+  ParallelFor(n, body, kNoHook);
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body,
+                             const std::function<void(size_t)>& on_index_done) {
   if (n == 0) {
     return;
   }
@@ -138,6 +148,9 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) 
     RegionGuard guard;
     for (size_t i = 0; i < n; ++i) {
       body(i);
+      if (on_index_done) {
+        on_index_done(i);
+      }
     }
     return;
   }
@@ -145,6 +158,7 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) 
   std::lock_guard<std::mutex> submit_lock(submit_mutex_);
   auto job = std::make_shared<Job>();
   job->body = &body;
+  job->on_index_done = on_index_done ? &on_index_done : nullptr;
   job->n = n;
   const size_t participants = workers_.size() + 1;
   job->stripes = std::vector<Job::Stripe>(participants);

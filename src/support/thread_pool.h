@@ -56,6 +56,15 @@ class ThreadPool {
   // calls (from inside a task) run inline and serially.
   void ParallelFor(size_t n, const std::function<void(size_t)>& body);
 
+  // Completion-hook variant: invokes `on_index_done(i)` on the executing
+  // participant immediately after body(i) returns normally (a throwing body
+  // skips its hook). The hook runs concurrently with other bodies, so it
+  // must be thread-safe; keep it short — it executes on the worker's time.
+  // The serving scheduler uses this to publish per-request results while the
+  // rest of a batch wave is still running, instead of at the region barrier.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body,
+                   const std::function<void(size_t)>& on_index_done);
+
   // Ordered map: out[i] = fn(i), collected in index order. T must be
   // default-constructible and movable.
   template <typename T, typename Fn>

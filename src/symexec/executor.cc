@@ -1,7 +1,9 @@
 #include "src/symexec/executor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
+#include <memory>
 
 #include "src/metrics/callgraph.h"
 #include "src/support/deadline.h"
@@ -43,6 +45,44 @@ struct Frame {
   lang::RegId caller_dst = lang::kNoReg;  // Where the return value lands.
 };
 
+// One recycled SatSolver per worker thread. An exploration leases the
+// session for its lifetime and Reset()s the solver before use, so
+// back-to-back explorations on the same thread (a scheduler draining its
+// queue, SymexFeatures fanning entries onto the pool) re-grow into memory
+// the solver already owns. `in_use` guards nested Explore calls on one
+// thread — the inner exploration falls back to an owned instance.
+struct SolverSession {
+  SatSolver solver;
+  bool in_use = false;
+  bool ever_used = false;
+};
+
+SolverSession& ThreadSolverSession() {
+  static thread_local SolverSession session;
+  return session;
+}
+
+std::atomic<uint64_t> g_solver_session_reuses{0};
+
+SatSolver& AcquireSolver(const SymExecOptions& options,
+                         std::unique_ptr<SatSolver>& owned, bool& leased) {
+  if (options.reuse_solver_session) {
+    SolverSession& session = ThreadSolverSession();
+    if (!session.in_use) {
+      session.in_use = true;
+      if (session.ever_used) {
+        session.solver.Reset();
+        g_solver_session_reuses.fetch_add(1, std::memory_order_relaxed);
+      }
+      session.ever_used = true;
+      leased = true;
+      return session.solver;
+    }
+  }
+  owned = std::make_unique<SatSolver>();
+  return *owned;
+}
+
 struct PathState {
   std::vector<Frame> frames;
   std::vector<ExprRef> globals;
@@ -63,6 +103,7 @@ class Explorer {
         pool_(options.width),
         rng_(options.rng_seed),
         range_eval_(pool_),
+        inc_solver_(AcquireSolver(options, owned_solver_, leased_session_)),
         inc_blaster_(pool_, inc_solver_),
         deadline_(options.watchdog_steps),
         fault_key_(support::FaultKeyMix(lang::ModuleFingerprint(module),
@@ -75,6 +116,12 @@ class Explorer {
     if (support::FaultInjector::Global().rate(support::FaultSite::kSolver) >
         0.0) {
       options_.range_pruning = false;
+    }
+  }
+
+  ~Explorer() {
+    if (leased_session_) {
+      ThreadSolverSession().in_use = false;
     }
   }
 
@@ -935,8 +982,14 @@ class Explorer {
   RangeEvaluator range_eval_;
   // Persistent SAT instance for incremental mode: one solver + blaster for
   // the whole exploration, with per-constraint activation literals
-  // (activation_[ref] == -1 until the constraint is first encoded).
-  SatSolver inc_solver_;
+  // (activation_[ref] == -1 until the constraint is first encoded). The
+  // solver is leased from the thread's recycled session when
+  // options.reuse_solver_session allows (leased_session_), otherwise owned.
+  // Declaration order matters: owned_solver_/leased_session_ must initialize
+  // before the inc_solver_ reference that AcquireSolver binds.
+  bool leased_session_ = false;
+  std::unique_ptr<SatSolver> owned_solver_;
+  SatSolver& inc_solver_;
   BitBlaster inc_blaster_;
   std::vector<Lit> activation_;
   // Per-constraint decision cones (indexed like activation_) and the
@@ -959,6 +1012,10 @@ class Explorer {
 SymExecResult Explore(const lang::IrModule& module, const std::string& entry,
                       const SymExecOptions& options) {
   return Explorer(module, options).Run(entry);
+}
+
+uint64_t SolverSessionReuseCount() {
+  return g_solver_session_reuses.load(std::memory_order_relaxed);
 }
 
 metrics::FeatureVector SymexFeatures(const lang::IrModule& module,

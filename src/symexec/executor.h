@@ -49,6 +49,15 @@ struct SymExecOptions {
   // modes produce identical path counts, vuln sites, and exploitability
   // estimates (every verdict is sound and complete under the budgets).
   bool incremental_solver = true;
+  // Recycle one persistent SatSolver per worker thread across Explore calls:
+  // the exploration leases the thread-local solver session and Reset()s it
+  // to a logically fresh state before use, so a scheduler draining many
+  // queued path queries back-to-back pays the solver's allocator growth once
+  // per thread instead of once per exploration. Behaviour is bit-identical
+  // to constructing a fresh solver (Reset restores the constructed state);
+  // `false` forces a brand-new instance per exploration, and a nested
+  // exploration on the same thread falls back to an owned instance.
+  bool reuse_solver_session = true;
   // Range-guided path pruning: track disjoint value sets implied by the
   // path condition (see range_eval.h) and decide branch deltas with interval
   // arithmetic before consulting the SAT solver. Decided branches skip their
@@ -130,6 +139,12 @@ SymExecResult Explore(const lang::IrModule& module, const std::string& entry,
 // result is bit-identical at any CLAIR_THREADS value.
 metrics::FeatureVector SymexFeatures(const lang::IrModule& module,
                                      const SymExecOptions& options = {});
+
+// Number of times an exploration recycled its thread's persistent solver
+// session instead of constructing a fresh SatSolver (first lease on a thread
+// does not count — nothing was reused yet). Monotonic and process-wide;
+// tests read the delta across a call to assert session reuse engaged.
+uint64_t SolverSessionReuseCount();
 
 }  // namespace symx
 

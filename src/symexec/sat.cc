@@ -43,6 +43,43 @@ Var SatSolver::NewVar() {
   return var;
 }
 
+void SatSolver::Reset() {
+  // clear() keeps each vector's capacity, so a recycled solver re-grows into
+  // memory it already owns. Every member that NewVar/AddClause/Solve mutate
+  // must be restored to its constructed value here — a missed field would
+  // leak state between queued explorations and break bit-identity with a
+  // fresh solver.
+  clauses_.clear();
+  watches_.clear();
+  assign_.clear();
+  level_.clear();
+  reason_.clear();
+  trail_.clear();
+  trail_lim_.clear();
+  installed_.clear();
+  propagate_head_ = 0;
+  activity_.clear();
+  order_.heap.clear();
+  order_.index.clear();
+  query_order_.heap.clear();
+  query_order_.index.clear();
+  decision_stamp_.clear();
+  decision_epoch_ = 0;
+  restricted_ = false;
+  solving_ = false;
+  polarity_.clear();
+  activity_inc_ = 1.0;
+  max_activity_ = 0.0;
+  model_.clear();
+  seen_.clear();
+  trivially_unsat_ = false;
+  num_learnt_ = 0;
+  learnt_limit_ = 2048;
+  stats_conflicts_ = 0;
+  stats_decisions_ = 0;
+  stats_propagations_ = 0;
+}
+
 void SatSolver::HeapBuild(VarOrderHeap& h, std::vector<Var> vars) {
   for (const Var v : h.heap) {
     h.index[static_cast<size_t>(v)] = -1;

@@ -94,6 +94,14 @@ class SatSolver {
   uint64_t decisions() const { return stats_decisions_; }
   uint64_t propagations() const { return stats_propagations_; }
 
+  // Returns the solver to its freshly-constructed state (no variables, no
+  // clauses, zeroed stats) while keeping the backing allocations of the big
+  // per-variable and per-clause vectors where practical. The serving
+  // scheduler recycles one solver instance across many queued explorations —
+  // a Reset between explorations must leave behavior bit-identical to using
+  // a brand-new SatSolver, only without the allocator churn.
+  void Reset();
+
  private:
   enum : int8_t { kUndef = 0, kTrue = 1, kFalse = -1 };
 

@@ -175,6 +175,31 @@ TEST(Classifiers, ProbaSumsToOne) {
   }
 }
 
+TEST(Classifiers, BatchPredictBitIdenticalToPerRow) {
+  // The serving scheduler's batched-equals-sequential guarantee rides on
+  // PredictProbaBatch: the forest's columnar override (one walk per tree for
+  // the whole batch) must reproduce the per-row loop exactly.
+  const Dataset data = MakeBlobs(40, 2.0, 19);
+  RandomForestClassifier forest;
+  forest.Train(data);
+  LogisticClassifier logistic;  // Exercises the default per-row fallback.
+  logistic.Train(data);
+  std::vector<std::vector<double>> rows;
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    const auto row = data.Row(i);
+    rows.emplace_back(row.begin(), row.end());
+  }
+  for (const Classifier* model :
+       {static_cast<const Classifier*>(&forest),
+        static_cast<const Classifier*>(&logistic)}) {
+    const auto batched = model->PredictProbaBatch(rows);
+    ASSERT_EQ(batched.size(), rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      EXPECT_EQ(batched[i], model->PredictProba(rows[i])) << model->Name() << " row " << i;
+    }
+  }
+}
+
 TEST(Classifiers, SignalFeatureOutranksNoise) {
   const Dataset data = MakeBlobs(80, 3.0, 13);
   LogisticClassifier logistic;

@@ -846,5 +846,49 @@ TEST(Executor, SymexFeaturesAreThreadCountInvariant) {
   EXPECT_EQ(serial.ToString(), parallel.ToString());
 }
 
+// The serving scheduler keeps one incremental SAT session per worker thread
+// alive across requests (SymExecOptions::reuse_solver_session). A recycled
+// session must behave exactly like a fresh solver: same paths, same queries,
+// same vulnerabilities — and the reuse must actually happen.
+TEST(Executor, RecycledSolverSessionBitIdenticalToFresh) {
+  const auto module = MustLower(R"(
+    int main() {
+      int buf[4];
+      int i = input();
+      int j = input();
+      if (i >= 0 && i < 8 && j > i) {
+        buf[i] = j;
+        return buf[i];
+      }
+      return 0;
+    }
+  )");
+  SymExecOptions fresh_options;
+  fresh_options.reuse_solver_session = false;
+  const SymExecResult fresh = Explore(module, "main", fresh_options);
+
+  SymExecOptions reuse_options;  // reuse_solver_session defaults to true.
+  const uint64_t reuses_before = SolverSessionReuseCount();
+  const SymExecResult first = Explore(module, "main", reuse_options);
+  const SymExecResult second = Explore(module, "main", reuse_options);
+  // The second run leased this thread's warmed session after a Reset().
+  EXPECT_GT(SolverSessionReuseCount(), reuses_before);
+
+  for (const SymExecResult* recycled : {&first, &second}) {
+    EXPECT_EQ(recycled->paths_explored, fresh.paths_explored);
+    EXPECT_EQ(recycled->paths_completed, fresh.paths_completed);
+    EXPECT_EQ(recycled->paths_faulted, fresh.paths_faulted);
+    EXPECT_EQ(recycled->forks, fresh.forks);
+    EXPECT_EQ(recycled->solver_queries, fresh.solver_queries);
+    ASSERT_EQ(recycled->vulns.size(), fresh.vulns.size());
+    for (size_t i = 0; i < fresh.vulns.size(); ++i) {
+      EXPECT_EQ(recycled->vulns[i].kind, fresh.vulns[i].kind);
+      EXPECT_EQ(recycled->vulns[i].line, fresh.vulns[i].line);
+      // Exact equality: the counter runs on the same solver state.
+      EXPECT_EQ(recycled->vulns[i].exploit_fraction, fresh.vulns[i].exploit_fraction);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace symx

@@ -165,6 +165,54 @@ TEST(ThreadPool, OneVsManyWorkersBitIdenticalParallelMap) {
   }
 }
 
+TEST(ThreadPool, CompletionHookFiresOncePerIndexAfterBody) {
+  for (const int threads : {1, 4}) {
+    SCOPED_TRACE(threads);
+    ThreadPool pool(threads);
+    constexpr size_t kN = 500;
+    std::vector<std::atomic<int>> body_runs(kN);
+    std::vector<std::atomic<int>> hook_runs(kN);
+    pool.ParallelFor(
+        kN, [&](size_t i) { body_runs[i].fetch_add(1); },
+        [&](size_t i) {
+          // The hook must observe its own body's effect (runs after it).
+          EXPECT_EQ(body_runs[i].load(), 1) << i;
+          hook_runs[i].fetch_add(1);
+        });
+    for (size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(hook_runs[i].load(), 1) << i;
+    }
+  }
+}
+
+TEST(ThreadPool, CompletionHookSkippedForThrowingBody) {
+  for (const int threads : {1, 4}) {
+    SCOPED_TRACE(threads);
+    ThreadPool pool(threads);
+    constexpr size_t kN = 64;
+    constexpr size_t kPoison = 17;
+    std::atomic<int> poisoned_hook{0};
+    try {
+      pool.ParallelFor(
+          kN,
+          [&](size_t i) {
+            if (i == kPoison) {
+              throw std::runtime_error("poisoned index");
+            }
+          },
+          [&](size_t i) {
+            if (i == kPoison) {
+              poisoned_hook.fetch_add(1);
+            }
+          });
+      FAIL() << "expected the body's exception to propagate";
+    } catch (const std::runtime_error& ex) {
+      EXPECT_STREQ(ex.what(), "poisoned index");
+    }
+    EXPECT_EQ(poisoned_hook.load(), 0);
+  }
+}
+
 TEST(ThreadPool, ResolveThreadCountPolicy) {
   EXPECT_EQ(ResolveThreadCount(3), 3);
   EXPECT_GE(ResolveThreadCount(0), 1);
