@@ -1,0 +1,123 @@
+#include "src/clair/function_rank.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "src/lang/parser.h"
+#include "src/metrics/extract.h"
+#include "src/support/thread_pool.h"
+
+namespace clair {
+namespace {
+
+struct FunctionRow {
+  std::string name;
+  std::vector<double> values;
+  double target = 0.0;
+};
+
+// One app's rows, in file order then declaration order — the same order a
+// serial sweep would produce.
+std::vector<FunctionRow> ExtractAppRows(const corpus::EcosystemGenerator& ecosystem,
+                                        const corpus::AppSpec& spec) {
+  std::vector<FunctionRow> rows;
+  const auto files = ecosystem.GenerateSourcesProfiled(spec);
+  const auto attribution = ecosystem.AttributeCves(spec, files);
+  for (const auto& entry : files) {
+    if (entry.file.language != metrics::Language::kMiniC) {
+      continue;
+    }
+    auto unit = lang::Parse(entry.file.text);
+    if (!unit.ok()) {
+      continue;
+    }
+    auto module = lang::LowerToIr(unit.value());
+    if (!module.ok()) {
+      continue;
+    }
+    for (auto& fn : metrics::ExtractFunctionFeatures(unit.value(), module.value())) {
+      FunctionRow row;
+      row.name = entry.file.path + "::" + fn.name;
+      row.values = std::move(fn.values);
+      row.target = attribution.count(row.name) > 0 ? 1.0 : 0.0;
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::vector<std::string> FunctionClassNames() { return {"benign", "vulnerable"}; }
+
+support::Result<FunctionCorpusStats> CollectFunctionRows(
+    const corpus::EcosystemGenerator& ecosystem, const FunctionRankOptions& options,
+    ml::FeatureStoreWriter& writer) {
+  FunctionCorpusStats stats;
+  const auto selected =
+      ecosystem.database().AppsWithConvergingHistory(options.min_history_years);
+  std::vector<const corpus::AppSpec*> specs;
+  for (const auto& app : selected) {
+    const corpus::AppSpec* spec = ecosystem.FindSpec(app);
+    if (spec != nullptr) {
+      specs.push_back(spec);
+    }
+  }
+  std::unique_ptr<support::ThreadPool> dedicated;
+  if (options.threads > 0) {
+    dedicated = std::make_unique<support::ThreadPool>(options.threads);
+  }
+  support::ThreadPool& pool =
+      dedicated != nullptr ? *dedicated : support::ThreadPool::Global();
+  // Wave-parallel extraction, serial append: each wave's apps extract
+  // concurrently (per-app work is deterministic and order-independent),
+  // then their rows append in app order. Peak memory is one wave of rows;
+  // the byte stream the writer sees is identical at any worker count.
+  const size_t wave = std::max<size_t>(options.wave_apps, 1);
+  for (size_t base = 0; base < specs.size(); base += wave) {
+    const size_t count = std::min(wave, specs.size() - base);
+    const auto batches =
+        pool.ParallelMap<std::vector<FunctionRow>>(count, [&](size_t i) {
+          return ExtractAppRows(ecosystem, *specs[base + i]);
+        });
+    for (const auto& batch : batches) {
+      if (!batch.empty()) {
+        ++stats.apps;
+      }
+      for (const auto& row : batch) {
+        writer.Append(row.name, row.values, row.target);
+        ++stats.functions;
+        if (row.target != 0.0) {
+          ++stats.positives;
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+std::vector<ml::RankingMetrics> EvaluateRanking(const ml::Classifier& model,
+                                                const ml::FeatureStore& store,
+                                                std::span<const size_t> ks) {
+  std::vector<double> scores;
+  std::vector<int> labels;
+  scores.reserve(store.num_rows());
+  labels.reserve(store.num_rows());
+  std::vector<double> row(store.num_features());
+  for (size_t c = 0; c < store.num_chunks(); ++c) {
+    const auto chunk = store.chunk(c);
+    for (size_t r = 0; r < chunk.rows; ++r) {
+      for (size_t f = 0; f < store.num_features(); ++f) {
+        row[f] = chunk.Column(f)[r];
+      }
+      const auto proba = model.PredictProba(row);
+      scores.push_back(proba.size() > 1 ? proba[1] : 0.0);
+      labels.push_back(chunk.targets[r] != 0.0 ? 1 : 0);
+    }
+    store.ReleaseChunk(c);
+  }
+  return ml::TopKRanking(scores, labels, ks);
+}
+
+}  // namespace clair

@@ -1,0 +1,63 @@
+// Function-granular vulnerability ranking — the LEOPARD-style refinement of
+// the paper's app-level study: instead of predicting an application's CVE
+// count, rank individual functions by predicted vulnerability so a security
+// team can spend its audit budget on the top K.
+//
+// Rows come from the generator's latent truth: corpus::AttributeCves assigns
+// each synthetic CVE to a culpable function (hazard-weighted), and every
+// MiniC function in the selected corpus becomes one row — fixed schema
+// metrics::FunctionFeatureNames(), label "vulnerable" iff the function has
+// at least one attributed CVE. Rows stream straight into an ml::FeatureStore
+// so fleet-scale sweeps never materialise the matrix in memory.
+#ifndef SRC_CLAIR_FUNCTION_RANK_H_
+#define SRC_CLAIR_FUNCTION_RANK_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/corpus/ecosystem.h"
+#include "src/ml/classifier.h"
+#include "src/ml/eval.h"
+#include "src/ml/feature_store.h"
+#include "src/support/result.h"
+
+namespace clair {
+
+// Class names for the function-label store: index 0 benign, 1 vulnerable.
+std::vector<std::string> FunctionClassNames();
+
+struct FunctionCorpusStats {
+  size_t apps = 0;       // Selected C-family apps that contributed rows.
+  size_t functions = 0;  // Rows appended.
+  size_t positives = 0;  // Functions with >= 1 attributed CVE.
+};
+
+struct FunctionRankOptions {
+  double min_history_years = 5.0;  // Same selection policy as Testbed.
+  // Worker count for per-app extraction (0 = process default, 1 = serial).
+  int threads = 0;
+  // Apps extracted concurrently per wave. The serial append between waves
+  // bounds peak memory to one wave's rows regardless of corpus size, and
+  // rows always land in sorted-app order, so the store file is
+  // byte-identical at any thread count.
+  size_t wave_apps = 8;
+};
+
+// Streams one row per MiniC function of every selected app into `writer`
+// (row name "app/src/file.c::function"). The caller owns Finish().
+support::Result<FunctionCorpusStats> CollectFunctionRows(
+    const corpus::EcosystemGenerator& ecosystem, const FunctionRankOptions& options,
+    ml::FeatureStoreWriter& writer);
+
+// Scores every row of a finished store with `model` (positive-class
+// probability, streamed chunk-by-chunk with bounded residency) and returns
+// top-K precision/recall against the store's labels for each requested K.
+std::vector<ml::RankingMetrics> EvaluateRanking(const ml::Classifier& model,
+                                                const ml::FeatureStore& store,
+                                                std::span<const size_t> ks);
+
+}  // namespace clair
+
+#endif  // SRC_CLAIR_FUNCTION_RANK_H_

@@ -120,13 +120,18 @@ TrainingPipeline::TrainingPipeline(std::vector<AppRecord> records, PipelineOptio
 ml::Dataset TrainingPipeline::BuildDataset(const Hypothesis& hypothesis) const {
   ml::Dataset data = ml::Dataset::ForClassification(feature_names_, hypothesis.classes);
   data.Reserve(records_.size());
-  std::vector<double> row(feature_names_.size());
-  for (const auto& record : records_) {
+  // Row-major staging + one bulk append: a single binned-cache invalidation
+  // instead of one per row.
+  std::vector<double> rows(records_.size() * feature_names_.size());
+  std::vector<double> targets(records_.size());
+  for (size_t i = 0; i < records_.size(); ++i) {
+    const auto& record = records_[i];
     for (size_t j = 0; j < feature_names_.size(); ++j) {
-      row[j] = record.features.Get(feature_names_[j], 0.0);
+      rows[i * feature_names_.size() + j] = record.features.Get(feature_names_[j], 0.0);
     }
-    data.AddRow(row, hypothesis.label(record.labels, stats_));
+    targets[i] = hypothesis.label(record.labels, stats_);
   }
+  data.AppendRows(rows, targets);
   return data;
 }
 
@@ -203,13 +208,16 @@ std::vector<HypothesisReport> TrainingPipeline::EvaluateAll() const {
 ml::Dataset TrainingPipeline::BuildCountDataset() const {
   ml::Dataset data = ml::Dataset::ForRegression(feature_names_, "log10_vulns");
   data.Reserve(records_.size());
-  std::vector<double> row(feature_names_.size());
-  for (const auto& record : records_) {
+  std::vector<double> rows(records_.size() * feature_names_.size());
+  std::vector<double> targets(records_.size());
+  for (size_t i = 0; i < records_.size(); ++i) {
+    const auto& record = records_[i];
     for (size_t j = 0; j < feature_names_.size(); ++j) {
-      row[j] = record.features.Get(feature_names_[j], 0.0);
+      rows[i * feature_names_.size() + j] = record.features.Get(feature_names_[j], 0.0);
     }
-    data.AddRow(row, std::log10(1.0 + record.labels.total));
+    targets[i] = std::log10(1.0 + record.labels.total);
   }
+  data.AppendRows(rows, targets);
   return data;
 }
 

@@ -461,6 +461,14 @@ std::vector<AppRecord> Testbed::Collect() const {
   return records;
 }
 
+support::Result<FunctionCorpusStats> Testbed::CollectFunctionRows(
+    ml::FeatureStoreWriter& writer) const {
+  FunctionRankOptions options;
+  options.min_history_years = options_.min_history_years;
+  options.threads = options_.threads;
+  return clair::CollectFunctionRows(ecosystem_, options, writer);
+}
+
 RunReport Testbed::run_report() const {
   RunReport report;
   for (int i = 0; i < kStageKindCount; ++i) {

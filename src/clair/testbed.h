@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/clair/feature_cache.h"
+#include "src/clair/function_rank.h"
 #include "src/clair/run_report.h"
 #include "src/clair/stage_graph.h"
 #include "src/corpus/ecosystem.h"
@@ -111,6 +112,13 @@ class Testbed {
   // bit-identical across worker counts; order follows the database's sorted
   // app names.
   std::vector<AppRecord> Collect() const;
+
+  // Function-granular collection: streams one row per MiniC function of
+  // every selected app into `writer` (schema FunctionFeatureNames(), label
+  // = has an attributed CVE). Same selection policy and thread setting as
+  // Collect(); the store file is byte-identical at any worker count.
+  support::Result<FunctionCorpusStats> CollectFunctionRows(
+      ml::FeatureStoreWriter& writer) const;
 
   const TestbedOptions& options() const { return options_; }
 

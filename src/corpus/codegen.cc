@@ -25,6 +25,13 @@ class MiniCGenerator {
  public:
   MiniCGenerator(support::Rng& rng, const AppStyle& style) : rng_(rng), style_(style) {}
 
+  GeneratedMiniC GenerateProfiled(int target_lines) {
+    GeneratedMiniC result;
+    result.text = Generate(target_lines);
+    result.functions = std::move(profiles_);
+    return result;
+  }
+
   std::string Generate(int target_lines) {
     EmitFileHeader();
     // A couple of globals.
@@ -175,6 +182,11 @@ class MiniCGenerator {
     } else {
       Line(support::Format("%s[%s] = %s;", arr.name.c_str(), index.c_str(),
                            Expr(1).c_str()));
+      if (use_taint) {
+        ++current_.unchecked_taint_index;
+      } else {
+        ++current_.unguarded_index;
+      }
     }
   }
 
@@ -195,6 +207,7 @@ class MiniCGenerator {
     } else {
       Line(support::Format("int %s = %s / %s;", name.c_str(), Expr(1).c_str(),
                            divisor.c_str()));
+      ++current_.unguarded_div;
     }
     scalars_.push_back(name);
   }
@@ -203,10 +216,14 @@ class MiniCGenerator {
     if (scalars_.empty()) {
       return;
     }
-    const std::string& value =
-        !tainted_.empty() && rng_.NextBool(0.6)
-            ? tainted_[rng_.NextBelow(tainted_.size())]
-            : scalars_[rng_.NextBelow(scalars_.size())];
+    // Same short-circuit RNG order as the original ternary; the split lets
+    // the profiler see whether the tainted branch was taken.
+    const bool taint_sink = !tainted_.empty() && rng_.NextBool(0.6);
+    const std::string& value = taint_sink ? tainted_[rng_.NextBelow(tainted_.size())]
+                                          : scalars_[rng_.NextBelow(scalars_.size())];
+    if (taint_sink) {
+      ++current_.tainted_sinks;
+    }
     Line(support::Format("%s(%s);", rng_.NextBool(0.4) ? "sink" : "print", value.c_str()));
   }
 
@@ -348,6 +365,7 @@ class MiniCGenerator {
     scalars_.clear();
     arrays_.clear();
     tainted_.clear();
+    current_ = FunctionProfile{};
     // Globals are in scope everywhere.
     for (const auto& g : global_scalars_) {
       scalars_.push_back(g);
@@ -372,6 +390,7 @@ class MiniCGenerator {
       Line(support::Format("// %s the %s buffer.", Pick(rng_, kVerbs, 10).c_str(),
                            Pick(rng_, kNouns, 12).c_str()));
     }
+    const int body_start = lines_;
     Line(signature);
     ++indent_;
     const int depth = 1 + static_cast<int>(rng_.NextBelow(
@@ -382,6 +401,9 @@ class MiniCGenerator {
     --indent_;
     Line("}");
     functions_.push_back({name, params});
+    current_.name = name;
+    current_.lines = lines_ - body_start;
+    profiles_.push_back(std::move(current_));
   }
 
   support::Rng& rng_;
@@ -401,12 +423,19 @@ class MiniCGenerator {
   std::vector<FunctionSig> functions_;
   std::vector<std::string> global_scalars_;
   std::vector<ArrayVar> global_arrays_;
+  FunctionProfile current_;
+  std::vector<FunctionProfile> profiles_;
 };
 
 }  // namespace
 
 std::string GenerateMiniCFile(support::Rng& rng, const AppStyle& style, int target_lines) {
   return MiniCGenerator(rng, style).Generate(target_lines);
+}
+
+GeneratedMiniC GenerateMiniCFileProfiled(support::Rng& rng, const AppStyle& style,
+                                         int target_lines) {
+  return MiniCGenerator(rng, style).GenerateProfiled(target_lines);
 }
 
 std::string GeneratePythonFile(support::Rng& rng, const AppStyle& style, int target_lines) {

@@ -8,15 +8,30 @@
 #define SRC_CORPUS_CODEGEN_H_
 
 #include <string>
+#include <vector>
 
 #include "src/corpus/ecosystem.h"
 #include "src/support/rng.h"
 
 namespace corpus {
 
+// `FunctionProfile` (the per-function hazard bookkeeping filled in during
+// generation) lives in ecosystem.h next to the rest of the latent ground
+// truth; this header only adds the profiled entry point.
+struct GeneratedMiniC {
+  std::string text;
+  std::vector<FunctionProfile> functions;  // In emission order.
+};
+
 // Generates one MiniC translation unit of roughly `target_lines` lines.
 // Guaranteed to parse and lower cleanly (validated by tests over many seeds).
 std::string GenerateMiniCFile(support::Rng& rng, const AppStyle& style, int target_lines);
+
+// Same text, plus the per-function hazard profiles (same RNG consumption:
+// GenerateMiniCFile(rng, ...) == GenerateMiniCFileProfiled(rng, ...).text
+// for equal starting rng states).
+GeneratedMiniC GenerateMiniCFileProfiled(support::Rng& rng, const AppStyle& style,
+                                         int target_lines);
 
 // Generates Python-flavoured text (defs, #-comments, docstrings).
 std::string GeneratePythonFile(support::Rng& rng, const AppStyle& style, int target_lines);

@@ -267,22 +267,44 @@ void EcosystemGenerator::GenerateCveHistories() {
   }
 }
 
-std::vector<metrics::SourceFile> EcosystemGenerator::GenerateSources(
-    const AppSpec& spec) const {
-  // Per-app deterministic stream, independent of other apps.
+namespace {
+
+// FNV-1a over the app name: the per-app stream selector for source
+// generation and CVE attribution (different salts keep the two independent).
+uint64_t AppHash(const std::string& name) {
   uint64_t app_hash = 0xcbf29ce484222325ULL;
-  for (const char c : spec.name) {
+  for (const char c : name) {
     app_hash = (app_hash ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
   }
-  support::Rng rng(options_.seed ^ app_hash);
+  return app_hash;
+}
+
+}  // namespace
+
+std::vector<metrics::SourceFile> EcosystemGenerator::GenerateSources(
+    const AppSpec& spec) const {
+  auto profiled = GenerateSourcesProfiled(spec);
   std::vector<metrics::SourceFile> files;
+  files.reserve(profiled.size());
+  for (auto& entry : profiled) {
+    files.push_back(std::move(entry.file));
+  }
+  return files;
+}
+
+std::vector<ProfiledSourceFile> EcosystemGenerator::GenerateSourcesProfiled(
+    const AppSpec& spec) const {
+  // Per-app deterministic stream, independent of other apps.
+  support::Rng rng(options_.seed ^ AppHash(spec.name));
+  std::vector<ProfiledSourceFile> files;
   long long remaining = static_cast<long long>(spec.kloc_target * 1000.0);
   remaining = std::max(remaining, 60LL);
   int index = 0;
   while (remaining > 0) {
     const int target =
         static_cast<int>(std::min<long long>(remaining, 150 + rng.NextBelow(350)));
-    metrics::SourceFile file;
+    ProfiledSourceFile entry;
+    metrics::SourceFile& file = entry.file;
     switch (spec.language) {
       case metrics::Language::kC:
       case metrics::Language::kCpp:
@@ -290,7 +312,9 @@ std::vector<metrics::SourceFile> EcosystemGenerator::GenerateSources(
         file.language = metrics::Language::kMiniC;
         file.path = support::Format("%s/src/module_%04d.%s", spec.name.c_str(), index,
                                     spec.language == metrics::Language::kCpp ? "cc" : "c");
-        file.text = GenerateMiniCFile(rng, spec.style, target);
+        GeneratedMiniC generated = GenerateMiniCFileProfiled(rng, spec.style, target);
+        file.text = std::move(generated.text);
+        entry.functions = std::move(generated.functions);
         break;
       }
       case metrics::Language::kPython:
@@ -312,10 +336,41 @@ std::vector<metrics::SourceFile> EcosystemGenerator::GenerateSources(
       }
     }
     remaining -= std::max(produced, 1LL);
-    files.push_back(std::move(file));
+    files.push_back(std::move(entry));
     ++index;
   }
   return files;
+}
+
+std::map<std::string, int> EcosystemGenerator::AttributeCves(
+    const AppSpec& spec, const std::vector<ProfiledSourceFile>& files) const {
+  std::map<std::string, int> attribution;
+  if (!IsCFamily(spec.language)) {
+    return attribution;
+  }
+  // Flatten the corpus's functions with their hazard mass. The floor keeps
+  // every function reachable: attribution truth should be concentrated on
+  // hazardous code, not perfectly aligned with it, or ranking would be a
+  // trivially solvable pattern-match.
+  constexpr double kBaseWeight = 0.05;
+  std::vector<std::string> keys;
+  std::vector<double> weights;
+  for (const auto& entry : files) {
+    for (const auto& fn : entry.functions) {
+      keys.push_back(entry.file.path + "::" + fn.name);
+      weights.push_back(fn.HazardWeight() + kBaseWeight);
+    }
+  }
+  if (keys.empty()) {
+    return attribution;
+  }
+  // Fresh salted stream: independent of both source generation and CVE
+  // history sampling, and of the order apps are processed in.
+  support::Rng rng(options_.seed ^ AppHash(spec.name) ^ 0xa77b1b07e0ULL);
+  for (int k = 0; k < spec.vuln_count; ++k) {
+    ++attribution[keys[rng.Categorical(weights)]];
+  }
+  return attribution;
 }
 
 }  // namespace corpus

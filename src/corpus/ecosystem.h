@@ -20,6 +20,7 @@
 #define SRC_CORPUS_ECOSYSTEM_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,39 @@ struct AppStyle {
   double taintiness = 0.5;  // Density of external input handling.
   double maturity = 0.5;    // Review/testing quality: suppresses vulns but
                             // is intentionally NOT visible in the code.
+};
+
+// Latent per-function hazard bookkeeping recorded while MiniC text is
+// generated. This is the generator's ground truth about which functions
+// carry the vulnerability patterns — the label model attributes synthetic
+// CVEs to functions in proportion to HazardWeight(), and the ranking
+// evaluator scores predictions against that attribution. Profiling is pure
+// observation: it consumes no RNG draws, so profiled and unprofiled
+// generation emit byte-identical text.
+struct FunctionProfile {
+  std::string name;
+  int lines = 0;
+  int unchecked_taint_index = 0;  // Unguarded array[externally-tainted].
+  int unguarded_index = 0;        // Unguarded array[untainted index].
+  int unguarded_div = 0;          // Division without a zero guard.
+  int tainted_sinks = 0;          // Tainted value reaching sink()/print().
+
+  // Relative odds that a CVE is rooted in this function. Unchecked tainted
+  // indexing dominates (the paper's signature memory-safety pattern),
+  // unguarded division and plain unguarded indexing follow, taint reaching
+  // a sink contributes exposure.
+  double HazardWeight() const {
+    return 3.0 * unchecked_taint_index + 1.0 * unguarded_index +
+           1.5 * unguarded_div + 0.5 * tainted_sinks;
+  }
+};
+
+// A generated source file together with the generator's latent function
+// profiles (empty for non-MiniC languages, which the structural analyses
+// do not parse).
+struct ProfiledSourceFile {
+  metrics::SourceFile file;
+  std::vector<FunctionProfile> functions;
 };
 
 struct AppSpec {
@@ -85,6 +119,21 @@ class EcosystemGenerator {
   // Generates the application's source files. Deterministic per app and
   // independent of generation order (each app forks its own RNG stream).
   std::vector<metrics::SourceFile> GenerateSources(const AppSpec& spec) const;
+
+  // Same files (byte-identical text — profiling consumes no RNG draws), plus
+  // the latent per-function hazard profiles for MiniC files.
+  std::vector<ProfiledSourceFile> GenerateSourcesProfiled(const AppSpec& spec) const;
+
+  // The function-granular label model: attributes each of the app's
+  // `vuln_count` synthetic CVEs to a culpable function, sampled in
+  // proportion to FunctionProfile::HazardWeight() (plus a small floor so
+  // hazard-free functions stay reachable — real CVE root causes are
+  // occasionally surprising). Keys are "path::function"; values are CVE
+  // counts. Deterministic per app (own salted RNG stream, independent of
+  // generation order). Empty for non-C-family apps, whose sources carry no
+  // function profiles.
+  std::map<std::string, int> AttributeCves(
+      const AppSpec& spec, const std::vector<ProfiledSourceFile>& files) const;
 
  private:
   void GenerateSpecs();

@@ -1,6 +1,8 @@
 #include "src/metrics/extract.h"
 
 #include <algorithm>
+#include <array>
+#include <map>
 
 #include "src/lang/lexer.h"
 #include "src/lang/parser.h"
@@ -144,6 +146,107 @@ FeatureVector ShinFeatures(const lang::TranslationUnit& unit, const lang::IrModu
   }
   fv.Set("shin.virtual_regs", static_cast<double>(regs));
   return fv;
+}
+
+const std::vector<std::string>& FunctionFeatureNames() {
+  static const std::vector<std::string> kNames = {
+      "fn.lines",
+      "fn.params",
+      "fn.returns_value",
+      "fn.statements",
+      "fn.declarations",
+      "fn.branches",
+      "fn.loops",
+      "fn.return_stmts",
+      "fn.mccabe",
+      "fn.decision_points",
+      "fn.max_nesting",
+      "fn.virtual_regs",
+      "cg.fan_in",
+      "cg.fan_out",
+      "cg.call_sites",
+      "cg.recursive",
+      "sig.unchecked_input_index",
+      "sig.non_constant_divisor",
+      "sig.constant_condition",
+      "sig.dead_store",
+      "sig.unreachable_code",
+      "sig.infinite_loop_risk",
+      "sig.signed_overflow_risk",
+  };
+  return kNames;
+}
+
+std::vector<FunctionFeatures> ExtractFunctionFeatures(const lang::TranslationUnit& unit,
+                                                      const lang::IrModule& module) {
+  // Column indices, kept in lockstep with FunctionFeatureNames().
+  enum Column : size_t {
+    kLines = 0,
+    kParams,
+    kReturnsValue,
+    kStatements,
+    kDeclarations,
+    kBranches,
+    kLoops,
+    kReturnStmts,
+    kMccabe,
+    kDecisionPoints,
+    kMaxNesting,
+    kVirtualRegs,
+    kFanIn,
+    kFanOut,
+    kCallSites,
+    kRecursive,
+    kSigFirst,  // BugSignal::Kind columns follow in enum order.
+  };
+  const size_t width = FunctionFeatureNames().size();
+
+  std::map<std::string, const lang::IrFunction*> ir_by_name;
+  for (const auto& fn : module.functions) {
+    ir_by_name.emplace(fn.name, &fn);
+  }
+  std::map<std::string, std::array<double, 7>> signal_counts;
+  for (const auto& signal : FindBugSignals(module)) {
+    signal_counts[signal.function][static_cast<size_t>(signal.kind)] += 1.0;
+  }
+  const CallGraph graph(module);
+
+  std::vector<FunctionFeatures> out;
+  out.reserve(unit.functions.size());
+  for (const auto& fn : unit.functions) {
+    FunctionFeatures row;
+    row.name = fn.name;
+    row.values.assign(width, 0.0);
+    row.values[kLines] = static_cast<double>(fn.end_line - fn.line + 1);
+    row.values[kParams] = static_cast<double>(fn.params.size());
+    row.values[kReturnsValue] = fn.return_type.base != lang::BaseType::kVoid ? 1.0 : 0.0;
+    StmtCounts counts;
+    CountStmts(fn.body, counts);
+    row.values[kStatements] = static_cast<double>(counts.statements);
+    row.values[kDeclarations] = static_cast<double>(counts.declarations);
+    row.values[kBranches] = static_cast<double>(counts.branches);
+    row.values[kLoops] = static_cast<double>(counts.loops);
+    row.values[kReturnStmts] = static_cast<double>(counts.returns);
+    row.values[kDecisionPoints] = static_cast<double>(DecisionPoints(fn));
+    row.values[kMaxNesting] = static_cast<double>(MaxNestingDepth(fn));
+    const auto ir = ir_by_name.find(fn.name);
+    if (ir != ir_by_name.end()) {
+      row.values[kMccabe] = static_cast<double>(CyclomaticComplexity(*ir->second));
+      row.values[kVirtualRegs] = static_cast<double>(ir->second->reg_count);
+    }
+    row.values[kFanIn] = static_cast<double>(graph.FanIn(fn.name));
+    row.values[kFanOut] = static_cast<double>(graph.FanOut(fn.name));
+    row.values[kCallSites] = static_cast<double>(graph.CallSites(fn.name));
+    row.values[kRecursive] = graph.IsRecursive(fn.name) ? 1.0 : 0.0;
+    const auto signals = signal_counts.find(fn.name);
+    if (signals != signal_counts.end()) {
+      for (size_t k = 0; k < signals->second.size(); ++k) {
+        row.values[kSigFirst + k] = signals->second[k];
+      }
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
 }
 
 FeatureVector ExtractFileFeatures(const SourceFile& file) {

@@ -40,6 +40,30 @@ FeatureVector ExtractAppFeatures(const std::vector<SourceFile>& files);
 // exposed separately for tests.
 FeatureVector ShinFeatures(const lang::TranslationUnit& unit, const lang::IrModule& module);
 
+// ---------------------------------------------------------------------------
+// Function-granular extraction, for LEOPARD-style ranking of individual
+// functions rather than whole applications. The schema is FIXED — every
+// function yields the same feature names in the same order — so per-function
+// rows from different files can stream straight into a columnar store
+// without schema reconciliation.
+// ---------------------------------------------------------------------------
+
+// The fixed schema, in column order. Structural counts ("fn."), call-graph
+// shape ("cg."), and per-function static bug signals ("sig.", one column
+// per BugSignal::Kind).
+const std::vector<std::string>& FunctionFeatureNames();
+
+struct FunctionFeatures {
+  std::string name;            // Function name (unique within a MiniC file).
+  std::vector<double> values;  // Parallel to FunctionFeatureNames().
+};
+
+// One entry per function in `unit`, in declaration order. `module` must be
+// the lowering of `unit` (names are matched; functions missing from the IR
+// get zeros for IR-derived columns).
+std::vector<FunctionFeatures> ExtractFunctionFeatures(const lang::TranslationUnit& unit,
+                                                      const lang::IrModule& module);
+
 }  // namespace metrics
 
 #endif  // SRC_METRICS_EXTRACT_H_

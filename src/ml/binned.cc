@@ -27,27 +27,49 @@ BinnedColumn BinColumn(std::span<const double> column, uint16_t max_bins,
                        std::vector<double>& values, std::vector<size_t>& counts) {
   BinnedColumn out;
   DistinctValues(column, values, counts);
+  const BinBoundaries bins =
+      ComputeBinBoundaries(values, counts, column.size(), max_bins);
+
+  out.exact = bins.exact;
+  out.num_bins = bins.num_bins();
+  out.thresholds = bins.thresholds;
+  out.codes.resize(column.size());
+  for (size_t i = 0; i < column.size(); ++i) {
+    out.codes[i] = bins.CodeOf(column[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+uint8_t BinBoundaries::CodeOf(double value) const {
+  const auto it = std::lower_bound(upper.begin(), upper.end(), value);
+  return static_cast<uint8_t>(it - upper.begin());
+}
+
+BinBoundaries ComputeBinBoundaries(std::span<const double> values,
+                                   std::span<const size_t> counts,
+                                   size_t total_rows, uint16_t max_bins) {
+  BinBoundaries out;
   const size_t distinct = values.size();
 
-  // bin_upper[b] = largest distinct value assigned to bin b.
-  std::vector<double> bin_upper;
   std::vector<double> bin_lower;  // Smallest distinct value in bin b.
   if (distinct <= max_bins) {
     // Exact mode: one bin per distinct value, so every candidate threshold
     // of the sort-based search survives binning unchanged.
     out.exact = true;
-    bin_upper = values;
-    bin_lower = values;
+    out.upper.assign(values.begin(), values.end());
+    bin_lower = out.upper;
   } else {
     // Quantile binning: close a bin once it holds >= rows/max_bins rows, so
     // heavy ties absorb into one bin and the rest split the mass evenly.
     const double per_bin =
-        static_cast<double>(column.size()) / static_cast<double>(max_bins);
+        static_cast<double>(total_rows) / static_cast<double>(max_bins);
     size_t cum = 0;
     size_t bin_start = 0;
     for (size_t i = 0; i < distinct; ++i) {
       cum += counts[i];
-      const size_t bins_made = bin_upper.size();
+      const size_t bins_made = out.upper.size();
       const bool last_value = i + 1 == distinct;
       const bool quota_met =
           static_cast<double>(cum) >= per_bin * static_cast<double>(bins_made + 1);
@@ -55,27 +77,18 @@ BinnedColumn BinColumn(std::span<const double> column, uint16_t max_bins,
       // all lands in the final bin.
       if (last_value || (quota_met && bins_made + 1 < max_bins)) {
         bin_lower.push_back(values[bin_start]);
-        bin_upper.push_back(values[i]);
+        out.upper.push_back(values[i]);
         bin_start = i + 1;
       }
     }
   }
 
-  out.num_bins = static_cast<uint16_t>(bin_upper.size());
-  out.thresholds.reserve(out.num_bins > 0 ? out.num_bins - 1 : 0);
-  for (size_t b = 0; b + 1 < bin_upper.size(); ++b) {
-    out.thresholds.push_back(0.5 * (bin_upper[b] + bin_lower[b + 1]));
-  }
-
-  out.codes.resize(column.size());
-  for (size_t i = 0; i < column.size(); ++i) {
-    const auto it = std::lower_bound(bin_upper.begin(), bin_upper.end(), column[i]);
-    out.codes[i] = static_cast<uint8_t>(it - bin_upper.begin());
+  out.thresholds.reserve(out.upper.empty() ? 0 : out.upper.size() - 1);
+  for (size_t b = 0; b + 1 < out.upper.size(); ++b) {
+    out.thresholds.push_back(0.5 * (out.upper[b] + bin_lower[b + 1]));
   }
   return out;
 }
-
-}  // namespace
 
 BinnedView BinnedView::Build(const Dataset& data, uint16_t max_bins) {
   BinnedView view;

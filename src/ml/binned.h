@@ -17,11 +17,38 @@
 #define SRC_ML_BINNED_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/ml/dataset.h"
 
 namespace ml {
+
+// Bin boundaries for one column, computed purely from its sorted distinct
+// values and their multiplicities. This is the arithmetic core of quantile
+// binning, factored out so the in-memory BinnedView and the out-of-core
+// FeatureStore writer (which merges per-chunk distinct-value lists instead of
+// ever holding the full column) produce bit-identical bins on the same rows.
+struct BinBoundaries {
+  // upper[b] = largest distinct value assigned to bin b (ascending).
+  std::vector<double> upper;
+  // thresholds[b] = split value separating bin b from bin b+1, size
+  // num_bins() - 1. A split "after bin b" is the predicate x <= thresholds[b].
+  std::vector<double> thresholds;
+  bool exact = false;  // One bin per distinct value.
+
+  uint16_t num_bins() const { return static_cast<uint16_t>(upper.size()); }
+
+  // Bin index of a raw value observed in the source column.
+  uint8_t CodeOf(double value) const;
+};
+
+// `values` must be sorted ascending with no duplicates; counts[i] is the
+// multiplicity of values[i] and total_rows their sum. max_bins must already
+// be clamped to [2, 256].
+BinBoundaries ComputeBinBoundaries(std::span<const double> values,
+                                   std::span<const size_t> counts,
+                                   size_t total_rows, uint16_t max_bins);
 
 // One feature column after binning.
 struct BinnedColumn {

@@ -100,6 +100,28 @@ void Dataset::AddRow(std::span<const double> features, double target) {
   targets_.push_back(target);
 }
 
+void Dataset::AppendRows(std::span<const double> row_major,
+                         std::span<const double> targets) {
+  const size_t d = feature_names_.size();
+  const size_t n = targets.size();
+  assert(row_major.size() == n * d);
+  if (is_classification()) {
+    for (const double target : targets) {
+      assert(target >= 0 && target < static_cast<double>(class_names_.size()));
+      (void)target;
+    }
+  }
+  InvalidateBinned();
+  for (size_t j = 0; j < d; ++j) {
+    auto& column = columns_[j];
+    column.reserve(column.size() + n);
+    for (size_t i = 0; i < n; ++i) {
+      column.push_back(row_major[i * d + j]);
+    }
+  }
+  targets_.insert(targets_.end(), targets.begin(), targets.end());
+}
+
 std::vector<double> Dataset::Row(size_t i) const {
   std::vector<double> out(columns_.size());
   for (size_t j = 0; j < columns_.size(); ++j) {

@@ -58,6 +58,13 @@ class Dataset {
     AddRow(std::span<const double>(features.begin(), features.size()), target);
   }
 
+  // Bulk append of `targets.size()` rows stored row-major in `row_major`
+  // (row_major.size() == targets.size() * num_features()). One cache
+  // invalidation and one reserve per column instead of per-row work — the
+  // hot path for testbed collection and for materialising FeatureStore
+  // chunks.
+  void AppendRows(std::span<const double> row_major, std::span<const double> targets);
+
   // Materialised copy of row `i` (the storage is columnar).
   std::vector<double> Row(size_t i) const;
   double Feature(size_t row, size_t col) const { return columns_[col][row]; }

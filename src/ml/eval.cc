@@ -1,7 +1,9 @@
 #include "src/ml/eval.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <numeric>
 
 #include "src/support/stats.h"
 #include "src/support/strings.h"
@@ -223,6 +225,40 @@ CvMetrics CrossValidate(const Dataset& data,
   metrics.macro_f1 = metrics.confusion.MacroF1();
   metrics.auc = data.num_classes() == 2 ? RocAuc(all_scores, all_labels) : 0.5;
   return metrics;
+}
+
+std::vector<RankingMetrics> TopKRanking(std::span<const double> scores,
+                                        std::span<const int> labels,
+                                        std::span<const size_t> ks) {
+  assert(scores.size() == labels.size());
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  // Stable by construction: equal scores keep row order, so ranking output
+  // is deterministic.
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+  size_t total_positive = 0;
+  for (const int label : labels) {
+    total_positive += label != 0 ? 1 : 0;
+  }
+  // Prefix positive counts over the ranked order.
+  std::vector<size_t> prefix_hits(order.size() + 1, 0);
+  for (size_t i = 0; i < order.size(); ++i) {
+    prefix_hits[i + 1] = prefix_hits[i] + (labels[order[i]] != 0 ? 1 : 0);
+  }
+  std::vector<RankingMetrics> out;
+  out.reserve(ks.size());
+  for (const size_t requested : ks) {
+    RankingMetrics m;
+    m.k = std::min(requested, order.size());
+    m.hits = prefix_hits[m.k];
+    m.precision = m.k > 0 ? static_cast<double>(m.hits) / static_cast<double>(m.k) : 0.0;
+    m.recall = total_positive > 0
+                   ? static_cast<double>(m.hits) / static_cast<double>(total_positive)
+                   : 0.0;
+    out.push_back(m);
+  }
+  return out;
 }
 
 }  // namespace ml

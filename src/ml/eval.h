@@ -6,6 +6,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -76,6 +77,23 @@ CvMetrics CrossValidate(const Dataset& data,
 RegressionMetrics CrossValidateRegression(
     const Dataset& data, const std::function<std::unique_ptr<Regressor>()>& factory, int k,
     uint64_t seed);
+
+// Top-K ranking quality for triage workflows (LEOPARD-style function
+// ranking): rank rows by descending score and ask how many of the first K
+// are truly positive. Ties break by row index (stable), so results are
+// deterministic for equal-score runs.
+struct RankingMetrics {
+  size_t k = 0;
+  size_t hits = 0;          // Positives among the top K.
+  double precision = 0.0;   // hits / K.
+  double recall = 0.0;      // hits / total positives.
+};
+
+// `scores[i]` is the model's positive-class score for row i, `labels[i]` is
+// the 0/1 truth. One entry per requested K (Ks clamped to the row count).
+std::vector<RankingMetrics> TopKRanking(std::span<const double> scores,
+                                        std::span<const int> labels,
+                                        std::span<const size_t> ks);
 
 }  // namespace ml
 

@@ -1,0 +1,245 @@
+// Out-of-core columnar feature store: an mmap-backed binary format that
+// scales ml::Dataset past RAM for fleet-wide per-function sweeps.
+//
+// Layout (all integers little-endian, every block 8-byte aligned):
+//
+//   header    32 B  "CLFSTOR1", version, flags, chunk_rows
+//   schema    block: feature/class/target names (written first so a
+//                    truncated file is still interpretable)
+//   data      one block per chunk: targets f64[rows], then each feature
+//             column f64[rows], then row-name ids u32[rows]
+//   codes     one block per chunk: each feature's uint8 bin codes
+//             (the BinnedView <= 256-bin invariant makes this lossless)
+//   strings   deduplicating row-name table
+//   bins      per-feature bin count + split thresholds
+//   directory offsets of everything above
+//   footer    16 B  directory offset + "CLFSEND1"
+//
+// Every block is framed as
+//   [u32 kind][u32 reserved][u64 payload_bytes][payload][pad to 8][u64 crc64]
+// in the style of the clair/serialize.h checkpoint records: the crc covers
+// the payload, and the tolerant reader drops any chunk whose crc fails
+// (FeatureStoreStats::dropped_chunks) instead of failing the open, mirroring
+// LoadCheckpoint's dropped_blocks semantics. If the footer or directory is
+// itself damaged (torn final write), Open falls back to a forward scan from
+// the header and recovers every intact data chunk.
+//
+// The writer is append-only and chunked: rows buffer in memory until
+// chunk_rows, then flush as one data block. Per-column sorted distinct-value
+// lists are merged chunk-by-chunk so Finish() can compute quantile bins with
+// ml::ComputeBinBoundaries — the exact routine BinnedView uses — without
+// ever holding a full column; a second sequential pass re-reads each chunk
+// and emits the uint8 code blocks. The reader mmaps the file and hands out
+// zero-copy column spans per chunk; ReleaseChunk() drops a chunk's pages
+// (madvise) so streamed consumers keep peak RSS bounded by the chunk size,
+// not the row count.
+#ifndef SRC_ML_FEATURE_STORE_H_
+#define SRC_ML_FEATURE_STORE_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ml/binned.h"
+#include "src/ml/dataset.h"
+#include "src/support/result.h"
+
+namespace ml {
+
+struct FeatureStoreOptions {
+  // Rows buffered per chunk; the unit of streaming granularity and of the
+  // reader's bounded working set.
+  size_t chunk_rows = 1 << 16;
+  // Bins per feature for the persisted uint8 codes (clamped to [2, 256]).
+  uint16_t max_bins = BinnedView::kDefaultBins;
+  // When false Finish() skips the binning pass and the store holds raw
+  // columns only (reader reports has_codes() == false).
+  bool write_codes = true;
+};
+
+// Chunked append-only writer. Create() writes header + schema immediately;
+// Append() buffers rows and flushes full chunks; Finish() flushes the tail
+// chunk, runs the binning pass, and writes string table, bin directory,
+// chunk directory, and footer. The file is not a valid complete store until
+// Finish() returns ok (though its data chunks are already scan-recoverable).
+class FeatureStoreWriter {
+ public:
+  // `class_names` empty means a regression target named "target".
+  static support::Result<std::unique_ptr<FeatureStoreWriter>> Create(
+      const std::string& path, std::vector<std::string> feature_names,
+      std::vector<std::string> class_names, FeatureStoreOptions options = {});
+
+  FeatureStoreWriter(const FeatureStoreWriter&) = delete;
+  FeatureStoreWriter& operator=(const FeatureStoreWriter&) = delete;
+
+  // Appends one row. `name` is interned in the deduplicating string table;
+  // for classification `target` must be an integral class index.
+  void Append(std::string_view name, std::span<const double> features, double target);
+
+  // Returns total rows written. No further Append after Finish.
+  support::Result<uint64_t> Finish();
+
+  uint64_t rows_appended() const { return rows_appended_; }
+  size_t chunks_flushed() const { return chunk_index_.size(); }
+  size_t string_count() const { return strings_.size(); }
+
+ private:
+  struct ChunkInfo {
+    uint64_t data_offset = 0;
+    uint64_t codes_offset = 0;
+    uint64_t rows = 0;
+  };
+
+  FeatureStoreWriter() = default;
+
+  uint32_t InternString(std::string_view name);
+  void FlushChunk();
+  // Appends one framed block, returns its start offset.
+  uint64_t WriteBlock(uint32_t kind, std::span<const uint8_t> payload);
+  void MergeChunkDistincts();
+
+  std::fstream file_;
+  std::string path_;
+  FeatureStoreOptions options_;
+  std::vector<std::string> feature_names_;
+  std::vector<std::string> class_names_;
+  bool finished_ = false;
+
+  // Current chunk buffers (column-major).
+  std::vector<std::vector<double>> chunk_columns_;
+  std::vector<double> chunk_targets_;
+  std::vector<uint32_t> chunk_name_ids_;
+
+  // String intern table.
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, uint32_t> string_ids_;
+
+  // Per-column sorted distinct values + multiplicities, merged per chunk.
+  std::vector<std::vector<double>> distinct_values_;
+  std::vector<std::vector<size_t>> distinct_counts_;
+
+  std::vector<ChunkInfo> chunk_index_;
+  uint64_t rows_appended_ = 0;
+};
+
+struct FeatureStoreStats {
+  // Chunks dropped because their (or their codes block's) crc failed or the
+  // file was truncated mid-chunk. Mirrors CheckpointLoadStats.
+  size_t dropped_chunks = 0;
+  // True when the footer/directory was unusable and the chunks were
+  // recovered by a forward scan (codes are not served in this mode).
+  bool recovered_by_scan = false;
+};
+
+// Read-only mmap view of a finished (or scan-recoverable) store.
+class FeatureStore {
+ public:
+  // Validates header, schema, directory, and the crc of every block;
+  // corrupt chunks are dropped (see FeatureStoreStats), corrupt
+  // footer/directory triggers scan recovery. Fails only when the header or
+  // schema is unusable. Verified pages are madvise-released before
+  // returning, so opening a huge store does not pin it resident.
+  static support::Result<FeatureStore> Open(const std::string& path);
+
+  FeatureStore(FeatureStore&& other) noexcept;
+  FeatureStore& operator=(FeatureStore&& other) noexcept;
+  FeatureStore(const FeatureStore&) = delete;
+  FeatureStore& operator=(const FeatureStore&) = delete;
+  ~FeatureStore();
+
+  bool is_classification() const { return !class_names_.empty(); }
+  size_t num_features() const { return feature_names_.size(); }
+  size_t num_classes() const { return class_names_.size(); }
+  // Rows across surviving chunks.
+  size_t num_rows() const { return total_rows_; }
+  size_t num_chunks() const { return chunks_.size(); }
+  const std::vector<std::string>& feature_names() const { return feature_names_; }
+  const std::vector<std::string>& class_names() const { return class_names_; }
+  const std::string& target_name() const { return target_name_; }
+  const FeatureStoreStats& stats() const { return stats_; }
+
+  // True when every surviving chunk has valid uint8 codes and the bin
+  // directory is intact — the precondition for TrainStreaming.
+  bool has_codes() const { return has_codes_; }
+  uint16_t num_bins(size_t feature) const { return bins_[feature].num_bins; }
+  bool bin_exact(size_t feature) const { return bins_[feature].exact; }
+  // Split value separating bin b from b+1 (size num_bins - 1); the split
+  // "after bin b" is x <= thresholds(feature)[b], as in BinnedColumn.
+  std::span<const double> thresholds(size_t feature) const {
+    return bins_[feature].thresholds;
+  }
+
+  // Zero-copy view of one chunk. Spans point into the mapping and stay
+  // valid until the store is destroyed (ReleaseChunk only drops residency,
+  // not validity).
+  struct Chunk {
+    size_t rows = 0;
+    size_t row_begin = 0;  // Global index of this chunk's first row.
+    std::span<const double> targets;
+    std::span<const uint32_t> name_ids;
+    const double* columns = nullptr;        // rows * num_features doubles.
+    const uint8_t* codes = nullptr;         // rows * num_features codes, or null.
+    std::span<const double> Column(size_t feature) const {
+      return {columns + feature * rows, rows};
+    }
+    std::span<const uint8_t> Codes(size_t feature) const {
+      return {codes + feature * rows, rows};
+    }
+  };
+  Chunk chunk(size_t i) const;
+  // Drops the chunk's data + codes pages from the resident set
+  // (madvise(MADV_DONTNEED)); the next access refaults them from page cache.
+  void ReleaseChunk(size_t i) const;
+
+  size_t string_count() const { return string_table_.size(); }
+  const std::string& StringAt(uint32_t id) const { return string_table_[id]; }
+  // Row name via the string table ("" if the table was corrupt).
+  const std::string& RowName(size_t global_row) const;
+
+  // Materialised copy of row `global_row`'s features.
+  std::vector<double> GatherRow(size_t global_row) const;
+
+  // Fully materialised in-memory Dataset of every surviving row — the
+  // in-memory side of the streamed-vs-in-memory equivalence tests.
+  Dataset ToDataset() const;
+
+ private:
+  struct ChunkRef {
+    uint64_t data_payload = 0;   // Offset of the data block payload.
+    uint64_t codes_payload = 0;  // Offset of the codes payload, 0 if absent.
+    uint64_t rows = 0;
+    uint64_t row_begin = 0;
+  };
+  struct BinInfo {
+    uint16_t num_bins = 0;
+    bool exact = false;
+    std::vector<double> thresholds;
+  };
+
+  FeatureStore() = default;
+  void Unmap();
+  size_t ChunkOf(size_t global_row) const;
+
+  const uint8_t* base_ = nullptr;
+  size_t file_size_ = 0;
+  int fd_ = -1;
+
+  std::vector<std::string> feature_names_;
+  std::vector<std::string> class_names_;
+  std::string target_name_;
+  std::vector<ChunkRef> chunks_;
+  std::vector<std::string> string_table_;
+  std::vector<BinInfo> bins_;
+  size_t total_rows_ = 0;
+  bool has_codes_ = false;
+  FeatureStoreStats stats_;
+};
+
+}  // namespace ml
+
+#endif  // SRC_ML_FEATURE_STORE_H_

@@ -1,10 +1,13 @@
 #include "src/ml/tree.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <map>
 #include <numeric>
 
+#include "src/ml/feature_store.h"
+#include "src/support/hash.h"
 #include "src/support/thread_pool.h"
 
 namespace ml {
@@ -14,6 +17,84 @@ std::vector<size_t> AllRows(const Dataset& data) {
   std::vector<size_t> rows(data.num_rows());
   std::iota(rows.begin(), rows.end(), size_t{0});
   return rows;
+}
+
+// Candidate features for one split, honouring TreeOptions::feature_sample.
+// kSequential consumes `sequential_rng` (build-order dependent, the legacy
+// behaviour); kStableByNode derives a throwaway stream from (seed, path) so
+// the draw depends only on the node's heap position.
+std::vector<size_t> SplitCandidateOrder(const TreeOptions& options,
+                                        size_t num_features,
+                                        support::Rng& sequential_rng,
+                                        uint64_t seed, uint64_t path) {
+  std::vector<size_t> candidates(num_features);
+  std::iota(candidates.begin(), candidates.end(), size_t{0});
+  if (options.features_per_split > 0 &&
+      options.features_per_split < candidates.size()) {
+    if (options.feature_sample == FeatureSample::kStableByNode) {
+      support::Rng node_rng = support::Rng::ForTask(seed, path);
+      node_rng.Shuffle(candidates);
+    } else {
+      sequential_rng.Shuffle(candidates);
+    }
+    candidates.resize(options.features_per_split);
+  }
+  return candidates;
+}
+
+double GiniOfCounts(const std::vector<double>& counts, double n) {
+  double g = 1.0;
+  for (const double c : counts) {
+    const double p = c / n;
+    g -= p * p;
+  }
+  return g;
+}
+
+// Scores every boundary of one feature's bins x classes histogram, updating
+// best_gain/best_bin when a boundary improves on the carried-in best. This
+// is the single split-sweep used by both the depth-first in-memory build and
+// the level-wise streaming build: one code path, one floating-point op
+// sequence, so the two builds choose bit-identical splits.
+bool SweepClassHistogram(const double* hist, size_t bins, size_t classes,
+                         const std::vector<double>& total_counts,
+                         double parent_gini, double n_total, double min_leaf,
+                         std::vector<double>& left_counts,
+                         std::vector<double>& right_counts, double& best_gain,
+                         int& best_bin) {
+  std::fill(left_counts.begin(), left_counts.end(), 0.0);
+  right_counts = total_counts;
+  double n_left = 0.0;
+  bool improved = false;
+  for (size_t b = 0; b + 1 < bins; ++b) {
+    double bin_n = 0.0;
+    for (size_t c = 0; c < classes; ++c) {
+      const double v = hist[b * classes + c];
+      left_counts[c] += v;
+      right_counts[c] -= v;
+      bin_n += v;
+    }
+    if (bin_n == 0.0) {
+      continue;  // Empty bin: same boundary as the previous candidate.
+    }
+    n_left += bin_n;
+    const double n_right = n_total - n_left;
+    if (n_right <= 0.0) {
+      break;  // No rows to the right of any later boundary.
+    }
+    if (n_left < min_leaf || n_right < min_leaf) {
+      continue;
+    }
+    const double gain = parent_gini -
+                        (n_left / n_total) * GiniOfCounts(left_counts, n_left) -
+                        (n_right / n_total) * GiniOfCounts(right_counts, n_right);
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_bin = static_cast<int>(b);
+      improved = true;
+    }
+  }
+  return improved;
 }
 
 }  // namespace
@@ -54,10 +135,15 @@ void DecisionTreeClassifier::TrainIndexed(const Dataset& data,
   std::vector<size_t> working(rows.begin(), rows.end());
   if (options_.split_mode == SplitMode::kHistogram) {
     const auto view = data.Binned(options_.max_bins);
-    BuildBinned(data, *view, std::span<size_t>(working), 0);
+    BuildBinned(data, *view, std::span<size_t>(working), 0, 1);
   } else {
-    BuildExact(data, working, 0);
+    BuildExact(data, working, 0, 1);
   }
+}
+
+std::vector<size_t> DecisionTreeClassifier::SplitCandidates(size_t num_features,
+                                                            uint64_t path) {
+  return SplitCandidateOrder(options_, num_features, rng_, seed_, path);
 }
 
 // Histogram split search: one O(rows) pass builds per-bin class counts, then
@@ -65,7 +151,8 @@ void DecisionTreeClassifier::TrainIndexed(const Dataset& data,
 // considers the same candidates with the same integer counts as the sort
 // sweep in BuildExact, so the chosen split is identical.
 int DecisionTreeClassifier::BuildBinned(const Dataset& data, const BinnedView& view,
-                                        std::span<size_t> rows, int depth) {
+                                        std::span<size_t> rows, int depth,
+                                        uint64_t path) {
   const int index = static_cast<int>(nodes_.size());
   nodes_.emplace_back();
   nodes_[static_cast<size_t>(index)].depth = depth;
@@ -84,27 +171,13 @@ int DecisionTreeClassifier::BuildBinned(const Dataset& data, const BinnedView& v
   }
 
   // Feature subset for this split.
-  std::vector<size_t> candidates(data.num_features());
-  std::iota(candidates.begin(), candidates.end(), size_t{0});
-  if (options_.features_per_split > 0 &&
-      options_.features_per_split < candidates.size()) {
-    rng_.Shuffle(candidates);
-    candidates.resize(options_.features_per_split);
-  }
+  const std::vector<size_t> candidates = SplitCandidates(data.num_features(), path);
 
   double best_gain = 1e-12;
   int best_feature = -1;
   int best_bin = -1;
   double best_threshold = 0.0;
   const double n_total = static_cast<double>(rows.size());
-  auto gini_of = [](const std::vector<double>& counts, double n) {
-    double g = 1.0;
-    for (const double c : counts) {
-      const double p = c / n;
-      g -= p * p;
-    }
-    return g;
-  };
   std::vector<double> left_counts(classes, 0.0);
   std::vector<double> right_counts(classes, 0.0);
   for (const size_t feature : candidates) {
@@ -118,37 +191,13 @@ int DecisionTreeClassifier::BuildBinned(const Dataset& data, const BinnedView& v
       hist_[static_cast<size_t>(col.codes[row]) * classes +
             static_cast<size_t>(data.ClassIndex(row))] += 1.0;
     }
-    std::fill(left_counts.begin(), left_counts.end(), 0.0);
-    right_counts = total_counts;
-    double n_left = 0.0;
-    for (size_t b = 0; b + 1 < bins; ++b) {
-      double bin_n = 0.0;
-      for (size_t c = 0; c < classes; ++c) {
-        const double v = hist_[b * classes + c];
-        left_counts[c] += v;
-        right_counts[c] -= v;
-        bin_n += v;
-      }
-      if (bin_n == 0.0) {
-        continue;  // Empty bin: same boundary as the previous candidate.
-      }
-      n_left += bin_n;
-      const double n_right = n_total - n_left;
-      if (n_right <= 0.0) {
-        break;  // No rows to the right of any later boundary.
-      }
-      if (n_left < static_cast<double>(options_.min_samples_leaf) ||
-          n_right < static_cast<double>(options_.min_samples_leaf)) {
-        continue;
-      }
-      const double gain = parent_gini - (n_left / n_total) * gini_of(left_counts, n_left) -
-                          (n_right / n_total) * gini_of(right_counts, n_right);
-      if (gain > best_gain) {
-        best_gain = gain;
-        best_feature = static_cast<int>(feature);
-        best_bin = static_cast<int>(b);
-        best_threshold = col.thresholds[b];
-      }
+    int bin = -1;
+    if (SweepClassHistogram(hist_.data(), bins, classes, total_counts, parent_gini,
+                            n_total, static_cast<double>(options_.min_samples_leaf),
+                            left_counts, right_counts, best_gain, bin)) {
+      best_feature = static_cast<int>(feature);
+      best_bin = bin;
+      best_threshold = col.thresholds[static_cast<size_t>(bin)];
     }
   }
 
@@ -163,8 +212,9 @@ int DecisionTreeClassifier::BuildBinned(const Dataset& data, const BinnedView& v
     return static_cast<int>(codes[row]) <= best_bin;
   });
   const auto n_left_rows = static_cast<size_t>(mid - rows.begin());
-  const int left = BuildBinned(data, view, rows.first(n_left_rows), depth + 1);
-  const int right = BuildBinned(data, view, rows.subspan(n_left_rows), depth + 1);
+  const int left = BuildBinned(data, view, rows.first(n_left_rows), depth + 1, path * 2);
+  const int right =
+      BuildBinned(data, view, rows.subspan(n_left_rows), depth + 1, path * 2 + 1);
   Node& node = nodes_[static_cast<size_t>(index)];
   node.leaf = false;
   node.feature = best_feature;
@@ -175,7 +225,7 @@ int DecisionTreeClassifier::BuildBinned(const Dataset& data, const BinnedView& v
 }
 
 int DecisionTreeClassifier::BuildExact(const Dataset& data, std::vector<size_t>& rows,
-                                       int depth) {
+                                       int depth, uint64_t path) {
   const int index = static_cast<int>(nodes_.size());
   nodes_.emplace_back();
   nodes_[static_cast<size_t>(index)].depth = depth;
@@ -188,13 +238,7 @@ int DecisionTreeClassifier::BuildExact(const Dataset& data, std::vector<size_t>&
   }
 
   // Feature subset for this split.
-  std::vector<size_t> candidates(data.num_features());
-  std::iota(candidates.begin(), candidates.end(), size_t{0});
-  if (options_.features_per_split > 0 &&
-      options_.features_per_split < candidates.size()) {
-    rng_.Shuffle(candidates);
-    candidates.resize(options_.features_per_split);
-  }
+  const std::vector<size_t> candidates = SplitCandidates(data.num_features(), path);
 
   double best_gain = 1e-12;
   int best_feature = -1;
@@ -262,8 +306,8 @@ int DecisionTreeClassifier::BuildExact(const Dataset& data, std::vector<size_t>&
   }
   rows.clear();
   rows.shrink_to_fit();
-  const int left = BuildExact(data, left_rows, depth + 1);
-  const int right = BuildExact(data, right_rows, depth + 1);
+  const int left = BuildExact(data, left_rows, depth + 1, path * 2);
+  const int right = BuildExact(data, right_rows, depth + 1, path * 2 + 1);
   Node& node = nodes_[static_cast<size_t>(index)];
   node.leaf = false;
   node.feature = best_feature;
@@ -271,6 +315,315 @@ int DecisionTreeClassifier::BuildExact(const Dataset& data, std::vector<size_t>&
   node.left = left;
   node.right = right;
   return index;
+}
+
+void DecisionTreeClassifier::TrainStreaming(const FeatureStore& store) {
+  TrainStreaming(store, {});
+}
+
+// Level-wise out-of-core build. The recursive BuildBinned holds the whole
+// code matrix and partitions row indices in place; here each level instead
+// streams the store chunk-by-chunk twice (histogram pass, partition pass),
+// with per-row state limited to one uint32 node slot. Bit-identity with the
+// depth-first build rests on three facts: (1) all histogram/count values are
+// integer-valued doubles (sums of row multiplicities), exact in any
+// accumulation order; (2) both builds score splits through the shared
+// SweepClassHistogram, so the floating-point gain comparisons are the same
+// op sequence; (3) with feature_sample == kStableByNode the candidate draw
+// depends only on the node's heap path, not build order. The finished tree
+// is renumbered into depth-first preorder and importance is replayed in
+// that order, making the node array byte-equal to TrainIndexed's.
+void DecisionTreeClassifier::TrainStreaming(const FeatureStore& store,
+                                            std::span<const uint32_t> multiplicity) {
+  assert(store.is_classification());
+  assert(store.has_codes());
+  assert(multiplicity.empty() || multiplicity.size() == store.num_rows());
+  feature_names_ = store.feature_names();
+  const size_t d = store.num_features();
+  const size_t classes = store.num_classes();
+  importance_.assign(d, 0.0);
+  nodes_.clear();
+
+  struct PendingNode {
+    uint64_t path = 1;
+    int depth = 0;
+    std::vector<double> counts;  // Per-class multiplicity sums (integers).
+    double n = 0.0;
+    double parent_gini = 0.0;
+    bool decided = false;
+    bool leaf = true;
+    int feature = -1;
+    int bin = -1;
+    double threshold = 0.0;
+    double gain = 0.0;
+    uint32_t left = 0;
+    uint32_t right = 0;
+    std::vector<double> proba;
+    std::vector<size_t> candidates;  // Split candidates while undecided.
+  };
+  constexpr uint32_t kNoNode = 0xFFFFFFFFu;
+  std::vector<PendingNode> pending;
+  pending.emplace_back();
+  pending[0].counts.assign(classes, 0.0);
+
+  // slot[row] = pending-node the row currently sits in (kNoNode once it
+  // reaches a leaf or has zero multiplicity) — the only O(rows) state.
+  std::vector<uint32_t> slot(store.num_rows(), 0);
+  const auto row_weight = [&](size_t global_row) {
+    return multiplicity.empty() ? 1.0
+                                : static_cast<double>(multiplicity[global_row]);
+  };
+
+  // Root class counts: one streamed pass.
+  for (size_t c = 0; c < store.num_chunks(); ++c) {
+    const FeatureStore::Chunk chunk = store.chunk(c);
+    for (size_t r = 0; r < chunk.rows; ++r) {
+      const size_t g = chunk.row_begin + r;
+      const double m = row_weight(g);
+      if (m == 0.0) {
+        slot[g] = kNoNode;
+        continue;
+      }
+      pending[0].counts[static_cast<size_t>(chunk.targets[r])] += m;
+      pending[0].n += m;
+    }
+    store.ReleaseChunk(c);
+  }
+
+  // Histogram arena budget per batch: bins the frontier into groups small
+  // enough that every (node, candidate-feature) histogram of the group fits
+  // in ~64 MiB, keeping peak memory independent of tree width.
+  constexpr size_t kArenaBudgetDoubles = (64u << 20) / sizeof(double);
+
+  std::vector<uint32_t> frontier{0};
+  std::vector<double> left_counts(classes, 0.0);
+  std::vector<double> right_counts(classes, 0.0);
+  while (!frontier.empty()) {
+    // Decide which frontier nodes want a split; the rest become leaves now.
+    std::vector<uint32_t> splitting;
+    for (const uint32_t id : frontier) {
+      PendingNode& node = pending[id];
+      std::vector<double> dist = node.counts;
+      if (node.n > 0.0) {
+        for (double& v : dist) {
+          v /= node.n;
+        }
+      }
+      node.parent_gini = Gini(dist);
+      const bool pure = node.parent_gini < 1e-12;
+      if (pure || node.depth >= options_.max_depth ||
+          node.n < 2.0 * static_cast<double>(options_.min_samples_leaf)) {
+        node.decided = true;
+        node.leaf = true;
+        node.proba = std::move(dist);
+        continue;
+      }
+      node.candidates = SplitCandidates(d, node.path);
+      splitting.push_back(id);
+    }
+
+    std::vector<uint32_t> next_frontier;
+    size_t batch_begin = 0;
+    while (batch_begin < splitting.size()) {
+      // Take nodes until the histogram arena budget is reached.
+      std::vector<uint32_t> batch;
+      std::vector<size_t> arena_offset;
+      size_t arena_size = 0;
+      for (size_t i = batch_begin; i < splitting.size(); ++i) {
+        const PendingNode& node = pending[splitting[i]];
+        size_t node_doubles = 0;
+        for (const size_t feature : node.candidates) {
+          node_doubles += static_cast<size_t>(store.num_bins(feature)) * classes;
+        }
+        if (!batch.empty() && arena_size + node_doubles > kArenaBudgetDoubles) {
+          break;
+        }
+        arena_offset.push_back(arena_size);
+        arena_size += node_doubles;
+        batch.push_back(splitting[i]);
+      }
+      batch_begin += batch.size();
+
+      std::vector<int> batch_slot(pending.size(), -1);
+      for (size_t i = 0; i < batch.size(); ++i) {
+        batch_slot[batch[i]] = static_cast<int>(i);
+      }
+      std::vector<double> arena(arena_size, 0.0);
+
+      // Histogram pass: one streamed read of codes + targets per chunk.
+      for (size_t c = 0; c < store.num_chunks(); ++c) {
+        const FeatureStore::Chunk chunk = store.chunk(c);
+        for (size_t r = 0; r < chunk.rows; ++r) {
+          const size_t g = chunk.row_begin + r;
+          const uint32_t s = slot[g];
+          if (s == kNoNode || batch_slot[s] < 0) {
+            continue;
+          }
+          const double m = row_weight(g);
+          const auto cls = static_cast<size_t>(chunk.targets[r]);
+          const PendingNode& node = pending[s];
+          double* hist = arena.data() + arena_offset[static_cast<size_t>(batch_slot[s])];
+          for (const size_t feature : node.candidates) {
+            const size_t bins = store.num_bins(feature);
+            hist[static_cast<size_t>(chunk.Codes(feature)[r]) * classes + cls] += m;
+            hist += bins * classes;
+          }
+        }
+        store.ReleaseChunk(c);
+      }
+
+      // Score each batch node through the shared sweep.
+      for (size_t i = 0; i < batch.size(); ++i) {
+        PendingNode& node = pending[batch[i]];
+        double best_gain = 1e-12;
+        int best_feature = -1;
+        int best_bin = -1;
+        double best_threshold = 0.0;
+        const double* hist = arena.data() + arena_offset[i];
+        const double* best_hist = nullptr;
+        for (const size_t feature : node.candidates) {
+          const size_t bins = store.num_bins(feature);
+          if (bins < 2) {
+            hist += bins * classes;
+            continue;  // Constant column: nothing to split on.
+          }
+          int bin = -1;
+          if (SweepClassHistogram(hist, bins, classes, node.counts,
+                                  node.parent_gini, node.n,
+                                  static_cast<double>(options_.min_samples_leaf),
+                                  left_counts, right_counts, best_gain, bin)) {
+            best_feature = static_cast<int>(feature);
+            best_bin = bin;
+            best_threshold = store.thresholds(feature)[static_cast<size_t>(bin)];
+            best_hist = hist;
+          }
+          hist += bins * classes;
+        }
+
+        node.decided = true;
+        if (best_feature < 0) {
+          node.leaf = true;
+          node.proba = node.counts;
+          if (node.n > 0.0) {
+            for (double& v : node.proba) {
+              v /= node.n;
+            }
+          }
+          continue;
+        }
+        node.leaf = false;
+        node.feature = best_feature;
+        node.bin = best_bin;
+        node.threshold = best_threshold;
+        node.gain = best_gain;
+
+        // Children counts straight from the winning histogram (exact
+        // integer sums, identical to re-counting the partitioned rows).
+        PendingNode left_child;
+        left_child.path = node.path * 2;
+        left_child.depth = node.depth + 1;
+        left_child.counts.assign(classes, 0.0);
+        for (int b = 0; b <= best_bin; ++b) {
+          for (size_t cls = 0; cls < classes; ++cls) {
+            left_child.counts[cls] +=
+                best_hist[static_cast<size_t>(b) * classes + cls];
+          }
+        }
+        PendingNode right_child;
+        right_child.path = node.path * 2 + 1;
+        right_child.depth = node.depth + 1;
+        right_child.counts.assign(classes, 0.0);
+        for (size_t cls = 0; cls < classes; ++cls) {
+          left_child.n += left_child.counts[cls];
+          right_child.counts[cls] = node.counts[cls] - left_child.counts[cls];
+          right_child.n += right_child.counts[cls];
+        }
+        node.candidates.clear();
+        node.candidates.shrink_to_fit();
+        const auto left_id = static_cast<uint32_t>(pending.size());
+        // Note: reserve-free push_back may invalidate `node`; re-fetch.
+        pending.push_back(std::move(left_child));
+        pending.push_back(std::move(right_child));
+        pending[batch[i]].left = left_id;
+        pending[batch[i]].right = left_id + 1;
+        next_frontier.push_back(left_id);
+        next_frontier.push_back(left_id + 1);
+      }
+
+      // Partition pass: route rows of freshly split batch nodes to their
+      // children; rows landing in leaves retire their slot.
+      for (size_t c = 0; c < store.num_chunks(); ++c) {
+        const FeatureStore::Chunk chunk = store.chunk(c);
+        for (size_t r = 0; r < chunk.rows; ++r) {
+          const size_t g = chunk.row_begin + r;
+          const uint32_t s = slot[g];
+          if (s == kNoNode) {
+            continue;
+          }
+          const PendingNode& node = pending[s];
+          if (!node.decided) {
+            continue;
+          }
+          if (node.leaf) {
+            slot[g] = kNoNode;
+            continue;
+          }
+          if (batch_slot.size() <= s || batch_slot[s] < 0) {
+            continue;  // Split in an earlier level/batch; already routed.
+          }
+          const int code = chunk.Codes(static_cast<size_t>(node.feature))[r];
+          slot[g] = code <= node.bin ? node.left : node.right;
+        }
+        store.ReleaseChunk(c);
+      }
+    }
+
+    // A level with no splitting nodes runs no partition pass, leaving rows
+    // pointing at retired leaves — harmless, since the frontier is then
+    // empty and the loop ends.
+    frontier = std::move(next_frontier);
+  }
+
+  // Renumber into depth-first preorder, replaying importance accumulation
+  // in the recursive builder's order.
+  nodes_.reserve(pending.size());
+  auto emit = [&](auto&& self, uint32_t id, int depth) -> int {
+    const PendingNode& p = pending[id];
+    const int index = static_cast<int>(nodes_.size());
+    nodes_.emplace_back();
+    nodes_[static_cast<size_t>(index)].depth = depth;
+    if (p.leaf) {
+      nodes_[static_cast<size_t>(index)].proba = p.proba;
+      return index;
+    }
+    importance_[static_cast<size_t>(p.feature)] += p.gain * p.n;
+    const int left = self(self, p.left, depth + 1);
+    const int right = self(self, p.right, depth + 1);
+    Node& node = nodes_[static_cast<size_t>(index)];
+    node.leaf = false;
+    node.feature = p.feature;
+    node.threshold = p.threshold;
+    node.left = left;
+    node.right = right;
+    return index;
+  };
+  emit(emit, 0, 0);
+}
+
+uint64_t DecisionTreeClassifier::StructureDigest() const {
+  uint64_t state = support::kCrc64Init;
+  for (const Node& node : nodes_) {
+    const uint32_t leaf = node.leaf ? 1 : 0;
+    state = support::Crc64Update(state, &leaf, sizeof(leaf));
+    state = support::Crc64Update(state, &node.feature, sizeof(node.feature));
+    state = support::Crc64Update(state, &node.threshold, sizeof(node.threshold));
+    state = support::Crc64Update(state, &node.left, sizeof(node.left));
+    state = support::Crc64Update(state, &node.right, sizeof(node.right));
+    state = support::Crc64Update(state, &node.depth, sizeof(node.depth));
+    state = support::Crc64Update(state, node.proba.data(),
+                                 node.proba.size() * sizeof(double));
+  }
+  return support::Crc64Finish(state);
 }
 
 std::vector<double> DecisionTreeClassifier::PredictProba(std::span<const double> x) const {
@@ -341,6 +694,44 @@ void RandomForestClassifier::TrainIndexed(const Dataset& data,
         tree->TrainIndexed(data, sample);
         return tree;
       });
+}
+
+void RandomForestClassifier::TrainStreaming(const FeatureStore& store) {
+  num_classes_ = store.num_classes();
+  TreeOptions tree_options = options_.tree;
+  if (tree_options.features_per_split == 0) {
+    tree_options.features_per_split = static_cast<size_t>(
+        std::max(1.0, std::sqrt(static_cast<double>(store.num_features()))));
+  }
+  // The streaming build is histogram-only and needs traversal-order-free
+  // candidate draws; force both so the result matches TrainIndexed with
+  // kStableByNode over the materialised store.
+  tree_options.split_mode = SplitMode::kHistogram;
+  tree_options.feature_sample = FeatureSample::kStableByNode;
+  const size_t n = store.num_rows();
+  // Per-tree RNG call sequence is exactly TrainIndexed's (n NextBelow draws
+  // then the tree seed), with the bag kept as per-row multiplicities — 4
+  // bytes/row — instead of an index list.
+  trees_ = support::ParallelMap<std::unique_ptr<DecisionTreeClassifier>>(
+      static_cast<size_t>(options_.num_trees), [&](size_t t) {
+        support::Rng rng = support::Rng::ForTask(options_.seed, t);
+        std::vector<uint32_t> multiplicity(n, 0);
+        for (size_t i = 0; i < n; ++i) {
+          ++multiplicity[rng.NextBelow(n)];
+        }
+        auto tree = std::make_unique<DecisionTreeClassifier>(tree_options, rng.NextU64());
+        tree->TrainStreaming(store, multiplicity);
+        return tree;
+      });
+}
+
+uint64_t RandomForestClassifier::StructureDigest() const {
+  uint64_t state = support::kCrc64Init;
+  for (const auto& tree : trees_) {
+    const uint64_t digest = tree->StructureDigest();
+    state = support::Crc64Update(state, &digest, sizeof(digest));
+  }
+  return support::Crc64Finish(state);
 }
 
 std::vector<double> RandomForestClassifier::PredictProba(std::span<const double> x) const {
@@ -429,10 +820,15 @@ void DecisionTreeRegressor::TrainIndexed(const Dataset& data,
   std::vector<size_t> working(rows.begin(), rows.end());
   if (options_.split_mode == SplitMode::kHistogram) {
     const auto view = data.Binned(options_.max_bins);
-    BuildBinned(data, *view, std::span<size_t>(working), 0);
+    BuildBinned(data, *view, std::span<size_t>(working), 0, 1);
   } else {
-    BuildExact(data, working, 0);
+    BuildExact(data, working, 0, 1);
   }
+}
+
+std::vector<size_t> DecisionTreeRegressor::SplitCandidates(size_t num_features,
+                                                           uint64_t path) {
+  return SplitCandidateOrder(options_, num_features, rng_, seed_, path);
 }
 
 // Histogram split search for regression: per-bin (count, sum, sum-of-squares)
@@ -440,7 +836,8 @@ void DecisionTreeRegressor::TrainIndexed(const Dataset& data,
 // the sorted exact sweep, so gains agree to floating-point tolerance rather
 // than bit-exactly.
 int DecisionTreeRegressor::BuildBinned(const Dataset& data, const BinnedView& view,
-                                       std::span<size_t> rows, int depth) {
+                                       std::span<size_t> rows, int depth,
+                                       uint64_t path) {
   const int index = static_cast<int>(nodes_.size());
   nodes_.emplace_back();
   double sum = 0.0;
@@ -458,13 +855,7 @@ int DecisionTreeRegressor::BuildBinned(const Dataset& data, const BinnedView& vi
     return index;
   }
 
-  std::vector<size_t> candidates(data.num_features());
-  std::iota(candidates.begin(), candidates.end(), size_t{0});
-  if (options_.features_per_split > 0 &&
-      options_.features_per_split < candidates.size()) {
-    rng_.Shuffle(candidates);
-    candidates.resize(options_.features_per_split);
-  }
+  const std::vector<size_t> candidates = SplitCandidates(data.num_features(), path);
 
   double best_gain = 1e-12;
   int best_feature = -1;
@@ -527,8 +918,9 @@ int DecisionTreeRegressor::BuildBinned(const Dataset& data, const BinnedView& vi
     return static_cast<int>(codes[row]) <= best_bin;
   });
   const auto n_left_rows = static_cast<size_t>(mid - rows.begin());
-  const int left = BuildBinned(data, view, rows.first(n_left_rows), depth + 1);
-  const int right = BuildBinned(data, view, rows.subspan(n_left_rows), depth + 1);
+  const int left = BuildBinned(data, view, rows.first(n_left_rows), depth + 1, path * 2);
+  const int right =
+      BuildBinned(data, view, rows.subspan(n_left_rows), depth + 1, path * 2 + 1);
   Node& node = nodes_[static_cast<size_t>(index)];
   node.leaf = false;
   node.feature = best_feature;
@@ -539,7 +931,7 @@ int DecisionTreeRegressor::BuildBinned(const Dataset& data, const BinnedView& vi
 }
 
 int DecisionTreeRegressor::BuildExact(const Dataset& data, std::vector<size_t>& rows,
-                                      int depth) {
+                                      int depth, uint64_t path) {
   const int index = static_cast<int>(nodes_.size());
   nodes_.emplace_back();
   double sum = 0.0;
@@ -557,13 +949,7 @@ int DecisionTreeRegressor::BuildExact(const Dataset& data, std::vector<size_t>& 
     return index;
   }
 
-  std::vector<size_t> candidates(data.num_features());
-  std::iota(candidates.begin(), candidates.end(), size_t{0});
-  if (options_.features_per_split > 0 &&
-      options_.features_per_split < candidates.size()) {
-    rng_.Shuffle(candidates);
-    candidates.resize(options_.features_per_split);
-  }
+  const std::vector<size_t> candidates = SplitCandidates(data.num_features(), path);
 
   double best_gain = 1e-12;
   int best_feature = -1;
@@ -619,8 +1005,8 @@ int DecisionTreeRegressor::BuildExact(const Dataset& data, std::vector<size_t>& 
   }
   rows.clear();
   rows.shrink_to_fit();
-  const int left = BuildExact(data, left_rows, depth + 1);
-  const int right = BuildExact(data, right_rows, depth + 1);
+  const int left = BuildExact(data, left_rows, depth + 1, path * 2);
+  const int right = BuildExact(data, right_rows, depth + 1, path * 2 + 1);
   Node& node = nodes_[static_cast<size_t>(index)];
   node.leaf = false;
   node.feature = best_feature;

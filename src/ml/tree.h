@@ -22,9 +22,24 @@
 
 namespace ml {
 
+class FeatureStore;
+
 enum class SplitMode {
   kHistogram,  // Binned histogram scan (fast path).
   kExact,      // Sort-based exact search (reference path).
+};
+
+// How the per-split candidate-feature subset is drawn when
+// features_per_split is active.
+enum class FeatureSample {
+  // Legacy default: one RNG stream consumed in depth-first build order. The
+  // draw a node sees depends on how many nodes were built before it.
+  kSequential,
+  // Per-node stream keyed by (tree seed, heap path id: root 1, children
+  // 2p / 2p+1). A node's draw depends only on its position, so depth-first
+  // and level-wise (streaming) builds choose identical candidates — the
+  // property TrainStreaming's bit-identity rests on.
+  kStableByNode,
 };
 
 struct TreeOptions {
@@ -35,21 +50,36 @@ struct TreeOptions {
   SplitMode split_mode = SplitMode::kHistogram;
   // Histogram mode: bins per feature (clamped to [2, 256]).
   uint16_t max_bins = BinnedView::kDefaultBins;
+  FeatureSample feature_sample = FeatureSample::kSequential;
 };
 
 class DecisionTreeClassifier : public Classifier {
  public:
   explicit DecisionTreeClassifier(TreeOptions options = {}, uint64_t seed = 1)
-      : options_(options), rng_(seed) {}
+      : options_(options), rng_(seed), seed_(seed) {}
 
   void Train(const Dataset& data) override;
   void TrainIndexed(const Dataset& data, std::span<const size_t> rows) override;
+  // Out-of-core training over a finished FeatureStore (classification with
+  // codes required): a level-wise histogram build that streams the store's
+  // uint8 code chunks, touching one chunk at a time. `multiplicity[row]` is
+  // how many times the row appears in the (bootstrap) sample; empty means
+  // every row once. Bit-identical to TrainIndexed on the equivalent row
+  // multiset when feature_sample == kStableByNode (class counts are
+  // integer-valued doubles, so accumulation order cannot perturb them).
+  void TrainStreaming(const FeatureStore& store);
+  void TrainStreaming(const FeatureStore& store,
+                      std::span<const uint32_t> multiplicity);
   std::vector<double> PredictProba(std::span<const double> x) const override;
   std::string Name() const override { return "decision-tree"; }
   std::vector<std::pair<std::string, double>> FeatureImportance() const override;
 
   int node_count() const { return static_cast<int>(nodes_.size()); }
   int depth() const;
+  // crc64 over the node array (structure, thresholds, leaf distributions):
+  // equal digests mean bit-identical trees. Used by the streamed-vs-indexed
+  // equivalence tests and the bench's mismatch gate.
+  uint64_t StructureDigest() const;
 
  private:
   struct Node {
@@ -62,16 +92,21 @@ class DecisionTreeClassifier : public Classifier {
     int depth = 0;
   };
 
-  int BuildExact(const Dataset& data, std::vector<size_t>& rows, int depth);
+  int BuildExact(const Dataset& data, std::vector<size_t>& rows, int depth,
+                 uint64_t path);
   // Histogram path: partitions `rows` in place and recurses on sub-spans.
   int BuildBinned(const Dataset& data, const BinnedView& view,
-                  std::span<size_t> rows, int depth);
+                  std::span<size_t> rows, int depth, uint64_t path);
+  // Candidate features for the split at heap path `path`, per
+  // options_.feature_sample.
+  std::vector<size_t> SplitCandidates(size_t num_features, uint64_t path);
   std::vector<double> Distribution(const Dataset& data,
                                    std::span<const size_t> rows) const;
   static double Gini(const std::vector<double>& distribution);
 
   TreeOptions options_;
   support::Rng rng_;
+  uint64_t seed_ = 1;
   std::vector<Node> nodes_;
   std::vector<std::string> feature_names_;
   std::vector<double> importance_;  // Gini decrease per feature.
@@ -90,11 +125,21 @@ class RandomForestClassifier : public Classifier {
 
   void Train(const Dataset& data) override;
   void TrainIndexed(const Dataset& data, std::span<const size_t> rows) override;
+  // Out-of-core forest training over a finished FeatureStore: per-tree
+  // bootstrap draws replicate TrainIndexed's RNG call sequence exactly
+  // (row multiplicities instead of an index list), and every tree trains
+  // with DecisionTreeClassifier::TrainStreaming. feature_sample is forced
+  // to kStableByNode; the result is bit-identical to TrainIndexed over the
+  // materialised store with that same setting, at any CLAIR_THREADS.
+  void TrainStreaming(const FeatureStore& store);
   std::vector<double> PredictProba(std::span<const double> x) const override;
   std::vector<std::vector<double>> PredictProbaBatch(
       const std::vector<std::vector<double>>& rows) const override;
   std::string Name() const override { return "random-forest"; }
   std::vector<std::pair<std::string, double>> FeatureImportance() const override;
+
+  // Combined crc64 of every member tree's StructureDigest.
+  uint64_t StructureDigest() const;
 
  private:
   ForestOptions options_;
@@ -106,7 +151,7 @@ class RandomForestClassifier : public Classifier {
 class DecisionTreeRegressor : public Regressor {
  public:
   explicit DecisionTreeRegressor(TreeOptions options = {}, uint64_t seed = 1)
-      : options_(options), rng_(seed) {}
+      : options_(options), rng_(seed), seed_(seed) {}
 
   void Train(const Dataset& data) override;
   void TrainIndexed(const Dataset& data, std::span<const size_t> rows) override;
@@ -124,12 +169,15 @@ class DecisionTreeRegressor : public Regressor {
     double value = 0.0;  // Leaf mean.
   };
 
-  int BuildExact(const Dataset& data, std::vector<size_t>& rows, int depth);
+  int BuildExact(const Dataset& data, std::vector<size_t>& rows, int depth,
+                 uint64_t path);
   int BuildBinned(const Dataset& data, const BinnedView& view,
-                  std::span<size_t> rows, int depth);
+                  std::span<size_t> rows, int depth, uint64_t path);
+  std::vector<size_t> SplitCandidates(size_t num_features, uint64_t path);
 
   TreeOptions options_;
   support::Rng rng_;
+  uint64_t seed_ = 1;
   std::vector<Node> nodes_;
   std::vector<std::string> feature_names_;
   std::vector<double> importance_;

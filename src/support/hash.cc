@@ -1,0 +1,44 @@
+#include "src/support/hash.h"
+
+#include <array>
+
+namespace support {
+namespace {
+
+// Reflected CRC-64/ECMA-182 byte table, built once at first use. The
+// reflected polynomial of 0x42F0E1EBA9EA3693 is 0xC96C5795D7870F42.
+constexpr uint64_t kPolyReflected = 0xC96C5795D7870F42ull;
+
+std::array<uint64_t, 256> BuildTable() {
+  std::array<uint64_t, 256> table{};
+  for (uint64_t byte = 0; byte < 256; ++byte) {
+    uint64_t crc = byte;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) != 0 ? (crc >> 1) ^ kPolyReflected : crc >> 1;
+    }
+    table[byte] = crc;
+  }
+  return table;
+}
+
+const std::array<uint64_t, 256>& Table() {
+  static const std::array<uint64_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint64_t Crc64Update(uint64_t state, const void* data, size_t size) {
+  const auto& table = Table();
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    state = table[(state ^ bytes[i]) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+uint64_t Crc64(const void* data, size_t size) {
+  return Crc64Finish(Crc64Update(kCrc64Init, data, size));
+}
+
+}  // namespace support

@@ -1,0 +1,28 @@
+// Content hashes used for on-disk integrity checking.
+//
+// Crc64 implements CRC-64/ECMA-182 (poly 0x42F0E1EBA9EA3693, reflected form)
+// with a lazily built 8-bit lookup table. The feature store frames every
+// on-disk block with a crc64 of its payload so a torn write or bit flip is
+// detected at open time instead of corrupting training downstream; keeping
+// the routine in src/support lets src/ml depend on it without pulling in the
+// clair layer (whose checkpoint files use their own Fnv1a64 brand).
+#ifndef SRC_SUPPORT_HASH_H_
+#define SRC_SUPPORT_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace support {
+
+// CRC-64 (ECMA-182 polynomial, reflected), one-shot over a buffer.
+uint64_t Crc64(const void* data, size_t size);
+
+// Incremental form: start from kCrc64Init, fold buffers in any split, then
+// finalize. Crc64(p, n) == Crc64Finish(Crc64Update(kCrc64Init, p, n)).
+inline constexpr uint64_t kCrc64Init = ~0ull;
+uint64_t Crc64Update(uint64_t state, const void* data, size_t size);
+inline uint64_t Crc64Finish(uint64_t state) { return ~state; }
+
+}  // namespace support
+
+#endif  // SRC_SUPPORT_HASH_H_
