@@ -9,11 +9,13 @@
 // google-benchmark timing loops, and still writes the JSON (the ctest
 // `mlperf` label runs this mode).
 #include <benchmark/benchmark.h>
+#include <sys/stat.h>
 
 #include <chrono>
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -21,6 +23,8 @@
 #include "bench/common.h"
 #include "src/clair/evaluator.h"
 #include "src/clair/pipeline.h"
+#include "src/clair/serialize.h"
+#include "src/clair/shard.h"
 #include "src/clair/testbed.h"
 #include "src/corpus/codegen.h"
 #include "src/dataflow/analyses.h"
@@ -78,6 +82,25 @@ class JsonSink {
         static_cast<unsigned long long>(report.TotalFailures()),
         static_cast<unsigned long long>(report.TotalDegraded()));
   }
+  void AddShardSweep(int workers, double seconds, double apps_per_sec,
+                     bool identical) {
+    shard_sweep_.push_back(support::Format(
+        "    {\"workers\": %d, \"seconds\": %.3f, \"apps_per_sec\": %.2f, "
+        "\"merge_identical\": %s}",
+        workers, seconds, apps_per_sec, identical ? "true" : "false"));
+  }
+  void SetShardChaos(const std::string& faults, const clair::ShardSweepStats& stats,
+                     bool identical) {
+    shard_chaos_ = support::Format(
+        "{\"faults\": \"%s\", \"worker_crashes\": %llu, \"shards_stolen\": %llu, "
+        "\"leases_revoked\": %llu, \"dropped_blocks\": %llu, "
+        "\"merge_identical\": %s}",
+        faults.c_str(), static_cast<unsigned long long>(stats.worker_crashes),
+        static_cast<unsigned long long>(stats.shards_stolen),
+        static_cast<unsigned long long>(stats.leases_revoked),
+        static_cast<unsigned long long>(stats.checkpoint_dropped_blocks),
+        identical ? "true" : "false");
+  }
 
   bool Write(const std::string& path) const {
     benchcommon::JsonSink sink;
@@ -91,8 +114,14 @@ class JsonSink {
     if (!robustness_.empty()) {
       sink.AddRaw("robustness", robustness_);
     }
+    if (!shard_chaos_.empty()) {
+      sink.AddRaw("shard_chaos", shard_chaos_);
+    }
     sink.AddRaw("stages", JoinArray(stages_));
     sink.AddRaw("thread_sweep", JoinArray(sweep_));
+    if (!shard_sweep_.empty()) {
+      sink.AddRaw("shard_sweep", JoinArray(shard_sweep_));
+    }
     return sink.WriteTo(path);
   }
 
@@ -109,9 +138,11 @@ class JsonSink {
 
   std::vector<std::string> stages_;
   std::vector<std::string> sweep_;
+  std::vector<std::string> shard_sweep_;
   std::string training_;
   std::string dataflow_;
   std::string robustness_;
+  std::string shard_chaos_;
 };
 
 class Fixture {
@@ -499,6 +530,118 @@ void PrintRobustness(bool smoke, JsonSink& json) {
   json.SetRobustness(faults, report);
 }
 
+// Sharded fleet sweeps: the simulated-transport coordinator at 1..N
+// workers, plus one seeded kill-schedule run. Every configuration's merged
+// records AND merged function-row store must byte-equal the 1-process
+// sweep — a mismatch fails the bench (exit 1), because a merge that loses
+// or reorders rows silently would invalidate every fleet-scale dataset.
+bool PrintShardScaling(bool smoke, JsonSink& json) {
+  benchcommon::PrintHeader("Sharded fleet sweeps",
+                           "supervised shard workers, crash-consistent merge");
+  const auto ecosystem = smoke
+                             ? benchcommon::MakeEcosystem(0.01, 24, 4)
+                             : benchcommon::MakeEcosystem(benchcommon::EnvScale(0.01));
+  const std::string work_dir = "BENCH_shard_work";
+  ::mkdir(work_dir.c_str(), 0755);
+  clair::TestbedOptions testbed_options;
+  testbed_options.deep_analysis_max_files = 1;
+  testbed_options.cache_features = false;
+
+  // 1-process reference: the bytes every sharded run must reproduce.
+  const clair::Testbed reference(ecosystem, testbed_options);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto expected_records = reference.Collect();
+  const double reference_seconds = Seconds(t0, std::chrono::steady_clock::now());
+  const std::string expected_bytes = clair::SaveRecords(expected_records);
+  const std::string baseline_store_path = work_dir + "/baseline.clfs";
+  std::string expected_store;
+  {
+    auto writer = ml::FeatureStoreWriter::Create(
+        baseline_store_path, metrics::FunctionFeatureNames(),
+        clair::FunctionClassNames(), ml::FeatureStoreOptions{});
+    if (!writer.ok() || !reference.CollectFunctionRows(*writer.value()).ok() ||
+        !writer.value()->Finish().ok()) {
+      std::fprintf(stderr, "shard bench: baseline store failed\n");
+      return false;
+    }
+    std::ifstream in(baseline_store_path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    expected_store = buffer.str();
+  }
+
+  const auto run_config = [&](int workers, const char* subdir) {
+    clair::ShardSweepOptions options;
+    options.num_shards = 8;
+    options.num_workers = workers;
+    options.work_dir = work_dir + "/" + subdir;
+    ::mkdir(options.work_dir.c_str(), 0755);
+    options.testbed = testbed_options;
+    clair::ShardCoordinator coordinator(ecosystem, options);
+    const auto start = std::chrono::steady_clock::now();
+    auto result = coordinator.Run();
+    const double seconds = Seconds(start, std::chrono::steady_clock::now());
+    bool identical = false;
+    clair::ShardSweepStats stats;
+    if (result.ok()) {
+      stats = result.value().stats;
+      std::ifstream in(result.value().store_path, std::ios::binary);
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      identical = clair::SaveRecords(result.value().records) == expected_bytes &&
+                  buffer.str() == expected_store;
+      std::remove(result.value().store_path.c_str());
+    }
+    return std::make_tuple(seconds, identical, stats);
+  };
+
+  bool all_identical = true;
+  const size_t apps = expected_records.size();
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"1-process", support::Format("%.2f s", reference_seconds),
+                  support::Format("%.1f", static_cast<double>(apps) / reference_seconds),
+                  "-", "reference"});
+  for (const int workers : smoke ? std::vector<int>{1, 3} : std::vector<int>{1, 2, 4}) {
+    const auto [seconds, identical, stats] =
+        run_config(workers, support::Format("w%d", workers).c_str());
+    all_identical = all_identical && identical;
+    rows.push_back({support::Format("%d workers", workers),
+                    support::Format("%.2f s", seconds),
+                    support::Format("%.1f", static_cast<double>(apps) / seconds),
+                    support::Format("%llu", static_cast<unsigned long long>(
+                                                stats.generations_launched)),
+                    identical ? "yes" : "NO"});
+    json.AddShardSweep(workers, seconds, static_cast<double>(apps) / seconds,
+                       identical);
+  }
+  // One seeded kill schedule on top: crashes, steals, torn checkpoint
+  // tails — and still the same bytes.
+  const std::string chaos_faults = "worker_crash:0.5,heartbeat_loss:0.2,seed:17";
+  {
+    support::FaultInjector::ScopedConfig scoped(chaos_faults);
+    const auto [seconds, identical, stats] = run_config(3, "chaos");
+    all_identical = all_identical && identical;
+    rows.push_back({"3 workers + chaos", support::Format("%.2f s", seconds),
+                    support::Format("%.1f", static_cast<double>(apps) / seconds),
+                    support::Format("%llu", static_cast<unsigned long long>(
+                                                stats.generations_launched)),
+                    identical ? "yes" : "NO"});
+    json.SetShardChaos(chaos_faults, stats, identical);
+  }
+  std::remove(baseline_store_path.c_str());
+  std::printf("%zu apps, 8 shards, simulated transport; chaos row runs under\n"
+              "CLAIR_FAULTS=\"%s\"\n\n",
+              apps, chaos_faults.c_str());
+  std::printf("%s\n",
+              report::RenderTable({"configuration", "sweep + merge", "apps/sec",
+                                   "generations", "bytes == 1-process"},
+                                  rows)
+                  .c_str());
+  std::printf("merge determinism is load-bearing: records, function-row store and\n"
+              "robustness fold must byte-equal the 1-process sweep (DESIGN.md s8).\n\n");
+  return all_identical;
+}
+
 void BM_EvaluateSubject(benchmark::State& state) {
   auto& fixture = Fixture::Get();
   const clair::SecurityEvaluator evaluator(fixture.model(), fixture.testbed());
@@ -536,6 +679,7 @@ int main(int argc, char** argv) {
   PrintThreadScaling(smoke, json);
   PrintCacheEffect(smoke, json);
   PrintRobustness(smoke, json);
+  const bool shards_identical = PrintShardScaling(smoke, json);
   if (!smoke) {
     PrintLatencies(json);
   }
@@ -544,6 +688,10 @@ int main(int argc, char** argv) {
     std::printf("wrote %s\n", json_path);
   } else {
     std::fprintf(stderr, "failed to write %s\n", json_path);
+    return 1;
+  }
+  if (!shards_identical) {
+    std::fprintf(stderr, "sharded merge does not match the 1-process sweep\n");
     return 1;
   }
   if (!smoke) {

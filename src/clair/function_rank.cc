@@ -9,18 +9,9 @@
 #include "src/support/thread_pool.h"
 
 namespace clair {
-namespace {
 
-struct FunctionRow {
-  std::string name;
-  std::vector<double> values;
-  double target = 0.0;
-};
-
-// One app's rows, in file order then declaration order — the same order a
-// serial sweep would produce.
-std::vector<FunctionRow> ExtractAppRows(const corpus::EcosystemGenerator& ecosystem,
-                                        const corpus::AppSpec& spec) {
+std::vector<FunctionRow> ExtractAppFunctionRows(
+    const corpus::EcosystemGenerator& ecosystem, const corpus::AppSpec& spec) {
   std::vector<FunctionRow> rows;
   const auto files = ecosystem.GenerateSourcesProfiled(spec);
   const auto attribution = ecosystem.AttributeCves(spec, files);
@@ -46,8 +37,6 @@ std::vector<FunctionRow> ExtractAppRows(const corpus::EcosystemGenerator& ecosys
   }
   return rows;
 }
-
-}  // namespace
 
 std::vector<std::string> FunctionClassNames() { return {"benign", "vulnerable"}; }
 
@@ -79,7 +68,7 @@ support::Result<FunctionCorpusStats> CollectFunctionRows(
     const size_t count = std::min(wave, specs.size() - base);
     const auto batches =
         pool.ParallelMap<std::vector<FunctionRow>>(count, [&](size_t i) {
-          return ExtractAppRows(ecosystem, *specs[base + i]);
+          return ExtractAppFunctionRows(ecosystem, *specs[base + i]);
         });
     for (const auto& batch : batches) {
       if (!batch.empty()) {

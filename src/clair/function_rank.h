@@ -34,6 +34,22 @@ struct FunctionCorpusStats {
   size_t positives = 0;  // Functions with >= 1 attributed CVE.
 };
 
+// One function-granular labelled row: name "app/src/file.c::function",
+// values parallel to metrics::FunctionFeatureNames(), target 1.0 iff the
+// generator attributed a CVE to the function.
+struct FunctionRow {
+  std::string name;
+  std::vector<double> values;
+  double target = 0.0;
+};
+
+// One app's rows, in file order then declaration order — the same order a
+// serial sweep would produce. Deterministic per app and independent of who
+// calls it (the wave-parallel collector below and the shard worker both
+// stream from this, so their stores are byte-identical).
+std::vector<FunctionRow> ExtractAppFunctionRows(
+    const corpus::EcosystemGenerator& ecosystem, const corpus::AppSpec& spec);
+
 struct FunctionRankOptions {
   double min_history_years = 5.0;  // Same selection policy as Testbed.
   // Worker count for per-app extraction (0 = process default, 1 = serial).

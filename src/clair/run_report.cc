@@ -1,9 +1,47 @@
 #include "src/clair/run_report.h"
 
+#include <limits>
+
 #include "src/clair/testbed.h"
 #include "src/support/strings.h"
 
 namespace clair {
+namespace {
+
+uint64_t SatAdd(uint64_t a, uint64_t b) {
+  const uint64_t sum = a + b;
+  return sum < a ? std::numeric_limits<uint64_t>::max() : sum;
+}
+
+}  // namespace
+
+void StageReport::Merge(const StageReport& other) {
+  attempts = SatAdd(attempts, other.attempts);
+  failures = SatAdd(failures, other.failures);
+  injected = SatAdd(injected, other.injected);
+  timeouts = SatAdd(timeouts, other.timeouts);
+  retries = SatAdd(retries, other.retries);
+  recovered = SatAdd(recovered, other.recovered);
+  degraded = SatAdd(degraded, other.degraded);
+  wall_seconds += other.wall_seconds;
+}
+
+void RunReport::Merge(const RunReport& other) {
+  for (const auto& [name, stage] : other.stages) {
+    stages[name].Merge(stage);
+  }
+  apps_total = SatAdd(apps_total, other.apps_total);
+  apps_from_checkpoint = SatAdd(apps_from_checkpoint, other.apps_from_checkpoint);
+  rows_from_cache = SatAdd(rows_from_cache, other.rows_from_cache);
+  checkpoint_appends = SatAdd(checkpoint_appends, other.checkpoint_appends);
+  cache_misses = SatAdd(cache_misses, other.cache_misses);
+  cache_entries = SatAdd(cache_entries, other.cache_entries);
+  cache_coalesced_fills = SatAdd(cache_coalesced_fills, other.cache_coalesced_fills);
+  cache_integrity_rejects =
+      SatAdd(cache_integrity_rejects, other.cache_integrity_rejects);
+  checkpoint_dropped_blocks =
+      SatAdd(checkpoint_dropped_blocks, other.checkpoint_dropped_blocks);
+}
 
 uint64_t RunReport::TotalFailures() const {
   uint64_t total = 0;
@@ -38,11 +76,12 @@ std::string RunReport::ToString() const {
   }
   out += support::Format(
       "apps=%llu resumed_from_checkpoint=%llu checkpoint_appends=%llu "
-      "rows_from_cache=%llu cache_misses=%llu cache_entries=%llu "
-      "cache_coalesced_fills=%llu cache_integrity_rejects=%llu\n",
+      "checkpoint_dropped=%llu rows_from_cache=%llu cache_misses=%llu "
+      "cache_entries=%llu cache_coalesced_fills=%llu cache_integrity_rejects=%llu\n",
       static_cast<unsigned long long>(apps_total),
       static_cast<unsigned long long>(apps_from_checkpoint),
       static_cast<unsigned long long>(checkpoint_appends),
+      static_cast<unsigned long long>(checkpoint_dropped_blocks),
       static_cast<unsigned long long>(rows_from_cache),
       static_cast<unsigned long long>(cache_misses),
       static_cast<unsigned long long>(cache_entries),
@@ -73,6 +112,140 @@ RunReport SummarizeRecordRobustness(const std::vector<AppRecord>& records) {
         stage.retries += count;
       }
     }
+  }
+  return report;
+}
+
+std::string SaveRunReport(const RunReport& report) {
+  std::string out = "[run_report]\n";
+  for (const auto& [name, s] : report.stages) {
+    const auto field = [&](const char* key, uint64_t value) {
+      out += support::Format("stage.%s.%s=%llu\n", name.c_str(), key,
+                             static_cast<unsigned long long>(value));
+    };
+    field("attempts", s.attempts);
+    field("failures", s.failures);
+    field("injected", s.injected);
+    field("timeouts", s.timeouts);
+    field("retries", s.retries);
+    field("recovered", s.recovered);
+    field("degraded", s.degraded);
+    out += support::Format("stage.%s.wall_seconds=%.17g\n", name.c_str(),
+                           s.wall_seconds);
+  }
+  const auto counter = [&](const char* key, uint64_t value) {
+    out += support::Format("%s=%llu\n", key, static_cast<unsigned long long>(value));
+  };
+  counter("apps_total", report.apps_total);
+  counter("apps_from_checkpoint", report.apps_from_checkpoint);
+  counter("rows_from_cache", report.rows_from_cache);
+  counter("checkpoint_appends", report.checkpoint_appends);
+  counter("cache_misses", report.cache_misses);
+  counter("cache_entries", report.cache_entries);
+  counter("cache_coalesced_fills", report.cache_coalesced_fills);
+  counter("cache_integrity_rejects", report.cache_integrity_rejects);
+  counter("checkpoint_dropped_blocks", report.checkpoint_dropped_blocks);
+  return out;
+}
+
+support::Result<RunReport> LoadRunReport(std::string_view text) {
+  using support::Error;
+  RunReport report;
+  bool saw_header = false;
+  int line_no = 0;
+  for (const auto& raw_line : support::Split(text, '\n')) {
+    ++line_no;
+    const auto line = support::Trim(raw_line);
+    if (line.empty()) {
+      continue;
+    }
+    if (line == "[run_report]") {
+      saw_header = true;
+      continue;
+    }
+    const size_t eq = line.find('=');
+    if (!saw_header || eq == std::string_view::npos) {
+      return Error(Error::Code::kParseError,
+                   support::Format("line %d: malformed run report", line_no));
+    }
+    const std::string key(line.substr(0, eq));
+    const std::string value(line.substr(eq + 1));
+    const auto bad = [&]() -> Error {
+      return Error(Error::Code::kParseError,
+                   support::Format("line %d: bad value for '%s'", line_no, key.c_str()));
+    };
+    if (support::StartsWith(key, "stage.")) {
+      const std::string tail = key.substr(6);
+      const size_t dot = tail.rfind('.');
+      if (dot == std::string::npos) {
+        return bad();
+      }
+      StageReport& stage = report.stages[tail.substr(0, dot)];
+      const std::string field = tail.substr(dot + 1);
+      if (field == "wall_seconds") {
+        const auto parsed = support::ParseDouble(value);
+        if (!parsed) {
+          return bad();
+        }
+        stage.wall_seconds = *parsed;
+        continue;
+      }
+      const auto parsed = support::ParseInt(value);
+      if (!parsed || *parsed < 0) {
+        return bad();
+      }
+      const auto count = static_cast<uint64_t>(*parsed);
+      if (field == "attempts") {
+        stage.attempts = count;
+      } else if (field == "failures") {
+        stage.failures = count;
+      } else if (field == "injected") {
+        stage.injected = count;
+      } else if (field == "timeouts") {
+        stage.timeouts = count;
+      } else if (field == "retries") {
+        stage.retries = count;
+      } else if (field == "recovered") {
+        stage.recovered = count;
+      } else if (field == "degraded") {
+        stage.degraded = count;
+      } else {
+        return Error(Error::Code::kParseError,
+                     support::Format("line %d: unknown stage field '%s'", line_no,
+                                     field.c_str()));
+      }
+      continue;
+    }
+    const auto parsed = support::ParseInt(value);
+    if (!parsed || *parsed < 0) {
+      return bad();
+    }
+    const auto count = static_cast<uint64_t>(*parsed);
+    if (key == "apps_total") {
+      report.apps_total = count;
+    } else if (key == "apps_from_checkpoint") {
+      report.apps_from_checkpoint = count;
+    } else if (key == "rows_from_cache") {
+      report.rows_from_cache = count;
+    } else if (key == "checkpoint_appends") {
+      report.checkpoint_appends = count;
+    } else if (key == "cache_misses") {
+      report.cache_misses = count;
+    } else if (key == "cache_entries") {
+      report.cache_entries = count;
+    } else if (key == "cache_coalesced_fills") {
+      report.cache_coalesced_fills = count;
+    } else if (key == "cache_integrity_rejects") {
+      report.cache_integrity_rejects = count;
+    } else if (key == "checkpoint_dropped_blocks") {
+      report.checkpoint_dropped_blocks = count;
+    } else {
+      return Error(Error::Code::kParseError,
+                   support::Format("line %d: unknown key '%s'", line_no, key.c_str()));
+    }
+  }
+  if (!saw_header) {
+    return Error(Error::Code::kParseError, "missing [run_report] header");
   }
   return report;
 }

@@ -20,7 +20,10 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "src/support/result.h"
 
 namespace clair {
 
@@ -35,6 +38,10 @@ struct StageReport {
   uint64_t recovered = 0;  // Stages that succeeded on a retry.
   uint64_t degraded = 0;   // Stages downgraded to neutral features.
   double wall_seconds = 0.0;
+
+  // Per-counter saturating sum (the shard coordinator folds many worker
+  // reports; a poisoned counter must clamp, not wrap into a small lie).
+  void Merge(const StageReport& other);
 };
 
 struct RunReport {
@@ -51,9 +58,20 @@ struct RunReport {
   // in-flight requests onto one cache fill.
   uint64_t cache_coalesced_fills = 0;
   uint64_t cache_integrity_rejects = 0;
+  // Checkpoint blocks dropped at resume time — corrupt payloads (crc
+  // mismatch, unparseable section) or a torn tail from a mid-write kill.
+  // Those apps are recomputed, never lost, but the damage is surfaced here
+  // instead of being silently skipped.
+  uint64_t checkpoint_dropped_blocks = 0;
 
   uint64_t TotalFailures() const;
   uint64_t TotalDegraded() const;
+
+  // Folds `other` into this report: per-stage taxonomy counters and the
+  // sweep-level counters combine with saturating sums (wall-clock adds as a
+  // double). The shard coordinator uses this to collapse per-worker reports
+  // into one fleet report.
+  void Merge(const RunReport& other);
 
   // Human-readable table (one line per stage plus sweep totals).
   std::string ToString() const;
@@ -63,6 +81,12 @@ struct RunReport {
 // counters into a report. Attempt counts and wall-clock are only known to
 // the extracting process, so those fields stay zero here.
 RunReport SummarizeRecordRobustness(const std::vector<AppRecord>& records);
+
+// Text round-trip for shipping a report across a process boundary (a shard
+// worker leaves its report next to its checkpoint; the coordinator folds
+// it). Line-based `key=value`, doubles at %.17g, deterministic order.
+std::string SaveRunReport(const RunReport& report);
+support::Result<RunReport> LoadRunReport(std::string_view text);
 
 }  // namespace clair
 

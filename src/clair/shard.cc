@@ -1,0 +1,409 @@
+#include "src/clair/shard.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "src/clair/feature_cache.h"
+#include "src/clair/serialize.h"
+#include "src/support/fault_injection.h"
+#include "src/support/lease.h"
+#include "src/support/strings.h"
+
+namespace clair {
+
+namespace {
+
+using support::Error;
+using support::Result;
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return {};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Sequential reader over a finished shard store: the worker appended rows
+// in shard-app order (a sorted subset of the global order), so the merge —
+// which visits each shard's apps in that same relative order — only ever
+// moves forward. Chunks are released as the cursor leaves them, keeping
+// merge residency at one chunk per shard.
+class StoreCursor {
+ public:
+  explicit StoreCursor(ml::FeatureStore store) : store_(std::move(store)) {}
+
+  // Appends every row whose name starts with `app` + "/" to `writer`.
+  // Returns the number of rows forwarded (0 is normal: the app simply has
+  // no MiniC functions).
+  size_t ForwardApp(const std::string& app, ml::FeatureStoreWriter& writer) {
+    const std::string prefix = app + "/";
+    size_t forwarded = 0;
+    std::vector<double> values(store_.num_features());
+    while (chunk_ < store_.num_chunks()) {
+      const auto chunk = store_.chunk(chunk_);
+      while (row_ < chunk.rows) {
+        const std::string& name = store_.RowName(chunk.row_begin + row_);
+        if (!support::StartsWith(name, prefix)) {
+          return forwarded;
+        }
+        for (size_t f = 0; f < values.size(); ++f) {
+          values[f] = chunk.Column(f)[row_];
+        }
+        writer.Append(name, values, chunk.targets[row_]);
+        ++forwarded;
+        ++row_;
+      }
+      store_.ReleaseChunk(chunk_);
+      ++chunk_;
+      row_ = 0;
+    }
+    return forwarded;
+  }
+
+ private:
+  ml::FeatureStore store_;
+  size_t chunk_ = 0;
+  size_t row_ = 0;
+};
+
+}  // namespace
+
+struct ShardCoordinator::ShardState {
+  std::vector<std::string> apps;
+  std::string checkpoint_path;
+  int next_generation = 0;    // Generation the next (re)launch gets.
+  int finish_generation = -1; // Generation whose store/report are final.
+  int active_slot = -1;       // Transport slot holding the lease, or -1.
+  int active_generation = -1;
+  uint64_t heartbeat_seq = 0; // Per-generation beat counter (loss keys).
+  bool done = false;
+  std::vector<std::string> temp_files;
+};
+
+int ShardCoordinator::ShardOf(const std::string& app, int num_shards) {
+  if (num_shards <= 1) {
+    return 0;
+  }
+  return static_cast<int>(Fnv1a64(app) % static_cast<uint64_t>(num_shards));
+}
+
+ShardCoordinator::ShardCoordinator(const corpus::EcosystemGenerator& ecosystem,
+                                   ShardSweepOptions options,
+                                   std::unique_ptr<WorkerTransport> transport)
+    : ecosystem_(ecosystem),
+      options_(std::move(options)),
+      transport_(std::move(transport)) {
+  options_.num_shards = std::max(options_.num_shards, 1);
+  options_.num_workers = std::max(options_.num_workers, 1);
+  options_.max_generations = std::max(options_.max_generations, 1);
+  // Shard workers manage the shard checkpoint themselves; a nested testbed
+  // checkpoint would interleave two block streams in one file.
+  options_.testbed.checkpoint_path.clear();
+  if (transport_ == nullptr) {
+    transport_ = std::make_unique<SimulatedWorkerTransport>(
+        ecosystem_, options_.testbed, options_.num_workers, options_.apps_per_tick);
+  }
+}
+
+Result<ShardSweepResult> ShardCoordinator::Run() {
+  if (options_.work_dir.empty()) {
+    return Error(Error::Code::kInvalidArgument, "ShardSweepOptions.work_dir is empty");
+  }
+  ShardSweepResult result;
+  result.stats.shards = options_.num_shards;
+  result.stats.workers = transport_->max_workers();
+
+  // --- Partition: same selection policy as Testbed::Collect, same global
+  // (database-sorted) order; shard membership is a pure function of the
+  // app name.
+  const auto selected =
+      ecosystem_.database().AppsWithConvergingHistory(options_.testbed.min_history_years);
+  std::vector<std::string> global_order;
+  for (const auto& app : selected) {
+    if (ecosystem_.FindSpec(app) != nullptr) {
+      global_order.push_back(app);
+    }
+  }
+  std::vector<ShardState> shards(options_.num_shards);
+  for (int k = 0; k < options_.num_shards; ++k) {
+    shards[k].checkpoint_path =
+        options_.work_dir + support::Format("/shard_%d.ckpt", k);
+  }
+  for (const auto& app : global_order) {
+    shards[ShardOf(app, options_.num_shards)].apps.push_back(app);
+  }
+
+  const std::string fault_config = support::FaultInjector::Global().ConfigString();
+  auto store_path_for = [&](int shard, int generation) {
+    return options_.work_dir + support::Format("/shard_%d.g%d.clfs", shard, generation);
+  };
+  auto report_path_for = [&](int shard, int generation) {
+    return options_.work_dir +
+           support::Format("/shard_%d.g%d.report", shard, generation);
+  };
+  auto make_task = [&](int shard, int generation, bool allow_crash) {
+    ShardTask task;
+    task.shard = shard;
+    task.generation = generation;
+    task.apps = shards[shard].apps;
+    task.checkpoint_path = shards[shard].checkpoint_path;
+    if (options_.collect_function_rows) {
+      task.store_path = store_path_for(shard, generation);
+    }
+    task.report_path = report_path_for(shard, generation);
+    task.allow_crash = allow_crash;
+    task.fault_config = fault_config;
+    shards[shard].temp_files.push_back(task.checkpoint_path);
+    if (!task.store_path.empty()) {
+      shards[shard].temp_files.push_back(task.store_path);
+    }
+    shards[shard].temp_files.push_back(task.report_path);
+    // The fork transport drops the task file next to the checkpoint.
+    shards[shard].temp_files.push_back(
+        task.checkpoint_path + support::Format(".g%d.task", generation));
+    return task;
+  };
+  // Last-resort path: the coordinator sweeps the shard itself, crash
+  // injection off — this is what bounds every fault schedule, including
+  // worker_crash:1, to a finite run.
+  auto run_inline = [&](int shard) -> Result<int> {
+    const int generation = shards[shard].next_generation++;
+    ++result.stats.generations_launched;
+    ++result.stats.inline_fallbacks;
+    auto run = ShardWorkerRun::Create(ecosystem_, options_.testbed,
+                                      make_task(shard, generation, false));
+    if (!run.ok()) {
+      return run.error().Wrap("inline shard fallback");
+    }
+    while (run.value()->Step() == ShardWorkerRun::Status::kRunning) {
+    }
+    if (run.value()->status() != ShardWorkerRun::Status::kDone) {
+      return Error(Error::Code::kInternal,
+                   support::Format("inline fallback for shard %d failed", shard));
+    }
+    return generation;
+  };
+
+  // --- Supervise: leases on a logical clock, one tick per transport poll.
+  support::LeaseClock clock;
+  support::LeaseTable leases(static_cast<uint64_t>(
+      options_.lease_ttl_ticks < 1 ? 1 : options_.lease_ttl_ticks));
+  std::deque<int> queue;
+  for (int k = 0; k < options_.num_shards; ++k) {
+    if (shards[k].apps.empty()) {
+      shards[k].done = true;  // Empty shard: nothing to sweep or merge.
+    } else {
+      queue.push_back(k);
+    }
+  }
+  std::unordered_map<int, int> slot_to_shard;
+  const auto& faults = support::FaultInjector::Global();
+  // Hang backstop, far beyond any legitimate schedule: generations are
+  // structurally capped at shards * max_generations, every app processed
+  // costs at most ~TTL ticks of heartbeat slack, and everything else
+  // expires within one TTL window. Tripping this means a supervision bug,
+  // and an error beats a hung test run.
+  const uint64_t tick_cap =
+      1000 + (static_cast<uint64_t>(options_.lease_ttl_ticks) + 64) *
+                 (static_cast<uint64_t>(options_.num_shards) *
+                      static_cast<uint64_t>(options_.max_generations) +
+                  4 * (static_cast<uint64_t>(global_order.size()) + 1));
+
+  while (!queue.empty() || !slot_to_shard.empty()) {
+    // Fill free slots in queue order; shards past the generation cap run
+    // inline instead of spawning.
+    while (!queue.empty() &&
+           static_cast<int>(slot_to_shard.size()) < transport_->max_workers()) {
+      const int shard = queue.front();
+      queue.pop_front();
+      if (shards[shard].next_generation >= options_.max_generations) {
+        auto finished = run_inline(shard);
+        if (!finished.ok()) {
+          return finished.error();
+        }
+        shards[shard].finish_generation = finished.value();
+        shards[shard].done = true;
+        continue;
+      }
+      const int generation = shards[shard].next_generation++;
+      auto slot = transport_->Spawn(make_task(shard, generation, true));
+      if (!slot.ok()) {
+        return slot.error().Wrap(
+            support::Format("spawning shard %d g%d", shard, generation));
+      }
+      ++result.stats.generations_launched;
+      shards[shard].active_slot = slot.value();
+      shards[shard].active_generation = generation;
+      shards[shard].heartbeat_seq = 0;
+      slot_to_shard[slot.value()] = shard;
+      leases.Claim(shard, slot.value(), clock.now());
+    }
+
+    const uint64_t now = clock.Tick();
+    ++result.stats.ticks;
+    if (result.stats.ticks > tick_cap) {
+      return Error(Error::Code::kInternal, "shard supervision did not converge");
+    }
+    for (const auto& event : transport_->Poll()) {
+      const auto found = slot_to_shard.find(event.slot);
+      if (found == slot_to_shard.end()) {
+        continue;  // Stale event from a slot we already revoked.
+      }
+      const int shard = found->second;
+      ShardState& state = shards[shard];
+      if (event.kind == WorkerEvent::Kind::kHeartbeat) {
+        // heartbeat_loss chaos is supervisor-side: the worker is healthy,
+        // the beat just never arrives — keyed on (shard, generation, seq)
+        // so a seeded loss schedule replays on any transport.
+        const uint64_t key = support::FaultKeyMix(
+            support::FaultKeyMix(static_cast<uint64_t>(shard),
+                                 static_cast<uint64_t>(state.active_generation)),
+            state.heartbeat_seq++);
+        if (faults.ShouldFail(support::FaultSite::kHeartbeatLoss, key, 0)) {
+          ++result.stats.heartbeats_lost;
+        } else {
+          leases.Renew(shard, event.slot, now);
+        }
+        continue;
+      }
+      // Exit event: the slot is gone either way.
+      slot_to_shard.erase(found);
+      leases.Release(shard);
+      state.active_slot = -1;
+      if (event.exit_code == 0) {
+        state.finish_generation = state.active_generation;
+        state.done = true;
+      } else {
+        ++result.stats.worker_crashes;
+        ++result.stats.shards_stolen;
+        queue.push_back(shard);  // Steal: next free worker, next generation.
+      }
+      state.active_generation = -1;
+    }
+    for (const int shard : leases.Expired(now)) {
+      ShardState& state = shards[shard];
+      ++result.stats.leases_revoked;
+      ++result.stats.shards_stolen;
+      transport_->Kill(state.active_slot);
+      slot_to_shard.erase(state.active_slot);
+      leases.Release(shard);
+      state.active_slot = -1;
+      state.active_generation = -1;
+      queue.push_back(shard);
+    }
+  }
+
+  // --- Merge, in global sorted-app order. Every row is content-determined,
+  // so dedupe-by-name and the healing fallback both reproduce the exact
+  // bytes a 1-process sweep writes.
+  Testbed merge_testbed(ecosystem_, options_.testbed);
+  std::vector<std::unordered_map<std::string, AppRecord>> committed(shards.size());
+  for (size_t k = 0; k < shards.size(); ++k) {
+    if (shards[k].apps.empty()) {
+      continue;
+    }
+    CheckpointLoadStats load_stats;
+    auto records = LoadCheckpoint(ReadFileOrEmpty(shards[k].checkpoint_path),
+                                  &load_stats);
+    result.stats.checkpoint_dropped_blocks += load_stats.dropped_blocks;
+    for (auto& record : records) {
+      std::string name = record.name;
+      if (!committed[k].emplace(std::move(name), std::move(record)).second) {
+        ++result.stats.duplicate_records;
+      }
+    }
+  }
+  result.records.reserve(global_order.size());
+  for (const auto& app : global_order) {
+    const int k = ShardOf(app, options_.num_shards);
+    if (const auto it = committed[k].find(app); it != committed[k].end()) {
+      result.records.push_back(std::move(it->second));
+    } else {
+      // Destroyed by the kill schedule (torn block with no surviving
+      // generation). Recompute inline — deterministic, so the healed row is
+      // identical to what the worker would have committed.
+      const corpus::AppSpec* spec = ecosystem_.FindSpec(app);
+      result.records.push_back(merge_testbed.ExtractRecord(*spec));
+      ++result.stats.healed_records;
+    }
+  }
+
+  if (options_.collect_function_rows) {
+    result.store_path = options_.work_dir + "/fleet.clfs";
+    auto writer = ml::FeatureStoreWriter::Create(
+        result.store_path, metrics::FunctionFeatureNames(), FunctionClassNames(),
+        options_.store_options);
+    if (!writer.ok()) {
+      return writer.error().Wrap("opening fleet store");
+    }
+    // One cursor per shard over its finishing generation's store; a store
+    // that failed to open (should not happen — every shard Finish()ed) is
+    // healed app-by-app.
+    std::vector<std::unique_ptr<StoreCursor>> cursors(shards.size());
+    for (size_t k = 0; k < shards.size(); ++k) {
+      if (shards[k].apps.empty()) {
+        continue;
+      }
+      auto store = ml::FeatureStore::Open(
+          store_path_for(static_cast<int>(k), shards[k].finish_generation));
+      if (store.ok()) {
+        cursors[k] = std::make_unique<StoreCursor>(std::move(store).value());
+      }
+    }
+    for (const auto& app : global_order) {
+      const int k = ShardOf(app, options_.num_shards);
+      if (cursors[k] != nullptr) {
+        result.stats.function_rows += cursors[k]->ForwardApp(app, *writer.value());
+      } else {
+        const corpus::AppSpec* spec = ecosystem_.FindSpec(app);
+        for (const auto& row : ExtractAppFunctionRows(ecosystem_, *spec)) {
+          writer.value()->Append(row.name, row.values, row.target);
+          ++result.stats.function_rows;
+        }
+        ++result.stats.healed_function_apps;
+      }
+    }
+    if (auto finished = writer.value()->Finish(); !finished.ok()) {
+      return finished.error().Wrap("finishing fleet store");
+    }
+  }
+
+  // --- Fleet report: fold each shard's finishing-generation report (the
+  // only generation whose report file exists — crashed generations never
+  // reach Finalize), then account for merge-time healing.
+  for (size_t k = 0; k < shards.size(); ++k) {
+    if (shards[k].apps.empty() || shards[k].finish_generation < 0) {
+      continue;
+    }
+    const std::string text = ReadFileOrEmpty(
+        report_path_for(static_cast<int>(k), shards[k].finish_generation));
+    if (auto report = LoadRunReport(text); report.ok()) {
+      result.report.Merge(report.value());
+    }
+  }
+  result.report.Merge(merge_testbed.run_report());
+  result.report.checkpoint_dropped_blocks += result.stats.checkpoint_dropped_blocks;
+
+  if (!options_.keep_shard_files) {
+    for (auto& state : shards) {
+      std::sort(state.temp_files.begin(), state.temp_files.end());
+      state.temp_files.erase(
+          std::unique(state.temp_files.begin(), state.temp_files.end()),
+          state.temp_files.end());
+      for (const auto& path : state.temp_files) {
+        std::remove(path.c_str());
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace clair

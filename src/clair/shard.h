@@ -1,0 +1,130 @@
+// Sharded fleet sweeps with worker supervision, lease-based work stealing,
+// and a deterministic crash-consistent merge.
+//
+// A fleet audit of a real ecosystem outgrows one process long before it
+// outgrows one machine's disk: the coordinator here partitions the selected
+// corpus into M shards by content hash of the app name (stable under any
+// corpus ordering), hands shards to N workers behind a WorkerTransport, and
+// supervises them with leases: every heartbeat renews the holder's lease on
+// a logical clock that ticks once per supervision poll, and a lease that
+// expires — worker dead, wedged, or its heartbeats eaten by injected
+// heartbeat_loss chaos — is revoked: the slot is killed, the shard's
+// partial checkpoint is kept (it is the durable record of every committed
+// app), and the remainder is requeued at the next *generation* for any free
+// worker to steal.
+//
+// Determinism argument for the merge (DESIGN.md §8 carries the full
+// version): every row is a pure function of app content — records via
+// Testbed::ExtractRecord, function rows via ExtractAppFunctionRows — so two
+// workers that both produce a row produce identical bytes, and dedupe by
+// name is safe regardless of which generation's copy survives. The merge
+// walks the *global sorted app order* (not shard order, not completion
+// order), pulling each app's record from its shard checkpoint and its
+// function rows from the shard's finished store, re-extracting inline iff a
+// crash schedule destroyed both copies. The output is therefore
+// byte-identical to a 1-process sweep at any worker count, shard count, or
+// kill schedule — the invariant the chaos tests pin.
+#ifndef SRC_CLAIR_SHARD_H_
+#define SRC_CLAIR_SHARD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/clair/shard_worker.h"
+#include "src/clair/testbed.h"
+#include "src/ml/feature_store.h"
+#include "src/support/result.h"
+
+namespace clair {
+
+struct ShardSweepOptions {
+  int num_shards = 8;
+  int num_workers = 3;
+  // Directory for shard checkpoints, per-generation stores, worker reports,
+  // and the merged fleet store. Must exist and be writable.
+  std::string work_dir;
+  // When true, shard workers stream function rows and the merge produces
+  // `<work_dir>/fleet.clfs`, byte-identical to a 1-process
+  // CollectFunctionRows store written with `store_options`.
+  bool collect_function_rows = true;
+  ml::FeatureStoreOptions store_options;
+  // Lease TTL in supervision ticks (one tick per transport Poll). A worker
+  // whose last heartbeat is older than this loses its shard. With the
+  // simulated transport one tick is apps_per_tick extraction steps, so any
+  // live worker heartbeats every tick and only chaos or real death expires
+  // a lease.
+  int lease_ttl_ticks = 8;
+  // Simulated transport pacing: worker steps per supervision tick.
+  int apps_per_tick = 1;
+  // A shard that crashes this many generations falls back to an inline
+  // run with crash injection disabled — the termination guarantee under
+  // `worker_crash:1`.
+  int max_generations = 16;
+  // Keep shard checkpoints / generation stores / reports after the merge
+  // (for post-mortems); default wipes everything but the fleet store.
+  bool keep_shard_files = false;
+  TestbedOptions testbed;
+};
+
+struct ShardSweepStats {
+  int shards = 0;
+  int workers = 0;
+  uint64_t ticks = 0;                  // Supervision polls (lease clock).
+  uint64_t generations_launched = 0;   // Spawns, initial + steals + inline.
+  uint64_t worker_crashes = 0;         // Nonzero worker exits observed.
+  uint64_t leases_revoked = 0;         // Expiries (missed heartbeats).
+  uint64_t shards_stolen = 0;          // Requeues after crash or revocation.
+  uint64_t heartbeats_lost = 0;        // Injected heartbeat_loss verdicts.
+  uint64_t inline_fallbacks = 0;       // Shards finished by the coordinator.
+  uint64_t healed_records = 0;         // Records re-extracted at merge time.
+  uint64_t healed_function_apps = 0;   // Apps whose rows were re-extracted.
+  uint64_t duplicate_records = 0;      // Cross-generation duplicates merged.
+  uint64_t checkpoint_dropped_blocks = 0;  // Torn/corrupt blocks, all shards.
+  uint64_t function_rows = 0;          // Rows in the merged fleet store.
+};
+
+struct ShardSweepResult {
+  // Global sorted-app order; byte-identical (via SaveRecords) to
+  // Testbed::Collect on the same ecosystem and testbed options.
+  std::vector<AppRecord> records;
+  // Fold of worker reports + merge healing: taxonomy accounting for the
+  // fleet. Wall-clock fields are real and therefore nondeterministic;
+  // byte-stable audits should fold SummarizeRecordRobustness(records).
+  RunReport report;
+  // "" unless collect_function_rows; else <work_dir>/fleet.clfs.
+  std::string store_path;
+  ShardSweepStats stats;
+};
+
+class ShardCoordinator {
+ public:
+  // `transport` may be null: the coordinator then owns a
+  // SimulatedWorkerTransport built from the sweep options (deterministic,
+  // in-process). Pass a ForkWorkerTransport for real process isolation.
+  ShardCoordinator(const corpus::EcosystemGenerator& ecosystem,
+                   ShardSweepOptions options,
+                   std::unique_ptr<WorkerTransport> transport = nullptr);
+
+  // Partition -> supervise -> merge. Runs to completion: every shard either
+  // finishes under a worker or falls back inline, so Run() terminates under
+  // any fault schedule, including worker_crash:1.
+  support::Result<ShardSweepResult> Run();
+
+  // Stable shard assignment: FNV-1a of the app name mod num_shards.
+  // Independent of corpus order, worker count, and everything else — the
+  // reason a kill schedule keyed on app content replays identically.
+  static int ShardOf(const std::string& app, int num_shards);
+
+ private:
+  struct ShardState;
+
+  const corpus::EcosystemGenerator& ecosystem_;
+  ShardSweepOptions options_;
+  std::unique_ptr<WorkerTransport> transport_;
+};
+
+}  // namespace clair
+
+#endif  // SRC_CLAIR_SHARD_H_

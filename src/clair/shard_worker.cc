@@ -1,0 +1,492 @@
+#include "src/clair/shard_worker.h"
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "src/clair/serialize.h"
+#include "src/metrics/extract.h"
+#include "src/support/fault_injection.h"
+#include "src/support/strings.h"
+
+namespace clair {
+
+namespace {
+
+using support::Error;
+using support::Result;
+
+// Salt for worker-crash subject keys: the verdict must depend only on which
+// app the worker is committing (plus the generation as attempt salt), never
+// on shard layout, so the same CLAIR_FAULTS config kills the same commits
+// at any shard or worker count.
+constexpr std::string_view kCrashKeySalt = "clair.shard.crash.v1";
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return {};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+std::string SaveShardTask(const ShardTask& task) {
+  std::string out = "[shard_task]\n";
+  out += support::Format("shard=%d\n", task.shard);
+  out += support::Format("generation=%d\n", task.generation);
+  out += support::Format("allow_crash=%d\n", task.allow_crash ? 1 : 0);
+  out += support::Format("heartbeat_fd=%d\n", task.heartbeat_fd);
+  out += "checkpoint=" + task.checkpoint_path + "\n";
+  out += "store=" + task.store_path + "\n";
+  out += "report=" + task.report_path + "\n";
+  out += "faults=" + task.fault_config + "\n";
+  for (const auto& app : task.apps) {
+    out += "app=" + app + "\n";
+  }
+  return out;
+}
+
+Result<ShardTask> LoadShardTask(std::string_view text) {
+  ShardTask task;
+  bool saw_header = false;
+  size_t line_number = 0;
+  for (const auto& raw : support::Split(text, '\n')) {
+    ++line_number;
+    const std::string_view line = support::Trim(raw);
+    if (line.empty()) {
+      continue;
+    }
+    if (line == "[shard_task]") {
+      saw_header = true;
+      continue;
+    }
+    const size_t eq = line.find('=');
+    if (!saw_header || eq == std::string_view::npos) {
+      return Error(Error::Code::kParseError,
+                   support::Format("shard task line %zu: expected key=value",
+                                   line_number));
+    }
+    const std::string_view key = line.substr(0, eq);
+    const std::string_view value = line.substr(eq + 1);
+    if (key == "shard" || key == "generation" || key == "allow_crash" ||
+        key == "heartbeat_fd") {
+      const auto parsed = support::ParseInt(value);
+      if (!parsed.has_value()) {
+        return Error(Error::Code::kParseError,
+                     support::Format("shard task line %zu: bad integer", line_number));
+      }
+      const int number = static_cast<int>(*parsed);
+      if (key == "shard") {
+        task.shard = number;
+      } else if (key == "generation") {
+        task.generation = number;
+      } else if (key == "allow_crash") {
+        task.allow_crash = number != 0;
+      } else {
+        task.heartbeat_fd = number;
+      }
+    } else if (key == "checkpoint") {
+      task.checkpoint_path = std::string(value);
+    } else if (key == "store") {
+      task.store_path = std::string(value);
+    } else if (key == "report") {
+      task.report_path = std::string(value);
+    } else if (key == "faults") {
+      task.fault_config = std::string(value);
+    } else if (key == "app") {
+      task.apps.emplace_back(value);
+    } else {
+      return Error(Error::Code::kParseError,
+                   support::Format("shard task line %zu: unknown key", line_number));
+    }
+  }
+  if (!saw_header) {
+    return Error(Error::Code::kParseError, "missing [shard_task] header");
+  }
+  return task;
+}
+
+Result<std::unique_ptr<ShardWorkerRun>> ShardWorkerRun::Create(
+    const corpus::EcosystemGenerator& ecosystem, const TestbedOptions& options,
+    ShardTask task) {
+  std::unique_ptr<ShardWorkerRun> run(
+      new ShardWorkerRun(ecosystem, options, std::move(task)));
+  if (auto failed = run->Init(); failed.has_value()) {
+    return failed->Wrap(support::Format("shard %d g%d", run->task_.shard,
+                                        run->task_.generation));
+  }
+  return run;
+}
+
+ShardWorkerRun::ShardWorkerRun(const corpus::EcosystemGenerator& ecosystem,
+                               const TestbedOptions& options, ShardTask task)
+    : ecosystem_(ecosystem), task_(std::move(task)), testbed_(ecosystem, [&] {
+        // Workers never nest their own checkpoint stream — the shard
+        // checkpoint is managed here, block by block.
+        TestbedOptions worker_options = options;
+        worker_options.checkpoint_path.clear();
+        return worker_options;
+      }()) {}
+
+std::optional<Error> ShardWorkerRun::Init() {
+  specs_.reserve(task_.apps.size());
+  for (const auto& app : task_.apps) {
+    const corpus::AppSpec* spec = ecosystem_.FindSpec(app);
+    if (spec == nullptr) {
+      return Error(Error::Code::kNotFound, "unknown app in shard task: " + app);
+    }
+    specs_.push_back(spec);
+  }
+  if (task_.checkpoint_path.empty()) {
+    return Error(Error::Code::kInvalidArgument, "shard task without checkpoint path");
+  }
+  // Resume: every intact block a previous generation committed stays
+  // committed; torn tails and corrupt blocks are dropped (and counted) and
+  // their apps recomputed, exactly like Testbed::Collect's resume.
+  const std::string existing = ReadFileOrEmpty(task_.checkpoint_path);
+  CheckpointLoadStats load_stats;
+  for (const auto& record : LoadCheckpoint(existing, &load_stats)) {
+    resumed_.insert(record.name);
+  }
+  stats_.dropped_blocks = load_stats.dropped_blocks;
+  stats_.apps_resumed = 0;  // Counted per app in Step (names outside the
+                            // shard never match, so stray blocks are inert).
+  checkpoint_.open(task_.checkpoint_path, std::ios::binary | std::ios::app);
+  if (!checkpoint_) {
+    return Error(Error::Code::kInvalidArgument,
+                 "cannot append to checkpoint: " + task_.checkpoint_path);
+  }
+  if (!existing.empty() && existing.back() != '\n') {
+    // Close the torn line a mid-write death left behind so the next block
+    // starts clean; the tolerant loader drops the orphan.
+    checkpoint_ << '\n';
+    checkpoint_.flush();
+  }
+  if (!task_.store_path.empty()) {
+    // Per-generation stores are merge fodder: the coordinator replays their
+    // raw rows through one fleet writer, so codes (the binning pass) would
+    // be dead weight here.
+    ml::FeatureStoreOptions store_options;
+    store_options.write_codes = false;
+    auto writer = ml::FeatureStoreWriter::Create(
+        task_.store_path, metrics::FunctionFeatureNames(), FunctionClassNames(),
+        store_options);
+    if (!writer.ok()) {
+      return writer.error().Wrap("opening shard store");
+    }
+    writer_ = std::move(writer).value();
+  }
+  if (task_.apps.empty()) {
+    // Degenerate shard: nothing to sweep, finalize on the first Step.
+    next_ = 0;
+  }
+  return std::nullopt;
+}
+
+ShardWorkerRun::Status ShardWorkerRun::Step() {
+  if (status_ != Status::kRunning) {
+    return status_;
+  }
+  if (next_ >= task_.apps.size()) {
+    status_ = Finalize();
+    return status_;
+  }
+  const std::string& app = task_.apps[next_];
+  const corpus::AppSpec& spec = *specs_[next_];
+  ++next_;
+  // Function rows stream for *every* shard app, resumed or not: the
+  // generation store is atomic (only a Finish()ed store is readable), so
+  // the finishing generation must carry the whole shard's rows itself.
+  if (writer_ != nullptr) {
+    for (const auto& row : ExtractAppFunctionRows(ecosystem_, spec)) {
+      writer_->Append(row.name, row.values, row.target);
+      ++stats_.function_rows;
+    }
+  }
+  if (resumed_.count(app) > 0) {
+    ++stats_.apps_resumed;
+  } else {
+    AppRecord record = testbed_.ExtractRecord(spec);
+    const std::string block = SaveCheckpointRecord(record);
+    const auto& faults = support::FaultInjector::Global();
+    if (task_.allow_crash &&
+        faults.ShouldFail(support::FaultSite::kWorkerCrash,
+                          support::FaultKey(app, support::FaultKey(kCrashKeySalt)),
+                          static_cast<uint32_t>(task_.generation))) {
+      // Die mid-commit: half a block, no trailing newline — the same wound
+      // a SIGKILL between write() and flush leaves. The app is NOT durable;
+      // whoever steals the shard recomputes it.
+      checkpoint_ << block.substr(0, block.size() / 2);
+      checkpoint_.flush();
+      status_ = Status::kCrashed;
+      return status_;
+    }
+    checkpoint_ << block;
+    checkpoint_.flush();
+    ++stats_.apps_done;
+  }
+  if (task_.heartbeat_fd >= 0) {
+    const char beat = '.';
+    // Best-effort: a closed pipe just means the supervisor already gave up
+    // on us; the sweep itself must not care.
+    [[maybe_unused]] const ssize_t n = ::write(task_.heartbeat_fd, &beat, 1);
+  }
+  if (next_ >= task_.apps.size()) {
+    status_ = Finalize();
+  }
+  return status_;
+}
+
+ShardWorkerRun::Status ShardWorkerRun::Finalize() {
+  if (writer_ != nullptr) {
+    if (auto finished = writer_->Finish(); !finished.ok()) {
+      return Status::kCrashed;  // Unreadable store == this generation died.
+    }
+  }
+  if (!task_.report_path.empty()) {
+    // The worker's slice of the fleet report: the live stage taxonomy from
+    // its own extractions plus shard-level sweep accounting.
+    RunReport report = testbed_.run_report();
+    report.apps_total = task_.apps.size();
+    report.apps_from_checkpoint = stats_.apps_resumed;
+    report.checkpoint_appends = stats_.apps_done;
+    report.checkpoint_dropped_blocks = stats_.dropped_blocks;
+    std::ofstream out(task_.report_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::kCrashed;
+    }
+    out << SaveRunReport(report);
+    out.flush();
+    if (!out) {
+      return Status::kCrashed;
+    }
+  }
+  return Status::kDone;
+}
+
+SimulatedWorkerTransport::SimulatedWorkerTransport(
+    const corpus::EcosystemGenerator& ecosystem, const TestbedOptions& options,
+    int num_workers, int apps_per_tick)
+    : ecosystem_(ecosystem),
+      options_(options),
+      num_workers_(num_workers < 1 ? 1 : num_workers),
+      apps_per_tick_(apps_per_tick < 1 ? 1 : apps_per_tick) {}
+
+Result<int> SimulatedWorkerTransport::Spawn(const ShardTask& task) {
+  if (static_cast<int>(live_.size()) >= num_workers_) {
+    return Error(Error::Code::kResourceExhausted, "no free worker slot");
+  }
+  auto run = ShardWorkerRun::Create(ecosystem_, options_, task);
+  if (!run.ok()) {
+    return run.error();
+  }
+  const int slot = next_slot_++;
+  live_.emplace(slot, std::move(run).value());
+  return slot;
+}
+
+std::vector<WorkerEvent> SimulatedWorkerTransport::Poll() {
+  std::vector<WorkerEvent> events;
+  // Slot order, fixed steps per slot: the interleaving is a pure function
+  // of spawn order, so chaos schedules replay bit-identically.
+  for (auto it = live_.begin(); it != live_.end();) {
+    const int slot = it->first;
+    ShardWorkerRun& run = *it->second;
+    bool exited = false;
+    for (int step = 0; step < apps_per_tick_ && !exited; ++step) {
+      switch (run.Step()) {
+        case ShardWorkerRun::Status::kRunning:
+          events.push_back({WorkerEvent::Kind::kHeartbeat, slot, 0});
+          break;
+        case ShardWorkerRun::Status::kDone:
+          events.push_back({WorkerEvent::Kind::kExit, slot, 0});
+          exited = true;
+          break;
+        case ShardWorkerRun::Status::kCrashed:
+          events.push_back({WorkerEvent::Kind::kExit, slot, 2});
+          exited = true;
+          break;
+      }
+    }
+    it = exited ? live_.erase(it) : std::next(it);
+  }
+  return events;
+}
+
+void SimulatedWorkerTransport::Kill(int slot) { live_.erase(slot); }
+
+ForkWorkerTransport::ForkWorkerTransport(std::string executable, int num_workers,
+                                         int tick_sleep_ms)
+    : executable_(std::move(executable)),
+      num_workers_(num_workers < 1 ? 1 : num_workers),
+      tick_sleep_ms_(tick_sleep_ms < 0 ? 0 : tick_sleep_ms) {}
+
+ForkWorkerTransport::~ForkWorkerTransport() {
+  for (auto& [slot, child] : live_) {
+    ::kill(child.pid, SIGKILL);
+    int wstatus = 0;
+    ::waitpid(child.pid, &wstatus, 0);
+    ::close(child.pipe_fd);
+  }
+}
+
+Result<int> ForkWorkerTransport::Spawn(const ShardTask& task) {
+  if (static_cast<int>(live_.size()) >= num_workers_) {
+    return Error(Error::Code::kResourceExhausted, "no free worker slot");
+  }
+  // The task file is the only channel to the child (exec wipes the address
+  // space); heartbeats come back on fd 3, the one descriptor we promise it.
+  ShardTask shipped = task;
+  shipped.heartbeat_fd = 3;
+  const std::string task_path =
+      task.checkpoint_path + support::Format(".g%d.task", task.generation);
+  {
+    std::ofstream out(task_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Error(Error::Code::kInvalidArgument,
+                   "cannot write shard task file: " + task_path);
+    }
+    out << SaveShardTask(shipped);
+    out.flush();
+    if (!out) {
+      return Error(Error::Code::kInternal, "short write on task file: " + task_path);
+    }
+  }
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) != 0) {
+    return Error(Error::Code::kInternal,
+                 std::string("pipe: ") + std::strerror(errno));
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return Error(Error::Code::kInternal,
+                 std::string("fork: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: heartbeat pipe on fd 3, then become a pristine worker process.
+    ::close(fds[0]);
+    if (fds[1] != 3) {
+      ::dup2(fds[1], 3);
+      ::close(fds[1]);
+    }
+    const std::string flag = "--clair-shard-worker=" + task_path;
+    char* const argv[] = {const_cast<char*>(executable_.c_str()),
+                          const_cast<char*>(flag.c_str()), nullptr};
+    ::execv(executable_.c_str(), argv);
+    _exit(127);  // Exec failed; 127 per shell convention.
+  }
+  ::close(fds[1]);
+  const int flags = ::fcntl(fds[0], F_GETFL, 0);
+  ::fcntl(fds[0], F_SETFL, flags | O_NONBLOCK);
+  const int slot = next_slot_++;
+  live_.emplace(slot, Child{static_cast<int>(pid), fds[0], false});
+  return slot;
+}
+
+std::vector<WorkerEvent> ForkWorkerTransport::Poll() {
+  if (tick_sleep_ms_ > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(tick_sleep_ms_));
+  }
+  std::vector<WorkerEvent> events;
+  for (auto it = live_.begin(); it != live_.end();) {
+    const int slot = it->first;
+    Child& child = it->second;
+    // Drain heartbeats first so an exiting worker's final beats still renew
+    // nothing after the exit event (coordinator processes in order).
+    char buffer[256];
+    for (;;) {
+      const ssize_t n = ::read(child.pipe_fd, buffer, sizeof(buffer));
+      if (n <= 0) {
+        break;
+      }
+      for (ssize_t i = 0; i < n; ++i) {
+        events.push_back({WorkerEvent::Kind::kHeartbeat, slot, 0});
+      }
+    }
+    int wstatus = 0;
+    const pid_t reaped = ::waitpid(child.pid, &wstatus, WNOHANG);
+    if (reaped == child.pid) {
+      int code = 1;
+      if (WIFEXITED(wstatus)) {
+        code = WEXITSTATUS(wstatus);
+      } else if (WIFSIGNALED(wstatus)) {
+        code = 128 + WTERMSIG(wstatus);
+      }
+      events.push_back({WorkerEvent::Kind::kExit, slot, code});
+      ::close(child.pipe_fd);
+      it = live_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return events;
+}
+
+void ForkWorkerTransport::Kill(int slot) {
+  const auto it = live_.find(slot);
+  if (it == live_.end()) {
+    return;
+  }
+  ::kill(it->second.pid, SIGKILL);
+  int wstatus = 0;
+  ::waitpid(it->second.pid, &wstatus, 0);
+  ::close(it->second.pipe_fd);
+  live_.erase(it);
+}
+
+int ShardWorkerMain(int argc, char** argv, const corpus::EcosystemGenerator& ecosystem,
+                    const TestbedOptions& options) {
+  constexpr std::string_view kFlag = "--clair-shard-worker=";
+  std::string task_path;
+  for (int i = 1; i < argc; ++i) {
+    if (support::StartsWith(argv[i], kFlag)) {
+      task_path = std::string(argv[i]).substr(kFlag.size());
+      break;
+    }
+  }
+  if (task_path.empty()) {
+    return -1;  // Not a worker invocation; caller proceeds as normal.
+  }
+  const std::string text = ReadFileOrEmpty(task_path);
+  auto loaded = LoadShardTask(text);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "shard worker: %s\n", loaded.error().ToString().c_str());
+    return 3;
+  }
+  ShardTask task = std::move(loaded).value();
+  // The coordinator's injector config rides in the task (ScopedConfig swaps
+  // the in-process global, which exec does not inherit); an empty config
+  // explicitly disarms whatever CLAIR_FAULTS seeded at startup.
+  auto faults = support::FaultInjector::Parse(task.fault_config);
+  if (!faults.ok()) {
+    std::fprintf(stderr, "shard worker: %s\n", faults.error().ToString().c_str());
+    return 3;
+  }
+  support::FaultInjector::Global() = faults.value();
+  auto run = ShardWorkerRun::Create(ecosystem, options, std::move(task));
+  if (!run.ok()) {
+    std::fprintf(stderr, "shard worker: %s\n", run.error().ToString().c_str());
+    return 3;
+  }
+  while (run.value()->Step() == ShardWorkerRun::Status::kRunning) {
+  }
+  return run.value()->status() == ShardWorkerRun::Status::kDone ? 0 : 2;
+}
+
+}  // namespace clair

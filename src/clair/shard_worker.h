@@ -1,0 +1,225 @@
+// The worker half of sharded fleet sweeps (see shard.h for the
+// coordinator): one worker owns one shard generation at a time, resumes the
+// shard's crc-guarded checkpoint, extracts the remaining apps in sorted
+// order, streams every app's function rows into a fresh per-generation
+// ml::FeatureStore file, and leaves a RunReport next to the checkpoint when
+// it completes cleanly.
+//
+// Durability contract (what the coordinator's merge relies on):
+//   - the checkpoint file is the unit of record durability: one crc block
+//     per app, appended and flushed before the app counts as done, shared
+//     across generations so a stolen shard resumes instead of recomputing;
+//   - the store file is atomic per generation: it only becomes readable
+//     when the generation Finish()es, so a crashed generation's store is
+//     discarded whole and the finishing generation re-streams the shard's
+//     function rows (cheap — parse + lower + function metrics, no deep
+//     battery) from the same deterministic extractor;
+//   - a simulated crash (`CLAIR_FAULTS=worker_crash:<rate>`) tears the
+//     checkpoint tail mid-block, exactly as SIGKILL mid-write would, and
+//     the tolerant loader drops the torn block on resume.
+//
+// Workers run behind a WorkerTransport: SimulatedWorkerTransport executes
+// them cooperatively inside Poll() on the supervisor thread (fully
+// deterministic — chaos schedules replay bit-identically), while
+// ForkWorkerTransport forks real subprocesses that re-exec the host binary
+// into ShardWorkerMain, giving each shard a real crash domain.
+#ifndef SRC_CLAIR_SHARD_WORKER_H_
+#define SRC_CLAIR_SHARD_WORKER_H_
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/clair/testbed.h"
+#include "src/ml/feature_store.h"
+#include "src/support/result.h"
+
+namespace clair {
+
+// One shard generation's work order. `generation` counts steals: it starts
+// at 0 and bumps every time the lease is revoked and the remainder is
+// reassigned; crash verdicts salt on it, so a transient worker_crash
+// clears on the next generation while rate-1 crashes stay deterministic.
+struct ShardTask {
+  int shard = 0;
+  int generation = 0;
+  // Full shard membership in global (sorted) order. The worker re-streams
+  // function rows for every app but only extracts records absent from the
+  // checkpoint.
+  std::vector<std::string> apps;
+  std::string checkpoint_path;  // Appended across generations.
+  std::string store_path;       // Fresh per generation; "" disables rows.
+  std::string report_path;      // Written on clean completion; "" disables.
+  // Simulated-crash verdicts are only consulted when set; the coordinator
+  // clears it for last-resort inline runs so rate-1 chaos still converges.
+  bool allow_crash = true;
+  // Active fault-injection config, serialized into the task so a fork/exec
+  // worker reproduces the parent's seeded chaos (ScopedConfig changes the
+  // in-process injector, which exec does not inherit).
+  std::string fault_config;
+  // File descriptor the worker writes one byte per processed app to
+  // (heartbeats for the fork transport); < 0 disables.
+  int heartbeat_fd = -1;
+};
+
+// Text round-trip for shipping a task to a fork/exec worker.
+std::string SaveShardTask(const ShardTask& task);
+support::Result<ShardTask> LoadShardTask(std::string_view text);
+
+struct ShardWorkerStats {
+  size_t apps_done = 0;       // Records extracted + checkpointed this run.
+  size_t apps_resumed = 0;    // Records served from the shard checkpoint.
+  size_t function_rows = 0;   // Rows streamed into the generation store.
+  size_t dropped_blocks = 0;  // Corrupt/torn checkpoint blocks at resume.
+};
+
+// Resumable shard sweep: one Step() per app, so the simulated transport can
+// interleave workers deterministically and the fork worker can heartbeat
+// between apps. Create() performs the resume (checkpoint load + newline
+// repair) and opens the generation store.
+class ShardWorkerRun {
+ public:
+  enum class Status {
+    kRunning,  // More apps to process.
+    kDone,     // Shard complete; store finished, report written.
+    kCrashed,  // Simulated worker_crash fired; checkpoint tail torn.
+  };
+
+  static support::Result<std::unique_ptr<ShardWorkerRun>> Create(
+      const corpus::EcosystemGenerator& ecosystem, const TestbedOptions& options,
+      ShardTask task);
+
+  ShardWorkerRun(const ShardWorkerRun&) = delete;
+  ShardWorkerRun& operator=(const ShardWorkerRun&) = delete;
+
+  // Processes the next app (function rows always; record extraction unless
+  // resumed). Returns kDone after the finalize step (store Finish + report
+  // write); any finalize failure surfaces as kCrashed so the coordinator
+  // requeues the shard.
+  Status Step();
+
+  Status status() const { return status_; }
+  const ShardWorkerStats& stats() const { return stats_; }
+  const ShardTask& task() const { return task_; }
+
+ private:
+  ShardWorkerRun(const corpus::EcosystemGenerator& ecosystem,
+                 const TestbedOptions& options, ShardTask task);
+
+  std::optional<support::Error> Init();
+  Status Finalize();
+
+  const corpus::EcosystemGenerator& ecosystem_;
+  ShardTask task_;
+  Testbed testbed_;
+  std::vector<const corpus::AppSpec*> specs_;  // Parallel to task_.apps.
+  std::unordered_set<std::string> resumed_;
+  std::ofstream checkpoint_;
+  std::unique_ptr<ml::FeatureStoreWriter> writer_;
+  size_t next_ = 0;
+  Status status_ = Status::kRunning;
+  ShardWorkerStats stats_;
+};
+
+// Supervision event surfaced by a transport's Poll().
+struct WorkerEvent {
+  enum class Kind { kHeartbeat, kExit };
+  Kind kind = Kind::kHeartbeat;
+  int slot = -1;
+  int exit_code = 0;  // kExit only; 0 = clean shard completion.
+};
+
+// Process boundary between coordinator and workers. The coordinator only
+// ever talks to this interface: Spawn() a task onto a fresh slot, Poll()
+// one supervision tick for heartbeats/exits, Kill() a slot whose lease was
+// revoked. Slot ids are never reused within a sweep.
+class WorkerTransport {
+ public:
+  virtual ~WorkerTransport() = default;
+  // Capacity: the coordinator keeps at most this many slots live.
+  virtual int max_workers() const = 0;
+  virtual support::Result<int> Spawn(const ShardTask& task) = 0;
+  // Advances/observes the fleet one tick; events are in slot order for the
+  // simulated transport (deterministic) and arrival order for fork.
+  virtual std::vector<WorkerEvent> Poll() = 0;
+  // Hard-kills a slot; idempotent, and the slot emits no further events.
+  virtual void Kill(int slot) = 0;
+};
+
+// Deterministic in-process transport: workers are ShardWorkerRun state
+// machines advanced `apps_per_tick` Step()s per Poll() on the calling
+// thread, in slot order. One heartbeat event per completed step; a crash
+// verdict surfaces as exit code 2, clean completion as exit 0. Chaos runs
+// under this transport are bit-identical for a fixed CLAIR_FAULTS config.
+class SimulatedWorkerTransport : public WorkerTransport {
+ public:
+  SimulatedWorkerTransport(const corpus::EcosystemGenerator& ecosystem,
+                           const TestbedOptions& options, int num_workers,
+                           int apps_per_tick = 1);
+
+  int max_workers() const override { return num_workers_; }
+  support::Result<int> Spawn(const ShardTask& task) override;
+  std::vector<WorkerEvent> Poll() override;
+  void Kill(int slot) override;
+
+ private:
+  const corpus::EcosystemGenerator& ecosystem_;
+  TestbedOptions options_;
+  int num_workers_;
+  int apps_per_tick_;
+  int next_slot_ = 0;
+  std::map<int, std::unique_ptr<ShardWorkerRun>> live_;
+};
+
+// Real subprocess transport: Spawn() forks and execs `executable` (pass
+// /proc/self/exe to re-exec the host binary) with
+// `--clair-shard-worker=<task file>`; the binary must route that argv into
+// ShardWorkerMain before doing anything else. Heartbeats arrive as one
+// byte per processed app over a pipe; Poll() sleeps `tick_sleep_ms`, so a
+// lease TTL of T ticks is roughly T * tick_sleep_ms of wall silence —
+// size it well above per-app extraction time. Kill() is a real SIGKILL:
+// mid-write deaths leave exactly the torn checkpoint tails the tolerant
+// loader is built for.
+class ForkWorkerTransport : public WorkerTransport {
+ public:
+  ForkWorkerTransport(std::string executable, int num_workers,
+                      int tick_sleep_ms = 10);
+  ~ForkWorkerTransport() override;
+
+  int max_workers() const override { return num_workers_; }
+  support::Result<int> Spawn(const ShardTask& task) override;
+  std::vector<WorkerEvent> Poll() override;
+  void Kill(int slot) override;
+
+ private:
+  struct Child {
+    int pid = -1;
+    int pipe_fd = -1;  // Read end of the heartbeat pipe.
+    bool killed = false;
+  };
+
+  std::string executable_;
+  int num_workers_;
+  int tick_sleep_ms_;
+  int next_slot_ = 0;
+  std::map<int, Child> live_;
+};
+
+// Entry hook for binaries that use ForkWorkerTransport: call first thing in
+// main(). Returns -1 when argv carries no worker marker (continue as
+// normal); otherwise loads the task file, installs its fault config, runs
+// the shard to completion and returns the process exit code (0 done,
+// 2 crashed, 3 setup failure). `ecosystem` and `options` must be
+// constructed identically to the coordinator's — the binary's own setup
+// code is the config transport.
+int ShardWorkerMain(int argc, char** argv, const corpus::EcosystemGenerator& ecosystem,
+                    const TestbedOptions& options);
+
+}  // namespace clair
+
+#endif  // SRC_CLAIR_SHARD_WORKER_H_

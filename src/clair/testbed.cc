@@ -411,10 +411,15 @@ std::vector<AppRecord> Testbed::Collect() const {
         buffer << in.rdbuf();
         const std::string text = buffer.str();
         needs_newline = !text.empty() && text.back() != '\n';
-        for (auto& record : LoadCheckpoint(text)) {
+        CheckpointLoadStats load_stats;
+        for (auto& record : LoadCheckpoint(text, &load_stats)) {
           std::string name = record.name;
           resumed.emplace(std::move(name), std::move(record));
         }
+        // Damage is recoverable (dropped apps recompute below) but never
+        // silent: torn tails and corrupt blocks land in run_report().
+        checkpoint_dropped_.fetch_add(load_stats.dropped_blocks,
+                                      std::memory_order_relaxed);
       }
     }
     checkpoint = std::make_unique<std::ofstream>(
@@ -444,10 +449,7 @@ std::vector<AppRecord> Testbed::Collect() const {
       apps_from_checkpoint_.fetch_add(1, std::memory_order_relaxed);
       return it->second;
     }
-    AppRecord record;
-    record.name = names[i];
-    record.features = ExtractFeatures(ecosystem_.GenerateSources(*specs[i]));
-    record.labels = ecosystem_.database().Summarize(record.name);
+    AppRecord record = ExtractRecord(*specs[i]);
     if (checkpoint != nullptr) {
       const std::string block = SaveCheckpointRecord(record);
       std::lock_guard<std::mutex> lock(checkpoint_mutex);
@@ -459,6 +461,14 @@ std::vector<AppRecord> Testbed::Collect() const {
   });
   apps_total_.fetch_add(records.size(), std::memory_order_relaxed);
   return records;
+}
+
+AppRecord Testbed::ExtractRecord(const corpus::AppSpec& spec) const {
+  AppRecord record;
+  record.name = spec.name;
+  record.features = ExtractFeatures(ecosystem_.GenerateSources(spec));
+  record.labels = ecosystem_.database().Summarize(record.name);
+  return record;
 }
 
 support::Result<FunctionCorpusStats> Testbed::CollectFunctionRows(
@@ -489,6 +499,7 @@ RunReport Testbed::run_report() const {
   report.apps_total = apps_total_.load(std::memory_order_relaxed);
   report.apps_from_checkpoint = apps_from_checkpoint_.load(std::memory_order_relaxed);
   report.checkpoint_appends = checkpoint_appends_.load(std::memory_order_relaxed);
+  report.checkpoint_dropped_blocks = checkpoint_dropped_.load(std::memory_order_relaxed);
   const FeatureCacheStats cache_stats = cache_.stats();
   report.rows_from_cache = cache_stats.hits;
   report.cache_misses = cache_stats.misses;

@@ -113,6 +113,12 @@ class Testbed {
   // app names.
   std::vector<AppRecord> Collect() const;
 
+  // One app's joined row, exactly as Collect() would produce it: source
+  // synthesis, the full extraction battery, and the CVE label join. The
+  // shard worker (shard_worker.h) sweeps its subset of the corpus through
+  // this, so shard rows are bit-identical to single-process rows.
+  AppRecord ExtractRecord(const corpus::AppSpec& spec) const;
+
   // Function-granular collection: streams one row per MiniC function of
   // every selected app into `writer` (schema FunctionFeatureNames(), label
   // = has an attributed CVE). Same selection policy and thread setting as
@@ -177,6 +183,7 @@ class Testbed {
   mutable std::atomic<uint64_t> apps_total_{0};
   mutable std::atomic<uint64_t> apps_from_checkpoint_{0};
   mutable std::atomic<uint64_t> checkpoint_appends_{0};
+  mutable std::atomic<uint64_t> checkpoint_dropped_{0};
 };
 
 }  // namespace clair

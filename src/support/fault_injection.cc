@@ -54,6 +54,10 @@ const char* FaultSiteName(FaultSite site) {
       return "dynamic";
     case FaultSite::kCache:
       return "cache";
+    case FaultSite::kWorkerCrash:
+      return "worker_crash";
+    case FaultSite::kHeartbeatLoss:
+      return "heartbeat_loss";
     case FaultSite::kSiteCount:
       break;
   }

@@ -42,6 +42,14 @@ enum class FaultSite : int {
   kSolver,       // symexec solver queries (per-query granularity)
   kDynamic,      // lang::Execute (dynamic-trace interpreter)
   kCache,        // clair::FeatureCache lookups (simulated corruption)
+  // Fleet-sweep chaos sites (clair::ShardCoordinator): a worker process
+  // dying mid-shard (torn checkpoint tail + nonzero exit) and a heartbeat
+  // lost in transit (the worker is healthy but its lease expires). Keys are
+  // content-derived — (app, shard, generation) for crashes, (shard,
+  // generation, heartbeat sequence) for losses — so a seeded kill schedule
+  // replays bit-identically at any worker count or transport.
+  kWorkerCrash,
+  kHeartbeatLoss,
   kSiteCount,
 };
 

@@ -1,0 +1,41 @@
+#include "src/support/lease.h"
+
+namespace support {
+
+LeaseTable::LeaseTable(uint64_t ttl) : ttl_(ttl == 0 ? 1 : ttl) {}
+
+void LeaseTable::Claim(int resource, int holder, uint64_t now) {
+  LeaseInfo lease;
+  lease.holder = holder;
+  lease.expires_at = now + ttl_;
+  leases_[resource] = lease;
+}
+
+bool LeaseTable::Renew(int resource, int holder, uint64_t now) {
+  const auto it = leases_.find(resource);
+  if (it == leases_.end() || it->second.holder != holder) {
+    return false;
+  }
+  it->second.expires_at = now + ttl_;
+  ++it->second.renewals;
+  return true;
+}
+
+void LeaseTable::Release(int resource) { leases_.erase(resource); }
+
+std::vector<int> LeaseTable::Expired(uint64_t now) const {
+  std::vector<int> expired;
+  for (const auto& [resource, lease] : leases_) {
+    if (now >= lease.expires_at) {
+      expired.push_back(resource);
+    }
+  }
+  return expired;
+}
+
+const LeaseInfo* LeaseTable::Find(int resource) const {
+  const auto it = leases_.find(resource);
+  return it == leases_.end() ? nullptr : &it->second;
+}
+
+}  // namespace support

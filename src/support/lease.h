@@ -1,0 +1,72 @@
+// Logical-clock leases for supervising distributed(-style) work.
+//
+// The shard coordinator (clair/shard.h) hands each worker a lease on the
+// shard it claimed; the worker renews the lease with heartbeats and the
+// coordinator revokes it — and steals the work — when the lease expires.
+// Wall clocks make that protocol untestable (a revocation depends on
+// scheduler timing), so leases here run on a LeaseClock: a logical tick
+// counter the supervisor advances once per supervision round. One tick =
+// one Poll() of the worker transport, so "TTL of 3 ticks" means "three
+// supervision rounds without a surviving heartbeat" on every transport,
+// simulated or real, and a seeded chaos schedule replays identically.
+#ifndef SRC_SUPPORT_LEASE_H_
+#define SRC_SUPPORT_LEASE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace support {
+
+// Monotonic logical clock; starts at 0, advanced only by its owner.
+class LeaseClock {
+ public:
+  uint64_t now() const { return now_; }
+  uint64_t Tick() { return ++now_; }
+
+ private:
+  uint64_t now_ = 0;
+};
+
+struct LeaseInfo {
+  int holder = -1;          // Worker slot holding the lease.
+  uint64_t expires_at = 0;  // First tick at which the lease counts expired.
+  uint64_t renewals = 0;    // Heartbeats that reached the supervisor.
+};
+
+// Resource-id -> lease map with deterministic (sorted) iteration. Not
+// thread-safe: the supervisor owns it and mutates it from one loop.
+class LeaseTable {
+ public:
+  // `ttl` is the number of ticks a lease stays live past its last renewal;
+  // a claim at tick T expires at T + ttl (so ttl = 1 means "must renew
+  // every tick"). A ttl of 0 is clamped to 1.
+  explicit LeaseTable(uint64_t ttl);
+
+  // Grants `holder` a fresh lease on `resource`, replacing any prior one.
+  void Claim(int resource, int holder, uint64_t now);
+
+  // Extends the lease iff `holder` still owns it (a heartbeat from a
+  // revoked worker must not resurrect the lease). Returns whether it did.
+  bool Renew(int resource, int holder, uint64_t now);
+
+  // Drops the lease (normal completion or revocation).
+  void Release(int resource);
+
+  // Resources whose lease has expired as of `now`, in resource order.
+  std::vector<int> Expired(uint64_t now) const;
+
+  // The live lease on `resource`, or nullptr.
+  const LeaseInfo* Find(int resource) const;
+
+  size_t active() const { return leases_.size(); }
+
+ private:
+  uint64_t ttl_;
+  std::map<int, LeaseInfo> leases_;
+};
+
+}  // namespace support
+
+#endif  // SRC_SUPPORT_LEASE_H_

@@ -254,6 +254,9 @@ TEST(Checkpoint, InterruptedThenResumedSweepIsByteIdentical) {
   EXPECT_EQ(report.apps_from_checkpoint, expected.size() / 2);
   EXPECT_EQ(report.checkpoint_appends,
             expected.size() - expected.size() / 2);
+  // The torn tail was recovered from, but never silently: the dropped
+  // block is audited in the resume's report.
+  EXPECT_EQ(report.checkpoint_dropped_blocks, 1u);
 
   // Third run: the resumed checkpoint now holds every record (half from
   // the first sweep, half appended after the torn line was closed) and a
@@ -342,6 +345,71 @@ TEST(RunReportTest, CleanSweepAccounting) {
   const std::string table = report.ToString();
   EXPECT_NE(table.find("parse"), std::string::npos);
   EXPECT_NE(table.find("apps="), std::string::npos);
+}
+
+// Merge is how the shard coordinator folds per-worker reports into one
+// fleet report: stage maps union, counters sum, and a poisoned counter
+// saturates at UINT64_MAX instead of wrapping into a small lie.
+TEST(RunReportTest, MergeUnionsStagesAndSaturates) {
+  RunReport left;
+  left.stages["parse"].attempts = 10;
+  left.stages["parse"].failures = 2;
+  left.stages["parse"].wall_seconds = 1.5;
+  left.apps_total = 6;
+  left.checkpoint_dropped_blocks = UINT64_MAX - 1;
+
+  RunReport right;
+  right.stages["parse"].attempts = 5;
+  right.stages["parse"].failures = UINT64_MAX;  // Poisoned input.
+  right.stages["parse"].wall_seconds = 0.5;
+  right.stages["dynamic"].attempts = 3;
+  right.apps_total = 8;
+  right.checkpoint_dropped_blocks = 7;
+
+  left.Merge(right);
+  ASSERT_EQ(left.stages.size(), 2u);
+  EXPECT_EQ(left.stages.at("parse").attempts, 15u);
+  EXPECT_EQ(left.stages.at("parse").failures, UINT64_MAX);  // Clamped.
+  EXPECT_DOUBLE_EQ(left.stages.at("parse").wall_seconds, 2.0);
+  EXPECT_EQ(left.stages.at("dynamic").attempts, 3u);
+  EXPECT_EQ(left.apps_total, 14u);
+  EXPECT_EQ(left.checkpoint_dropped_blocks, UINT64_MAX);  // Clamped.
+}
+
+// The report's text round-trip is how a shard worker ships its taxonomy
+// across the process boundary; every counter must survive exactly.
+TEST(RunReportTest, SaveLoadRoundTrip) {
+  RunReport report;
+  report.stages["parse"].attempts = 42;
+  report.stages["parse"].failures = 3;
+  report.stages["parse"].injected = 2;
+  report.stages["parse"].timeouts = 1;
+  report.stages["parse"].retries = 4;
+  report.stages["parse"].recovered = 2;
+  report.stages["parse"].degraded = 1;
+  report.stages["parse"].wall_seconds = 0.1234567890123456789;
+  report.stages["symexec"].attempts = 7;
+  report.apps_total = 14;
+  report.apps_from_checkpoint = 5;
+  report.rows_from_cache = 2;
+  report.checkpoint_appends = 9;
+  report.cache_misses = 11;
+  report.cache_entries = 4;
+  report.cache_coalesced_fills = 1;
+  report.cache_integrity_rejects = 1;
+  report.checkpoint_dropped_blocks = 3;
+
+  const std::string text = SaveRunReport(report);
+  const auto loaded = LoadRunReport(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().ToString();
+  EXPECT_EQ(SaveRunReport(loaded.value()), text);  // Fixed point.
+  EXPECT_EQ(loaded.value().stages.at("parse").attempts, 42u);
+  EXPECT_EQ(loaded.value().stages.at("parse").wall_seconds,
+            report.stages.at("parse").wall_seconds);
+  EXPECT_EQ(loaded.value().checkpoint_dropped_blocks, 3u);
+
+  EXPECT_FALSE(LoadRunReport("no header here\n").ok());
+  EXPECT_FALSE(LoadRunReport("[run_report]\napps_total=notanumber\n").ok());
 }
 
 }  // namespace
