@@ -22,11 +22,14 @@
 
 #include "bench/common.h"
 #include "src/clair/evaluator.h"
+#include "src/clair/function_rank.h"
+#include "src/clair/incremental.h"
 #include "src/clair/pipeline.h"
 #include "src/clair/serialize.h"
 #include "src/clair/shard.h"
 #include "src/clair/testbed.h"
 #include "src/corpus/codegen.h"
+#include "src/corpus/history.h"
 #include "src/dataflow/analyses.h"
 #include "src/dataflow/intervals.h"
 #include "src/lang/parser.h"
@@ -642,6 +645,203 @@ bool PrintShardScaling(bool smoke, JsonSink& json) {
   return all_identical;
 }
 
+// Function-granular incremental re-extraction: cold full-app extraction vs
+// a warm re-score after a one-function edit. The granular tiers (AST cache,
+// per-file metric vectors, per-function dataflow/interval payloads,
+// per-entry symexec results, per-file dynamic batteries) confine the warm
+// cost to the changed set; the result must be bit-identical to from-scratch
+// extraction of the edited tree (a mismatch fails the bench). Emits
+// BENCH_incremental.json including the proc.* forest-importance ablation.
+bool PrintIncremental(bool smoke) {
+  benchcommon::PrintHeader("Incremental re-extraction",
+                           "warm one-function-edit re-score vs cold full-app extraction");
+  const auto ecosystem = smoke
+                             ? benchcommon::MakeEcosystem(0.01, 24, 4)
+                             : benchcommon::MakeEcosystem(benchcommon::EnvScale(0.02), 48, 8);
+
+  // Subject: the selected app with the most MiniC files, so the cold sweep
+  // covers a realistic multi-file battery.
+  const corpus::AppSpec* subject = nullptr;
+  size_t subject_minic = 0;
+  for (const auto& name : ecosystem.database().AppsWithConvergingHistory(5.0)) {
+    const corpus::AppSpec* spec = ecosystem.FindSpec(name);
+    if (spec == nullptr) {
+      continue;
+    }
+    size_t minic = 0;
+    for (const auto& file : ecosystem.GenerateSources(*spec)) {
+      if (file.language == metrics::Language::kMiniC) {
+        ++minic;
+      }
+    }
+    if (minic > subject_minic) {
+      subject = spec;
+      subject_minic = minic;
+    }
+  }
+  if (subject == nullptr) {
+    std::fprintf(stderr, "incremental bench: no MiniC app in the corpus\n");
+    return false;
+  }
+  const auto files = ecosystem.GenerateSources(*subject);
+
+  clair::TestbedOptions options;
+  options.deep_analysis_max_files = smoke ? 4 : 16;
+  const clair::Testbed testbed(ecosystem, options);
+
+  const auto t_cold0 = std::chrono::steady_clock::now();
+  const auto cold_features = testbed.ExtractFeatures(files);
+  const double cold_seconds = Seconds(t_cold0, std::chrono::steady_clock::now());
+  const auto cold_stats = testbed.incremental_stats();
+
+  // The canonical developer event: one statement added to one function.
+  auto edited = files;
+  std::string edited_fn;
+  bool edit_applied = false;
+  for (auto& file : edited) {
+    if (file.language != metrics::Language::kMiniC) {
+      continue;
+    }
+    const auto index = clair::IndexFunctions(file);
+    if (index.functions.empty()) {
+      continue;
+    }
+    edited_fn = index.functions.front().name;
+    edit_applied = corpus::ApplyFunctionEdit(file, edited_fn, "int hotfix_probe = 41;");
+    break;
+  }
+  if (!edit_applied) {
+    std::fprintf(stderr, "incremental bench: could not apply the function edit\n");
+    return false;
+  }
+  const auto plan = clair::PlanFunctionDiff(files, edited);
+
+  const auto t_warm0 = std::chrono::steady_clock::now();
+  const auto warm_features = testbed.ExtractFeatures(edited);
+  const double warm_seconds = Seconds(t_warm0, std::chrono::steady_clock::now());
+  const auto warm_stats = testbed.incremental_stats();
+
+  // An unchanged re-score is a pure L1 row hit.
+  const auto t_noop0 = std::chrono::steady_clock::now();
+  const auto replay_features = testbed.ExtractFeatures(edited);
+  const double noop_seconds = Seconds(t_noop0, std::chrono::steady_clock::now());
+
+  // Bit-identity: the warm result must equal from-scratch extraction of the
+  // edited tree — both through fresh granular caches and through the
+  // module-level path with the granular layer disabled.
+  const clair::Testbed scratch(ecosystem, options);
+  clair::TestbedOptions module_options = options;
+  module_options.cache_functions = false;
+  const clair::Testbed module_path(ecosystem, module_options);
+  const bool identical =
+      warm_features.values() == scratch.ExtractFeatures(edited).values() &&
+      warm_features.values() == module_path.ExtractFeatures(edited).values() &&
+      replay_features.values() == warm_features.values();
+
+  const double speedup = cold_seconds / warm_seconds;
+  const uint64_t fn_cold = cold_stats.fn_dataflow_computed;
+  const uint64_t fn_warm = warm_stats.fn_dataflow_computed - cold_stats.fn_dataflow_computed;
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"cold full app", support::Format("%.2f ms", cold_seconds * 1000.0),
+                  support::Format("%llu", static_cast<unsigned long long>(fn_cold)),
+                  "1.00x"});
+  rows.push_back({"warm 1-fn edit", support::Format("%.2f ms", warm_seconds * 1000.0),
+                  support::Format("%llu", static_cast<unsigned long long>(fn_warm)),
+                  support::Format("%.1fx", speedup)});
+  rows.push_back({"warm unchanged", support::Format("%.2f ms", noop_seconds * 1000.0), "0",
+                  support::Format("%.1fx", cold_seconds / noop_seconds)});
+  std::printf("app %s: %zu MiniC files, deep budget %d files; edit touched %s\n"
+              "(diff plan: %zu modified / %zu unchanged functions)\n\n",
+              subject->name.c_str(), subject_minic, options.deep_analysis_max_files,
+              edited_fn.c_str(), plan.modified, plan.unchanged);
+  std::printf("%s\n",
+              report::RenderTable({"re-score", "latency", "fn batteries run", "speedup"}, rows)
+                  .c_str());
+  std::printf("warm == from-scratch bytes: %s (must be yes); acceptance bar >= 20x\n\n",
+              identical ? "yes" : "NO");
+
+  // proc.* ablation: does the forest actually lean on the process features?
+  // Function rows with and without the proc.* block, same forest config.
+  const auto& names = metrics::FunctionFeatureNames();
+  std::vector<size_t> proc_cols;
+  for (size_t j = 0; j < names.size(); ++j) {
+    if (names[j].rfind("proc.", 0) == 0) {
+      proc_cols.push_back(j);
+    }
+  }
+  ml::Dataset with_proc = ml::Dataset::ForClassification(
+      {names.begin(), names.end()}, clair::FunctionClassNames());
+  ml::Dataset without_proc = ml::Dataset::ForClassification(
+      {names.begin(), names.end()}, clair::FunctionClassNames());
+  for (const auto& name : ecosystem.database().AppsWithConvergingHistory(5.0)) {
+    const corpus::AppSpec* spec = ecosystem.FindSpec(name);
+    if (spec == nullptr) {
+      continue;
+    }
+    for (const auto& row : clair::ExtractAppFunctionRows(ecosystem, *spec)) {
+      with_proc.AddRow(row.values, row.target);
+      auto ablated = row.values;
+      for (const size_t j : proc_cols) {
+        ablated[j] = 0.0;
+      }
+      without_proc.AddRow(ablated, row.target);
+    }
+  }
+  ml::ForestOptions forest_options;
+  forest_options.num_trees = smoke ? 24 : 48;
+  forest_options.seed = 13;
+  ml::RandomForestClassifier forest(forest_options);
+  forest.Train(with_proc);
+  double proc_importance = 0.0;
+  double total_importance = 0.0;
+  for (const auto& [feature, importance] : forest.FeatureImportance()) {
+    total_importance += importance;
+    if (feature.rfind("proc.", 0) == 0) {
+      proc_importance += importance;
+    }
+  }
+  const double proc_share = total_importance > 0.0 ? proc_importance / total_importance : 0.0;
+  const auto forest_factory = [&forest_options] {
+    return std::unique_ptr<ml::Classifier>(new ml::RandomForestClassifier(forest_options));
+  };
+  const ml::CvMetrics cv_with = ml::CrossValidate(with_proc, forest_factory, 5, 1);
+  const ml::CvMetrics cv_without = ml::CrossValidate(without_proc, forest_factory, 5, 1);
+  std::printf("proc.* ablation over %zu function rows (%zu proc columns):\n"
+              "forest importance share %.3f; 5-fold CV accuracy %.3f with proc.*\n"
+              "vs %.3f with the block zeroed (must be nonzero importance).\n\n",
+              with_proc.num_rows(), proc_cols.size(), proc_share, cv_with.accuracy,
+              cv_without.accuracy);
+
+  benchcommon::JsonSink sink;
+  sink.Add("bench", "incremental_rescore", true);
+  sink.Add("app", subject->name, true);
+  sink.AddInt("minic_files", subject_minic);
+  sink.AddInt("deep_files", static_cast<uint64_t>(options.deep_analysis_max_files));
+  sink.AddNumber("cold_ms", cold_seconds * 1000.0);
+  sink.AddNumber("warm_edit_ms", warm_seconds * 1000.0);
+  sink.AddNumber("warm_unchanged_ms", noop_seconds * 1000.0);
+  sink.AddNumber("speedup_warm_vs_cold", speedup);
+  sink.AddInt("changed_functions", plan.modified);
+  sink.AddInt("fn_batteries_cold", fn_cold);
+  sink.AddInt("fn_batteries_warm", fn_warm);
+  sink.Add("identical_to_scratch", identical ? "true" : "false", false);
+  sink.AddRaw("proc_ablation",
+              support::Format("{\"rows\": %zu, \"proc_columns\": %zu, "
+                              "\"importance_share\": %.4f, "
+                              "\"cv_accuracy_with\": %.4f, "
+                              "\"cv_accuracy_without\": %.4f}",
+                              with_proc.num_rows(), proc_cols.size(), proc_share,
+                              cv_with.accuracy, cv_without.accuracy));
+  const char* json_path = "BENCH_incremental.json";
+  if (sink.WriteTo(json_path)) {
+    std::printf("wrote %s\n\n", json_path);
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", json_path);
+    return false;
+  }
+  return identical && proc_importance > 0.0;
+}
+
 void BM_EvaluateSubject(benchmark::State& state) {
   auto& fixture = Fixture::Get();
   const clair::SecurityEvaluator evaluator(fixture.model(), fixture.testbed());
@@ -680,6 +880,7 @@ int main(int argc, char** argv) {
   PrintCacheEffect(smoke, json);
   PrintRobustness(smoke, json);
   const bool shards_identical = PrintShardScaling(smoke, json);
+  const bool incremental_ok = PrintIncremental(smoke);
   if (!smoke) {
     PrintLatencies(json);
   }
@@ -692,6 +893,11 @@ int main(int argc, char** argv) {
   }
   if (!shards_identical) {
     std::fprintf(stderr, "sharded merge does not match the 1-process sweep\n");
+    return 1;
+  }
+  if (!incremental_ok) {
+    std::fprintf(stderr,
+                 "incremental warm re-score does not match from-scratch extraction\n");
     return 1;
   }
   if (!smoke) {

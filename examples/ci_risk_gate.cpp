@@ -1,36 +1,29 @@
 // §5.3: "one can incorporate an analysis into the standard development cycle
 // that predicts whether the code is becoming more or less prone to
-// vulnerabilities." This example plays the role of a CI gate: it compares
-// two versions of a module and fails (exit code 1) if the change raises the
-// predicted risk beyond a threshold.
+// vulnerabilities." This example plays the role of a CI gate on a real
+// multi-file service: the pipeline scores HEAD once (cold), then a commit
+// touching a single function arrives and the gate re-scores it warm — the
+// function-granular incremental layer re-runs deep analyses only for the
+// changed function, so the per-commit cost is the changed set, not the app.
+// The gate fails (exit code 1) if the change raises predicted risk beyond a
+// budget.
+#include <chrono>
 #include <cstdio>
 
 #include "src/clair/evaluator.h"
+#include "src/clair/incremental.h"
 #include "src/clair/pipeline.h"
 #include "src/clair/testbed.h"
-#include "src/corpus/codegen.h"
 #include "src/corpus/ecosystem.h"
+#include "src/corpus/history.h"
 
 namespace {
 
 constexpr double kRiskBudget = 0.02;  // Allowed risk increase per change.
 
-// Two versions of the same ~500-line module. Version 1 is written
-// defensively (bounds checks and divisor guards everywhere); version 2 is
-// the same module after a "performance refactor" that stripped most guards
-// and wired more raw external input into the hot paths — the style shift
-// the trained metric is meant to catch before it ships.
-std::vector<metrics::SourceFile> MakeVersion(double unsafety, double taintiness) {
-  support::Rng rng(4242);  // Same stream: v2 differs only through the knobs.
-  corpus::AppStyle style;
-  style.complexity = 0.5;
-  style.unsafety = unsafety;
-  style.taintiness = taintiness;
-  metrics::SourceFile file;
-  file.path = "lookup.c";
-  file.language = metrics::Language::kMiniC;
-  file.text = corpus::GenerateMiniCFile(rng, style, 500);
-  return {file};
+double Ms(std::chrono::steady_clock::time_point t0,
+          std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
 }
 
 }  // namespace
@@ -41,28 +34,101 @@ int main() {
   corpus_options.immature_apps = 8;
   corpus_options.size_scale = 0.01;
   const corpus::EcosystemGenerator ecosystem(corpus_options);
-  clair::TestbedOptions testbed_options;
-  testbed_options.deep_analysis_max_files = 1;
-  const clair::Testbed testbed(ecosystem, testbed_options);
+
+  // Train the metric once per corpus refresh (offline).
+  clair::TestbedOptions training_options;
+  training_options.deep_analysis_max_files = 1;
+  const clair::Testbed training_testbed(ecosystem, training_options);
   clair::PipelineOptions pipeline_options;
   pipeline_options.cv_folds = 5;
-  const clair::TrainingPipeline pipeline(testbed.Collect(), pipeline_options);
+  const clair::TrainingPipeline pipeline(training_testbed.Collect(), pipeline_options);
   const clair::TrainedModel model = pipeline.TrainFinal();
-  const clair::SecurityEvaluator evaluator(model, testbed);
 
-  const auto version1 = MakeVersion(/*unsafety=*/0.10, /*taintiness=*/0.40);
-  const auto version2 = MakeVersion(/*unsafety=*/0.90, /*taintiness=*/0.85);
-  const clair::VersionDelta delta = evaluator.CompareVersions(version1, version2);
-  std::printf("%s\n", delta.ToString().c_str());
+  // The gate's own testbed keeps warm caches across CI runs: the AST cache,
+  // per-file metric vectors, and per-function analysis payloads survive from
+  // the HEAD score to every subsequent commit score.
+  clair::TestbedOptions gate_options;
+  gate_options.deep_analysis_max_files = 8;
+  const clair::Testbed gate_testbed(ecosystem, gate_options);
+  const clair::SecurityEvaluator evaluator(model, gate_testbed);
 
-  if (delta.risk_delta > kRiskBudget) {
-    std::printf("CI GATE: FAIL — change raises predicted risk by %+0.3f (budget %.3f)\n",
-                delta.risk_delta, kRiskBudget);
-    std::printf("Top contributing hypotheses:\n");
-    for (size_t i = 0; i < delta.by_hypothesis.size() && i < 3; ++i) {
-      std::printf("  %s (%+0.3f)\n", delta.by_hypothesis[i].first.c_str(),
-                  delta.by_hypothesis[i].second);
+  // The service under the gate: the largest MiniC app in the corpus.
+  const corpus::AppSpec* subject = nullptr;
+  size_t best_files = 0;
+  for (const auto& name : ecosystem.database().AppsWithConvergingHistory(5.0)) {
+    const corpus::AppSpec* spec = ecosystem.FindSpec(name);
+    if (spec == nullptr) {
+      continue;
     }
+    size_t minic = 0;
+    for (const auto& file : ecosystem.GenerateSources(*spec)) {
+      if (file.language == metrics::Language::kMiniC) {
+        ++minic;
+      }
+    }
+    if (minic > best_files) {
+      subject = spec;
+      best_files = minic;
+    }
+  }
+  if (subject == nullptr) {
+    std::fprintf(stderr, "no MiniC app in the corpus\n");
+    return 1;
+  }
+  const auto head = ecosystem.GenerateSources(*subject);
+
+  // Nightly baseline: score HEAD cold.
+  const auto t_head0 = std::chrono::steady_clock::now();
+  const auto head_report = evaluator.Evaluate(subject->name, head);
+  const auto t_head1 = std::chrono::steady_clock::now();
+  const auto head_stats = gate_testbed.incremental_stats();
+
+  // A commit arrives: one statement added to one function.
+  auto commit = head;
+  std::string touched;
+  for (auto& file : commit) {
+    if (file.language != metrics::Language::kMiniC) {
+      continue;
+    }
+    const auto index = clair::IndexFunctions(file);
+    if (index.functions.empty()) {
+      continue;
+    }
+    touched = index.functions.front().name;
+    if (corpus::ApplyFunctionEdit(file, touched, "int unchecked_len = 4096;")) {
+      break;
+    }
+  }
+  const auto plan = clair::PlanFunctionDiff(head, commit);
+
+  // The per-commit gate: warm re-score through the same testbed.
+  const auto t_commit0 = std::chrono::steady_clock::now();
+  const auto commit_report = evaluator.Evaluate(subject->name, commit);
+  const auto t_commit1 = std::chrono::steady_clock::now();
+
+  const double head_ms = Ms(t_head0, t_head1);
+  const double commit_ms = Ms(t_commit0, t_commit1);
+  const auto commit_stats = gate_testbed.incremental_stats();
+  const uint64_t batteries_rerun =
+      commit_stats.fn_dataflow_computed - head_stats.fn_dataflow_computed;
+  const uint64_t batteries_total =
+      batteries_rerun +
+      (commit_stats.fn_dataflow_reused - head_stats.fn_dataflow_reused);
+  std::printf("subject %s: %zu MiniC files\n", subject->name.c_str(), best_files);
+  std::printf("HEAD score (cold):   risk %.3f in %.1f ms\n", head_report.overall_risk,
+              head_ms);
+  std::printf("commit touches %s — diff plan: %zu changed / %zu unchanged functions\n",
+              touched.c_str(), plan.Changed(), plan.unchanged);
+  std::printf("commit score (warm): risk %.3f in %.1f ms (%.1fx faster; "
+              "%llu of %llu function batteries re-run)\n",
+              commit_report.overall_risk, commit_ms, head_ms / commit_ms,
+              static_cast<unsigned long long>(batteries_rerun),
+              static_cast<unsigned long long>(batteries_total));
+
+  const double risk_delta = commit_report.overall_risk - head_report.overall_risk;
+  std::printf("risk delta %+0.3f (budget %.3f)\n", risk_delta, kRiskBudget);
+  if (risk_delta > kRiskBudget) {
+    std::printf("CI GATE: FAIL — change raises predicted risk beyond budget\n");
     // A real CI gate would `return 1` here; the example exits 0 so bulk
     // example runs succeed.
     return 0;

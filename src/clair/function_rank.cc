@@ -1,39 +1,70 @@
 #include "src/clair/function_rank.h"
 
 #include <algorithm>
+#include <map>
 #include <memory>
 #include <utility>
 
+#include "src/corpus/history.h"
 #include "src/lang/parser.h"
 #include "src/metrics/extract.h"
 #include "src/support/thread_pool.h"
 
 namespace clair {
+namespace {
+
+// Rows for one materialized file: parse, lower, per-function battery, label
+// join. `process` (nullable) supplies the file's proc.* metrics by function
+// name.
+void AppendFileRows(const metrics::SourceFile& file,
+                    const std::map<std::string, metrics::ProcessMetrics>* process,
+                    const std::map<std::string, int>& attribution,
+                    std::vector<FunctionRow>& rows) {
+  auto unit = lang::Parse(file.text);
+  if (!unit.ok()) {
+    return;
+  }
+  auto module = lang::LowerToIr(unit.value());
+  if (!module.ok()) {
+    return;
+  }
+  for (auto& fn :
+       metrics::ExtractFunctionFeatures(unit.value(), module.value(), process)) {
+    FunctionRow row;
+    row.name = file.path + "::" + fn.name;
+    row.values = std::move(fn.values);
+    row.target = attribution.count(row.name) > 0 ? 1.0 : 0.0;
+    rows.push_back(std::move(row));
+  }
+}
+
+}  // namespace
 
 std::vector<FunctionRow> ExtractAppFunctionRows(
     const corpus::EcosystemGenerator& ecosystem, const corpus::AppSpec& spec) {
+  return ExtractAppFunctionRowsAt(ecosystem, spec, 0);
+}
+
+std::vector<FunctionRow> ExtractAppFunctionRowsAt(
+    const corpus::EcosystemGenerator& ecosystem, const corpus::AppSpec& spec,
+    size_t version_lag) {
   std::vector<FunctionRow> rows;
-  const auto files = ecosystem.GenerateSourcesProfiled(spec);
-  const auto attribution = ecosystem.AttributeCves(spec, files);
-  for (const auto& entry : files) {
-    if (entry.file.language != metrics::Language::kMiniC) {
+  const auto profiled = ecosystem.GenerateSourcesProfiled(spec);
+  const auto attribution = ecosystem.AttributeCves(spec, profiled);
+  const corpus::VersionHistory history =
+      corpus::VersionHistory::ForApp(ecosystem, spec);
+  const size_t head = history.head_version();
+  const size_t version = head - std::min(version_lag, head);
+  const auto files = history.Materialize(version);
+  const auto process = history.ProcessMetricsAt(version);
+  for (const auto& file : files) {
+    if (file.language != metrics::Language::kMiniC) {
       continue;
     }
-    auto unit = lang::Parse(entry.file.text);
-    if (!unit.ok()) {
-      continue;
-    }
-    auto module = lang::LowerToIr(unit.value());
-    if (!module.ok()) {
-      continue;
-    }
-    for (auto& fn : metrics::ExtractFunctionFeatures(unit.value(), module.value())) {
-      FunctionRow row;
-      row.name = entry.file.path + "::" + fn.name;
-      row.values = std::move(fn.values);
-      row.target = attribution.count(row.name) > 0 ? 1.0 : 0.0;
-      rows.push_back(std::move(row));
-    }
+    const auto file_process = process.find(file.path);
+    AppendFileRows(file,
+                   file_process != process.end() ? &file_process->second : nullptr,
+                   attribution, rows);
   }
   return rows;
 }
@@ -68,7 +99,8 @@ support::Result<FunctionCorpusStats> CollectFunctionRows(
     const size_t count = std::min(wave, specs.size() - base);
     const auto batches =
         pool.ParallelMap<std::vector<FunctionRow>>(count, [&](size_t i) {
-          return ExtractAppFunctionRows(ecosystem, *specs[base + i]);
+          return ExtractAppFunctionRowsAt(ecosystem, *specs[base + i],
+                                          options.version_lag);
         });
     for (const auto& batch : batches) {
       if (!batch.empty()) {
@@ -81,6 +113,145 @@ support::Result<FunctionCorpusStats> CollectFunctionRows(
           ++stats.positives;
         }
       }
+    }
+  }
+  return stats;
+}
+
+support::Result<FunctionCorpusStats> SpliceFunctionRows(
+    const corpus::EcosystemGenerator& ecosystem, const FunctionRankOptions& options,
+    const ml::FeatureStore& previous, size_t previous_version_lag,
+    ml::FeatureStoreWriter& writer) {
+  using support::Error;
+  const std::vector<std::string> schema = metrics::FunctionFeatureNames();
+  if (previous.feature_names() != schema) {
+    return Error(Error::Code::kFailedPrecondition,
+                 "previous store schema does not match FunctionFeatureNames()");
+  }
+  const size_t proc_first = schema.size() - 5;  // Trailing proc.* block.
+
+  // Sequential cursor over the previous store's rows. Both sweeps enumerate
+  // the same sorted apps, the same files in order, and (marker-edit history:
+  // commits modify bodies, never add or remove functions) the same function
+  // sets, so the old store's rows align positionally with the new walk; the
+  // name check below still guards every reuse, so a misalignment (selection
+  // drift, corrupt store) degrades to recomputation, never to a wrong row.
+  struct Cursor {
+    const ml::FeatureStore& store;
+    size_t chunk = 0;
+    size_t row = 0;     // Within chunk.
+    size_t global = 0;  // Across chunks.
+
+    bool AtEnd() const { return global >= store.num_rows(); }
+    const std::string& Name() const { return store.RowName(global); }
+    void Read(std::vector<double>& values, double& target) {
+      const auto view = store.chunk(chunk);
+      values.resize(store.num_features());
+      for (size_t f = 0; f < store.num_features(); ++f) {
+        values[f] = view.Column(f)[row];
+      }
+      target = view.targets[row];
+    }
+    void Advance() {
+      ++global;
+      ++row;
+      if (chunk < store.num_chunks() && row >= store.chunk(chunk).rows) {
+        store.ReleaseChunk(chunk);
+        ++chunk;
+        row = 0;
+      }
+    }
+  };
+  Cursor cursor{previous};
+
+  FunctionCorpusStats stats;
+  const auto selected =
+      ecosystem.database().AppsWithConvergingHistory(options.min_history_years);
+  for (const auto& app : selected) {
+    const corpus::AppSpec* spec = ecosystem.FindSpec(app);
+    if (spec == nullptr) {
+      continue;
+    }
+    const auto profiled = ecosystem.GenerateSourcesProfiled(*spec);
+    const auto attribution = ecosystem.AttributeCves(*spec, profiled);
+    const corpus::VersionHistory history =
+        corpus::VersionHistory::ForApp(ecosystem, *spec);
+    const size_t head = history.head_version();
+    const size_t new_version = head - std::min(options.version_lag, head);
+    const size_t prev_version = head - std::min(previous_version_lag, head);
+    const auto files_new = history.Materialize(new_version);
+    const auto process = history.ProcessMetricsAt(new_version);
+    const auto files_prev = history.Materialize(prev_version);
+    std::map<std::string, const std::string*> prev_text;
+    for (const auto& file : files_prev) {
+      prev_text[file.path] = &file.text;
+    }
+
+    bool contributed = false;
+    for (const auto& file : files_new) {
+      if (file.language != metrics::Language::kMiniC) {
+        continue;
+      }
+      const std::string prefix = file.path + "::";
+      const auto old_text = prev_text.find(file.path);
+      const bool file_unchanged =
+          old_text != prev_text.end() && *old_text->second == file.text;
+
+      // Rows the previous store holds for this file (consecutive, cursor
+      // order): reuse them when the file is token-identical, else discard
+      // and recompute.
+      std::vector<FunctionRow> reused;
+      while (!cursor.AtEnd() && cursor.Name().rfind(prefix, 0) == 0) {
+        if (file_unchanged) {
+          FunctionRow row;
+          row.name = cursor.Name();
+          cursor.Read(row.values, row.target);
+          reused.push_back(std::move(row));
+        }
+        cursor.Advance();
+      }
+
+      std::vector<FunctionRow> rows;
+      if (file_unchanged && !reused.empty()) {
+        rows = std::move(reused);
+        const auto file_process = process.find(file.path);
+        for (auto& row : rows) {
+          // Static columns are identical by construction (same token
+          // stream); the proc.* block moves with the as-of day, so it is
+          // re-evaluated even for untouched code.
+          metrics::ProcessMetrics pm;
+          if (file_process != process.end()) {
+            const std::string fn_name = row.name.substr(prefix.size());
+            const auto it = file_process->second.find(fn_name);
+            if (it != file_process->second.end()) {
+              pm = it->second;
+            }
+          }
+          row.values[proc_first + 0] = pm.touches;
+          row.values[proc_first + 1] = pm.age_days;
+          row.values[proc_first + 2] = pm.days_since_change;
+          row.values[proc_first + 3] = pm.lines_added;
+          row.values[proc_first + 4] = pm.lines_deleted;
+        }
+        stats.rows_reused += rows.size();
+      } else {
+        const auto file_process = process.find(file.path);
+        AppendFileRows(
+            file, file_process != process.end() ? &file_process->second : nullptr,
+            attribution, rows);
+        stats.rows_recomputed += rows.size();
+      }
+      for (const auto& row : rows) {
+        writer.Append(row.name, row.values, row.target);
+        ++stats.functions;
+        if (row.target != 0.0) {
+          ++stats.positives;
+        }
+        contributed = true;
+      }
+    }
+    if (contributed) {
+      ++stats.apps;
     }
   }
   return stats;

@@ -32,6 +32,10 @@ struct FunctionCorpusStats {
   size_t apps = 0;       // Selected C-family apps that contributed rows.
   size_t functions = 0;  // Rows appended.
   size_t positives = 0;  // Functions with >= 1 attributed CVE.
+  // Splice accounting (zero for from-scratch sweeps): rows copied from the
+  // previous store vs re-extracted because their file changed.
+  size_t rows_reused = 0;
+  size_t rows_recomputed = 0;
 };
 
 // One function-granular labelled row: name "app/src/file.c::function",
@@ -46,9 +50,18 @@ struct FunctionRow {
 // One app's rows, in file order then declaration order — the same order a
 // serial sweep would produce. Deterministic per app and independent of who
 // calls it (the wave-parallel collector below and the shard worker both
-// stream from this, so their stores are byte-identical).
+// stream from this, so their stores are byte-identical). Rows carry the
+// proc.* process features (churn, age, touches — corpus::VersionHistory)
+// alongside the static battery.
 std::vector<FunctionRow> ExtractAppFunctionRows(
     const corpus::EcosystemGenerator& ecosystem, const corpus::AppSpec& spec);
+
+// Same, at `version_lag` commits before the app's HEAD (clamped to the
+// initial import). proc.* features are evaluated as of that version's last
+// applied commit.
+std::vector<FunctionRow> ExtractAppFunctionRowsAt(
+    const corpus::EcosystemGenerator& ecosystem, const corpus::AppSpec& spec,
+    size_t version_lag);
 
 struct FunctionRankOptions {
   double min_history_years = 5.0;  // Same selection policy as Testbed.
@@ -59,12 +72,28 @@ struct FunctionRankOptions {
   // rows always land in sorted-app order, so the store file is
   // byte-identical at any thread count.
   size_t wave_apps = 8;
+  // Extract every app at this many commits before its HEAD (0 = HEAD).
+  size_t version_lag = 0;
 };
 
 // Streams one row per MiniC function of every selected app into `writer`
 // (row name "app/src/file.c::function"). The caller owns Finish().
 support::Result<FunctionCorpusStats> CollectFunctionRows(
     const corpus::EcosystemGenerator& ecosystem, const FunctionRankOptions& options,
+    ml::FeatureStoreWriter& writer);
+
+// Incremental store update: streams the function rows of the corpus at
+// `options.version_lag` into `writer`, reusing rows from `previous` (a
+// finished store extracted at `previous_version_lag`) for every file whose
+// token stream is unchanged between the two versions — only the 5 trailing
+// proc.* columns are re-evaluated, since process metrics move with the
+// as-of day even when code does not. Changed files re-run the full static
+// battery. The output store is byte-identical to a from-scratch
+// CollectFunctionRows at the same lag; rows_reused / rows_recomputed in the
+// returned stats expose the split.
+support::Result<FunctionCorpusStats> SpliceFunctionRows(
+    const corpus::EcosystemGenerator& ecosystem, const FunctionRankOptions& options,
+    const ml::FeatureStore& previous, size_t previous_version_lag,
     ml::FeatureStoreWriter& writer);
 
 // Scores every row of a finished store with `model` (positive-class

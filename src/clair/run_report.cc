@@ -39,8 +39,11 @@ void RunReport::Merge(const RunReport& other) {
   cache_coalesced_fills = SatAdd(cache_coalesced_fills, other.cache_coalesced_fills);
   cache_integrity_rejects =
       SatAdd(cache_integrity_rejects, other.cache_integrity_rejects);
+  cache_evictions = SatAdd(cache_evictions, other.cache_evictions);
   checkpoint_dropped_blocks =
       SatAdd(checkpoint_dropped_blocks, other.checkpoint_dropped_blocks);
+  checkpoint_stale_records =
+      SatAdd(checkpoint_stale_records, other.checkpoint_stale_records);
 }
 
 uint64_t RunReport::TotalFailures() const {
@@ -76,17 +79,20 @@ std::string RunReport::ToString() const {
   }
   out += support::Format(
       "apps=%llu resumed_from_checkpoint=%llu checkpoint_appends=%llu "
-      "checkpoint_dropped=%llu rows_from_cache=%llu cache_misses=%llu "
-      "cache_entries=%llu cache_coalesced_fills=%llu cache_integrity_rejects=%llu\n",
+      "checkpoint_dropped=%llu checkpoint_stale=%llu rows_from_cache=%llu "
+      "cache_misses=%llu cache_entries=%llu cache_coalesced_fills=%llu "
+      "cache_integrity_rejects=%llu cache_evictions=%llu\n",
       static_cast<unsigned long long>(apps_total),
       static_cast<unsigned long long>(apps_from_checkpoint),
       static_cast<unsigned long long>(checkpoint_appends),
       static_cast<unsigned long long>(checkpoint_dropped_blocks),
+      static_cast<unsigned long long>(checkpoint_stale_records),
       static_cast<unsigned long long>(rows_from_cache),
       static_cast<unsigned long long>(cache_misses),
       static_cast<unsigned long long>(cache_entries),
       static_cast<unsigned long long>(cache_coalesced_fills),
-      static_cast<unsigned long long>(cache_integrity_rejects));
+      static_cast<unsigned long long>(cache_integrity_rejects),
+      static_cast<unsigned long long>(cache_evictions));
   return out;
 }
 
@@ -144,7 +150,9 @@ std::string SaveRunReport(const RunReport& report) {
   counter("cache_entries", report.cache_entries);
   counter("cache_coalesced_fills", report.cache_coalesced_fills);
   counter("cache_integrity_rejects", report.cache_integrity_rejects);
+  counter("cache_evictions", report.cache_evictions);
   counter("checkpoint_dropped_blocks", report.checkpoint_dropped_blocks);
+  counter("checkpoint_stale_records", report.checkpoint_stale_records);
   return out;
 }
 
@@ -237,8 +245,12 @@ support::Result<RunReport> LoadRunReport(std::string_view text) {
       report.cache_coalesced_fills = count;
     } else if (key == "cache_integrity_rejects") {
       report.cache_integrity_rejects = count;
+    } else if (key == "cache_evictions") {
+      report.cache_evictions = count;
     } else if (key == "checkpoint_dropped_blocks") {
       report.checkpoint_dropped_blocks = count;
+    } else if (key == "checkpoint_stale_records") {
+      report.checkpoint_stale_records = count;
     } else {
       return Error(Error::Code::kParseError,
                    support::Format("line %d: unknown key '%s'", line_no, key.c_str()));

@@ -58,11 +58,20 @@ struct RunReport {
   // in-flight requests onto one cache fill.
   uint64_t cache_coalesced_fills = 0;
   uint64_t cache_integrity_rejects = 0;
+  // Entries removed from any cache tier (app rows, per-file vectors,
+  // function-granular payloads) by the FIFO capacity policy. A hot sweep
+  // with nonzero evictions is thrashing its byte budget — visible here, not
+  // silent.
+  uint64_t cache_evictions = 0;
   // Checkpoint blocks dropped at resume time — corrupt payloads (crc
   // mismatch, unparseable section) or a torn tail from a mid-write kill.
   // Those apps are recomputed, never lost, but the damage is surfaced here
   // instead of being silently skipped.
   uint64_t checkpoint_dropped_blocks = 0;
+  // Checkpointed rows superseded because their source digest no longer
+  // matched the sweep's sources (version drift); re-extracted and appended
+  // last-wins.
+  uint64_t checkpoint_stale_records = 0;
 
   uint64_t TotalFailures() const;
   uint64_t TotalDegraded() const;

@@ -13,6 +13,13 @@ std::string SaveRecords(const std::vector<AppRecord>& records) {
   for (const auto& record : records) {
     out += "[app]\n";
     out += "name=" + record.name + "\n";
+    if (record.source_digest != 0) {
+      // Content digest of the extraction sources; checkpoint resume uses it
+      // to detect version drift. Omitted at zero so records built without a
+      // digest round-trip byte-identically.
+      out += support::Format("source=%016llx\n",
+                             static_cast<unsigned long long>(record.source_digest));
+    }
     const auto& labels = record.labels;
     out += support::Format("label.total=%d\n", labels.total);
     out += support::Format("label.critical=%d\n", labels.critical);
@@ -73,6 +80,10 @@ support::Result<std::vector<AppRecord>> LoadRecords(std::string_view text) {
     if (key == "name") {
       current->name = value;
       current->labels.app = value;
+    } else if (key == "source") {
+      char* end = nullptr;
+      current->source_digest = std::strtoull(value.c_str(), &end, 16);
+      ok = !value.empty() && end != nullptr && *end == '\0';
     } else if (key == "label.total") {
       ok = parse_int(current->labels.total);
     } else if (key == "label.critical") {

@@ -1,14 +1,19 @@
 #include "src/clair/testbed.h"
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <queue>
+#include <set>
 #include <sstream>
 #include <unordered_map>
 #include <utility>
 
 #include "src/clair/serialize.h"
+#include "src/corpus/history.h"
 #include "src/dataflow/analyses.h"
 #include "src/dataflow/intervals.h"
 #include "src/lang/interp.h"
@@ -20,6 +25,23 @@
 
 namespace clair {
 namespace {
+
+// Salts separating the function-granular payload namespaces inside the
+// shared RowCache / per-file FeatureCache: the same token hash must never
+// alias a dataflow row with an interval row.
+constexpr uint64_t kFileRowSalt = 0x8f11e50a7c01ULL;
+constexpr uint64_t kDataflowRowSalt = 0xda7af10aULL;
+constexpr uint64_t kIntervalsRowSalt = 0x17e2f0a1ULL;
+constexpr uint64_t kSymexecRowSalt = 0x53e7ecULL;
+constexpr uint64_t kDynamicRowSalt = 0xd59a1cULL;
+
+// FNV-1a over the 8 little-endian bytes of `value`, chained from `hash`.
+uint64_t MixU64(uint64_t hash, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash = (hash ^ ((value >> (8 * i)) & 0xff)) * 0x100000001b3ULL;
+  }
+  return hash;
+}
 
 // §5.3's dynamic-trace extension: execute the module's call-graph roots on
 // random inputs and summarise runtime behaviour. `deadline` (not owned) is
@@ -89,7 +111,18 @@ metrics::FeatureVector DynamicFeatures(const lang::IrModule& module, int trials,
 }  // namespace
 
 Testbed::Testbed(const corpus::EcosystemGenerator& ecosystem, TestbedOptions options)
-    : ecosystem_(ecosystem), options_(options) {}
+    : ecosystem_(ecosystem),
+      options_(options),
+      fn_cache_(1 << 18, options.function_cache_max_bytes) {}
+
+bool Testbed::GranularActive() const {
+  // Any armed fault site disables the granular tier: the module-level path
+  // is the one whose injection semantics the robustness suite pins, and a
+  // faulted run must never serve rows cached by a clean run (or vice versa
+  // across attempt salts at sub-stage granularity).
+  return options_.cache_functions &&
+         support::FaultInjector::Global().Fingerprint() == 0;
+}
 
 // Retry-and-degrade wrapper around one deep-analysis stage. Failure modes
 // are normalised here: an Error result, an InjectedFault, a watchdog
@@ -196,6 +229,386 @@ uint64_t Testbed::OptionsFingerprint() const {
   return Fnv1a64(encoding);
 }
 
+// Per-file shallow battery with content-addressed reuse. Replicates
+// metrics::ExtractAppFeatures op-for-op: MergeSum in file order over vectors
+// that are bit-identical whether cached or freshly computed (FeatureVector
+// round-trips doubles exactly through the cache), then the same app-level
+// epilogue.
+metrics::FeatureVector Testbed::GranularAppFeatures(
+    const std::vector<metrics::SourceFile>& files) const {
+  metrics::FeatureVector app;
+  for (const auto& file : files) {
+    uint64_t key = Fnv1a64(file.path, kFileRowSalt);
+    key = MixU64(key, static_cast<uint64_t>(file.language));
+    key = Fnv1a64(file.text, key);
+    metrics::FeatureVector row;
+    if (file_cache_.Lookup(key, &row)) {
+      file_rows_reused_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      row = metrics::ExtractFileFeatures(file);
+      file_cache_.Insert(key, row);
+      file_rows_computed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    app.MergeSum(row);
+  }
+  app.Set("app.files", static_cast<double>(files.size()));
+  const double code = app.Get("loc.code");
+  const double comment = app.Get("loc.comment");
+  if (code > 0.0) {
+    app.Set("loc.comment_ratio", comment / code);
+  }
+  return app;
+}
+
+// Per-function dataflow battery with payload reuse. The loop mirrors
+// dataflow::DataflowFeatures exactly — same tick weights, same accumulation
+// order, same epilogue — with each function's contribution either computed
+// (and cached under its body-token hash) or replayed from the cache.
+metrics::FeatureVector Testbed::GranularDataflow(const lang::IrModule& module,
+                                                 const FileFunctionIndex& index,
+                                                 support::Deadline* deadline) const {
+  const uint64_t options_fp = OptionsFingerprint();
+  std::map<std::string, uint64_t> hash_by_name;
+  for (const auto& fp : index.functions) {
+    hash_by_name[fp.name] = fp.token_hash;
+  }
+  metrics::FeatureVector fv;
+  double mean_reaching_sum = 0.0;
+  int max_live = 0;
+  int max_dom_depth = 0;
+  dataflow::TaintSummary total;
+  for (const auto& fn : module.functions) {
+    deadline->TickOrThrow("dataflow", fn.blocks.size() + 1);
+    uint64_t key = 0;
+    bool keyed = false;
+    if (const auto it = hash_by_name.find(fn.name); it != hash_by_name.end()) {
+      key = MixU64(MixU64(kDataflowRowSalt, it->second), options_fp);
+      keyed = true;
+    }
+    std::vector<double> row;
+    if (keyed && fn_cache_.Lookup(key, &row) && row.size() == 9) {
+      fn_dataflow_reused_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      const dataflow::CfgView cfg(fn);
+      const dataflow::ReachingDefinitions rd(fn, &cfg);
+      const dataflow::Liveness lv(fn, &cfg);
+      const dataflow::Dominators dom(fn, &cfg);
+      const dataflow::TaintSummary ts = dataflow::AnalyzeTaint(fn, &cfg);
+      row = {rd.MeanReachingPerUse(),
+             static_cast<double>(lv.MaxLiveAtEntry()),
+             static_cast<double>(dom.TreeDepth()),
+             static_cast<double>(ts.tainted_instructions),
+             static_cast<double>(ts.tainted_branches),
+             static_cast<double>(ts.tainted_array_indices),
+             static_cast<double>(ts.tainted_sinks),
+             static_cast<double>(ts.tainted_call_args),
+             static_cast<double>(ts.input_sites)};
+      fn_dataflow_computed_.fetch_add(1, std::memory_order_relaxed);
+      if (keyed) {
+        fn_cache_.Insert(key, row);
+      }
+    }
+    mean_reaching_sum += row[0];
+    max_live = std::max(max_live, static_cast<int>(row[1]));
+    max_dom_depth = std::max(max_dom_depth, static_cast<int>(row[2]));
+    total.tainted_instructions += static_cast<long long>(row[3]);
+    total.tainted_branches += static_cast<long long>(row[4]);
+    total.tainted_array_indices += static_cast<long long>(row[5]);
+    total.tainted_sinks += static_cast<long long>(row[6]);
+    total.tainted_call_args += static_cast<long long>(row[7]);
+    total.input_sites += static_cast<long long>(row[8]);
+  }
+  const double fn_count =
+      module.functions.empty() ? 1.0 : static_cast<double>(module.functions.size());
+  fv.Set("dataflow.mean_reaching_defs", mean_reaching_sum / fn_count);
+  fv.Set("dataflow.max_live_regs", static_cast<double>(max_live));
+  fv.Set("dataflow.max_dom_depth", static_cast<double>(max_dom_depth));
+  fv.Set("dataflow.tainted_instructions", static_cast<double>(total.tainted_instructions));
+  fv.Set("dataflow.tainted_branches", static_cast<double>(total.tainted_branches));
+  fv.Set("dataflow.tainted_array_indices",
+         static_cast<double>(total.tainted_array_indices));
+  fv.Set("dataflow.tainted_sinks", static_cast<double>(total.tainted_sinks));
+  fv.Set("dataflow.tainted_call_args", static_cast<double>(total.tainted_call_args));
+  fv.Set("dataflow.input_sites", static_cast<double>(total.input_sites));
+  return fv;
+}
+
+// Per-function interval analysis with payload reuse. The watchdog is the
+// subtle part: AnalyzeIntervals ticks `deadline` once per worklist visit, so
+// a cached function replays its recorded step delta (payload slot 6) before
+// folding — cumulative budget consumption, and therefore the logical point
+// where a tight budget expires, is identical warm and cold.
+metrics::FeatureVector Testbed::GranularIntervals(const lang::IrModule& module,
+                                                  const FileFunctionIndex& index,
+                                                  support::Deadline* deadline) const {
+  const uint64_t options_fp = OptionsFingerprint();
+  std::map<std::string, uint64_t> hash_by_name;
+  for (const auto& fp : index.functions) {
+    hash_by_name[fp.name] = fp.token_hash;
+  }
+  metrics::FeatureVector fv;
+  long long accesses = 0;
+  long long proven = 0;
+  long long divisions = 0;
+  long long proven_div = 0;
+  long long possible_oob = 0;
+  long long possible_div0 = 0;
+  for (const auto& fn : module.functions) {
+    uint64_t key = 0;
+    bool keyed = false;
+    if (const auto it = hash_by_name.find(fn.name); it != hash_by_name.end()) {
+      key = MixU64(MixU64(kIntervalsRowSalt, it->second), options_fp);
+      keyed = true;
+    }
+    std::vector<double> row;
+    if (keyed && fn_cache_.Lookup(key, &row) && row.size() == 7) {
+      deadline->TickOrThrow("intervals", static_cast<uint64_t>(row[6]));
+      fn_intervals_reused_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      const uint64_t before = deadline->steps_used();
+      dataflow::IntervalOptions interval_options;
+      interval_options.deadline = deadline;
+      const dataflow::IntervalReport report =
+          dataflow::AnalyzeIntervals(fn, interval_options);
+      long long fn_oob = 0;
+      long long fn_div0 = 0;
+      for (const auto& finding : report.findings) {
+        if (finding.kind == dataflow::AiFinding::Kind::kPossibleOutOfBounds) {
+          ++fn_oob;
+        } else {
+          ++fn_div0;
+        }
+      }
+      row = {static_cast<double>(report.array_accesses),
+             static_cast<double>(report.proven_in_bounds),
+             static_cast<double>(report.divisions),
+             static_cast<double>(report.proven_nonzero_divisor),
+             static_cast<double>(fn_oob),
+             static_cast<double>(fn_div0),
+             static_cast<double>(deadline->steps_used() - before)};
+      fn_intervals_computed_.fetch_add(1, std::memory_order_relaxed);
+      if (keyed) {
+        fn_cache_.Insert(key, row);
+      }
+    }
+    accesses += static_cast<long long>(row[0]);
+    proven += static_cast<long long>(row[1]);
+    divisions += static_cast<long long>(row[2]);
+    proven_div += static_cast<long long>(row[3]);
+    possible_oob += static_cast<long long>(row[4]);
+    possible_div0 += static_cast<long long>(row[5]);
+  }
+  fv.Set("ai.array_accesses", static_cast<double>(accesses));
+  fv.Set("ai.proven_in_bounds", static_cast<double>(proven));
+  fv.Set("ai.possible_oob", static_cast<double>(possible_oob));
+  fv.Set("ai.divisions", static_cast<double>(divisions));
+  fv.Set("ai.proven_nonzero_divisor", static_cast<double>(proven_div));
+  fv.Set("ai.possible_div0", static_cast<double>(possible_div0));
+  if (accesses > 0) {
+    fv.Set("ai.unproven_access_ratio",
+           static_cast<double>(possible_oob) / static_cast<double>(accesses));
+  }
+  return fv;
+}
+
+// Per-entry symbolic exploration with payload reuse. An entry's result is a
+// function of everything reachable from it, so the key is a digest of the
+// entry's call-graph closure (each reachable function's body-token hash),
+// the file preamble (global initializers), the entry's derived RNG seed, and
+// the options fingerprint. Misses fan out on the pool exactly like
+// symx::SymexFeatures; the fold runs in entry-index order either way.
+metrics::FeatureVector Testbed::GranularSymexec(const lang::IrModule& module,
+                                                const FileFunctionIndex& index,
+                                                int attempt) const {
+  metrics::FeatureVector fv;
+  std::vector<std::string> entries;
+  const metrics::CallGraph graph(module);
+  if (module.FindFunction("main") != nullptr) {
+    entries.push_back("main");
+  } else {
+    entries = graph.Roots();
+  }
+  const auto& sx = options_.symexec;
+  const size_t max_entries =
+      sx.max_entries > 0 ? static_cast<size_t>(sx.max_entries) : entries.size();
+  if (entries.size() > max_entries) {
+    entries.resize(max_entries);
+  }
+  symx::SymExecOptions base = sx;
+  base.watchdog_steps = options_.stage_step_budget;
+  base.fault_salt = static_cast<uint32_t>(attempt);
+
+  const uint64_t options_fp = OptionsFingerprint();
+  std::map<std::string, uint64_t> hash_by_name;
+  for (const auto& fp : index.functions) {
+    hash_by_name[fp.name] = fp.token_hash;
+  }
+  const auto closure_key = [&](const std::string& entry, size_t i) {
+    std::set<std::string> visited;
+    std::queue<std::string> frontier;
+    visited.insert(entry);
+    frontier.push(entry);
+    while (!frontier.empty()) {
+      const std::string name = frontier.front();
+      frontier.pop();
+      for (const auto& callee : graph.Callees(name)) {
+        if (visited.insert(callee).second) {
+          frontier.push(callee);
+        }
+      }
+    }
+    uint64_t key = MixU64(kSymexecRowSalt, options_fp);
+    key = MixU64(key, index.preamble_hash);
+    key = Fnv1a64(entry, key);
+    key = MixU64(key, support::Rng::TaskSeed(base.rng_seed, static_cast<uint64_t>(i)));
+    for (const auto& name : visited) {  // std::set: sorted, deterministic.
+      key = Fnv1a64(name, key);
+      const auto it = hash_by_name.find(name);
+      key = MixU64(key, it != hash_by_name.end() ? it->second : 0x9e3779b97f4a7c15ULL);
+    }
+    return key;
+  };
+
+  std::vector<uint64_t> keys(entries.size(), 0);
+  std::vector<std::vector<double>> rows(entries.size());
+  std::vector<size_t> missing;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    keys[i] = closure_key(entries[i], i);
+    if (fn_cache_.Lookup(keys[i], &rows[i]) && rows[i].size() >= 8) {
+      symexec_entries_reused_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      rows[i].clear();
+      missing.push_back(i);
+    }
+  }
+  if (!missing.empty()) {
+    // Same fan-out as the module-level path; a watchdog throw propagates to
+    // GuardStage before anything is inserted, so a failed stage caches
+    // nothing (retries recompute, exactly like the module-level path).
+    const std::vector<symx::SymExecResult> computed =
+        support::ParallelMap<symx::SymExecResult>(missing.size(), [&](size_t m) {
+          const size_t i = missing[m];
+          symx::SymExecOptions entry_options = base;
+          entry_options.rng_seed =
+              support::Rng::TaskSeed(base.rng_seed, static_cast<uint64_t>(i));
+          return symx::Explore(module, entries[i], entry_options);
+        });
+    for (size_t m = 0; m < missing.size(); ++m) {
+      const size_t i = missing[m];
+      const symx::SymExecResult& result = computed[m];
+      std::vector<double> row = {static_cast<double>(result.paths_explored),
+                                 static_cast<double>(result.paths_completed),
+                                 static_cast<double>(result.solver_queries),
+                                 static_cast<double>(result.range_pruned),
+                                 static_cast<double>(result.sat_conflicts),
+                                 static_cast<double>(result.model_reuse_hits),
+                                 static_cast<double>(result.simplifier_folds),
+                                 static_cast<double>(result.vulns.size())};
+      for (const auto& vuln : result.vulns) {
+        row.push_back(static_cast<double>(static_cast<int>(vuln.kind)));
+        row.push_back(vuln.exploit_fraction);
+      }
+      fn_cache_.Insert(keys[i], row);
+      rows[i] = std::move(row);
+      symexec_entries_computed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  uint64_t paths = 0;
+  uint64_t completed = 0;
+  uint64_t vuln_sites = 0;
+  uint64_t oob_sites = 0;
+  uint64_t div_sites = 0;
+  uint64_t queries = 0;
+  uint64_t pruned = 0;
+  uint64_t conflicts = 0;
+  uint64_t reuse_hits = 0;
+  uint64_t folds = 0;
+  double max_fraction = 0.0;
+  double sum_fraction = 0.0;
+  for (const auto& row : rows) {
+    paths += static_cast<uint64_t>(row[0]);
+    completed += static_cast<uint64_t>(row[1]);
+    queries += static_cast<uint64_t>(row[2]);
+    pruned += static_cast<uint64_t>(row[3]);
+    conflicts += static_cast<uint64_t>(row[4]);
+    reuse_hits += static_cast<uint64_t>(row[5]);
+    folds += static_cast<uint64_t>(row[6]);
+    const size_t nvulns = static_cast<size_t>(row[7]);
+    vuln_sites += nvulns;
+    for (size_t v = 0; v < nvulns; ++v) {
+      const double kind = row[8 + 2 * v];
+      const double fraction = row[9 + 2 * v];
+      if (static_cast<int>(kind) == static_cast<int>(symx::VulnKind::kOutOfBounds)) {
+        ++oob_sites;
+      } else {
+        ++div_sites;
+      }
+      max_fraction = std::max(max_fraction, fraction);
+      sum_fraction += fraction;
+    }
+  }
+  fv.Set("symx.entries", static_cast<double>(entries.size()));
+  fv.Set("symx.paths", static_cast<double>(paths));
+  fv.Set("symx.paths_completed", static_cast<double>(completed));
+  fv.Set("symx.vuln_sites", static_cast<double>(vuln_sites));
+  fv.Set("symx.oob_sites", static_cast<double>(oob_sites));
+  fv.Set("symx.divzero_sites", static_cast<double>(div_sites));
+  fv.Set("symx.solver_queries", static_cast<double>(queries));
+  fv.Set("symx.range_pruned", static_cast<double>(pruned));
+  fv.Set("symx.range_prune_rate",
+         static_cast<double>(pruned) /
+             static_cast<double>(std::max<uint64_t>(1, pruned + queries)));
+  fv.Set("symx.sat_conflicts", static_cast<double>(conflicts));
+  fv.Set("symx.model_reuse_hits", static_cast<double>(reuse_hits));
+  fv.Set("symx.simplifier_folds", static_cast<double>(folds));
+  fv.Set("symx.max_exploit_fraction", max_fraction);
+  fv.Set("symx.sum_exploit_fraction", sum_fraction);
+  return fv;
+}
+
+// Whole-file dynamic battery with payload reuse: the trace stream depends on
+// every function the roots reach, so the unit of caching is the file's full
+// token hash. Cached entries replay their recorded deadline consumption so
+// warm and cold runs expire a tight budget at the same point.
+metrics::FeatureVector Testbed::GranularDynamic(const lang::IrModule& module,
+                                                const FileFunctionIndex& index,
+                                                uint64_t seed,
+                                                support::Deadline* deadline) const {
+  uint64_t key = MixU64(kDynamicRowSalt, OptionsFingerprint());
+  key = MixU64(key, index.file_token_hash);
+  key = MixU64(key, seed);
+  std::vector<double> row;
+  if (fn_cache_.Lookup(key, &row) && row.size() == 8) {
+    deadline->TickOrThrow("dynamic", static_cast<uint64_t>(row[7]));
+    dynamic_files_reused_.fetch_add(1, std::memory_order_relaxed);
+    metrics::FeatureVector fv;
+    if (row[0] > 0.0) {
+      fv.Set("dynamic.runs", row[1]);
+      fv.Set("dynamic.fault_rate", row[2]);
+      fv.Set("dynamic.abort_rate", row[3]);
+      fv.Set("dynamic.mean_steps", row[4]);
+      fv.Set("dynamic.branch_density", row[5]);
+      fv.Set("dynamic.sink_events_per_run", row[6]);
+    }
+    return fv;
+  }
+  const uint64_t before = deadline->steps_used();
+  const metrics::FeatureVector fv =
+      DynamicFeatures(module, options_.dynamic_trials, seed, deadline);
+  row = {fv.Has("dynamic.runs") ? 1.0 : 0.0,
+         fv.Get("dynamic.runs"),
+         fv.Get("dynamic.fault_rate"),
+         fv.Get("dynamic.abort_rate"),
+         fv.Get("dynamic.mean_steps"),
+         fv.Get("dynamic.branch_density"),
+         fv.Get("dynamic.sink_events_per_run"),
+         static_cast<double>(deadline->steps_used() - before)};
+  fn_cache_.Insert(key, row);
+  dynamic_files_computed_.fetch_add(1, std::memory_order_relaxed);
+  return fv;
+}
+
 metrics::FeatureVector Testbed::ExtractFeatures(
     const std::vector<metrics::SourceFile>& files) const {
   uint64_t cache_key = 0;
@@ -206,7 +619,12 @@ metrics::FeatureVector Testbed::ExtractFeatures(
       return cached;
     }
   }
-  metrics::FeatureVector features = metrics::ExtractAppFeatures(files);
+  // Granular path (clean runs with cache_functions on): the shallow battery
+  // and every deep stage reuse content-addressed sub-results, and are
+  // bit-identical to the module-level path below.
+  const bool granular = GranularActive();
+  metrics::FeatureVector features =
+      granular ? GranularAppFeatures(files) : metrics::ExtractAppFeatures(files);
   if (!options_.with_dataflow && !options_.with_symexec && !options_.with_dynamic) {
     if (options_.cache_features) {
       cache_.Insert(cache_key, features);
@@ -247,28 +665,76 @@ metrics::FeatureVector Testbed::ExtractFeatures(
     if (!options_.with_dynamic) {
       tracker.Disable(StageKind::kDynamic);
     }
-    std::optional<lang::TranslationUnit> unit;
-    std::optional<lang::IrModule> module;
+    // Parse artifacts are immutable and shared: the granular path serves
+    // them from the AST cache (a warm re-score of an unchanged file never
+    // re-parses); the module-level path builds them fresh per file.
+    std::shared_ptr<const lang::TranslationUnit> unit;
+    std::shared_ptr<const lang::IrModule> module;
+    std::shared_ptr<const ParsedFile> parsed;
     for (StageKind stage = tracker.NextRunnable(); stage != StageKind::kCount;
          stage = tracker.NextRunnable()) {
       tracker.MarkRunning(stage);
       bool ok = false;
       switch (stage) {
-        case StageKind::kParse:
-          unit = GuardStage<lang::TranslationUnit>(
-              stage, features, [&](int) { return lang::Parse(file.text); });
-          ok = unit.has_value();
+        case StageKind::kParse: {
+          auto res = GuardStage<std::shared_ptr<const lang::TranslationUnit>>(
+              stage, features,
+              [&](int) -> support::Result<std::shared_ptr<const lang::TranslationUnit>> {
+                if (granular) {
+                  parsed = ast_cache_.Get(file);
+                  if (parsed->unit != nullptr) {
+                    return parsed->unit;
+                  }
+                  // Negative results are cached too; the original message is
+                  // not retained (nothing downstream consumes it).
+                  return support::Error(support::Error::Code::kParseError,
+                                        "parse failed");
+                }
+                auto fresh = lang::Parse(file.text);
+                if (!fresh.ok()) {
+                  return std::move(fresh).error();
+                }
+                return std::make_shared<const lang::TranslationUnit>(
+                    std::move(fresh).value());
+              });
+          if (res.has_value()) {
+            unit = std::move(*res);
+          }
+          ok = unit != nullptr;
           break;
-        case StageKind::kLower:
-          module = GuardStage<lang::IrModule>(
-              stage, features, [&](int) { return lang::LowerToIr(*unit); });
-          ok = module.has_value();
+        }
+        case StageKind::kLower: {
+          auto res = GuardStage<std::shared_ptr<const lang::IrModule>>(
+              stage, features,
+              [&](int) -> support::Result<std::shared_ptr<const lang::IrModule>> {
+                if (granular) {
+                  if (parsed->module != nullptr) {
+                    return parsed->module;
+                  }
+                  return support::Error(support::Error::Code::kInternal,
+                                        "lowering failed");
+                }
+                auto fresh = lang::LowerToIr(*unit);
+                if (!fresh.ok()) {
+                  return std::move(fresh).error();
+                }
+                return std::make_shared<const lang::IrModule>(
+                    std::move(fresh).value());
+              });
+          if (res.has_value()) {
+            module = std::move(*res);
+          }
+          ok = module != nullptr;
           break;
+        }
         case StageKind::kDataflow: {
           auto df = GuardStage<metrics::FeatureVector>(
               stage, features,
               [&](int) -> support::Result<metrics::FeatureVector> {
                 support::Deadline deadline = StageDeadline();
+                if (granular) {
+                  return GranularDataflow(*module, parsed->index, &deadline);
+                }
                 return dataflow::DataflowFeatures(*module, &deadline);
               });
           if (df.has_value()) {
@@ -282,6 +748,9 @@ metrics::FeatureVector Testbed::ExtractFeatures(
               stage, features,
               [&](int) -> support::Result<metrics::FeatureVector> {
                 support::Deadline deadline = StageDeadline();
+                if (granular) {
+                  return GranularIntervals(*module, parsed->index, &deadline);
+                }
                 dataflow::IntervalOptions interval_options;
                 interval_options.deadline = &deadline;
                 return dataflow::IntervalFeatures(*module, interval_options);
@@ -296,6 +765,9 @@ metrics::FeatureVector Testbed::ExtractFeatures(
           auto sx = GuardStage<metrics::FeatureVector>(
               stage, features,
               [&](int attempt) -> support::Result<metrics::FeatureVector> {
+                if (granular) {
+                  return GranularSymexec(*module, parsed->index, attempt);
+                }
                 // Symexec fans its entries out to pool workers, which do not
                 // inherit this thread's ScopedAttempt salt — the retry
                 // attempt rides in the options instead (see
@@ -319,11 +791,13 @@ metrics::FeatureVector Testbed::ExtractFeatures(
                 // Seeded by attempt index, so a file's dynamic stream is a
                 // function of its position among deep candidates, not of
                 // earlier parse outcomes.
-                return DynamicFeatures(
-                    *module, options_.dynamic_trials,
-                    support::Rng::TaskSeed(options_.dynamic_seed,
-                                           static_cast<uint64_t>(attempt_index)),
-                    &deadline);
+                const uint64_t seed = support::Rng::TaskSeed(
+                    options_.dynamic_seed, static_cast<uint64_t>(attempt_index));
+                if (granular) {
+                  return GranularDynamic(*module, parsed->index, seed, &deadline);
+                }
+                return DynamicFeatures(*module, options_.dynamic_trials, seed,
+                                       &deadline);
               });
           if (dyn.has_value()) {
             features.MergeSum(*dyn);
@@ -413,8 +887,11 @@ std::vector<AppRecord> Testbed::Collect() const {
         needs_newline = !text.empty() && text.back() != '\n';
         CheckpointLoadStats load_stats;
         for (auto& record : LoadCheckpoint(text, &load_stats)) {
+          // Last block wins: a re-extraction appended after a source change
+          // (the splice protocol below) supersedes the stale block for the
+          // same app.
           std::string name = record.name;
-          resumed.emplace(std::move(name), std::move(record));
+          resumed.insert_or_assign(std::move(name), std::move(record));
         }
         // Damage is recoverable (dropped apps recompute below) but never
         // silent: torn tails and corrupt blocks land in run_report().
@@ -445,11 +922,29 @@ std::vector<AppRecord> Testbed::Collect() const {
   support::ThreadPool& pool =
       dedicated != nullptr ? *dedicated : support::ThreadPool::Global();
   auto records = pool.ParallelMap<AppRecord>(specs.size(), [&](size_t i) {
+    std::optional<std::vector<metrics::SourceFile>> files;
     if (const auto it = resumed.find(names[i]); it != resumed.end()) {
-      apps_from_checkpoint_.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
+      // Splice protocol: a checkpointed row is reused only while its source
+      // digest still matches the sources this sweep would extract from.
+      // Legacy blocks (digest 0) are trusted verbatim; a mismatch means the
+      // corpus moved under the checkpoint (e.g. a version_lag change), so
+      // the row is re-extracted — through the warm function-granular caches,
+      // so only changed functions pay — and appended last-wins.
+      if (it->second.source_digest == 0) {
+        apps_from_checkpoint_.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
+      files = SourcesFor(*specs[i]);
+      if (HashSourceFiles(*files, 0) == it->second.source_digest) {
+        apps_from_checkpoint_.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
+      checkpoint_stale_.fetch_add(1, std::memory_order_relaxed);
     }
-    AppRecord record = ExtractRecord(*specs[i]);
+    if (!files.has_value()) {
+      files = SourcesFor(*specs[i]);
+    }
+    AppRecord record = ExtractRecordFromFiles(*specs[i], *files);
     if (checkpoint != nullptr) {
       const std::string block = SaveCheckpointRecord(record);
       std::lock_guard<std::mutex> lock(checkpoint_mutex);
@@ -463,12 +958,51 @@ std::vector<AppRecord> Testbed::Collect() const {
   return records;
 }
 
+std::vector<metrics::SourceFile> Testbed::SourcesFor(const corpus::AppSpec& spec) const {
+  if (options_.version_lag <= 0) {
+    return ecosystem_.GenerateSources(spec);
+  }
+  const corpus::VersionHistory history = corpus::VersionHistory::ForApp(ecosystem_, spec);
+  const size_t head = history.head_version();
+  const size_t lag =
+      std::min<size_t>(static_cast<size_t>(options_.version_lag), head);
+  return history.Materialize(head - lag);
+}
+
 AppRecord Testbed::ExtractRecord(const corpus::AppSpec& spec) const {
+  return ExtractRecordFromFiles(spec, SourcesFor(spec));
+}
+
+AppRecord Testbed::ExtractRecordFromFiles(
+    const corpus::AppSpec& spec,
+    const std::vector<metrics::SourceFile>& files) const {
   AppRecord record;
   record.name = spec.name;
-  record.features = ExtractFeatures(ecosystem_.GenerateSources(spec));
+  record.features = ExtractFeatures(files);
+  // Content-only digest (no options/fault fingerprint): rows extracted under
+  // different configurations from the same sources agree on it, so digest
+  // equality means exactly "same input tree".
+  record.source_digest = HashSourceFiles(files, 0);
   record.labels = ecosystem_.database().Summarize(record.name);
   return record;
+}
+
+IncrementalStats Testbed::incremental_stats() const {
+  IncrementalStats s;
+  s.files_parsed = ast_cache_.misses();
+  s.parse_reused = ast_cache_.hits();
+  s.file_rows_computed = file_rows_computed_.load(std::memory_order_relaxed);
+  s.file_rows_reused = file_rows_reused_.load(std::memory_order_relaxed);
+  s.fn_dataflow_computed = fn_dataflow_computed_.load(std::memory_order_relaxed);
+  s.fn_dataflow_reused = fn_dataflow_reused_.load(std::memory_order_relaxed);
+  s.fn_intervals_computed = fn_intervals_computed_.load(std::memory_order_relaxed);
+  s.fn_intervals_reused = fn_intervals_reused_.load(std::memory_order_relaxed);
+  s.symexec_entries_computed =
+      symexec_entries_computed_.load(std::memory_order_relaxed);
+  s.symexec_entries_reused = symexec_entries_reused_.load(std::memory_order_relaxed);
+  s.dynamic_files_computed = dynamic_files_computed_.load(std::memory_order_relaxed);
+  s.dynamic_files_reused = dynamic_files_reused_.load(std::memory_order_relaxed);
+  return s;
 }
 
 support::Result<FunctionCorpusStats> Testbed::CollectFunctionRows(
@@ -476,6 +1010,8 @@ support::Result<FunctionCorpusStats> Testbed::CollectFunctionRows(
   FunctionRankOptions options;
   options.min_history_years = options_.min_history_years;
   options.threads = options_.threads;
+  options.version_lag =
+      options_.version_lag > 0 ? static_cast<size_t>(options_.version_lag) : 0;
   return clair::CollectFunctionRows(ecosystem_, options, writer);
 }
 
@@ -500,12 +1036,17 @@ RunReport Testbed::run_report() const {
   report.apps_from_checkpoint = apps_from_checkpoint_.load(std::memory_order_relaxed);
   report.checkpoint_appends = checkpoint_appends_.load(std::memory_order_relaxed);
   report.checkpoint_dropped_blocks = checkpoint_dropped_.load(std::memory_order_relaxed);
+  report.checkpoint_stale_records = checkpoint_stale_.load(std::memory_order_relaxed);
   const FeatureCacheStats cache_stats = cache_.stats();
   report.rows_from_cache = cache_stats.hits;
   report.cache_misses = cache_stats.misses;
   report.cache_entries = cache_stats.entries;
   report.cache_coalesced_fills = cache_stats.coalesced_fills;
-  report.cache_integrity_rejects = cache_stats.integrity_rejects;
+  report.cache_integrity_rejects = cache_stats.integrity_rejects +
+                                   file_cache_.stats().integrity_rejects +
+                                   fn_cache_.stats().integrity_rejects;
+  report.cache_evictions = cache_stats.evictions + file_cache_.stats().evictions +
+                           fn_cache_.stats().evictions;
   return report;
 }
 

@@ -6,12 +6,14 @@
 
 #include <array>
 #include <atomic>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "src/clair/feature_cache.h"
 #include "src/clair/function_rank.h"
+#include "src/clair/incremental.h"
 #include "src/clair/run_report.h"
 #include "src/clair/stage_graph.h"
 #include "src/corpus/ecosystem.h"
@@ -50,6 +52,24 @@ struct TestbedOptions {
   // Content-addressed caching of finished feature rows (see
   // feature_cache.h); repeated extraction of identical sources is a lookup.
   bool cache_features = true;
+  // Function-granular incremental extraction (see incremental.h): parse
+  // artifacts, per-file metric vectors, per-function dataflow/interval
+  // payloads, and per-entry symexec results are content-addressed by
+  // normalized token hashes, so a warm re-score after an edit re-runs deep
+  // analyses only for the changed functions. Output is bit-identical to the
+  // module-level path (tests/incremental_test pins this); when any fault
+  // site is armed the testbed automatically falls back to the module-level
+  // path, so fault semantics and faulted-run byte-identity are untouched.
+  bool cache_functions = true;
+  // Byte cap for the function-granular row cache (0 = unbounded); oldest
+  // entries evict first, surfaced as cache_evictions in RunReport.
+  size_t function_cache_max_bytes = 64ull << 20;
+  // Sweep the corpus as of N commits before HEAD (corpus::VersionHistory).
+  // 0 = HEAD, byte-identical to GenerateSources. A sweep at lag L followed
+  // by a HEAD sweep over the same checkpoint exercises the splice protocol:
+  // records whose source digest no longer matches are re-extracted (warm)
+  // and superseded last-wins on resume.
+  int version_lag = 0;
 
   // --- Robustness layer (per-stage isolation in ExtractFeatures) ---
   // Each deep stage (parse, lower, dataflow, intervals, symexec, dynamic)
@@ -96,6 +116,31 @@ struct AppRecord {
   std::string name;
   metrics::FeatureVector features;
   cvedb::AppSummary labels;
+  // Content digest of the sources the row was extracted from
+  // (HashSourceFiles with fingerprint 0); 0 for legacy records. Checkpoint
+  // resume validates it so a record from one corpus version is never
+  // silently reused for another — the splice protocol of DESIGN.md §9.
+  uint64_t source_digest = 0;
+};
+
+// Work avoided / performed by the function-granular incremental layer.
+// "computed" counts deep-analysis executions; "reused" counts cache served
+// results. A warm re-score of a one-function edit should show computed
+// deltas proportional to the changed set, not the app (pinned by
+// tests/incremental_test).
+struct IncrementalStats {
+  uint64_t files_parsed = 0;             // Parser runs (AST-cache misses).
+  uint64_t parse_reused = 0;             // AST-cache hits.
+  uint64_t file_rows_computed = 0;       // Shallow per-file metric vectors.
+  uint64_t file_rows_reused = 0;
+  uint64_t fn_dataflow_computed = 0;     // Per-function dataflow batteries.
+  uint64_t fn_dataflow_reused = 0;
+  uint64_t fn_intervals_computed = 0;    // Per-function interval analyses.
+  uint64_t fn_intervals_reused = 0;
+  uint64_t symexec_entries_computed = 0; // Per-entry symbolic explorations.
+  uint64_t symexec_entries_reused = 0;
+  uint64_t dynamic_files_computed = 0;   // Per-file dynamic trace batteries.
+  uint64_t dynamic_files_reused = 0;
 };
 
 class Testbed {
@@ -130,6 +175,20 @@ class Testbed {
 
   // Hit/miss counters of the feature-row cache (zeros when disabled).
   FeatureCacheStats cache_stats() const { return cache_.stats(); }
+
+  // Counters of the function-granular incremental layer (computed vs reused
+  // per deep stage). The acceptance surface for "a warm re-score only
+  // re-runs changed functions".
+  IncrementalStats incremental_stats() const;
+
+  // Stats of the granular tiers: per-function payload rows and per-file
+  // metric vectors. cache_stats() stays L1-app-row-only.
+  FeatureCacheStats function_cache_stats() const { return fn_cache_.stats(); }
+  FeatureCacheStats file_cache_stats() const { return file_cache_.stats(); }
+
+  // Sources for `spec` at the testbed's configured corpus version (HEAD
+  // unless TestbedOptions::version_lag rolls the sweep back N commits).
+  std::vector<metrics::SourceFile> SourcesFor(const corpus::AppSpec& spec) const;
 
   // Failure-taxonomy snapshot: per-stage attempt/failure/degraded/retry
   // counts and wall-clock accumulated by every ExtractFeatures/Collect run
@@ -174,9 +233,43 @@ class Testbed {
   // cache key so differently-configured testbeds never share rows.
   uint64_t OptionsFingerprint() const;
 
+  // True when the function-granular path is in effect: enabled by options
+  // and no fault site is armed (fault runs use the module-level path
+  // verbatim, preserving injection semantics).
+  bool GranularActive() const;
+
+  // One app row from already-materialized sources (Collect's resume path
+  // re-extracts through this after a digest mismatch).
+  AppRecord ExtractRecordFromFiles(
+      const corpus::AppSpec& spec,
+      const std::vector<metrics::SourceFile>& files) const;
+
+  // Granular-path stage bodies; each replicates the module-level fold
+  // op-for-op and is bit-identical to it (tests/incremental_test).
+  metrics::FeatureVector GranularAppFeatures(
+      const std::vector<metrics::SourceFile>& files) const;
+  metrics::FeatureVector GranularDataflow(const lang::IrModule& module,
+                                          const FileFunctionIndex& index,
+                                          support::Deadline* deadline) const;
+  metrics::FeatureVector GranularIntervals(const lang::IrModule& module,
+                                           const FileFunctionIndex& index,
+                                           support::Deadline* deadline) const;
+  metrics::FeatureVector GranularSymexec(const lang::IrModule& module,
+                                         const FileFunctionIndex& index,
+                                         int attempt) const;
+  metrics::FeatureVector GranularDynamic(const lang::IrModule& module,
+                                         const FileFunctionIndex& index,
+                                         uint64_t seed,
+                                         support::Deadline* deadline) const;
+
   const corpus::EcosystemGenerator& ecosystem_;
   TestbedOptions options_;
   mutable FeatureCache cache_;
+  // Function-granular tiers (see incremental.h): parse artifacts, per-file
+  // metric vectors, and per-function/per-entry analysis payloads.
+  mutable AstCache ast_cache_;
+  mutable FeatureCache file_cache_;
+  mutable RowCache fn_cache_;
   // Indexed by StageKind; the per-request stages (features, predict) stay
   // zero here — the scheduler accounts for them in its own stats.
   mutable std::array<StageCounters, kStageKindCount> stage_counters_;
@@ -184,6 +277,18 @@ class Testbed {
   mutable std::atomic<uint64_t> apps_from_checkpoint_{0};
   mutable std::atomic<uint64_t> checkpoint_appends_{0};
   mutable std::atomic<uint64_t> checkpoint_dropped_{0};
+  mutable std::atomic<uint64_t> checkpoint_stale_{0};
+  // IncrementalStats counters.
+  mutable std::atomic<uint64_t> file_rows_computed_{0};
+  mutable std::atomic<uint64_t> file_rows_reused_{0};
+  mutable std::atomic<uint64_t> fn_dataflow_computed_{0};
+  mutable std::atomic<uint64_t> fn_dataflow_reused_{0};
+  mutable std::atomic<uint64_t> fn_intervals_computed_{0};
+  mutable std::atomic<uint64_t> fn_intervals_reused_{0};
+  mutable std::atomic<uint64_t> symexec_entries_computed_{0};
+  mutable std::atomic<uint64_t> symexec_entries_reused_{0};
+  mutable std::atomic<uint64_t> dynamic_files_computed_{0};
+  mutable std::atomic<uint64_t> dynamic_files_reused_{0};
 };
 
 }  // namespace clair

@@ -1,0 +1,270 @@
+#include "src/corpus/history.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/lang/parser.h"
+#include "src/support/strings.h"
+
+namespace corpus {
+namespace {
+
+// Mirrors ecosystem.cc's per-app stream salting (FNV-1a over the name);
+// a distinct final xor keeps the history stream independent of both source
+// generation and CVE sampling.
+uint64_t NameHash(const std::string& name) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    hash = (hash ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+constexpr uint64_t kHistorySalt = 0x5e1f9a3c0de1ULL;
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t end = text.find('\n', start);
+    if (end == std::string::npos) {
+      if (start < text.size()) {
+        lines.push_back(text.substr(start));
+      }
+      break;
+    }
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+// Rebuilds `text` with `insertions[line]` (1-based) spliced in after that
+// line. Every generated file ends in a newline; the rebuild preserves that.
+std::string SpliceLines(const std::string& text,
+                        const std::map<int, std::vector<std::string>>& insertions) {
+  const std::vector<std::string> lines = SplitLines(text);
+  std::string out;
+  out.reserve(text.size() + 64 * insertions.size());
+  for (size_t i = 0; i < lines.size(); ++i) {
+    out += lines[i];
+    out += '\n';
+    const auto it = insertions.find(static_cast<int>(i) + 1);
+    if (it != insertions.end()) {
+      for (const auto& inserted : it->second) {
+        out += inserted;
+        out += '\n';
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+cvedb::DayStamp CollectionDay() {
+  // Same reference day the CVE generator uses (ecosystem.cc): the paper's
+  // 2017 snapshot, 100 days in.
+  return (2017 - 1999) * cvedb::kDaysPerYear + 100;
+}
+
+VersionHistory VersionHistory::ForApp(const EcosystemGenerator& ecosystem,
+                                      const AppSpec& spec) {
+  VersionHistory history;
+  history.spec_ = spec;
+  history.head_ = ecosystem.GenerateSourcesProfiled(spec);
+
+  // Candidate functions in emission order, with the latent hazard profile
+  // driving touch weights: hazardous and large functions churn more, so the
+  // proc.* features carry label-correlated signal (as process metrics do on
+  // real projects), without the attribution ever being read here.
+  std::vector<double> weights;
+  for (const auto& entry : history.head_) {
+    if (entry.file.language != metrics::Language::kMiniC) {
+      continue;
+    }
+    for (const auto& fn : entry.functions) {
+      FunctionBirth birth;
+      birth.path = entry.file.path;
+      birth.name = fn.name;
+      history.births_.push_back(std::move(birth));
+      weights.push_back(fn.HazardWeight() + 0.25 +
+                        static_cast<double>(fn.lines) / 50.0);
+    }
+  }
+  if (history.births_.empty()) {
+    return history;  // Non-C-family app: no MiniC history to model.
+  }
+
+  support::Rng rng(ecosystem.options().seed ^ NameHash(spec.name) ^ kHistorySalt);
+  const cvedb::DayStamp start = spec.history_start;
+  const cvedb::DayStamp span = std::max<cvedb::DayStamp>(
+      spec.history_end - spec.history_start, 0);
+
+  // Births: most functions date from the initial import; a minority appear
+  // during the first quarter of the history, so age varies within one app.
+  for (auto& birth : history.births_) {
+    birth.born = start + static_cast<cvedb::DayStamp>(
+                             rng.NextBelow(static_cast<uint64_t>(span / 4) + 1));
+  }
+
+  // Commit stream: size scales gently with the function count so the edit
+  // stream stays cheap to materialize even for the largest apps.
+  const uint64_t base = 6 + history.births_.size() / 6;
+  const size_t commit_count =
+      static_cast<size_t>(std::min<uint64_t>(base + rng.NextBelow(7), 48));
+  std::vector<cvedb::DayStamp> days;
+  days.reserve(commit_count);
+  for (size_t j = 0; j < commit_count; ++j) {
+    days.push_back(start + static_cast<cvedb::DayStamp>(
+                               rng.NextBelow(static_cast<uint64_t>(span) + 1)));
+  }
+  std::sort(days.begin(), days.end());
+
+  for (size_t j = 0; j < commit_count; ++j) {
+    Commit commit;
+    commit.index = static_cast<int>(j);
+    commit.day = days[j];
+    size_t touched = 1 + static_cast<size_t>(rng.NextBelow(3));
+    touched = std::min(touched, history.births_.size());
+    // Sample distinct functions, hazard+size weighted, without replacement.
+    std::vector<double> local = weights;
+    for (size_t t = 0; t < touched; ++t) {
+      double total = 0.0;
+      for (const double w : local) {
+        total += w;
+      }
+      if (total <= 0.0) {
+        break;
+      }
+      const size_t pick = rng.Categorical(local);
+      local[pick] = 0.0;
+      FunctionBirth& birth = history.births_[pick];
+      FunctionEdit edit;
+      edit.path = birth.path;
+      edit.function = birth.name;
+      edit.lines_added = 1 + static_cast<int>(rng.NextBelow(24));
+      edit.lines_deleted = static_cast<int>(rng.NextBelow(16));
+      commit.edits.push_back(std::move(edit));
+      // A touch before the drawn birth day means the function existed
+      // earlier than modeled; reconcile by moving the birth back.
+      birth.born = std::min(birth.born, commit.day);
+    }
+    history.commits_.push_back(std::move(commit));
+  }
+  return history;
+}
+
+std::vector<metrics::SourceFile> VersionHistory::Materialize(size_t version) const {
+  version = std::min(version, head_version());
+  // Pending edits (commits not yet applied at `version`):
+  // path -> function -> marker lines, in commit order.
+  std::map<std::string, std::map<std::string, std::vector<std::string>>> pending;
+  for (size_t j = version; j < commits_.size(); ++j) {
+    const Commit& commit = commits_[j];
+    for (size_t e = 0; e < commit.edits.size(); ++e) {
+      const FunctionEdit& edit = commit.edits[e];
+      // The marker models the old code the pending commit later replaces:
+      // one inert declaration, unique per (commit, edit), parse- and
+      // lower-clean, and token-visible so the diff planner sees the change.
+      pending[edit.path][edit.function].push_back(
+          support::Format("    int rev%d_%d = %d;", commit.index,
+                          static_cast<int>(e), commit.index));
+    }
+  }
+
+  std::vector<metrics::SourceFile> files;
+  files.reserve(head_.size());
+  for (const auto& entry : head_) {
+    metrics::SourceFile file = entry.file;
+    const auto file_pending = pending.find(file.path);
+    if (file_pending != pending.end() &&
+        file.language == metrics::Language::kMiniC) {
+      auto unit = lang::Parse(file.text);
+      if (unit.ok()) {
+        std::map<int, std::vector<std::string>> insertions;
+        for (const auto& fn : unit.value().functions) {
+          const auto marks = file_pending->second.find(fn.name);
+          if (marks != file_pending->second.end()) {
+            auto& at_line = insertions[fn.line];
+            at_line.insert(at_line.end(), marks->second.begin(),
+                           marks->second.end());
+          }
+        }
+        if (!insertions.empty()) {
+          file.text = SpliceLines(file.text, insertions);
+        }
+      }
+    }
+    files.push_back(std::move(file));
+  }
+  return files;
+}
+
+std::map<std::string, std::map<std::string, metrics::ProcessMetrics>>
+VersionHistory::ProcessMetricsAt(size_t version) const {
+  version = std::min(version, head_version());
+  const cvedb::DayStamp as_of =
+      version >= commits_.size()
+          ? std::max(CollectionDay(), spec_.history_end)
+          : (version == 0 ? spec_.history_start : commits_[version - 1].day);
+
+  std::map<std::string, std::map<std::string, metrics::ProcessMetrics>> out;
+  std::map<std::string, std::map<std::string, cvedb::DayStamp>> last_change;
+  for (const auto& birth : births_) {
+    metrics::ProcessMetrics pm;
+    pm.age_days = static_cast<double>(std::max<cvedb::DayStamp>(as_of - birth.born, 0));
+    out[birth.path][birth.name] = pm;
+    last_change[birth.path][birth.name] = birth.born;
+  }
+  for (size_t j = 0; j < version; ++j) {
+    for (const auto& edit : commits_[j].edits) {
+      auto& pm = out[edit.path][edit.function];
+      pm.touches += 1.0;
+      pm.lines_added += static_cast<double>(edit.lines_added);
+      pm.lines_deleted += static_cast<double>(edit.lines_deleted);
+      auto& last = last_change[edit.path][edit.function];
+      last = std::max(last, commits_[j].day);
+    }
+  }
+  for (auto& [path, fns] : out) {
+    for (auto& [name, pm] : fns) {
+      pm.days_since_change = static_cast<double>(
+          std::max<cvedb::DayStamp>(as_of - last_change[path][name], 0));
+    }
+  }
+  return out;
+}
+
+std::map<std::string, metrics::ProcessMetrics> VersionHistory::HeadProcessMetrics()
+    const {
+  std::map<std::string, metrics::ProcessMetrics> flat;
+  for (const auto& [path, fns] : ProcessMetricsAt(head_version())) {
+    for (const auto& [name, pm] : fns) {
+      flat[path + "::" + name] = pm;
+    }
+  }
+  return flat;
+}
+
+bool ApplyFunctionEdit(metrics::SourceFile& file, const std::string& function,
+                       const std::string& statement) {
+  if (file.language != metrics::Language::kMiniC) {
+    return false;
+  }
+  auto unit = lang::Parse(file.text);
+  if (!unit.ok()) {
+    return false;
+  }
+  for (const auto& fn : unit.value().functions) {
+    if (fn.name == function) {
+      std::map<int, std::vector<std::string>> insertions;
+      insertions[fn.line].push_back("    " + statement);
+      file.text = SpliceLines(file.text, insertions);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace corpus

@@ -1,0 +1,107 @@
+// Per-commit version history for synthetic applications.
+//
+// The ecosystem generator models each app's multi-year CVE history; this
+// layer materializes the matching *source* history: a deterministic stream
+// of commits, each touching a few functions (hazard- and size-weighted, so
+// churn correlates with where vulnerabilities live, as it does in real
+// projects), with day stamps spread over [history_start, history_end].
+//
+// Two consumers:
+//   - the incremental-extraction layer replays adjacent versions through
+//     the diff planner (a commit's touched set is the ground truth the
+//     planner must recover), and
+//   - the function-rank extractor derives proc.* process features (churn,
+//     age, touch counts — Viszkok et al., PAPERS.md) from the same stream.
+//
+// Version k is "the tree after the first k commits"; the final version is
+// byte-identical to EcosystemGenerator::GenerateSources, so HEAD sweeps are
+// unaffected by the history machinery. Earlier versions differ from HEAD
+// only inside the functions later commits touch (one marker declaration per
+// pending edit, inserted after the function's opening line) — token streams
+// of untouched functions are identical across versions by construction.
+#ifndef SRC_CORPUS_HISTORY_H_
+#define SRC_CORPUS_HISTORY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/corpus/ecosystem.h"
+#include "src/metrics/extract.h"
+
+namespace corpus {
+
+// One function modification inside a commit.
+struct FunctionEdit {
+  std::string path;
+  std::string function;
+  int lines_added = 0;   // Modeled churn (metadata for proc.* features).
+  int lines_deleted = 0;
+};
+
+struct Commit {
+  int index = 0;            // Chronological, 0-based.
+  cvedb::DayStamp day = 0;  // Within the app's [history_start, history_end].
+  std::vector<FunctionEdit> edits;  // Distinct functions per commit.
+};
+
+// The day the paper's study snapshots the ecosystem (mirrors the CVE
+// database's collection day in ecosystem.cc).
+cvedb::DayStamp CollectionDay();
+
+class VersionHistory {
+ public:
+  // Builds the app's deterministic edit stream. Independent of generation
+  // order (fresh salted RNG stream per app) and consumes no draws from the
+  // source generator, so HEAD text is unaffected.
+  static VersionHistory ForApp(const EcosystemGenerator& ecosystem,
+                               const AppSpec& spec);
+
+  const AppSpec& spec() const { return spec_; }
+  const std::vector<Commit>& commits() const { return commits_; }
+
+  // Versions 0..commits().size(); num_versions()-1 is HEAD.
+  size_t num_versions() const { return commits_.size() + 1; }
+  size_t head_version() const { return commits_.size(); }
+
+  // Source tree after the first `version` commits. Materialize(head_version())
+  // returns GenerateSources(spec) byte-for-byte; earlier versions carry one
+  // pending-edit marker declaration per not-yet-applied edit.
+  std::vector<metrics::SourceFile> Materialize(size_t version) const;
+
+  // Process metrics as of `version`, keyed path -> function name. Ages and
+  // recency are measured from the last applied commit's day (or the
+  // collection day for HEAD); churn counts fold the applied prefix of the
+  // stream.
+  std::map<std::string, std::map<std::string, metrics::ProcessMetrics>>
+  ProcessMetricsAt(size_t version) const;
+
+  // HEAD process metrics flattened to "path::function" keys (the label
+  // model's key shape).
+  std::map<std::string, metrics::ProcessMetrics> HeadProcessMetrics() const;
+
+ private:
+  struct FunctionBirth {
+    std::string path;
+    std::string name;
+    cvedb::DayStamp born = 0;
+  };
+
+  AppSpec spec_;
+  std::vector<ProfiledSourceFile> head_;  // HEAD text + latent profiles.
+  std::vector<FunctionBirth> births_;     // Emission order.
+  std::vector<Commit> commits_;
+};
+
+// Applies a synthetic one-line edit to `function` inside `file`: inserts
+// `statement` (a complete MiniC statement, e.g. "int hotfix = 1;") after the
+// function's opening line. Returns false when the file does not parse or has
+// no such function. Shared by the incremental bench, the CI-gate example,
+// and tests — a reproducible "developer touched one function" event.
+bool ApplyFunctionEdit(metrics::SourceFile& file, const std::string& function,
+                       const std::string& statement);
+
+}  // namespace corpus
+
+#endif  // SRC_CORPUS_HISTORY_H_

@@ -173,12 +173,18 @@ const std::vector<std::string>& FunctionFeatureNames() {
       "sig.unreachable_code",
       "sig.infinite_loop_risk",
       "sig.signed_overflow_risk",
+      "proc.touches",
+      "proc.age_days",
+      "proc.days_since_change",
+      "proc.lines_added",
+      "proc.lines_deleted",
   };
   return kNames;
 }
 
-std::vector<FunctionFeatures> ExtractFunctionFeatures(const lang::TranslationUnit& unit,
-                                                      const lang::IrModule& module) {
+std::vector<FunctionFeatures> ExtractFunctionFeatures(
+    const lang::TranslationUnit& unit, const lang::IrModule& module,
+    const std::map<std::string, ProcessMetrics>* process) {
   // Column indices, kept in lockstep with FunctionFeatureNames().
   enum Column : size_t {
     kLines = 0,
@@ -197,7 +203,8 @@ std::vector<FunctionFeatures> ExtractFunctionFeatures(const lang::TranslationUni
     kFanOut,
     kCallSites,
     kRecursive,
-    kSigFirst,  // BugSignal::Kind columns follow in enum order.
+    kSigFirst,              // BugSignal::Kind columns follow in enum order.
+    kProcFirst = kSigFirst + 7,  // proc.* columns follow the 7 signal kinds.
   };
   const size_t width = FunctionFeatureNames().size();
 
@@ -242,6 +249,16 @@ std::vector<FunctionFeatures> ExtractFunctionFeatures(const lang::TranslationUni
     if (signals != signal_counts.end()) {
       for (size_t k = 0; k < signals->second.size(); ++k) {
         row.values[kSigFirst + k] = signals->second[k];
+      }
+    }
+    if (process != nullptr) {
+      const auto proc = process->find(fn.name);
+      if (proc != process->end()) {
+        row.values[kProcFirst + 0] = proc->second.touches;
+        row.values[kProcFirst + 1] = proc->second.age_days;
+        row.values[kProcFirst + 2] = proc->second.days_since_change;
+        row.values[kProcFirst + 3] = proc->second.lines_added;
+        row.values[kProcFirst + 4] = proc->second.lines_deleted;
       }
     }
     out.push_back(std::move(row));

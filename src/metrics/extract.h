@@ -9,6 +9,7 @@
 #ifndef SRC_METRICS_EXTRACT_H_
 #define SRC_METRICS_EXTRACT_H_
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -49,8 +50,9 @@ FeatureVector ShinFeatures(const lang::TranslationUnit& unit, const lang::IrModu
 // ---------------------------------------------------------------------------
 
 // The fixed schema, in column order. Structural counts ("fn."), call-graph
-// shape ("cg."), and per-function static bug signals ("sig.", one column
-// per BugSignal::Kind).
+// shape ("cg."), per-function static bug signals ("sig.", one column per
+// BugSignal::Kind), and version-history process metrics ("proc.", zeros
+// when no history is supplied).
 const std::vector<std::string>& FunctionFeatureNames();
 
 struct FunctionFeatures {
@@ -58,11 +60,27 @@ struct FunctionFeatures {
   std::vector<double> values;  // Parallel to FunctionFeatureNames().
 };
 
+// Version-history ("process") metrics for one function — Viszkok et al.
+// show churn/age/touch features materially improve vulnerability prediction
+// over static metrics alone. Produced by corpus::VersionHistory for the
+// synthetic corpus; any VCS walker can fill them for real code. This layer
+// only consumes the numbers.
+struct ProcessMetrics {
+  double touches = 0.0;            // Commits that modified the function.
+  double age_days = 0.0;           // Days since the function first appeared.
+  double days_since_change = 0.0;  // Days since its last modification.
+  double lines_added = 0.0;        // Lines added across its history.
+  double lines_deleted = 0.0;      // Lines deleted across its history.
+};
+
 // One entry per function in `unit`, in declaration order. `module` must be
 // the lowering of `unit` (names are matched; functions missing from the IR
-// get zeros for IR-derived columns).
-std::vector<FunctionFeatures> ExtractFunctionFeatures(const lang::TranslationUnit& unit,
-                                                      const lang::IrModule& module);
+// get zeros for IR-derived columns). `process`, when non-null, maps function
+// name to its history metrics; absent functions (and a null map) yield
+// all-zero proc.* columns, so schemas never fork.
+std::vector<FunctionFeatures> ExtractFunctionFeatures(
+    const lang::TranslationUnit& unit, const lang::IrModule& module,
+    const std::map<std::string, ProcessMetrics>* process = nullptr);
 
 }  // namespace metrics
 
